@@ -1,0 +1,220 @@
+//! Host-accumulated block partitioning (Hwang & Cheng, 1982 style).
+//!
+//! The straightforward way to run an arbitrarily sized problem on a
+//! fixed-size array: cut it into `w × w` blocks, run each block through the
+//! array on its own, and let the **host** add the per-block partial results
+//! together.  It produces correct answers for any size, but compared with
+//! DBT it (a) restarts the array pipeline for every block and (b) performs
+//! `O(n·m̄)` additions outside the array — the two costs the paper's
+//! transformation eliminates.
+
+use sia_dbt::{multiply_mm, multiply_mv, DbtError, MvSchedule};
+use sia_matrix::{BlockGrid, DenseMatrix, Scalar};
+
+/// Result of a host-accumulated blocked computation.
+#[derive(Debug, Clone)]
+pub struct HostBlockedOutcome<T> {
+    /// The result (vector flattened for MV, matrix for MM).
+    pub result: DenseMatrix<T>,
+    /// Total array steps summed over all per-block runs.
+    pub array_cycles: usize,
+    /// Number of separate array invocations (pipeline refills).
+    pub array_runs: usize,
+    /// Scalar additions performed by the host to combine partial results.
+    pub host_additions: usize,
+    /// Utilization in the paper's sense, useful operations over
+    /// `A · array_cycles`.
+    pub efficiency: f64,
+}
+
+/// Computes `y = A·x + b` by running every `w × w` block of `A` through the
+/// linear array separately and accumulating on the host.
+///
+/// # Errors
+///
+/// Returns the same argument errors as [`multiply_mv`].
+pub fn host_blocked_mv<T: Scalar>(
+    a: &DenseMatrix<T>,
+    x: &[T],
+    b: Option<&[T]>,
+    w: usize,
+) -> Result<HostBlockedOutcome<T>, DbtError> {
+    if w == 0 {
+        return Err(DbtError::ZeroArraySize);
+    }
+    if x.len() != a.cols() {
+        return Err(DbtError::VectorLength {
+            what: "x",
+            expected: a.cols(),
+            found: x.len(),
+        });
+    }
+    if let Some(b) = b {
+        if b.len() != a.rows() {
+            return Err(DbtError::VectorLength {
+                what: "b",
+                expected: a.rows(),
+                found: b.len(),
+            });
+        }
+    }
+    let grid = BlockGrid::new(a.rows(), a.cols(), w)?;
+    let mut y: Vec<T> = match b {
+        Some(b) => b.to_vec(),
+        None => vec![T::zero(); a.rows()],
+    };
+    let mut array_cycles = 0usize;
+    let mut array_runs = 0usize;
+    let mut host_additions = 0usize;
+    for (r, s) in grid.block_coords() {
+        let block = grid.block(a, r, s)?;
+        let x_block: Vec<T> = (0..w)
+            .map(|j| x.get(s * w + j).copied().unwrap_or_else(T::zero))
+            .collect();
+        let partial = multiply_mv(&block, &x_block, None, w, MvSchedule::Simple)?;
+        array_cycles += partial.cycles;
+        array_runs += 1;
+        for local in 0..w {
+            let row = r * w + local;
+            if row < a.rows() {
+                y[row] += partial.y[local];
+                host_additions += 1;
+            }
+        }
+    }
+    let result = DenseMatrix::from_fn(a.rows(), 1, |i, _| y[i]);
+    let efficiency = if array_cycles == 0 {
+        0.0
+    } else {
+        (a.rows() * a.cols()) as f64 / (w as f64 * array_cycles as f64)
+    };
+    Ok(HostBlockedOutcome {
+        result,
+        array_cycles,
+        array_runs,
+        host_additions,
+        efficiency,
+    })
+}
+
+/// Computes `C = A·B` by running every block product `A_{rk}·B_{ks}` through
+/// the hexagonal array separately and accumulating on the host.
+///
+/// # Errors
+///
+/// Returns the same argument errors as [`multiply_mm`].
+pub fn host_blocked_mm<T: Scalar>(
+    a: &DenseMatrix<T>,
+    b: &DenseMatrix<T>,
+    w: usize,
+) -> Result<HostBlockedOutcome<T>, DbtError> {
+    if w == 0 {
+        return Err(DbtError::ZeroArraySize);
+    }
+    if a.cols() != b.rows() {
+        return Err(DbtError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "host blocked matrix multiply",
+        });
+    }
+    let grid_a = BlockGrid::new(a.rows(), a.cols(), w)?;
+    let grid_b = BlockGrid::new(b.rows(), b.cols(), w)?;
+    let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+    let mut array_cycles = 0usize;
+    let mut array_runs = 0usize;
+    let mut host_additions = 0usize;
+    for r in 0..grid_a.block_rows() {
+        for s in 0..grid_b.block_cols() {
+            for k in 0..grid_a.block_cols() {
+                let a_block = grid_a.block(a, r, k)?;
+                let b_block = grid_b.block(b, k, s)?;
+                let partial = multiply_mm(&a_block, &b_block, None, w)?;
+                array_cycles += partial.cycles;
+                array_runs += 1;
+                for x in 0..w {
+                    for y in 0..w {
+                        let (gi, gj) = (r * w + x, s * w + y);
+                        if gi < c.rows() && gj < c.cols() {
+                            let v = c.at(gi, gj) + partial.c.at(x, y);
+                            c.set(gi, gj, v)?;
+                            host_additions += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let efficiency = if array_cycles == 0 {
+        0.0
+    } else {
+        (a.rows() * a.cols() * b.cols()) as f64 / ((w * w) as f64 * array_cycles as f64)
+    };
+    Ok(HostBlockedOutcome {
+        result: c,
+        array_cycles,
+        array_runs,
+        host_additions,
+        efficiency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_dbt::MvSchedule;
+    use sia_matrix::gen;
+
+    #[test]
+    fn blocked_mv_is_correct_but_slower_than_dbt() {
+        let a = gen::random_dense_i64(8, 12, 5, 1);
+        let x = gen::random_vector_i64(12, 5, 2);
+        let b = gen::random_vector_i64(8, 5, 3);
+        let w = 4;
+        let blocked = host_blocked_mv(&a, &x, Some(&b), w).unwrap();
+        let expected = {
+            let mut y = a.matvec(&x).unwrap();
+            for (slot, v) in y.iter_mut().zip(&b) {
+                *slot += v;
+            }
+            y
+        };
+        assert_eq!(blocked.result.col(0), expected);
+        let dbt = sia_dbt::multiply_mv(&a, &x, Some(&b), w, MvSchedule::Simple).unwrap();
+        assert!(blocked.array_cycles > dbt.cycles);
+        assert!(blocked.efficiency < dbt.efficiency);
+        assert!(blocked.host_additions > 0);
+        assert_eq!(blocked.array_runs, 2 * 3);
+    }
+
+    #[test]
+    fn blocked_mm_is_correct_but_slower_than_dbt() {
+        let a = gen::random_dense_i64(4, 6, 4, 11);
+        let b = gen::random_dense_i64(6, 4, 4, 12);
+        let w = 2;
+        let blocked = host_blocked_mm(&a, &b, w).unwrap();
+        assert_eq!(blocked.result, a.matmul(&b).unwrap());
+        let dbt = sia_dbt::multiply_mm(&a, &b, None, w).unwrap();
+        assert!(blocked.array_cycles > dbt.cycles);
+        assert!(blocked.efficiency < dbt.efficiency);
+        assert!(blocked.host_additions > 0);
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        let a = gen::random_dense_i64(4, 4, 3, 21);
+        let x = gen::random_vector_i64(4, 3, 22);
+        assert_eq!(
+            host_blocked_mv(&a, &x, None, 0).unwrap_err(),
+            DbtError::ZeroArraySize
+        );
+        assert!(host_blocked_mv(&a, &x[..2], None, 2).is_err());
+        assert!(host_blocked_mv(&a, &x, Some(&x[..2]), 2).is_err());
+        let b = gen::random_dense_i64(5, 4, 3, 23);
+        assert!(host_blocked_mm(&a, &b, 2).is_err());
+        assert_eq!(
+            host_blocked_mm(&a, &a, 0).unwrap_err(),
+            DbtError::ZeroArraySize
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # sia-baselines
+//!
+//! The schemes the ISCA'86 paper positions itself against, re-implemented so
+//! the experiment harness can put them next to the DBT transformation on the
+//! same simulated arrays:
+//!
+//! * [`prt`] — the PRT transformation of Priester et al. (1981), which the
+//!   paper identifies as the special case `n̄ = m̄ = 1` of DBT-by-rows: it
+//!   only handles problems that fit a single `w × w` block.
+//! * [`host_blocked`] — Hwang–Cheng style partitioned computation: every
+//!   `w × w` block is shipped through the array separately and the partial
+//!   results are accumulated **outside** the array by the host.  Correct for
+//!   any problem size, but it pays both in array steps (each block re-fills
+//!   the pipeline) and in host additions — exactly the costs DBT removes.
+//! * [`tailored`] — the closed-form model of a *problem-sized* array (one
+//!   cell per matrix column), the "tailored to the size of a given data
+//!   structure" design the introduction criticises: efficient, but not
+//!   size-independent, so it is reported analytically for comparison only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod host_blocked;
+pub mod prt;
+pub mod tailored;
+
+pub use host_blocked::{host_blocked_mm, host_blocked_mv, HostBlockedOutcome};
+pub use prt::{prt_mv, PrtOutcome};
+pub use tailored::TailoredArrayModel;

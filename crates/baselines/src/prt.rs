@@ -1,0 +1,97 @@
+//! The PRT transformation (Priester, Whitehouse, Bromley, Clary — 1981).
+//!
+//! PRT folds one dense `w × w` matrix into a band of width `w` by splitting
+//! it into an upper and a lower triangle, "yielding a 50% size reduction of
+//! the systolic array".  The ISCA'86 paper observes that PRT "is a
+//! particular case of the DBT-by-rows when n̄ = m̄ = 1"; this module
+//! implements it directly on the linear-array simulator and the test-suite
+//! confirms that equivalence.
+
+use sia_dbt::{multiply_mv, DbtError, MvSchedule};
+use sia_matrix::{DenseMatrix, Scalar};
+
+/// Result of a PRT matrix–vector multiplication.
+#[derive(Debug, Clone)]
+pub struct PrtOutcome<T> {
+    /// The result vector `y = A·x + b`.
+    pub y: Vec<T>,
+    /// Number of array steps.
+    pub cycles: usize,
+    /// Utilization in the paper's sense, `n·m/(w·T)`.
+    pub efficiency: f64,
+}
+
+/// Computes `y = A·x + b` with the PRT scheme on a `w`-cell array.
+///
+/// # Errors
+///
+/// PRT cannot handle problems larger than one block: if `A` has more than
+/// `w` rows or columns a [`DbtError::ShapeMismatch`] is returned — that
+/// limitation is precisely what the DBT generalisation removes.  Other
+/// argument errors are as in [`multiply_mv`].
+pub fn prt_mv<T: Scalar>(
+    a: &DenseMatrix<T>,
+    x: &[T],
+    b: Option<&[T]>,
+    w: usize,
+) -> Result<PrtOutcome<T>, DbtError> {
+    if w == 0 {
+        return Err(DbtError::ZeroArraySize);
+    }
+    if a.rows() > w || a.cols() > w {
+        return Err(DbtError::ShapeMismatch {
+            left: a.shape(),
+            right: (w, w),
+            op: "prt (single-block) transformation",
+        });
+    }
+    // With n̄ = m̄ = 1 the DBT-by-rows transformation *is* PRT.
+    let outcome = multiply_mv(a, x, b, w, MvSchedule::Simple)?;
+    Ok(PrtOutcome {
+        y: outcome.y,
+        cycles: outcome.cycles,
+        efficiency: outcome.efficiency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_matrix::gen;
+
+    #[test]
+    fn single_block_problems_are_solved_exactly() {
+        for (n, m, w, seed) in [(3usize, 3usize, 3usize, 1u64), (4, 2, 4, 2), (2, 3, 3, 3)] {
+            let a = gen::random_dense_i64(n, m, 5, seed);
+            let x = gen::random_vector_i64(m, 5, seed + 1);
+            let b = gen::random_vector_i64(n, 5, seed + 2);
+            let outcome = prt_mv(&a, &x, Some(&b), w).unwrap();
+            let mut expected = a.matvec(&x).unwrap();
+            for (slot, v) in expected.iter_mut().zip(&b) {
+                *slot += v;
+            }
+            assert_eq!(outcome.y, expected);
+        }
+    }
+
+    #[test]
+    fn prt_takes_the_single_block_dbt_time() {
+        // T = 2w·1·1 + 2w - 3 = 4w - 3.
+        let w = 4;
+        let a = gen::random_dense_i64(4, 4, 5, 7);
+        let x = gen::random_vector_i64(4, 5, 8);
+        let outcome = prt_mv(&a, &x, None, w).unwrap();
+        assert_eq!(outcome.cycles, 4 * w - 3);
+    }
+
+    #[test]
+    fn larger_problems_are_rejected() {
+        let a = gen::random_dense_i64(5, 3, 5, 9);
+        let x = gen::random_vector_i64(3, 5, 10);
+        assert!(matches!(
+            prt_mv(&a, &x, None, 3).unwrap_err(),
+            DbtError::ShapeMismatch { .. }
+        ));
+        assert_eq!(prt_mv(&a, &x, None, 0).unwrap_err(), DbtError::ZeroArraySize);
+    }
+}

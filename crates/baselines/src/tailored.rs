@@ -1,0 +1,91 @@
+//! The *tailored array* model: the pre-1986 alternative the paper's
+//! introduction describes — "a particular design is made to meet one (or
+//! several related) algorithm(s) and to suit the size of a given data
+//! structure size".
+//!
+//! For matrix–vector multiplication the canonical tailored design keeps one
+//! cell per matrix column (`A = m` cells), streams the rows through and
+//! accumulates one output per cycle after the pipeline fills:
+//! `T = n + m − 1` steps.  It is fast *for that one size*, but the array
+//! size grows with the problem, which is exactly what the paper's fixed-size
+//! approach avoids.  The model is analytic; it exists so the comparison
+//! experiment can report "what you give up by insisting on a fixed array".
+
+/// Closed-form model of a problem-sized (non-fixed) linear array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailoredArrayModel {
+    /// Rows of the dense matrix.
+    pub n: usize,
+    /// Columns of the dense matrix (and cells in the tailored array).
+    pub m: usize,
+}
+
+impl TailoredArrayModel {
+    /// Creates the model for an `n × m` matrix–vector product.
+    pub fn new(n: usize, m: usize) -> Self {
+        TailoredArrayModel { n, m }
+    }
+
+    /// Number of processing elements the tailored design needs (`m`).
+    pub fn pe_count(&self) -> usize {
+        self.m
+    }
+
+    /// Number of steps: fill the `m`-stage pipeline, then one result per
+    /// step.
+    pub fn cycles(&self) -> usize {
+        if self.n == 0 || self.m == 0 {
+            0
+        } else {
+            self.n + self.m - 1
+        }
+    }
+
+    /// Utilization `n·m / (A·T)`.
+    pub fn utilization(&self) -> f64 {
+        let t = self.cycles();
+        if t == 0 {
+            return 0.0;
+        }
+        (self.n * self.m) as f64 / (self.m as f64 * t as f64)
+    }
+
+    /// Whether this design can run on a *fixed* array of `w` cells without
+    /// any data transformation (only when the problem happens to fit).
+    pub fn fits_fixed_array(&self, w: usize) -> bool {
+        self.m <= w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_and_utilization_model() {
+        let model = TailoredArrayModel::new(6, 9);
+        assert_eq!(model.pe_count(), 9);
+        assert_eq!(model.cycles(), 14);
+        assert!((model.utilization() - 6.0 * 9.0 / (9.0 * 14.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_approaches_one_for_tall_problems() {
+        let model = TailoredArrayModel::new(10_000, 16);
+        assert!(model.utilization() > 0.99);
+    }
+
+    #[test]
+    fn degenerate_problems() {
+        let model = TailoredArrayModel::new(0, 5);
+        assert_eq!(model.cycles(), 0);
+        assert_eq!(model.utilization(), 0.0);
+    }
+
+    #[test]
+    fn fixed_array_fit() {
+        let model = TailoredArrayModel::new(6, 9);
+        assert!(!model.fits_fixed_array(3));
+        assert!(model.fits_fixed_array(9));
+    }
+}

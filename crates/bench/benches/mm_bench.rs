@@ -1,0 +1,50 @@
+//! Criterion benches for the matrix–matrix path (experiment E4) and the
+//! spiral-feedback accumulation plan (experiments E6/E7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sia_dbt::{accumulation_plan, build_a_hat, multiply_mm, MmShape};
+use sia_matrix::gen;
+
+fn bench_mm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mm_hexagonal_array");
+    group.sample_size(10);
+    for (w, n, p, m) in [
+        (2usize, 4usize, 4usize, 4usize),
+        (3, 6, 6, 9),
+        (3, 9, 9, 9),
+        (4, 8, 8, 8),
+    ] {
+        let a = gen::random_dense_f64(n, p, 11);
+        let b = gen::random_dense_f64(p, m, 12);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("w{w}_{n}x{p}x{m}")),
+            &(w, a, b),
+            |bench, (w, a, b)| bench.iter(|| multiply_mm(a, b, None, *w).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_operand_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mm_operand_construction");
+    for (w, n, p, mbar) in [(3usize, 9usize, 9usize, 3usize), (4, 16, 16, 4)] {
+        let a = gen::random_dense_f64(n, p, 13);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("a_hat_w{w}_{n}x{p}x{mbar}")),
+            &(w, a, mbar),
+            |bench, (w, a, mbar)| bench.iter(|| build_a_hat(a, *mbar, *w).unwrap()),
+        );
+    }
+    for (w, n, p, m) in [(3usize, 9usize, 9usize, 9usize), (4, 16, 16, 16)] {
+        let shape = MmShape { w, n, p, m };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("plan_w{w}_{n}x{p}x{m}")),
+            &shape,
+            |bench, shape| bench.iter(|| accumulation_plan(*shape).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mm, bench_operand_construction);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benches for the matrix–vector path (experiments E1–E3):
+//! the DBT transformation itself, the simple schedule and the overlapped
+//! schedule, swept over array and problem sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sia_dbt::{multiply_mv, DbtByRows, MvSchedule};
+use sia_matrix::gen;
+
+fn bench_transformation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbt_by_rows_transform");
+    for (w, n, m) in [(4usize, 16usize, 16usize), (4, 64, 64), (8, 64, 64)] {
+        let a = gen::random_dense_f64(n, m, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("w{w}_{n}x{m}")),
+            &(w, a),
+            |b, (w, a)| b.iter(|| DbtByRows::new(a, *w).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_mv_simple(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mv_simple_schedule");
+    group.sample_size(10);
+    for (w, n, m) in [(3usize, 6usize, 9usize), (4, 16, 16), (4, 32, 32), (8, 32, 32)] {
+        let a = gen::random_dense_f64(n, m, 2);
+        let x = gen::random_vector_f64(m, 3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("w{w}_{n}x{m}")),
+            &(w, a, x),
+            |b, (w, a, x)| b.iter(|| multiply_mv(a, x, None, *w, MvSchedule::Simple).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_mv_overlapped(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mv_overlapped_schedule");
+    group.sample_size(10);
+    for (w, n, m) in [(4usize, 16usize, 16usize), (4, 32, 32), (8, 32, 32)] {
+        let a = gen::random_dense_f64(n, m, 4);
+        let x = gen::random_vector_f64(m, 5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("w{w}_{n}x{m}")),
+            &(w, a, x),
+            |b, (w, a, x)| b.iter(|| multiply_mv(a, x, None, *w, MvSchedule::Overlapped).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transformation, bench_mv_simple, bench_mv_overlapped);
+criterion_main!(benches);

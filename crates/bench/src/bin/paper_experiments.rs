@@ -1,0 +1,38 @@
+//! Prints every experiment of the reproduction (DESIGN.md, E1–E11 subset
+//! that produces tables) — the output recorded in `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run -p sia-bench --release --bin paper_experiments
+//! ```
+
+use sia_bench::experiments;
+
+fn main() {
+    let reports = [
+        experiments::run_mv_sweep(),
+        experiments::run_mv_overlap_sweep(),
+        experiments::run_mm_sweep(),
+        experiments::run_feedback_experiment(),
+        experiments::run_spiral_topology(),
+        experiments::run_baseline_comparison(),
+        experiments::run_sparse_experiment(),
+    ];
+    let mut all_ok = true;
+    for report in &reports {
+        println!("== {} — {}", report.id, report.title);
+        println!("{}", report.table);
+        println!(
+            "   agreement with the paper: {}\n",
+            if report.agrees_with_paper { "yes" } else { "NO" }
+        );
+        all_ok &= report.agrees_with_paper;
+    }
+    println!(
+        "overall: {}",
+        if all_ok {
+            "every measured quantity matches the paper's closed forms / qualitative claims"
+        } else {
+            "at least one experiment disagrees with the paper — see above"
+        }
+    );
+}

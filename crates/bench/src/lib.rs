@@ -1,0 +1,20 @@
+//! # sia-bench
+//!
+//! Experiment harness for the ISCA'86 reproduction: every figure and
+//! closed-form result of the paper's evaluation has a function here that
+//! runs the simulators, collects the measured numbers and formats them next
+//! to the paper's predictions.  The `paper_experiments` binary prints the
+//! whole set (that output is the source of `EXPERIMENTS.md`); the Criterion
+//! benches in `benches/` time the same code paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{
+    run_baseline_comparison, run_feedback_experiment, run_mm_sweep, run_mv_overlap_sweep,
+    run_mv_sweep, run_sparse_experiment, run_spiral_topology, ExperimentReport,
+};
+pub use table::Table;

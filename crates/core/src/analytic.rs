@@ -1,0 +1,253 @@
+//! Closed-form performance models from the paper.
+//!
+//! Every formula the paper states for the number of array steps `T`, the
+//! processing-element utilization `η` and the feedback storage is collected
+//! here, so the experiment harness can print *measured vs. formula* tables
+//! and the tests can assert exact agreement with the simulators.
+
+/// Problem shape for the matrix–vector experiments: a dense `n × m` matrix
+/// on a linear array of `w` cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MvShape {
+    /// Array size (number of linear-array cells).
+    pub w: usize,
+    /// Rows of the dense matrix.
+    pub n: usize,
+    /// Columns of the dense matrix.
+    pub m: usize,
+}
+
+impl MvShape {
+    /// `n̄ = ⌈n/w⌉`.
+    pub fn nbar(&self) -> usize {
+        self.n.div_ceil(self.w)
+    }
+
+    /// `m̄ = ⌈m/w⌉`.
+    pub fn mbar(&self) -> usize {
+        self.m.div_ceil(self.w)
+    }
+
+    /// Steps with no overlapping: `T = 2·w·n̄·m̄ + 2w − 3` (paper §2).
+    pub fn cycles(&self) -> usize {
+        2 * self.w * self.nbar() * self.mbar() + 2 * self.w - 3
+    }
+
+    /// Steps with overlapping (two interleaved sub-problems):
+    /// `T = w·n̄·m̄ + 2w − 2` (paper §2).
+    pub fn cycles_overlapped(&self) -> usize {
+        self.w * self.nbar() * self.mbar() + 2 * self.w - 2
+    }
+
+    /// Utilization without overlapping,
+    /// `η = 1 / (2 + 2/(n̄m̄) − 3/(w·n̄m̄))`, which approaches ½ for large
+    /// problems (paper §2).
+    pub fn utilization(&self) -> f64 {
+        let nm = (self.nbar() * self.mbar()) as f64;
+        let w = self.w as f64;
+        1.0 / (2.0 + 2.0 / nm - 3.0 / (w * nm))
+    }
+
+    /// Utilization with overlapping,
+    /// `η = 1 / (1 + 2/(n̄m̄) − 2/(w·n̄m̄))`, which approaches 1 (paper §2).
+    pub fn utilization_overlapped(&self) -> f64 {
+        let nm = (self.nbar() * self.mbar()) as f64;
+        let w = self.w as f64;
+        1.0 / (1.0 + 2.0 / nm - 2.0 / (w * nm))
+    }
+
+    /// The paper's definition `η = N/(A·T)` with `N = n·m` useful
+    /// multiply–accumulates, `A = w` cells and the given number of steps.
+    pub fn efficiency_for(&self, cycles: usize) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        (self.n * self.m) as f64 / (self.w as f64 * cycles as f64)
+    }
+
+    /// Feedback delay (number of register stages) of the DBT-by-rows
+    /// schedule: exactly `w` (paper §2).
+    pub fn feedback_registers(&self) -> usize {
+        self.w
+    }
+}
+
+/// Problem shape for the matrix–matrix experiments: `C(n,m) = A(n,p)·B(p,m)`
+/// on a `w × w` hexagonal array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MmShape {
+    /// Array side (the array has `w²` cells).
+    pub w: usize,
+    /// Rows of `A` (and `C`).
+    pub n: usize,
+    /// Columns of `A` / rows of `B`.
+    pub p: usize,
+    /// Columns of `B` (and `C`).
+    pub m: usize,
+}
+
+impl MmShape {
+    /// `n̄ = ⌈n/w⌉`.
+    pub fn nbar(&self) -> usize {
+        self.n.div_ceil(self.w)
+    }
+
+    /// `p̄ = ⌈p/w⌉`.
+    pub fn pbar(&self) -> usize {
+        self.p.div_ceil(self.w)
+    }
+
+    /// `m̄ = ⌈m/w⌉`.
+    pub fn mbar(&self) -> usize {
+        self.m.div_ceil(self.w)
+    }
+
+    /// Dimension of the transformed square matrices `Â` and `B̂`:
+    /// `w·p̄·n̄·m̄ + w − 1`.
+    pub fn transformed_dim(&self) -> usize {
+        self.w * self.pbar() * self.nbar() * self.mbar() + self.w - 1
+    }
+
+    /// Steps to solve the problem: `T = 3·w·p̄·n̄·m̄ + 4w − 5` (paper §3).
+    pub fn cycles(&self) -> usize {
+        3 * self.w * self.pbar() * self.nbar() * self.mbar() + 4 * self.w - 5
+    }
+
+    /// Utilization `η = 1/(3 + 4/(p̄n̄m̄) − 5/(w·p̄n̄m̄))`, which approaches ⅓
+    /// (paper §3).
+    pub fn utilization(&self) -> f64 {
+        let pnm = (self.pbar() * self.nbar() * self.mbar()) as f64;
+        let w = self.w as f64;
+        1.0 / (3.0 + 4.0 / pnm - 5.0 / (w * pnm))
+    }
+
+    /// The paper's definition `η = N/(A·T)` with `N = n·m·p` useful
+    /// multiply–accumulates and `A = w²` cells.
+    pub fn efficiency_for(&self, cycles: usize) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        (self.n * self.m * self.p) as f64 / ((self.w * self.w) as f64 * cycles as f64)
+    }
+
+    /// Regular feedback delay between consecutive partial results of the
+    /// same result element: `w` cycles of storage (paper §3).
+    pub fn regular_feedback_delay(&self) -> usize {
+        self.w
+    }
+
+    /// Feedback delay of the *last* partial result of a `U_{0,j}` block:
+    /// `6(w−1)(n̄−1)p̄ + w` (paper §3, first irregular case).
+    pub fn irregular_delay_u_row0(&self) -> usize {
+        6 * (self.w - 1) * (self.nbar() - 1) * self.pbar() + self.w
+    }
+
+    /// Feedback delay of the *last* partial result of the `L_{n̄−1,0}`
+    /// block: `6·n̄·p̄·(m̄−1)(w−1) + w` (paper §3, second irregular case).
+    pub fn irregular_delay_l_last_row(&self) -> usize {
+        6 * self.nbar() * self.pbar() * (self.mbar() - 1) * (self.w - 1) + self.w
+    }
+
+    /// Memory elements for the constant-delay (regular) feedback:
+    /// `2w` for the main diagonal plus `w` per sub-diagonal pair (paper §3).
+    pub fn regular_registers(&self) -> usize {
+        2 * self.w + self.w * (self.w - 1)
+    }
+
+    /// Additional memory elements for the irregular feedbacks:
+    /// `3·w(w−1)/2` (paper §3).
+    pub fn irregular_registers(&self) -> usize {
+        3 * self.w * (self.w - 1) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example_takes_39_cycles() {
+        // n = 6, m = 9, w = 3 → "the 39 required computational cycles".
+        let s = MvShape { w: 3, n: 6, m: 9 };
+        assert_eq!(s.nbar(), 2);
+        assert_eq!(s.mbar(), 3);
+        assert_eq!(s.cycles(), 39);
+        assert_eq!(s.cycles_overlapped(), 22);
+    }
+
+    #[test]
+    fn mv_utilization_matches_the_closed_form_identity() {
+        // For divisible shapes, N/(A·T) equals the paper's 1/(2 + ...) form.
+        for (w, n, m) in [(3usize, 6usize, 9usize), (4, 16, 8), (2, 10, 10)] {
+            let s = MvShape { w, n, m };
+            let direct = s.efficiency_for(s.cycles());
+            assert!((direct - s.utilization()).abs() < 1e-12, "w={w} n={n} m={m}");
+            let overlapped = s.efficiency_for(s.cycles_overlapped());
+            assert!((overlapped - s.utilization_overlapped()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mv_utilization_asymptotes() {
+        let small = MvShape { w: 4, n: 4, m: 4 };
+        let large = MvShape { w: 4, n: 400, m: 400 };
+        assert!(large.utilization() > small.utilization());
+        assert!((large.utilization() - 0.5).abs() < 0.01);
+        assert!((large.utilization_overlapped() - 1.0).abs() < 0.01);
+        assert_eq!(large.feedback_registers(), 4);
+    }
+
+    #[test]
+    fn mm_formulas() {
+        let s = MmShape {
+            w: 3,
+            n: 6,
+            p: 6,
+            m: 9,
+        };
+        assert_eq!((s.nbar(), s.pbar(), s.mbar()), (2, 2, 3));
+        assert_eq!(s.transformed_dim(), 3 * 12 + 2);
+        assert_eq!(s.cycles(), 3 * 3 * 12 + 4 * 3 - 5);
+        let direct = s.efficiency_for(s.cycles());
+        assert!((direct - s.utilization()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm_utilization_asymptote_is_one_third() {
+        let s = MmShape {
+            w: 4,
+            n: 200,
+            p: 200,
+            m: 200,
+        };
+        assert!((s.utilization() - 1.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn mm_register_and_delay_formulas() {
+        let s = MmShape {
+            w: 3,
+            n: 9,
+            p: 6,
+            m: 12,
+        };
+        assert_eq!(s.regular_feedback_delay(), 3);
+        assert_eq!(s.irregular_delay_u_row0(), 6 * 2 * 2 * 2 + 3);
+        assert_eq!(s.irregular_delay_l_last_row(), 6 * 3 * 2 * 3 * 2 + 3);
+        assert_eq!(s.regular_registers(), 6 + 6);
+        assert_eq!(s.irregular_registers(), 9);
+    }
+
+    #[test]
+    fn efficiency_for_zero_cycles_is_zero() {
+        let s = MvShape { w: 2, n: 2, m: 2 };
+        assert_eq!(s.efficiency_for(0), 0.0);
+        let s = MmShape {
+            w: 2,
+            n: 2,
+            p: 2,
+            m: 2,
+        };
+        assert_eq!(s.efficiency_for(0), 0.0);
+    }
+}

@@ -1,0 +1,456 @@
+//! **DBT-by-rows** (paper §2): the dense-to-band transformation used for
+//! matrix–vector multiplication.
+//!
+//! The dense `n × m` matrix `A` is split into `n̄·m̄` blocks of `w × w`
+//! elements (zero-padded); each block is split into an upper-with-diagonal
+//! triangle `U_{rs}` and a strictly-lower triangle `L_{rs}`.  The transformed
+//! matrix `Â` is an upper band matrix of bandwidth `w` with `n̄·m̄` block
+//! rows; block row `k` holds
+//!
+//! * `Û_k = U_{r,s}` on the block diagonal, and
+//! * `L̂_k = L_{r,(s+1) mod m̄}` on the adjacent block super-diagonal,
+//!
+//! where `r = ⌊k/m̄⌋` and `s = k mod m̄` — the *by-rows* traversal of the
+//! original block grid.  The band is completely filled: every stored
+//! position of `Â` carries an element of (the zero-padded) `A`, which is why
+//! the systolic array never idles on empty band positions.
+//!
+//! The companion vector rules map `x`, `b` and `y` onto `x̂`, `b̂` and `ŷ`:
+//! `x̂_k = x_{k mod m̄}` (plus a final sub-vector with the first `w − 1`
+//! elements of `x_0`); `b̂_k` is `b_{k/m̄}` when a new block row of the
+//! original matrix starts and the *fed back* partial result `ŷ_{k−1}`
+//! otherwise; the final value of original row block `r` appears in
+//! `ŷ_{r·m̄+m̄−1}`.
+
+use crate::DbtError;
+use sia_matrix::{triangular, vector, BandMatrix, BlockGrid, DenseMatrix, Scalar};
+use sia_sim::YInjection;
+
+/// The DBT-by-rows transformation of one dense matrix for a given array
+/// size `w`.
+///
+/// The struct owns the transformed band matrix and knows how to build the
+/// transformed vectors, the feedback injection plan and the inverse mapping
+/// from band rows back to original rows.
+///
+/// # Example
+///
+/// ```
+/// use sia_dbt::DbtByRows;
+/// use sia_matrix::gen;
+///
+/// # fn main() -> Result<(), sia_dbt::DbtError> {
+/// let a = gen::counting::<i64>(6, 9);
+/// let dbt = DbtByRows::new(&a, 3)?;
+/// assert_eq!(dbt.band().rows(), 3 * 2 * 3);          // w · n̄ · m̄
+/// assert_eq!(dbt.band().cols(), dbt.band().rows() + 2); // + (w − 1)
+/// assert!((dbt.band().occupancy() - 1.0).abs() < 1e-12); // band is full
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DbtByRows<T> {
+    w: usize,
+    n: usize,
+    m: usize,
+    nbar: usize,
+    mbar: usize,
+    band: BandMatrix<T>,
+}
+
+impl<T: Scalar> DbtByRows<T> {
+    /// Builds the transformation of `a` for an array of size `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbtError::ZeroArraySize`] if `w == 0` and
+    /// [`DbtError::EmptyDimension`] if `a` has no rows or columns.
+    pub fn new(a: &DenseMatrix<T>, w: usize) -> Result<Self, DbtError> {
+        if w == 0 {
+            return Err(DbtError::ZeroArraySize);
+        }
+        if a.rows() == 0 {
+            return Err(DbtError::EmptyDimension { what: "rows" });
+        }
+        if a.cols() == 0 {
+            return Err(DbtError::EmptyDimension { what: "cols" });
+        }
+        let grid = BlockGrid::new(a.rows(), a.cols(), w)?;
+        let nbar = grid.block_rows();
+        let mbar = grid.block_cols();
+        let block_rows = nbar * mbar;
+        let rows = block_rows * w;
+        let cols = rows + w - 1;
+        let mut band = BandMatrix::new(rows, cols, 0, w - 1)?;
+
+        for k in 0..block_rows {
+            let r = k / mbar;
+            let s = k % mbar;
+            let block = grid.block(a, r, s)?;
+            let (u, _) = triangular::split(&block);
+            let next = grid.block(a, r, (s + 1) % mbar)?;
+            let (_, l) = triangular::split(&next);
+            for x in 0..w {
+                for y in 0..w {
+                    if y >= x {
+                        band.set(k * w + x, k * w + y, u.at(x, y))?;
+                    }
+                    if y < x {
+                        let col = (k + 1) * w + y;
+                        if col < cols {
+                            band.set(k * w + x, col, l.at(x, y))?;
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(DbtByRows {
+            w,
+            n: a.rows(),
+            m: a.cols(),
+            nbar,
+            mbar,
+            band,
+        })
+    }
+
+    /// Array size `w` the transformation targets.
+    pub fn array_size(&self) -> usize {
+        self.w
+    }
+
+    /// Original matrix dimensions `(n, m)`.
+    pub fn original_shape(&self) -> (usize, usize) {
+        (self.n, self.m)
+    }
+
+    /// Number of block rows `n̄ = ⌈n/w⌉`.
+    pub fn nbar(&self) -> usize {
+        self.nbar
+    }
+
+    /// Number of block columns `m̄ = ⌈m/w⌉`.
+    pub fn mbar(&self) -> usize {
+        self.mbar
+    }
+
+    /// Number of block rows of the transformed matrix, `n̄·m̄`.
+    pub fn block_row_count(&self) -> usize {
+        self.nbar * self.mbar
+    }
+
+    /// The transformed band matrix `Â` (`w·n̄·m̄` rows, bandwidth `w`).
+    pub fn band(&self) -> &BandMatrix<T> {
+        &self.band
+    }
+
+    /// The transformed vector `x̂` (length `band().cols()`):
+    /// `n̄·m̄` copies-by-need of the `x` sub-vectors followed by the first
+    /// `w − 1` elements of `x_0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbtError::VectorLength`] if `x.len() != m`.
+    pub fn transform_x(&self, x: &[T]) -> Result<Vec<T>, DbtError> {
+        if x.len() != self.m {
+            return Err(DbtError::VectorLength {
+                what: "x",
+                expected: self.m,
+                found: x.len(),
+            });
+        }
+        let blocks = vector::split_blocks(x, self.w, self.mbar);
+        let mut out = Vec::with_capacity(self.band.cols());
+        for k in 0..self.block_row_count() {
+            out.extend_from_slice(&blocks[k % self.mbar]);
+        }
+        out.extend_from_slice(&blocks[0][..self.w - 1]);
+        Ok(out)
+    }
+
+    /// The per-band-row injection plan for the `ŷ` stream.
+    ///
+    /// Band rows belonging to block row `k` with `k mod m̄ == 0` start from
+    /// the corresponding element of `b` (or zero when `b` is `None`); every
+    /// other band row continues the partial result produced exactly `w` band
+    /// rows earlier, through the array's feedback path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbtError::VectorLength`] if `b` is given and `b.len() != n`.
+    pub fn y_injections(&self, b: Option<&[T]>) -> Result<Vec<YInjection<T>>, DbtError> {
+        if let Some(b) = b {
+            if b.len() != self.n {
+                return Err(DbtError::VectorLength {
+                    what: "b",
+                    expected: self.n,
+                    found: b.len(),
+                });
+            }
+        }
+        let zero = vec![T::zero(); self.n];
+        let b = b.unwrap_or(&zero);
+        let b_blocks = vector::split_blocks(b, self.w, self.nbar);
+        let mut injections = Vec::with_capacity(self.band.rows());
+        for k in 0..self.block_row_count() {
+            let r = k / self.mbar;
+            for local in 0..self.w {
+                if k % self.mbar == 0 {
+                    injections.push(YInjection::Value(b_blocks[r][local]));
+                } else {
+                    injections.push(YInjection::Feedback {
+                        producer_row: (k - 1) * self.w + local,
+                    });
+                }
+            }
+        }
+        Ok(injections)
+    }
+
+    /// For each original row `0 ≤ i < n`, the band row whose output carries
+    /// the final value of `y_i`.
+    pub fn result_rows(&self) -> Vec<usize> {
+        (0..self.n)
+            .map(|i| {
+                let r = i / self.w;
+                let local = i % self.w;
+                (r * self.mbar + self.mbar - 1) * self.w + local
+            })
+            .collect()
+    }
+
+    /// Extracts the final `y` vector (length `n`) from the band outputs
+    /// (`ŷ` ordered by band row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbtError::VectorLength`] if `y_hat` does not cover all band
+    /// rows.
+    pub fn extract_y(&self, y_hat: &[T]) -> Result<Vec<T>, DbtError> {
+        if y_hat.len() != self.band.rows() {
+            return Err(DbtError::VectorLength {
+                what: "y_hat",
+                expected: self.band.rows(),
+                found: y_hat.len(),
+            });
+        }
+        Ok(self.result_rows().into_iter().map(|r| y_hat[r]).collect())
+    }
+
+    /// Provenance of a stored band position: the `(row, col)` of the
+    /// (zero-padded) original matrix whose element lives at
+    /// `(band_row, band_col)`, or `None` for positions outside the stored
+    /// band.
+    ///
+    /// This is the inverse of the transformation rules and is used by the
+    /// structural tests (every original element appears exactly once).
+    pub fn source_of(&self, band_row: usize, band_col: usize) -> Option<(usize, usize)> {
+        if band_row >= self.band.rows() || band_col >= self.band.cols() {
+            return None;
+        }
+        if band_col < band_row || band_col >= band_row + self.w {
+            return None;
+        }
+        let k = band_row / self.w;
+        let x = band_row % self.w;
+        let r = k / self.mbar;
+        let s = k % self.mbar;
+        if band_col / self.w == k {
+            let y = band_col % self.w;
+            debug_assert!(y >= x);
+            Some((r * self.w + x, s * self.w + y))
+        } else {
+            let y = band_col % self.w;
+            debug_assert!(y < x);
+            Some((r * self.w + x, ((s + 1) % self.mbar) * self.w + y))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_matrix::gen;
+    use std::collections::HashMap;
+
+    fn paper_example() -> (DenseMatrix<i64>, DbtByRows<i64>) {
+        // The worked example of the paper: n = 6, m = 9, w = 3.
+        let a = gen::counting::<i64>(6, 9);
+        let dbt = DbtByRows::new(&a, 3).unwrap();
+        (a, dbt)
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let a = gen::counting::<i64>(3, 3);
+        assert_eq!(DbtByRows::new(&a, 0).unwrap_err(), DbtError::ZeroArraySize);
+        let empty = DenseMatrix::<i64>::zeros(0, 3);
+        assert!(matches!(
+            DbtByRows::new(&empty, 2).unwrap_err(),
+            DbtError::EmptyDimension { .. }
+        ));
+    }
+
+    #[test]
+    fn band_dimensions_match_the_paper() {
+        let (_, dbt) = paper_example();
+        assert_eq!(dbt.nbar(), 2);
+        assert_eq!(dbt.mbar(), 3);
+        assert_eq!(dbt.block_row_count(), 6);
+        assert_eq!(dbt.band().rows(), 18);
+        assert_eq!(dbt.band().cols(), 20);
+        assert_eq!(dbt.band().bandwidth(), 3);
+        assert_eq!(dbt.band().lower(), 0);
+    }
+
+    #[test]
+    fn band_is_completely_filled_for_dense_inputs() {
+        // "the transformed matrix band is filled (no empty position) with
+        // elements from the original matrix"
+        let a = gen::random_dense_i64(6, 9, 50, 3); // values in [-50, 50], no zeros likely
+        let a = DenseMatrix::from_fn(6, 9, |i, j| {
+            let v = a.at(i, j);
+            if v == 0 {
+                1
+            } else {
+                v
+            }
+        });
+        let dbt = DbtByRows::new(&a, 3).unwrap();
+        assert!((dbt.band().occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_original_element_appears_exactly_once() {
+        let (a, dbt) = paper_example();
+        let mut seen: HashMap<(usize, usize), usize> = HashMap::new();
+        for (i, j, v) in dbt.band().iter() {
+            let (oi, oj) = dbt.source_of(i, j).expect("stored position has provenance");
+            assert_eq!(v, a.at_padded(oi, oj), "value mismatch at ({i},{j})");
+            *seen.entry((oi, oj)).or_default() += 1;
+        }
+        // Every element of the padded 6x9 matrix appears exactly once.
+        assert_eq!(seen.len(), 6 * 9);
+        assert!(seen.values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn condition_one_u_and_l_blocks_of_a_row_share_the_original_row() {
+        // Paper condition 1: if Û_k = U_{ij} then L̂_k = L_{i,p}.
+        let (a, dbt) = paper_example();
+        let w = 3;
+        for k in 0..dbt.block_row_count() {
+            for x in 0..w {
+                for y in 0..w {
+                    let (diag_row, _) = dbt.source_of(k * w + x, k * w + x).unwrap();
+                    if y < x {
+                        let (off_row, _) = dbt.source_of(k * w + x, (k + 1) * w + y).unwrap();
+                        assert_eq!(diag_row, off_row, "block row {k}");
+                    }
+                }
+            }
+        }
+        let _ = a;
+    }
+
+    #[test]
+    fn condition_two_l_block_and_next_u_block_share_the_original_column() {
+        // Paper condition 2: if L̂_k = L_{i,j} then Û_{k+1} = U_{p,j}.
+        let (_, dbt) = paper_example();
+        let w = 3;
+        for k in 0..dbt.block_row_count() - 1 {
+            // column block of L̂_k (take element (1,0): strictly lower, always stored)
+            let (_, l_col) = dbt.source_of(k * w + 1, (k + 1) * w).unwrap();
+            let (_, u_col) = dbt.source_of((k + 1) * w, (k + 1) * w).unwrap();
+            assert_eq!(l_col / w, u_col / w, "block row {k}");
+        }
+    }
+
+    #[test]
+    fn transform_x_layout_matches_the_rules() {
+        let (_, dbt) = paper_example();
+        let x: Vec<i64> = (1..=9).collect();
+        let xt = dbt.transform_x(&x).unwrap();
+        assert_eq!(xt.len(), 20);
+        // x̂_k = x_{k mod m̄}
+        assert_eq!(&xt[0..3], &[1, 2, 3]);
+        assert_eq!(&xt[3..6], &[4, 5, 6]);
+        assert_eq!(&xt[6..9], &[7, 8, 9]);
+        assert_eq!(&xt[9..12], &[1, 2, 3]);
+        // trailing w-1 elements of x_0
+        assert_eq!(&xt[18..20], &[1, 2]);
+        assert!(dbt.transform_x(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn y_injections_follow_the_feedback_rule() {
+        let (_, dbt) = paper_example();
+        let b: Vec<i64> = (0..6).map(|i| 10 * i).collect();
+        let inj = dbt.y_injections(Some(&b)).unwrap();
+        assert_eq!(inj.len(), 18);
+        // Block row 0 starts from b_0.
+        assert_eq!(inj[0], YInjection::Value(0));
+        assert_eq!(inj[1], YInjection::Value(10));
+        // Block rows 1 and 2 continue the previous block row.
+        assert_eq!(inj[3], YInjection::Feedback { producer_row: 0 });
+        assert_eq!(inj[8], YInjection::Feedback { producer_row: 5 });
+        // Block row 3 (k = 3, k mod m̄ = 0) starts from b_1.
+        assert_eq!(inj[9], YInjection::Value(30));
+        assert!(dbt.y_injections(Some(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn result_rows_point_at_the_last_block_of_each_row_group() {
+        let (_, dbt) = paper_example();
+        let rows = dbt.result_rows();
+        assert_eq!(rows.len(), 6);
+        // Original rows 0..3 finish in block row 2 (k = 2), rows 3..6 in k = 5.
+        assert_eq!(rows[0], 6);
+        assert_eq!(rows[2], 8);
+        assert_eq!(rows[3], 15);
+        assert_eq!(rows[5], 17);
+    }
+
+    #[test]
+    fn extract_y_selects_the_result_rows() {
+        let (_, dbt) = paper_example();
+        let y_hat: Vec<i64> = (0..18).collect();
+        let y = dbt.extract_y(&y_hat).unwrap();
+        assert_eq!(y, vec![6, 7, 8, 15, 16, 17]);
+        assert!(dbt.extract_y(&[0; 3]).is_err());
+    }
+
+    #[test]
+    fn non_multiple_dimensions_are_zero_padded() {
+        let a = gen::counting::<i64>(5, 7);
+        let dbt = DbtByRows::new(&a, 3).unwrap();
+        assert_eq!(dbt.nbar(), 2);
+        assert_eq!(dbt.mbar(), 3);
+        assert_eq!(dbt.band().rows(), 18);
+        // Padded elements read as zero through the provenance map.
+        let mut padded_zero_positions = 0;
+        for (i, j, v) in dbt.band().iter() {
+            let (oi, oj) = dbt.source_of(i, j).unwrap();
+            if oi >= 5 || oj >= 7 {
+                assert_eq!(v, 0);
+                padded_zero_positions += 1;
+            }
+        }
+        assert!(padded_zero_positions > 0);
+    }
+
+    #[test]
+    fn single_block_case_matches_the_prt_special_case() {
+        // n̄ = m̄ = 1 reduces DBT-by-rows to the PRT transformation of
+        // Priester et al.: one U block and one L block.
+        let a = gen::counting::<i64>(4, 4);
+        let dbt = DbtByRows::new(&a, 4).unwrap();
+        assert_eq!(dbt.block_row_count(), 1);
+        assert_eq!(dbt.band().rows(), 4);
+        assert_eq!(dbt.band().cols(), 7);
+        // Diagonal block holds U_{00}, off-diagonal block holds L_{00}.
+        assert_eq!(dbt.band().get(0, 0), a.at(0, 0));
+        assert_eq!(dbt.band().get(3, 4), a.at(3, 0));
+    }
+}

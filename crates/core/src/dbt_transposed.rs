@@ -1,0 +1,161 @@
+//! **DBT-transposed-by-rows** (paper §2, end): the lower-band counterpart of
+//! [`DbtByRows`](crate::DbtByRows).
+//!
+//! "The method consists in transposing the matrix resulting from the
+//! application of a DBT-by-rows transformation to the transposition of the
+//! original matrix; that is:
+//! `DBT-transposed-by-rows(A) = (DBT-by-rows(Aᵀ))ᵀ`."
+//!
+//! The result is a *lower* band matrix of bandwidth `w`; it is the building
+//! block for the `B̂` operand of the matrix–matrix multiplication in §3.
+
+use crate::{DbtByRows, DbtError};
+use sia_matrix::{BandMatrix, DenseMatrix, Scalar};
+
+/// The DBT-transposed-by-rows transformation of one dense matrix.
+///
+/// # Example
+///
+/// ```
+/// use sia_dbt::DbtTransposedByRows;
+/// use sia_matrix::gen;
+///
+/// # fn main() -> Result<(), sia_dbt::DbtError> {
+/// let b = gen::counting::<i64>(9, 6);
+/// let dbt = DbtTransposedByRows::new(&b, 3)?;
+/// // Lower band: as many columns as the by-rows transform of Bᵀ has rows.
+/// assert_eq!(dbt.band().cols(), 3 * 3 * 2);
+/// assert_eq!(dbt.band().rows(), dbt.band().cols() + 2);
+/// assert_eq!(dbt.band().upper(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DbtTransposedByRows<T> {
+    w: usize,
+    rows: usize,
+    cols: usize,
+    band: BandMatrix<T>,
+}
+
+impl<T: Scalar> DbtTransposedByRows<T> {
+    /// Builds the transformation of `a` for an array of size `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`DbtByRows::new`] applied to `aᵀ`.
+    pub fn new(a: &DenseMatrix<T>, w: usize) -> Result<Self, DbtError> {
+        let by_rows = DbtByRows::new(&a.transpose(), w)?;
+        let upper = by_rows.band();
+        // Transpose the band matrix: an upper band R x (R + w - 1) becomes a
+        // lower band (R + w - 1) x R.
+        let mut band = BandMatrix::new(upper.cols(), upper.rows(), w - 1, 0)?;
+        for (i, j, v) in upper.iter() {
+            band.set(j, i, v)?;
+        }
+        Ok(DbtTransposedByRows {
+            w,
+            rows: a.rows(),
+            cols: a.cols(),
+            band,
+        })
+    }
+
+    /// Array size `w` the transformation targets.
+    pub fn array_size(&self) -> usize {
+        self.w
+    }
+
+    /// Original matrix dimensions `(rows, cols)`.
+    pub fn original_shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The transformed lower band matrix.
+    pub fn band(&self) -> &BandMatrix<T> {
+        &self.band
+    }
+
+    /// Provenance of a stored band position in terms of the original
+    /// (untransposed, zero-padded) matrix.
+    pub fn source_of(&self, band_row: usize, band_col: usize) -> Option<(usize, usize)> {
+        // Positions of the transposed band correspond to the swapped
+        // positions of the by-rows band of aᵀ, whose provenance is the
+        // swapped original position.
+        if band_row >= self.band.rows() || band_col >= self.band.cols() {
+            return None;
+        }
+        if band_row < band_col || band_row >= band_col + self.w {
+            return None;
+        }
+        // Rebuild the lightweight index arithmetic of DbtByRows for aᵀ.
+        let w = self.w;
+        let tn = self.cols; // rows of aᵀ
+        let tm = self.rows; // cols of aᵀ
+        let nbar = tn.div_ceil(w);
+        let mbar = tm.div_ceil(w);
+        let _ = nbar;
+        let (bi, bj) = (band_col, band_row); // position in the by-rows band of aᵀ
+        let k = bi / w;
+        let x = bi % w;
+        let r = k / mbar;
+        let s = k % mbar;
+        let (ti, tj) = if bj / w == k {
+            (r * w + x, s * w + bj % w)
+        } else {
+            (r * w + x, ((s + 1) % mbar) * w + bj % w)
+        };
+        // Swap back to the original orientation.
+        Some((tj, ti))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_matrix::gen;
+    use std::collections::HashMap;
+
+    #[test]
+    fn is_the_transpose_of_by_rows_of_the_transpose() {
+        let a = gen::random_dense_i64(7, 5, 9, 17);
+        let w = 3;
+        let tbr = DbtTransposedByRows::new(&a, w).unwrap();
+        let br = DbtByRows::new(&a.transpose(), w).unwrap();
+        assert_eq!(tbr.band().to_dense(), br.band().to_dense().transpose());
+    }
+
+    #[test]
+    fn band_profile_is_lower() {
+        let a = gen::counting::<i64>(6, 6);
+        let tbr = DbtTransposedByRows::new(&a, 2).unwrap();
+        assert_eq!(tbr.band().upper(), 0);
+        assert_eq!(tbr.band().lower(), 1);
+        assert_eq!(tbr.array_size(), 2);
+        assert_eq!(tbr.original_shape(), (6, 6));
+    }
+
+    #[test]
+    fn every_original_element_appears_exactly_once() {
+        let a = gen::counting::<i64>(5, 7);
+        let w = 3;
+        let tbr = DbtTransposedByRows::new(&a, w).unwrap();
+        let mut seen: HashMap<(usize, usize), usize> = HashMap::new();
+        for (i, j, v) in tbr.band().iter() {
+            let (oi, oj) = tbr.source_of(i, j).expect("stored position has provenance");
+            assert_eq!(v, a.at_padded(oi, oj), "({i},{j}) -> ({oi},{oj})");
+            *seen.entry((oi, oj)).or_default() += 1;
+        }
+        assert_eq!(seen.len(), 6 * 9); // padded dimensions
+        assert!(seen.values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn rejects_zero_array_size() {
+        let a = gen::counting::<i64>(3, 3);
+        assert_eq!(
+            DbtTransposedByRows::new(&a, 0).unwrap_err(),
+            DbtError::ZeroArraySize
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Error type for the DBT transformations and solvers.
+
+use sia_matrix::MatrixError;
+use sia_sim::SimError;
+use std::fmt;
+
+/// Errors produced by the DBT transformations and the size-independent
+/// solvers built on them.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DbtError {
+    /// The systolic array size `w` must be strictly positive.
+    ZeroArraySize,
+    /// A matrix dimension that must be strictly positive was zero.
+    EmptyDimension {
+        /// Name of the offending dimension.
+        what: &'static str,
+    },
+    /// Two operands have incompatible shapes.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+        /// Operation that failed.
+        op: &'static str,
+    },
+    /// A vector has the wrong length for the problem it is used with.
+    VectorLength {
+        /// Name of the vector.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        found: usize,
+    },
+    /// An iterative extension did not converge within its iteration budget.
+    DidNotConverge {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual norm when the budget ran out.
+        residual: f64,
+    },
+    /// A matrix that must be (block) non-singular had a zero pivot.
+    SingularPivot {
+        /// Index of the offending pivot.
+        index: usize,
+    },
+    /// An error bubbled up from the matrix substrate.
+    Matrix(MatrixError),
+    /// An error bubbled up from the systolic-array simulator.
+    Sim(SimError),
+}
+
+impl fmt::Display for DbtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbtError::ZeroArraySize => write!(f, "array size w must be strictly positive"),
+            DbtError::EmptyDimension { what } => {
+                write!(f, "dimension `{what}` must be strictly positive")
+            }
+            DbtError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} against {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            DbtError::VectorLength {
+                what,
+                expected,
+                found,
+            } => write!(f, "{what} has length {found} but {expected} is required"),
+            DbtError::DidNotConverge {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iteration did not converge after {iterations} sweeps (residual {residual:.3e})"
+            ),
+            DbtError::SingularPivot { index } => {
+                write!(f, "singular pivot encountered at index {index}")
+            }
+            DbtError::Matrix(e) => write!(f, "matrix error: {e}"),
+            DbtError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbtError::Matrix(e) => Some(e),
+            DbtError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MatrixError> for DbtError {
+    fn from(e: MatrixError) -> Self {
+        DbtError::Matrix(e)
+    }
+}
+
+impl From<SimError> for DbtError {
+    fn from(e: SimError) -> Self {
+        DbtError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            DbtError::ZeroArraySize,
+            DbtError::EmptyDimension { what: "n" },
+            DbtError::ShapeMismatch {
+                left: (2, 3),
+                right: (4, 5),
+                op: "multiply",
+            },
+            DbtError::VectorLength {
+                what: "x",
+                expected: 4,
+                found: 3,
+            },
+            DbtError::DidNotConverge {
+                iterations: 100,
+                residual: 1.0,
+            },
+            DbtError::SingularPivot { index: 2 },
+            DbtError::Matrix(MatrixError::EmptyDimension { what: "w" }),
+            DbtError::Sim(SimError::ZeroArraySize),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn conversions_preserve_the_source() {
+        use std::error::Error;
+        let e: DbtError = MatrixError::EmptyDimension { what: "w" }.into();
+        assert!(e.source().is_some());
+        let e: DbtError = SimError::ZeroArraySize.into();
+        assert!(e.source().is_some());
+        assert!(DbtError::ZeroArraySize.source().is_none());
+    }
+}

@@ -1,0 +1,158 @@
+//! Blocked LU decomposition (paper conclusions, "L-U decomposition").
+//!
+//! Right-looking blocked LU without pivoting, block size `w`: the
+//! trailing-submatrix updates `A₂₂ ← A₂₂ − L₂₁·U₁₂` — which dominate the
+//! operation count — run through the size-independent matrix–matrix solver
+//! on the hexagonal array; the `w × w` diagonal factorizations and the panel
+//! triangular solves are counted as host / division-cell work.  Because
+//! there is no pivoting, the input must have non-singular leading principal
+//! minors (diagonally dominant matrices, as produced by
+//! `sia_matrix::gen::diagonally_dominant_f64`, always qualify).
+
+use super::WorkSplit;
+use crate::{multiply_mm, DbtError};
+use sia_matrix::{DenseMatrix, Scalar};
+
+/// Result of a blocked LU decomposition.
+#[derive(Debug, Clone)]
+pub struct LuOutcome<T> {
+    /// Unit-lower-triangular factor.
+    pub l: DenseMatrix<T>,
+    /// Upper-triangular factor.
+    pub u: DenseMatrix<T>,
+    /// Array / host work accounting.
+    pub work: WorkSplit,
+}
+
+/// Factors `A = L·U` (no pivoting) with block size `w`.
+///
+/// # Errors
+///
+/// Returns [`DbtError`] when `w == 0`, when `A` is not square, or when a
+/// zero pivot is encountered ([`DbtError::SingularPivot`]).
+pub fn lu_decompose<T: Scalar>(a: &DenseMatrix<T>, w: usize) -> Result<LuOutcome<T>, DbtError> {
+    if w == 0 {
+        return Err(DbtError::ZeroArraySize);
+    }
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(DbtError::ShapeMismatch {
+            left: a.shape(),
+            right: (n, n),
+            op: "lu decomposition",
+        });
+    }
+    if n == 0 {
+        return Err(DbtError::EmptyDimension { what: "n" });
+    }
+    let mut work = WorkSplit::default();
+    let mut l = DenseMatrix::identity(n);
+    let mut u = DenseMatrix::zeros(n, n);
+    // Working copy that gets trailing updates.
+    let mut act = a.clone();
+
+    let nbar = n.div_ceil(w);
+    for kb in 0..nbar {
+        let lo = kb * w;
+        let hi = ((kb + 1) * w).min(n);
+        // Unblocked factorization of the diagonal block and its panels
+        // (host / division cells).
+        for k in lo..hi {
+            let pivot = act.at(k, k);
+            if pivot.is_zero() {
+                return Err(DbtError::SingularPivot { index: k });
+            }
+            u.set(k, k, pivot)?;
+            for j in (k + 1)..n.min(hi) {
+                u.set(k, j, act.at(k, j))?;
+            }
+            for j in hi..n {
+                u.set(k, j, act.at(k, j))?;
+            }
+            for i in (k + 1)..n {
+                let factor = act.at(i, k) / pivot;
+                l.set(i, k, factor)?;
+                work.add_host(1);
+                // Eliminate within the current block column and row panel
+                // only; the trailing block update is done on the array below.
+                let row_end = if i < hi { n } else { hi };
+                for j in (k + 1)..row_end {
+                    let v = act.at(i, j) - factor * act.at(k, j);
+                    act.set(i, j, v)?;
+                    work.add_host(1);
+                }
+            }
+        }
+        if hi >= n {
+            break;
+        }
+        // Trailing update on the hexagonal array:
+        // act[hi.., hi..] -= L[hi.., lo..hi] · U[lo..hi, hi..]
+        let l_panel = l.submatrix(hi, lo, n - hi, hi - lo).scale(-T::one());
+        let u_panel = u.submatrix(lo, hi, hi - lo, n - hi);
+        let trailing = act.submatrix(hi, hi, n - hi, n - hi);
+        let update = multiply_mm(&l_panel, &u_panel, Some(&trailing), w)?;
+        work.add_run(update.cycles);
+        act.paste(hi, hi, &update.c);
+    }
+
+    Ok(LuOutcome { l, u, work })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_matrix::gen;
+
+    #[test]
+    fn reconstruction_matches_the_input() {
+        for (n, w, seed) in [(4usize, 2usize, 1u64), (6, 2, 2), (9, 3, 3), (8, 4, 4), (7, 3, 5)] {
+            let a = gen::diagonally_dominant_f64(n, seed);
+            let outcome = lu_decompose(&a, w).unwrap();
+            let product = outcome.l.matmul(&outcome.u).unwrap();
+            assert!(
+                product.approx_eq(&a, 1e-8),
+                "n={n} w={w}, max diff {:?}",
+                product.max_abs_diff(&a)
+            );
+            if n > w {
+                assert!(outcome.work.array_runs > 0, "n={n} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn factors_have_triangular_shape() {
+        let a = gen::diagonally_dominant_f64(6, 9);
+        let outcome = lu_decompose(&a, 2).unwrap();
+        for i in 0..6 {
+            assert_eq!(outcome.l.at(i, i), 1.0);
+            for j in (i + 1)..6 {
+                assert_eq!(outcome.l.at(i, j), 0.0);
+            }
+            for j in 0..i {
+                assert_eq!(outcome.u.at(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = DenseMatrix::<f64>::zeros(4, 4);
+        assert!(matches!(
+            lu_decompose(&a, 2).unwrap_err(),
+            DbtError::SingularPivot { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        let a = gen::diagonally_dominant_f64(4, 11);
+        assert_eq!(lu_decompose(&a, 0).unwrap_err(), DbtError::ZeroArraySize);
+        let rect = DenseMatrix::<f64>::zeros(3, 4);
+        assert!(matches!(
+            lu_decompose(&rect, 2).unwrap_err(),
+            DbtError::ShapeMismatch { .. }
+        ));
+    }
+}

@@ -1,0 +1,216 @@
+//! Triangular systems of linear equations on the fixed-size array
+//! (paper conclusions, problem 1).
+//!
+//! The blocked forward/backward substitution is organised so that all the
+//! *large* work — multiplying already-solved sub-vectors by off-diagonal
+//! blocks — runs through the size-independent matrix–vector solver (and so
+//! through the linear systolic array), while the `w × w` diagonal-block
+//! substitutions are counted as host / division-cell operations.
+
+use super::WorkSplit;
+use crate::{multiply_mv, DbtError, MvSchedule};
+use sia_matrix::{DenseMatrix, Scalar};
+
+/// Result of a blocked triangular solve.
+#[derive(Debug, Clone)]
+pub struct TriangularOutcome<T> {
+    /// The solution vector.
+    pub x: Vec<T>,
+    /// Array / host work accounting.
+    pub work: WorkSplit,
+}
+
+/// Solves `L·x = c` for a lower-triangular `L` using blocked forward
+/// substitution with block size `w`.
+///
+/// # Errors
+///
+/// Returns [`DbtError`] when `w == 0`, when `L` is not square, when the
+/// right-hand side has the wrong length, or when a diagonal entry is zero
+/// ([`DbtError::SingularPivot`]).
+pub fn solve_lower<T: Scalar>(
+    l: &DenseMatrix<T>,
+    c: &[T],
+    w: usize,
+) -> Result<TriangularOutcome<T>, DbtError> {
+    solve(l, c, w, true)
+}
+
+/// Solves `U·x = c` for an upper-triangular `U` using blocked backward
+/// substitution with block size `w`.
+///
+/// # Errors
+///
+/// Same as [`solve_lower`].
+pub fn solve_upper<T: Scalar>(
+    u: &DenseMatrix<T>,
+    c: &[T],
+    w: usize,
+) -> Result<TriangularOutcome<T>, DbtError> {
+    solve(u, c, w, false)
+}
+
+fn solve<T: Scalar>(
+    a: &DenseMatrix<T>,
+    c: &[T],
+    w: usize,
+    lower: bool,
+) -> Result<TriangularOutcome<T>, DbtError> {
+    if w == 0 {
+        return Err(DbtError::ZeroArraySize);
+    }
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(DbtError::ShapeMismatch {
+            left: a.shape(),
+            right: (n, n),
+            op: "triangular solve",
+        });
+    }
+    if c.len() != n {
+        return Err(DbtError::VectorLength {
+            what: "c",
+            expected: n,
+            found: c.len(),
+        });
+    }
+    let nbar = n.div_ceil(w);
+    let mut x = vec![T::zero(); n];
+    let mut work = WorkSplit::default();
+
+    let block_range = |r: usize| (r * w, ((r + 1) * w).min(n));
+    let order: Vec<usize> = if lower {
+        (0..nbar).collect()
+    } else {
+        (0..nbar).rev().collect()
+    };
+
+    for &r in &order {
+        let (lo, hi) = block_range(r);
+        // rhs_r = c_r - (already solved part of the row) · x_known
+        let mut rhs: Vec<T> = c[lo..hi].to_vec();
+        let (known_lo, known_hi) = if lower { (0, lo) } else { (hi, n) };
+        if known_hi > known_lo {
+            let strip = a.submatrix(lo, known_lo, hi - lo, known_hi - known_lo);
+            if strip.count_nonzero() > 0 {
+                let outcome = multiply_mv(
+                    &strip,
+                    &x[known_lo..known_hi],
+                    None,
+                    w,
+                    MvSchedule::Simple,
+                )?;
+                work.add_run(outcome.cycles);
+                for (slot, v) in rhs.iter_mut().zip(outcome.y) {
+                    *slot = *slot - v;
+                }
+            }
+        }
+        // Diagonal-block substitution (division cells / host).
+        let locals: Vec<usize> = if lower {
+            (0..hi - lo).collect()
+        } else {
+            (0..hi - lo).rev().collect()
+        };
+        for li in locals {
+            let gi = lo + li;
+            let mut acc = rhs[li];
+            for lj in 0..hi - lo {
+                let gj = lo + lj;
+                let in_triangle = if lower { gj < gi } else { gj > gi };
+                if in_triangle && gj >= lo && gj < hi {
+                    acc = acc - a.at(gi, gj) * x[gj];
+                    work.add_host(1);
+                }
+            }
+            let pivot = a.at(gi, gi);
+            if pivot.is_zero() {
+                return Err(DbtError::SingularPivot { index: gi });
+            }
+            x[gi] = acc / pivot;
+            work.add_host(1);
+        }
+    }
+    Ok(TriangularOutcome { x, work })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_matrix::{gen, vector};
+
+    #[test]
+    fn lower_solve_matches_reference_for_floats() {
+        for (n, w, seed) in [(6usize, 2usize, 1u64), (9, 3, 2), (7, 3, 3), (4, 4, 4)] {
+            let l = gen::lower_triangular_f64(n, seed);
+            let x_true = gen::random_vector_f64(n, seed + 10);
+            let c = l.matvec(&x_true).unwrap();
+            let outcome = solve_lower(&l, &c, w).unwrap();
+            assert!(
+                vector::approx_eq(&outcome.x, &x_true, 1e-7),
+                "n={n} w={w}: {:?} vs {:?}",
+                outcome.x,
+                x_true
+            );
+            if n > w {
+                assert!(outcome.work.array_runs > 0);
+            }
+            assert!(outcome.work.host_ops > 0);
+        }
+    }
+
+    #[test]
+    fn upper_solve_matches_reference_for_floats() {
+        for (n, w, seed) in [(6usize, 2usize, 11u64), (9, 3, 12), (5, 2, 13)] {
+            let u = gen::lower_triangular_f64(n, seed).transpose();
+            let x_true = gen::random_vector_f64(n, seed + 10);
+            let c = u.matvec(&x_true).unwrap();
+            let outcome = solve_upper(&u, &c, w).unwrap();
+            assert!(vector::approx_eq(&outcome.x, &x_true, 1e-7), "n={n} w={w}");
+        }
+    }
+
+    #[test]
+    fn unit_diagonal_integer_systems_are_solved_exactly() {
+        let n = 6;
+        let l = DenseMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                1i64
+            } else if j < i {
+                ((i * 3 + j) % 5) as i64 - 2
+            } else {
+                0
+            }
+        });
+        let x_true: Vec<i64> = (0..n as i64).map(|v| v - 3).collect();
+        let c = l.matvec(&x_true).unwrap();
+        let outcome = solve_lower(&l, &c, 2).unwrap();
+        assert_eq!(outcome.x, x_true);
+    }
+
+    #[test]
+    fn singular_pivot_is_reported() {
+        let mut l = gen::lower_triangular_f64(4, 5);
+        l.set(2, 2, 0.0).unwrap();
+        let err = solve_lower(&l, &[1.0; 4], 2).unwrap_err();
+        assert_eq!(err, DbtError::SingularPivot { index: 2 });
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        let l = gen::lower_triangular_f64(4, 6);
+        assert_eq!(
+            solve_lower(&l, &[1.0; 4], 0).unwrap_err(),
+            DbtError::ZeroArraySize
+        );
+        assert!(matches!(
+            solve_lower(&l, &[1.0; 3], 2).unwrap_err(),
+            DbtError::VectorLength { .. }
+        ));
+        let rect = DenseMatrix::<f64>::zeros(3, 4);
+        assert!(matches!(
+            solve_lower(&rect, &[1.0; 3], 2).unwrap_err(),
+            DbtError::ShapeMismatch { .. }
+        ));
+    }
+}

@@ -1,0 +1,552 @@
+//! Size-independent **matrix–matrix multiplication** `C = A·B + E` on the
+//! `w × w` hexagonal array with spiral feedback (paper §3 and Appendix).
+//!
+//! The transformed operands are built exactly as the paper prescribes:
+//!
+//! * `Â` is the juxtaposition along the band of `m̄` copies of
+//!   `DBT-by-rows(A)` plus the closing triangular block `U′` (the leading
+//!   `(w−1)×(w−1)` corner of the first copy);
+//! * `B̂` juxtaposes, for every column block `B_i` of `B`, the
+//!   `DBT-transposed-by-rows` band of `B_i` repeated `n̄` times, and closes
+//!   with the triangular block `L′`.
+//!
+//! Both are square of dimension `w·p̄·n̄·m̄ + w − 1`; `Â` is an upper band
+//! and `B̂` a lower band of bandwidth `w`, so their product fits the
+//! `2w − 1` wide result band of the hexagonal array.
+//!
+//! Every element of the true product `C_{IJ}` is scattered over several
+//! partial results inside the result band: `p̄` of them on one spiral
+//! diagonal and (for off-diagonal elements of the block) another `p̄` on the
+//! paired diagonal `d ∓ w`.  The solver chains those partial results through
+//! the array's spiral feedback — each one is re-injected as the starting
+//! value of the next — so the complete value emerges from the last element
+//! of the chain with **no computation outside the array**, which is the
+//! paper's central claim.
+
+use crate::analytic::MmShape;
+use crate::DbtError;
+use sia_matrix::{BandMatrix, BlockGrid, DenseMatrix, Scalar};
+use sia_sim::{CInjection, FeedbackSummary, HexArray, HexJob};
+use std::collections::HashMap;
+
+/// Result of one size-independent matrix–matrix multiplication.
+#[derive(Debug, Clone)]
+pub struct MmOutcome<T> {
+    /// The result matrix `C = A·B + E` (shape `n × m`).
+    pub c: DenseMatrix<T>,
+    /// Problem shape (gives access to all the closed-form predictions).
+    pub shape: MmShape,
+    /// Measured number of array steps.
+    pub cycles: usize,
+    /// Measured utilization in the paper's sense, `n·m·p / (w²·T)`.
+    pub efficiency: f64,
+    /// Fraction of cell-cycles that fired (includes work on zero padding).
+    pub activity: f64,
+    /// Feedback statistics of the spiral accumulation chains.
+    pub feedback: FeedbackSummary,
+}
+
+impl<T> MmOutcome<T> {
+    /// The paper's predicted step count `3·w·p̄n̄m̄ + 4w − 5`.
+    pub fn predicted_cycles(&self) -> usize {
+        self.shape.cycles()
+    }
+
+    /// The paper's predicted utilization (→ ⅓ for large problems).
+    pub fn predicted_utilization(&self) -> f64 {
+        self.shape.utilization()
+    }
+}
+
+/// Builds the transformed operand `Â` (upper band, dimension
+/// `w·p̄·n̄·m̄ + w − 1`) from the dense `A`.
+///
+/// Exposed for the structural tests and the experiment harness; most users
+/// call [`multiply_mm`] instead.
+///
+/// # Errors
+///
+/// Returns [`DbtError`] for a zero array size or empty matrices.
+pub fn build_a_hat<T: Scalar>(
+    a: &DenseMatrix<T>,
+    mbar: usize,
+    w: usize,
+) -> Result<BandMatrix<T>, DbtError> {
+    if w == 0 {
+        return Err(DbtError::ZeroArraySize);
+    }
+    if mbar == 0 {
+        return Err(DbtError::EmptyDimension { what: "mbar" });
+    }
+    let grid = BlockGrid::new(a.rows(), a.cols(), w)?;
+    let nbar = grid.block_rows();
+    let pbar = grid.block_cols();
+    let per_copy = nbar * pbar;
+    let g = mbar * per_copy;
+    let n_dim = g * w + w - 1;
+    let mut band = BandMatrix::new(n_dim, n_dim, 0, w - 1)?;
+    for q in 0..g {
+        let q_local = q % per_copy;
+        let r = q_local / pbar;
+        let u = q_local % pbar;
+        let u_block = grid.block(a, r, u)?;
+        let l_block = grid.block(a, r, (u + 1) % pbar)?;
+        for x in 0..w {
+            for y in 0..w {
+                if y >= x {
+                    band.set(q * w + x, q * w + y, u_block.at(x, y))?;
+                } else {
+                    let col = (q + 1) * w + y;
+                    if col < n_dim {
+                        band.set(q * w + x, col, l_block.at(x, y))?;
+                    }
+                }
+            }
+        }
+    }
+    // Closing block U': the leading (w-1) x (w-1) corner of U_{0,0}.
+    let corner = grid.block(a, 0, 0)?;
+    for x in 0..w - 1 {
+        for y in x..w - 1 {
+            band.set(g * w + x, g * w + y, corner.at(x, y))?;
+        }
+    }
+    Ok(band)
+}
+
+/// Builds the transformed operand `B̂` (lower band, dimension
+/// `w·p̄·n̄·m̄ + w − 1`) from the dense `B`.
+///
+/// # Errors
+///
+/// Returns [`DbtError`] for a zero array size or empty matrices.
+pub fn build_b_hat<T: Scalar>(
+    b: &DenseMatrix<T>,
+    nbar: usize,
+    w: usize,
+) -> Result<BandMatrix<T>, DbtError> {
+    if w == 0 {
+        return Err(DbtError::ZeroArraySize);
+    }
+    if nbar == 0 {
+        return Err(DbtError::EmptyDimension { what: "nbar" });
+    }
+    let grid = BlockGrid::new(b.rows(), b.cols(), w)?;
+    let pbar = grid.block_rows();
+    let mbar = grid.block_cols();
+    let per_copy = nbar * pbar;
+    let g = mbar * per_copy;
+    let n_dim = g * w + w - 1;
+    let mut band = BandMatrix::new(n_dim, n_dim, w - 1, 0)?;
+    for q in 0..g {
+        let i = q / per_copy;
+        let u = q % pbar;
+        let d_block = grid.block(b, u, i)?;
+        let e_block = grid.block(b, (u + 1) % pbar, i)?;
+        for x in 0..w {
+            for y in 0..w {
+                if y <= x {
+                    // lower-with-diagonal part of B_{u,i}
+                    band.set(q * w + x, q * w + y, d_block.at(x, y))?;
+                } else {
+                    // strictly-upper part of B_{(u+1) mod p̄, i}
+                    let row = (q + 1) * w + x;
+                    if row < n_dim {
+                        band.set(row, q * w + y, e_block.at(x, y))?;
+                    }
+                }
+            }
+        }
+    }
+    // Closing block L': the leading (w-1) x (w-1) corner of the
+    // lower-with-diagonal part of B_{0,0}.
+    let corner = grid.block(b, 0, 0)?;
+    for x in 0..w - 1 {
+        for y in 0..=x {
+            band.set(g * w + x, g * w + y, corner.at(x, y))?;
+        }
+    }
+    Ok(band)
+}
+
+/// The accumulation chains of the transformed problem: for every element of
+/// the (padded) result `C`, the ordered list of result-band positions whose
+/// partial values must be chained through the spiral feedback, the last of
+/// which carries the final value.
+pub struct AccumulationPlan {
+    /// `(target element of the padded C, ordered chain of band positions)`.
+    pub chains: Vec<((usize, usize), Vec<(usize, usize)>)>,
+    /// Dimension of the transformed operands.
+    pub transformed_dim: usize,
+}
+
+/// Builds the accumulation plan for a problem of the given shape.
+///
+/// # Errors
+///
+/// Returns [`DbtError::ZeroArraySize`] when `w == 0`.
+pub fn accumulation_plan(shape: MmShape) -> Result<AccumulationPlan, DbtError> {
+    let w = shape.w;
+    if w == 0 {
+        return Err(DbtError::ZeroArraySize);
+    }
+    let (nbar, pbar, mbar) = (shape.nbar(), shape.pbar(), shape.mbar());
+    let per_copy = nbar * pbar;
+    let g = mbar * per_copy;
+    let n_dim = g * w + w - 1;
+    let inject_time = |i: usize, j: usize| i + j + i.max(j) + w - 1;
+
+    let mut chains = Vec::with_capacity(nbar * mbar * w * w);
+    for r in 0..nbar {
+        for i in 0..mbar {
+            for x in 0..w {
+                for y in 0..w {
+                    let mut members: Vec<(usize, usize)> = Vec::with_capacity(3 * pbar);
+                    // Partial results on the block diagonal of the result.
+                    for u in 0..pbar {
+                        let q = i * per_copy + r * pbar + u;
+                        members.push((q * w + x, q * w + y));
+                    }
+                    if y > x {
+                        // Strictly-upper element: the remaining terms live on
+                        // the block sub-diagonal (spiral partner d - w).
+                        for s in 0..pbar {
+                            let q = if s >= 1 {
+                                i * per_copy + r * pbar + (s - 1)
+                            } else if r >= 1 {
+                                i * per_copy + (r - 1) * pbar + (pbar - 1)
+                            } else {
+                                (i + 1) * per_copy - 1
+                            };
+                            let row = (q + 1) * w + x;
+                            let col = q * w + y;
+                            if row < n_dim {
+                                members.push((row, col));
+                            }
+                        }
+                    } else if y < x {
+                        // Strictly-lower element: remaining terms on the
+                        // block super-diagonal (spiral partner d + w).
+                        for s in 0..pbar {
+                            let q = if s >= 1 {
+                                i * per_copy + r * pbar + (s - 1)
+                            } else if r + 1 < nbar {
+                                i * per_copy + r * pbar + (pbar - 1)
+                            } else if i >= 1 {
+                                i * per_copy - 1
+                            } else {
+                                g - 1
+                            };
+                            let row = q * w + x;
+                            let col = (q + 1) * w + y;
+                            if col < n_dim {
+                                members.push((row, col));
+                            }
+                        }
+                    }
+                    members.sort_by_key(|&(bi, bj)| inject_time(bi, bj));
+                    chains.push(((r * w + x, i * w + y), members));
+                }
+            }
+        }
+    }
+    Ok(AccumulationPlan {
+        chains,
+        transformed_dim: n_dim,
+    })
+}
+
+/// Computes `C = A·B + E` on a `w × w` hexagonal systolic array.
+///
+/// `e` may be `None`, in which case it is taken to be zero.
+///
+/// # Errors
+///
+/// Returns a [`DbtError`] when `w == 0`, when the operand dimensions are
+/// inconsistent, or when the simulator rejects the generated schedule.
+///
+/// # Example
+///
+/// ```
+/// use sia_dbt::multiply_mm;
+/// use sia_matrix::gen;
+///
+/// # fn main() -> Result<(), sia_dbt::DbtError> {
+/// let a = gen::random_dense_i64(4, 6, 3, 1);
+/// let b = gen::random_dense_i64(6, 4, 3, 2);
+/// let outcome = multiply_mm(&a, &b, None, 2)?;
+/// assert_eq!(outcome.c, a.matmul(&b)?);
+/// assert_eq!(outcome.cycles, outcome.predicted_cycles());
+/// # Ok(())
+/// # }
+/// ```
+pub fn multiply_mm<T: Scalar>(
+    a: &DenseMatrix<T>,
+    b: &DenseMatrix<T>,
+    e: Option<&DenseMatrix<T>>,
+    w: usize,
+) -> Result<MmOutcome<T>, DbtError> {
+    if w == 0 {
+        return Err(DbtError::ZeroArraySize);
+    }
+    if a.cols() != b.rows() {
+        return Err(DbtError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "matrix multiply",
+        });
+    }
+    if a.rows() == 0 || a.cols() == 0 || b.cols() == 0 {
+        return Err(DbtError::EmptyDimension { what: "operand" });
+    }
+    if let Some(e) = e {
+        if e.shape() != (a.rows(), b.cols()) {
+            return Err(DbtError::ShapeMismatch {
+                left: e.shape(),
+                right: (a.rows(), b.cols()),
+                op: "additive term e",
+            });
+        }
+    }
+    let shape = MmShape {
+        w,
+        n: a.rows(),
+        p: a.cols(),
+        m: b.cols(),
+    };
+    let a_hat = build_a_hat(a, shape.mbar(), w)?;
+    let b_hat = build_b_hat(b, shape.nbar(), w)?;
+    debug_assert_eq!(a_hat.rows(), shape.transformed_dim());
+    debug_assert_eq!(b_hat.rows(), shape.transformed_dim());
+
+    let plan = accumulation_plan(shape)?;
+    let mut injections: HashMap<(usize, usize), CInjection<T>> = HashMap::new();
+    let mut final_position: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+    for (target, members) in &plan.chains {
+        let first_value = match e {
+            Some(e) => e.at_padded(target.0, target.1),
+            None => T::zero(),
+        };
+        let mut previous: Option<(usize, usize)> = None;
+        for &pos in members {
+            let injection = match previous {
+                None => CInjection::Value(first_value),
+                Some(prev) => CInjection::Feedback { producer: prev },
+            };
+            injections.insert(pos, injection);
+            previous = Some(pos);
+        }
+        if let Some(last) = previous {
+            final_position.insert(*target, last);
+        }
+    }
+
+    let job = HexJob {
+        a: a_hat,
+        b: b_hat,
+        c_injections: injections,
+    };
+    let report = HexArray::new(w)?.run(&job)?;
+
+    let mut c = DenseMatrix::zeros(shape.n, shape.m);
+    for gi in 0..shape.n {
+        for gj in 0..shape.m {
+            let pos = final_position
+                .get(&(gi, gj))
+                .expect("every result element has an accumulation chain");
+            let value = report
+                .value(pos.0, pos.1)
+                .expect("the final chain member is produced by the array");
+            c[(gi, gj)] = value;
+        }
+    }
+
+    Ok(MmOutcome {
+        c,
+        shape,
+        cycles: report.cycles,
+        efficiency: report.utilization.efficiency(shape.n * shape.m * shape.p),
+        activity: report.utilization.activity(),
+        feedback: report.feedback,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_matrix::gen;
+
+    fn reference<T: Scalar>(
+        a: &DenseMatrix<T>,
+        b: &DenseMatrix<T>,
+        e: Option<&DenseMatrix<T>>,
+    ) -> DenseMatrix<T> {
+        let c = a.matmul(b).unwrap();
+        match e {
+            Some(e) => c.add(e).unwrap(),
+            None => c,
+        }
+    }
+
+    #[test]
+    fn exact_result_for_the_paper_figure_shape() {
+        // Fig. 4 of the paper uses n̄ = 2, p̄ = 2, m̄ = 3 blocks.
+        let w = 3;
+        let a = gen::random_dense_i64(6, 6, 4, 201);
+        let b = gen::random_dense_i64(6, 9, 4, 202);
+        let outcome = multiply_mm(&a, &b, None, w).unwrap();
+        assert_eq!(outcome.c, reference(&a, &b, None));
+        assert_eq!(outcome.cycles, outcome.predicted_cycles());
+    }
+
+    #[test]
+    fn exact_results_across_shapes_and_array_sizes() {
+        for (n, p, m, w, seed) in [
+            (2usize, 2usize, 2usize, 2usize, 1u64),
+            (4, 4, 4, 2, 2),
+            (4, 6, 4, 2, 3),
+            (6, 6, 9, 3, 4),
+            (5, 7, 4, 3, 5), // padding in every dimension
+            (3, 3, 3, 3, 6), // single block (n̄ = p̄ = m̄ = 1)
+            (8, 4, 6, 4, 7),
+            (2, 2, 2, 1, 8), // single-cell array
+        ] {
+            let a = gen::random_dense_i64(n, p, 4, seed);
+            let b = gen::random_dense_i64(p, m, 4, seed + 10);
+            let outcome = multiply_mm(&a, &b, None, w).unwrap();
+            assert_eq!(
+                outcome.c,
+                reference(&a, &b, None),
+                "n={n} p={p} m={m} w={w}"
+            );
+            assert_eq!(
+                outcome.cycles,
+                outcome.predicted_cycles(),
+                "cycle formula n={n} p={p} m={m} w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn additive_term_is_injected_through_the_array() {
+        let w = 2;
+        let a = gen::random_dense_i64(4, 4, 4, 31);
+        let b = gen::random_dense_i64(4, 4, 4, 32);
+        let e = gen::random_dense_i64(4, 4, 4, 33);
+        let outcome = multiply_mm(&a, &b, Some(&e), w).unwrap();
+        assert_eq!(outcome.c, reference(&a, &b, Some(&e)));
+    }
+
+    #[test]
+    fn float_inputs_are_accurate() {
+        let a = gen::random_dense_f64(5, 6, 41);
+        let b = gen::random_dense_f64(6, 7, 42);
+        let outcome = multiply_mm(&a, &b, None, 3).unwrap();
+        assert!(outcome.c.approx_eq(&reference(&a, &b, None), 1e-9));
+    }
+
+    #[test]
+    fn feedback_delays_include_the_regular_values_w_and_2w() {
+        // Paper §3: sub-diagonal partial results wait w cycles, main-diagonal
+        // ones 2w cycles; a few irregular (longer) delays also occur.
+        let w = 3;
+        let a = gen::random_dense_i64(6, 6, 4, 51);
+        let b = gen::random_dense_i64(6, 6, 4, 52);
+        let outcome = multiply_mm(&a, &b, None, w).unwrap();
+        let delays = outcome.feedback.distinct_storage_cycles();
+        assert!(delays.contains(&w), "delays {delays:?} should contain w");
+        assert!(
+            delays.contains(&(2 * w)),
+            "delays {delays:?} should contain 2w"
+        );
+        assert!(delays.iter().all(|&d| d >= w));
+    }
+
+    #[test]
+    fn transformed_operands_have_the_paper_dimensions_and_full_bands() {
+        let w = 3;
+        let a = gen::random_dense_i64(6, 6, 9, 61);
+        let b = gen::random_dense_i64(6, 9, 9, 62);
+        let shape = MmShape {
+            w,
+            n: 6,
+            p: 6,
+            m: 9,
+        };
+        let a_hat = build_a_hat(&a, shape.mbar(), w).unwrap();
+        let b_hat = build_b_hat(&b, shape.nbar(), w).unwrap();
+        assert_eq!(a_hat.rows(), shape.transformed_dim());
+        assert_eq!(a_hat.cols(), shape.transformed_dim());
+        assert_eq!(b_hat.rows(), shape.transformed_dim());
+        assert_eq!(a_hat.lower(), 0);
+        assert_eq!(b_hat.upper(), 0);
+    }
+
+    #[test]
+    fn accumulation_plan_covers_every_result_element() {
+        let shape = MmShape {
+            w: 3,
+            n: 6,
+            p: 6,
+            m: 9,
+        };
+        let plan = accumulation_plan(shape).unwrap();
+        assert_eq!(plan.chains.len(), 2 * 3 * 9);
+        for (target, members) in &plan.chains {
+            assert!(!members.is_empty(), "target {target:?} has no chain");
+            // Diagonal elements have p̄ members, off-diagonal up to 2p̄.
+            assert!(members.len() <= 2 * shape.pbar());
+            // Members must lie inside the transformed band.
+            for &(i, j) in members {
+                assert!(i < plan.transformed_dim && j < plan.transformed_dim);
+                assert!(i.abs_diff(j) < shape.w);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_members_are_disjoint_across_targets() {
+        let shape = MmShape {
+            w: 2,
+            n: 4,
+            p: 4,
+            m: 4,
+        };
+        let plan = accumulation_plan(shape).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for (_, members) in &plan.chains {
+            for &pos in members {
+                assert!(seen.insert(pos), "band position {pos:?} used twice");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        let a = gen::random_dense_i64(4, 4, 3, 71);
+        let b = gen::random_dense_i64(4, 4, 3, 72);
+        assert_eq!(
+            multiply_mm(&a, &b, None, 0).unwrap_err(),
+            DbtError::ZeroArraySize
+        );
+        let wrong = gen::random_dense_i64(5, 4, 3, 73);
+        assert!(matches!(
+            multiply_mm(&a, &wrong, None, 2).unwrap_err(),
+            DbtError::ShapeMismatch { .. }
+        ));
+        let bad_e = gen::random_dense_i64(3, 3, 3, 74);
+        assert!(matches!(
+            multiply_mm(&a, &b, Some(&bad_e), 2).unwrap_err(),
+            DbtError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn efficiency_matches_the_closed_form_for_divisible_shapes() {
+        let w = 2;
+        let a = gen::random_dense_i64(4, 4, 3, 81);
+        let b = gen::random_dense_i64(4, 4, 3, 82);
+        let outcome = multiply_mm(&a, &b, None, w).unwrap();
+        assert!((outcome.efficiency - outcome.predicted_utilization()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,366 @@
+//! Size-independent **matrix–vector multiplication** `y = A·x + b` on the
+//! `w`-cell linear contraflow array (paper §2).
+//!
+//! The solver glues together the pieces the paper describes:
+//!
+//! 1. transform the dense `A` with [`DbtByRows`] into a full band matrix of
+//!    bandwidth `w`;
+//! 2. build the transformed vectors `x̂` and the `ŷ` injection plan (fresh
+//!    `b` values at the start of each original row block, feedback of the
+//!    previous partial result everywhere else);
+//! 3. run the linear array simulator — every operation happens inside the
+//!    array, partial results travel through the `w`-register feedback path;
+//! 4. read the final `y` values off the band rows that carry them.
+//!
+//! Two schedules are provided, mirroring the paper's §2 discussion:
+//! [`MvSchedule::Simple`] uses every other array cycle (utilization → ½) and
+//! [`MvSchedule::Overlapped`] splits the problem into two disjoint
+//! sub-problems interleaved in the idle cycles (utilization → 1; the dotted
+//! line of Fig. 2b).
+
+use crate::analytic::MvShape;
+use crate::{DbtByRows, DbtError};
+use sia_matrix::{DenseMatrix, Scalar};
+use sia_sim::{FeedbackSummary, LinearArray, MvStream};
+
+/// Which of the paper's two linear-array schedules to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MvSchedule {
+    /// One stream; each cell fires at most every other cycle.
+    #[default]
+    Simple,
+    /// The problem is partitioned into two disjoint sub-problems (split at
+    /// an original block-row boundary) that are interleaved in the array,
+    /// filling the idle cycles.
+    Overlapped,
+}
+
+/// Result of one size-independent matrix–vector multiplication.
+#[derive(Debug, Clone)]
+pub struct MvOutcome<T> {
+    /// The result vector `y = A·x + b` (length `n`).
+    pub y: Vec<T>,
+    /// Problem shape (gives access to all the closed-form predictions).
+    pub shape: MvShape,
+    /// Schedule that was used.
+    pub schedule: MvSchedule,
+    /// Measured number of array steps.
+    pub cycles: usize,
+    /// Measured utilization in the paper's sense, `n·m / (w·T)`.
+    pub efficiency: f64,
+    /// Fraction of cell-cycles that fired (includes work on zero padding).
+    pub activity: f64,
+    /// Feedback statistics, one summary per interleaved stream.
+    pub feedback: Vec<FeedbackSummary>,
+}
+
+impl<T> MvOutcome<T> {
+    /// The paper's predicted step count for the schedule that was used.
+    pub fn predicted_cycles(&self) -> usize {
+        match self.schedule {
+            MvSchedule::Simple => self.shape.cycles(),
+            MvSchedule::Overlapped => self.shape.cycles_overlapped(),
+        }
+    }
+
+    /// The paper's predicted utilization for the schedule that was used.
+    pub fn predicted_utilization(&self) -> f64 {
+        match self.schedule {
+            MvSchedule::Simple => self.shape.utilization(),
+            MvSchedule::Overlapped => self.shape.utilization_overlapped(),
+        }
+    }
+}
+
+/// Computes `y = A·x + b` on a `w`-cell linear systolic array.
+///
+/// `b` may be `None`, in which case it is taken to be zero.
+///
+/// # Errors
+///
+/// Returns a [`DbtError`] when `w == 0`, when the dimensions of `A`, `x` and
+/// `b` are inconsistent, or when the underlying simulator rejects the
+/// generated schedule (which would indicate a bug in the transformation and
+/// is covered by the test-suite).
+///
+/// # Example
+///
+/// ```
+/// use sia_dbt::{multiply_mv, MvSchedule};
+/// use sia_matrix::gen;
+///
+/// # fn main() -> Result<(), sia_dbt::DbtError> {
+/// let a = gen::random_dense_i64(6, 9, 5, 1);
+/// let x = gen::random_vector_i64(9, 5, 2);
+/// let outcome = multiply_mv(&a, &x, None, 3, MvSchedule::Simple)?;
+/// assert_eq!(outcome.y, a.matvec(&x)?);
+/// assert_eq!(outcome.cycles, outcome.predicted_cycles());
+/// # Ok(())
+/// # }
+/// ```
+pub fn multiply_mv<T: Scalar>(
+    a: &DenseMatrix<T>,
+    x: &[T],
+    b: Option<&[T]>,
+    w: usize,
+    schedule: MvSchedule,
+) -> Result<MvOutcome<T>, DbtError> {
+    if w == 0 {
+        return Err(DbtError::ZeroArraySize);
+    }
+    if x.len() != a.cols() {
+        return Err(DbtError::VectorLength {
+            what: "x",
+            expected: a.cols(),
+            found: x.len(),
+        });
+    }
+    if let Some(b) = b {
+        if b.len() != a.rows() {
+            return Err(DbtError::VectorLength {
+                what: "b",
+                expected: a.rows(),
+                found: b.len(),
+            });
+        }
+    }
+    let shape = MvShape {
+        w,
+        n: a.rows(),
+        m: a.cols(),
+    };
+    match schedule {
+        MvSchedule::Simple => run_simple(a, x, b, w, shape),
+        MvSchedule::Overlapped => run_overlapped(a, x, b, w, shape),
+    }
+}
+
+fn run_simple<T: Scalar>(
+    a: &DenseMatrix<T>,
+    x: &[T],
+    b: Option<&[T]>,
+    w: usize,
+    shape: MvShape,
+) -> Result<MvOutcome<T>, DbtError> {
+    let dbt = DbtByRows::new(a, w)?;
+    let stream = MvStream {
+        band: dbt.band().clone(),
+        x: dbt.transform_x(x)?,
+        y_injections: dbt.y_injections(b)?,
+    };
+    let report = LinearArray::new(w)?.run(&[stream])?;
+    let y = dbt.extract_y(&report.y(0))?;
+    Ok(MvOutcome {
+        y,
+        shape,
+        schedule: MvSchedule::Simple,
+        cycles: report.cycles,
+        efficiency: report.utilization.efficiency(shape.n * shape.m),
+        activity: report.utilization.activity(),
+        feedback: report.feedback,
+    })
+}
+
+fn run_overlapped<T: Scalar>(
+    a: &DenseMatrix<T>,
+    x: &[T],
+    b: Option<&[T]>,
+    w: usize,
+    shape: MvShape,
+) -> Result<MvOutcome<T>, DbtError> {
+    let nbar = shape.nbar();
+    if nbar < 2 {
+        // A single block row cannot be split; fall back to the simple
+        // schedule (the outcome still reports `Overlapped` predictions via
+        // `shape`, but the measured numbers are the honest ones).
+        let mut outcome = run_simple(a, x, b, w, shape)?;
+        outcome.schedule = MvSchedule::Overlapped;
+        return Ok(outcome);
+    }
+    // Split at an original block-row boundary (the dotted line of Fig. 2b):
+    // the first ⌈n̄/2⌉ block rows form one sub-problem, the rest the other.
+    let split_rows = (nbar / 2) * w;
+    let top = a.submatrix(0, 0, split_rows, a.cols());
+    let bottom = a.submatrix(split_rows, 0, a.rows() - split_rows, a.cols());
+    let zero = vec![T::zero(); a.rows()];
+    let b_full = b.unwrap_or(&zero);
+    let (b_top, b_bottom) = b_full.split_at(split_rows.min(b_full.len()));
+
+    let dbt_top = DbtByRows::new(&top, w)?;
+    let dbt_bottom = DbtByRows::new(&bottom, w)?;
+    let streams = vec![
+        MvStream {
+            band: dbt_top.band().clone(),
+            x: dbt_top.transform_x(x)?,
+            y_injections: dbt_top.y_injections(Some(b_top))?,
+        },
+        MvStream {
+            band: dbt_bottom.band().clone(),
+            x: dbt_bottom.transform_x(x)?,
+            y_injections: dbt_bottom.y_injections(Some(b_bottom))?,
+        },
+    ];
+    let report = LinearArray::new(w)?.run(&streams)?;
+    let mut y = dbt_top.extract_y(&report.y(0))?;
+    y.extend(dbt_bottom.extract_y(&report.y(1))?);
+    Ok(MvOutcome {
+        y,
+        shape,
+        schedule: MvSchedule::Overlapped,
+        cycles: report.cycles,
+        efficiency: report.utilization.efficiency(shape.n * shape.m),
+        activity: report.utilization.activity(),
+        feedback: report.feedback,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_matrix::{gen, vector};
+
+    fn reference<T: Scalar>(a: &DenseMatrix<T>, x: &[T], b: Option<&[T]>) -> Vec<T> {
+        let y = a.matvec(x).unwrap();
+        match b {
+            Some(b) => vector::add(&y, b).unwrap(),
+            None => y,
+        }
+    }
+
+    #[test]
+    fn exact_result_for_the_paper_example_shape() {
+        let a = gen::random_dense_i64(6, 9, 6, 101);
+        let x = gen::random_vector_i64(9, 6, 102);
+        let b = gen::random_vector_i64(6, 6, 103);
+        let outcome = multiply_mv(&a, &x, Some(&b), 3, MvSchedule::Simple).unwrap();
+        assert_eq!(outcome.y, reference(&a, &x, Some(&b)));
+        // "the 39 required computational cycles"
+        assert_eq!(outcome.cycles, 39);
+        assert_eq!(outcome.cycles, outcome.predicted_cycles());
+    }
+
+    #[test]
+    fn exact_results_across_shapes_and_array_sizes() {
+        for (n, m, w, seed) in [
+            (4usize, 4usize, 2usize, 1u64),
+            (6, 9, 3, 2),
+            (5, 7, 3, 3),   // padding in both dimensions
+            (8, 3, 4, 4),   // wide array, narrow matrix
+            (12, 12, 4, 5),
+            (3, 11, 2, 6),
+            (1, 1, 1, 7),
+            (9, 2, 5, 8),
+        ] {
+            let a = gen::random_dense_i64(n, m, 5, seed);
+            let x = gen::random_vector_i64(m, 5, seed + 10);
+            let b = gen::random_vector_i64(n, 5, seed + 20);
+            let outcome = multiply_mv(&a, &x, Some(&b), w, MvSchedule::Simple).unwrap();
+            assert_eq!(outcome.y, reference(&a, &x, Some(&b)), "n={n} m={m} w={w}");
+            assert_eq!(
+                outcome.cycles,
+                outcome.predicted_cycles(),
+                "cycle formula n={n} m={m} w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_b_is_treated_as_zero() {
+        let a = gen::random_dense_i64(5, 5, 4, 11);
+        let x = gen::random_vector_i64(5, 4, 12);
+        let outcome = multiply_mv(&a, &x, None, 2, MvSchedule::Simple).unwrap();
+        assert_eq!(outcome.y, a.matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn overlapped_schedule_is_exact_and_faster() {
+        for (n, m, w, seed) in [(8usize, 8usize, 2usize, 31u64), (12, 9, 3, 32), (10, 7, 2, 33)] {
+            let a = gen::random_dense_i64(n, m, 5, seed);
+            let x = gen::random_vector_i64(m, 5, seed + 10);
+            let b = gen::random_vector_i64(n, 5, seed + 20);
+            let simple = multiply_mv(&a, &x, Some(&b), w, MvSchedule::Simple).unwrap();
+            let overlapped = multiply_mv(&a, &x, Some(&b), w, MvSchedule::Overlapped).unwrap();
+            assert_eq!(overlapped.y, simple.y, "n={n} m={m} w={w}");
+            assert!(
+                overlapped.cycles < simple.cycles,
+                "overlap should reduce steps (n={n} m={m} w={w})"
+            );
+            assert!(overlapped.efficiency > simple.efficiency);
+        }
+    }
+
+    #[test]
+    fn overlapped_cycle_formula_holds_for_even_block_splits() {
+        // The closed form T = w·n̄·m̄ + 2w − 2 assumes the two sub-problems
+        // are equal, i.e. n̄ is even.
+        for (n, m, w, seed) in [(8usize, 8usize, 2usize, 41u64), (12, 9, 3, 42), (16, 8, 4, 43)] {
+            let a = gen::random_dense_i64(n, m, 5, seed);
+            let x = gen::random_vector_i64(m, 5, seed + 10);
+            let outcome = multiply_mv(&a, &x, None, w, MvSchedule::Overlapped).unwrap();
+            assert_eq!(outcome.cycles, outcome.predicted_cycles(), "n={n} m={m} w={w}");
+        }
+    }
+
+    #[test]
+    fn single_block_row_falls_back_to_simple_schedule() {
+        let a = gen::random_dense_i64(3, 9, 5, 51);
+        let x = gen::random_vector_i64(9, 5, 52);
+        let outcome = multiply_mv(&a, &x, None, 3, MvSchedule::Overlapped).unwrap();
+        assert_eq!(outcome.y, a.matvec(&x).unwrap());
+        assert_eq!(outcome.schedule, MvSchedule::Overlapped);
+    }
+
+    #[test]
+    fn feedback_storage_is_exactly_w_registers() {
+        let w = 4;
+        let a = gen::random_dense_i64(8, 12, 5, 61);
+        let x = gen::random_vector_i64(12, 5, 62);
+        let outcome = multiply_mv(&a, &x, None, w, MvSchedule::Simple).unwrap();
+        let summary = &outcome.feedback[0];
+        assert!(!summary.is_empty());
+        // Every fed-back partial result spends exactly w cycles in storage.
+        assert_eq!(summary.distinct_storage_cycles(), vec![w]);
+        // n̄·(m̄−1)·w values are fed back in total.
+        assert_eq!(summary.len(), 2 * 2 * w);
+    }
+
+    #[test]
+    fn efficiency_matches_the_closed_form_for_divisible_shapes() {
+        let a = gen::random_dense_i64(12, 12, 5, 71);
+        let x = gen::random_vector_i64(12, 5, 72);
+        let outcome = multiply_mv(&a, &x, None, 3, MvSchedule::Simple).unwrap();
+        assert!((outcome.efficiency - outcome.predicted_utilization()).abs() < 1e-12);
+        let overlapped = multiply_mv(&a, &x, None, 3, MvSchedule::Overlapped).unwrap();
+        assert!(
+            (overlapped.efficiency - overlapped.predicted_utilization()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn float_inputs_are_accurate() {
+        let a = gen::random_dense_f64(10, 13, 81);
+        let x = gen::random_vector_f64(13, 82);
+        let b = gen::random_vector_f64(10, 83);
+        let outcome = multiply_mv(&a, &x, Some(&b), 4, MvSchedule::Simple).unwrap();
+        let expected = reference(&a, &x, Some(&b));
+        assert!(vector::approx_eq(&outcome.y, &expected, 1e-9));
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        let a = gen::random_dense_i64(4, 4, 5, 91);
+        let x = gen::random_vector_i64(4, 5, 92);
+        assert_eq!(
+            multiply_mv(&a, &x, None, 0, MvSchedule::Simple).unwrap_err(),
+            DbtError::ZeroArraySize
+        );
+        assert!(matches!(
+            multiply_mv(&a, &x[..3], None, 2, MvSchedule::Simple).unwrap_err(),
+            DbtError::VectorLength { what: "x", .. }
+        ));
+        assert!(matches!(
+            multiply_mv(&a, &x, Some(&x[..2]), 2, MvSchedule::Simple).unwrap_err(),
+            DbtError::VectorLength { what: "b", .. }
+        ));
+    }
+}

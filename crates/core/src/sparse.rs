@@ -1,0 +1,274 @@
+//! Block-sparse matrix–vector multiplication (paper conclusions).
+//!
+//! "In the case of computing with matrices of a known degree of sparsity,
+//! transformation algorithms can be devised and developed, to exclude the
+//! need of zero-valued elements sub-matrices.  A reduction of computational
+//! time would be the consequence of using such algorithms."
+//!
+//! This module implements that variant for *block* sparsity: when a whole
+//! `w × w` block of `A` is zero it is simply not appended to the transformed
+//! band, so the band gets shorter and the array finishes earlier.  The
+//! feedback chain between the surviving blocks of a row group is preserved,
+//! so the result is still accumulated entirely inside the array.
+
+use crate::analytic::MvShape;
+use crate::{DbtError, MvOutcome, MvSchedule};
+use sia_matrix::{triangular, vector, BandMatrix, BlockGrid, DenseMatrix, Scalar};
+use sia_sim::{LinearArray, MvStream, YInjection};
+
+/// Result of a block-sparse matrix–vector multiplication, with the block
+/// statistics needed by the sparsity experiment.
+#[derive(Debug, Clone)]
+pub struct SparseMvOutcome<T> {
+    /// The dense outcome fields (result vector, cycle counts, utilization).
+    pub outcome: MvOutcome<T>,
+    /// Number of `w × w` blocks of the original matrix that are non-zero.
+    pub nonzero_blocks: usize,
+    /// Number of blocks actually appended to the band (the non-zero ones
+    /// plus the leading block of every block row, which anchors the `b`
+    /// injection and the wrap-around of the `x̂` stream).
+    pub appended_blocks: usize,
+    /// Total number of `w × w` blocks (`n̄ · m̄`).
+    pub total_blocks: usize,
+}
+
+impl<T> SparseMvOutcome<T> {
+    /// Fraction of blocks that are non-zero.
+    pub fn block_density(&self) -> f64 {
+        if self.total_blocks == 0 {
+            return 0.0;
+        }
+        self.nonzero_blocks as f64 / self.total_blocks as f64
+    }
+
+    /// Predicted step count when only [`SparseMvOutcome::appended_blocks`]
+    /// blocks enter the band: the `n̄·m̄` factor of the dense formula shrinks
+    /// to that count.
+    pub fn predicted_cycles(&self) -> usize {
+        2 * self.outcome.shape.w * self.appended_blocks + 2 * self.outcome.shape.w - 3
+    }
+}
+
+/// Computes `y = A·x + b` skipping the all-zero `w × w` blocks of `A`.
+///
+/// Rows whose entire block row is zero still produce `y_i = b_i`.
+///
+/// # Errors
+///
+/// Returns the same errors as [`crate::multiply_mv`].
+pub fn multiply_mv_block_sparse<T: Scalar>(
+    a: &DenseMatrix<T>,
+    x: &[T],
+    b: Option<&[T]>,
+    w: usize,
+) -> Result<SparseMvOutcome<T>, DbtError> {
+    if w == 0 {
+        return Err(DbtError::ZeroArraySize);
+    }
+    if x.len() != a.cols() {
+        return Err(DbtError::VectorLength {
+            what: "x",
+            expected: a.cols(),
+            found: x.len(),
+        });
+    }
+    if let Some(b) = b {
+        if b.len() != a.rows() {
+            return Err(DbtError::VectorLength {
+                what: "b",
+                expected: a.rows(),
+                found: b.len(),
+            });
+        }
+    }
+    let shape = MvShape {
+        w,
+        n: a.rows(),
+        m: a.cols(),
+    };
+    let grid = BlockGrid::new(a.rows(), a.cols(), w)?;
+    let (nbar, mbar) = (grid.block_rows(), grid.block_cols());
+
+    // Surviving column indices per block row.  Column 0 is always kept: every
+    // block row must start at the same column so that the wrap-around of the
+    // x̂ stream (the last L block of one row group pairing with the first x̂
+    // chunk of the next) stays correct, exactly as in the dense scheme.
+    let mut kept: Vec<Vec<usize>> = Vec::with_capacity(nbar);
+    let mut nonzero_blocks = 0usize;
+    for r in 0..nbar {
+        let mut cols: Vec<usize> = Vec::new();
+        for s in 0..mbar {
+            let nonzero = grid.block(a, r, s)?.count_nonzero() > 0;
+            if nonzero {
+                nonzero_blocks += 1;
+            }
+            if s == 0 || nonzero {
+                cols.push(s);
+            }
+        }
+        kept.push(cols);
+    }
+    let total_kept: usize = kept.iter().map(Vec::len).sum();
+
+    // Build the shortened band, x̂ and the injection plan directly: block
+    // row t of the band corresponds to the t-th surviving (r, s) pair in
+    // by-rows order.  Within one original block row the L part of each kept
+    // block is paired with the *next kept* block of the same row (cyclically),
+    // so the row sum is still complete.
+    let rows = total_kept * w;
+    let cols = rows + w - 1;
+    let mut band = BandMatrix::new(rows, cols, 0, w - 1)?;
+    let x_blocks = vector::split_blocks(x, w, mbar);
+    let zero_b = vec![T::zero(); a.rows()];
+    let b_full = b.unwrap_or(&zero_b);
+    let b_blocks = vector::split_blocks(b_full, w, nbar);
+    let mut x_hat: Vec<T> = Vec::with_capacity(cols);
+    let mut injections: Vec<YInjection<T>> = Vec::with_capacity(rows);
+    let mut result_rows: Vec<usize> = vec![0; a.rows()];
+
+    let mut t = 0usize;
+    for r in 0..nbar {
+        let cols_kept = &kept[r];
+        for (pos, &s) in cols_kept.iter().enumerate() {
+            let next_s = cols_kept[(pos + 1) % cols_kept.len()];
+            let block = grid.block(a, r, s)?;
+            let (u, _) = triangular::split(&block);
+            let next_block = grid.block(a, r, next_s)?;
+            let (_, l) = triangular::split(&next_block);
+            for xx in 0..w {
+                for yy in 0..w {
+                    if yy >= xx {
+                        band.set(t * w + xx, t * w + yy, u.at(xx, yy))?;
+                    } else {
+                        let col = (t + 1) * w + yy;
+                        if col < cols {
+                            band.set(t * w + xx, col, l.at(xx, yy))?;
+                        }
+                    }
+                }
+            }
+            x_hat.extend_from_slice(&x_blocks[s]);
+            for local in 0..w {
+                if pos == 0 {
+                    injections.push(YInjection::Value(b_blocks[r][local]));
+                } else {
+                    injections.push(YInjection::Feedback {
+                        producer_row: (t - 1) * w + local,
+                    });
+                }
+            }
+            if pos == cols_kept.len() - 1 {
+                for local in 0..w {
+                    let original = r * w + local;
+                    if original < a.rows() {
+                        result_rows[original] = t * w + local;
+                    }
+                }
+            }
+            t += 1;
+        }
+    }
+    // Trailing w-1 elements: every row group starts at column 0, so the last
+    // band block's L part wraps onto the first w-1 entries of x_0 — the same
+    // rule as the dense transformation.
+    x_hat.extend_from_slice(&x_blocks[0][..w - 1]);
+
+    let stream = MvStream {
+        band,
+        x: x_hat,
+        y_injections: injections,
+    };
+    let report = LinearArray::new(w)?.run(&[stream])?;
+    let y_hat = report.y(0);
+    let y: Vec<T> = result_rows.iter().map(|&row| y_hat[row]).collect();
+
+    Ok(SparseMvOutcome {
+        outcome: MvOutcome {
+            y,
+            shape,
+            schedule: MvSchedule::Simple,
+            cycles: report.cycles,
+            efficiency: report.utilization.efficiency(shape.n * shape.m),
+            activity: report.utilization.activity(),
+            feedback: report.feedback,
+        },
+        nonzero_blocks,
+        appended_blocks: total_kept,
+        total_blocks: nbar * mbar,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_matrix::gen;
+
+    #[test]
+    fn sparse_result_matches_dense_reference() {
+        for density in [0.2, 0.5, 0.8] {
+            let a = gen::block_sparse_f64(12, 12, 3, density, 7);
+            let x = gen::random_vector_f64(12, 8);
+            let b = gen::random_vector_f64(12, 9);
+            let sparse = multiply_mv_block_sparse(&a, &x, Some(&b), 3).unwrap();
+            let expected = vector::add(&a.matvec(&x).unwrap(), &b).unwrap();
+            assert!(
+                vector::approx_eq(&sparse.outcome.y, &expected, 1e-9),
+                "density {density}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_zero_matrix_returns_b() {
+        let a = DenseMatrix::<i64>::zeros(6, 6);
+        let x = vec![1; 6];
+        let b: Vec<i64> = (0..6).collect();
+        let sparse = multiply_mv_block_sparse(&a, &x, Some(&b), 2).unwrap();
+        assert_eq!(sparse.outcome.y, b);
+        assert_eq!(sparse.nonzero_blocks, 0);
+    }
+
+    #[test]
+    fn skipping_blocks_shortens_the_run() {
+        let dense = gen::random_dense_i64(12, 12, 5, 21);
+        let sparse_matrix = gen::block_sparse_f64(12, 12, 3, 0.3, 22);
+        // Map the sparse pattern onto integers for an exact comparison of cycles.
+        let a_sparse = DenseMatrix::from_fn(12, 12, |i, j| {
+            if sparse_matrix.at(i, j) == 0.0 {
+                0i64
+            } else {
+                dense.at(i, j)
+            }
+        });
+        let x = gen::random_vector_i64(12, 5, 23);
+        let full = crate::multiply_mv(&a_sparse, &x, None, 3, MvSchedule::Simple).unwrap();
+        let skipped = multiply_mv_block_sparse(&a_sparse, &x, None, 3).unwrap();
+        assert_eq!(skipped.outcome.y, full.y);
+        assert!(skipped.outcome.cycles <= full.cycles);
+        assert!(skipped.block_density() < 1.0);
+        assert_eq!(skipped.outcome.cycles, skipped.predicted_cycles());
+    }
+
+    #[test]
+    fn dense_input_degenerates_to_the_ordinary_transformation() {
+        let a = gen::random_dense_i64(6, 9, 5, 31);
+        let x = gen::random_vector_i64(9, 5, 32);
+        let plain = crate::multiply_mv(&a, &x, None, 3, MvSchedule::Simple).unwrap();
+        let sparse = multiply_mv_block_sparse(&a, &x, None, 3).unwrap();
+        assert_eq!(sparse.outcome.y, plain.y);
+        assert_eq!(sparse.outcome.cycles, plain.cycles);
+        assert_eq!(sparse.nonzero_blocks, sparse.total_blocks);
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        let a = gen::random_dense_i64(4, 4, 3, 41);
+        let x = vec![1i64; 4];
+        assert_eq!(
+            multiply_mv_block_sparse(&a, &x, None, 0).unwrap_err(),
+            DbtError::ZeroArraySize
+        );
+        assert!(multiply_mv_block_sparse(&a, &x[..2], None, 2).is_err());
+        assert!(multiply_mv_block_sparse(&a, &x, Some(&x[..2]), 2).is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! `w × w` block partitioning of a matrix (paper §2, step a).
+//!
+//! "To split the original matrix `A(n, m)` into `n̄·m̄` submatrices
+//! `A_ij(w, w)` where `n̄ = ⌈n/w⌉` and `m̄ = ⌈m/w⌉`.  When `n` and/or `m` are
+//! not integer multiples of `w`, `A` is extended with zero-valued elements in
+//! rows and/or columns."
+
+use crate::{DenseMatrix, MatrixError, Scalar};
+
+/// The block partition of an `n × m` matrix into `w × w` blocks.
+///
+/// The grid records the original dimensions and the block size; block
+/// extraction zero-pads automatically, matching the paper's convention.
+///
+/// # Example
+///
+/// ```
+/// use sia_matrix::{BlockGrid, DenseMatrix};
+///
+/// # fn main() -> Result<(), sia_matrix::MatrixError> {
+/// let grid = BlockGrid::new(6, 9, 3)?;
+/// assert_eq!(grid.block_rows(), 2);   // n̄
+/// assert_eq!(grid.block_cols(), 3);   // m̄
+///
+/// let a = DenseMatrix::from_fn(6, 9, |i, j| (10 * i + j) as i64);
+/// let block = grid.block(&a, 1, 2)?;
+/// assert_eq!(block.at(0, 0), 36);     // a[3][6]
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockGrid {
+    rows: usize,
+    cols: usize,
+    w: usize,
+    block_rows: usize,
+    block_cols: usize,
+}
+
+impl BlockGrid {
+    /// Creates the partition of an `rows × cols` matrix into `w × w` blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::EmptyDimension`] if any of `rows`, `cols` or
+    /// `w` is zero.
+    pub fn new(rows: usize, cols: usize, w: usize) -> Result<Self, MatrixError> {
+        if rows == 0 {
+            return Err(MatrixError::EmptyDimension { what: "rows" });
+        }
+        if cols == 0 {
+            return Err(MatrixError::EmptyDimension { what: "cols" });
+        }
+        if w == 0 {
+            return Err(MatrixError::EmptyDimension { what: "w" });
+        }
+        Ok(BlockGrid {
+            rows,
+            cols,
+            w,
+            block_rows: rows.div_ceil(w),
+            block_cols: cols.div_ceil(w),
+        })
+    }
+
+    /// Original number of rows (`n`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Original number of columns (`m`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Block size (`w`, the systolic array size).
+    pub fn block_size(&self) -> usize {
+        self.w
+    }
+
+    /// Number of block rows, `n̄ = ⌈n/w⌉`.
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Number of block columns, `m̄ = ⌈m/w⌉`.
+    pub fn block_cols(&self) -> usize {
+        self.block_cols
+    }
+
+    /// Total number of blocks, `n̄ · m̄`.
+    pub fn block_count(&self) -> usize {
+        self.block_rows * self.block_cols
+    }
+
+    /// Number of rows after zero-padding, `n̄ · w`.
+    pub fn padded_rows(&self) -> usize {
+        self.block_rows * self.w
+    }
+
+    /// Number of columns after zero-padding, `m̄ · w`.
+    pub fn padded_cols(&self) -> usize {
+        self.block_cols * self.w
+    }
+
+    /// Extracts block `A_IJ` (zero-padded) from `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::IndexOutOfBounds`] when `(block_i, block_j)` is
+    /// outside the grid, or [`MatrixError::ShapeMismatch`] when `a` does not
+    /// have the dimensions this grid was built for.
+    pub fn block<T: Scalar>(
+        &self,
+        a: &DenseMatrix<T>,
+        block_i: usize,
+        block_j: usize,
+    ) -> Result<DenseMatrix<T>, MatrixError> {
+        self.check_matrix(a)?;
+        if block_i >= self.block_rows || block_j >= self.block_cols {
+            return Err(MatrixError::IndexOutOfBounds {
+                index: (block_i, block_j),
+                shape: (self.block_rows, self.block_cols),
+            });
+        }
+        Ok(a.submatrix(block_i * self.w, block_j * self.w, self.w, self.w))
+    }
+
+    /// Writes block `(block_i, block_j)` back into `out` (any part of the
+    /// block that falls outside the original dimensions is discarded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::IndexOutOfBounds`] when `(block_i, block_j)` is
+    /// outside the grid, [`MatrixError::ShapeMismatch`] when either matrix
+    /// has unexpected dimensions.
+    pub fn paste_block<T: Scalar>(
+        &self,
+        out: &mut DenseMatrix<T>,
+        block_i: usize,
+        block_j: usize,
+        block: &DenseMatrix<T>,
+    ) -> Result<(), MatrixError> {
+        self.check_matrix(out)?;
+        if block_i >= self.block_rows || block_j >= self.block_cols {
+            return Err(MatrixError::IndexOutOfBounds {
+                index: (block_i, block_j),
+                shape: (self.block_rows, self.block_cols),
+            });
+        }
+        if block.shape() != (self.w, self.w) {
+            return Err(MatrixError::ShapeMismatch {
+                left: block.shape(),
+                right: (self.w, self.w),
+                op: "paste_block",
+            });
+        }
+        out.paste(block_i * self.w, block_j * self.w, block);
+        Ok(())
+    }
+
+    /// Iterator over all block coordinates in row-major order
+    /// (the "by-rows" traversal of the paper).
+    pub fn block_coords(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let cols = self.block_cols;
+        (0..self.block_count()).map(move |k| (k / cols, k % cols))
+    }
+
+    /// The transposed grid (used by `DBT-transposed-by-rows`, which operates
+    /// on `Aᵀ`).
+    pub fn transposed(&self) -> BlockGrid {
+        BlockGrid {
+            rows: self.cols,
+            cols: self.rows,
+            w: self.w,
+            block_rows: self.block_cols,
+            block_cols: self.block_rows,
+        }
+    }
+
+    fn check_matrix<T: Scalar>(&self, a: &DenseMatrix<T>) -> Result<(), MatrixError> {
+        if a.shape() != (self.rows, self.cols) {
+            return Err(MatrixError::ShapeMismatch {
+                left: a.shape(),
+                right: (self.rows, self.cols),
+                op: "block grid",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dimensions_match_paper_example() {
+        // The worked example of the paper: n = 6, m = 9, w = 3.
+        let grid = BlockGrid::new(6, 9, 3).unwrap();
+        assert_eq!(grid.block_rows(), 2);
+        assert_eq!(grid.block_cols(), 3);
+        assert_eq!(grid.block_count(), 6);
+        assert_eq!(grid.padded_rows(), 6);
+        assert_eq!(grid.padded_cols(), 9);
+    }
+
+    #[test]
+    fn non_multiple_dimensions_are_padded() {
+        let grid = BlockGrid::new(5, 7, 3).unwrap();
+        assert_eq!(grid.block_rows(), 2);
+        assert_eq!(grid.block_cols(), 3);
+        assert_eq!(grid.padded_rows(), 6);
+        assert_eq!(grid.padded_cols(), 9);
+    }
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert!(BlockGrid::new(0, 3, 2).is_err());
+        assert!(BlockGrid::new(3, 0, 2).is_err());
+        assert!(BlockGrid::new(3, 3, 0).is_err());
+    }
+
+    #[test]
+    fn block_extraction_and_padding() {
+        let a = DenseMatrix::from_fn(5, 4, |i, j| (10 * i + j) as i64);
+        let grid = BlockGrid::new(5, 4, 3).unwrap();
+        let b00 = grid.block(&a, 0, 0).unwrap();
+        assert_eq!(b00.at(2, 2), 22);
+        let b11 = grid.block(&a, 1, 1).unwrap();
+        assert_eq!(b11.at(0, 0), 33); // a[3][3]
+        assert_eq!(b11.at(2, 0), 0); // padded row
+        assert_eq!(b11.at(0, 1), 0); // padded column
+    }
+
+    #[test]
+    fn block_reassembly_round_trip() {
+        let a = DenseMatrix::from_fn(5, 7, |i, j| (i * 7 + j) as i64 + 1);
+        let grid = BlockGrid::new(5, 7, 3).unwrap();
+        let mut out = DenseMatrix::zeros(5, 7);
+        for (bi, bj) in grid.block_coords() {
+            let block = grid.block(&a, bi, bj).unwrap();
+            grid.paste_block(&mut out, bi, bj, &block).unwrap();
+        }
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn out_of_range_blocks_are_rejected() {
+        let a = DenseMatrix::<i64>::zeros(4, 4);
+        let grid = BlockGrid::new(4, 4, 2).unwrap();
+        assert!(grid.block(&a, 2, 0).is_err());
+        let mut out = DenseMatrix::<i64>::zeros(4, 4);
+        let block = DenseMatrix::<i64>::zeros(2, 2);
+        assert!(grid.paste_block(&mut out, 0, 5, &block).is_err());
+        let bad = DenseMatrix::<i64>::zeros(3, 3);
+        assert!(grid.paste_block(&mut out, 0, 0, &bad).is_err());
+    }
+
+    #[test]
+    fn mismatched_matrix_is_rejected() {
+        let a = DenseMatrix::<i64>::zeros(4, 5);
+        let grid = BlockGrid::new(4, 4, 2).unwrap();
+        assert!(grid.block(&a, 0, 0).is_err());
+    }
+
+    #[test]
+    fn block_coords_are_row_major() {
+        let grid = BlockGrid::new(4, 6, 2).unwrap();
+        let coords: Vec<_> = grid.block_coords().collect();
+        assert_eq!(coords[0], (0, 0));
+        assert_eq!(coords[1], (0, 1));
+        assert_eq!(coords[3], (1, 0));
+        assert_eq!(coords.len(), 6);
+    }
+
+    #[test]
+    fn transposed_grid_swaps_dimensions() {
+        let grid = BlockGrid::new(6, 9, 3).unwrap();
+        let t = grid.transposed();
+        assert_eq!(t.rows(), 9);
+        assert_eq!(t.cols(), 6);
+        assert_eq!(t.block_rows(), 3);
+        assert_eq!(t.block_cols(), 2);
+        assert_eq!(t.block_size(), 3);
+    }
+}

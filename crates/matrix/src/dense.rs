@@ -1,0 +1,595 @@
+//! Row-major dense matrix storage and arithmetic.
+
+use crate::{MatrixError, Scalar};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major matrix over any [`Scalar`] type.
+///
+/// This is the "original problem" representation in the paper: the dense
+/// `n×m` matrix `A` of arbitrary size that must be mapped onto a fixed-size
+/// systolic array.  The type keeps its fields private and exposes shape
+/// through [`DenseMatrix::rows`] / [`DenseMatrix::cols`].
+///
+/// # Example
+///
+/// ```
+/// use sia_matrix::DenseMatrix;
+///
+/// # fn main() -> Result<(), sia_matrix::MatrixError> {
+/// let a = DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// let x = vec![10.0, 1.0];
+/// assert_eq!(a.matvec(&x)?, vec![12.0, 34.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> DenseMatrix<T> {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    ///
+    /// Either dimension may be zero, producing an empty matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![T::zero(); rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = T::one();
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from a list of rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::RaggedRows`] if the rows have unequal lengths.
+    pub fn from_rows(rows: Vec<Vec<T>>) -> Result<Self, MatrixError> {
+        if rows.is_empty() {
+            return Ok(Self::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(MatrixError::RaggedRows {
+                    row: i,
+                    expected: cols,
+                    found: r.len(),
+                });
+            }
+        }
+        let n_rows = rows.len();
+        let data = rows.into_iter().flatten().collect();
+        Ok(DenseMatrix {
+            rows: n_rows,
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as a `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` if either dimension is zero.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Value at `(i, j)`, or an error when out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> Result<T, MatrixError> {
+        if i < self.rows && j < self.cols {
+            Ok(self.data[i * self.cols + j])
+        } else {
+            Err(MatrixError::IndexOutOfBounds {
+                index: (i, j),
+                shape: self.shape(),
+            })
+        }
+    }
+
+    /// Value at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(i, j)` is out of bounds; use [`DenseMatrix::get`] for a
+    /// fallible lookup.
+    pub fn at(&self, i: usize, j: usize) -> T {
+        self[(i, j)]
+    }
+
+    /// Value at `(i, j)` treating every position outside the matrix as zero.
+    ///
+    /// This is the "extend with zero-valued elements" convention the paper
+    /// uses when `n` or `m` is not an integer multiple of the array size.
+    pub fn at_padded(&self, i: usize, j: usize) -> T {
+        if i < self.rows && j < self.cols {
+            self.data[i * self.cols + j]
+        } else {
+            T::zero()
+        }
+    }
+
+    /// Sets the value at `(i, j)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::IndexOutOfBounds`] when `(i, j)` is outside the
+    /// matrix.
+    pub fn set(&mut self, i: usize, j: usize, value: T) -> Result<(), MatrixError> {
+        if i < self.rows && j < self.cols {
+            self.data[i * self.cols + j] = value;
+            Ok(())
+        } else {
+            Err(MatrixError::IndexOutOfBounds {
+                index: (i, j),
+                shape: self.shape(),
+            })
+        }
+    }
+
+    /// Borrow of row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[T] {
+        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Column `j` copied into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn col(&self, j: usize) -> Vec<T> {
+        assert!(j < self.cols, "col {j} out of bounds for {} cols", self.cols);
+        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+    }
+
+    /// Iterator over `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(k, &v)| (k / cols, k % cols, v))
+    }
+
+    /// The transpose `Aᵀ`.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |i, j| self.data[j * self.cols + i])
+    }
+
+    /// Matrix–matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] when the inner dimensions differ.
+    pub fn matmul(&self, rhs: &Self) -> Result<Self, MatrixError> {
+        if self.cols != rhs.rows {
+            return Err(MatrixError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "matmul",
+            });
+        }
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a_ik = self.data[i * self.cols + k];
+                if a_ik.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out.data[i * rhs.cols + j] += a_ik * rhs.data[k * rhs.cols + j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::VectorLength`] when `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[T]) -> Result<Vec<T>, MatrixError> {
+        if x.len() != self.cols {
+            return Err(MatrixError::VectorLength {
+                expected: self.cols,
+                found: x.len(),
+                op: "matvec",
+            });
+        }
+        let mut y = vec![T::zero(); self.rows];
+        for i in 0..self.rows {
+            let mut acc = T::zero();
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (a, &xv) in row.iter().zip(x) {
+                acc += *a * xv;
+            }
+            y[i] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Element-wise sum `self + rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, rhs: &Self) -> Result<Self, MatrixError> {
+        if self.shape() != rhs.shape() {
+            return Err(MatrixError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "add",
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Ok(DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Element-wise difference `self - rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, rhs: &Self) -> Result<Self, MatrixError> {
+        if self.shape() != rhs.shape() {
+            return Err(MatrixError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "sub",
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a - b)
+            .collect();
+        Ok(DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Every element multiplied by `factor`.
+    pub fn scale(&self, factor: T) -> Self {
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| v * factor).collect(),
+        }
+    }
+
+    /// A copy extended (or truncated) to `rows × cols`, padding with zeros.
+    ///
+    /// This implements the paper's rule (§2.a): "when `n` and/or `m` are not
+    /// integer multiples of `w`, `A` is extended with zero-valued elements in
+    /// rows and/or columns".
+    pub fn padded(&self, rows: usize, cols: usize) -> Self {
+        Self::from_fn(rows, cols, |i, j| self.at_padded(i, j))
+    }
+
+    /// Copy of the `height × width` sub-matrix whose top-left corner is
+    /// `(row0, col0)`.  Positions outside the original matrix read as zero.
+    pub fn submatrix(&self, row0: usize, col0: usize, height: usize, width: usize) -> Self {
+        Self::from_fn(height, width, |i, j| self.at_padded(row0 + i, col0 + j))
+    }
+
+    /// Writes `block` into `self` with its top-left corner at `(row0, col0)`.
+    /// Elements of `block` falling outside `self` are ignored.
+    pub fn paste(&mut self, row0: usize, col0: usize, block: &Self) {
+        for i in 0..block.rows {
+            for j in 0..block.cols {
+                let (r, c) = (row0 + i, col0 + j);
+                if r < self.rows && c < self.cols {
+                    self.data[r * self.cols + c] = block.data[i * block.cols + j];
+                }
+            }
+        }
+    }
+
+    /// Number of non-zero entries.
+    pub fn count_nonzero(&self) -> usize {
+        self.data.iter().filter(|v| !v.is_zero()).count()
+    }
+
+    /// Largest absolute element-wise difference with `other`, or `None` when
+    /// shapes differ.
+    pub fn max_abs_diff(&self, other: &Self) -> Option<f64> {
+        if self.shape() != other.shape() {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| (a - b).magnitude())
+                .fold(0.0, f64::max),
+        )
+    }
+
+    /// Approximate equality with an absolute tolerance (exact for integers).
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| a.approx_eq(b, tol))
+    }
+
+    /// Returns `true` when every non-zero entry `(i, j)` satisfies
+    /// `-(lower) <= j - i <= upper`, i.e. the matrix fits in that band.
+    pub fn fits_band(&self, lower: usize, upper: usize) -> bool {
+        self.iter().all(|(i, j, v)| {
+            v.is_zero() || (j + lower >= i && i + upper >= j)
+        })
+    }
+
+    /// Consumes the matrix and returns the underlying row-major buffer.
+    pub fn into_raw(self) -> Vec<T> {
+        self.data
+    }
+}
+
+impl<T: Scalar> Index<(usize, usize)> for DenseMatrix<T> {
+    type Output = T;
+
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Scalar> IndexMut<(usize, usize)> for DenseMatrix<T> {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for DenseMatrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(12) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(12) {
+                write!(f, "{:?} ", self.data[i * self.cols + j])?;
+            }
+            if self.cols > 12 {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 12 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<T: Scalar> Default for DenseMatrix<T> {
+    fn default() -> Self {
+        Self::zeros(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DenseMatrix<i64> {
+        DenseMatrix::from_rows(vec![vec![1, 2, 3], vec![4, 5, 6]]).unwrap()
+    }
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = DenseMatrix::<f64>::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.count_nonzero(), 0);
+        assert!(!m.is_empty());
+        assert!(DenseMatrix::<f64>::zeros(0, 4).is_empty());
+    }
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let id = DenseMatrix::<i64>::identity(4);
+        let x = vec![3, -1, 7, 2];
+        assert_eq!(id.matvec(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = DenseMatrix::from_rows(vec![vec![1, 2], vec![3]]).unwrap_err();
+        assert!(matches!(err, MatrixError::RaggedRows { row: 1, .. }));
+    }
+
+    #[test]
+    fn indexing_and_get() {
+        let m = small();
+        assert_eq!(m[(1, 2)], 6);
+        assert_eq!(m.at(0, 1), 2);
+        assert_eq!(m.get(5, 0).unwrap_err(), MatrixError::IndexOutOfBounds {
+            index: (5, 0),
+            shape: (2, 3)
+        });
+        assert_eq!(m.at_padded(100, 100), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_panics_out_of_bounds() {
+        let m = small();
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let mut m = DenseMatrix::<i32>::zeros(2, 2);
+        m.set(1, 0, 9).unwrap();
+        assert_eq!(m.at(1, 0), 9);
+        assert!(m.set(2, 0, 1).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = small();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().shape(), (3, 2));
+        assert_eq!(m.transpose().at(2, 1), 6);
+    }
+
+    #[test]
+    fn matmul_reference() {
+        let a = small();
+        let b = DenseMatrix::from_rows(vec![vec![1, 0], vec![0, 1], vec![1, 1]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, DenseMatrix::from_rows(vec![vec![4, 5], vec![10, 11]]).unwrap());
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = small();
+        assert!(a.matmul(&small()).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let a = small();
+        assert_eq!(a.matvec(&[1, 1, 1]).unwrap(), vec![6, 15]);
+        assert!(a.matvec(&[1, 1]).is_err());
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = small();
+        let b = a.scale(2);
+        assert_eq!(a.add(&a).unwrap(), b);
+        assert_eq!(b.sub(&a).unwrap(), a);
+        assert!(a.add(&a.transpose()).is_err());
+    }
+
+    #[test]
+    fn padding_and_submatrix() {
+        let a = small();
+        let p = a.padded(3, 4);
+        assert_eq!(p.shape(), (3, 4));
+        assert_eq!(p.at(2, 3), 0);
+        assert_eq!(p.at(1, 2), 6);
+        let s = a.submatrix(1, 1, 2, 2);
+        assert_eq!(s.at(0, 0), 5);
+        assert_eq!(s.at(1, 1), 0); // outside original, reads zero
+    }
+
+    #[test]
+    fn paste_round_trip() {
+        let mut big = DenseMatrix::<i64>::zeros(4, 4);
+        let block = small();
+        big.paste(1, 1, &block);
+        assert_eq!(big.at(1, 1), 1);
+        assert_eq!(big.at(2, 3), 6);
+        assert_eq!(big.submatrix(1, 1, 2, 3), block);
+    }
+
+    #[test]
+    fn fits_band_detects_band_structure() {
+        let mut m = DenseMatrix::<i64>::zeros(4, 4);
+        m.set(0, 1, 5).unwrap();
+        m.set(3, 2, 7).unwrap();
+        assert!(m.fits_band(1, 1));
+        assert!(!m.fits_band(0, 1));
+        m.set(0, 3, 1).unwrap();
+        assert!(!m.fits_band(1, 1));
+    }
+
+    #[test]
+    fn approx_eq_and_diff() {
+        let a = DenseMatrix::from_rows(vec![vec![1.0, 2.0]]).unwrap();
+        let b = DenseMatrix::from_rows(vec![vec![1.0, 2.0 + 1e-12]]).unwrap();
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-9);
+        assert!(a.max_abs_diff(&DenseMatrix::zeros(2, 2)).is_none());
+    }
+
+    #[test]
+    fn iter_yields_row_major_triples() {
+        let m = small();
+        let triples: Vec<_> = m.iter().collect();
+        assert_eq!(triples[0], (0, 0, 1));
+        assert_eq!(triples[5], (1, 2, 6));
+        assert_eq!(triples.len(), 6);
+    }
+
+    #[test]
+    fn debug_output_nonempty() {
+        let repr = format!("{:?}", small());
+        assert!(repr.contains("DenseMatrix 2x3"));
+    }
+
+    #[test]
+    fn row_and_col_accessors() {
+        let m = small();
+        assert_eq!(m.row(1), &[4, 5, 6]);
+        assert_eq!(m.col(2), vec![3, 6]);
+    }
+}

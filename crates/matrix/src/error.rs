@@ -1,0 +1,166 @@
+//! Error type shared by all fallible operations in this crate.
+
+use std::fmt;
+
+/// Errors produced by matrix construction and arithmetic.
+///
+/// The error message of the [`fmt::Display`] impl is lowercase and concise,
+/// following the Rust API guidelines for error types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MatrixError {
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left-hand operand, `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right-hand operand, `(rows, cols)`.
+        right: (usize, usize),
+        /// Name of the operation that failed (e.g. `"matmul"`).
+        op: &'static str,
+    },
+    /// An index `(row, col)` lies outside the matrix bounds `(rows, cols)`.
+    IndexOutOfBounds {
+        /// Requested index.
+        index: (usize, usize),
+        /// Matrix shape.
+        shape: (usize, usize),
+    },
+    /// A write was attempted outside the stored band of a [`crate::BandMatrix`].
+    OutsideBand {
+        /// Requested index.
+        index: (usize, usize),
+        /// Number of stored sub-diagonals.
+        lower: usize,
+        /// Number of stored super-diagonals.
+        upper: usize,
+    },
+    /// A dense matrix contains a non-zero entry outside the requested band.
+    NotBanded {
+        /// Position of the offending entry.
+        index: (usize, usize),
+    },
+    /// A dimension that must be strictly positive was zero.
+    EmptyDimension {
+        /// Name of the offending parameter.
+        what: &'static str,
+    },
+    /// The rows given to [`crate::DenseMatrix::from_rows`] have unequal lengths.
+    RaggedRows {
+        /// Index of the first row whose length differs from row 0.
+        row: usize,
+        /// Length of row 0.
+        expected: usize,
+        /// Length of the offending row.
+        found: usize,
+    },
+    /// A vector length does not match the matrix dimension it is used with.
+    VectorLength {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        found: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MatrixError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            MatrixError::OutsideBand {
+                index,
+                lower,
+                upper,
+            } => write!(
+                f,
+                "index ({}, {}) lies outside the stored band (lower {lower}, upper {upper})",
+                index.0, index.1
+            ),
+            MatrixError::NotBanded { index } => write!(
+                f,
+                "dense matrix has a non-zero entry at ({}, {}) outside the requested band",
+                index.0, index.1
+            ),
+            MatrixError::EmptyDimension { what } => {
+                write!(f, "dimension `{what}` must be strictly positive")
+            }
+            MatrixError::RaggedRows {
+                row,
+                expected,
+                found,
+            } => write!(
+                f,
+                "row {row} has length {found} but row 0 has length {expected}"
+            ),
+            MatrixError::VectorLength {
+                expected,
+                found,
+                op,
+            } => write!(
+                f,
+                "vector length {found} does not match expected {expected} in {op}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            MatrixError::ShapeMismatch {
+                left: (2, 3),
+                right: (4, 5),
+                op: "matmul",
+            },
+            MatrixError::IndexOutOfBounds {
+                index: (7, 8),
+                shape: (2, 2),
+            },
+            MatrixError::OutsideBand {
+                index: (0, 5),
+                lower: 0,
+                upper: 2,
+            },
+            MatrixError::NotBanded { index: (3, 0) },
+            MatrixError::EmptyDimension { what: "w" },
+            MatrixError::RaggedRows {
+                row: 1,
+                expected: 3,
+                found: 2,
+            },
+            MatrixError::VectorLength {
+                expected: 4,
+                found: 3,
+                op: "matvec",
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MatrixError>();
+    }
+}

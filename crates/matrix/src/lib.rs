@@ -1,0 +1,54 @@
+//! # sia-matrix
+//!
+//! Dense, band and triangular-block matrix substrate for the reproduction of
+//! *"Computing Size-Independent Matrix Problems on Systolic Array Processors"*
+//! (Navarro, Llaberia, Valero — ISCA 1986).
+//!
+//! The paper transforms dense matrices of arbitrary size into band matrices
+//! whose bandwidth equals the fixed size of a Kung–Leiserson systolic array.
+//! This crate provides the data structures that transformation operates on:
+//!
+//! * [`DenseMatrix`] — row-major dense storage with the usual arithmetic,
+//!   zero-padding and sub-matrix extraction;
+//! * [`BandMatrix`] — banded storage addressed by `(row, diagonal-offset)`;
+//! * [`BlockGrid`] — the `w×w` block partition of a matrix (with implicit
+//!   zero padding when dimensions are not multiples of `w`);
+//! * [`triangular`] — the split of a square block into an upper-triangle-with-
+//!   diagonal part `U` and a strictly-lower part `L`, which is the heart of
+//!   the paper's *triangular blocks partitioning*;
+//! * [`gen`] — reproducible workload generators used by the test-suite and
+//!   the experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use sia_matrix::{DenseMatrix, BlockGrid};
+//!
+//! # fn main() -> Result<(), sia_matrix::MatrixError> {
+//! let a = DenseMatrix::from_fn(6, 9, |i, j| (i * 9 + j) as f64);
+//! let grid = BlockGrid::new(6, 9, 3)?;
+//! assert_eq!((grid.block_rows(), grid.block_cols()), (2, 3));
+//! let a01 = grid.block(&a, 0, 1)?;
+//! assert_eq!(a01.at(0, 0), 3.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod band;
+mod block;
+mod dense;
+mod error;
+pub mod gen;
+mod scalar;
+pub mod triangular;
+pub mod vector;
+
+pub use band::{BandIter, BandMatrix, BandShape};
+pub use block::BlockGrid;
+pub use dense::DenseMatrix;
+pub use error::MatrixError;
+pub use scalar::Scalar;
+pub use triangular::TriangularPart;

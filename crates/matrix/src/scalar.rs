@@ -1,0 +1,143 @@
+//! The [`Scalar`] trait: the element type accepted by every matrix and
+//! simulator in this workspace.
+
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Element type usable in matrices, vectors and systolic-array cells.
+///
+/// The trait is deliberately small: the systolic arrays of the paper only
+/// ever perform multiply–accumulate steps, so `+`, `-`, `*` (plus `/` for
+/// the division cells of the triangular-system extensions) and a couple of
+/// constants are all that is required.  For integer scalars division is the
+/// usual truncating division — the extension solvers that divide only do so
+/// by unit pivots in the integer tests.  Implementations are provided for
+/// `f32`, `f64`, `i32`, `i64` and `i128`; the integer types are used by the
+/// test-suite to check results *exactly* (no rounding error), the float
+/// types by the examples and benches.
+///
+/// # Example
+///
+/// ```
+/// use sia_matrix::Scalar;
+///
+/// fn mac<T: Scalar>(acc: T, a: T, x: T) -> T {
+///     acc + a * x
+/// }
+/// assert_eq!(mac(1.0_f64, 2.0, 3.0), 7.0);
+/// assert_eq!(mac(1_i64, 2, 3), 7);
+/// ```
+pub trait Scalar:
+    Copy
+    + Debug
+    + Default
+    + PartialEq
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+{
+    /// Additive identity.
+    fn zero() -> Self;
+
+    /// Multiplicative identity.
+    fn one() -> Self;
+
+    /// Returns `true` if the value equals [`Scalar::zero`].
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+
+    /// Conversion from a small signed integer, used by generators and by the
+    /// closed-form checks in the test-suite.
+    fn from_i64(value: i64) -> Self;
+
+    /// Absolute value as an `f64`, used only for approximate comparisons in
+    /// tests and experiment reports.
+    fn magnitude(self) -> f64;
+
+    /// Approximate equality with an absolute tolerance.
+    ///
+    /// Exact types (integers) ignore the tolerance and compare with `==`.
+    fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self - other).magnitude() <= tol
+    }
+}
+
+macro_rules! impl_scalar_float {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            fn zero() -> Self { 0.0 }
+            fn one() -> Self { 1.0 }
+            fn from_i64(value: i64) -> Self { value as $t }
+            fn magnitude(self) -> f64 { f64::from(self).abs() }
+        }
+    )*};
+}
+
+macro_rules! impl_scalar_int {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            fn zero() -> Self { 0 }
+            fn one() -> Self { 1 }
+            fn from_i64(value: i64) -> Self { value as $t }
+            fn magnitude(self) -> f64 { (self as f64).abs() }
+            fn approx_eq(self, other: Self, _tol: f64) -> bool { self == other }
+        }
+    )*};
+}
+
+impl_scalar_float!(f32, f64);
+impl_scalar_int!(i32, i64, i128);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(f64::zero() + f64::one(), 1.0);
+        assert_eq!(i64::zero() + i64::one(), 1);
+        assert!(f32::zero().is_zero());
+        assert!(!i32::one().is_zero());
+    }
+
+    #[test]
+    fn from_i64_round_trips_small_values() {
+        assert_eq!(f64::from_i64(-7), -7.0);
+        assert_eq!(i32::from_i64(42), 42);
+        assert_eq!(i128::from_i64(-1), -1);
+    }
+
+    #[test]
+    fn approx_eq_uses_tolerance_for_floats() {
+        assert!(1.0_f64.approx_eq(1.0 + 1e-12, 1e-9));
+        assert!(!1.0_f64.approx_eq(1.1, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_is_exact_for_integers() {
+        assert!(5_i64.approx_eq(5, 100.0));
+        assert!(!5_i64.approx_eq(6, 100.0));
+    }
+
+    #[test]
+    fn magnitude_is_absolute() {
+        assert_eq!((-3.5_f64).magnitude(), 3.5);
+        assert_eq!((-4_i32).magnitude(), 4.0);
+    }
+
+    #[test]
+    fn mac_matches_reference() {
+        fn mac<T: Scalar>(acc: T, a: T, x: T) -> T {
+            acc + a * x
+        }
+        assert_eq!(mac(2_i128, -3, 4), -10);
+        assert_eq!(mac(0.5_f32, 2.0, 0.25), 1.0);
+    }
+}

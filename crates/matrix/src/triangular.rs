@@ -1,0 +1,191 @@
+//! Triangular splitting of square blocks (paper §2, step b).
+//!
+//! "Every submatrix `A_ij(w, w)` is, in turn, split into triangular
+//! submatrices.  Let us call them `U_ij` (upper) and `L_ij` (lower).  The
+//! main diagonal of `A_ij` may belong to any of them.  Let us suppose,
+//! without lack of generality, that it belongs to `U_ij`."
+//!
+//! This module provides the split, its inverse, and predicates used by the
+//! structural tests: the band matrix produced by DBT holds `U` blocks on its
+//! block diagonal and `L` blocks on the adjacent block off-diagonal, and the
+//! whole point is that `U + L` tiles the band with no empty positions.
+
+use crate::{DenseMatrix, Scalar};
+
+/// Which triangular half of a square block an element belongs to.
+///
+/// Following the paper, the main diagonal belongs to the upper part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TriangularPart {
+    /// Upper triangle *including* the main diagonal (`col >= row`).
+    UpperWithDiagonal,
+    /// Strictly lower triangle (`col < row`).
+    StrictlyLower,
+}
+
+impl TriangularPart {
+    /// Returns the part that position `(row, col)` of a square block belongs
+    /// to.
+    pub fn of(row: usize, col: usize) -> TriangularPart {
+        if col >= row {
+            TriangularPart::UpperWithDiagonal
+        } else {
+            TriangularPart::StrictlyLower
+        }
+    }
+
+    /// Returns `true` if `(row, col)` belongs to this part.
+    pub fn contains(self, row: usize, col: usize) -> bool {
+        TriangularPart::of(row, col) == self
+    }
+}
+
+/// Splits a square block into `(U, L)`: the upper triangle including the
+/// diagonal and the strictly lower triangle.  Both results have the same
+/// shape as the input, with zeros in the complementary positions, so that
+/// `U + L == block`.
+///
+/// # Panics
+///
+/// Panics if `block` is not square.
+pub fn split<T: Scalar>(block: &DenseMatrix<T>) -> (DenseMatrix<T>, DenseMatrix<T>) {
+    assert_eq!(
+        block.rows(),
+        block.cols(),
+        "triangular split requires a square block, got {}x{}",
+        block.rows(),
+        block.cols()
+    );
+    let w = block.rows();
+    let upper = DenseMatrix::from_fn(w, w, |i, j| {
+        if j >= i {
+            block.at(i, j)
+        } else {
+            T::zero()
+        }
+    });
+    let lower = DenseMatrix::from_fn(w, w, |i, j| {
+        if j < i {
+            block.at(i, j)
+        } else {
+            T::zero()
+        }
+    });
+    (upper, lower)
+}
+
+/// Extracts a single triangular part of a square block, zeroing the rest.
+///
+/// # Panics
+///
+/// Panics if `block` is not square.
+pub fn extract<T: Scalar>(block: &DenseMatrix<T>, part: TriangularPart) -> DenseMatrix<T> {
+    let (u, l) = split(block);
+    match part {
+        TriangularPart::UpperWithDiagonal => u,
+        TriangularPart::StrictlyLower => l,
+    }
+}
+
+/// Returns `true` when every entry strictly below the diagonal is zero
+/// (i.e. the matrix could be a `U` block).
+pub fn is_upper_with_diagonal<T: Scalar>(m: &DenseMatrix<T>) -> bool {
+    m.iter().all(|(i, j, v)| j >= i || v.is_zero())
+}
+
+/// Returns `true` when every entry on or above the diagonal is zero
+/// (i.e. the matrix could be an `L` block).
+pub fn is_strictly_lower<T: Scalar>(m: &DenseMatrix<T>) -> bool {
+    m.iter().all(|(i, j, v)| j < i || v.is_zero())
+}
+
+/// Recombines the two triangular parts into the original block
+/// (`U + L`).
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn recombine<T: Scalar>(upper: &DenseMatrix<T>, lower: &DenseMatrix<T>) -> DenseMatrix<T> {
+    upper
+        .add(lower)
+        .expect("triangular parts of the same block have equal shapes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(w: usize) -> DenseMatrix<i64> {
+        DenseMatrix::from_fn(w, w, |i, j| (i * w + j + 1) as i64)
+    }
+
+    #[test]
+    fn part_of_positions() {
+        assert_eq!(TriangularPart::of(0, 0), TriangularPart::UpperWithDiagonal);
+        assert_eq!(TriangularPart::of(1, 3), TriangularPart::UpperWithDiagonal);
+        assert_eq!(TriangularPart::of(3, 1), TriangularPart::StrictlyLower);
+        assert!(TriangularPart::StrictlyLower.contains(2, 0));
+        assert!(!TriangularPart::StrictlyLower.contains(0, 0));
+    }
+
+    #[test]
+    fn split_keeps_diagonal_in_upper() {
+        let block = sample(3);
+        let (u, l) = split(&block);
+        assert_eq!(u.at(0, 0), 1);
+        assert_eq!(u.at(1, 1), 5);
+        assert_eq!(l.at(0, 0), 0);
+        assert_eq!(l.at(2, 0), 7);
+        assert_eq!(u.at(2, 0), 0);
+    }
+
+    #[test]
+    fn split_recombines_to_original() {
+        for w in 1..6 {
+            let block = sample(w);
+            let (u, l) = split(&block);
+            assert_eq!(recombine(&u, &l), block);
+            assert!(is_upper_with_diagonal(&u));
+            assert!(is_strictly_lower(&l));
+        }
+    }
+
+    #[test]
+    fn extract_selects_requested_part() {
+        let block = sample(4);
+        let u = extract(&block, TriangularPart::UpperWithDiagonal);
+        let l = extract(&block, TriangularPart::StrictlyLower);
+        assert!(is_upper_with_diagonal(&u));
+        assert!(is_strictly_lower(&l));
+        assert_eq!(recombine(&u, &l), block);
+    }
+
+    #[test]
+    #[should_panic(expected = "square block")]
+    fn split_rejects_rectangular_blocks() {
+        let block = DenseMatrix::<i64>::zeros(2, 3);
+        let _ = split(&block);
+    }
+
+    #[test]
+    fn predicates_on_degenerate_cases() {
+        let zero = DenseMatrix::<i64>::zeros(3, 3);
+        assert!(is_upper_with_diagonal(&zero));
+        assert!(is_strictly_lower(&zero));
+        let one_by_one = DenseMatrix::from_rows(vec![vec![5]]).unwrap();
+        assert!(is_upper_with_diagonal(&one_by_one));
+        assert!(!is_strictly_lower(&one_by_one));
+    }
+
+    #[test]
+    fn strictly_lower_block_has_zero_last_column() {
+        // This property justifies the paper's rule that the trailing
+        // sub-vector x̂_{n̄m̄} only needs w-1 elements: the last column of an
+        // L block never contributes.
+        let block = sample(5);
+        let l = extract(&block, TriangularPart::StrictlyLower);
+        for i in 0..5 {
+            assert_eq!(l.at(i, 4), 0);
+        }
+    }
+}

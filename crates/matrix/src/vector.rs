@@ -1,0 +1,180 @@
+//! Small helpers for working with vectors (`Vec<T>` / `&[T]`) alongside the
+//! matrix types.
+//!
+//! The paper splits the `x`, `b` and `y` vectors into sub-vectors of `w`
+//! elements (zero-padded); these helpers implement exactly that plumbing so
+//! the transformation code in `sia-dbt` stays readable.
+
+use crate::{MatrixError, Scalar};
+
+/// Dot product of two equal-length slices.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::VectorLength`] when the lengths differ.
+pub fn dot<T: Scalar>(a: &[T], b: &[T]) -> Result<T, MatrixError> {
+    if a.len() != b.len() {
+        return Err(MatrixError::VectorLength {
+            expected: a.len(),
+            found: b.len(),
+            op: "dot",
+        });
+    }
+    let mut acc = T::zero();
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    Ok(acc)
+}
+
+/// Element-wise sum of two equal-length slices.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::VectorLength`] when the lengths differ.
+pub fn add<T: Scalar>(a: &[T], b: &[T]) -> Result<Vec<T>, MatrixError> {
+    if a.len() != b.len() {
+        return Err(MatrixError::VectorLength {
+            expected: a.len(),
+            found: b.len(),
+            op: "vector add",
+        });
+    }
+    Ok(a.iter().zip(b).map(|(&x, &y)| x + y).collect())
+}
+
+/// Element-wise difference of two equal-length slices.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::VectorLength`] when the lengths differ.
+pub fn sub<T: Scalar>(a: &[T], b: &[T]) -> Result<Vec<T>, MatrixError> {
+    if a.len() != b.len() {
+        return Err(MatrixError::VectorLength {
+            expected: a.len(),
+            found: b.len(),
+            op: "vector sub",
+        });
+    }
+    Ok(a.iter().zip(b).map(|(&x, &y)| x - y).collect())
+}
+
+/// Copy of `v` extended (or truncated) to length `len`, padding with zeros.
+pub fn padded<T: Scalar>(v: &[T], len: usize) -> Vec<T> {
+    (0..len)
+        .map(|i| v.get(i).copied().unwrap_or_else(T::zero))
+        .collect()
+}
+
+/// Splits `v` into `⌈v.len()/w⌉.max(min_chunks)` chunks of exactly `w`
+/// elements, zero-padding the tail (and appending all-zero chunks if
+/// `min_chunks` asks for more than the data provides).
+///
+/// # Panics
+///
+/// Panics if `w == 0`.
+pub fn split_blocks<T: Scalar>(v: &[T], w: usize, min_chunks: usize) -> Vec<Vec<T>> {
+    assert!(w > 0, "block width w must be positive");
+    let n_chunks = v.len().div_ceil(w).max(min_chunks);
+    (0..n_chunks)
+        .map(|k| {
+            (0..w)
+                .map(|i| v.get(k * w + i).copied().unwrap_or_else(T::zero))
+                .collect()
+        })
+        .collect()
+}
+
+/// Concatenates block sub-vectors back into a flat vector and truncates it to
+/// `len` elements (dropping the zero padding introduced by
+/// [`split_blocks`]).
+pub fn join_blocks<T: Scalar>(blocks: &[Vec<T>], len: usize) -> Vec<T> {
+    let mut flat: Vec<T> = blocks.iter().flatten().copied().collect();
+    flat.truncate(len);
+    while flat.len() < len {
+        flat.push(T::zero());
+    }
+    flat
+}
+
+/// Largest absolute element-wise difference between two slices
+/// (`None` when the lengths differ).
+pub fn max_abs_diff<T: Scalar>(a: &[T], b: &[T]) -> Option<f64> {
+    if a.len() != b.len() {
+        return None;
+    }
+    Some(
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| (x - y).magnitude())
+            .fold(0.0, f64::max),
+    )
+}
+
+/// Approximate element-wise equality with absolute tolerance
+/// (exact for integer scalars).
+pub fn approx_eq<T: Scalar>(a: &[T], b: &[T], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(&x, &y)| x.approx_eq(y, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_manual() {
+        assert_eq!(dot(&[1, 2, 3], &[4, 5, 6]).unwrap(), 32);
+        assert!(dot(&[1, 2], &[1]).is_err());
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = vec![1.0, 2.0];
+        let b = vec![0.5, -1.0];
+        let s = add(&a, &b).unwrap();
+        assert_eq!(sub(&s, &b).unwrap(), a);
+        assert!(add(&a, &[1.0]).is_err());
+        assert!(sub(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn padded_extends_and_truncates() {
+        assert_eq!(padded(&[1, 2, 3], 5), vec![1, 2, 3, 0, 0]);
+        assert_eq!(padded(&[1, 2, 3], 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn split_blocks_pads_tail() {
+        let blocks = split_blocks(&[1, 2, 3, 4, 5], 3, 0);
+        assert_eq!(blocks, vec![vec![1, 2, 3], vec![4, 5, 0]]);
+    }
+
+    #[test]
+    fn split_blocks_honours_min_chunks() {
+        let blocks = split_blocks(&[1, 2], 2, 3);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[2], vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn split_blocks_rejects_zero_width() {
+        let _ = split_blocks(&[1, 2], 0, 0);
+    }
+
+    #[test]
+    fn join_blocks_inverts_split() {
+        let v = vec![1, 2, 3, 4, 5];
+        let blocks = split_blocks(&v, 4, 0);
+        assert_eq!(join_blocks(&blocks, 5), v);
+        assert_eq!(join_blocks(&blocks, 7), vec![1, 2, 3, 4, 5, 0, 0]);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(approx_eq(&[1.0, 2.0], &[1.0, 2.0 + 1e-12], 1e-9));
+        assert!(!approx_eq(&[1.0], &[1.0, 2.0], 1e-9));
+        assert_eq!(max_abs_diff(&[1.0, 4.0], &[1.0, 2.0]), Some(2.0));
+        assert_eq!(max_abs_diff(&[1.0], &[1.0, 2.0]), None);
+    }
+}

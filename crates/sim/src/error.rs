@@ -1,0 +1,170 @@
+//! Error type for simulator configuration and schedule validation.
+
+use std::fmt;
+
+/// Errors produced when building or running a systolic-array job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The array size `w` must be strictly positive.
+    ZeroArraySize,
+    /// A band matrix handed to an array does not have the band profile that
+    /// the array expects (e.g. the linear array expects an upper band with
+    /// exactly `w` stored diagonals).
+    BandProfile {
+        /// Human-readable description of the expected profile.
+        expected: &'static str,
+        /// What was found, `(lower, upper)` diagonal counts.
+        found: (usize, usize),
+    },
+    /// The band matrix bandwidth does not match the array size.
+    BandwidthMismatch {
+        /// Array size `w`.
+        array: usize,
+        /// Bandwidth of the supplied matrix.
+        bandwidth: usize,
+    },
+    /// A vector supplied with the job has the wrong length.
+    VectorLength {
+        /// What the vector is (e.g. `"x"`, `"y injections"`).
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        found: usize,
+    },
+    /// The two operands of a matrix–matrix job have incompatible dimensions.
+    DimensionMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// An injection schedule asked for a feedback value that had not been
+    /// produced by the time it was needed.
+    FeedbackNotReady {
+        /// Identifier of the missing producer (row for the linear array, a
+        /// flattened `(row, col)` position for the hexagonal array).
+        producer: (usize, usize),
+        /// Cycle at which the consumer needed the value.
+        needed_at: usize,
+    },
+    /// An injection referenced a producer that never appears in the job.
+    UnknownProducer {
+        /// Identifier of the producer.
+        producer: (usize, usize),
+    },
+    /// A `c` injection was supplied for a position outside the result band.
+    InjectionOutsideBand {
+        /// The offending position.
+        position: (usize, usize),
+    },
+    /// More interleaved streams were supplied than the array timing admits.
+    TooManyStreams {
+        /// Maximum supported number of streams.
+        max: usize,
+        /// Number of streams supplied.
+        found: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ZeroArraySize => write!(f, "array size w must be strictly positive"),
+            SimError::BandProfile { expected, found } => write!(
+                f,
+                "band profile mismatch: expected {expected}, found (lower {}, upper {})",
+                found.0, found.1
+            ),
+            SimError::BandwidthMismatch { array, bandwidth } => write!(
+                f,
+                "band matrix bandwidth {bandwidth} does not match array size {array}"
+            ),
+            SimError::VectorLength {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{what} has length {found} but the schedule requires {expected}"
+            ),
+            SimError::DimensionMismatch { left, right } => write!(
+                f,
+                "operand dimensions {}x{} and {}x{} are incompatible",
+                left.0, left.1, right.0, right.1
+            ),
+            SimError::FeedbackNotReady {
+                producer,
+                needed_at,
+            } => write!(
+                f,
+                "feedback value from producer ({}, {}) was not ready at cycle {needed_at}",
+                producer.0, producer.1
+            ),
+            SimError::UnknownProducer { producer } => write!(
+                f,
+                "feedback producer ({}, {}) does not exist in this job",
+                producer.0, producer.1
+            ),
+            SimError::InjectionOutsideBand { position } => write!(
+                f,
+                "c injection at ({}, {}) lies outside the result band",
+                position.0, position.1
+            ),
+            SimError::TooManyStreams { max, found } => write!(
+                f,
+                "at most {max} interleaved streams are supported, got {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase() {
+        let errors: Vec<SimError> = vec![
+            SimError::ZeroArraySize,
+            SimError::BandProfile {
+                expected: "upper band of width w",
+                found: (1, 2),
+            },
+            SimError::BandwidthMismatch {
+                array: 4,
+                bandwidth: 3,
+            },
+            SimError::VectorLength {
+                what: "x",
+                expected: 5,
+                found: 4,
+            },
+            SimError::DimensionMismatch {
+                left: (2, 3),
+                right: (4, 5),
+            },
+            SimError::FeedbackNotReady {
+                producer: (1, 2),
+                needed_at: 10,
+            },
+            SimError::UnknownProducer { producer: (0, 0) },
+            SimError::InjectionOutsideBand { position: (9, 0) },
+            SimError::TooManyStreams { max: 2, found: 3 },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<SimError>();
+    }
+}

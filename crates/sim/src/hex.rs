@@ -1,0 +1,737 @@
+//! The Kung–Leiserson **hexagonal array** for band matrix–matrix
+//! multiplication, simulated cycle by cycle.
+//!
+//! The array is a `w × w` rhombus of cells indexed `(α, β)`.  Cell `(α, β)`
+//! is responsible for the products `a_{ik} · b_{kj}` with `α = k − i` and
+//! `β = k − j`; the result element `c_{ij}` therefore accumulates along the
+//! diagonal `α − β = j − i` of the grid.  Three data planes move through the
+//! array every cycle:
+//!
+//! * the `a` plane enters at the `β = w−1` edge and moves toward `β = 0`,
+//! * the `b` plane enters at the `α = w−1` edge and moves toward `α = 0`,
+//! * the `c` plane enters at the `α = 0` / `β = 0` edges and moves toward
+//!   `(α+1, β+1)`, leaving at the opposite edges.
+//!
+//! Consecutive elements of any one stream are three cycles apart, so each
+//! cell fires at most once every three cycles — the ⅓ utilization ceiling
+//! of the paper's matrix–matrix analysis.
+//!
+//! Result values that must be accumulated further (the partial results of
+//! the paper's transformed problem) are re-injected through the spiral
+//! feedback: a [`CInjection::Feedback`] entry names the earlier output the
+//! new value continues from, and the engine records the delay and storage
+//! the wiring would need.
+
+use crate::report::{FeedbackEvent, FeedbackSummary, Utilization};
+use crate::SimError;
+use sia_matrix::{BandMatrix, DenseMatrix, Scalar};
+use std::collections::HashMap;
+
+/// How one result element is initialised when it enters the array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CInjection<T> {
+    /// Start from a literal value (an element of `E` in `C = A·B + E`,
+    /// or zero).
+    Value(T),
+    /// Continue the accumulation of the output previously produced at
+    /// `producer` (a `(row, col)` position of the result band).
+    Feedback {
+        /// Position whose output value is re-used.
+        producer: (usize, usize),
+    },
+}
+
+/// One band matrix–matrix multiplication job.
+#[derive(Clone)]
+pub struct HexJob<T> {
+    /// Left operand: an upper band matrix (`lower == 0`, bandwidth ≤ `w`).
+    pub a: BandMatrix<T>,
+    /// Right operand: a lower band matrix (`upper == 0`, bandwidth ≤ `w`).
+    pub b: BandMatrix<T>,
+    /// Initial values for result positions.  Positions not mentioned start
+    /// from zero.
+    pub c_injections: HashMap<(usize, usize), CInjection<T>>,
+}
+
+impl<T: Scalar> std::fmt::Debug for HexJob<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HexJob")
+            .field("a", &self.a)
+            .field("b", &self.b)
+            .field("c_injections", &self.c_injections.len())
+            .finish()
+    }
+}
+
+impl<T: Scalar> HexJob<T> {
+    /// Convenience constructor for a plain `C = A·B` job (all result
+    /// positions start from zero).
+    pub fn product(a: BandMatrix<T>, b: BandMatrix<T>) -> Self {
+        HexJob {
+            a,
+            b,
+            c_injections: HashMap::new(),
+        }
+    }
+}
+
+/// One completed result element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellOutput<T> {
+    /// Row of the result element.
+    pub row: usize,
+    /// Column of the result element.
+    pub col: usize,
+    /// Accumulated value (injection plus all products).
+    pub value: T,
+    /// Cycle at whose end the value left the array.
+    pub cycle: usize,
+}
+
+/// Result of a hexagonal-array run.
+#[derive(Debug, Clone)]
+pub struct HexReport<T> {
+    /// All outputs in the order they left the array.
+    pub outputs: Vec<CellOutput<T>>,
+    /// Cycle in which the final multiply–accumulate fired.
+    pub last_fire_cycle: usize,
+    /// Total number of array steps: `last_fire_cycle + 2` (one extra cycle
+    /// latches the final value out of the array boundary).
+    pub cycles: usize,
+    /// Activity accounting.
+    pub utilization: Utilization,
+    /// Feedback statistics.
+    pub feedback: FeedbackSummary,
+}
+
+impl<T: Scalar> HexReport<T> {
+    /// Looks up the output value at result position `(i, j)`, if that
+    /// position was produced.
+    pub fn value(&self, i: usize, j: usize) -> Option<T> {
+        self.outputs
+            .iter()
+            .find(|o| o.row == i && o.col == j)
+            .map(|o| o.value)
+    }
+
+    /// Assembles the raw output stream into a dense matrix of the given
+    /// shape (positions never produced stay zero).
+    ///
+    /// Note that when feedback is used the value at a position is the
+    /// *accumulated partial result* as it left the array — the caller
+    /// decides which positions carry final results.
+    pub fn to_dense(&self, rows: usize, cols: usize) -> DenseMatrix<T> {
+        let mut m = DenseMatrix::zeros(rows, cols);
+        for o in &self.outputs {
+            if o.row < rows && o.col < cols {
+                m[(o.row, o.col)] = o.value;
+            }
+        }
+        m
+    }
+}
+
+/// The hexagonal array itself: a `w × w` rhombus of multiply–accumulate
+/// cells with the three-plane dataflow described in the module docs.
+///
+/// # Example
+///
+/// ```
+/// use sia_matrix::BandMatrix;
+/// use sia_sim::{HexArray, HexJob};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let w = 2;
+/// // A: upper bidiagonal, B: lower bidiagonal, both 3x3.
+/// let mut a = BandMatrix::<i64>::new(3, 3, 0, 1)?;
+/// let mut b = BandMatrix::<i64>::new(3, 3, 1, 0)?;
+/// for i in 0..3 {
+///     a.set(i, i, 1)?;
+///     b.set(i, i, 2)?;
+/// }
+/// a.set(0, 1, 3)?;
+/// b.set(2, 1, 4)?;
+/// let report = HexArray::new(w)?.run(&HexJob::product(a, b))?;
+/// assert_eq!(report.value(0, 0), Some(2));
+/// assert_eq!(report.value(0, 1), Some(6));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HexArray {
+    w: usize,
+}
+
+#[derive(Clone, Copy)]
+struct ATag<T> {
+    i: usize,
+    k: usize,
+    value: T,
+}
+
+#[derive(Clone, Copy)]
+struct BTag<T> {
+    k: usize,
+    j: usize,
+    value: T,
+}
+
+#[derive(Clone, Copy)]
+struct CTag<T> {
+    i: usize,
+    j: usize,
+    value: T,
+}
+
+impl HexArray {
+    /// Creates a `w × w` hexagonal array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ZeroArraySize`] if `w == 0`.
+    pub fn new(w: usize) -> Result<Self, SimError> {
+        if w == 0 {
+            return Err(SimError::ZeroArraySize);
+        }
+        Ok(HexArray { w })
+    }
+
+    /// Array side length `w` (the array has `w²` processing elements).
+    pub fn size(&self) -> usize {
+        self.w
+    }
+
+    /// Number of processing elements, `w²`.
+    pub fn pe_count(&self) -> usize {
+        self.w * self.w
+    }
+
+    fn validate<T: Scalar>(&self, job: &HexJob<T>) -> Result<(), SimError> {
+        let w = self.w;
+        if job.a.lower() != 0 {
+            return Err(SimError::BandProfile {
+                expected: "upper band operand a (no sub-diagonals)",
+                found: (job.a.lower(), job.a.upper()),
+            });
+        }
+        if job.b.upper() != 0 {
+            return Err(SimError::BandProfile {
+                expected: "lower band operand b (no super-diagonals)",
+                found: (job.b.lower(), job.b.upper()),
+            });
+        }
+        if job.a.bandwidth() > w {
+            return Err(SimError::BandwidthMismatch {
+                array: w,
+                bandwidth: job.a.bandwidth(),
+            });
+        }
+        if job.b.bandwidth() > w {
+            return Err(SimError::BandwidthMismatch {
+                array: w,
+                bandwidth: job.b.bandwidth(),
+            });
+        }
+        if job.a.cols() != job.b.rows() {
+            return Err(SimError::DimensionMismatch {
+                left: (job.a.rows(), job.a.cols()),
+                right: (job.b.rows(), job.b.cols()),
+            });
+        }
+        let in_band = |i: usize, j: usize| {
+            i < job.a.rows() && j < job.b.cols() && i.abs_diff(j) < w
+        };
+        for (&(i, j), injection) in &job.c_injections {
+            if !in_band(i, j) {
+                return Err(SimError::InjectionOutsideBand { position: (i, j) });
+            }
+            if let CInjection::Feedback { producer } = injection {
+                if !in_band(producer.0, producer.1) {
+                    return Err(SimError::UnknownProducer {
+                        producer: *producer,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one job through the array.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when the job is malformed (band profiles,
+    /// dimensions, injections outside the result band) or when a feedback
+    /// injection needs a value that has not been produced yet.
+    pub fn run<T: Scalar>(&self, job: &HexJob<T>) -> Result<HexReport<T>, SimError> {
+        self.validate(job)?;
+        let w = self.w;
+        let n_rows = job.a.rows();
+        let inner = job.a.cols(); // == job.b.rows()
+        let n_cols = job.b.cols();
+
+        // ---- entry schedules ------------------------------------------------
+        // a_{ik} enters cell (k-i, w-1) at cycle i + 2k.
+        let mut a_entry: HashMap<(usize, usize), ATag<T>> = HashMap::new();
+        for (i, k, value) in job.a.iter() {
+            let alpha = k - i;
+            a_entry.insert((alpha, i + 2 * k), ATag { i, k, value });
+        }
+        // b_{kj} enters cell (w-1, k-j) at cycle j + 2k.
+        let mut b_entry: HashMap<(usize, usize), BTag<T>> = HashMap::new();
+        for (k, j, value) in job.b.iter() {
+            let beta = k - j;
+            b_entry.insert((beta, j + 2 * k), BTag { k, j, value });
+        }
+        // c_{ij} enters the boundary cell of its diagonal at cycle
+        // i + j + max(i, j) + w - 1.
+        #[derive(Clone, Copy)]
+        enum PendingC<T> {
+            Value(T),
+            Feedback((usize, usize)),
+        }
+        let mut c_entry: HashMap<(usize, usize, usize), (usize, usize, PendingC<T>)> =
+            HashMap::new();
+        let mut expected_outputs = 0usize;
+        for i in 0..n_rows {
+            let j_lo = i.saturating_sub(w - 1);
+            let j_hi = (i + w).min(n_cols);
+            for j in j_lo..j_hi {
+                let (alpha0, beta0) = if j >= i { (j - i, 0) } else { (0, i - j) };
+                let t0 = i + j + i.max(j) + w - 1;
+                let pending = match job.c_injections.get(&(i, j)) {
+                    Some(CInjection::Value(v)) => PendingC::Value(*v),
+                    Some(CInjection::Feedback { producer }) => PendingC::Feedback(*producer),
+                    None => PendingC::Value(T::zero()),
+                };
+                c_entry.insert((alpha0, beta0, t0), (i, j, pending));
+                expected_outputs += 1;
+            }
+        }
+
+        // ---- register planes ------------------------------------------------
+        let idx = |alpha: usize, beta: usize| alpha * w + beta;
+        let mut a_regs: Vec<Option<ATag<T>>> = vec![None; w * w];
+        let mut b_regs: Vec<Option<BTag<T>>> = vec![None; w * w];
+        let mut c_regs: Vec<Option<CTag<T>>> = vec![None; w * w];
+
+        let mut outputs: Vec<CellOutput<T>> = Vec::new();
+        let mut fb_store: HashMap<(usize, usize), (T, usize)> = HashMap::new();
+        let mut fb_events: Vec<FeedbackEvent> = Vec::new();
+
+        let mut fired = 0usize;
+        let mut last_fire_cycle = 0usize;
+        let horizon = 3 * (n_rows + inner + n_cols) + 6 * w + 8;
+        let mut t = 0usize;
+
+        while outputs.len() < expected_outputs && t <= horizon {
+            // 1. Injections at the three boundaries.
+            for alpha in 0..w {
+                if let Some(tag) = a_entry.remove(&(alpha, t)) {
+                    a_regs[idx(alpha, w - 1)] = Some(tag);
+                }
+            }
+            for beta in 0..w {
+                if let Some(tag) = b_entry.remove(&(beta, t)) {
+                    b_regs[idx(w - 1, beta)] = Some(tag);
+                }
+            }
+            // c enters on the alpha = 0 and beta = 0 edges.
+            let mut inject_c = |alpha: usize,
+                                beta: usize,
+                                c_regs: &mut Vec<Option<CTag<T>>>|
+             -> Result<(), SimError> {
+                if let Some((i, j, pending)) = c_entry.remove(&(alpha, beta, t)) {
+                    let value = match pending {
+                        PendingC::Value(v) => v,
+                        PendingC::Feedback(producer) => {
+                            let (value, produced_at) =
+                                *fb_store.get(&producer).ok_or(SimError::FeedbackNotReady {
+                                    producer,
+                                    needed_at: t,
+                                })?;
+                            if produced_at >= t {
+                                return Err(SimError::FeedbackNotReady {
+                                    producer,
+                                    needed_at: t,
+                                });
+                            }
+                            fb_events.push(FeedbackEvent {
+                                producer,
+                                consumer: (i, j),
+                                produced_at,
+                                consumed_at: t,
+                            });
+                            value
+                        }
+                    };
+                    c_regs[idx(alpha, beta)] = Some(CTag { i, j, value });
+                }
+                Ok(())
+            };
+            for alpha in 0..w {
+                inject_c(alpha, 0, &mut c_regs)?;
+            }
+            for beta in 1..w {
+                inject_c(0, beta, &mut c_regs)?;
+            }
+
+            // 2. Compute: every cell holding a, b and c fires.
+            for alpha in 0..w {
+                for beta in 0..w {
+                    let cell = idx(alpha, beta);
+                    if let (Some(a), Some(b)) = (a_regs[cell], b_regs[cell]) {
+                        if let Some(c) = c_regs[cell].as_mut() {
+                            debug_assert_eq!(a.k, b.k, "a and b must share the inner index");
+                            debug_assert_eq!(a.i, c.i, "a row must match c row");
+                            debug_assert_eq!(b.j, c.j, "b column must match c column");
+                            c.value += a.value * b.value;
+                            fired += 1;
+                            last_fire_cycle = t;
+                        }
+                    }
+                }
+            }
+
+            // 3. Shift the three planes.
+            // a moves toward beta = 0 (discarded past the edge).
+            for alpha in 0..w {
+                for beta in 0..w {
+                    a_regs[idx(alpha, beta)] = if beta + 1 < w {
+                        a_regs[idx(alpha, beta + 1)]
+                    } else {
+                        None
+                    };
+                }
+            }
+            // b moves toward alpha = 0.
+            for beta in 0..w {
+                for alpha in 0..w {
+                    b_regs[idx(alpha, beta)] = if alpha + 1 < w {
+                        b_regs[idx(alpha + 1, beta)]
+                    } else {
+                        None
+                    };
+                }
+            }
+            // c moves toward (alpha+1, beta+1); values leaving the grid are
+            // the array outputs.
+            let mut next_c: Vec<Option<CTag<T>>> = vec![None; w * w];
+            for alpha in 0..w {
+                for beta in 0..w {
+                    if let Some(tag) = c_regs[idx(alpha, beta)] {
+                        if alpha + 1 < w && beta + 1 < w {
+                            next_c[idx(alpha + 1, beta + 1)] = Some(tag);
+                        } else {
+                            outputs.push(CellOutput {
+                                row: tag.i,
+                                col: tag.j,
+                                value: tag.value,
+                                cycle: t,
+                            });
+                            fb_store.insert((tag.i, tag.j), (tag.value, t));
+                        }
+                    }
+                }
+            }
+            c_regs = next_c;
+
+            t += 1;
+        }
+
+        let cycles = last_fire_cycle + 2;
+        Ok(HexReport {
+            outputs,
+            last_fire_cycle,
+            cycles,
+            utilization: Utilization {
+                pe_count: w * w,
+                cycles,
+                fired,
+            },
+            feedback: FeedbackSummary::from_events(fb_events),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_matrix::gen;
+
+    /// Random upper-band (width w) square matrix as dense + band pair.
+    fn upper_band(n: usize, w: usize, seed: u64) -> (DenseMatrix<i64>, BandMatrix<i64>) {
+        let full = gen::random_dense_i64(n, n, 4, seed);
+        let dense = DenseMatrix::from_fn(n, n, |i, j| {
+            if j >= i && j < i + w {
+                full.at(i, j)
+            } else {
+                0
+            }
+        });
+        let band = BandMatrix::try_from_dense(&dense, 0, w - 1).unwrap();
+        (dense, band)
+    }
+
+    /// Random lower-band (width w) square matrix as dense + band pair.
+    fn lower_band(n: usize, w: usize, seed: u64) -> (DenseMatrix<i64>, BandMatrix<i64>) {
+        let full = gen::random_dense_i64(n, n, 4, seed);
+        let dense = DenseMatrix::from_fn(n, n, |i, j| {
+            if i >= j && i < j + w {
+                full.at(i, j)
+            } else {
+                0
+            }
+        });
+        let band = BandMatrix::try_from_dense(&dense, w - 1, 0).unwrap();
+        (dense, band)
+    }
+
+    #[test]
+    fn rejects_zero_size() {
+        assert_eq!(HexArray::new(0).unwrap_err(), SimError::ZeroArraySize);
+    }
+
+    #[test]
+    fn band_product_matches_dense_reference() {
+        for (n, w, seed) in [(4usize, 2usize, 1u64), (7, 3, 2), (9, 4, 3), (5, 1, 4)] {
+            let (da, ba) = upper_band(n, w, seed);
+            let (db, bb) = lower_band(n, w, seed + 50);
+            let report = HexArray::new(w)
+                .unwrap()
+                .run(&HexJob::product(ba, bb))
+                .unwrap();
+            let reference = da.matmul(&db).unwrap();
+            let produced = report.to_dense(n, n);
+            assert_eq!(produced, reference, "n={n} w={w}");
+        }
+    }
+
+    #[test]
+    fn narrower_bands_than_the_array_are_accepted() {
+        // Bidiagonal operands on a 4x4 array still compute correctly.
+        let w = 4;
+        let (da, ba) = upper_band(6, 2, 7);
+        let (db, bb) = lower_band(6, 2, 8);
+        let report = HexArray::new(w)
+            .unwrap()
+            .run(&HexJob::product(ba, bb))
+            .unwrap();
+        assert_eq!(report.to_dense(6, 6), da.matmul(&db).unwrap());
+    }
+
+    #[test]
+    fn cycle_count_matches_three_phase_formula() {
+        // For square full-band operands of dimension N the last firing is at
+        // 3(N-1) + w - 1, so the run takes 3N + w - 2 steps.
+        for (n, w) in [(4usize, 2usize), (6, 3), (9, 4)] {
+            let (_, ba) = upper_band(n, w, 11);
+            let (_, bb) = lower_band(n, w, 12);
+            let report = HexArray::new(w)
+                .unwrap()
+                .run(&HexJob::product(ba, bb))
+                .unwrap();
+            assert_eq!(report.cycles, 3 * n + w - 2, "n={n} w={w}");
+        }
+    }
+
+    #[test]
+    fn e_matrix_injections_are_added() {
+        let n = 5;
+        let w = 3;
+        let (da, ba) = upper_band(n, w, 21);
+        let (db, bb) = lower_band(n, w, 22);
+        let e = gen::random_dense_i64(n, n, 3, 23);
+        let mut injections = HashMap::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i.abs_diff(j) < w {
+                    injections.insert((i, j), CInjection::Value(e.at(i, j)));
+                }
+            }
+        }
+        let job = HexJob {
+            a: ba,
+            b: bb,
+            c_injections: injections,
+        };
+        let report = HexArray::new(w).unwrap().run(&job).unwrap();
+        let mut expected = da.matmul(&db).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                if i.abs_diff(j) < w {
+                    let v = expected.at(i, j) + e.at(i, j);
+                    expected.set(i, j, v).unwrap();
+                }
+            }
+        }
+        assert_eq!(report.to_dense(n, n), expected);
+    }
+
+    #[test]
+    fn feedback_accumulates_partial_results() {
+        // Position (3, 3) continues the accumulation of position (0, 0).
+        let n = 6;
+        let w = 3;
+        let (da, ba) = upper_band(n, w, 31);
+        let (db, bb) = lower_band(n, w, 32);
+        let mut injections = HashMap::new();
+        injections.insert((3, 3), CInjection::Feedback { producer: (0, 0) });
+        let job = HexJob {
+            a: ba,
+            b: bb,
+            c_injections: injections,
+        };
+        let report = HexArray::new(w).unwrap().run(&job).unwrap();
+        let reference = da.matmul(&db).unwrap();
+        assert_eq!(
+            report.value(3, 3).unwrap(),
+            reference.at(3, 3) + reference.at(0, 0)
+        );
+        assert_eq!(report.value(0, 0).unwrap(), reference.at(0, 0));
+        assert_eq!(report.feedback.len(), 1);
+        assert!(report.feedback.events[0].storage_cycles() > 0);
+    }
+
+    #[test]
+    fn feedback_from_a_not_yet_produced_position_is_rejected() {
+        let n = 6;
+        let w = 3;
+        let (_, ba) = upper_band(n, w, 41);
+        let (_, bb) = lower_band(n, w, 42);
+        let mut injections = HashMap::new();
+        // (0, 0) is injected at cycle w-1, long before (5, 5) is produced.
+        injections.insert((0, 0), CInjection::Feedback { producer: (5, 5) });
+        let job = HexJob {
+            a: ba,
+            b: bb,
+            c_injections: injections,
+        };
+        let err = HexArray::new(w).unwrap().run(&job).unwrap_err();
+        assert!(matches!(err, SimError::FeedbackNotReady { .. }));
+    }
+
+    #[test]
+    fn malformed_jobs_are_rejected() {
+        let w = 3;
+        let (_, ba) = upper_band(5, w, 51);
+        let (_, bb) = lower_band(5, w, 52);
+        let hex = HexArray::new(w).unwrap();
+
+        // a with sub-diagonals.
+        let bad_a = BandMatrix::<i64>::new(5, 5, 1, 1).unwrap();
+        let err = hex.run(&HexJob::product(bad_a, bb.clone())).unwrap_err();
+        assert!(matches!(err, SimError::BandProfile { .. }));
+
+        // b with super-diagonals.
+        let bad_b = BandMatrix::<i64>::new(5, 5, 1, 1).unwrap();
+        let err = hex.run(&HexJob::product(ba.clone(), bad_b)).unwrap_err();
+        assert!(matches!(err, SimError::BandProfile { .. }));
+
+        // bandwidth larger than the array.
+        let wide = BandMatrix::<i64>::new(5, 5, 0, w, ).unwrap();
+        let err = hex.run(&HexJob::product(wide, bb.clone())).unwrap_err();
+        assert!(matches!(err, SimError::BandwidthMismatch { .. }));
+
+        // incompatible dimensions.
+        let (_, small_b) = lower_band(4, w, 53);
+        let err = hex.run(&HexJob::product(ba.clone(), small_b)).unwrap_err();
+        assert!(matches!(err, SimError::DimensionMismatch { .. }));
+
+        // injection outside the band.
+        let mut injections = HashMap::new();
+        injections.insert((0, 4), CInjection::Value(1));
+        let err = hex
+            .run(&HexJob {
+                a: ba.clone(),
+                b: bb.clone(),
+                c_injections: injections,
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::InjectionOutsideBand { .. }));
+
+        // feedback producer outside the band.
+        let mut injections = HashMap::new();
+        injections.insert((2, 2), CInjection::Feedback { producer: (0, 4) });
+        let err = hex
+            .run(&HexJob {
+                a: ba,
+                b: bb,
+                c_injections: injections,
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::UnknownProducer { .. }));
+    }
+
+    #[test]
+    fn utilization_activity_approaches_one_third() {
+        let n = 40;
+        let w = 3;
+        let (_, ba) = upper_band(n, w, 61);
+        let (_, bb) = lower_band(n, w, 62);
+        let report = HexArray::new(w)
+            .unwrap()
+            .run(&HexJob::product(ba, bb))
+            .unwrap();
+        let activity = report.utilization.activity();
+        assert!(
+            activity > 0.28 && activity <= 1.0 / 3.0 + 1e-9,
+            "activity = {activity}"
+        );
+    }
+
+    #[test]
+    fn rectangular_operands_are_supported() {
+        // A: 6x8 upper band, B: 8x5 lower band.
+        let w = 3;
+        let full_a = gen::random_dense_i64(6, 8, 3, 71);
+        let da = DenseMatrix::from_fn(6, 8, |i, j| {
+            if j >= i && j < i + w {
+                full_a.at(i, j)
+            } else {
+                0
+            }
+        });
+        let full_b = gen::random_dense_i64(8, 5, 3, 72);
+        let db = DenseMatrix::from_fn(8, 5, |i, j| {
+            if i >= j && i < j + w {
+                full_b.at(i, j)
+            } else {
+                0
+            }
+        });
+        let ba = BandMatrix::try_from_dense(&da, 0, w - 1).unwrap();
+        let bb = BandMatrix::try_from_dense(&db, w - 1, 0).unwrap();
+        let report = HexArray::new(w)
+            .unwrap()
+            .run(&HexJob::product(ba, bb))
+            .unwrap();
+        // Only the band positions of the 6x5 result are produced; compare
+        // against the reference restricted to that band.
+        let reference = da.matmul(&db).unwrap();
+        let produced = report.to_dense(6, 5);
+        for i in 0..6usize {
+            for j in 0..5usize {
+                if i.abs_diff(j) < w {
+                    assert_eq!(produced.at(i, j), reference.at(i, j), "({i},{j})");
+                } else {
+                    assert_eq!(reference.at(i, j), 0, "({i},{j}) outside band");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_cell_array_multiplies_diagonals() {
+        let w = 1;
+        let da = DenseMatrix::from_fn(4, 4, |i, j| if i == j { (i + 1) as i64 } else { 0 });
+        let db = DenseMatrix::from_fn(4, 4, |i, j| if i == j { 2 } else { 0 });
+        let ba = BandMatrix::try_from_dense(&da, 0, 0).unwrap();
+        let bb = BandMatrix::try_from_dense(&db, 0, 0).unwrap();
+        let report = HexArray::new(w)
+            .unwrap()
+            .run(&HexJob::product(ba, bb))
+            .unwrap();
+        assert_eq!(report.to_dense(4, 4), da.matmul(&db).unwrap());
+    }
+}

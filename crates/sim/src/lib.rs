@@ -1,0 +1,55 @@
+//! # sia-sim
+//!
+//! Cycle-accurate simulators of the two Kung–Leiserson systolic arrays used
+//! by *"Computing Size-Independent Matrix Problems on Systolic Array
+//! Processors"* (Navarro, Llaberia, Valero — ISCA 1986):
+//!
+//! * [`LinearArray`] — the `w`-cell **linear contraflow array** for band
+//!   matrix–vector multiplication (`y = A·x + b`).  The `x` stream flows in
+//!   one direction, the `y` stream in the other; each cell performs one
+//!   multiply–accumulate per firing.
+//! * [`HexArray`] — the `w × w` **hexagonal array** for band matrix–matrix
+//!   multiplication (`C = A·B + E`).  Three data planes (`a`, `b`, `c`) move
+//!   through the array; each cell fires once every three cycles.
+//!
+//! Both engines are *register-transfer level* simulators: every cycle the
+//! boundary tapes inject data, every cell with a complete operand set fires,
+//! and every register plane shifts one position.  Nothing is computed
+//! outside the array — partial results that must be reused are carried by
+//! explicit **feedback** paths whose delays and storage occupancy are
+//! measured and reported, because those are precisely the quantities the
+//! paper reasons about.
+//!
+//! The simulators know nothing about the paper's DBT transformation; they
+//! execute whatever band problem and injection schedule they are given.  The
+//! `sia-dbt` crate builds those schedules.
+//!
+//! ## Timing conventions
+//!
+//! * Linear array: `x̂_j` is latched into the rightmost cell at the start of
+//!   cycle `2j`; the partial result `ŷ_i` (initialised from its injection)
+//!   enters the leftmost cell at cycle `w−1+2i`, fires in cell `k` at cycle
+//!   `w−1+2i+k`, and leaves the array at the end of cycle `2i+2w−2`.  The
+//!   completion time is the last firing cycle plus one.
+//! * Hexagonal array: the cell `(α, β)` (`α = k−i`, `β = k−j`) fires for the
+//!   product `a_{ik}·b_{kj}` accumulating into `c_{ij}` at cycle
+//!   `i+j+k+w−1`; completion time is the last firing cycle plus two (one
+//!   extra cycle to latch the final result out of the array boundary).
+//!
+//! These conventions reproduce the paper's closed forms exactly
+//! (`T = 2w·n̄m̄+2w−3` and `T = 3w·p̄n̄m̄+4w−5`); see `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod hex;
+pub mod linear;
+pub mod report;
+pub mod spiral;
+
+pub use error::SimError;
+pub use hex::{CInjection, HexArray, HexJob, HexReport};
+pub use linear::{LinearArray, LinearReport, MvStream, YInjection};
+pub use report::{FeedbackEvent, FeedbackSummary, Utilization};
+pub use spiral::SpiralTopology;

@@ -1,0 +1,643 @@
+//! The Kung–Leiserson **linear contraflow array** for band matrix–vector
+//! multiplication, simulated cycle by cycle.
+//!
+//! The array has `w` cells in a row.  The `x` stream enters at the right end
+//! and moves left; the `y` stream (each value initialised from its
+//! injection — either an element of `b` or a fed-back partial result) enters
+//! at the left end and moves right.  Cell `k` holds the coefficient tape of
+//! band diagonal `k` (offset `j − i = k`) and fires a multiply–accumulate
+//! whenever an `x` value, a `y` value and a coefficient are present
+//! simultaneously.  Because the two streams flow against each other, any
+//! given cell fires at most every other cycle — the ½ utilization ceiling
+//! that the paper's *overlapping* schedule recovers by interleaving a second
+//! problem in the idle phase.
+
+use crate::report::{FeedbackEvent, FeedbackSummary, Utilization};
+use crate::SimError;
+use sia_matrix::{BandMatrix, Scalar};
+use std::collections::HashMap;
+
+/// How one `ŷ` partial result is initialised when it enters the array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum YInjection<T> {
+    /// Start from a literal value (an element of the `b` vector, or zero).
+    Value(T),
+    /// Start from the partial result produced earlier for `producer_row`,
+    /// taken from the array's own feedback path.
+    Feedback {
+        /// Row index (within the same stream) whose output is re-used.
+        producer_row: usize,
+    },
+}
+
+/// One band matrix–vector problem to be run through the array.
+///
+/// The band matrix must be an *upper* band (`lower == 0`) with exactly `w`
+/// stored diagonals; that is the shape produced by the paper's DBT-by-rows
+/// transformation, and also the natural shape for plain upper-band problems.
+#[derive(Clone)]
+pub struct MvStream<T> {
+    /// The band coefficient matrix `Â` (R rows, up to `R + w − 1` columns).
+    pub band: BandMatrix<T>,
+    /// The `x̂` vector; its length must equal `band.cols()`.
+    pub x: Vec<T>,
+    /// One injection per band row: the initial value of each `ŷ_i`.
+    pub y_injections: Vec<YInjection<T>>,
+}
+
+impl<T: Scalar> std::fmt::Debug for MvStream<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MvStream")
+            .field("band", &self.band)
+            .field("x_len", &self.x.len())
+            .field("rows", &self.y_injections.len())
+            .finish()
+    }
+}
+
+/// One completed output value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MvOutput<T> {
+    /// Index of the stream the value belongs to.
+    pub stream: usize,
+    /// Band row index of the result.
+    pub row: usize,
+    /// The accumulated value.
+    pub value: T,
+    /// Cycle at whose end the value left the array.
+    pub cycle: usize,
+}
+
+/// Result of a linear-array run.
+#[derive(Debug, Clone)]
+pub struct LinearReport<T> {
+    /// All outputs in the order they left the array.
+    pub outputs: Vec<MvOutput<T>>,
+    /// Cycle in which the final multiply–accumulate fired.
+    pub last_fire_cycle: usize,
+    /// Total number of array steps, `last_fire_cycle + 1` (the final result
+    /// is produced in the boundary cell, so no extra drain cycle is needed).
+    pub cycles: usize,
+    /// Activity accounting.
+    pub utilization: Utilization,
+    /// Feedback statistics, one summary per stream.
+    pub feedback: Vec<FeedbackSummary>,
+}
+
+impl<T: Scalar> LinearReport<T> {
+    /// The `ŷ` vector of one stream, ordered by band row.
+    pub fn y(&self, stream: usize) -> Vec<T> {
+        let mut rows: Vec<(usize, T)> = self
+            .outputs
+            .iter()
+            .filter(|o| o.stream == stream)
+            .map(|o| (o.row, o.value))
+            .collect();
+        rows.sort_by_key(|&(r, _)| r);
+        rows.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+/// The linear contraflow array itself: `w` identical multiply–accumulate
+/// cells.
+///
+/// # Example
+///
+/// Running a plain upper-band problem with no feedback:
+///
+/// ```
+/// use sia_matrix::BandMatrix;
+/// use sia_sim::{LinearArray, MvStream, YInjection};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let w = 2;
+/// // A 3x4 upper-band matrix with diagonals 0 and 1.
+/// let mut band = BandMatrix::<i64>::new(3, 4, 0, 1)?;
+/// for i in 0..3 {
+///     band.set(i, i, 1)?;
+///     band.set(i, i + 1, 2)?;
+/// }
+/// let x = vec![1, 1, 1, 1];
+/// let stream = MvStream {
+///     band,
+///     x,
+///     y_injections: vec![YInjection::Value(0); 3],
+/// };
+/// let report = LinearArray::new(w)?.run(&[stream])?;
+/// assert_eq!(report.y(0), vec![3, 3, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearArray {
+    w: usize,
+}
+
+/// Maximum number of interleaved streams the contraflow timing admits: the
+/// base schedule uses every other cycle, so exactly one extra stream fits in
+/// the idle phase.
+pub const MAX_STREAMS: usize = 2;
+
+#[derive(Clone, Copy)]
+struct Tagged<T> {
+    stream: usize,
+    index: usize,
+    value: T,
+}
+
+impl LinearArray {
+    /// Creates an array of `w` cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ZeroArraySize`] if `w == 0`.
+    pub fn new(w: usize) -> Result<Self, SimError> {
+        if w == 0 {
+            return Err(SimError::ZeroArraySize);
+        }
+        Ok(LinearArray { w })
+    }
+
+    /// Number of processing elements (`w`).
+    pub fn size(&self) -> usize {
+        self.w
+    }
+
+    fn validate<T: Scalar>(&self, streams: &[MvStream<T>]) -> Result<(), SimError> {
+        if streams.len() > MAX_STREAMS {
+            return Err(SimError::TooManyStreams {
+                max: MAX_STREAMS,
+                found: streams.len(),
+            });
+        }
+        for s in streams {
+            if s.band.lower() != 0 {
+                return Err(SimError::BandProfile {
+                    expected: "upper band (no sub-diagonals)",
+                    found: (s.band.lower(), s.band.upper()),
+                });
+            }
+            if s.band.bandwidth() != self.w {
+                return Err(SimError::BandwidthMismatch {
+                    array: self.w,
+                    bandwidth: s.band.bandwidth(),
+                });
+            }
+            if s.x.len() != s.band.cols() {
+                return Err(SimError::VectorLength {
+                    what: "x",
+                    expected: s.band.cols(),
+                    found: s.x.len(),
+                });
+            }
+            if s.y_injections.len() != s.band.rows() {
+                return Err(SimError::VectorLength {
+                    what: "y injections",
+                    expected: s.band.rows(),
+                    found: s.y_injections.len(),
+                });
+            }
+            for inj in &s.y_injections {
+                if let YInjection::Feedback { producer_row } = inj {
+                    if *producer_row >= s.band.rows() {
+                        return Err(SimError::UnknownProducer {
+                            producer: (*producer_row, 0),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one or two interleaved streams through the array.
+    ///
+    /// With two streams, the second is phase-shifted by one cycle and uses
+    /// the cell-cycles the first leaves idle — the paper's *overlapping*
+    /// schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the job is malformed (wrong band profile,
+    /// wrong vector lengths, more than [`MAX_STREAMS`] streams) or if a
+    /// feedback injection needs a value the array has not produced yet.
+    pub fn run<T: Scalar>(&self, streams: &[MvStream<T>]) -> Result<LinearReport<T>, SimError> {
+        self.validate(streams)?;
+        let w = self.w;
+
+        // Pre-computed coefficient tapes: cell k receives band element
+        // (i, i + k) at cycle  phase + (w-1) + 2 i + k.
+        let mut a_tapes: Vec<HashMap<usize, T>> = vec![HashMap::new(); w];
+        let mut last_fire_possible = 0usize;
+        for (phase, s) in streams.iter().enumerate() {
+            for i in 0..s.band.rows() {
+                for k in 0..w {
+                    let j = i + k;
+                    if j >= s.band.cols() {
+                        continue;
+                    }
+                    let t = phase + (w - 1) + 2 * i + k;
+                    a_tapes[k].insert(t, s.band.get(i, j));
+                    last_fire_possible = last_fire_possible.max(t);
+                }
+            }
+        }
+
+        let mut x_regs: Vec<Option<Tagged<T>>> = vec![None; w];
+        let mut y_regs: Vec<Option<Tagged<T>>> = vec![None; w];
+
+        let mut outputs: Vec<MvOutput<T>> = Vec::new();
+        let total_rows: usize = streams.iter().map(|s| s.band.rows()).sum();
+        // value, production cycle — one store per stream.
+        let mut fb_store: Vec<HashMap<usize, (T, usize)>> =
+            vec![HashMap::new(); streams.len()];
+        let mut fb_events: Vec<Vec<FeedbackEvent>> = vec![Vec::new(); streams.len()];
+
+        let mut fired = 0usize;
+        let mut last_fire_cycle = 0usize;
+        let mut t = 0usize;
+
+        while outputs.len() < total_rows {
+            // 1. Injections at the array boundaries.
+            for (phase, s) in streams.iter().enumerate() {
+                // x_j enters the rightmost cell at cycle  phase + 2 j.
+                if t >= phase && (t - phase) % 2 == 0 {
+                    let j = (t - phase) / 2;
+                    if j < s.x.len() {
+                        x_regs[w - 1] = Some(Tagged {
+                            stream: phase,
+                            index: j,
+                            value: s.x[j],
+                        });
+                    }
+                }
+                // ŷ_i enters the leftmost cell at cycle  phase + (w-1) + 2 i.
+                if t >= phase + w - 1 && (t - phase - (w - 1)) % 2 == 0 {
+                    let i = (t - phase - (w - 1)) / 2;
+                    if i < s.band.rows() {
+                        let value = match s.y_injections[i] {
+                            YInjection::Value(v) => v,
+                            YInjection::Feedback { producer_row } => {
+                                let (value, produced_at) = *fb_store[phase]
+                                    .get(&producer_row)
+                                    .ok_or(SimError::FeedbackNotReady {
+                                        producer: (producer_row, 0),
+                                        needed_at: t,
+                                    })?;
+                                if produced_at >= t {
+                                    return Err(SimError::FeedbackNotReady {
+                                        producer: (producer_row, 0),
+                                        needed_at: t,
+                                    });
+                                }
+                                fb_events[phase].push(FeedbackEvent {
+                                    producer: (producer_row, 0),
+                                    consumer: (i, 0),
+                                    produced_at,
+                                    consumed_at: t,
+                                });
+                                value
+                            }
+                        };
+                        y_regs[0] = Some(Tagged {
+                            stream: phase,
+                            index: i,
+                            value,
+                        });
+                    }
+                }
+            }
+
+            // 2. Compute: each cell with x, y and a coefficient fires.
+            for k in 0..w {
+                if let (Some(x), Some(y)) = (x_regs[k], y_regs[k].as_mut()) {
+                    if let Some(&a) = a_tapes[k].get(&t) {
+                        debug_assert_eq!(
+                            x.stream, y.stream,
+                            "streams must not mix inside a cell"
+                        );
+                        debug_assert_eq!(
+                            x.index,
+                            y.index + k,
+                            "contraflow schedule must pair x_(i+k) with y_i in cell k"
+                        );
+                        y.value += a * x.value;
+                        fired += 1;
+                        last_fire_cycle = t;
+                    }
+                }
+            }
+
+            // 3. Shift: y moves right (and leaves at the right end),
+            //    x moves left (and is discarded at the left end).
+            if let Some(done) = y_regs[w - 1].take() {
+                outputs.push(MvOutput {
+                    stream: done.stream,
+                    row: done.index,
+                    value: done.value,
+                    cycle: t,
+                });
+                fb_store[done.stream].insert(done.index, (done.value, t));
+            }
+            for k in (1..w).rev() {
+                y_regs[k] = y_regs[k - 1].take();
+            }
+            for k in 0..w - 1 {
+                x_regs[k] = x_regs[k + 1].take();
+            }
+            x_regs[w - 1] = None;
+
+            t += 1;
+            // Safety net: a malformed schedule must not loop forever.
+            if t > 4 * (last_fire_possible + 2 * w + 4) {
+                break;
+            }
+        }
+
+        let cycles = last_fire_cycle + 1;
+        Ok(LinearReport {
+            outputs,
+            last_fire_cycle,
+            cycles,
+            utilization: Utilization {
+                pe_count: w,
+                cycles,
+                fired,
+            },
+            feedback: fb_events.into_iter().map(FeedbackSummary::from_events).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_matrix::{gen, DenseMatrix};
+
+    /// Builds an upper-band matrix of width `w` from a dense matrix that is
+    /// already banded, plus the x vector, and runs it without feedback.
+    fn run_plain(dense: &DenseMatrix<i64>, w: usize, x: &[i64]) -> LinearReport<i64> {
+        let band = BandMatrix::try_from_dense(dense, 0, w - 1).unwrap();
+        let stream = MvStream {
+            band,
+            x: x.to_vec(),
+            y_injections: vec![YInjection::Value(0); dense.rows()],
+        };
+        LinearArray::new(w).unwrap().run(&[stream]).unwrap()
+    }
+
+    fn upper_band_dense(rows: usize, cols: usize, w: usize, seed: u64) -> DenseMatrix<i64> {
+        let full = gen::random_dense_i64(rows, cols, 5, seed);
+        DenseMatrix::from_fn(rows, cols, |i, j| {
+            if j >= i && j < i + w {
+                full.at(i, j)
+            } else {
+                0
+            }
+        })
+    }
+
+    #[test]
+    fn rejects_zero_size() {
+        assert_eq!(LinearArray::new(0).unwrap_err(), SimError::ZeroArraySize);
+    }
+
+    #[test]
+    fn plain_band_mv_matches_dense_reference() {
+        for (rows, w, seed) in [(4usize, 2usize, 1u64), (6, 3, 2), (9, 4, 3), (5, 1, 4)] {
+            let cols = rows + w - 1;
+            let dense = upper_band_dense(rows, cols, w, seed);
+            let x = gen::random_vector_i64(cols, 4, seed + 100);
+            let report = run_plain(&dense, w, &x);
+            assert_eq!(report.y(0), dense.matvec(&x).unwrap(), "rows={rows} w={w}");
+        }
+    }
+
+    #[test]
+    fn square_band_matrix_is_supported() {
+        // cols == rows (no trailing partial columns) must also work.
+        let w = 3;
+        let dense = upper_band_dense(7, 7, w, 9);
+        let x = gen::random_vector_i64(7, 3, 11);
+        let report = run_plain(&dense, w, &x);
+        assert_eq!(report.y(0), dense.matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn cycle_count_matches_contraflow_formula() {
+        // For a full upper band with R rows and R+w-1 columns the run takes
+        // exactly 2R + 2w - 3 steps.
+        for (rows, w) in [(6usize, 3usize), (8, 2), (12, 4), (3, 3), (10, 1)] {
+            let cols = rows + w - 1;
+            let dense = DenseMatrix::from_fn(rows, cols, |i, j| {
+                if j >= i && j < i + w {
+                    1
+                } else {
+                    0
+                }
+            });
+            let x = vec![1i64; cols];
+            let report = run_plain(&dense, w, &x);
+            assert_eq!(report.cycles, 2 * rows + 2 * w - 3, "rows={rows} w={w}");
+            assert_eq!(report.utilization.fired, rows * w);
+        }
+    }
+
+    #[test]
+    fn b_vector_injections_are_added() {
+        let w = 2;
+        let dense = upper_band_dense(4, 5, w, 21);
+        let x = gen::random_vector_i64(5, 3, 22);
+        let b = gen::random_vector_i64(4, 3, 23);
+        let band = BandMatrix::try_from_dense(&dense, 0, w - 1).unwrap();
+        let stream = MvStream {
+            band,
+            x: x.clone(),
+            y_injections: b.iter().map(|&v| YInjection::Value(v)).collect(),
+        };
+        let report = LinearArray::new(w).unwrap().run(&[stream]).unwrap();
+        let expected: Vec<i64> = dense
+            .matvec(&x)
+            .unwrap()
+            .iter()
+            .zip(&b)
+            .map(|(&y, &bv)| y + bv)
+            .collect();
+        assert_eq!(report.y(0), expected);
+    }
+
+    #[test]
+    fn feedback_chains_partial_results() {
+        // Row 3 continues the accumulation started by row 0 (producer) —
+        // the same pattern DBT-by-rows uses between consecutive row blocks.
+        let w = 3;
+        let rows = 6;
+        let cols = rows + w - 1;
+        let dense = upper_band_dense(rows, cols, w, 31);
+        let x = gen::random_vector_i64(cols, 3, 32);
+        let band = BandMatrix::try_from_dense(&dense, 0, w - 1).unwrap();
+        let mut injections = vec![YInjection::Value(0); rows];
+        injections[3] = YInjection::Feedback { producer_row: 0 };
+        let stream = MvStream {
+            band,
+            x: x.clone(),
+            y_injections: injections,
+        };
+        let report = LinearArray::new(w).unwrap().run(&[stream]).unwrap();
+        let plain = dense.matvec(&x).unwrap();
+        let y = report.y(0);
+        assert_eq!(y[0], plain[0]);
+        assert_eq!(y[3], plain[3] + plain[0]);
+        assert_eq!(y[5], plain[5]);
+        // The feedback value for row r+w is stored for exactly w cycles.
+        let summary = &report.feedback[0];
+        assert_eq!(summary.len(), 1);
+        assert_eq!(summary.events[0].storage_cycles(), w);
+        assert_eq!(summary.max_in_flight, 1);
+    }
+
+    #[test]
+    fn feedback_from_a_later_row_is_rejected() {
+        let w = 2;
+        let dense = upper_band_dense(4, 5, w, 41);
+        let band = BandMatrix::try_from_dense(&dense, 0, w - 1).unwrap();
+        let mut injections = vec![YInjection::Value(0); 4];
+        injections[1] = YInjection::Feedback { producer_row: 3 };
+        let stream = MvStream {
+            band,
+            x: vec![1; 5],
+            y_injections: injections,
+        };
+        let err = LinearArray::new(w).unwrap().run(&[stream]).unwrap_err();
+        assert!(matches!(err, SimError::FeedbackNotReady { .. }));
+    }
+
+    #[test]
+    fn unknown_feedback_producer_is_rejected() {
+        let w = 2;
+        let dense = upper_band_dense(3, 4, w, 43);
+        let band = BandMatrix::try_from_dense(&dense, 0, w - 1).unwrap();
+        let stream = MvStream {
+            band,
+            x: vec![1; 4],
+            y_injections: vec![
+                YInjection::Value(0),
+                YInjection::Feedback { producer_row: 99 },
+                YInjection::Value(0),
+            ],
+        };
+        let err = LinearArray::new(w).unwrap().run(&[stream]).unwrap_err();
+        assert!(matches!(err, SimError::UnknownProducer { .. }));
+    }
+
+    #[test]
+    fn malformed_jobs_are_rejected() {
+        let w = 3;
+        let dense = upper_band_dense(4, 6, w, 44);
+        let band = BandMatrix::try_from_dense(&dense, 0, w - 1).unwrap();
+        let good = MvStream {
+            band: band.clone(),
+            x: vec![1; 6],
+            y_injections: vec![YInjection::Value(0); 4],
+        };
+        let array = LinearArray::new(w).unwrap();
+
+        // Wrong bandwidth.
+        let err = LinearArray::new(w + 1).unwrap().run(&[good.clone()]).unwrap_err();
+        assert!(matches!(err, SimError::BandwidthMismatch { .. }));
+
+        // Lower band instead of upper.
+        let lower = BandMatrix::<i64>::new(4, 4, w - 1, 0).unwrap();
+        let err = array
+            .run(&[MvStream {
+                band: lower,
+                x: vec![1; 4],
+                y_injections: vec![YInjection::Value(0); 4],
+            }])
+            .unwrap_err();
+        assert!(matches!(err, SimError::BandProfile { .. }));
+
+        // Wrong x length.
+        let err = array
+            .run(&[MvStream {
+                x: vec![1; 3],
+                ..good.clone()
+            }])
+            .unwrap_err();
+        assert!(matches!(err, SimError::VectorLength { what: "x", .. }));
+
+        // Wrong injection count.
+        let err = array
+            .run(&[MvStream {
+                y_injections: vec![YInjection::Value(0); 2],
+                ..good.clone()
+            }])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::VectorLength {
+                what: "y injections",
+                ..
+            }
+        ));
+
+        // Too many streams.
+        let err = array
+            .run(&[good.clone(), good.clone(), good])
+            .unwrap_err();
+        assert!(matches!(err, SimError::TooManyStreams { .. }));
+    }
+
+    #[test]
+    fn two_streams_share_the_array_without_interference() {
+        let w = 3;
+        let rows = 6;
+        let cols = rows + w - 1;
+        let d0 = upper_band_dense(rows, cols, w, 51);
+        let d1 = upper_band_dense(rows, cols, w, 52);
+        let x0 = gen::random_vector_i64(cols, 3, 53);
+        let x1 = gen::random_vector_i64(cols, 3, 54);
+        let mk = |d: &DenseMatrix<i64>, x: &Vec<i64>| MvStream {
+            band: BandMatrix::try_from_dense(d, 0, w - 1).unwrap(),
+            x: x.clone(),
+            y_injections: vec![YInjection::Value(0); rows],
+        };
+        let report = LinearArray::new(w)
+            .unwrap()
+            .run(&[mk(&d0, &x0), mk(&d1, &x1)])
+            .unwrap();
+        assert_eq!(report.y(0), d0.matvec(&x0).unwrap());
+        assert_eq!(report.y(1), d1.matvec(&x1).unwrap());
+        // Overlapping doubles the work done in (almost) the same time:
+        // one stream alone takes 2R+2w-3; two interleaved take one more.
+        assert_eq!(report.cycles, 2 * rows + 2 * w - 3 + 1);
+        assert_eq!(report.utilization.fired, 2 * rows * w);
+    }
+
+    #[test]
+    fn single_cell_array_behaves_like_a_scalar_pipeline() {
+        // w = 1: the "band" is just the main diagonal.
+        let dense = DenseMatrix::from_fn(4, 4, |i, j| if i == j { (i + 2) as i64 } else { 0 });
+        let x = vec![1, 2, 3, 4];
+        let report = run_plain(&dense, 1, &x);
+        assert_eq!(report.y(0), vec![2, 6, 12, 20]);
+        assert_eq!(report.cycles, 2 * 4 + 2 - 3);
+    }
+
+    #[test]
+    fn utilization_activity_approaches_one_half() {
+        let w = 4;
+        let rows = 64;
+        let cols = rows + w - 1;
+        let dense = DenseMatrix::from_fn(rows, cols, |i, j| {
+            if j >= i && j < i + w {
+                1
+            } else {
+                0
+            }
+        });
+        let report = run_plain(&dense, w, &vec![1i64; cols]);
+        let activity = report.utilization.activity();
+        assert!(activity > 0.45 && activity <= 0.5, "activity = {activity}");
+    }
+}

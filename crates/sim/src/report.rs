@@ -1,0 +1,211 @@
+//! Shared measurement types: utilization accounting and feedback statistics.
+//!
+//! The paper's evaluation is entirely in terms of the number of array steps
+//! `T`, the processing-element utilization `η = N/(A·T)` and the feedback
+//! delay / storage requirements.  Every simulator run produces these numbers
+//! so the experiment harness can put them next to the closed forms.
+
+/// Utilization accounting for one simulator run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// Number of processing elements in the array (`A` in the paper).
+    pub pe_count: usize,
+    /// Total number of cycles the run took (`T` in the paper).
+    pub cycles: usize,
+    /// Number of (cell, cycle) pairs in which a multiply–accumulate fired.
+    pub fired: usize,
+}
+
+impl Utilization {
+    /// Fraction of cell-cycles that performed a multiply–accumulate,
+    /// `fired / (pe_count · cycles)`.
+    ///
+    /// This is the *array activity*; the paper's `η` additionally discounts
+    /// operations performed on zero padding, which the caller computes by
+    /// supplying the useful operation count to [`Utilization::efficiency`].
+    pub fn activity(&self) -> f64 {
+        if self.pe_count == 0 || self.cycles == 0 {
+            return 0.0;
+        }
+        self.fired as f64 / (self.pe_count as f64 * self.cycles as f64)
+    }
+
+    /// The paper's utilization figure `η = useful_ops / (A · T)`.
+    pub fn efficiency(&self, useful_ops: usize) -> f64 {
+        if self.pe_count == 0 || self.cycles == 0 {
+            return 0.0;
+        }
+        useful_ops as f64 / (self.pe_count as f64 * self.cycles as f64)
+    }
+}
+
+/// One value travelling through a feedback path: produced by the array at
+/// one cycle, re-injected at a later cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedbackEvent {
+    /// Identifier of the producing result (row index for the linear array,
+    /// `(row, col)` for the hexagonal array — the linear array stores the
+    /// row in `.0` and zero in `.1`).
+    pub producer: (usize, usize),
+    /// Identifier of the consuming injection.
+    pub consumer: (usize, usize),
+    /// Cycle at whose end the value left the array.
+    pub produced_at: usize,
+    /// Cycle at whose start the value re-entered the array.
+    pub consumed_at: usize,
+}
+
+impl FeedbackEvent {
+    /// Number of cycles the value spent in feedback registers: it is stored
+    /// during the cycles strictly between production and consumption.
+    pub fn storage_cycles(&self) -> usize {
+        self.consumed_at.saturating_sub(self.produced_at + 1)
+    }
+}
+
+/// Aggregate statistics over all feedback events of a run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FeedbackSummary {
+    /// All individual events, in consumption order.
+    pub events: Vec<FeedbackEvent>,
+    /// Maximum number of values simultaneously held in feedback storage —
+    /// the number of registers a hardware implementation needs.
+    pub max_in_flight: usize,
+}
+
+impl FeedbackSummary {
+    /// Builds the summary from a list of events (computes occupancy).
+    pub fn from_events(events: Vec<FeedbackEvent>) -> Self {
+        // A value occupies storage during cycles [produced_at+1, consumed_at-1].
+        let mut max_in_flight = 0usize;
+        if !events.is_empty() {
+            let horizon = events
+                .iter()
+                .map(|e| e.consumed_at)
+                .max()
+                .unwrap_or(0)
+                .saturating_add(1);
+            let mut occupancy = vec![0usize; horizon];
+            for e in &events {
+                let start = e.produced_at + 1;
+                let end = e.consumed_at; // exclusive
+                for slot in occupancy.iter_mut().take(end).skip(start) {
+                    *slot += 1;
+                }
+            }
+            max_in_flight = occupancy.into_iter().max().unwrap_or(0);
+        }
+        FeedbackSummary {
+            events,
+            max_in_flight,
+        }
+    }
+
+    /// Number of feedback events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` when no value was fed back.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Smallest storage delay over all events (`None` when empty).
+    pub fn min_storage_cycles(&self) -> Option<usize> {
+        self.events.iter().map(FeedbackEvent::storage_cycles).min()
+    }
+
+    /// Largest storage delay over all events (`None` when empty).
+    pub fn max_storage_cycles(&self) -> Option<usize> {
+        self.events.iter().map(FeedbackEvent::storage_cycles).max()
+    }
+
+    /// Collects the distinct storage delays observed, sorted ascending.
+    /// The paper predicts a single constant value (`w`) for the regular
+    /// schedules and a small set of larger values for the irregular ones.
+    pub fn distinct_storage_cycles(&self) -> Vec<usize> {
+        let mut delays: Vec<usize> = self
+            .events
+            .iter()
+            .map(FeedbackEvent::storage_cycles)
+            .collect();
+        delays.sort_unstable();
+        delays.dedup();
+        delays
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activity_and_efficiency() {
+        let u = Utilization {
+            pe_count: 3,
+            cycles: 10,
+            fired: 15,
+        };
+        assert!((u.activity() - 0.5).abs() < 1e-12);
+        assert!((u.efficiency(12) - 0.4).abs() < 1e-12);
+        let empty = Utilization {
+            pe_count: 0,
+            cycles: 0,
+            fired: 0,
+        };
+        assert_eq!(empty.activity(), 0.0);
+        assert_eq!(empty.efficiency(10), 0.0);
+    }
+
+    #[test]
+    fn storage_cycles_excludes_endpoints() {
+        let e = FeedbackEvent {
+            producer: (0, 0),
+            consumer: (3, 0),
+            produced_at: 4,
+            consumed_at: 8,
+        };
+        assert_eq!(e.storage_cycles(), 3);
+        let immediate = FeedbackEvent {
+            producer: (0, 0),
+            consumer: (1, 0),
+            produced_at: 4,
+            consumed_at: 5,
+        };
+        assert_eq!(immediate.storage_cycles(), 0);
+    }
+
+    #[test]
+    fn summary_tracks_occupancy() {
+        // Two values overlap in storage during cycles 6..8.
+        let events = vec![
+            FeedbackEvent {
+                producer: (0, 0),
+                consumer: (2, 0),
+                produced_at: 4,
+                consumed_at: 10,
+            },
+            FeedbackEvent {
+                producer: (1, 0),
+                consumer: (3, 0),
+                produced_at: 5,
+                consumed_at: 9,
+            },
+        ];
+        let summary = FeedbackSummary::from_events(events);
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary.max_in_flight, 2);
+        assert_eq!(summary.min_storage_cycles(), Some(3));
+        assert_eq!(summary.max_storage_cycles(), Some(5));
+        assert_eq!(summary.distinct_storage_cycles(), vec![3, 5]);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let summary = FeedbackSummary::from_events(Vec::new());
+        assert!(summary.is_empty());
+        assert_eq!(summary.max_in_flight, 0);
+        assert_eq!(summary.min_storage_cycles(), None);
+    }
+}

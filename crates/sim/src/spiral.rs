@@ -1,0 +1,189 @@
+//! The **spiral feedback** topology of the hexagonal array (paper §3, Fig. 5).
+//!
+//! The hexagonal array's result values travel along diagonals of the PE grid
+//! (constant `d = j − i`).  To accumulate partial results *inside* the array
+//! the paper closes those diagonals into loops:
+//!
+//! * the **main diagonal** (`d = 0`, `w` cells) is "auto-feedbacked" — its
+//!   output is wired back to its own input;
+//! * every **sub-diagonal** `d > 0` (with `w − d` cells) is paired with the
+//!   sub-diagonal `d − w` (with `d` cells) "in such a way that the number of
+//!   processing elements in the loop equals `w`".
+//!
+//! This module captures that topology and the register (memory element)
+//! accounting the paper gives for it, so the experiment harness can print
+//! the storage cost as a function of the array size alone.
+
+use crate::SimError;
+
+/// The spiral feedback wiring of a `w × w` hexagonal array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpiralTopology {
+    w: usize,
+}
+
+impl SpiralTopology {
+    /// Builds the topology for an array of size `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ZeroArraySize`] if `w == 0`.
+    pub fn new(w: usize) -> Result<Self, SimError> {
+        if w == 0 {
+            return Err(SimError::ZeroArraySize);
+        }
+        Ok(SpiralTopology { w })
+    }
+
+    /// Array size `w`.
+    pub fn size(&self) -> usize {
+        self.w
+    }
+
+    /// All result diagonals of the array, `d = j − i ∈ [−(w−1), w−1]`.
+    pub fn diagonals(&self) -> impl Iterator<Item = isize> {
+        let w = self.w as isize;
+        -(w - 1)..w
+    }
+
+    /// Number of processing elements lying on diagonal `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|d| >= w`.
+    pub fn pe_count(&self, d: isize) -> usize {
+        let w = self.w as isize;
+        assert!(d.abs() < w, "diagonal {d} does not exist in a {w}x{w} array");
+        (w - d.abs()) as usize
+    }
+
+    /// The diagonal whose *input* the output of diagonal `d` is wired to.
+    ///
+    /// The main diagonal feeds itself; a positive sub-diagonal `d` feeds
+    /// `d − w` and a negative one feeds `d + w`, so that every loop spans
+    /// exactly `w` processing elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|d| >= w`.
+    pub fn partner(&self, d: isize) -> isize {
+        let w = self.w as isize;
+        assert!(d.abs() < w, "diagonal {d} does not exist in a {w}x{w} array");
+        if d == 0 {
+            0
+        } else if d > 0 {
+            d - w
+        } else {
+            d + w
+        }
+    }
+
+    /// Number of processing elements in the feedback loop containing
+    /// diagonal `d` (always `w`, which is the paper's design goal:
+    /// `(w − |d|) + |d| = w` for a paired sub-diagonal, `w` for the
+    /// auto-feedbacked main diagonal).
+    pub fn loop_pe_count(&self, d: isize) -> usize {
+        if d == 0 {
+            self.pe_count(0)
+        } else {
+            self.pe_count(d) + self.pe_count(self.partner(d))
+        }
+    }
+
+    /// The feedback loop pairs `(d, partner(d))` with `d >= 0`, covering all
+    /// diagonals exactly once.
+    pub fn loops(&self) -> Vec<(isize, isize)> {
+        let mut pairs = vec![(0isize, 0isize)];
+        for d in 1..self.w as isize {
+            pairs.push((d, self.partner(d)));
+        }
+        pairs
+    }
+
+    /// Memory elements needed for the *regular* (constant-delay) feedback:
+    /// `2w` for the main diagonal plus `w` for each of the `w − 1`
+    /// sub-diagonal pairs (paper §3).
+    pub fn regular_registers(&self) -> usize {
+        2 * self.w + self.w * (self.w - 1)
+    }
+
+    /// Additional memory elements needed to realise the *irregular*
+    /// (minimum-time) feedback delays: `3·w(w−1)/2` (paper §3).
+    pub fn irregular_registers(&self) -> usize {
+        3 * self.w * (self.w - 1) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_size() {
+        assert_eq!(SpiralTopology::new(0).unwrap_err(), SimError::ZeroArraySize);
+    }
+
+    #[test]
+    fn diagonal_pe_counts() {
+        let t = SpiralTopology::new(4).unwrap();
+        assert_eq!(t.pe_count(0), 4);
+        assert_eq!(t.pe_count(3), 1);
+        assert_eq!(t.pe_count(-2), 2);
+        assert_eq!(t.diagonals().count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn pe_count_rejects_missing_diagonal() {
+        let t = SpiralTopology::new(3).unwrap();
+        let _ = t.pe_count(3);
+    }
+
+    #[test]
+    fn partner_pairs_diagonals_across_the_band() {
+        let t = SpiralTopology::new(5).unwrap();
+        assert_eq!(t.partner(0), 0);
+        assert_eq!(t.partner(2), -3);
+        assert_eq!(t.partner(-3), 2);
+        assert_eq!(t.partner(4), -1);
+    }
+
+    #[test]
+    fn every_loop_contains_w_processing_elements() {
+        // This is Fig. 5's design property: pairing d with d-w always yields
+        // (w - d) + d = w cells per loop.
+        for w in 1..10usize {
+            let t = SpiralTopology::new(w).unwrap();
+            for d in t.diagonals() {
+                assert_eq!(t.loop_pe_count(d), w, "w={w} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn loops_cover_all_diagonals_exactly_once() {
+        let t = SpiralTopology::new(4).unwrap();
+        let mut seen: Vec<isize> = Vec::new();
+        for (a, b) in t.loops() {
+            seen.push(a);
+            if a != b {
+                seen.push(b);
+            }
+        }
+        seen.sort_unstable();
+        let expected: Vec<isize> = t.diagonals().collect();
+        let mut expected_sorted = expected;
+        expected_sorted.sort_unstable();
+        assert_eq!(seen, expected_sorted);
+    }
+
+    #[test]
+    fn register_counts_match_the_paper_formulas() {
+        let t = SpiralTopology::new(3).unwrap();
+        assert_eq!(t.regular_registers(), 2 * 3 + 3 * 2);
+        assert_eq!(t.irregular_registers(), 9);
+        let t = SpiralTopology::new(8).unwrap();
+        assert_eq!(t.regular_registers(), 16 + 8 * 7);
+        assert_eq!(t.irregular_registers(), 3 * 8 * 7 / 2);
+    }
+}

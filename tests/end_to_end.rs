@@ -1,0 +1,168 @@
+//! Cross-crate integration tests: dense problems of many shapes are pushed
+//! through the full pipeline (block partitioning → DBT transformation →
+//! cycle-accurate array simulation → result extraction) and compared against
+//! host-side reference computations, the paper's closed forms and the
+//! baseline schemes.
+
+use size_independent_systolic::dbt::ext;
+use size_independent_systolic::prelude::*;
+
+fn reference_mv(a: &DenseMatrix<i64>, x: &[i64], b: Option<&[i64]>) -> Vec<i64> {
+    let mut y = a.matvec(x).unwrap();
+    if let Some(b) = b {
+        for (slot, v) in y.iter_mut().zip(b) {
+            *slot += v;
+        }
+    }
+    y
+}
+
+#[test]
+fn mv_pipeline_is_exact_and_matches_the_cycle_formula() {
+    for w in 1..=6usize {
+        for (n, m) in [(1, 1), (2, 7), (5, 5), (9, 4), (13, 17)] {
+            let seed = (w * 100 + n * 10 + m) as u64;
+            let a = gen::random_dense_i64(n, m, 6, seed);
+            let x = gen::random_vector_i64(m, 6, seed + 1);
+            let b = gen::random_vector_i64(n, 6, seed + 2);
+            let outcome = multiply_mv(&a, &x, Some(&b), w, MvSchedule::Simple).unwrap();
+            assert_eq!(outcome.y, reference_mv(&a, &x, Some(&b)), "n={n} m={m} w={w}");
+            let shape = MvShape { w, n, m };
+            assert_eq!(outcome.cycles, shape.cycles(), "n={n} m={m} w={w}");
+        }
+    }
+}
+
+#[test]
+fn mm_pipeline_is_exact_and_matches_the_cycle_formula() {
+    for (n, p, m, w) in [
+        (2usize, 3usize, 4usize, 2usize),
+        (6, 6, 6, 3),
+        (4, 8, 4, 4),
+        (5, 5, 5, 2),
+        (7, 3, 5, 3),
+    ] {
+        let seed = (n * 1000 + p * 100 + m * 10 + w) as u64;
+        let a = gen::random_dense_i64(n, p, 4, seed);
+        let b = gen::random_dense_i64(p, m, 4, seed + 1);
+        let e = gen::random_dense_i64(n, m, 4, seed + 2);
+        let outcome = multiply_mm(&a, &b, Some(&e), w).unwrap();
+        let expected = a.matmul(&b).unwrap().add(&e).unwrap();
+        assert_eq!(outcome.c, expected, "n={n} p={p} m={m} w={w}");
+        let shape = MmShape { w, n, p, m };
+        assert_eq!(outcome.cycles, shape.cycles(), "n={n} p={p} m={m} w={w}");
+    }
+}
+
+#[test]
+fn dbt_and_baselines_agree_on_the_answer_but_not_on_the_cost() {
+    let w = 4;
+    let a = gen::random_dense_i64(12, 16, 5, 7);
+    let x = gen::random_vector_i64(16, 5, 8);
+    let dbt = multiply_mv(&a, &x, None, w, MvSchedule::Simple).unwrap();
+    let blocked = host_blocked_mv(&a, &x, None, w).unwrap();
+    assert_eq!(dbt.y, blocked.result.col(0));
+    assert!(dbt.cycles < blocked.array_cycles);
+    assert!(dbt.efficiency > blocked.efficiency);
+    assert_eq!(blocked.host_additions, 12 * 4); // n per block column
+
+    // PRT handles exactly the single-block case and then coincides with DBT.
+    let small = gen::random_dense_i64(4, 4, 5, 9);
+    let xs = gen::random_vector_i64(4, 5, 10);
+    let prt = prt_mv(&small, &xs, None, w).unwrap();
+    let dbt_small = multiply_mv(&small, &xs, None, w, MvSchedule::Simple).unwrap();
+    assert_eq!(prt.y, dbt_small.y);
+    assert_eq!(prt.cycles, dbt_small.cycles);
+}
+
+#[test]
+fn overlapping_recovers_the_idle_cycles() {
+    let w = 4;
+    let a = gen::random_dense_i64(16, 16, 5, 11);
+    let x = gen::random_vector_i64(16, 5, 12);
+    let simple = multiply_mv(&a, &x, None, w, MvSchedule::Simple).unwrap();
+    let overlapped = multiply_mv(&a, &x, None, w, MvSchedule::Overlapped).unwrap();
+    assert_eq!(simple.y, overlapped.y);
+    // The paper's asymptotics: ~1/2 without overlap, ~1 with overlap.
+    assert!(simple.efficiency < 0.5);
+    assert!(overlapped.efficiency > 0.8);
+    assert!(overlapped.cycles < simple.cycles * 2 / 3);
+}
+
+#[test]
+fn spiral_topology_matches_the_mm_feedback_measurements() {
+    // The spiral pairing predicts loops of exactly w cells; the measured
+    // feedback delays of a real run contain the regular values w and 2w.
+    let w = 3;
+    let topology = SpiralTopology::new(w).unwrap();
+    for d in topology.diagonals() {
+        assert_eq!(topology.loop_pe_count(d), w);
+    }
+    let a = gen::random_dense_i64(6, 6, 4, 13);
+    let b = gen::random_dense_i64(6, 6, 4, 14);
+    let outcome = multiply_mm(&a, &b, None, w).unwrap();
+    let delays = outcome.feedback.distinct_storage_cycles();
+    assert!(delays.contains(&w));
+    assert!(delays.contains(&(2 * w)));
+}
+
+#[test]
+fn extensions_compose_with_the_core_solvers() {
+    let w = 3;
+    let n = 9;
+    let a = gen::diagonally_dominant_f64(n, 21);
+    let x_true = gen::random_vector_f64(n, 22);
+    let b = a.matvec(&x_true).unwrap();
+
+    let lu = ext::lu_decompose(&a, w).unwrap();
+    assert!(lu.l.matmul(&lu.u).unwrap().approx_eq(&a, 1e-8));
+
+    let z = ext::solve_lower(&lu.l, &b, w).unwrap();
+    let x = ext::solve_upper(&lu.u, &z.x, w).unwrap();
+    assert!(size_independent_systolic::matrix::vector::approx_eq(
+        &x.x, &x_true, 1e-6
+    ));
+
+    let gs = ext::gauss_seidel(&a, &b, w, 1e-9, 100).unwrap();
+    assert!(size_independent_systolic::matrix::vector::approx_eq(
+        &gs.x, &x_true, 1e-6
+    ));
+
+    let inv = ext::invert(&a, w).unwrap();
+    assert!(a
+        .matmul(&inv.inverse)
+        .unwrap()
+        .approx_eq(&DenseMatrix::identity(n), 1e-7));
+}
+
+#[test]
+fn block_sparse_problems_save_cycles_without_losing_accuracy() {
+    let w = 3;
+    let a_pattern = gen::block_sparse_f64(18, 18, w, 0.4, 31);
+    let dense_values = gen::random_dense_i64(18, 18, 5, 32);
+    let a = DenseMatrix::from_fn(18, 18, |i, j| {
+        if a_pattern.at(i, j) == 0.0 {
+            0
+        } else {
+            dense_values.at(i, j)
+        }
+    });
+    let x = gen::random_vector_i64(18, 5, 33);
+    let dense_run = multiply_mv(&a, &x, None, w, MvSchedule::Simple).unwrap();
+    let sparse_run =
+        size_independent_systolic::dbt::sparse::multiply_mv_block_sparse(&a, &x, None, w).unwrap();
+    assert_eq!(sparse_run.outcome.y, dense_run.y);
+    assert!(sparse_run.outcome.cycles < dense_run.cycles);
+}
+
+#[test]
+fn tailored_array_model_contextualises_the_fixed_array_results() {
+    let model = TailoredArrayModel::new(24, 24);
+    assert!(!model.fits_fixed_array(8));
+    assert!(model.utilization() > 0.5);
+    // The tailored design needs 24 cells; DBT gets the same answer from 8.
+    let a = gen::random_dense_i64(24, 24, 3, 41);
+    let x = gen::random_vector_i64(24, 3, 42);
+    let outcome = multiply_mv(&a, &x, None, 8, MvSchedule::Overlapped).unwrap();
+    assert_eq!(outcome.y, a.matvec(&x).unwrap());
+}

@@ -1,0 +1,100 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * the DBT band is completely filled and carries every original element
+//!   exactly once;
+//! * transform → simulate → extract equals the host reference for arbitrary
+//!   shapes, array sizes and data, for both matrix–vector and matrix–matrix
+//!   problems;
+//! * the measured step counts equal the paper's closed forms;
+//! * the measured utilization never exceeds the paper's bound.
+
+use proptest::prelude::*;
+use size_independent_systolic::prelude::*;
+use std::collections::HashSet;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = (usize, usize, Vec<i64>)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(n, m)| {
+        proptest::collection::vec(-9i64..=9, n * m).prop_map(move |data| (n, m, data))
+    })
+}
+
+fn to_matrix(n: usize, m: usize, data: &[i64]) -> DenseMatrix<i64> {
+    DenseMatrix::from_fn(n, m, |i, j| data[i * m + j])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dbt_band_holds_every_element_exactly_once((n, m, data) in small_matrix(9), w in 1usize..=4) {
+        let a = to_matrix(n, m, &data);
+        let dbt = DbtByRows::new(&a, w).unwrap();
+        let mut seen = HashSet::new();
+        let nbar = n.div_ceil(w);
+        let mbar = m.div_ceil(w);
+        for (i, j, v) in dbt.band().iter() {
+            let (oi, oj) = dbt.source_of(i, j).expect("stored positions have provenance");
+            prop_assert_eq!(v, a.at_padded(oi, oj));
+            prop_assert!(seen.insert((oi, oj)), "element ({}, {}) duplicated", oi, oj);
+        }
+        prop_assert_eq!(seen.len(), nbar * w * mbar * w);
+    }
+
+    #[test]
+    fn mv_matches_reference_and_formula((n, m, data) in small_matrix(9), w in 1usize..=4,
+                                        overlap in proptest::bool::ANY) {
+        let a = to_matrix(n, m, &data);
+        let x: Vec<i64> = (0..m as i64).map(|v| (v % 5) - 2).collect();
+        let b: Vec<i64> = (0..n as i64).map(|v| (v % 7) - 3).collect();
+        let schedule = if overlap { MvSchedule::Overlapped } else { MvSchedule::Simple };
+        let outcome = multiply_mv(&a, &x, Some(&b), w, schedule).unwrap();
+        let mut expected = a.matvec(&x).unwrap();
+        for (slot, v) in expected.iter_mut().zip(&b) {
+            *slot += v;
+        }
+        prop_assert_eq!(outcome.y, expected);
+        let shape = MvShape { w, n, m };
+        match schedule {
+            MvSchedule::Simple => prop_assert_eq!(outcome.cycles, shape.cycles()),
+            MvSchedule::Overlapped => prop_assert!(outcome.cycles <= shape.cycles()),
+        }
+        // The paper's utilization bound is never exceeded.
+        prop_assert!(outcome.efficiency <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn mm_matches_reference_and_formula(n in 1usize..=5, p in 1usize..=5, m in 1usize..=5,
+                                        w in 1usize..=3, seed in 0u64..1000) {
+        let a = gen::random_dense_i64(n, p, 4, seed);
+        let b = gen::random_dense_i64(p, m, 4, seed + 1);
+        let outcome = multiply_mm(&a, &b, None, w).unwrap();
+        prop_assert_eq!(outcome.c, a.matmul(&b).unwrap());
+        let shape = MmShape { w, n, p, m };
+        prop_assert_eq!(outcome.cycles, shape.cycles());
+        // Each cell fires at most once every three cycles, so the activity is
+        // bounded by ceil(T/3)/T <= 1/3 + 1/T.
+        prop_assert!(outcome.activity <= 1.0 / 3.0 + 1.0 / outcome.cycles as f64 + 1e-12);
+    }
+
+    #[test]
+    fn band_matrix_round_trips_through_dense(rows in 1usize..=8, cols in 1usize..=8,
+                                             lower in 0usize..=3, upper in 0usize..=3,
+                                             seed in 0u64..1000) {
+        let dense = gen::banded_random_f64(rows, cols, lower, upper, seed);
+        let band = BandMatrix::try_from_dense(&dense, lower, upper).unwrap();
+        prop_assert_eq!(band.to_dense(), dense);
+        prop_assert!(band.occupancy() <= 1.0);
+    }
+
+    #[test]
+    fn block_grid_reassembles_the_original((n, m, data) in small_matrix(10), w in 1usize..=5) {
+        let a = to_matrix(n, m, &data);
+        let grid = BlockGrid::new(n, m, w).unwrap();
+        let mut out = DenseMatrix::zeros(n, m);
+        for (bi, bj) in grid.block_coords() {
+            let block = grid.block(&a, bi, bj).unwrap();
+            grid.paste_block(&mut out, bi, bj, &block).unwrap();
+        }
+        prop_assert_eq!(out, a);
+    }
+}
