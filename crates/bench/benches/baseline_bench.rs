@@ -1,34 +1,34 @@
-//! Criterion benches for the baseline comparison (experiment E8), the
-//! block-sparse variant (E9) and the extensions (E10).
+//! Benches for the baseline comparison (experiment E8), the block-sparse
+//! variant (E9) and the extensions (E10), using the dependency-free harness
+//! in `sia_bench::harness`.
+//!
+//! ```text
+//! cargo bench -p sia-bench --bench baseline_bench
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sia_baselines::host_blocked_mv;
+use sia_bench::harness::BenchGroup;
 use sia_dbt::ext::{gauss_seidel, lu_decompose};
 use sia_dbt::sparse::multiply_mv_block_sparse;
 use sia_dbt::{multiply_mv, MvSchedule};
 use sia_matrix::{gen, DenseMatrix};
 
-fn bench_baselines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("baseline_comparison_mv");
-    group.sample_size(10);
+fn bench_baselines() {
+    let mut group = BenchGroup::new("baseline_comparison_mv").sample_size(10);
     let (w, n, m) = (4usize, 32usize, 32usize);
     let a = gen::random_dense_f64(n, m, 21);
     let x = gen::random_vector_f64(m, 22);
-    group.bench_function(BenchmarkId::from_parameter("dbt"), |b| {
-        b.iter(|| multiply_mv(&a, &x, None, w, MvSchedule::Simple).unwrap())
+    group.bench("dbt", || {
+        multiply_mv(&a, &x, None, w, MvSchedule::Simple).unwrap()
     });
-    group.bench_function(BenchmarkId::from_parameter("dbt_overlapped"), |b| {
-        b.iter(|| multiply_mv(&a, &x, None, w, MvSchedule::Overlapped).unwrap())
+    group.bench("dbt_overlapped", || {
+        multiply_mv(&a, &x, None, w, MvSchedule::Overlapped).unwrap()
     });
-    group.bench_function(BenchmarkId::from_parameter("host_blocked"), |b| {
-        b.iter(|| host_blocked_mv(&a, &x, None, w).unwrap())
-    });
-    group.finish();
+    group.bench("host_blocked", || host_blocked_mv(&a, &x, None, w).unwrap());
 }
 
-fn bench_sparse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("block_sparse_mv");
-    group.sample_size(10);
+fn bench_sparse() {
+    let mut group = BenchGroup::new("block_sparse_mv").sample_size(10);
     let (w, n) = (3usize, 24usize);
     for density in [0.25, 0.75] {
         let pattern = gen::block_sparse_f64(n, n, w, density, 31);
@@ -41,30 +41,26 @@ fn bench_sparse(c: &mut Criterion) {
             }
         });
         let x = gen::random_vector_f64(n, 33);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("density_{density}")),
-            &(a, x),
-            |b, (a, x)| b.iter(|| multiply_mv_block_sparse(a, x, None, w).unwrap()),
-        );
+        group.bench(&format!("density_{density}"), || {
+            multiply_mv_block_sparse(&a, &x, None, w).unwrap()
+        });
     }
-    group.finish();
 }
 
-fn bench_extensions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("extensions");
-    group.sample_size(10);
+fn bench_extensions() {
+    let mut group = BenchGroup::new("extensions").sample_size(10);
     let w = 3usize;
     let a = gen::diagonally_dominant_f64(12, 41);
     let x_true = gen::random_vector_f64(12, 42);
     let rhs = a.matvec(&x_true).unwrap();
-    group.bench_function("lu_decompose_12", |b| {
-        b.iter(|| lu_decompose(&a, w).unwrap())
+    group.bench("lu_decompose_12", || lu_decompose(&a, w).unwrap());
+    group.bench("gauss_seidel_12", || {
+        gauss_seidel(&a, &rhs, w, 1e-8, 100).unwrap()
     });
-    group.bench_function("gauss_seidel_12", |b| {
-        b.iter(|| gauss_seidel(&a, &rhs, w, 1e-8, 100).unwrap())
-    });
-    group.finish();
 }
 
-criterion_group!(benches, bench_baselines, bench_sparse, bench_extensions);
-criterion_main!(benches);
+fn main() {
+    bench_baselines();
+    bench_sparse();
+    bench_extensions();
+}

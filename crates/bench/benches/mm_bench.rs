@@ -1,50 +1,78 @@
-//! Criterion benches for the matrix–matrix path (experiment E4) and the
-//! spiral-feedback accumulation plan (experiments E6/E7).
+//! Benches for the matrix–matrix path (experiment E4) and the
+//! spiral-feedback accumulation plan (experiments E6/E7), using the
+//! dependency-free harness in `sia_bench::harness`.
+//!
+//! ```text
+//! cargo bench -p sia-bench --bench mm_bench
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sia_dbt::{accumulation_plan, build_a_hat, multiply_mm, MmShape};
+use sia_bench::harness::BenchGroup;
+use sia_dbt::{accumulation_plan, build_a_hat, multiply_mm, multiply_mm_batch, MmProblem, MmShape};
 use sia_matrix::gen;
 
-fn bench_mm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mm_hexagonal_array");
-    group.sample_size(10);
+fn bench_mm() {
+    let mut group = BenchGroup::new("mm_hexagonal_array").sample_size(10);
     for (w, n, p, m) in [
         (2usize, 4usize, 4usize, 4usize),
         (3, 6, 6, 9),
         (3, 9, 9, 9),
         (4, 8, 8, 8),
+        (4, 16, 16, 16),
+        (8, 32, 32, 32),
+        (8, 64, 64, 64),
     ] {
         let a = gen::random_dense_f64(n, p, 11);
         let b = gen::random_dense_f64(p, m, 12);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("w{w}_{n}x{p}x{m}")),
-            &(w, a, b),
-            |bench, (w, a, b)| bench.iter(|| multiply_mm(a, b, None, *w).unwrap()),
-        );
+        group.bench(&format!("w{w}_{n}x{p}x{m}"), || {
+            multiply_mm(&a, &b, None, w).unwrap()
+        });
     }
-    group.finish();
 }
 
-fn bench_operand_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mm_operand_construction");
-    for (w, n, p, mbar) in [(3usize, 9usize, 9usize, 3usize), (4, 16, 16, 4)] {
+fn bench_operand_construction() {
+    let mut group = BenchGroup::new("mm_operand_construction");
+    for (w, n, p, mbar) in [(3usize, 9usize, 9usize, 3usize), (4, 16, 16, 4), (8, 64, 64, 8)] {
         let a = gen::random_dense_f64(n, p, 13);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("a_hat_w{w}_{n}x{p}x{mbar}")),
-            &(w, a, mbar),
-            |bench, (w, a, mbar)| bench.iter(|| build_a_hat(a, *mbar, *w).unwrap()),
-        );
+        group.bench(&format!("a_hat_w{w}_{n}x{p}x{mbar}"), || {
+            build_a_hat(&a, mbar, w).unwrap()
+        });
     }
-    for (w, n, p, m) in [(3usize, 9usize, 9usize, 9usize), (4, 16, 16, 16)] {
+    for (w, n, p, m) in [(3usize, 9usize, 9usize, 9usize), (4, 16, 16, 16), (8, 64, 64, 64)] {
         let shape = MmShape { w, n, p, m };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("plan_w{w}_{n}x{p}x{m}")),
-            &shape,
-            |bench, shape| bench.iter(|| accumulation_plan(*shape).unwrap()),
-        );
+        group.bench(&format!("plan_w{w}_{n}x{p}x{m}"), || {
+            accumulation_plan(shape).unwrap()
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_mm, bench_operand_construction);
-criterion_main!(benches);
+fn bench_batch() {
+    // Throughput of the parallel batch API versus running the same jobs
+    // sequentially: 16 independent w=4 12x12x12 products.
+    let mut group = BenchGroup::new("mm_batch_16_jobs").sample_size(10);
+    let (w, n) = (4usize, 12usize);
+    let mats: Vec<_> = (0..16u64)
+        .map(|s| {
+            (
+                gen::random_dense_f64(n, n, 100 + s),
+                gen::random_dense_f64(n, n, 200 + s),
+            )
+        })
+        .collect();
+    let problems: Vec<MmProblem<'_, f64>> = mats
+        .iter()
+        .map(|(a, b)| MmProblem { a, b, e: None })
+        .collect();
+    group.bench("sequential", || {
+        problems
+            .iter()
+            .map(|p| multiply_mm(p.a, p.b, None, w).unwrap())
+            .collect::<Vec<_>>()
+    });
+    group.bench("run_batch", || multiply_mm_batch(&problems, w).unwrap());
+}
+
+fn main() {
+    bench_mm();
+    bench_operand_construction();
+    bench_batch();
+}

@@ -1,53 +1,83 @@
-//! Criterion benches for the matrix–vector path (experiments E1–E3):
-//! the DBT transformation itself, the simple schedule and the overlapped
-//! schedule, swept over array and problem sizes.
+//! Benches for the matrix–vector path (experiments E1–E3): the DBT
+//! transformation itself, the simple schedule and the overlapped schedule,
+//! swept over array and problem sizes, using the dependency-free harness in
+//! `sia_bench::harness`.
+//!
+//! ```text
+//! cargo bench -p sia-bench --bench mv_bench
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sia_dbt::{multiply_mv, DbtByRows, MvSchedule};
+use sia_bench::harness::BenchGroup;
+use sia_dbt::{multiply_mv, multiply_mv_batch, DbtByRows, MvProblem, MvSchedule};
 use sia_matrix::gen;
 
-fn bench_transformation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dbt_by_rows_transform");
-    for (w, n, m) in [(4usize, 16usize, 16usize), (4, 64, 64), (8, 64, 64)] {
+fn bench_transformation() {
+    let mut group = BenchGroup::new("dbt_by_rows_transform");
+    for (w, n, m) in [(4usize, 16usize, 16usize), (4, 64, 64), (8, 64, 64), (8, 256, 256)] {
         let a = gen::random_dense_f64(n, m, 1);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("w{w}_{n}x{m}")),
-            &(w, a),
-            |b, (w, a)| b.iter(|| DbtByRows::new(a, *w).unwrap()),
-        );
+        group.bench(&format!("w{w}_{n}x{m}"), || DbtByRows::new(&a, w).unwrap());
     }
-    group.finish();
 }
 
-fn bench_mv_simple(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mv_simple_schedule");
-    group.sample_size(10);
-    for (w, n, m) in [(3usize, 6usize, 9usize), (4, 16, 16), (4, 32, 32), (8, 32, 32)] {
+fn bench_mv_simple() {
+    let mut group = BenchGroup::new("mv_simple_schedule").sample_size(10);
+    for (w, n, m) in [
+        (3usize, 6usize, 9usize),
+        (4, 16, 16),
+        (4, 32, 32),
+        (8, 32, 32),
+        (8, 128, 128),
+    ] {
         let a = gen::random_dense_f64(n, m, 2);
         let x = gen::random_vector_f64(m, 3);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("w{w}_{n}x{m}")),
-            &(w, a, x),
-            |b, (w, a, x)| b.iter(|| multiply_mv(a, x, None, *w, MvSchedule::Simple).unwrap()),
-        );
+        group.bench(&format!("w{w}_{n}x{m}"), || {
+            multiply_mv(&a, &x, None, w, MvSchedule::Simple).unwrap()
+        });
     }
-    group.finish();
 }
 
-fn bench_mv_overlapped(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mv_overlapped_schedule");
-    group.sample_size(10);
-    for (w, n, m) in [(4usize, 16usize, 16usize), (4, 32, 32), (8, 32, 32)] {
+fn bench_mv_overlapped() {
+    let mut group = BenchGroup::new("mv_overlapped_schedule").sample_size(10);
+    for (w, n, m) in [(4usize, 16usize, 16usize), (4, 32, 32), (8, 32, 32), (8, 128, 128)] {
         let a = gen::random_dense_f64(n, m, 4);
         let x = gen::random_vector_f64(m, 5);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("w{w}_{n}x{m}")),
-            &(w, a, x),
-            |b, (w, a, x)| b.iter(|| multiply_mv(a, x, None, *w, MvSchedule::Overlapped).unwrap()),
-        );
+        group.bench(&format!("w{w}_{n}x{m}"), || {
+            multiply_mv(&a, &x, None, w, MvSchedule::Overlapped).unwrap()
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_transformation, bench_mv_simple, bench_mv_overlapped);
-criterion_main!(benches);
+fn bench_batch() {
+    // Throughput of the parallel batch API versus running the same jobs
+    // sequentially: 16 independent w=4 48x48 products.
+    let mut group = BenchGroup::new("mv_batch_16_jobs").sample_size(10);
+    let (w, n) = (4usize, 48usize);
+    let data: Vec<_> = (0..16u64)
+        .map(|s| {
+            (
+                gen::random_dense_f64(n, n, 300 + s),
+                gen::random_vector_f64(n, 400 + s),
+            )
+        })
+        .collect();
+    let problems: Vec<MvProblem<'_, f64>> = data
+        .iter()
+        .map(|(a, x)| MvProblem { a, x, b: None })
+        .collect();
+    group.bench("sequential", || {
+        problems
+            .iter()
+            .map(|p| multiply_mv(p.a, p.x, None, w, MvSchedule::Simple).unwrap())
+            .collect::<Vec<_>>()
+    });
+    group.bench("run_batch", || {
+        multiply_mv_batch(&problems, w, MvSchedule::Simple).unwrap()
+    });
+}
+
+fn main() {
+    bench_transformation();
+    bench_mv_simple();
+    bench_mv_overlapped();
+    bench_batch();
+}

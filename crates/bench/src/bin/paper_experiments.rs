@@ -4,10 +4,53 @@
 //! ```text
 //! cargo run -p sia-bench --release --bin paper_experiments
 //! ```
+//!
+//! With `--json [DIR]` the binary instead benchmarks the mm/mv sweeps and
+//! writes `BENCH_mm.json` / `BENCH_mv.json` (shape, measured and predicted
+//! cycles, wall-time, throughput) into `DIR` (default: the current
+//! directory), so the perf trajectory can be tracked across PRs:
+//!
+//! ```text
+//! cargo run -p sia-bench --release --bin paper_experiments -- --json
+//! ```
 
-use sia_bench::experiments;
+use sia_bench::{experiments, perf};
+use std::path::Path;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--json") => {
+            let dir = args.get(1).map(String::as_str).unwrap_or(".");
+            run_json(Path::new(dir))
+        }
+        Some(other) => {
+            eprintln!("unknown argument `{other}`; usage: paper_experiments [--json [DIR]]");
+            ExitCode::FAILURE
+        }
+        None => run_tables(),
+    }
+}
+
+/// Benchmarks the solver sweeps and writes the JSON perf records.
+fn run_json(dir: &Path) -> ExitCode {
+    for (file, records) in [
+        ("BENCH_mm.json", perf::mm_perf_records()),
+        ("BENCH_mv.json", perf::mv_perf_records()),
+    ] {
+        let path = dir.join(file);
+        if let Err(err) = std::fs::write(&path, perf::to_json(&records)) {
+            eprintln!("failed to write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} ({} records)", path.display(), records.len());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Prints the experiment tables (the default mode).
+fn run_tables() -> ExitCode {
     let reports = [
         experiments::run_mv_sweep(),
         experiments::run_mv_overlap_sweep(),
@@ -35,4 +78,9 @@ fn main() {
             "at least one experiment disagrees with the paper — see above"
         }
     );
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

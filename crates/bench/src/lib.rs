@@ -11,6 +11,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
+pub mod perf;
 pub mod table;
 
 pub use experiments::{

@@ -1,0 +1,181 @@
+//! Machine-readable performance records for the perf trajectory.
+//!
+//! `paper_experiments --json` emits `BENCH_mm.json` / `BENCH_mv.json`, one
+//! record per swept shape: the shape itself, measured and predicted cycle
+//! counts, simulator wall-time and throughput.  Future PRs diff these files
+//! to track the engine's speed over time.  The JSON is written by hand —
+//! the build environment has no crates.io access, and the schema is flat
+//! enough that serde would be overkill anyway.
+
+use crate::harness::BenchGroup;
+use sia_dbt::{multiply_mm, multiply_mv, MmShape, MvSchedule, MvShape};
+use sia_matrix::gen;
+
+/// One benchmarked shape: cycle counts plus wall-clock cost.
+#[derive(Debug, Clone)]
+pub struct PerfRecord {
+    /// Which solver the record belongs to (`"mm"` or `"mv"`).
+    pub kind: &'static str,
+    /// Array size `w`.
+    pub w: usize,
+    /// Problem dimensions: `n × p × m` for mm, `n × m` (p = 0) for mv.
+    pub n: usize,
+    /// Inner dimension (0 for mv).
+    pub p: usize,
+    /// Output dimension.
+    pub m: usize,
+    /// Array steps measured by the cycle-level engine.
+    pub cycles_measured: usize,
+    /// The paper's closed-form step count.
+    pub cycles_predicted: usize,
+    /// Median wall-time of one full solve (transform + simulate + extract).
+    pub wall_ns: f64,
+    /// Simulated array steps per second of wall time.
+    pub steps_per_second: f64,
+}
+
+impl PerfRecord {
+    /// Measured-versus-predicted cycle ratio (1.0 when the engine matches
+    /// the paper's closed form exactly).
+    pub fn cycle_ratio(&self) -> f64 {
+        if self.cycles_predicted == 0 {
+            return 0.0;
+        }
+        self.cycles_measured as f64 / self.cycles_predicted as f64
+    }
+}
+
+/// Benchmarks the matrix–matrix sweep and returns one record per shape.
+pub fn mm_perf_records() -> Vec<PerfRecord> {
+    let mut group = BenchGroup::new("json_mm").sample_size(5);
+    let mut records = Vec::new();
+    for (w, n, p, m) in [
+        (2usize, 4usize, 4usize, 4usize),
+        (3, 6, 6, 9),
+        (4, 8, 8, 8),
+        (4, 16, 16, 16),
+        (8, 32, 32, 32),
+    ] {
+        let a = gen::random_dense_f64(n, p, 11);
+        let b = gen::random_dense_f64(p, m, 12);
+        let outcome = multiply_mm(&a, &b, None, w).expect("mm run");
+        let stats = group.bench(&format!("w{w}_{n}x{p}x{m}"), || {
+            multiply_mm(&a, &b, None, w).unwrap()
+        });
+        records.push(PerfRecord {
+            kind: "mm",
+            w,
+            n,
+            p,
+            m,
+            cycles_measured: outcome.cycles,
+            cycles_predicted: MmShape { w, n, p, m }.cycles(),
+            wall_ns: stats.median_ns,
+            steps_per_second: outcome.cycles as f64 / (stats.median_ns / 1e9),
+        });
+    }
+    records
+}
+
+/// Benchmarks the matrix–vector sweep and returns one record per shape.
+pub fn mv_perf_records() -> Vec<PerfRecord> {
+    let mut group = BenchGroup::new("json_mv").sample_size(5);
+    let mut records = Vec::new();
+    for (w, n, m) in [
+        (3usize, 6usize, 9usize),
+        (4, 16, 16),
+        (4, 64, 64),
+        (8, 64, 64),
+        (8, 128, 128),
+    ] {
+        let a = gen::random_dense_f64(n, m, 2);
+        let x = gen::random_vector_f64(m, 3);
+        let outcome = multiply_mv(&a, &x, None, w, MvSchedule::Simple).expect("mv run");
+        let stats = group.bench(&format!("w{w}_{n}x{m}"), || {
+            multiply_mv(&a, &x, None, w, MvSchedule::Simple).unwrap()
+        });
+        records.push(PerfRecord {
+            kind: "mv",
+            w,
+            n,
+            p: 0,
+            m,
+            cycles_measured: outcome.cycles,
+            cycles_predicted: MvShape { w, n, m }.cycles(),
+            wall_ns: stats.median_ns,
+            steps_per_second: outcome.cycles as f64 / (stats.median_ns / 1e9),
+        });
+    }
+    records
+}
+
+/// Renders records as a JSON array (pretty-printed, stable key order).
+pub fn to_json(records: &[PerfRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (idx, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "  {{\"kind\": \"{}\", \"w\": {}, \"n\": {}, \"p\": {}, \"m\": {}, ",
+                "\"cycles_measured\": {}, \"cycles_predicted\": {}, ",
+                "\"cycle_ratio\": {:.6}, \"wall_ns\": {:.1}, ",
+                "\"steps_per_second\": {:.1}}}"
+            ),
+            r.kind,
+            r.w,
+            r.n,
+            r.p,
+            r.m,
+            r.cycles_measured,
+            r.cycles_predicted,
+            r.cycle_ratio(),
+            r.wall_ns,
+            r.steps_per_second,
+        ));
+        out.push_str(if idx + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let records = vec![PerfRecord {
+            kind: "mm",
+            w: 2,
+            n: 4,
+            p: 4,
+            m: 4,
+            cycles_measured: 51,
+            cycles_predicted: 51,
+            wall_ns: 1234.5,
+            steps_per_second: 4.1e7,
+        }];
+        let json = to_json(&records);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"cycles_measured\": 51"));
+        assert!(json.contains("\"cycle_ratio\": 1.000000"));
+        // Exactly one record: no trailing comma.
+        assert!(!json.contains("},\n]"));
+    }
+
+    #[test]
+    fn cycle_ratio_handles_degenerate_prediction() {
+        let r = PerfRecord {
+            kind: "mv",
+            w: 1,
+            n: 1,
+            p: 0,
+            m: 1,
+            cycles_measured: 1,
+            cycles_predicted: 0,
+            wall_ns: 1.0,
+            steps_per_second: 1.0,
+        };
+        assert_eq!(r.cycle_ratio(), 0.0);
+    }
+}

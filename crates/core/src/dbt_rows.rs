@@ -25,6 +25,7 @@
 use crate::DbtError;
 use sia_matrix::{triangular, vector, BandMatrix, BlockGrid, DenseMatrix, Scalar};
 use sia_sim::YInjection;
+use std::sync::Arc;
 
 /// The DBT-by-rows transformation of one dense matrix for a given array
 /// size `w`.
@@ -55,7 +56,7 @@ pub struct DbtByRows<T> {
     m: usize,
     nbar: usize,
     mbar: usize,
-    band: BandMatrix<T>,
+    band: Arc<BandMatrix<T>>,
 }
 
 impl<T: Scalar> DbtByRows<T> {
@@ -111,7 +112,7 @@ impl<T: Scalar> DbtByRows<T> {
             m: a.cols(),
             nbar,
             mbar,
-            band,
+            band: Arc::new(band),
         })
     }
 
@@ -143,6 +144,13 @@ impl<T: Scalar> DbtByRows<T> {
     /// The transformed band matrix `Â` (`w·n̄·m̄` rows, bandwidth `w`).
     pub fn band(&self) -> &BandMatrix<T> {
         &self.band
+    }
+
+    /// The transformed band behind a shared handle — this is how the
+    /// solvers hand the band to [`sia_sim::MvStream`] without cloning the
+    /// coefficient storage.
+    pub fn band_shared(&self) -> Arc<BandMatrix<T>> {
+        Arc::clone(&self.band)
     }
 
     /// The transformed vector `x̂` (length `band().cols()`):
@@ -195,10 +203,12 @@ impl<T: Scalar> DbtByRows<T> {
         let mut injections = Vec::with_capacity(self.band.rows());
         for k in 0..self.block_row_count() {
             let r = k / self.mbar;
-            for local in 0..self.w {
-                if k % self.mbar == 0 {
-                    injections.push(YInjection::Value(b_blocks[r][local]));
-                } else {
+            if k % self.mbar == 0 {
+                for &value in b_blocks[r].iter().take(self.w) {
+                    injections.push(YInjection::Value(value));
+                }
+            } else {
+                for local in 0..self.w {
                     injections.push(YInjection::Feedback {
                         producer_row: (k - 1) * self.w + local,
                     });

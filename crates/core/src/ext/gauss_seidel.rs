@@ -79,7 +79,7 @@ pub fn gauss_seidel(
 
     let mut residual = f64::INFINITY;
     for sweep in 1..=max_sweeps {
-        for r in 0..nbar {
+        for (r, lu) in diag_factors.iter().enumerate() {
             let lo = r * w;
             let hi = ((r + 1) * w).min(n);
             let mut rhs: Vec<f64> = b[lo..hi].to_vec();
@@ -104,7 +104,6 @@ pub fn gauss_seidel(
                 }
             }
             // Diagonal solve through the pre-computed LU factors.
-            let lu = &diag_factors[r];
             let z = solve_lower(&lu.l, &rhs, hi - lo)?;
             let xb = solve_upper(&lu.u, &z.x, hi - lo)?;
             work.add_host(z.work.host_ops + xb.work.host_ops);

@@ -67,5 +67,8 @@ pub use analytic::{MmShape, MvShape};
 pub use dbt_rows::DbtByRows;
 pub use dbt_transposed::DbtTransposedByRows;
 pub use error::DbtError;
-pub use mm::{accumulation_plan, build_a_hat, build_b_hat, multiply_mm, AccumulationPlan, MmOutcome};
-pub use mv::{multiply_mv, MvOutcome, MvSchedule};
+pub use mm::{
+    accumulation_plan, build_a_hat, build_b_hat, multiply_mm, multiply_mm_batch, AccumulationPlan,
+    MmOutcome, MmProblem,
+};
+pub use mv::{multiply_mv, multiply_mv_batch, MvOutcome, MvProblem, MvSchedule};

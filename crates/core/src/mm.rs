@@ -26,8 +26,9 @@
 use crate::analytic::MmShape;
 use crate::DbtError;
 use sia_matrix::{BandMatrix, BlockGrid, DenseMatrix, Scalar};
-use sia_sim::{CInjection, FeedbackSummary, HexArray, HexJob};
+use sia_sim::{CInjection, FeedbackSummary, HexArray, HexJob, HexReport};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Result of one size-independent matrix–matrix multiplication.
 #[derive(Debug, Clone)]
@@ -61,6 +62,11 @@ impl<T> MmOutcome<T> {
 /// Builds the transformed operand `Â` (upper band, dimension
 /// `w·p̄·n̄·m̄ + w − 1`) from the dense `A`.
 ///
+/// The band juxtaposes `m̄` identical copies of the DBT-by-rows pattern, so
+/// only the first copy is written element by element; the remaining copies
+/// are single row-block `memmove`s into the preallocated band storage
+/// ([`BandMatrix::copy_row_block`]).
+///
 /// Exposed for the structural tests and the experiment harness; most users
 /// call [`multiply_mm`] instead.
 ///
@@ -85,10 +91,13 @@ pub fn build_a_hat<T: Scalar>(
     let g = mbar * per_copy;
     let n_dim = g * w + w - 1;
     let mut band = BandMatrix::new(n_dim, n_dim, 0, w - 1)?;
-    for q in 0..g {
-        let q_local = q % per_copy;
-        let r = q_local / pbar;
-        let u = q_local % pbar;
+    // Reference copy (block rows 0..per_copy), element by element.  The
+    // off-diagonal L part of block row q lands in columns (q+1)w + y with
+    // y < x <= w-1, which stays inside the matrix even for q = g - 1, so no
+    // bounds branch is needed.
+    for q in 0..per_copy {
+        let r = q / pbar;
+        let u = q % pbar;
         let u_block = grid.block(a, r, u)?;
         let l_block = grid.block(a, r, (u + 1) % pbar)?;
         for x in 0..w {
@@ -96,13 +105,16 @@ pub fn build_a_hat<T: Scalar>(
                 if y >= x {
                     band.set(q * w + x, q * w + y, u_block.at(x, y))?;
                 } else {
-                    let col = (q + 1) * w + y;
-                    if col < n_dim {
-                        band.set(q * w + x, col, l_block.at(x, y))?;
-                    }
+                    band.set(q * w + x, (q + 1) * w + y, l_block.at(x, y))?;
                 }
             }
         }
+    }
+    // Copies 1..m̄: identical content relative to their own rows (the stored
+    // slots are diagonal-offset addressed), so each is one row-block copy.
+    let copy_rows = per_copy * w;
+    for c in 1..mbar {
+        band.copy_row_block(0, c * copy_rows, copy_rows);
     }
     // Closing block U': the leading (w-1) x (w-1) corner of U_{0,0}.
     let corner = grid.block(a, 0, 0)?;
@@ -138,21 +150,33 @@ pub fn build_b_hat<T: Scalar>(
     let g = mbar * per_copy;
     let n_dim = g * w + w - 1;
     let mut band = BandMatrix::new(n_dim, n_dim, w - 1, 0)?;
-    for q in 0..g {
-        let i = q / per_copy;
-        let u = q % pbar;
-        let d_block = grid.block(b, u, i)?;
-        let e_block = grid.block(b, (u + 1) % pbar, i)?;
-        for x in 0..w {
-            for y in 0..w {
-                if y <= x {
-                    // lower-with-diagonal part of B_{u,i}
-                    band.set(q * w + x, q * w + y, d_block.at(x, y))?;
-                } else {
-                    // strictly-upper part of B_{(u+1) mod p̄, i}
-                    let row = (q + 1) * w + x;
-                    if row < n_dim {
-                        band.set(row, q * w + y, e_block.at(x, y))?;
+    // Block row q needs the (D, E) triangular pair of block column i = q /
+    // per_copy, block row u = q mod p̄ of B.  The pair repeats n̄ times per
+    // column copy, so it is extracted once per (u, i) and reused instead of
+    // being re-extracted (and re-allocated) on every one of the g block
+    // rows.
+    for i in 0..mbar {
+        let pairs: Vec<(DenseMatrix<T>, DenseMatrix<T>)> = (0..pbar)
+            .map(|u| {
+                Ok((
+                    grid.block(b, u, i)?,
+                    grid.block(b, (u + 1) % pbar, i)?,
+                ))
+            })
+            .collect::<Result<_, DbtError>>()?;
+        for q in i * per_copy..(i + 1) * per_copy {
+            let (d_block, e_block) = &pairs[q % pbar];
+            for x in 0..w {
+                for y in 0..w {
+                    if y <= x {
+                        // lower-with-diagonal part of B_{u,i}
+                        band.set(q * w + x, q * w + y, d_block.at(x, y))?;
+                    } else {
+                        // strictly-upper part of B_{(u+1) mod p̄, i}
+                        let row = (q + 1) * w + x;
+                        if row < n_dim {
+                            band.set(row, q * w + y, e_block.at(x, y))?;
+                        }
                     }
                 }
             }
@@ -169,13 +193,18 @@ pub fn build_b_hat<T: Scalar>(
     Ok(band)
 }
 
+/// One accumulation chain: the target element of the (padded) result `C`
+/// paired with the ordered band positions whose partial values chain
+/// through the spiral feedback.
+pub type AccumulationChain = ((usize, usize), Vec<(usize, usize)>);
+
 /// The accumulation chains of the transformed problem: for every element of
 /// the (padded) result `C`, the ordered list of result-band positions whose
 /// partial values must be chained through the spiral feedback, the last of
 /// which carries the final value.
 pub struct AccumulationPlan {
     /// `(target element of the padded C, ordered chain of band positions)`.
-    pub chains: Vec<((usize, usize), Vec<(usize, usize)>)>,
+    pub chains: Vec<AccumulationChain>,
     /// Dimension of the transformed operands.
     pub transformed_dim: usize,
 }
@@ -286,6 +315,68 @@ pub fn multiply_mm<T: Scalar>(
     e: Option<&DenseMatrix<T>>,
     w: usize,
 ) -> Result<MmOutcome<T>, DbtError> {
+    let (job, finish) = prepare_mm(a, b, e, w)?;
+    let report = HexArray::new(w)?.run(&job)?;
+    Ok(finish.complete(report))
+}
+
+/// One matrix–matrix problem of a batch, by reference.
+#[derive(Debug, Clone, Copy)]
+pub struct MmProblem<'a, T> {
+    /// Left operand.
+    pub a: &'a DenseMatrix<T>,
+    /// Right operand.
+    pub b: &'a DenseMatrix<T>,
+    /// Optional additive term `E` of `C = A·B + E`.
+    pub e: Option<&'a DenseMatrix<T>>,
+}
+
+/// Computes many independent `C = A·B + E` products on the same `w × w`
+/// array, fanning the **whole pipeline** — operand construction, simulation
+/// and result extraction — out across OS threads per problem
+/// ([`sia_sim::batch::par_map`]), so no serial prepare phase bounds the
+/// speedup.  Outcomes are returned in problem order and are bit-identical
+/// to what [`multiply_mm`] produces for each problem.
+///
+/// # Errors
+///
+/// Returns the error of the first (lowest-index) failing problem, if any.
+pub fn multiply_mm_batch<T: Scalar>(
+    problems: &[MmProblem<'_, T>],
+    w: usize,
+) -> Result<Vec<MmOutcome<T>>, DbtError> {
+    if w == 0 {
+        return Err(DbtError::ZeroArraySize);
+    }
+    let array = HexArray::new(w)?;
+    sia_sim::batch::par_map(problems, |p| {
+        let (job, finish) = prepare_mm(p.a, p.b, p.e, w)?;
+        let report = array.run(&job)?;
+        Ok(finish.complete(report))
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Everything needed to turn a [`HexReport`] back into an [`MmOutcome`]:
+/// the problem shape and, per result element, the band position of the last
+/// member of its accumulation chain.
+struct MmFinish {
+    shape: MmShape,
+    /// `final_position[gi * m + gj]` = band position carrying `c_{gi,gj}`
+    /// (`None` would mean the plan failed to cover that element, which the
+    /// extraction treats as a bug, not a zero).
+    final_position: Vec<Option<(usize, usize)>>,
+}
+
+/// Builds the transformed job (operands behind [`Arc`], no band cloning)
+/// plus the extraction map for one problem.
+fn prepare_mm<T: Scalar>(
+    a: &DenseMatrix<T>,
+    b: &DenseMatrix<T>,
+    e: Option<&DenseMatrix<T>>,
+    w: usize,
+) -> Result<(HexJob<T>, MmFinish), DbtError> {
     if w == 0 {
         return Err(DbtError::ZeroArraySize);
     }
@@ -320,8 +411,10 @@ pub fn multiply_mm<T: Scalar>(
     debug_assert_eq!(b_hat.rows(), shape.transformed_dim());
 
     let plan = accumulation_plan(shape)?;
-    let mut injections: HashMap<(usize, usize), CInjection<T>> = HashMap::new();
-    let mut final_position: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+    let chain_members: usize = plan.chains.iter().map(|(_, m)| m.len()).sum();
+    let mut injections: HashMap<(usize, usize), CInjection<T>> =
+        HashMap::with_capacity(chain_members);
+    let mut final_position: Vec<Option<(usize, usize)>> = vec![None; shape.n * shape.m];
     for (target, members) in &plan.chains {
         let first_value = match e {
             Some(e) => e.at_padded(target.0, target.1),
@@ -336,39 +429,59 @@ pub fn multiply_mm<T: Scalar>(
             injections.insert(pos, injection);
             previous = Some(pos);
         }
-        if let Some(last) = previous {
-            final_position.insert(*target, last);
+        if let (Some(last), true) = (previous, target.0 < shape.n && target.1 < shape.m) {
+            final_position[target.0 * shape.m + target.1] = Some(last);
         }
     }
 
     let job = HexJob {
-        a: a_hat,
-        b: b_hat,
+        a: Arc::new(a_hat),
+        b: Arc::new(b_hat),
         c_injections: injections,
     };
-    let report = HexArray::new(w)?.run(&job)?;
+    Ok((
+        job,
+        MmFinish {
+            shape,
+            final_position,
+        },
+    ))
+}
 
-    let mut c = DenseMatrix::zeros(shape.n, shape.m);
-    for gi in 0..shape.n {
-        for gj in 0..shape.m {
-            let pos = final_position
-                .get(&(gi, gj))
-                .expect("every result element has an accumulation chain");
-            let value = report
-                .value(pos.0, pos.1)
-                .expect("the final chain member is produced by the array");
-            c[(gi, gj)] = value;
+impl MmFinish {
+    /// Extracts the dense result from the raw report.
+    ///
+    /// The report's output stream is first indexed into a flat
+    /// band-offset-addressed vector, so each of the `n·m` final-chain reads
+    /// is O(1) instead of a linear scan over all outputs.
+    fn complete<T: Scalar>(self, report: HexReport<T>) -> MmOutcome<T> {
+        let shape = self.shape;
+        let w = shape.w;
+        let dim = shape.transformed_dim();
+        let band_width = 2 * w - 1;
+        let mut value_at: Vec<Option<T>> = vec![None; dim * band_width];
+        for o in &report.outputs {
+            value_at[o.row * band_width + (o.col + w - 1 - o.row)] = Some(o.value);
+        }
+        let mut c = DenseMatrix::zeros(shape.n, shape.m);
+        for gi in 0..shape.n {
+            for gj in 0..shape.m {
+                let (bi, bj) = self.final_position[gi * shape.m + gj]
+                    .expect("every result element has an accumulation chain");
+                let value = value_at[bi * band_width + (bj + w - 1 - bi)]
+                    .expect("the final chain member is produced by the array");
+                c[(gi, gj)] = value;
+            }
+        }
+        MmOutcome {
+            c,
+            shape,
+            cycles: report.cycles,
+            efficiency: report.utilization.efficiency(shape.n * shape.m * shape.p),
+            activity: report.utilization.activity(),
+            feedback: report.feedback,
         }
     }
-
-    Ok(MmOutcome {
-        c,
-        shape,
-        cycles: report.cycles,
-        efficiency: report.utilization.efficiency(shape.n * shape.m * shape.p),
-        activity: report.utilization.activity(),
-        feedback: report.feedback,
-    })
 }
 
 #[cfg(test)]
@@ -518,6 +631,51 @@ mod tests {
             for &pos in members {
                 assert!(seen.insert(pos), "band position {pos:?} used twice");
             }
+        }
+    }
+
+    #[test]
+    fn a_hat_juxtaposed_copies_are_bitwise_identical() {
+        // The row-block copies must reproduce the reference copy exactly,
+        // including the padded shapes where blocks carry zero fill.
+        let w = 3;
+        let a = gen::random_dense_i64(7, 8, 5, 91);
+        let mbar = 3;
+        let a_hat = build_a_hat(&a, mbar, w).unwrap();
+        let per_copy = 7usize.div_ceil(w) * 8usize.div_ceil(w);
+        let copy_rows = per_copy * w;
+        for c in 1..mbar {
+            for row in 0..copy_rows {
+                assert_eq!(
+                    a_hat.row_slice(row),
+                    a_hat.row_slice(c * copy_rows + row),
+                    "copy {c}, row {row}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_solver_matches_sequential_outcomes() {
+        let w = 2;
+        let mats: Vec<_> = (0..5u64)
+            .map(|s| {
+                (
+                    gen::random_dense_i64(4, 5, 4, 300 + s),
+                    gen::random_dense_i64(5, 3, 4, 400 + s),
+                )
+            })
+            .collect();
+        let problems: Vec<MmProblem<'_, i64>> = mats
+            .iter()
+            .map(|(a, b)| MmProblem { a, b, e: None })
+            .collect();
+        let batch = multiply_mm_batch(&problems, w).unwrap();
+        for (p, outcome) in problems.iter().zip(&batch) {
+            let solo = multiply_mm(p.a, p.b, None, w).unwrap();
+            assert_eq!(outcome.c, solo.c);
+            assert_eq!(outcome.cycles, solo.cycles);
+            assert_eq!(outcome.feedback, solo.feedback);
         }
     }
 

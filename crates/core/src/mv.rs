@@ -108,6 +108,60 @@ pub fn multiply_mv<T: Scalar>(
     if w == 0 {
         return Err(DbtError::ZeroArraySize);
     }
+    let shape = validate_mv_args(a, x, b, w)?;
+    let prepared = prepare_mv(a, x, b, w, shape, schedule)?;
+    let report = LinearArray::new(w)?.run(&prepared.streams)?;
+    prepared.finish.complete(report)
+}
+
+/// One matrix–vector problem of a batch, by reference.
+#[derive(Debug, Clone, Copy)]
+pub struct MvProblem<'a, T> {
+    /// The dense matrix `A`.
+    pub a: &'a DenseMatrix<T>,
+    /// The vector `x`.
+    pub x: &'a [T],
+    /// Optional additive vector `b` of `y = A·x + b`.
+    pub b: Option<&'a [T]>,
+}
+
+/// Computes many independent `y = A·x + b` products on the same `w`-cell
+/// array with the given schedule, fanning the **whole pipeline** — DBT
+/// transformation, simulation and result extraction — out across OS
+/// threads per problem ([`sia_sim::batch::par_map`]), so no serial prepare
+/// phase bounds the speedup.  Outcomes are returned in problem order and
+/// are bit-identical to what [`multiply_mv`] produces for each problem.
+///
+/// # Errors
+///
+/// Returns the error of the first (lowest-index) failing problem, if any.
+pub fn multiply_mv_batch<T: Scalar>(
+    problems: &[MvProblem<'_, T>],
+    w: usize,
+    schedule: MvSchedule,
+) -> Result<Vec<MvOutcome<T>>, DbtError> {
+    if w == 0 {
+        return Err(DbtError::ZeroArraySize);
+    }
+    let array = LinearArray::new(w)?;
+    sia_sim::batch::par_map(problems, |p| {
+        let shape = validate_mv_args(p.a, p.x, p.b, w)?;
+        let prepared = prepare_mv(p.a, p.x, p.b, w, shape, schedule)?;
+        let report = array.run(&prepared.streams)?;
+        prepared.finish.complete(report)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Checks the `A`/`x`/`b` dimension contract shared by [`multiply_mv`] and
+/// [`multiply_mv_batch`] and returns the problem shape.
+fn validate_mv_args<T: Scalar>(
+    a: &DenseMatrix<T>,
+    x: &[T],
+    b: Option<&[T]>,
+    w: usize,
+) -> Result<MvShape, DbtError> {
     if x.len() != a.cols() {
         return Err(DbtError::VectorLength {
             what: "x",
@@ -124,93 +178,110 @@ pub fn multiply_mv<T: Scalar>(
             });
         }
     }
-    let shape = MvShape {
+    Ok(MvShape {
         w,
         n: a.rows(),
         m: a.cols(),
-    };
-    match schedule {
-        MvSchedule::Simple => run_simple(a, x, b, w, shape),
-        MvSchedule::Overlapped => run_overlapped(a, x, b, w, shape),
-    }
-}
-
-fn run_simple<T: Scalar>(
-    a: &DenseMatrix<T>,
-    x: &[T],
-    b: Option<&[T]>,
-    w: usize,
-    shape: MvShape,
-) -> Result<MvOutcome<T>, DbtError> {
-    let dbt = DbtByRows::new(a, w)?;
-    let stream = MvStream {
-        band: dbt.band().clone(),
-        x: dbt.transform_x(x)?,
-        y_injections: dbt.y_injections(b)?,
-    };
-    let report = LinearArray::new(w)?.run(&[stream])?;
-    let y = dbt.extract_y(&report.y(0))?;
-    Ok(MvOutcome {
-        y,
-        shape,
-        schedule: MvSchedule::Simple,
-        cycles: report.cycles,
-        efficiency: report.utilization.efficiency(shape.n * shape.m),
-        activity: report.utilization.activity(),
-        feedback: report.feedback,
     })
 }
 
-fn run_overlapped<T: Scalar>(
+/// A problem transformed into array streams plus the recipe to read the
+/// result back out.
+struct PreparedMv<T> {
+    streams: Vec<MvStream<T>>,
+    finish: MvFinish<T>,
+}
+
+/// Extraction state: the transformation objects know which band rows carry
+/// the final values.
+struct MvFinish<T> {
+    shape: MvShape,
+    schedule: MvSchedule,
+    /// One transformation per stream (one for simple, two for overlapped).
+    dbts: Vec<DbtByRows<T>>,
+}
+
+impl<T: Scalar> MvFinish<T> {
+    fn complete(self, report: sia_sim::LinearReport<T>) -> Result<MvOutcome<T>, DbtError> {
+        let mut y = Vec::with_capacity(self.shape.n);
+        for (stream, dbt) in self.dbts.iter().enumerate() {
+            y.extend(dbt.extract_y(&report.y(stream))?);
+        }
+        Ok(MvOutcome {
+            y,
+            shape: self.shape,
+            schedule: self.schedule,
+            cycles: report.cycles,
+            efficiency: report.utilization.efficiency(self.shape.n * self.shape.m),
+            activity: report.utilization.activity(),
+            feedback: report.feedback,
+        })
+    }
+}
+
+/// Builds the stream set for one problem.  The DBT bands are handed to the
+/// streams behind shared handles ([`DbtByRows::band_shared`]) — no
+/// coefficient storage is cloned.
+fn prepare_mv<T: Scalar>(
     a: &DenseMatrix<T>,
     x: &[T],
     b: Option<&[T]>,
     w: usize,
     shape: MvShape,
-) -> Result<MvOutcome<T>, DbtError> {
-    let nbar = shape.nbar();
-    if nbar < 2 {
-        // A single block row cannot be split; fall back to the simple
-        // schedule (the outcome still reports `Overlapped` predictions via
-        // `shape`, but the measured numbers are the honest ones).
-        let mut outcome = run_simple(a, x, b, w, shape)?;
-        outcome.schedule = MvSchedule::Overlapped;
-        return Ok(outcome);
-    }
-    // Split at an original block-row boundary (the dotted line of Fig. 2b):
-    // the first ⌈n̄/2⌉ block rows form one sub-problem, the rest the other.
-    let split_rows = (nbar / 2) * w;
-    let top = a.submatrix(0, 0, split_rows, a.cols());
-    let bottom = a.submatrix(split_rows, 0, a.rows() - split_rows, a.cols());
-    let zero = vec![T::zero(); a.rows()];
-    let b_full = b.unwrap_or(&zero);
-    let (b_top, b_bottom) = b_full.split_at(split_rows.min(b_full.len()));
+    schedule: MvSchedule,
+) -> Result<PreparedMv<T>, DbtError> {
+    if schedule == MvSchedule::Overlapped && shape.nbar() >= 2 {
+        // Split at an original block-row boundary (the dotted line of
+        // Fig. 2b): the first ⌈n̄/2⌉ block rows form one sub-problem, the
+        // rest the other, interleaved in the array's idle cycles.
+        let nbar = shape.nbar();
+        let split_rows = (nbar / 2) * w;
+        let top = a.submatrix(0, 0, split_rows, a.cols());
+        let bottom = a.submatrix(split_rows, 0, a.rows() - split_rows, a.cols());
+        let zero = vec![T::zero(); a.rows()];
+        let b_full = b.unwrap_or(&zero);
+        let (b_top, b_bottom) = b_full.split_at(split_rows.min(b_full.len()));
 
-    let dbt_top = DbtByRows::new(&top, w)?;
-    let dbt_bottom = DbtByRows::new(&bottom, w)?;
-    let streams = vec![
-        MvStream {
-            band: dbt_top.band().clone(),
-            x: dbt_top.transform_x(x)?,
-            y_injections: dbt_top.y_injections(Some(b_top))?,
+        let dbt_top = DbtByRows::new(&top, w)?;
+        let dbt_bottom = DbtByRows::new(&bottom, w)?;
+        let streams = vec![
+            MvStream {
+                band: dbt_top.band_shared(),
+                x: dbt_top.transform_x(x)?,
+                y_injections: dbt_top.y_injections(Some(b_top))?,
+            },
+            MvStream {
+                band: dbt_bottom.band_shared(),
+                x: dbt_bottom.transform_x(x)?,
+                y_injections: dbt_bottom.y_injections(Some(b_bottom))?,
+            },
+        ];
+        return Ok(PreparedMv {
+            streams,
+            finish: MvFinish {
+                shape,
+                schedule,
+                dbts: vec![dbt_top, dbt_bottom],
+            },
+        });
+    }
+    // Simple schedule — also the fallback for an overlapped request on a
+    // single block row, which cannot be split (the outcome still reports
+    // `Overlapped` predictions via `shape`, but the measured numbers are
+    // the honest ones).
+    let dbt = DbtByRows::new(a, w)?;
+    let streams = vec![MvStream {
+        band: dbt.band_shared(),
+        x: dbt.transform_x(x)?,
+        y_injections: dbt.y_injections(b)?,
+    }];
+    Ok(PreparedMv {
+        streams,
+        finish: MvFinish {
+            shape,
+            schedule,
+            dbts: vec![dbt],
         },
-        MvStream {
-            band: dbt_bottom.band().clone(),
-            x: dbt_bottom.transform_x(x)?,
-            y_injections: dbt_bottom.y_injections(Some(b_bottom))?,
-        },
-    ];
-    let report = LinearArray::new(w)?.run(&streams)?;
-    let mut y = dbt_top.extract_y(&report.y(0))?;
-    y.extend(dbt_bottom.extract_y(&report.y(1))?);
-    Ok(MvOutcome {
-        y,
-        shape,
-        schedule: MvSchedule::Overlapped,
-        cycles: report.cycles,
-        efficiency: report.utilization.efficiency(shape.n * shape.m),
-        activity: report.utilization.activity(),
-        feedback: report.feedback,
     })
 }
 

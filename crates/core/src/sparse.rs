@@ -148,10 +148,12 @@ pub fn multiply_mv_block_sparse<T: Scalar>(
                 }
             }
             x_hat.extend_from_slice(&x_blocks[s]);
-            for local in 0..w {
-                if pos == 0 {
-                    injections.push(YInjection::Value(b_blocks[r][local]));
-                } else {
+            if pos == 0 {
+                for &value in b_blocks[r].iter().take(w) {
+                    injections.push(YInjection::Value(value));
+                }
+            } else {
+                for local in 0..w {
                     injections.push(YInjection::Feedback {
                         producer_row: (t - 1) * w + local,
                     });
@@ -174,7 +176,7 @@ pub fn multiply_mv_block_sparse<T: Scalar>(
     x_hat.extend_from_slice(&x_blocks[0][..w - 1]);
 
     let stream = MvStream {
-        band,
+        band: band.into(),
         x: x_hat,
         y_injections: injections,
     };

@@ -26,12 +26,14 @@ pub struct BandShape {
 impl BandShape {
     /// Total number of stored diagonals, `lower + upper + 1` — this is the
     /// *bandwidth* `w` in the paper's terminology when the band is one-sided.
+    #[inline]
     pub fn bandwidth(&self) -> usize {
         self.lower + self.upper + 1
     }
 
     /// Returns `true` if `(i, j)` falls inside both the matrix bounds and the
     /// stored band.
+    #[inline]
     pub fn contains(&self, i: usize, j: usize) -> bool {
         i < self.rows && j < self.cols && j + self.lower >= i && i + self.upper >= j
     }
@@ -157,6 +159,7 @@ impl<T: Scalar> BandMatrix<T> {
         self.shape.bandwidth()
     }
 
+    #[inline]
     fn slot(&self, i: usize, j: usize) -> Option<usize> {
         if self.shape.contains(i, j) {
             Some(i * self.shape.bandwidth() + (j + self.shape.lower - i))
@@ -172,6 +175,7 @@ impl<T: Scalar> BandMatrix<T> {
     /// # Panics
     ///
     /// Panics if `(i, j)` is outside the matrix bounds.
+    #[inline]
     pub fn get(&self, i: usize, j: usize) -> T {
         assert!(
             i < self.shape.rows && j < self.shape.cols,
@@ -191,6 +195,7 @@ impl<T: Scalar> BandMatrix<T> {
     ///
     /// Returns [`MatrixError::IndexOutOfBounds`] outside the matrix and
     /// [`MatrixError::OutsideBand`] inside the matrix but outside the band.
+    #[inline]
     pub fn set(&mut self, i: usize, j: usize, value: T) -> Result<(), MatrixError> {
         if i >= self.shape.rows || j >= self.shape.cols {
             return Err(MatrixError::IndexOutOfBounds {
@@ -267,6 +272,120 @@ impl<T: Scalar> BandMatrix<T> {
     /// dimensions (`None` if the shapes differ).
     pub fn max_abs_diff_dense(&self, dense: &DenseMatrix<T>) -> Option<f64> {
         self.to_dense().max_abs_diff(dense)
+    }
+
+    /// The stored slots of row `i` as a contiguous slice of length
+    /// [`BandMatrix::bandwidth`]; slot `o` of the slice holds the element at
+    /// column `i − lower + o`.
+    ///
+    /// Slots whose column falls outside the matrix bounds are present in the
+    /// slice but meaningless (they read as zero through [`BandMatrix::get`]);
+    /// hot loops that index the slice directly must respect the band shape
+    /// themselves.  This is the zero-copy access path the cycle simulators
+    /// use instead of per-element [`BandMatrix::get`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the matrix.
+    #[inline]
+    pub fn row_slice(&self, i: usize) -> &[T] {
+        let width = self.shape.bandwidth();
+        &self.data[i * width..(i + 1) * width]
+    }
+
+    /// Copies the stored slots of `count` rows starting at `src_row` over the
+    /// rows starting at `dst_row` (one `memmove`, no per-element branching).
+    ///
+    /// This is the juxtaposition primitive of the DBT operand builders: the
+    /// transformed band repeats the same block pattern many times, so one
+    /// reference copy is built element-wise and the rest are row-block
+    /// copies.  The caller must guarantee that every copied slot is in-band
+    /// at its destination (true for the interior of the DBT bands); slots
+    /// outside the matrix bounds at the destination would otherwise carry
+    /// junk that breaks `PartialEq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row range extends past the matrix.
+    pub fn copy_row_block(&mut self, src_row: usize, dst_row: usize, count: usize) {
+        let width = self.shape.bandwidth();
+        assert!(
+            src_row + count <= self.shape.rows && dst_row + count <= self.shape.rows,
+            "row block copy [{src_row}, +{count}) -> [{dst_row}, +{count}) exceeds {} rows",
+            self.shape.rows
+        );
+        self.data
+            .copy_within(src_row * width..(src_row + count) * width, dst_row * width);
+    }
+
+    /// The stored diagonal offsets, `-lower ..= upper`.
+    #[inline]
+    pub fn diagonal_offsets(&self) -> impl Iterator<Item = isize> {
+        -(self.shape.lower as isize)..=(self.shape.upper as isize)
+    }
+
+    /// Iterator over the in-bounds `(row, col, value)` entries of stored
+    /// diagonal `d = j − i`, top to bottom, with **no per-element bounds
+    /// branching**: the row range is resolved once up front and the storage
+    /// is then walked at a fixed stride.  The simulators use this to build
+    /// their injection tapes (entry cycles are closed-form per diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is not a stored diagonal (`-lower <= d <= upper`).
+    #[inline]
+    pub fn diagonal_entries(&self, d: isize) -> DiagonalEntries<'_, T> {
+        assert!(
+            -(self.shape.lower as isize) <= d && d <= self.shape.upper as isize,
+            "diagonal {d} is not stored (lower {}, upper {})",
+            self.shape.lower,
+            self.shape.upper
+        );
+        let i_start = if d < 0 { (-d) as usize } else { 0 };
+        let cols_limit = if d > 0 {
+            self.shape.cols.saturating_sub(d as usize)
+        } else {
+            self.shape.cols + (-d) as usize
+        };
+        let i_end = self.shape.rows.min(cols_limit).max(i_start);
+        DiagonalEntries {
+            band: self,
+            d,
+            i: i_start,
+            i_end,
+        }
+    }
+}
+
+/// Iterator over one stored diagonal of a [`BandMatrix`]; see
+/// [`BandMatrix::diagonal_entries`].
+pub struct DiagonalEntries<'a, T> {
+    band: &'a BandMatrix<T>,
+    d: isize,
+    i: usize,
+    i_end: usize,
+}
+
+impl<T: Scalar> Iterator for DiagonalEntries<'_, T> {
+    type Item = (usize, usize, T);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.i >= self.i_end {
+            return None;
+        }
+        let i = self.i;
+        self.i += 1;
+        let shape = self.band.shape;
+        let j = (i as isize + self.d) as usize;
+        let slot = i * shape.bandwidth() + (j + shape.lower - i);
+        Some((i, j, self.band.data[slot]))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.i_end - self.i;
+        (n, Some(n))
     }
 }
 

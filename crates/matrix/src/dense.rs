@@ -238,13 +238,13 @@ impl<T: Scalar> DenseMatrix<T> {
             });
         }
         let mut y = vec![T::zero(); self.rows];
-        for i in 0..self.rows {
+        for (i, slot) in y.iter_mut().enumerate() {
             let mut acc = T::zero();
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             for (a, &xv) in row.iter().zip(x) {
                 acc += *a * xv;
             }
-            y[i] = acc;
+            *slot = acc;
         }
         Ok(y)
     }

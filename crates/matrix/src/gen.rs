@@ -6,36 +6,35 @@
 //! examples and experiment harness — the synthetic stand-in for the 1986
 //! signal-processing workloads (see DESIGN.md, substitutions table).
 
+use crate::rng::SplitMix64;
 use crate::{DenseMatrix, Scalar};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Deterministic dense matrix with entries drawn uniformly from
-/// `[-1.0, 1.0]`.
+/// `[-1.0, 1.0)`.
 pub fn random_dense_f64(rows: usize, cols: usize, seed: u64) -> DenseMatrix<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    DenseMatrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..=1.0))
+    let mut rng = SplitMix64::new(seed);
+    DenseMatrix::from_fn(rows, cols, |_, _| rng.range_f64(-1.0, 1.0))
 }
 
 /// Deterministic dense matrix with small integer entries in
 /// `[-bound, bound]`, suitable for exact (rounding-free) comparisons.
 pub fn random_dense_i64(rows: usize, cols: usize, bound: i64, seed: u64) -> DenseMatrix<i64> {
     let bound = bound.max(1);
-    let mut rng = StdRng::seed_from_u64(seed);
-    DenseMatrix::from_fn(rows, cols, |_, _| rng.gen_range(-bound..=bound))
+    let mut rng = SplitMix64::new(seed);
+    DenseMatrix::from_fn(rows, cols, |_, _| rng.range_i64(-bound, bound))
 }
 
-/// Deterministic vector with entries drawn uniformly from `[-1.0, 1.0]`.
+/// Deterministic vector with entries drawn uniformly from `[-1.0, 1.0)`.
 pub fn random_vector_f64(len: usize, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| rng.gen_range(-1.0..=1.0)).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..len).map(|_| rng.range_f64(-1.0, 1.0)).collect()
 }
 
 /// Deterministic vector with small integer entries in `[-bound, bound]`.
 pub fn random_vector_i64(len: usize, bound: i64, seed: u64) -> Vec<i64> {
     let bound = bound.max(1);
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| rng.gen_range(-bound..=bound)).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..len).map(|_| rng.range_i64(-bound, bound)).collect()
 }
 
 /// Diagonally dominant matrix: random entries with the diagonal boosted so
@@ -59,10 +58,10 @@ pub fn banded_random_f64(
     upper: usize,
     seed: u64,
 ) -> DenseMatrix<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     DenseMatrix::from_fn(rows, cols, |i, j| {
         if j + lower >= i && i + upper >= j {
-            rng.gen_range(-1.0..=1.0)
+            rng.range_f64(-1.0, 1.0)
         } else {
             0.0
         }
@@ -81,17 +80,17 @@ pub fn block_sparse_f64(
 ) -> DenseMatrix<f64> {
     assert!(w > 0, "block size w must be positive");
     let density = density.clamp(0.0, 1.0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let block_rows = rows.div_ceil(w);
     let block_cols = cols.div_ceil(w);
     let mut keep = vec![false; block_rows * block_cols];
     for slot in keep.iter_mut() {
-        *slot = rng.gen_bool(density);
+        *slot = rng.next_bool(density);
     }
-    let mut value_rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    let mut value_rng = SplitMix64::new(seed.wrapping_add(1));
     DenseMatrix::from_fn(rows, cols, |i, j| {
         if keep[(i / w) * block_cols + (j / w)] {
-            value_rng.gen_range(-1.0..=1.0)
+            value_rng.range_f64(-1.0, 1.0)
         } else {
             0.0
         }
@@ -101,13 +100,13 @@ pub fn block_sparse_f64(
 /// Lower-triangular, unit-diagonal-free random matrix with a well-conditioned
 /// diagonal (all `|l_ii| >= 1`); used by the triangular-solve extension.
 pub fn lower_triangular_f64(n: usize, seed: u64) -> DenseMatrix<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     DenseMatrix::from_fn(n, n, |i, j| {
         if j < i {
-            rng.gen_range(-1.0..=1.0)
+            rng.range_f64(-1.0, 1.0)
         } else if j == i {
-            let v: f64 = rng.gen_range(1.0..=2.0);
-            if rng.gen_bool(0.5) {
+            let v: f64 = rng.range_f64(1.0, 2.0);
+            if rng.next_bool(0.5) {
                 v
             } else {
                 -v

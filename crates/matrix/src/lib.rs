@@ -42,11 +42,12 @@ mod block;
 mod dense;
 mod error;
 pub mod gen;
+pub mod rng;
 mod scalar;
 pub mod triangular;
 pub mod vector;
 
-pub use band::{BandIter, BandMatrix, BandShape};
+pub use band::{BandIter, BandMatrix, BandShape, DiagonalEntries};
 pub use block::BlockGrid;
 pub use dense::DenseMatrix;
 pub use error::MatrixError;

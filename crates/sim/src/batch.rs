@@ -1,0 +1,71 @@
+//! Parallel execution of independent simulator jobs.
+//!
+//! The batch APIs ([`crate::HexArray::run_batch`],
+//! [`crate::LinearArray::run_batch`]) run embarrassingly parallel jobs on
+//! OS threads via `std::thread::scope`.  The build environment of this
+//! repository cannot reach crates.io, so a work-stealing pool (rayon) is not
+//! available; contiguous chunking over scoped threads gives the same
+//! ordered-results semantics for the coarse-grained jobs the solvers
+//! produce, with zero dependencies.
+
+use std::thread;
+
+/// Maps `f` over `items` in parallel, preserving order.
+///
+/// Items are split into one contiguous chunk per available core; with zero
+/// or one items (or a single core) the map runs inline.  A panic in `f` is
+/// re-raised on the caller with its original payload.
+///
+/// Exposed so the solver crates can fan whole pipelines (operand
+/// construction + simulation + extraction) out per job instead of only the
+/// simulation step.
+pub fn par_map<I, O, F>(items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = items.len();
+    let threads = thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| {
+                handle
+                    .join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        let items: Vec<usize> = (0..103).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..103).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+}

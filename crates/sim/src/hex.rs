@@ -21,11 +21,33 @@
 //! feedback: a [`CInjection::Feedback`] entry names the earlier output the
 //! new value continues from, and the engine records the delay and storage
 //! the wiring would need.
+//!
+//! # Engine architecture
+//!
+//! The engine is **tape-driven**: every boundary schedule has closed-form
+//! entry cycles (`a_{ik}` at `i + 2k`, `b_{kj}` at `j + 2k`, `c_{ij}` at
+//! `i + j + max(i, j) + w − 1`), so injections are precomputed into dense
+//! per-cycle tapes ([`crate::tape`]) — the per-cycle work is a slice walk,
+//! never a hash lookup.  The three register planes are stored as **ring
+//! buffers** whose addressing absorbs the dataflow: a value keeps its slot
+//! for its whole life (`a`/`b`: slot `(edge + t) mod w` per lane; `c`: one
+//! ring per result diagonal), so the per-cycle plane shift of a naive RTL
+//! simulator disappears entirely.  The compute scan visits only the
+//! occupied **anti-diagonal wavefront**: cell `(α, β)` can fire at cycle `t`
+//! only when `3 | (t − w + 1 + α + β)`, so two thirds of the cells are
+//! skipped without being touched.  Feedback values live in a flat vector
+//! indexed by result-band offset.  The observable behaviour — outputs,
+//! ordering, cycle counts, utilization and feedback statistics — is
+//! bit-identical to the original shift-everything engine; the equivalence
+//! suite in `tests/properties.rs` holds it to the paper's closed forms.
 
+use crate::batch::par_map;
 use crate::report::{FeedbackEvent, FeedbackSummary, Utilization};
+use crate::tape::Tape;
 use crate::SimError;
 use sia_matrix::{BandMatrix, DenseMatrix, Scalar};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How one result element is initialised when it enters the array.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,14 +64,20 @@ pub enum CInjection<T> {
 }
 
 /// One band matrix–matrix multiplication job.
+///
+/// The operands are shared ([`Arc`]) so that jobs can be constructed without
+/// cloning band storage and fanned out across threads by
+/// [`HexArray::run_batch`]; owned matrices convert implicitly through
+/// [`HexJob::product`] or `.into()`.
 #[derive(Clone)]
 pub struct HexJob<T> {
     /// Left operand: an upper band matrix (`lower == 0`, bandwidth ≤ `w`).
-    pub a: BandMatrix<T>,
+    pub a: Arc<BandMatrix<T>>,
     /// Right operand: a lower band matrix (`upper == 0`, bandwidth ≤ `w`).
-    pub b: BandMatrix<T>,
+    pub b: Arc<BandMatrix<T>>,
     /// Initial values for result positions.  Positions not mentioned start
-    /// from zero.
+    /// from zero.  (A map is fine here: it is walked once at construction
+    /// time to build the injection tape, never inside the cycle loop.)
     pub c_injections: HashMap<(usize, usize), CInjection<T>>,
 }
 
@@ -66,10 +94,10 @@ impl<T: Scalar> std::fmt::Debug for HexJob<T> {
 impl<T: Scalar> HexJob<T> {
     /// Convenience constructor for a plain `C = A·B` job (all result
     /// positions start from zero).
-    pub fn product(a: BandMatrix<T>, b: BandMatrix<T>) -> Self {
+    pub fn product(a: impl Into<Arc<BandMatrix<T>>>, b: impl Into<Arc<BandMatrix<T>>>) -> Self {
         HexJob {
-            a,
-            b,
+            a: a.into(),
+            b: b.into(),
             c_injections: HashMap::new(),
         }
     }
@@ -107,6 +135,10 @@ pub struct HexReport<T> {
 impl<T: Scalar> HexReport<T> {
     /// Looks up the output value at result position `(i, j)`, if that
     /// position was produced.
+    ///
+    /// This is a linear scan; callers that read many positions should build
+    /// an index over [`HexReport::outputs`] instead (the `sia-dbt` solvers
+    /// do).
     pub fn value(&self, i: usize, j: usize) -> Option<T> {
         self.outputs
             .iter()
@@ -181,6 +213,21 @@ struct CTag<T> {
     i: usize,
     j: usize,
     value: T,
+}
+
+/// A pending `c` injection on the tape: resolved to a concrete value (either
+/// the literal or the fed-back output of `producer`) at its entry cycle.
+#[derive(Clone, Copy)]
+enum PendingC<T> {
+    Value(T),
+    Feedback((usize, usize)),
+}
+
+#[derive(Clone, Copy)]
+struct CEntry<T> {
+    i: usize,
+    j: usize,
+    pending: PendingC<T>,
 }
 
 impl HexArray {
@@ -269,172 +316,179 @@ impl HexArray {
         let n_rows = job.a.rows();
         let inner = job.a.cols(); // == job.b.rows()
         let n_cols = job.b.cols();
+        let horizon = 3 * (n_rows + inner + n_cols) + 6 * w + 8;
 
-        // ---- entry schedules ------------------------------------------------
+        // ---- injection tapes ------------------------------------------------
+        // Entry cycles are closed-form per diagonal, so each boundary
+        // schedule is a dense per-cycle tape; no hashing is ever needed.
         // a_{ik} enters cell (k-i, w-1) at cycle i + 2k.
-        let mut a_entry: HashMap<(usize, usize), ATag<T>> = HashMap::new();
-        for (i, k, value) in job.a.iter() {
-            let alpha = k - i;
-            a_entry.insert((alpha, i + 2 * k), ATag { i, k, value });
+        let mut a_events: Vec<(usize, ATag<T>)> = Vec::with_capacity(job.a.capacity());
+        for d in job.a.diagonal_offsets() {
+            for (i, k, value) in job.a.diagonal_entries(d) {
+                a_events.push((i + 2 * k, ATag { i, k, value }));
+            }
         }
+        let a_tape = Tape::from_events(horizon + 1, a_events);
         // b_{kj} enters cell (w-1, k-j) at cycle j + 2k.
-        let mut b_entry: HashMap<(usize, usize), BTag<T>> = HashMap::new();
-        for (k, j, value) in job.b.iter() {
-            let beta = k - j;
-            b_entry.insert((beta, j + 2 * k), BTag { k, j, value });
+        let mut b_events: Vec<(usize, BTag<T>)> = Vec::with_capacity(job.b.capacity());
+        for d in job.b.diagonal_offsets() {
+            for (k, j, value) in job.b.diagonal_entries(d) {
+                b_events.push((j + 2 * k, BTag { k, j, value }));
+            }
         }
+        let b_tape = Tape::from_events(horizon + 1, b_events);
         // c_{ij} enters the boundary cell of its diagonal at cycle
-        // i + j + max(i, j) + w - 1.
-        #[derive(Clone, Copy)]
-        enum PendingC<T> {
-            Value(T),
-            Feedback((usize, usize)),
+        // i + j + max(i, j) + w - 1.  The injection map is flattened into a
+        // band-offset-indexed vector in one pass (map iteration, no per-
+        // position hashing) before the tape is laid out.
+        let band_width = 2 * w - 1;
+        let fb_idx = |i: usize, j: usize| i * band_width + (j + w - 1 - i);
+        let mut injection_at: Vec<Option<CInjection<T>>> = vec![None; n_rows * band_width];
+        for (&(i, j), injection) in &job.c_injections {
+            injection_at[fb_idx(i, j)] = Some(*injection);
         }
-        let mut c_entry: HashMap<(usize, usize, usize), (usize, usize, PendingC<T>)> =
-            HashMap::new();
         let mut expected_outputs = 0usize;
+        let mut c_events: Vec<(usize, CEntry<T>)> = Vec::new();
         for i in 0..n_rows {
             let j_lo = i.saturating_sub(w - 1);
             let j_hi = (i + w).min(n_cols);
             for j in j_lo..j_hi {
-                let (alpha0, beta0) = if j >= i { (j - i, 0) } else { (0, i - j) };
                 let t0 = i + j + i.max(j) + w - 1;
-                let pending = match job.c_injections.get(&(i, j)) {
-                    Some(CInjection::Value(v)) => PendingC::Value(*v),
-                    Some(CInjection::Feedback { producer }) => PendingC::Feedback(*producer),
+                let pending = match injection_at[fb_idx(i, j)] {
+                    Some(CInjection::Value(v)) => PendingC::Value(v),
+                    Some(CInjection::Feedback { producer }) => PendingC::Feedback(producer),
                     None => PendingC::Value(T::zero()),
                 };
-                c_entry.insert((alpha0, beta0, t0), (i, j, pending));
+                c_events.push((t0, CEntry { i, j, pending }));
                 expected_outputs += 1;
             }
         }
+        let c_tape = Tape::from_events(horizon + 1, c_events);
 
-        // ---- register planes ------------------------------------------------
-        let idx = |alpha: usize, beta: usize| alpha * w + beta;
+        // ---- register planes as ring buffers --------------------------------
+        // A value keeps one slot for its whole life, so no plane ever shifts:
+        //   a: lane alpha, slot (beta + t) mod w   (beta decreases with t);
+        //   b: lane beta,  slot (alpha + t) mod w  (alpha decreases with t);
+        //   c: one ring per result diagonal d = j - i of length w - |d|,
+        //      slot (pos - t) mod len with pos = alpha - max(d, 0)
+        //      (pos increases with t).
         let mut a_regs: Vec<Option<ATag<T>>> = vec![None; w * w];
         let mut b_regs: Vec<Option<BTag<T>>> = vec![None; w * w];
-        let mut c_regs: Vec<Option<CTag<T>>> = vec![None; w * w];
+        let n_diags = 2 * w - 1;
+        let diag_len = |di: usize| (di + 1).min(n_diags - di);
+        let mut c_off = vec![0usize; n_diags + 1];
+        for di in 0..n_diags {
+            c_off[di + 1] = c_off[di] + diag_len(di);
+        }
+        let mut c_regs: Vec<Option<CTag<T>>> = vec![None; c_off[n_diags]];
+        // Ring slot of cell (alpha, ·) on diagonal index di at cycle t.
+        let c_slot = |di: usize, alpha: usize, t: usize| -> usize {
+            let len = diag_len(di);
+            let pos = alpha - di.saturating_sub(w - 1); // alpha - max(d, 0)
+            (pos as i64 - t as i64).rem_euclid(len as i64) as usize
+        };
 
-        let mut outputs: Vec<CellOutput<T>> = Vec::new();
-        let mut fb_store: HashMap<(usize, usize), (T, usize)> = HashMap::new();
+        // ---- flat feedback store --------------------------------------------
+        // One slot per result-band position (i, j), |i - j| < w.
+        let mut fb_store: Vec<Option<(T, usize)>> = vec![None; n_rows * band_width];
         let mut fb_events: Vec<FeedbackEvent> = Vec::new();
 
+        let mut outputs: Vec<CellOutput<T>> = Vec::with_capacity(expected_outputs);
         let mut fired = 0usize;
         let mut last_fire_cycle = 0usize;
-        let horizon = 3 * (n_rows + inner + n_cols) + 6 * w + 8;
         let mut t = 0usize;
 
         while outputs.len() < expected_outputs && t <= horizon {
-            // 1. Injections at the three boundaries.
-            for alpha in 0..w {
-                if let Some(tag) = a_entry.remove(&(alpha, t)) {
-                    a_regs[idx(alpha, w - 1)] = Some(tag);
-                }
+            // 1. Injections at the three boundaries.  The ring slot that the
+            //    a/b entry edges map to this cycle is exactly the slot whose
+            //    previous occupant fell off the opposite edge — recycle it,
+            //    then latch this cycle's tape entries.
+            let in_slot = (w - 1 + t) % w;
+            for lane in 0..w {
+                a_regs[lane * w + in_slot] = None;
+                b_regs[lane * w + in_slot] = None;
             }
-            for beta in 0..w {
-                if let Some(tag) = b_entry.remove(&(beta, t)) {
-                    b_regs[idx(w - 1, beta)] = Some(tag);
-                }
+            for tag in a_tape.at(t) {
+                a_regs[(tag.k - tag.i) * w + in_slot] = Some(*tag);
             }
-            // c enters on the alpha = 0 and beta = 0 edges.
-            let mut inject_c = |alpha: usize,
-                                beta: usize,
-                                c_regs: &mut Vec<Option<CTag<T>>>|
-             -> Result<(), SimError> {
-                if let Some((i, j, pending)) = c_entry.remove(&(alpha, beta, t)) {
-                    let value = match pending {
-                        PendingC::Value(v) => v,
-                        PendingC::Feedback(producer) => {
-                            let (value, produced_at) =
-                                *fb_store.get(&producer).ok_or(SimError::FeedbackNotReady {
-                                    producer,
-                                    needed_at: t,
-                                })?;
-                            if produced_at >= t {
-                                return Err(SimError::FeedbackNotReady {
-                                    producer,
-                                    needed_at: t,
-                                });
-                            }
-                            fb_events.push(FeedbackEvent {
+            for tag in b_tape.at(t) {
+                b_regs[(tag.k - tag.j) * w + in_slot] = Some(*tag);
+            }
+            // c enters on the alpha = 0 and beta = 0 edges; feedback
+            // injections resolve against the flat store.
+            for entry in c_tape.at(t) {
+                let (i, j) = (entry.i, entry.j);
+                let value = match entry.pending {
+                    PendingC::Value(v) => v,
+                    PendingC::Feedback(producer) => {
+                        let (value, produced_at) = fb_store[fb_idx(producer.0, producer.1)]
+                            .ok_or(SimError::FeedbackNotReady {
                                 producer,
-                                consumer: (i, j),
-                                produced_at,
-                                consumed_at: t,
+                                needed_at: t,
+                            })?;
+                        if produced_at >= t {
+                            return Err(SimError::FeedbackNotReady {
+                                producer,
+                                needed_at: t,
                             });
-                            value
                         }
-                    };
-                    c_regs[idx(alpha, beta)] = Some(CTag { i, j, value });
-                }
-                Ok(())
-            };
-            for alpha in 0..w {
-                inject_c(alpha, 0, &mut c_regs)?;
-            }
-            for beta in 1..w {
-                inject_c(0, beta, &mut c_regs)?;
+                        fb_events.push(FeedbackEvent {
+                            producer,
+                            consumer: (i, j),
+                            produced_at,
+                            consumed_at: t,
+                        });
+                        value
+                    }
+                };
+                let di = j + w - 1 - i;
+                let alpha0 = j.saturating_sub(i);
+                c_regs[c_off[di] + c_slot(di, alpha0, t)] = Some(CTag { i, j, value });
             }
 
-            // 2. Compute: every cell holding a, b and c fires.
+            // 2. Compute: only the occupied anti-diagonal wavefront can fire.
+            //    Cell (alpha, beta) fires for (i, j, k) at cycle
+            //    i + j + k + w - 1 with 3k = t - w + 1 + alpha + beta, so
+            //    only cells with (alpha + beta) == (w - 1 - t) mod 3 need to
+            //    be visited — two thirds of the grid is skipped outright.
+            let wave = (w as i64 - 1 - t as i64).rem_euclid(3) as usize;
             for alpha in 0..w {
-                for beta in 0..w {
-                    let cell = idx(alpha, beta);
-                    if let (Some(a), Some(b)) = (a_regs[cell], b_regs[cell]) {
-                        if let Some(c) = c_regs[cell].as_mut() {
-                            debug_assert_eq!(a.k, b.k, "a and b must share the inner index");
-                            debug_assert_eq!(a.i, c.i, "a row must match c row");
-                            debug_assert_eq!(b.j, c.j, "b column must match c column");
-                            c.value += a.value * b.value;
-                            fired += 1;
-                            last_fire_cycle = t;
+                let mut beta = (wave as i64 - alpha as i64).rem_euclid(3) as usize;
+                while beta < w {
+                    if let Some(a) = a_regs[alpha * w + (beta + t) % w] {
+                        if let Some(b) = b_regs[beta * w + (alpha + t) % w] {
+                            let di = alpha + w - 1 - beta;
+                            let cell = c_off[di] + c_slot(di, alpha, t);
+                            if let Some(c) = c_regs[cell].as_mut() {
+                                debug_assert_eq!(a.k, b.k, "a and b must share the inner index");
+                                debug_assert_eq!(a.i, c.i, "a row must match c row");
+                                debug_assert_eq!(b.j, c.j, "b column must match c column");
+                                c.value += a.value * b.value;
+                                fired += 1;
+                                last_fire_cycle = t;
+                            }
                         }
                     }
+                    beta += 3;
                 }
             }
 
-            // 3. Shift the three planes.
-            // a moves toward beta = 0 (discarded past the edge).
-            for alpha in 0..w {
-                for beta in 0..w {
-                    a_regs[idx(alpha, beta)] = if beta + 1 < w {
-                        a_regs[idx(alpha, beta + 1)]
-                    } else {
-                        None
-                    };
+            // 3. Shift.  The rings absorb the movement; only the c exits need
+            //    work: one exit cell per diagonal, visited in the same
+            //    (alpha, beta)-lexicographic order as a full-grid scan.
+            for di in (0..w - 1).chain((w - 1..n_diags).rev()) {
+                let len = diag_len(di);
+                let slot = c_off[di] + (len as i64 - 1 - t as i64).rem_euclid(len as i64) as usize;
+                if let Some(tag) = c_regs[slot].take() {
+                    outputs.push(CellOutput {
+                        row: tag.i,
+                        col: tag.j,
+                        value: tag.value,
+                        cycle: t,
+                    });
+                    fb_store[fb_idx(tag.i, tag.j)] = Some((tag.value, t));
                 }
             }
-            // b moves toward alpha = 0.
-            for beta in 0..w {
-                for alpha in 0..w {
-                    b_regs[idx(alpha, beta)] = if alpha + 1 < w {
-                        b_regs[idx(alpha + 1, beta)]
-                    } else {
-                        None
-                    };
-                }
-            }
-            // c moves toward (alpha+1, beta+1); values leaving the grid are
-            // the array outputs.
-            let mut next_c: Vec<Option<CTag<T>>> = vec![None; w * w];
-            for alpha in 0..w {
-                for beta in 0..w {
-                    if let Some(tag) = c_regs[idx(alpha, beta)] {
-                        if alpha + 1 < w && beta + 1 < w {
-                            next_c[idx(alpha + 1, beta + 1)] = Some(tag);
-                        } else {
-                            outputs.push(CellOutput {
-                                row: tag.i,
-                                col: tag.j,
-                                value: tag.value,
-                                cycle: t,
-                            });
-                            fb_store.insert((tag.i, tag.j), (tag.value, t));
-                        }
-                    }
-                }
-            }
-            c_regs = next_c;
 
             t += 1;
         }
@@ -451,6 +505,20 @@ impl HexArray {
             },
             feedback: FeedbackSummary::from_events(fb_events),
         })
+    }
+
+    /// Runs independent jobs in parallel (scoped OS threads, one chunk per
+    /// core), returning the reports in job order.
+    ///
+    /// Jobs share nothing at run time — operands are behind [`Arc`], every
+    /// engine buffer is per-run — so this is a pure fan-out; the result of
+    /// each job is bit-identical to what [`HexArray::run`] returns for it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the first (lowest-index) failing job, if any.
+    pub fn run_batch<T: Scalar>(&self, jobs: &[HexJob<T>]) -> Result<Vec<HexReport<T>>, SimError> {
+        par_map(jobs, |job| self.run(job)).into_iter().collect()
     }
 }
 
@@ -551,8 +619,8 @@ mod tests {
             }
         }
         let job = HexJob {
-            a: ba,
-            b: bb,
+            a: ba.into(),
+            b: bb.into(),
             c_injections: injections,
         };
         let report = HexArray::new(w).unwrap().run(&job).unwrap();
@@ -578,8 +646,8 @@ mod tests {
         let mut injections = HashMap::new();
         injections.insert((3, 3), CInjection::Feedback { producer: (0, 0) });
         let job = HexJob {
-            a: ba,
-            b: bb,
+            a: ba.into(),
+            b: bb.into(),
             c_injections: injections,
         };
         let report = HexArray::new(w).unwrap().run(&job).unwrap();
@@ -603,8 +671,8 @@ mod tests {
         // (0, 0) is injected at cycle w-1, long before (5, 5) is produced.
         injections.insert((0, 0), CInjection::Feedback { producer: (5, 5) });
         let job = HexJob {
-            a: ba,
-            b: bb,
+            a: ba.into(),
+            b: bb.into(),
             c_injections: injections,
         };
         let err = HexArray::new(w).unwrap().run(&job).unwrap_err();
@@ -616,6 +684,8 @@ mod tests {
         let w = 3;
         let (_, ba) = upper_band(5, w, 51);
         let (_, bb) = lower_band(5, w, 52);
+        let ba: Arc<BandMatrix<i64>> = ba.into();
+        let bb: Arc<BandMatrix<i64>> = bb.into();
         let hex = HexArray::new(w).unwrap();
 
         // a with sub-diagonals.
@@ -629,7 +699,7 @@ mod tests {
         assert!(matches!(err, SimError::BandProfile { .. }));
 
         // bandwidth larger than the array.
-        let wide = BandMatrix::<i64>::new(5, 5, 0, w, ).unwrap();
+        let wide = BandMatrix::<i64>::new(5, 5, 0, w).unwrap();
         let err = hex.run(&HexJob::product(wide, bb.clone())).unwrap_err();
         assert!(matches!(err, SimError::BandwidthMismatch { .. }));
 
@@ -733,5 +803,42 @@ mod tests {
             .run(&HexJob::product(ba, bb))
             .unwrap();
         assert_eq!(report.to_dense(4, 4), da.matmul(&db).unwrap());
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_runs() {
+        let w = 3;
+        let hex = HexArray::new(w).unwrap();
+        let jobs: Vec<HexJob<i64>> = (0..7)
+            .map(|seed| {
+                let (_, ba) = upper_band(5 + seed as usize % 3, w, 80 + seed);
+                let (_, bb) = lower_band(5 + seed as usize % 3, w, 90 + seed);
+                HexJob::product(ba, bb)
+            })
+            .collect();
+        let batch = hex.run_batch(&jobs).unwrap();
+        assert_eq!(batch.len(), jobs.len());
+        for (job, batched) in jobs.iter().zip(&batch) {
+            let solo = hex.run(job).unwrap();
+            assert_eq!(batched.outputs, solo.outputs);
+            assert_eq!(batched.cycles, solo.cycles);
+            assert_eq!(batched.utilization, solo.utilization);
+            assert_eq!(batched.feedback, solo.feedback);
+        }
+    }
+
+    #[test]
+    fn run_batch_surfaces_the_first_error() {
+        let w = 3;
+        let hex = HexArray::new(w).unwrap();
+        let (_, ba) = upper_band(5, w, 51);
+        let (_, bb) = lower_band(5, w, 52);
+        let good = HexJob::product(ba, bb);
+        let bad = HexJob::product(
+            BandMatrix::<i64>::new(5, 5, 1, 1).unwrap(),
+            BandMatrix::<i64>::new(5, 5, 1, 0).unwrap(),
+        );
+        let err = hex.run_batch(&[good, bad]).unwrap_err();
+        assert!(matches!(err, SimError::BandProfile { .. }));
     }
 }

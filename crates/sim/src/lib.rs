@@ -20,6 +20,16 @@
 //! measured and reported, because those are precisely the quantities the
 //! paper reasons about.
 //!
+//! The engines are **tape-driven**: all boundary schedules have closed-form
+//! entry cycles, so they are precomputed into dense per-cycle tapes and the
+//! hot loop is pure array indexing — no hashing, no allocation.  Register
+//! planes are ring buffers (values keep their slot for their whole life, so
+//! nothing is ever physically shifted), the hexagonal compute scan visits
+//! only the anti-diagonal wavefront that can fire (⅓ of the cells per
+//! cycle), and feedback values live in flat vectors indexed by band offset.
+//! Independent jobs fan out across OS threads through
+//! [`HexArray::run_batch`] / [`LinearArray::run_batch`].
+//!
 //! The simulators know nothing about the paper's DBT transformation; they
 //! execute whatever band problem and injection schedule they are given.  The
 //! `sia-dbt` crate builds those schedules.
@@ -42,11 +52,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod error;
 pub mod hex;
 pub mod linear;
 pub mod report;
 pub mod spiral;
+mod tape;
 
 pub use error::SimError;
 pub use hex::{CInjection, HexArray, HexJob, HexReport};

@@ -11,11 +11,22 @@
 //! given cell fires at most every other cycle — the ½ utilization ceiling
 //! that the paper's *overlapping* schedule recovers by interleaving a second
 //! problem in the idle phase.
+//!
+//! # Engine architecture
+//!
+//! The coefficient tapes are never materialised: cell `k` fires for stream
+//! `phase`, row `i` exactly at cycle `phase + (w−1) + 2i + k`, so when an
+//! `x`/`y` pair meets in a cell the coefficient is read straight out of the
+//! band row storage (`BandMatrix::row_slice`) — zero-copy, no per-cycle
+//! hashing, no allocation.  Fed-back partial results live in a flat vector
+//! indexed by band row.  The observable behaviour is bit-identical to the
+//! original `HashMap`-tape engine.
 
+use crate::batch::par_map;
 use crate::report::{FeedbackEvent, FeedbackSummary, Utilization};
 use crate::SimError;
 use sia_matrix::{BandMatrix, Scalar};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How one `ŷ` partial result is initialised when it enters the array.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,10 +46,14 @@ pub enum YInjection<T> {
 /// The band matrix must be an *upper* band (`lower == 0`) with exactly `w`
 /// stored diagonals; that is the shape produced by the paper's DBT-by-rows
 /// transformation, and also the natural shape for plain upper-band problems.
+///
+/// The band is shared ([`Arc`]) so streams can be built without cloning the
+/// coefficient storage and fanned out by [`LinearArray::run_batch`]; owned
+/// matrices convert with `.into()`.
 #[derive(Clone)]
 pub struct MvStream<T> {
     /// The band coefficient matrix `Â` (R rows, up to `R + w − 1` columns).
-    pub band: BandMatrix<T>,
+    pub band: Arc<BandMatrix<T>>,
     /// The `x̂` vector; its length must equal `band.cols()`.
     pub x: Vec<T>,
     /// One injection per band row: the initial value of each `ŷ_i`.
@@ -119,7 +134,7 @@ impl<T: Scalar> LinearReport<T> {
 /// }
 /// let x = vec![1, 1, 1, 1];
 /// let stream = MvStream {
-///     band,
+///     band: band.into(),
 ///     x,
 ///     y_injections: vec![YInjection::Value(0); 3],
 /// };
@@ -225,21 +240,21 @@ impl LinearArray {
         self.validate(streams)?;
         let w = self.w;
 
-        // Pre-computed coefficient tapes: cell k receives band element
-        // (i, i + k) at cycle  phase + (w-1) + 2 i + k.
-        let mut a_tapes: Vec<HashMap<usize, T>> = vec![HashMap::new(); w];
+        // Closed-form coefficient schedule: cell k fires for stream `phase`,
+        // band row i, at exactly cycle  phase + (w-1) + 2i + k, and the
+        // coefficient is band element (i, i + k) read straight from the row
+        // storage — the tape never needs to be materialised.  The last cycle
+        // at which any cell could fire bounds the safety net.
         let mut last_fire_possible = 0usize;
         for (phase, s) in streams.iter().enumerate() {
-            for i in 0..s.band.rows() {
-                for k in 0..w {
-                    let j = i + k;
-                    if j >= s.band.cols() {
-                        continue;
-                    }
-                    let t = phase + (w - 1) + 2 * i + k;
-                    a_tapes[k].insert(t, s.band.get(i, j));
-                    last_fire_possible = last_fire_possible.max(t);
+            let rows = s.band.rows();
+            let cols = s.band.cols();
+            for k in 0..w {
+                if k >= cols {
+                    continue;
                 }
+                let i_max = (cols - 1 - k).min(rows - 1);
+                last_fire_possible = last_fire_possible.max(phase + (w - 1) + 2 * i_max + k);
             }
         }
 
@@ -248,9 +263,12 @@ impl LinearArray {
 
         let mut outputs: Vec<MvOutput<T>> = Vec::new();
         let total_rows: usize = streams.iter().map(|s| s.band.rows()).sum();
-        // value, production cycle — one store per stream.
-        let mut fb_store: Vec<HashMap<usize, (T, usize)>> =
-            vec![HashMap::new(); streams.len()];
+        // Flat feedback stores, one slot per band row of each stream:
+        // (value, production cycle).
+        let mut fb_store: Vec<Vec<Option<(T, usize)>>> = streams
+            .iter()
+            .map(|s| vec![None; s.band.rows()])
+            .collect();
         let mut fb_events: Vec<Vec<FeedbackEvent>> = vec![Vec::new(); streams.len()];
 
         let mut fired = 0usize;
@@ -261,7 +279,7 @@ impl LinearArray {
             // 1. Injections at the array boundaries.
             for (phase, s) in streams.iter().enumerate() {
                 // x_j enters the rightmost cell at cycle  phase + 2 j.
-                if t >= phase && (t - phase) % 2 == 0 {
+                if t >= phase && (t - phase).is_multiple_of(2) {
                     let j = (t - phase) / 2;
                     if j < s.x.len() {
                         x_regs[w - 1] = Some(Tagged {
@@ -272,14 +290,13 @@ impl LinearArray {
                     }
                 }
                 // ŷ_i enters the leftmost cell at cycle  phase + (w-1) + 2 i.
-                if t >= phase + w - 1 && (t - phase - (w - 1)) % 2 == 0 {
+                if t >= phase + w - 1 && (t - phase - (w - 1)).is_multiple_of(2) {
                     let i = (t - phase - (w - 1)) / 2;
                     if i < s.band.rows() {
                         let value = match s.y_injections[i] {
                             YInjection::Value(v) => v,
                             YInjection::Feedback { producer_row } => {
-                                let (value, produced_at) = *fb_store[phase]
-                                    .get(&producer_row)
+                                let (value, produced_at) = fb_store[phase][producer_row]
                                     .ok_or(SimError::FeedbackNotReady {
                                         producer: (producer_row, 0),
                                         needed_at: t,
@@ -308,10 +325,15 @@ impl LinearArray {
                 }
             }
 
-            // 2. Compute: each cell with x, y and a coefficient fires.
+            // 2. Compute: each cell with x, y and a coefficient fires.  A y
+            //    value in cell k at cycle t is there exactly at its firing
+            //    cycle, so the coefficient exists iff column i + k is inside
+            //    the band row — read zero-copy from the row slice.
             for k in 0..w {
                 if let (Some(x), Some(y)) = (x_regs[k], y_regs[k].as_mut()) {
-                    if let Some(&a) = a_tapes[k].get(&t) {
+                    let s = &streams[y.stream];
+                    if y.index + k < s.band.cols() {
+                        let a = s.band.row_slice(y.index)[k];
                         debug_assert_eq!(
                             x.stream, y.stream,
                             "streams must not mix inside a cell"
@@ -337,7 +359,7 @@ impl LinearArray {
                     value: done.value,
                     cycle: t,
                 });
-                fb_store[done.stream].insert(done.index, (done.value, t));
+                fb_store[done.stream][done.index] = Some((done.value, t));
             }
             for k in (1..w).rev() {
                 y_regs[k] = y_regs[k - 1].take();
@@ -367,6 +389,25 @@ impl LinearArray {
             feedback: fb_events.into_iter().map(FeedbackSummary::from_events).collect(),
         })
     }
+
+    /// Runs independent jobs (each a set of one or two interleaved streams)
+    /// in parallel on scoped OS threads, returning the reports in job order.
+    ///
+    /// Each job's report is bit-identical to what [`LinearArray::run`]
+    /// returns for it; the bands behind the streams are shared via [`Arc`],
+    /// so the fan-out copies no coefficient storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the first (lowest-index) failing job, if any.
+    pub fn run_batch<T: Scalar>(
+        &self,
+        jobs: &[Vec<MvStream<T>>],
+    ) -> Result<Vec<LinearReport<T>>, SimError> {
+        par_map(jobs, |streams| self.run(streams))
+            .into_iter()
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -379,7 +420,7 @@ mod tests {
     fn run_plain(dense: &DenseMatrix<i64>, w: usize, x: &[i64]) -> LinearReport<i64> {
         let band = BandMatrix::try_from_dense(dense, 0, w - 1).unwrap();
         let stream = MvStream {
-            band,
+            band: band.into(),
             x: x.to_vec(),
             y_injections: vec![YInjection::Value(0); dense.rows()],
         };
@@ -451,7 +492,7 @@ mod tests {
         let b = gen::random_vector_i64(4, 3, 23);
         let band = BandMatrix::try_from_dense(&dense, 0, w - 1).unwrap();
         let stream = MvStream {
-            band,
+            band: band.into(),
             x: x.clone(),
             y_injections: b.iter().map(|&v| YInjection::Value(v)).collect(),
         };
@@ -479,7 +520,7 @@ mod tests {
         let mut injections = vec![YInjection::Value(0); rows];
         injections[3] = YInjection::Feedback { producer_row: 0 };
         let stream = MvStream {
-            band,
+            band: band.into(),
             x: x.clone(),
             y_injections: injections,
         };
@@ -504,7 +545,7 @@ mod tests {
         let mut injections = vec![YInjection::Value(0); 4];
         injections[1] = YInjection::Feedback { producer_row: 3 };
         let stream = MvStream {
-            band,
+            band: band.into(),
             x: vec![1; 5],
             y_injections: injections,
         };
@@ -518,7 +559,7 @@ mod tests {
         let dense = upper_band_dense(3, 4, w, 43);
         let band = BandMatrix::try_from_dense(&dense, 0, w - 1).unwrap();
         let stream = MvStream {
-            band,
+            band: band.into(),
             x: vec![1; 4],
             y_injections: vec![
                 YInjection::Value(0),
@@ -536,21 +577,24 @@ mod tests {
         let dense = upper_band_dense(4, 6, w, 44);
         let band = BandMatrix::try_from_dense(&dense, 0, w - 1).unwrap();
         let good = MvStream {
-            band: band.clone(),
+            band: band.into(),
             x: vec![1; 6],
             y_injections: vec![YInjection::Value(0); 4],
         };
         let array = LinearArray::new(w).unwrap();
 
         // Wrong bandwidth.
-        let err = LinearArray::new(w + 1).unwrap().run(&[good.clone()]).unwrap_err();
+        let err = LinearArray::new(w + 1)
+            .unwrap()
+            .run(std::slice::from_ref(&good))
+            .unwrap_err();
         assert!(matches!(err, SimError::BandwidthMismatch { .. }));
 
         // Lower band instead of upper.
         let lower = BandMatrix::<i64>::new(4, 4, w - 1, 0).unwrap();
         let err = array
             .run(&[MvStream {
-                band: lower,
+                band: lower.into(),
                 x: vec![1; 4],
                 y_injections: vec![YInjection::Value(0); 4],
             }])
@@ -598,7 +642,7 @@ mod tests {
         let x0 = gen::random_vector_i64(cols, 3, 53);
         let x1 = gen::random_vector_i64(cols, 3, 54);
         let mk = |d: &DenseMatrix<i64>, x: &Vec<i64>| MvStream {
-            band: BandMatrix::try_from_dense(d, 0, w - 1).unwrap(),
+            band: BandMatrix::try_from_dense(d, 0, w - 1).unwrap().into(),
             x: x.clone(),
             y_injections: vec![YInjection::Value(0); rows],
         };
@@ -639,5 +683,33 @@ mod tests {
         let report = run_plain(&dense, w, &vec![1i64; cols]);
         let activity = report.utilization.activity();
         assert!(activity > 0.45 && activity <= 0.5, "activity = {activity}");
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_runs() {
+        let w = 3;
+        let array = LinearArray::new(w).unwrap();
+        let jobs: Vec<Vec<MvStream<i64>>> = (0..6u64)
+            .map(|seed| {
+                let rows = 4 + seed as usize % 3;
+                let cols = rows + w - 1;
+                let dense = upper_band_dense(rows, cols, w, 60 + seed);
+                let x = gen::random_vector_i64(cols, 3, 70 + seed);
+                vec![MvStream {
+                    band: BandMatrix::try_from_dense(&dense, 0, w - 1).unwrap().into(),
+                    x,
+                    y_injections: vec![YInjection::Value(0); rows],
+                }]
+            })
+            .collect();
+        let batch = array.run_batch(&jobs).unwrap();
+        assert_eq!(batch.len(), jobs.len());
+        for (job, batched) in jobs.iter().zip(&batch) {
+            let solo = array.run(job).unwrap();
+            assert_eq!(batched.outputs, solo.outputs);
+            assert_eq!(batched.cycles, solo.cycles);
+            assert_eq!(batched.utilization, solo.utilization);
+            assert_eq!(batched.feedback, solo.feedback);
+        }
     }
 }

@@ -1,0 +1,78 @@
+//! Time-indexed injection tapes.
+//!
+//! Every boundary of the two arrays consumes its data on a schedule whose
+//! entry cycles are closed-form (`i + 2k`, `j + 2k`,
+//! `i + j + max(i, j) + w − 1`, …).  A [`Tape`] materialises such a schedule
+//! as a CSR-style structure bucketed by cycle: `at(t)` returns the slice of
+//! entries injected at cycle `t` with no hashing and no per-cycle
+//! allocation.  This is the flat-buffer idiom of the related accelerator
+//! simulators (tiled execution over precomputed schedules) applied to the
+//! paper's systolic boundaries.
+
+/// A schedule of injection events bucketed by cycle.
+pub(crate) struct Tape<E> {
+    /// `offsets[t]..offsets[t + 1]` indexes the entries of cycle `t`.
+    offsets: Vec<u32>,
+    entries: Vec<E>,
+}
+
+impl<E> Tape<E> {
+    /// Builds a tape covering cycles `0..n_cycles` from `(cycle, entry)`
+    /// events.  Events are stably ordered within a cycle (insertion order),
+    /// matching the injection order of the boundary loops they replace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event names a cycle `>= n_cycles`.
+    pub(crate) fn from_events(n_cycles: usize, mut events: Vec<(usize, E)>) -> Self {
+        events.sort_by_key(|&(cycle, _)| cycle);
+        let mut offsets = vec![0u32; n_cycles + 1];
+        for &(cycle, _) in &events {
+            assert!(cycle < n_cycles, "event at cycle {cycle} beyond horizon {n_cycles}");
+            offsets[cycle + 1] += 1;
+        }
+        for t in 1..offsets.len() {
+            offsets[t] += offsets[t - 1];
+        }
+        let entries = events.into_iter().map(|(_, e)| e).collect();
+        Tape { offsets, entries }
+    }
+
+    /// The entries injected at cycle `t` (empty past the horizon).
+    #[inline]
+    pub(crate) fn at(&self, t: usize) -> &[E] {
+        if t + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.entries[self.offsets[t] as usize..self.offsets[t + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_cycle_preserving_insertion_order() {
+        let tape = Tape::from_events(5, vec![(3, "c"), (0, "a"), (3, "d"), (1, "b")]);
+        assert_eq!(tape.at(0), ["a"]);
+        assert_eq!(tape.at(1), ["b"]);
+        assert!(tape.at(2).is_empty());
+        assert_eq!(tape.at(3), ["c", "d"]);
+        assert!(tape.at(4).is_empty());
+        assert!(tape.at(100).is_empty());
+    }
+
+    #[test]
+    fn empty_tape() {
+        let tape: Tape<u8> = Tape::from_events(3, Vec::new());
+        assert!(tape.at(0).is_empty());
+        assert!(tape.at(2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond horizon")]
+    fn rejects_events_past_the_horizon() {
+        let _ = Tape::from_events(2, vec![(2, ())]);
+    }
+}

@@ -44,12 +44,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run the transformed problem on the simulator and print the boundary
     // streams cycle by cycle (the content of Fig. 3).
     let stream = MvStream {
-        band: dbt.band().clone(),
+        band: dbt.band_shared(),
         x: dbt.transform_x(&x)?,
         y_injections: dbt.y_injections(Some(&b))?,
     };
     let array = LinearArray::new(w)?;
-    let report = array.run(&[stream.clone()])?;
+    let report = array.run(std::slice::from_ref(&stream))?;
 
     println!("\ncycle-by-cycle boundary traffic (x̂ enters right, ŷ leaves right):");
     println!("{:>6} {:>12} {:>14} {:>14}", "cycle", "x̂ in", "ŷ injected", "ŷ out");

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI entry point: build, test, lint.  Mirrors .github/workflows/ci.yml so
+# the same gate can be run locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "== cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "== paper_experiments (measured-vs-paper agreement)"
+cargo run -p sia-bench --release --bin paper_experiments > /dev/null
+
+echo "CI gate passed."

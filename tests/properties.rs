@@ -1,4 +1,4 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Randomized property tests over the core invariants:
 //!
 //! * the DBT band is completely filled and carries every original element
 //!   exactly once;
@@ -6,95 +6,316 @@
 //!   shapes, array sizes and data, for both matrix–vector and matrix–matrix
 //!   problems;
 //! * the measured step counts equal the paper's closed forms;
-//! * the measured utilization never exceeds the paper's bound.
+//! * the measured utilization never exceeds the paper's bound;
+//! * the tape-driven engines' outcomes (values, cycle counts, feedback
+//!   summaries) agree with the analytic predictions, and the batch APIs are
+//!   outcome-identical to sequential runs.
+//!
+//! The build environment has no crates.io access, so instead of proptest
+//! the cases are drawn from the workspace's own deterministic generator
+//! ([`sia_matrix::rng::SplitMix64`]): every test sweeps a fixed number of
+//! seeded random shapes, so failures reproduce exactly.
 
-use proptest::prelude::*;
+use size_independent_systolic::dbt::{multiply_mm_batch, multiply_mv_batch, MmProblem, MvProblem};
 use size_independent_systolic::prelude::*;
+use size_independent_systolic::sim::{HexJob, LinearArray, MvStream, YInjection};
+use sia_matrix::rng::SplitMix64;
 use std::collections::HashSet;
 
-fn small_matrix(max_dim: usize) -> impl Strategy<Value = (usize, usize, Vec<i64>)> {
-    (1..=max_dim, 1..=max_dim).prop_flat_map(|(n, m)| {
-        proptest::collection::vec(-9i64..=9, n * m).prop_map(move |data| (n, m, data))
-    })
+const CASES: usize = 48;
+
+fn random_matrix(rng: &mut SplitMix64, n: usize, m: usize) -> DenseMatrix<i64> {
+    let seed = rng.next_u64();
+    gen::random_dense_i64(n, m, 9, seed)
 }
 
-fn to_matrix(n: usize, m: usize, data: &[i64]) -> DenseMatrix<i64> {
-    DenseMatrix::from_fn(n, m, |i, j| data[i * m + j])
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn dbt_band_holds_every_element_exactly_once((n, m, data) in small_matrix(9), w in 1usize..=4) {
-        let a = to_matrix(n, m, &data);
+#[test]
+fn dbt_band_holds_every_element_exactly_once() {
+    let mut rng = SplitMix64::new(0xDB7);
+    for _ in 0..CASES {
+        let n = rng.range_usize(1, 10);
+        let m = rng.range_usize(1, 10);
+        let w = rng.range_usize(1, 5);
+        let a = random_matrix(&mut rng, n, m);
         let dbt = DbtByRows::new(&a, w).unwrap();
         let mut seen = HashSet::new();
         let nbar = n.div_ceil(w);
         let mbar = m.div_ceil(w);
         for (i, j, v) in dbt.band().iter() {
             let (oi, oj) = dbt.source_of(i, j).expect("stored positions have provenance");
-            prop_assert_eq!(v, a.at_padded(oi, oj));
-            prop_assert!(seen.insert((oi, oj)), "element ({}, {}) duplicated", oi, oj);
+            assert_eq!(v, a.at_padded(oi, oj), "n={n} m={m} w={w}");
+            assert!(
+                seen.insert((oi, oj)),
+                "element ({oi}, {oj}) duplicated (n={n} m={m} w={w})"
+            );
         }
-        prop_assert_eq!(seen.len(), nbar * w * mbar * w);
+        assert_eq!(seen.len(), nbar * w * mbar * w, "n={n} m={m} w={w}");
     }
+}
 
-    #[test]
-    fn mv_matches_reference_and_formula((n, m, data) in small_matrix(9), w in 1usize..=4,
-                                        overlap in proptest::bool::ANY) {
-        let a = to_matrix(n, m, &data);
+#[test]
+fn mv_matches_reference_and_formula() {
+    let mut rng = SplitMix64::new(0x4D56);
+    for _ in 0..CASES {
+        let n = rng.range_usize(1, 10);
+        let m = rng.range_usize(1, 10);
+        let w = rng.range_usize(1, 5);
+        let overlap = rng.next_bool(0.5);
+        let a = random_matrix(&mut rng, n, m);
         let x: Vec<i64> = (0..m as i64).map(|v| (v % 5) - 2).collect();
         let b: Vec<i64> = (0..n as i64).map(|v| (v % 7) - 3).collect();
-        let schedule = if overlap { MvSchedule::Overlapped } else { MvSchedule::Simple };
+        let schedule = if overlap {
+            MvSchedule::Overlapped
+        } else {
+            MvSchedule::Simple
+        };
         let outcome = multiply_mv(&a, &x, Some(&b), w, schedule).unwrap();
         let mut expected = a.matvec(&x).unwrap();
         for (slot, v) in expected.iter_mut().zip(&b) {
             *slot += v;
         }
-        prop_assert_eq!(outcome.y, expected);
+        assert_eq!(outcome.y, expected, "n={n} m={m} w={w} overlap={overlap}");
         let shape = MvShape { w, n, m };
         match schedule {
-            MvSchedule::Simple => prop_assert_eq!(outcome.cycles, shape.cycles()),
-            MvSchedule::Overlapped => prop_assert!(outcome.cycles <= shape.cycles()),
+            MvSchedule::Simple => assert_eq!(outcome.cycles, shape.cycles()),
+            MvSchedule::Overlapped => assert!(outcome.cycles <= shape.cycles()),
         }
         // The paper's utilization bound is never exceeded.
-        prop_assert!(outcome.efficiency <= 1.0 + 1e-12);
+        assert!(outcome.efficiency <= 1.0 + 1e-12);
     }
+}
 
-    #[test]
-    fn mm_matches_reference_and_formula(n in 1usize..=5, p in 1usize..=5, m in 1usize..=5,
-                                        w in 1usize..=3, seed in 0u64..1000) {
-        let a = gen::random_dense_i64(n, p, 4, seed);
-        let b = gen::random_dense_i64(p, m, 4, seed + 1);
+#[test]
+fn mm_matches_reference_and_formula() {
+    let mut rng = SplitMix64::new(0x4D4D);
+    for _ in 0..CASES {
+        let n = rng.range_usize(1, 6);
+        let p = rng.range_usize(1, 6);
+        let m = rng.range_usize(1, 6);
+        let w = rng.range_usize(1, 4);
+        let a = random_matrix(&mut rng, n, p);
+        let b = random_matrix(&mut rng, p, m);
         let outcome = multiply_mm(&a, &b, None, w).unwrap();
-        prop_assert_eq!(outcome.c, a.matmul(&b).unwrap());
+        assert_eq!(outcome.c, a.matmul(&b).unwrap(), "n={n} p={p} m={m} w={w}");
         let shape = MmShape { w, n, p, m };
-        prop_assert_eq!(outcome.cycles, shape.cycles());
+        assert_eq!(outcome.cycles, shape.cycles(), "n={n} p={p} m={m} w={w}");
         // Each cell fires at most once every three cycles, so the activity is
         // bounded by ceil(T/3)/T <= 1/3 + 1/T.
-        prop_assert!(outcome.activity <= 1.0 / 3.0 + 1.0 / outcome.cycles as f64 + 1e-12);
+        assert!(outcome.activity <= 1.0 / 3.0 + 1.0 / outcome.cycles as f64 + 1e-12);
     }
+}
 
-    #[test]
-    fn band_matrix_round_trips_through_dense(rows in 1usize..=8, cols in 1usize..=8,
-                                             lower in 0usize..=3, upper in 0usize..=3,
-                                             seed in 0u64..1000) {
+#[test]
+fn band_matrix_round_trips_through_dense() {
+    let mut rng = SplitMix64::new(0xBA4D);
+    for _ in 0..CASES {
+        let rows = rng.range_usize(1, 9);
+        let cols = rng.range_usize(1, 9);
+        let lower = rng.range_usize(0, 4);
+        let upper = rng.range_usize(0, 4);
+        let seed = rng.next_u64();
         let dense = gen::banded_random_f64(rows, cols, lower, upper, seed);
         let band = BandMatrix::try_from_dense(&dense, lower, upper).unwrap();
-        prop_assert_eq!(band.to_dense(), dense);
-        prop_assert!(band.occupancy() <= 1.0);
+        assert_eq!(band.to_dense(), dense);
+        assert!(band.occupancy() <= 1.0);
     }
+}
 
-    #[test]
-    fn block_grid_reassembles_the_original((n, m, data) in small_matrix(10), w in 1usize..=5) {
-        let a = to_matrix(n, m, &data);
+#[test]
+fn block_grid_reassembles_the_original() {
+    let mut rng = SplitMix64::new(0xB10C);
+    for _ in 0..CASES {
+        let n = rng.range_usize(1, 11);
+        let m = rng.range_usize(1, 11);
+        let w = rng.range_usize(1, 6);
+        let a = random_matrix(&mut rng, n, m);
         let grid = BlockGrid::new(n, m, w).unwrap();
         let mut out = DenseMatrix::zeros(n, m);
         for (bi, bj) in grid.block_coords() {
             let block = grid.block(&a, bi, bj).unwrap();
             grid.paste_block(&mut out, bi, bj, &block).unwrap();
         }
-        prop_assert_eq!(out, a);
+        assert_eq!(out, a);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine equivalence: the tape-driven engines against the paper's analytic
+// predictions and against their own batch APIs.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mv_engine_agrees_with_analytic_predictions_including_feedback() {
+    let mut rng = SplitMix64::new(0xFEED);
+    for _ in 0..CASES {
+        let n = rng.range_usize(1, 12);
+        let m = rng.range_usize(1, 12);
+        let w = rng.range_usize(1, 5);
+        let a = random_matrix(&mut rng, n, m);
+        let x: Vec<i64> = gen::random_vector_i64(m, 6, rng.next_u64());
+        let outcome = multiply_mv(&a, &x, None, w, MvSchedule::Simple).unwrap();
+        let shape = MvShape { w, n, m };
+        assert_eq!(outcome.cycles, shape.cycles(), "n={n} m={m} w={w}");
+        assert!((outcome.efficiency - shape.efficiency_for(outcome.cycles)).abs() < 1e-12);
+        // Feedback: n̄·(m̄−1)·w values, each stored exactly w cycles, at most
+        // the paper's register count in flight.
+        let summary = &outcome.feedback[0];
+        let expected_events = shape.nbar() * (shape.mbar() - 1) * w;
+        assert_eq!(summary.len(), expected_events, "n={n} m={m} w={w}");
+        if expected_events > 0 {
+            assert_eq!(summary.distinct_storage_cycles(), vec![w]);
+            assert!(summary.max_in_flight <= shape.feedback_registers());
+        }
+    }
+}
+
+#[test]
+fn mm_engine_agrees_with_analytic_predictions_including_feedback() {
+    let mut rng = SplitMix64::new(0xFEE2);
+    for _ in 0..CASES / 2 {
+        let n = rng.range_usize(1, 6);
+        let p = rng.range_usize(1, 6);
+        let m = rng.range_usize(1, 6);
+        let w = rng.range_usize(1, 4);
+        let a = random_matrix(&mut rng, n, p);
+        let b = random_matrix(&mut rng, p, m);
+        let outcome = multiply_mm(&a, &b, None, w).unwrap();
+        let shape = MmShape { w, n, p, m };
+        assert_eq!(outcome.cycles, shape.cycles(), "n={n} p={p} m={m} w={w}");
+        assert!((outcome.efficiency - shape.efficiency_for(outcome.cycles)).abs() < 1e-12);
+        // Paper §3: every fed-back partial result waits at least w cycles,
+        // and the regular delay w occurs whenever anything is fed back at
+        // all (p̄·n̄·m̄ > 1 ⟹ some chain has more than one member).
+        let delays = outcome.feedback.distinct_storage_cycles();
+        assert!(delays.iter().all(|&d| d >= w), "delays {delays:?} w={w}");
+        if shape.pbar() > 1 && w > 1 {
+            assert!(delays.contains(&w), "delays {delays:?} should contain w={w}");
+        }
+    }
+}
+
+#[test]
+fn mm_batch_is_outcome_identical_to_sequential_runs() {
+    let mut rng = SplitMix64::new(0xBA7C);
+    let w = 3;
+    let mats: Vec<(DenseMatrix<i64>, DenseMatrix<i64>)> = (0..9)
+        .map(|_| {
+            let n = rng.range_usize(1, 7);
+            let p = rng.range_usize(1, 7);
+            let m = rng.range_usize(1, 7);
+            let a = random_matrix(&mut rng, n, p);
+            let b = random_matrix(&mut rng, p, m);
+            (a, b)
+        })
+        .collect();
+    let problems: Vec<MmProblem<'_, i64>> = mats
+        .iter()
+        .map(|(a, b)| MmProblem { a, b, e: None })
+        .collect();
+    let batch = multiply_mm_batch(&problems, w).unwrap();
+    assert_eq!(batch.len(), problems.len());
+    for (p, batched) in problems.iter().zip(&batch) {
+        let solo = multiply_mm(p.a, p.b, None, w).unwrap();
+        assert_eq!(batched.c, solo.c);
+        assert_eq!(batched.cycles, solo.cycles);
+        assert_eq!(batched.efficiency, solo.efficiency);
+        assert_eq!(batched.activity, solo.activity);
+        assert_eq!(batched.feedback, solo.feedback);
+    }
+}
+
+#[test]
+fn mv_batch_is_outcome_identical_to_sequential_runs() {
+    let mut rng = SplitMix64::new(0xBA7D);
+    for schedule in [MvSchedule::Simple, MvSchedule::Overlapped] {
+        let w = 3;
+        let data: Vec<(DenseMatrix<i64>, Vec<i64>)> = (0..9)
+            .map(|_| {
+                let n = rng.range_usize(1, 13);
+                let m = rng.range_usize(1, 13);
+                let a = random_matrix(&mut rng, n, m);
+                let x = gen::random_vector_i64(m, 6, rng.next_u64());
+                (a, x)
+            })
+            .collect();
+        let problems: Vec<MvProblem<'_, i64>> = data
+            .iter()
+            .map(|(a, x)| MvProblem { a, x, b: None })
+            .collect();
+        let batch = multiply_mv_batch(&problems, w, schedule).unwrap();
+        assert_eq!(batch.len(), problems.len());
+        for (p, batched) in problems.iter().zip(&batch) {
+            let solo = multiply_mv(p.a, p.x, None, w, schedule).unwrap();
+            assert_eq!(batched.y, solo.y);
+            assert_eq!(batched.cycles, solo.cycles);
+            assert_eq!(batched.efficiency, solo.efficiency);
+            assert_eq!(batched.activity, solo.activity);
+            assert_eq!(batched.feedback, solo.feedback);
+        }
+    }
+}
+
+#[test]
+fn raw_simulator_batches_match_single_runs_on_random_band_jobs() {
+    let mut rng = SplitMix64::new(0x5117);
+    // Hexagonal: random upper x lower band products.
+    let w = 3;
+    let hex = HexArray::new(w).unwrap();
+    let jobs: Vec<HexJob<i64>> = (0..8)
+        .map(|_| {
+            let n = rng.range_usize(2, 9);
+            let full_a = random_matrix(&mut rng, n, n);
+            let da = DenseMatrix::from_fn(n, n, |i, j| {
+                if j >= i && j < i + w {
+                    full_a.at(i, j)
+                } else {
+                    0
+                }
+            });
+            let full_b = random_matrix(&mut rng, n, n);
+            let db = DenseMatrix::from_fn(n, n, |i, j| {
+                if i >= j && i < j + w {
+                    full_b.at(i, j)
+                } else {
+                    0
+                }
+            });
+            HexJob::product(
+                BandMatrix::try_from_dense(&da, 0, w - 1).unwrap(),
+                BandMatrix::try_from_dense(&db, w - 1, 0).unwrap(),
+            )
+        })
+        .collect();
+    for (job, batched) in jobs.iter().zip(hex.run_batch(&jobs).unwrap()) {
+        let solo = hex.run(job).unwrap();
+        assert_eq!(batched.outputs, solo.outputs);
+        assert_eq!(batched.utilization, solo.utilization);
+    }
+
+    // Linear: random upper-band streams.
+    let array = LinearArray::new(w).unwrap();
+    let jobs: Vec<Vec<MvStream<i64>>> = (0..8)
+        .map(|_| {
+            let rows = rng.range_usize(1, 9);
+            let cols = rows + w - 1;
+            let full = random_matrix(&mut rng, rows, cols);
+            let dense = DenseMatrix::from_fn(rows, cols, |i, j| {
+                if j >= i && j < i + w {
+                    full.at(i, j)
+                } else {
+                    0
+                }
+            });
+            vec![MvStream {
+                band: BandMatrix::try_from_dense(&dense, 0, w - 1).unwrap().into(),
+                x: gen::random_vector_i64(cols, 5, rng.next_u64()),
+                y_injections: vec![YInjection::Value(0); rows],
+            }]
+        })
+        .collect();
+    for (job, batched) in jobs.iter().zip(array.run_batch(&jobs).unwrap()) {
+        let solo = array.run(job).unwrap();
+        assert_eq!(batched.outputs, solo.outputs);
+        assert_eq!(batched.utilization, solo.utilization);
     }
 }
