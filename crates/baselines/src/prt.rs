@@ -92,6 +92,9 @@ mod tests {
             prt_mv(&a, &x, None, 3).unwrap_err(),
             DbtError::ShapeMismatch { .. }
         ));
-        assert_eq!(prt_mv(&a, &x, None, 0).unwrap_err(), DbtError::ZeroArraySize);
+        assert_eq!(
+            prt_mv(&a, &x, None, 0).unwrap_err(),
+            DbtError::ZeroArraySize
+        );
     }
 }

@@ -31,13 +31,21 @@ fn bench_mm() {
 
 fn bench_operand_construction() {
     let mut group = BenchGroup::new("mm_operand_construction");
-    for (w, n, p, mbar) in [(3usize, 9usize, 9usize, 3usize), (4, 16, 16, 4), (8, 64, 64, 8)] {
+    for (w, n, p, mbar) in [
+        (3usize, 9usize, 9usize, 3usize),
+        (4, 16, 16, 4),
+        (8, 64, 64, 8),
+    ] {
         let a = gen::random_dense_f64(n, p, 13);
         group.bench(&format!("a_hat_w{w}_{n}x{p}x{mbar}"), || {
             build_a_hat(&a, mbar, w).unwrap()
         });
     }
-    for (w, n, p, m) in [(3usize, 9usize, 9usize, 9usize), (4, 16, 16, 16), (8, 64, 64, 64)] {
+    for (w, n, p, m) in [
+        (3usize, 9usize, 9usize, 9usize),
+        (4, 16, 16, 16),
+        (8, 64, 64, 64),
+    ] {
         let shape = MmShape { w, n, p, m };
         group.bench(&format!("plan_w{w}_{n}x{p}x{m}"), || {
             accumulation_plan(shape).unwrap()

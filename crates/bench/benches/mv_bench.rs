@@ -13,7 +13,12 @@ use sia_matrix::gen;
 
 fn bench_transformation() {
     let mut group = BenchGroup::new("dbt_by_rows_transform");
-    for (w, n, m) in [(4usize, 16usize, 16usize), (4, 64, 64), (8, 64, 64), (8, 256, 256)] {
+    for (w, n, m) in [
+        (4usize, 16usize, 16usize),
+        (4, 64, 64),
+        (8, 64, 64),
+        (8, 256, 256),
+    ] {
         let a = gen::random_dense_f64(n, m, 1);
         group.bench(&format!("w{w}_{n}x{m}"), || DbtByRows::new(&a, w).unwrap());
     }
@@ -38,7 +43,12 @@ fn bench_mv_simple() {
 
 fn bench_mv_overlapped() {
     let mut group = BenchGroup::new("mv_overlapped_schedule").sample_size(10);
-    for (w, n, m) in [(4usize, 16usize, 16usize), (4, 32, 32), (8, 32, 32), (8, 128, 128)] {
+    for (w, n, m) in [
+        (4usize, 16usize, 16usize),
+        (4, 32, 32),
+        (8, 32, 32),
+        (8, 128, 128),
+    ] {
         let a = gen::random_dense_f64(n, m, 4);
         let x = gen::random_vector_f64(m, 5);
         group.bench(&format!("w{w}_{n}x{m}"), || {

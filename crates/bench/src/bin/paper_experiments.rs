@@ -6,9 +6,11 @@
 //! ```
 //!
 //! With `--json [DIR]` the binary instead benchmarks the mm/mv sweeps and
-//! writes `BENCH_mm.json` / `BENCH_mv.json` (shape, measured and predicted
-//! cycles, wall-time, throughput) into `DIR` (default: the current
-//! directory), so the perf trajectory can be tracked across PRs:
+//! the array farm, writing `BENCH_mm.json` / `BENCH_mv.json` (shape,
+//! measured and predicted cycles, wall-time, throughput) and
+//! `BENCH_throughput.json` (farm jobs/sec and latency percentiles per
+//! scheduling policy) into `DIR` (default: the current directory), so the
+//! perf trajectory can be tracked across PRs:
 //!
 //! ```text
 //! cargo run -p sia-bench --release --bin paper_experiments -- --json
@@ -33,18 +35,25 @@ fn main() -> ExitCode {
     }
 }
 
-/// Benchmarks the solver sweeps and writes the JSON perf records.
+/// Benchmarks the solver sweeps plus the array farm and writes the JSON
+/// perf records.
 fn run_json(dir: &Path) -> ExitCode {
-    for (file, records) in [
-        ("BENCH_mm.json", perf::mm_perf_records()),
-        ("BENCH_mv.json", perf::mv_perf_records()),
-    ] {
+    let mut outputs = vec![
+        ("BENCH_mm.json", perf::to_json(&perf::mm_perf_records())),
+        ("BENCH_mv.json", perf::to_json(&perf::mv_perf_records())),
+    ];
+    let throughput = perf::throughput_records();
+    outputs.push((
+        "BENCH_throughput.json",
+        perf::throughput_to_json(&throughput),
+    ));
+    for (file, json) in outputs {
         let path = dir.join(file);
-        if let Err(err) = std::fs::write(&path, perf::to_json(&records)) {
+        if let Err(err) = std::fs::write(&path, &json) {
             eprintln!("failed to write {}: {err}", path.display());
             return ExitCode::FAILURE;
         }
-        println!("wrote {} ({} records)", path.display(), records.len());
+        println!("wrote {}", path.display());
     }
     ExitCode::SUCCESS
 }
@@ -59,6 +68,7 @@ fn run_tables() -> ExitCode {
         experiments::run_spiral_topology(),
         experiments::run_baseline_comparison(),
         experiments::run_sparse_experiment(),
+        experiments::run_throughput(),
     ];
     let mut all_ok = true;
     for report in &reports {
@@ -66,7 +76,11 @@ fn run_tables() -> ExitCode {
         println!("{}", report.table);
         println!(
             "   agreement with the paper: {}\n",
-            if report.agrees_with_paper { "yes" } else { "NO" }
+            if report.agrees_with_paper {
+                "yes"
+            } else {
+                "NO"
+            }
         );
         all_ok &= report.agrees_with_paper;
     }

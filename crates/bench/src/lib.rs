@@ -16,7 +16,8 @@ pub mod perf;
 pub mod table;
 
 pub use experiments::{
-    run_baseline_comparison, run_feedback_experiment, run_mm_sweep, run_mv_overlap_sweep,
-    run_mv_sweep, run_sparse_experiment, run_spiral_topology, ExperimentReport,
+    measure_throughput, run_baseline_comparison, run_feedback_experiment, run_mm_sweep,
+    run_mv_overlap_sweep, run_mv_sweep, run_sparse_experiment, run_spiral_topology, run_throughput,
+    ExperimentReport, ThroughputStats,
 };
 pub use table::Table;

@@ -1,15 +1,18 @@
 //! Machine-readable performance records for the perf trajectory.
 //!
 //! `paper_experiments --json` emits `BENCH_mm.json` / `BENCH_mv.json`, one
-//! record per swept shape: the shape itself, measured and predicted cycle
-//! counts, simulator wall-time and throughput.  Future PRs diff these files
-//! to track the engine's speed over time.  The JSON is written by hand —
-//! the build environment has no crates.io access, and the schema is flat
-//! enough that serde would be overkill anyway.
+//! record per swept shape (the shape itself, measured and predicted cycle
+//! counts, simulator wall-time and throughput), plus `BENCH_throughput.json`
+//! with the array farm's serving metrics per policy.  Future PRs diff these
+//! files to track the engine's speed over time.  The JSON is written by
+//! hand — the build environment has no crates.io access, and the schema is
+//! flat enough that serde would be overkill anyway.
 
+use crate::experiments::{measure_throughput, ThroughputStats};
 use crate::harness::BenchGroup;
 use sia_dbt::{multiply_mm, multiply_mv, MmShape, MvSchedule, MvShape};
 use sia_matrix::gen;
+use sia_runtime::Policy;
 
 /// One benchmarked shape: cycle counts plus wall-clock cost.
 #[derive(Debug, Clone)]
@@ -137,9 +140,44 @@ pub fn to_json(records: &[PerfRecord]) -> String {
     out
 }
 
+/// Measures the array farm's serving behaviour under every policy (one
+/// record per policy; same burst, same arrival order).
+pub fn throughput_records() -> Vec<ThroughputStats> {
+    Policy::ALL.into_iter().map(measure_throughput).collect()
+}
+
+/// Renders throughput records as a JSON array (stable key order).
+pub fn throughput_to_json(records: &[ThroughputStats]) -> String {
+    let mut out = String::from("[\n");
+    for (idx, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "  {{\"policy\": \"{}\", \"jobs\": {}, \"wall_ms\": {:.3}, ",
+                "\"jobs_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, ",
+                "\"p99_ms\": {:.3}, \"exact_prediction_fraction\": {:.6}, ",
+                "\"max_queue_depth\": {}, \"steals\": {}}}"
+            ),
+            r.policy.label(),
+            r.jobs,
+            r.wall.as_secs_f64() * 1e3,
+            r.jobs_per_sec,
+            r.p50.as_secs_f64() * 1e3,
+            r.p95.as_secs_f64() * 1e3,
+            r.p99.as_secs_f64() * 1e3,
+            r.exact_fraction,
+            r.max_queue_depth,
+            r.steals,
+        ));
+        out.push_str(if idx + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn json_rendering_is_well_formed() {
@@ -160,6 +198,28 @@ mod tests {
         assert!(json.contains("\"cycles_measured\": 51"));
         assert!(json.contains("\"cycle_ratio\": 1.000000"));
         // Exactly one record: no trailing comma.
+        assert!(!json.contains("},\n]"));
+    }
+
+    #[test]
+    fn throughput_json_rendering_is_well_formed() {
+        let records = vec![ThroughputStats {
+            policy: Policy::Fifo,
+            jobs: 46,
+            wall: Duration::from_millis(7),
+            jobs_per_sec: 6571.4,
+            p50: Duration::from_micros(500),
+            p95: Duration::from_millis(5),
+            p99: Duration::from_millis(6),
+            exact_fraction: 1.0,
+            max_queue_depth: 46,
+            steals: 0,
+        }];
+        let json = throughput_to_json(&records);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"policy\": \"fifo\""));
+        assert!(json.contains("\"exact_prediction_fraction\": 1.000000"));
         assert!(!json.contains("},\n]"));
     }
 

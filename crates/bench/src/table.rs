@@ -49,7 +49,12 @@ impl Table {
             cells
                 .iter()
                 .enumerate()
-                .map(|(c, cell)| format!("{cell:>width$}", width = widths.get(c).copied().unwrap_or(cell.len())))
+                .map(|(c, cell)| {
+                    format!(
+                        "{cell:>width$}",
+                        width = widths.get(c).copied().unwrap_or(cell.len())
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join("  ")
         };

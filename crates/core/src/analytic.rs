@@ -181,7 +181,10 @@ mod tests {
         for (w, n, m) in [(3usize, 6usize, 9usize), (4, 16, 8), (2, 10, 10)] {
             let s = MvShape { w, n, m };
             let direct = s.efficiency_for(s.cycles());
-            assert!((direct - s.utilization()).abs() < 1e-12, "w={w} n={n} m={m}");
+            assert!(
+                (direct - s.utilization()).abs() < 1e-12,
+                "w={w} n={n} m={m}"
+            );
             let overlapped = s.efficiency_for(s.cycles_overlapped());
             assert!((overlapped - s.utilization_overlapped()).abs() < 1e-12);
         }
@@ -190,7 +193,11 @@ mod tests {
     #[test]
     fn mv_utilization_asymptotes() {
         let small = MvShape { w: 4, n: 4, m: 4 };
-        let large = MvShape { w: 4, n: 400, m: 400 };
+        let large = MvShape {
+            w: 4,
+            n: 400,
+            m: 400,
+        };
         assert!(large.utilization() > small.utilization());
         assert!((large.utilization() - 0.5).abs() < 0.01);
         assert!((large.utilization_overlapped() - 1.0).abs() < 0.01);

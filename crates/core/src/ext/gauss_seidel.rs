@@ -7,7 +7,8 @@
 //! size-independent matrix–vector solver (the linear systolic array), while
 //! the small `w × w` diagonal solves are host / division-cell work.
 
-use super::{triangular::solve_lower, WorkSplit};
+use super::{strip_has_nonzero, triangular::solve_lower, WorkSplit};
+use crate::analytic::MvShape;
 use crate::ext::lu::lu_decompose;
 use crate::ext::triangular::solve_upper;
 use crate::{multiply_mv, DbtError, MvSchedule};
@@ -43,24 +44,8 @@ pub fn gauss_seidel(
     tol: f64,
     max_sweeps: usize,
 ) -> Result<GaussSeidelOutcome, DbtError> {
-    if w == 0 {
-        return Err(DbtError::ZeroArraySize);
-    }
+    super::validate_square_system(a, b, "b", "gauss-seidel", w)?;
     let n = a.rows();
-    if a.cols() != n {
-        return Err(DbtError::ShapeMismatch {
-            left: a.shape(),
-            right: (n, n),
-            op: "gauss-seidel",
-        });
-    }
-    if b.len() != n {
-        return Err(DbtError::VectorLength {
-            what: "b",
-            expected: n,
-            found: b.len(),
-        });
-    }
     let nbar = n.div_ceil(w);
     let mut work = WorkSplit::default();
     let mut x = vec![0.0f64; n];
@@ -86,20 +71,13 @@ pub fn gauss_seidel(
             // Left part (already updated this sweep) and right part (previous
             // sweep values), both on the array.
             for (col_lo, col_hi) in [(0usize, lo), (hi, n)] {
-                if col_hi > col_lo {
+                if col_hi > col_lo && strip_has_nonzero(a, lo, hi, col_lo, col_hi) {
                     let strip = a.submatrix(lo, col_lo, hi - lo, col_hi - col_lo);
-                    if strip.count_nonzero() > 0 {
-                        let product = multiply_mv(
-                            &strip,
-                            &x[col_lo..col_hi],
-                            None,
-                            w,
-                            MvSchedule::Simple,
-                        )?;
-                        work.add_run(product.cycles);
-                        for (slot, v) in rhs.iter_mut().zip(product.y) {
-                            *slot -= v;
-                        }
+                    let product =
+                        multiply_mv(&strip, &x[col_lo..col_hi], None, w, MvSchedule::Simple)?;
+                    work.add_run(product.cycles);
+                    for (slot, v) in rhs.iter_mut().zip(product.y) {
+                        *slot -= v;
                     }
                 }
             }
@@ -128,6 +106,40 @@ pub fn gauss_seidel(
     })
 }
 
+/// Array steps of **one** [`gauss_seidel`] sweep plus its residual check,
+/// without running anything — the per-sweep lower bound the serving
+/// runtime's admission control prices iterative jobs with (the sweep count
+/// itself is data-dependent).  It shares the strip predicate with the sweep
+/// loop, so `work.array_cycles == sweeps * predicted_sweep_cycles(..)`
+/// holds exactly for every converging run.
+///
+/// Degenerate inputs (`w == 0`, empty or non-square `a`) predict 0 — the
+/// iteration itself rejects them.
+pub fn predicted_sweep_cycles(a: &DenseMatrix<f64>, w: usize) -> usize {
+    let n = a.rows();
+    if w == 0 || n == 0 || a.cols() != n {
+        return 0;
+    }
+    let nbar = n.div_ceil(w);
+    let mut cycles = 0usize;
+    for r in 0..nbar {
+        let lo = r * w;
+        let hi = ((r + 1) * w).min(n);
+        for (col_lo, col_hi) in [(0usize, lo), (hi, n)] {
+            if col_hi > col_lo && strip_has_nonzero(a, lo, hi, col_lo, col_hi) {
+                cycles += MvShape {
+                    w,
+                    n: hi - lo,
+                    m: col_hi - col_lo,
+                }
+                .cycles();
+            }
+        }
+    }
+    // Residual check: one full-matrix MV per sweep.
+    cycles + MvShape { w, n, m: n }.cycles()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,11 +164,34 @@ mod tests {
     }
 
     #[test]
+    fn sweep_prediction_times_sweep_count_is_the_measured_array_work() {
+        for (n, w, seed) in [(6usize, 2usize, 31u64), (9, 3, 32), (8, 3, 33)] {
+            let a = gen::diagonally_dominant_f64(n, seed);
+            let x_true = gen::random_vector_f64(n, seed + 10);
+            let b = a.matvec(&x_true).unwrap();
+            let run = gauss_seidel(&a, &b, w, 1e-9, 200).unwrap();
+            assert_eq!(
+                predicted_sweep_cycles(&a, w) * run.sweeps,
+                run.work.array_cycles,
+                "n={n} w={w}"
+            );
+        }
+        assert_eq!(predicted_sweep_cycles(&DenseMatrix::zeros(3, 4), 2), 0);
+        assert_eq!(
+            predicted_sweep_cycles(&gen::diagonally_dominant_f64(4, 1), 0),
+            0
+        );
+    }
+
+    #[test]
     fn reports_non_convergence() {
         // A rotation-like matrix that block Gauss-Seidel cannot solve fast.
         let a = DenseMatrix::from_rows(vec![vec![0.1, 1.0], vec![-1.0, 0.1]]).unwrap();
         let err = gauss_seidel(&a, &[1.0, 1.0], 1, 1e-12, 3).unwrap_err();
-        assert!(matches!(err, DbtError::DidNotConverge { iterations: 3, .. }));
+        assert!(matches!(
+            err,
+            DbtError::DidNotConverge { iterations: 3, .. }
+        ));
     }
 
     #[test]

@@ -106,7 +106,13 @@ mod tests {
 
     #[test]
     fn reconstruction_matches_the_input() {
-        for (n, w, seed) in [(4usize, 2usize, 1u64), (6, 2, 2), (9, 3, 3), (8, 4, 4), (7, 3, 5)] {
+        for (n, w, seed) in [
+            (4usize, 2usize, 1u64),
+            (6, 2, 2),
+            (9, 3, 3),
+            (8, 4, 4),
+            (7, 3, 5),
+        ] {
             let a = gen::diagonally_dominant_f64(n, seed);
             let outcome = lu_decompose(&a, w).unwrap();
             let product = outcome.l.matmul(&outcome.u).unwrap();

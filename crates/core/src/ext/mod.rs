@@ -20,10 +20,65 @@ mod inverse;
 mod lu;
 mod triangular;
 
-pub use gauss_seidel::{gauss_seidel, GaussSeidelOutcome};
+pub use gauss_seidel::{gauss_seidel, predicted_sweep_cycles, GaussSeidelOutcome};
 pub use inverse::{invert, InverseOutcome};
 pub use lu::{lu_decompose, LuOutcome};
-pub use triangular::{solve_lower, solve_upper, TriangularOutcome};
+pub use triangular::{predicted_triangular_cycles, solve_lower, solve_upper, TriangularOutcome};
+
+use crate::DbtError;
+use sia_matrix::{DenseMatrix, Scalar};
+
+/// Checks the square-system contract shared by the triangular and
+/// Gauss–Seidel drivers and the serving runtime's admission control: `w`
+/// positive, `a` square, `rhs` of matching length.  Having one checker
+/// means admission can never accept a job the solver would later reject.
+///
+/// # Errors
+///
+/// The same errors the drivers report for malformed arguments.
+pub fn validate_square_system<T: Scalar>(
+    a: &DenseMatrix<T>,
+    rhs: &[T],
+    rhs_name: &'static str,
+    op: &'static str,
+    w: usize,
+) -> Result<(), DbtError> {
+    if w == 0 {
+        return Err(DbtError::ZeroArraySize);
+    }
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(DbtError::ShapeMismatch {
+            left: a.shape(),
+            right: (n, n),
+            op,
+        });
+    }
+    if rhs.len() != n {
+        return Err(DbtError::VectorLength {
+            what: rhs_name,
+            expected: n,
+            found: rhs.len(),
+        });
+    }
+    Ok(())
+}
+
+/// `true` when the `[row_lo, row_hi) × [col_lo, col_hi)` strip of `a` holds
+/// any non-zero element.  Shared by the solvers (to skip all-zero strip
+/// products), their cost predictors and the block-sparse planner
+/// (`crate::sparse`), so none of them can disagree about what counts as
+/// non-zero — and it scans in place, with none of the copying
+/// `DenseMatrix::submatrix` would do.
+pub(crate) fn strip_has_nonzero<T: Scalar>(
+    a: &DenseMatrix<T>,
+    row_lo: usize,
+    row_hi: usize,
+    col_lo: usize,
+    col_hi: usize,
+) -> bool {
+    (row_lo..row_hi).any(|i| (col_lo..col_hi).any(|j| !a.at(i, j).is_zero()))
+}
 
 /// Accounting shared by all extensions: how much work ran on the systolic
 /// array versus on the host ("division cells").

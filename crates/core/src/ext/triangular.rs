@@ -7,7 +7,8 @@
 //! through the linear systolic array), while the `w × w` diagonal-block
 //! substitutions are counted as host / division-cell operations.
 
-use super::WorkSplit;
+use super::{strip_has_nonzero, WorkSplit};
+use crate::analytic::MvShape;
 use crate::{multiply_mv, DbtError, MvSchedule};
 use sia_matrix::{DenseMatrix, Scalar};
 
@@ -50,30 +51,46 @@ pub fn solve_upper<T: Scalar>(
     solve(u, c, w, false)
 }
 
+/// Exact array steps [`solve_lower`] / [`solve_upper`] will spend on the
+/// linear array for this system, without running anything: one
+/// simple-schedule MV run (closed form `2w·n̄m̄ + 2w − 3`) per block row
+/// whose already-solved strip holds a non-zero.  This is the cost hook the
+/// serving runtime's admission control uses; it shares the strip predicate
+/// with [`solve_lower`] itself, so predictor and solver cannot diverge.
+///
+/// Degenerate inputs (`w == 0`, empty or non-square `a`) predict 0 — the
+/// solve itself rejects them.
+pub fn predicted_triangular_cycles<T: Scalar>(a: &DenseMatrix<T>, w: usize, lower: bool) -> usize {
+    let n = a.rows();
+    if w == 0 || n == 0 || a.cols() != n {
+        return 0;
+    }
+    let nbar = n.div_ceil(w);
+    let mut cycles = 0usize;
+    for r in 0..nbar {
+        let lo = r * w;
+        let hi = ((r + 1) * w).min(n);
+        let (known_lo, known_hi) = if lower { (0, lo) } else { (hi, n) };
+        if known_hi > known_lo && strip_has_nonzero(a, lo, hi, known_lo, known_hi) {
+            cycles += MvShape {
+                w,
+                n: hi - lo,
+                m: known_hi - known_lo,
+            }
+            .cycles();
+        }
+    }
+    cycles
+}
+
 fn solve<T: Scalar>(
     a: &DenseMatrix<T>,
     c: &[T],
     w: usize,
     lower: bool,
 ) -> Result<TriangularOutcome<T>, DbtError> {
-    if w == 0 {
-        return Err(DbtError::ZeroArraySize);
-    }
+    super::validate_square_system(a, c, "c", "triangular solve", w)?;
     let n = a.rows();
-    if a.cols() != n {
-        return Err(DbtError::ShapeMismatch {
-            left: a.shape(),
-            right: (n, n),
-            op: "triangular solve",
-        });
-    }
-    if c.len() != n {
-        return Err(DbtError::VectorLength {
-            what: "c",
-            expected: n,
-            found: c.len(),
-        });
-    }
     let nbar = n.div_ceil(w);
     let mut x = vec![T::zero(); n];
     let mut work = WorkSplit::default();
@@ -90,20 +107,12 @@ fn solve<T: Scalar>(
         // rhs_r = c_r - (already solved part of the row) · x_known
         let mut rhs: Vec<T> = c[lo..hi].to_vec();
         let (known_lo, known_hi) = if lower { (0, lo) } else { (hi, n) };
-        if known_hi > known_lo {
+        if known_hi > known_lo && strip_has_nonzero(a, lo, hi, known_lo, known_hi) {
             let strip = a.submatrix(lo, known_lo, hi - lo, known_hi - known_lo);
-            if strip.count_nonzero() > 0 {
-                let outcome = multiply_mv(
-                    &strip,
-                    &x[known_lo..known_hi],
-                    None,
-                    w,
-                    MvSchedule::Simple,
-                )?;
-                work.add_run(outcome.cycles);
-                for (slot, v) in rhs.iter_mut().zip(outcome.y) {
-                    *slot = *slot - v;
-                }
+            let outcome = multiply_mv(&strip, &x[known_lo..known_hi], None, w, MvSchedule::Simple)?;
+            work.add_run(outcome.cycles);
+            for (slot, v) in rhs.iter_mut().zip(outcome.y) {
+                *slot = *slot - v;
             }
         }
         // Diagonal-block substitution (division cells / host).
@@ -186,6 +195,36 @@ mod tests {
         let c = l.matvec(&x_true).unwrap();
         let outcome = solve_lower(&l, &c, 2).unwrap();
         assert_eq!(outcome.x, x_true);
+    }
+
+    #[test]
+    fn predicted_cycles_match_the_measured_work_split() {
+        for (n, w, seed) in [(6usize, 2usize, 21u64), (9, 3, 22), (7, 3, 23), (4, 4, 24)] {
+            let l = gen::lower_triangular_f64(n, seed);
+            let c = gen::random_vector_f64(n, seed + 10);
+            let run = solve_lower(&l, &c, w).unwrap();
+            assert_eq!(
+                predicted_triangular_cycles(&l, w, true),
+                run.work.array_cycles,
+                "lower n={n} w={w}"
+            );
+            let u = l.transpose();
+            let run = solve_upper(&u, &c, w).unwrap();
+            assert_eq!(
+                predicted_triangular_cycles(&u, w, false),
+                run.work.array_cycles,
+                "upper n={n} w={w}"
+            );
+        }
+        // Degenerate inputs predict zero instead of panicking.
+        assert_eq!(
+            predicted_triangular_cycles(&DenseMatrix::<f64>::zeros(3, 4), 2, true),
+            0
+        );
+        assert_eq!(
+            predicted_triangular_cycles(&gen::lower_triangular_f64(4, 1), 0, true),
+            0
+        );
     }
 
     #[test]

@@ -157,12 +157,7 @@ pub fn build_b_hat<T: Scalar>(
     // rows.
     for i in 0..mbar {
         let pairs: Vec<(DenseMatrix<T>, DenseMatrix<T>)> = (0..pbar)
-            .map(|u| {
-                Ok((
-                    grid.block(b, u, i)?,
-                    grid.block(b, (u + 1) % pbar, i)?,
-                ))
-            })
+            .map(|u| Ok((grid.block(b, u, i)?, grid.block(b, (u + 1) % pbar, i)?)))
             .collect::<Result<_, DbtError>>()?;
         for q in i * per_copy..(i + 1) * per_copy {
             let (d_block, e_block) = &pairs[q % pbar];
@@ -315,8 +310,30 @@ pub fn multiply_mm<T: Scalar>(
     e: Option<&DenseMatrix<T>>,
     w: usize,
 ) -> Result<MmOutcome<T>, DbtError> {
-    let (job, finish) = prepare_mm(a, b, e, w)?;
-    let report = HexArray::new(w)?.run(&job)?;
+    if w == 0 {
+        return Err(DbtError::ZeroArraySize);
+    }
+    multiply_mm_on(&HexArray::new(w)?, a, b, e)
+}
+
+/// Computes `C = A·B + E` on a **caller-owned** hexagonal array.
+///
+/// Identical to [`multiply_mm`] except that the array is provided by the
+/// caller instead of being constructed per call, so long-lived owners (the
+/// `sia-runtime` worker pool keeps one array per worker for its whole
+/// lifetime) route every job through their own persistent array state.
+///
+/// # Errors
+///
+/// Same as [`multiply_mm`], with the array size taken from `array`.
+pub fn multiply_mm_on<T: Scalar>(
+    array: &HexArray,
+    a: &DenseMatrix<T>,
+    b: &DenseMatrix<T>,
+    e: Option<&DenseMatrix<T>>,
+) -> Result<MmOutcome<T>, DbtError> {
+    let (job, finish) = prepare_mm(a, b, e, array.size())?;
+    let report = array.run(&job)?;
     Ok(finish.complete(report))
 }
 
@@ -371,12 +388,20 @@ struct MmFinish {
 
 /// Builds the transformed job (operands behind [`Arc`], no band cloning)
 /// plus the extraction map for one problem.
-fn prepare_mm<T: Scalar>(
+/// Checks the `A`/`B`/`E` dimension contract shared by [`multiply_mm`] and
+/// the serving runtime's admission control, and returns the problem shape.
+/// Having one checker means admission can never accept a job the solver
+/// would later reject.
+///
+/// # Errors
+///
+/// The same errors [`multiply_mm`] reports for malformed arguments.
+pub fn validate_mm_args<T: Scalar>(
     a: &DenseMatrix<T>,
     b: &DenseMatrix<T>,
     e: Option<&DenseMatrix<T>>,
     w: usize,
-) -> Result<(HexJob<T>, MmFinish), DbtError> {
+) -> Result<MmShape, DbtError> {
     if w == 0 {
         return Err(DbtError::ZeroArraySize);
     }
@@ -399,12 +424,21 @@ fn prepare_mm<T: Scalar>(
             });
         }
     }
-    let shape = MmShape {
+    Ok(MmShape {
         w,
         n: a.rows(),
         p: a.cols(),
         m: b.cols(),
-    };
+    })
+}
+
+fn prepare_mm<T: Scalar>(
+    a: &DenseMatrix<T>,
+    b: &DenseMatrix<T>,
+    e: Option<&DenseMatrix<T>>,
+    w: usize,
+) -> Result<(HexJob<T>, MmFinish), DbtError> {
+    let shape = validate_mm_args(a, b, e, w)?;
     let a_hat = build_a_hat(a, shape.mbar(), w)?;
     let b_hat = build_b_hat(b, shape.nbar(), w)?;
     debug_assert_eq!(a_hat.rows(), shape.transformed_dim());

@@ -108,9 +108,30 @@ pub fn multiply_mv<T: Scalar>(
     if w == 0 {
         return Err(DbtError::ZeroArraySize);
     }
+    multiply_mv_on(&LinearArray::new(w)?, a, x, b, schedule)
+}
+
+/// Computes `y = A·x + b` on a **caller-owned** linear array.
+///
+/// Identical to [`multiply_mv`] except that the array is provided by the
+/// caller instead of being constructed per call, so long-lived owners (the
+/// `sia-runtime` worker pool keeps one array per worker for its whole
+/// lifetime) route every job through their own persistent array state.
+///
+/// # Errors
+///
+/// Same as [`multiply_mv`], with the array size taken from `array`.
+pub fn multiply_mv_on<T: Scalar>(
+    array: &LinearArray,
+    a: &DenseMatrix<T>,
+    x: &[T],
+    b: Option<&[T]>,
+    schedule: MvSchedule,
+) -> Result<MvOutcome<T>, DbtError> {
+    let w = array.size();
     let shape = validate_mv_args(a, x, b, w)?;
     let prepared = prepare_mv(a, x, b, w, shape, schedule)?;
-    let report = LinearArray::new(w)?.run(&prepared.streams)?;
+    let report = array.run(&prepared.streams)?;
     prepared.finish.complete(report)
 }
 
@@ -154,14 +175,27 @@ pub fn multiply_mv_batch<T: Scalar>(
     .collect()
 }
 
-/// Checks the `A`/`x`/`b` dimension contract shared by [`multiply_mv`] and
-/// [`multiply_mv_batch`] and returns the problem shape.
-fn validate_mv_args<T: Scalar>(
+/// Checks the `A`/`x`/`b` dimension contract shared by [`multiply_mv`],
+/// [`multiply_mv_batch`], the block-sparse variant and the serving
+/// runtime's admission control, and returns the problem shape.  Having one
+/// checker means admission can never accept a job the solver would later
+/// reject.
+///
+/// # Errors
+///
+/// The same errors [`multiply_mv`] reports for malformed arguments.
+pub fn validate_mv_args<T: Scalar>(
     a: &DenseMatrix<T>,
     x: &[T],
     b: Option<&[T]>,
     w: usize,
 ) -> Result<MvShape, DbtError> {
+    if w == 0 {
+        return Err(DbtError::ZeroArraySize);
+    }
+    if a.rows() == 0 || a.cols() == 0 {
+        return Err(DbtError::EmptyDimension { what: "operand" });
+    }
     if x.len() != a.cols() {
         return Err(DbtError::VectorLength {
             what: "x",
@@ -219,6 +253,36 @@ impl<T: Scalar> MvFinish<T> {
     }
 }
 
+/// Whether the overlapped schedule can actually split this problem: the
+/// solver's fallback predicate (a single block row cannot be split, so the
+/// simple schedule runs instead), shared with [`predicted_mv_cycles`] so
+/// admission pricing cannot desync from execution.
+fn overlap_splittable(shape: MvShape) -> bool {
+    shape.nbar() >= 2
+}
+
+/// The closed-form step-count prediction for [`multiply_mv`] with the given
+/// schedule, as `(cycles, exact)`.
+///
+/// It applies the solver's own fallback rule (see [`MvSchedule`]): an
+/// overlapped request on a single block row runs the simple schedule, so it
+/// is priced — exactly — by the simple closed form.  `exact` is `false`
+/// only for overlapped runs with an odd block-row count, where the halves
+/// split unevenly and `T = w·n̄m̄ + 2w − 2` assumes equal halves.
+///
+/// This is the cost hook the serving runtime's admission control uses for
+/// dense matrix–vector jobs.
+pub fn predicted_mv_cycles(shape: MvShape, schedule: MvSchedule) -> (usize, bool) {
+    match schedule {
+        MvSchedule::Simple => (shape.cycles(), true),
+        MvSchedule::Overlapped if !overlap_splittable(shape) => (shape.cycles(), true),
+        MvSchedule::Overlapped if shape.nbar().is_multiple_of(2) => {
+            (shape.cycles_overlapped(), true)
+        }
+        MvSchedule::Overlapped => (shape.cycles_overlapped(), false),
+    }
+}
+
 /// Builds the stream set for one problem.  The DBT bands are handed to the
 /// streams behind shared handles ([`DbtByRows::band_shared`]) — no
 /// coefficient storage is cloned.
@@ -230,7 +294,7 @@ fn prepare_mv<T: Scalar>(
     shape: MvShape,
     schedule: MvSchedule,
 ) -> Result<PreparedMv<T>, DbtError> {
-    if schedule == MvSchedule::Overlapped && shape.nbar() >= 2 {
+    if schedule == MvSchedule::Overlapped && overlap_splittable(shape) {
         // Split at an original block-row boundary (the dotted line of
         // Fig. 2b): the first ⌈n̄/2⌉ block rows form one sub-problem, the
         // rest the other, interleaved in the array's idle cycles.
@@ -315,8 +379,8 @@ mod tests {
         for (n, m, w, seed) in [
             (4usize, 4usize, 2usize, 1u64),
             (6, 9, 3, 2),
-            (5, 7, 3, 3),   // padding in both dimensions
-            (8, 3, 4, 4),   // wide array, narrow matrix
+            (5, 7, 3, 3), // padding in both dimensions
+            (8, 3, 4, 4), // wide array, narrow matrix
             (12, 12, 4, 5),
             (3, 11, 2, 6),
             (1, 1, 1, 7),
@@ -345,7 +409,11 @@ mod tests {
 
     #[test]
     fn overlapped_schedule_is_exact_and_faster() {
-        for (n, m, w, seed) in [(8usize, 8usize, 2usize, 31u64), (12, 9, 3, 32), (10, 7, 2, 33)] {
+        for (n, m, w, seed) in [
+            (8usize, 8usize, 2usize, 31u64),
+            (12, 9, 3, 32),
+            (10, 7, 2, 33),
+        ] {
             let a = gen::random_dense_i64(n, m, 5, seed);
             let x = gen::random_vector_i64(m, 5, seed + 10);
             let b = gen::random_vector_i64(n, 5, seed + 20);
@@ -364,11 +432,19 @@ mod tests {
     fn overlapped_cycle_formula_holds_for_even_block_splits() {
         // The closed form T = w·n̄·m̄ + 2w − 2 assumes the two sub-problems
         // are equal, i.e. n̄ is even.
-        for (n, m, w, seed) in [(8usize, 8usize, 2usize, 41u64), (12, 9, 3, 42), (16, 8, 4, 43)] {
+        for (n, m, w, seed) in [
+            (8usize, 8usize, 2usize, 41u64),
+            (12, 9, 3, 42),
+            (16, 8, 4, 43),
+        ] {
             let a = gen::random_dense_i64(n, m, 5, seed);
             let x = gen::random_vector_i64(m, 5, seed + 10);
             let outcome = multiply_mv(&a, &x, None, w, MvSchedule::Overlapped).unwrap();
-            assert_eq!(outcome.cycles, outcome.predicted_cycles(), "n={n} m={m} w={w}");
+            assert_eq!(
+                outcome.cycles,
+                outcome.predicted_cycles(),
+                "n={n} m={m} w={w}"
+            );
         }
     }
 
@@ -379,6 +455,28 @@ mod tests {
         let outcome = multiply_mv(&a, &x, None, 3, MvSchedule::Overlapped).unwrap();
         assert_eq!(outcome.y, a.matvec(&x).unwrap());
         assert_eq!(outcome.schedule, MvSchedule::Overlapped);
+    }
+
+    #[test]
+    fn predicted_mv_cycles_tracks_the_solver_exactly_when_flagged_exact() {
+        // Simple, even-split overlapped, and unsplittable-overlapped are all
+        // exact; odd-split overlapped is flagged as an estimate.
+        for (n, m, w, schedule, expect_exact) in [
+            (7usize, 5usize, 3usize, MvSchedule::Simple, true),
+            (12, 9, 3, MvSchedule::Overlapped, true), // n̄ = 4, even
+            (3, 9, 3, MvSchedule::Overlapped, true),  // n̄ = 1, fallback
+            (9, 9, 3, MvSchedule::Overlapped, false), // n̄ = 3, odd split
+        ] {
+            let shape = MvShape { w, n, m };
+            let (cycles, exact) = predicted_mv_cycles(shape, schedule);
+            assert_eq!(exact, expect_exact, "n={n} m={m} {schedule:?}");
+            let a = gen::random_dense_i64(n, m, 5, (n + m) as u64);
+            let x = gen::random_vector_i64(m, 5, n as u64);
+            let run = multiply_mv(&a, &x, None, w, schedule).unwrap();
+            if exact {
+                assert_eq!(cycles, run.cycles, "n={n} m={m} {schedule:?}");
+            }
+        }
     }
 
     #[test]
@@ -402,9 +500,7 @@ mod tests {
         let outcome = multiply_mv(&a, &x, None, 3, MvSchedule::Simple).unwrap();
         assert!((outcome.efficiency - outcome.predicted_utilization()).abs() < 1e-12);
         let overlapped = multiply_mv(&a, &x, None, 3, MvSchedule::Overlapped).unwrap();
-        assert!(
-            (overlapped.efficiency - overlapped.predicted_utilization()).abs() < 1e-12
-        );
+        assert!((overlapped.efficiency - overlapped.predicted_utilization()).abs() < 1e-12);
     }
 
     #[test]

@@ -11,7 +11,6 @@
 //! feedback chain between the surviving blocks of a row group is preserved,
 //! so the result is still accumulated entirely inside the array.
 
-use crate::analytic::MvShape;
 use crate::{DbtError, MvOutcome, MvSchedule};
 use sia_matrix::{triangular, vector, BandMatrix, BlockGrid, DenseMatrix, Scalar};
 use sia_sim::{LinearArray, MvStream, YInjection};
@@ -49,6 +48,98 @@ impl<T> SparseMvOutcome<T> {
     }
 }
 
+/// The block-survival plan of a block-sparse problem: which `w × w` blocks
+/// of each block row are appended to the shortened band.
+///
+/// This is the *cost hook* of the sparse path: building the plan only scans
+/// the matrix for non-zero blocks (no band construction, no simulation), so
+/// a scheduler can predict the exact cycle count of a sparse job before
+/// committing an array to it.
+#[derive(Debug, Clone)]
+pub struct SparsePlan {
+    /// Array size the plan was built for.
+    pub w: usize,
+    /// Surviving column indices per block row (column 0 is always kept to
+    /// anchor the `b` injection and the `x̂` wrap-around).
+    pub kept: Vec<Vec<usize>>,
+    /// Number of `w × w` blocks of the original matrix that are non-zero.
+    pub nonzero_blocks: usize,
+    /// Total number of `w × w` blocks (`n̄ · m̄`).
+    pub total_blocks: usize,
+}
+
+impl SparsePlan {
+    /// Number of blocks that will be appended to the band.
+    pub fn appended_blocks(&self) -> usize {
+        self.kept.iter().map(Vec::len).sum()
+    }
+
+    /// Exact step count of the shortened run: the `n̄·m̄` factor of the dense
+    /// closed form `2w·n̄m̄ + 2w − 3` shrinks to the appended-block count.
+    pub fn predicted_cycles(&self) -> usize {
+        2 * self.w * self.appended_blocks() + 2 * self.w - 3
+    }
+}
+
+/// Scans `A` for non-zero `w × w` blocks and returns the survival plan,
+/// without building the band or running anything.
+///
+/// # Errors
+///
+/// Returns [`DbtError::ZeroArraySize`] when `w == 0` and the substrate's
+/// errors for empty matrices.
+pub fn plan_block_sparse<T: Scalar>(a: &DenseMatrix<T>, w: usize) -> Result<SparsePlan, DbtError> {
+    if w == 0 {
+        return Err(DbtError::ZeroArraySize);
+    }
+    let grid = BlockGrid::new(a.rows(), a.cols(), w)?;
+    Ok(plan_with_grid(a, &grid, w))
+}
+
+/// The scan behind [`plan_block_sparse`], reusing a grid the caller already
+/// built (the solver path constructs one grid and plans with it).  The
+/// occupancy test reads the matrix in place — no block is copied out just
+/// to be counted.
+fn plan_with_grid<T: Scalar>(a: &DenseMatrix<T>, grid: &BlockGrid, w: usize) -> SparsePlan {
+    let (nbar, mbar) = (grid.block_rows(), grid.block_cols());
+    // A padded block is non-zero iff its intersection with the real matrix
+    // holds a non-zero element.
+    let block_nonzero = |r: usize, s: usize| {
+        crate::ext::strip_has_nonzero(
+            a,
+            r * w,
+            ((r + 1) * w).min(a.rows()),
+            s * w,
+            ((s + 1) * w).min(a.cols()),
+        )
+    };
+    // Column 0 is always kept: every block row must start at the same column
+    // so that the wrap-around of the x̂ stream (the last L block of one row
+    // group pairing with the first x̂ chunk of the next) stays correct,
+    // exactly as in the dense scheme.
+    let mut kept: Vec<Vec<usize>> = Vec::with_capacity(nbar);
+    let mut nonzero_blocks = 0usize;
+    for r in 0..nbar {
+        let mut cols: Vec<usize> = Vec::new();
+        for s in 0..mbar {
+            let nonzero = block_nonzero(r, s);
+            if nonzero {
+                nonzero_blocks += 1;
+            }
+            if s == 0 || nonzero {
+                cols.push(s);
+            }
+        }
+        kept.push(cols);
+    }
+    SparsePlan {
+        w,
+        kept,
+        nonzero_blocks,
+        total_blocks: nbar * mbar,
+    }
+}
+
 /// Computes `y = A·x + b` skipping the all-zero `w × w` blocks of `A`.
 ///
 /// Rows whose entire block row is zero still produce `y_i = b_i`.
@@ -65,50 +156,29 @@ pub fn multiply_mv_block_sparse<T: Scalar>(
     if w == 0 {
         return Err(DbtError::ZeroArraySize);
     }
-    if x.len() != a.cols() {
-        return Err(DbtError::VectorLength {
-            what: "x",
-            expected: a.cols(),
-            found: x.len(),
-        });
-    }
-    if let Some(b) = b {
-        if b.len() != a.rows() {
-            return Err(DbtError::VectorLength {
-                what: "b",
-                expected: a.rows(),
-                found: b.len(),
-            });
-        }
-    }
-    let shape = MvShape {
-        w,
-        n: a.rows(),
-        m: a.cols(),
-    };
+    multiply_mv_block_sparse_on(&LinearArray::new(w)?, a, x, b)
+}
+
+/// Computes `y = A·x + b` skipping all-zero blocks, on a **caller-owned**
+/// linear array (the serving runtime keeps one array per worker).
+///
+/// # Errors
+///
+/// Same as [`multiply_mv_block_sparse`], with the array size taken from
+/// `array`.
+pub fn multiply_mv_block_sparse_on<T: Scalar>(
+    array: &LinearArray,
+    a: &DenseMatrix<T>,
+    x: &[T],
+    b: Option<&[T]>,
+) -> Result<SparseMvOutcome<T>, DbtError> {
+    let w = array.size();
+    let shape = crate::validate_mv_args(a, x, b, w)?;
     let grid = BlockGrid::new(a.rows(), a.cols(), w)?;
     let (nbar, mbar) = (grid.block_rows(), grid.block_cols());
-
-    // Surviving column indices per block row.  Column 0 is always kept: every
-    // block row must start at the same column so that the wrap-around of the
-    // x̂ stream (the last L block of one row group pairing with the first x̂
-    // chunk of the next) stays correct, exactly as in the dense scheme.
-    let mut kept: Vec<Vec<usize>> = Vec::with_capacity(nbar);
-    let mut nonzero_blocks = 0usize;
-    for r in 0..nbar {
-        let mut cols: Vec<usize> = Vec::new();
-        for s in 0..mbar {
-            let nonzero = grid.block(a, r, s)?.count_nonzero() > 0;
-            if nonzero {
-                nonzero_blocks += 1;
-            }
-            if s == 0 || nonzero {
-                cols.push(s);
-            }
-        }
-        kept.push(cols);
-    }
-    let total_kept: usize = kept.iter().map(Vec::len).sum();
+    let plan = plan_with_grid(a, &grid, w);
+    let kept = &plan.kept;
+    let total_kept = plan.appended_blocks();
 
     // Build the shortened band, x̂ and the injection plan directly: block
     // row t of the band corresponds to the t-th surviving (r, s) pair in
@@ -180,7 +250,7 @@ pub fn multiply_mv_block_sparse<T: Scalar>(
         x: x_hat,
         y_injections: injections,
     };
-    let report = LinearArray::new(w)?.run(&[stream])?;
+    let report = array.run(&[stream])?;
     let y_hat = report.y(0);
     let y: Vec<T> = result_rows.iter().map(|&row| y_hat[row]).collect();
 
@@ -194,7 +264,7 @@ pub fn multiply_mv_block_sparse<T: Scalar>(
             activity: report.utilization.activity(),
             feedback: report.feedback,
         },
-        nonzero_blocks,
+        nonzero_blocks: plan.nonzero_blocks,
         appended_blocks: total_kept,
         total_blocks: nbar * mbar,
     })
@@ -272,5 +342,27 @@ mod tests {
         );
         assert!(multiply_mv_block_sparse(&a, &x[..2], None, 2).is_err());
         assert!(multiply_mv_block_sparse(&a, &x, Some(&x[..2]), 2).is_err());
+        assert_eq!(
+            plan_block_sparse(&a, 0).unwrap_err(),
+            DbtError::ZeroArraySize
+        );
+    }
+
+    #[test]
+    fn plan_predicts_the_measured_cycle_count_without_running() {
+        for density in [0.0, 0.2, 0.6, 1.0] {
+            let a = gen::block_sparse_f64(15, 12, 3, density, 17);
+            let x = gen::random_vector_f64(12, 18);
+            let plan = plan_block_sparse(&a, 3).unwrap();
+            let run = multiply_mv_block_sparse(&a, &x, None, 3).unwrap();
+            assert_eq!(plan.appended_blocks(), run.appended_blocks);
+            assert_eq!(plan.nonzero_blocks, run.nonzero_blocks);
+            assert_eq!(plan.total_blocks, run.total_blocks);
+            assert_eq!(
+                plan.predicted_cycles(),
+                run.outcome.cycles,
+                "density {density}"
+            );
+        }
     }
 }

@@ -527,15 +527,7 @@ mod tests {
         let positions: Vec<_> = b.iter().map(|(i, j, _)| (i, j)).collect();
         assert_eq!(
             positions,
-            vec![
-                (0, 0),
-                (0, 1),
-                (1, 0),
-                (1, 1),
-                (1, 2),
-                (2, 1),
-                (2, 2)
-            ]
+            vec![(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 1), (2, 2)]
         );
     }
 

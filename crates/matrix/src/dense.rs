@@ -168,7 +168,11 @@ impl<T: Scalar> DenseMatrix<T> {
     ///
     /// Panics if `i >= self.rows()`.
     pub fn row(&self, i: usize) -> &[T] {
-        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -178,8 +182,14 @@ impl<T: Scalar> DenseMatrix<T> {
     ///
     /// Panics if `j >= self.cols()`.
     pub fn col(&self, j: usize) -> Vec<T> {
-        assert!(j < self.cols, "col {j} out of bounds for {} cols", self.cols);
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        assert!(
+            j < self.cols,
+            "col {j} out of bounds for {} cols",
+            self.cols
+        );
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Iterator over `(row, col, value)` triples in row-major order.
@@ -371,9 +381,8 @@ impl<T: Scalar> DenseMatrix<T> {
     /// Returns `true` when every non-zero entry `(i, j)` satisfies
     /// `-(lower) <= j - i <= upper`, i.e. the matrix fits in that band.
     pub fn fits_band(&self, lower: usize, upper: usize) -> bool {
-        self.iter().all(|(i, j, v)| {
-            v.is_zero() || (j + lower >= i && i + upper >= j)
-        })
+        self.iter()
+            .all(|(i, j, v)| v.is_zero() || (j + lower >= i && i + upper >= j))
     }
 
     /// Consumes the matrix and returns the underlying row-major buffer.
@@ -469,10 +478,13 @@ mod tests {
         let m = small();
         assert_eq!(m[(1, 2)], 6);
         assert_eq!(m.at(0, 1), 2);
-        assert_eq!(m.get(5, 0).unwrap_err(), MatrixError::IndexOutOfBounds {
-            index: (5, 0),
-            shape: (2, 3)
-        });
+        assert_eq!(
+            m.get(5, 0).unwrap_err(),
+            MatrixError::IndexOutOfBounds {
+                index: (5, 0),
+                shape: (2, 3)
+            }
+        );
         assert_eq!(m.at_padded(100, 100), 0);
     }
 
@@ -504,7 +516,10 @@ mod tests {
         let a = small();
         let b = DenseMatrix::from_rows(vec![vec![1, 0], vec![0, 1], vec![1, 1]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, DenseMatrix::from_rows(vec![vec![4, 5], vec![10, 11]]).unwrap());
+        assert_eq!(
+            c,
+            DenseMatrix::from_rows(vec![vec![4, 5], vec![10, 11]]).unwrap()
+        );
     }
 
     #[test]

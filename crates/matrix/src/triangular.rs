@@ -57,20 +57,8 @@ pub fn split<T: Scalar>(block: &DenseMatrix<T>) -> (DenseMatrix<T>, DenseMatrix<
         block.cols()
     );
     let w = block.rows();
-    let upper = DenseMatrix::from_fn(w, w, |i, j| {
-        if j >= i {
-            block.at(i, j)
-        } else {
-            T::zero()
-        }
-    });
-    let lower = DenseMatrix::from_fn(w, w, |i, j| {
-        if j < i {
-            block.at(i, j)
-        } else {
-            T::zero()
-        }
-    });
+    let upper = DenseMatrix::from_fn(w, w, |i, j| if j >= i { block.at(i, j) } else { T::zero() });
+    let lower = DenseMatrix::from_fn(w, w, |i, j| if j < i { block.at(i, j) } else { T::zero() });
     (upper, lower)
 }
 

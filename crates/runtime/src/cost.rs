@@ -1,0 +1,242 @@
+//! The admission cost model: the paper's closed forms as a zero-cost,
+//! perfectly accurate service-time predictor.
+//!
+//! Cycle-level accelerator schedulers normally have to *profile* their
+//! workloads to estimate service times.  The ISCA'86 construction makes that
+//! unnecessary here: for a fixed `w`-array, the step count of any dense
+//! problem is a closed form of its shape (`2w·n̄m̄ + 2w − 3` for MV,
+//! `3w·p̄n̄m̄ + 4w − 5` for MM), and the block-sparse variant's count follows
+//! from a cheap non-zero-block scan ([`sia_dbt::sparse::plan_block_sparse`]).
+//! The model therefore predicts **before anything runs**, and for dense and
+//! block-sparse jobs the prediction is *exact* — receipts carry both numbers
+//! so the equality is checked on every served job.
+
+use crate::job::Job;
+use sia_dbt::ext::{predicted_sweep_cycles, predicted_triangular_cycles};
+use sia_dbt::sparse::plan_block_sparse;
+use sia_dbt::{predicted_mv_cycles, DbtError, MmShape, MvShape};
+
+/// A predicted service cost, in array steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostEstimate {
+    /// Predicted number of array steps.
+    pub cycles: usize,
+    /// `true` when the prediction is a closed form the run must match
+    /// exactly; `false` for estimates (odd-split overlapped MV, iterative
+    /// methods whose sweep count is data-dependent).
+    pub exact: bool,
+}
+
+/// The farm's cost model for one array size `w`.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    w: usize,
+}
+
+impl CostModel {
+    /// Creates a cost model for arrays of size `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbtError::ZeroArraySize`] when `w == 0`.
+    pub fn new(w: usize) -> Result<Self, DbtError> {
+        if w == 0 {
+            return Err(DbtError::ZeroArraySize);
+        }
+        Ok(CostModel { w })
+    }
+
+    /// The array size the model predicts for.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Predicts the array-step cost of `job` without running anything.
+    ///
+    /// Dense MM, dense MV and block-sparse MV predictions are **exact**; the
+    /// triangular solve's array portion is exact as well (the host-side
+    /// substitutions consume no array steps).  The Gauss–Seidel prediction
+    /// is the cost of *one* sweep plus its residual check — a lower bound,
+    /// since the sweep count is data-dependent — and is flagged inexact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors from the block-sparsity scan (empty
+    /// matrices); shape errors are normally caught earlier by
+    /// [`Job::validate`].
+    pub fn predict(&self, job: &Job) -> Result<CostEstimate, DbtError> {
+        let w = self.w;
+        match job {
+            Job::DenseMm { a, b, .. } => {
+                let shape = MmShape {
+                    w,
+                    n: a.rows(),
+                    p: a.cols(),
+                    m: b.cols(),
+                };
+                Ok(CostEstimate {
+                    cycles: shape.cycles(),
+                    exact: true,
+                })
+            }
+            // The MV predictor lives next to the solver in `sia_dbt` and
+            // shares its overlapped-fallback rule, so admission pricing
+            // cannot desync from execution.
+            Job::DenseMv { a, schedule, .. } => {
+                let shape = MvShape {
+                    w,
+                    n: a.rows(),
+                    m: a.cols(),
+                };
+                let (cycles, exact) = predicted_mv_cycles(shape, *schedule);
+                Ok(CostEstimate { cycles, exact })
+            }
+            Job::BlockSparseMv { a, .. } => {
+                let plan = plan_block_sparse(a, w)?;
+                Ok(CostEstimate {
+                    cycles: plan.predicted_cycles(),
+                    exact: true,
+                })
+            }
+            // The extension predictors live next to their solvers in
+            // `sia_dbt::ext` and share the strip predicate with them, so
+            // admission and execution cannot disagree about which strips
+            // run on the array.
+            Job::TriangularSolve { a, lower, .. } => Ok(CostEstimate {
+                cycles: predicted_triangular_cycles(a, w, *lower),
+                exact: true,
+            }),
+            Job::GaussSeidel { a, .. } => Ok(CostEstimate {
+                cycles: predicted_sweep_cycles(a, w),
+                exact: false,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_dbt::ext::{gauss_seidel, solve_lower};
+    use sia_dbt::sparse::multiply_mv_block_sparse;
+    use sia_dbt::{multiply_mm, multiply_mv, MvSchedule};
+    use sia_matrix::gen;
+
+    #[test]
+    fn zero_array_size_is_rejected() {
+        assert_eq!(CostModel::new(0).unwrap_err(), DbtError::ZeroArraySize);
+        assert_eq!(CostModel::new(3).unwrap().w(), 3);
+    }
+
+    #[test]
+    fn dense_predictions_match_measured_cycles_exactly() {
+        let model = CostModel::new(3).unwrap();
+        let a = gen::random_dense_f64(7, 5, 1);
+        let b = gen::random_dense_f64(5, 8, 2);
+        let mm = Job::dense_mm(a.clone(), b.clone());
+        let est = model.predict(&mm).unwrap();
+        assert!(est.exact);
+        assert_eq!(est.cycles, multiply_mm(&a, &b, None, 3).unwrap().cycles);
+
+        let x = gen::random_vector_f64(5, 3);
+        let mv = Job::dense_mv(a.clone(), x.clone());
+        let est = model.predict(&mv).unwrap();
+        assert!(est.exact);
+        assert_eq!(
+            est.cycles,
+            multiply_mv(&a, &x, None, 3, MvSchedule::Simple)
+                .unwrap()
+                .cycles
+        );
+    }
+
+    #[test]
+    fn overlapped_prediction_tracks_the_solver_fallbacks() {
+        let model = CostModel::new(3).unwrap();
+        // Even split: exact overlapped formula.
+        let a = gen::random_dense_f64(12, 9, 4);
+        let x = gen::random_vector_f64(9, 5);
+        let job = Job::DenseMv {
+            a: a.clone(),
+            x: x.clone(),
+            b: None,
+            schedule: MvSchedule::Overlapped,
+        };
+        let est = model.predict(&job).unwrap();
+        assert!(est.exact);
+        let run = multiply_mv(&a, &x, None, 3, MvSchedule::Overlapped).unwrap();
+        assert_eq!(est.cycles, run.cycles);
+
+        // Single block row: falls back to the simple schedule.
+        let small = gen::random_dense_f64(3, 9, 6);
+        let job = Job::DenseMv {
+            a: small.clone(),
+            x: x.clone(),
+            b: None,
+            schedule: MvSchedule::Overlapped,
+        };
+        let est = model.predict(&job).unwrap();
+        assert!(est.exact);
+        let run = multiply_mv(&small, &x, None, 3, MvSchedule::Overlapped).unwrap();
+        assert_eq!(est.cycles, run.cycles);
+
+        // Odd split: flagged as an estimate, and never an under-estimate of
+        // the even-split ideal.
+        let odd = gen::random_dense_f64(9, 9, 7);
+        let job = Job::DenseMv {
+            a: odd,
+            x,
+            b: None,
+            schedule: MvSchedule::Overlapped,
+        };
+        assert!(!model.predict(&job).unwrap().exact);
+    }
+
+    #[test]
+    fn sparse_prediction_is_exact() {
+        let model = CostModel::new(3).unwrap();
+        let a = gen::block_sparse_f64(12, 12, 3, 0.4, 11);
+        let x = gen::random_vector_f64(12, 12);
+        let est = model
+            .predict(&Job::block_sparse_mv(a.clone(), x.clone()))
+            .unwrap();
+        assert!(est.exact);
+        let run = multiply_mv_block_sparse(&a, &x, None, 3).unwrap();
+        assert_eq!(est.cycles, run.outcome.cycles);
+    }
+
+    #[test]
+    fn triangular_prediction_matches_the_work_split() {
+        let model = CostModel::new(3).unwrap();
+        let l = gen::lower_triangular_f64(9, 13);
+        let c = gen::random_vector_f64(9, 14);
+        let job = Job::TriangularSolve {
+            a: l.clone(),
+            c: c.clone(),
+            lower: true,
+        };
+        let est = model.predict(&job).unwrap();
+        assert!(est.exact);
+        let run = solve_lower(&l, &c, 3).unwrap();
+        assert_eq!(est.cycles, run.work.array_cycles);
+    }
+
+    #[test]
+    fn gauss_seidel_prediction_is_a_per_sweep_lower_bound() {
+        let model = CostModel::new(3).unwrap();
+        let a = gen::diagonally_dominant_f64(9, 15);
+        let b = gen::random_vector_f64(9, 16);
+        let job = Job::GaussSeidel {
+            a: a.clone(),
+            b: b.clone(),
+            tol: 1e-9,
+            max_sweeps: 100,
+        };
+        let est = model.predict(&job).unwrap();
+        assert!(!est.exact);
+        let run = gauss_seidel(&a, &b, 3, 1e-9, 100).unwrap();
+        // One sweep costs `est.cycles`; the run needed `sweeps` of them.
+        assert!(est.cycles <= run.work.array_cycles);
+        assert_eq!(est.cycles * run.sweeps, run.work.array_cycles);
+    }
+}

@@ -1,0 +1,456 @@
+//! The job vocabulary of the farm: what clients submit ([`Job`], [`JobSpec`])
+//! and what they get back ([`JobReceipt`], [`JobOutput`]).
+//!
+//! Every job kind maps onto one of the workspace's size-independent solvers,
+//! and therefore onto one of the two array types ([`ArrayClass`]): dense
+//! matrix–matrix products run on the hexagonal array, everything else on the
+//! linear contraflow array.  All payloads are `f64`; the solvers are
+//! deterministic, so a job served by the farm produces **bit-identical**
+//! results to the corresponding direct solver call.
+
+use crate::cost::CostEstimate;
+use sia_dbt::{DbtError, MvSchedule};
+use sia_matrix::DenseMatrix;
+use std::time::Duration;
+
+/// Which of the farm's two array types a job needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrayClass {
+    /// The `w × w` hexagonal array (matrix–matrix problems).
+    Hex,
+    /// The `w`-cell linear contraflow array (matrix–vector problems).
+    Linear,
+}
+
+impl ArrayClass {
+    /// Short human-readable label (`"hex"` / `"linear"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrayClass::Hex => "hex",
+            ArrayClass::Linear => "linear",
+        }
+    }
+}
+
+/// Discriminant of [`Job`], used in receipts and telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobKind {
+    /// Dense `C = A·B + E`.
+    DenseMm,
+    /// Dense `y = A·x + b`.
+    DenseMv,
+    /// Block-sparse `y = A·x + b` (zero blocks skipped).
+    BlockSparseMv,
+    /// Blocked triangular solve `L·x = c` / `U·x = c`.
+    TriangularSolve,
+    /// Block Gauss–Seidel iteration on `A·x = b`.
+    GaussSeidel,
+}
+
+impl JobKind {
+    /// Short human-readable label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobKind::DenseMm => "mm",
+            JobKind::DenseMv => "mv",
+            JobKind::BlockSparseMv => "sparse-mv",
+            JobKind::TriangularSolve => "tri-solve",
+            JobKind::GaussSeidel => "gauss-seidel",
+        }
+    }
+}
+
+/// Shape identity used to coalesce queued jobs into one batch run: only
+/// same-kind, same-shape (and same-schedule) jobs share a
+/// `multiply_*_batch` call, which keeps the batch outcomes bit-identical to
+/// per-job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CoalesceKey {
+    /// Dense matrix–matrix of shape `n × p × m`.
+    Mm { n: usize, p: usize, m: usize },
+    /// Dense matrix–vector of shape `n × m` under one schedule.
+    Mv {
+        n: usize,
+        m: usize,
+        schedule: MvSchedule,
+    },
+}
+
+/// One unit of work a client submits to the farm.
+///
+/// All payloads are owned (the job outlives the submitting call and moves to
+/// a worker thread).
+#[derive(Debug, Clone)]
+pub enum Job {
+    /// Dense `C = A·B + E` on the hexagonal array.
+    DenseMm {
+        /// Left operand (`n × p`).
+        a: DenseMatrix<f64>,
+        /// Right operand (`p × m`).
+        b: DenseMatrix<f64>,
+        /// Optional additive term (`n × m`).
+        e: Option<DenseMatrix<f64>>,
+    },
+    /// Dense `y = A·x + b` on the linear array.
+    DenseMv {
+        /// The matrix (`n × m`).
+        a: DenseMatrix<f64>,
+        /// The vector (`m`).
+        x: Vec<f64>,
+        /// Optional additive vector (`n`).
+        b: Option<Vec<f64>>,
+        /// Which of the paper's two schedules to use.
+        schedule: MvSchedule,
+    },
+    /// Block-sparse `y = A·x + b`: all-zero `w × w` blocks of `A` are
+    /// skipped, shortening the run.
+    BlockSparseMv {
+        /// The matrix (`n × m`), with block sparsity.
+        a: DenseMatrix<f64>,
+        /// The vector (`m`).
+        x: Vec<f64>,
+        /// Optional additive vector (`n`).
+        b: Option<Vec<f64>>,
+    },
+    /// Blocked triangular solve; the off-diagonal strip products run on the
+    /// linear array, the diagonal substitutions on the host.
+    TriangularSolve {
+        /// The triangular matrix (`n × n`).
+        a: DenseMatrix<f64>,
+        /// Right-hand side (`n`).
+        c: Vec<f64>,
+        /// `true` for lower-triangular forward substitution, `false` for
+        /// upper-triangular backward substitution.
+        lower: bool,
+    },
+    /// Block Gauss–Seidel sweeps on `A·x = b` until the residual drops below
+    /// `tol` (or the sweep budget runs out, which fails the job).
+    GaussSeidel {
+        /// The system matrix (`n × n`).
+        a: DenseMatrix<f64>,
+        /// Right-hand side (`n`).
+        b: Vec<f64>,
+        /// Residual tolerance (infinity norm).
+        tol: f64,
+        /// Maximum number of sweeps.
+        max_sweeps: usize,
+    },
+}
+
+impl Job {
+    /// Convenience constructor for a plain dense product `C = A·B`.
+    pub fn dense_mm(a: DenseMatrix<f64>, b: DenseMatrix<f64>) -> Self {
+        Job::DenseMm { a, b, e: None }
+    }
+
+    /// Convenience constructor for a plain dense `y = A·x` with the simple
+    /// schedule.
+    pub fn dense_mv(a: DenseMatrix<f64>, x: Vec<f64>) -> Self {
+        Job::DenseMv {
+            a,
+            x,
+            b: None,
+            schedule: MvSchedule::Simple,
+        }
+    }
+
+    /// Convenience constructor for a block-sparse `y = A·x`.
+    pub fn block_sparse_mv(a: DenseMatrix<f64>, x: Vec<f64>) -> Self {
+        Job::BlockSparseMv { a, x, b: None }
+    }
+
+    /// The job's discriminant.
+    pub fn kind(&self) -> JobKind {
+        match self {
+            Job::DenseMm { .. } => JobKind::DenseMm,
+            Job::DenseMv { .. } => JobKind::DenseMv,
+            Job::BlockSparseMv { .. } => JobKind::BlockSparseMv,
+            Job::TriangularSolve { .. } => JobKind::TriangularSolve,
+            Job::GaussSeidel { .. } => JobKind::GaussSeidel,
+        }
+    }
+
+    /// Which array type serves this job.
+    pub fn class(&self) -> ArrayClass {
+        match self {
+            Job::DenseMm { .. } => ArrayClass::Hex,
+            _ => ArrayClass::Linear,
+        }
+    }
+
+    /// The coalescing identity, if this kind supports batching.
+    pub(crate) fn coalesce_key(&self) -> Option<CoalesceKey> {
+        match self {
+            Job::DenseMm { a, b, .. } => Some(CoalesceKey::Mm {
+                n: a.rows(),
+                p: a.cols(),
+                m: b.cols(),
+            }),
+            Job::DenseMv { a, schedule, .. } => Some(CoalesceKey::Mv {
+                n: a.rows(),
+                m: a.cols(),
+                schedule: *schedule,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Admission check: verifies every dimension contract the underlying
+    /// solver would enforce, **without running anything**, so malformed jobs
+    /// are rejected at submission time instead of occupying an array.
+    ///
+    /// Each arm delegates to the *same* checker the solver itself calls
+    /// (`validate_mm_args` / `validate_mv_args` /
+    /// `ext::validate_square_system`), so admission and execution are
+    /// structurally unable to disagree about what is well-formed.
+    ///
+    /// # Errors
+    ///
+    /// The same shape/length errors the direct solver call would return.
+    pub fn validate(&self, w: usize) -> Result<(), DbtError> {
+        match self {
+            Job::DenseMm { a, b, e } => sia_dbt::validate_mm_args(a, b, e.as_ref(), w).map(|_| ()),
+            Job::DenseMv { a, x, b, .. } | Job::BlockSparseMv { a, x, b } => {
+                sia_dbt::validate_mv_args(a, x, b.as_deref(), w).map(|_| ())
+            }
+            Job::TriangularSolve { a, c, .. } => {
+                sia_dbt::ext::validate_square_system(a, c, "c", "triangular solve", w)
+            }
+            Job::GaussSeidel { a, b, .. } => {
+                sia_dbt::ext::validate_square_system(a, b, "b", "gauss-seidel", w)
+            }
+        }
+    }
+}
+
+/// A job plus its scheduling attributes.
+///
+/// Higher `priority` is served first under every policy; `deadline` (relative
+/// to submission time) additionally orders jobs under
+/// [`crate::Policy::DeadlineAware`].
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The work itself.
+    pub job: Job,
+    /// Priority class; higher values preempt lower ones in the queue (they
+    /// never interrupt a running job).
+    pub priority: u8,
+    /// Optional deadline, relative to the submission instant.
+    pub deadline: Option<Duration>,
+}
+
+impl JobSpec {
+    /// Wraps a job with default priority (0) and no deadline.
+    pub fn new(job: Job) -> Self {
+        JobSpec {
+            job,
+            priority: 0,
+            deadline: None,
+        }
+    }
+
+    /// Sets the priority class.
+    #[must_use]
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the deadline, relative to the submission instant.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+impl From<Job> for JobSpec {
+    fn from(job: Job) -> Self {
+        JobSpec::new(job)
+    }
+}
+
+/// The computed payload of a completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutput {
+    /// A matrix result (dense matrix–matrix jobs).
+    Matrix(DenseMatrix<f64>),
+    /// A vector result (all matrix–vector-shaped jobs).
+    Vector(Vec<f64>),
+}
+
+impl JobOutput {
+    /// The matrix payload, if this is a matrix result.
+    pub fn as_matrix(&self) -> Option<&DenseMatrix<f64>> {
+        match self {
+            JobOutput::Matrix(m) => Some(m),
+            JobOutput::Vector(_) => None,
+        }
+    }
+
+    /// The vector payload, if this is a vector result.
+    pub fn as_vector(&self) -> Option<&[f64]> {
+        match self {
+            JobOutput::Matrix(_) => None,
+            JobOutput::Vector(v) => Some(v),
+        }
+    }
+}
+
+/// Everything the farm reports back about one served job.
+#[derive(Debug, Clone)]
+pub struct JobReceipt {
+    /// Farm-assigned job id (submission order).
+    pub id: u64,
+    /// What kind of job this was.
+    pub kind: JobKind,
+    /// Index of the worker that served it.
+    pub worker: usize,
+    /// Priority class it was queued with.
+    pub priority: u8,
+    /// The admission-time cost prediction (the paper's closed forms).
+    pub predicted: CostEstimate,
+    /// Array steps the job actually consumed.
+    pub measured_cycles: usize,
+    /// Time spent queued before a worker picked the job up.
+    pub queue: Duration,
+    /// Time spent being served (for a coalesced job: the whole batch's
+    /// service span).
+    pub service: Duration,
+    /// Whether the job was served as part of a coalesced same-shape batch.
+    pub coalesced: bool,
+    /// The computed result.
+    pub output: JobOutput,
+}
+
+impl JobReceipt {
+    /// End-to-end latency: queueing plus service.
+    pub fn latency(&self) -> Duration {
+        self.queue + self.service
+    }
+
+    /// `true` when the admission-time prediction was declared exact **and**
+    /// the measured step count matched it — the paper's central property,
+    /// which holds for every dense and block-sparse job.
+    pub fn prediction_exact(&self) -> bool {
+        self.predicted.exact && self.predicted.cycles == self.measured_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_matrix::gen;
+
+    #[test]
+    fn kinds_classes_and_labels_are_consistent() {
+        let a = gen::random_dense_f64(4, 4, 1);
+        let x = gen::random_vector_f64(4, 2);
+        let jobs = [
+            Job::dense_mm(a.clone(), a.clone()),
+            Job::dense_mv(a.clone(), x.clone()),
+            Job::block_sparse_mv(a.clone(), x.clone()),
+            Job::TriangularSolve {
+                a: gen::lower_triangular_f64(4, 3),
+                c: x.clone(),
+                lower: true,
+            },
+            Job::GaussSeidel {
+                a: gen::diagonally_dominant_f64(4, 4),
+                b: x.clone(),
+                tol: 1e-9,
+                max_sweeps: 50,
+            },
+        ];
+        for job in &jobs {
+            assert!(!job.kind().label().is_empty());
+            assert!(job.validate(2).is_ok());
+            assert_eq!(job.validate(0).unwrap_err(), DbtError::ZeroArraySize);
+            match job.kind() {
+                JobKind::DenseMm => assert_eq!(job.class(), ArrayClass::Hex),
+                _ => assert_eq!(job.class(), ArrayClass::Linear),
+            }
+        }
+        assert_eq!(ArrayClass::Hex.label(), "hex");
+        assert_eq!(ArrayClass::Linear.label(), "linear");
+    }
+
+    #[test]
+    fn validation_rejects_malformed_jobs_at_admission() {
+        let a = gen::random_dense_f64(4, 4, 1);
+        let wrong = gen::random_dense_f64(3, 3, 2);
+        let x = gen::random_vector_f64(4, 3);
+        assert!(matches!(
+            Job::dense_mm(a.clone(), wrong.clone()).validate(2),
+            Err(DbtError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            Job::DenseMm {
+                a: a.clone(),
+                b: a.clone(),
+                e: Some(wrong.clone())
+            }
+            .validate(2),
+            Err(DbtError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            Job::dense_mv(a.clone(), x[..3].to_vec()).validate(2),
+            Err(DbtError::VectorLength { what: "x", .. })
+        ));
+        assert!(matches!(
+            Job::block_sparse_mv(a.clone(), x[..2].to_vec()).validate(2),
+            Err(DbtError::VectorLength { what: "x", .. })
+        ));
+        assert!(matches!(
+            Job::TriangularSolve {
+                a: gen::random_dense_f64(3, 4, 5),
+                c: x.clone(),
+                lower: true,
+            }
+            .validate(2),
+            Err(DbtError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            Job::GaussSeidel {
+                a: a.clone(),
+                b: x[..2].to_vec(),
+                tol: 1e-9,
+                max_sweeps: 10,
+            }
+            .validate(2),
+            Err(DbtError::VectorLength { what: "b", .. })
+        ));
+    }
+
+    #[test]
+    fn coalesce_keys_distinguish_shape_and_schedule() {
+        let a = gen::random_dense_f64(4, 6, 1);
+        let b = gen::random_dense_f64(6, 4, 2);
+        let k1 = Job::dense_mm(a.clone(), b.clone()).coalesce_key().unwrap();
+        let k2 = Job::dense_mm(a.clone(), b.clone()).coalesce_key().unwrap();
+        assert_eq!(k1, k2);
+        let x = gen::random_vector_f64(6, 3);
+        let simple = Job::dense_mv(a.clone(), x.clone()).coalesce_key().unwrap();
+        let overlapped = Job::DenseMv {
+            a: a.clone(),
+            x: x.clone(),
+            b: None,
+            schedule: MvSchedule::Overlapped,
+        }
+        .coalesce_key()
+        .unwrap();
+        assert_ne!(simple, overlapped);
+        assert_ne!(k1, simple);
+        assert!(Job::block_sparse_mv(a, x).coalesce_key().is_none());
+    }
+
+    #[test]
+    fn spec_builder_sets_priority_and_deadline() {
+        let a = gen::random_dense_f64(2, 2, 1);
+        let spec = JobSpec::new(Job::dense_mv(a, vec![1.0, 2.0]))
+            .priority(3)
+            .deadline(Duration::from_millis(5));
+        assert_eq!(spec.priority, 3);
+        assert_eq!(spec.deadline, Some(Duration::from_millis(5)));
+    }
+}

@@ -1,0 +1,400 @@
+//! Per-worker job queues with routing, coalescing and work stealing.
+//!
+//! Every worker owns one deque.  Submission routes a job to the
+//! least-loaded *eligible* worker (matching [`ArrayClass`], smallest
+//! predicted-cycle backlog — the closed-form cost model again).  A worker
+//! drains its own queue in policy order; when it runs dry it **steals** one
+//! job from the most-backlogged peer of its class, so a skewed arrival
+//! pattern cannot idle half the farm.  When the popped job is a dense MM/MV,
+//! up to `coalesce_limit − 1` queued jobs of the *same shape, schedule and
+//! priority* that the policy would have served **consecutively anyway** are
+//! taken along and served through the batch solvers (`multiply_mm_batch` /
+//! `multiply_mv_batch`), whose outcomes are bit-identical to per-job runs —
+//! coalescing never reorders jobs against the policy.
+//!
+//! All queues share one mutex (submission and dispatch are tiny compared to
+//! array simulation); the condvar wakes idle workers on every submit and at
+//! shutdown.  Shutdown is *draining*: workers exit only when every queue of
+//! their class is empty.
+
+use crate::cost::CostEstimate;
+use crate::job::{ArrayClass, Job, JobKind, JobReceipt};
+use crate::policy::{select_next, Policy};
+use crate::telemetry::DepthSample;
+use sia_dbt::DbtError;
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Cap on the number of recorded queue-depth samples (~1 MB at most); beyond
+/// it the depth trace stops growing but scheduling is unaffected.
+const MAX_DEPTH_SAMPLES: usize = 65_536;
+
+/// One job as it sits in a queue.
+pub(crate) struct QueuedJob {
+    /// Farm-assigned id (submission order).
+    pub id: u64,
+    /// The work itself.
+    pub job: Job,
+    /// Cached discriminant (the job is moved out before receipts are built).
+    pub kind: JobKind,
+    /// Admission-time cost prediction.
+    pub predicted: CostEstimate,
+    /// Priority class.
+    pub priority: u8,
+    /// Absolute deadline, if any.
+    pub deadline: Option<Instant>,
+    /// When the job entered the farm.
+    pub submitted: Instant,
+    /// Where the receipt (or the execution error) goes.
+    pub reply: Sender<Result<JobReceipt, DbtError>>,
+}
+
+struct QueueState {
+    /// One deque per worker, indexed like `QueueSet::classes`.
+    queues: Vec<VecDeque<QueuedJob>>,
+    /// Predicted-cycle backlog per worker (routing key).
+    backlog: Vec<usize>,
+    /// Total queued jobs across all workers.
+    depth: usize,
+    shutdown: bool,
+    steals: u64,
+    submitted: u64,
+    depth_log: Vec<DepthSample>,
+}
+
+impl QueueState {
+    fn log_depth(&mut self, started: Instant) {
+        if self.depth_log.len() < MAX_DEPTH_SAMPLES {
+            self.depth_log.push(DepthSample {
+                at: started.elapsed(),
+                depth: self.depth,
+            });
+        }
+    }
+}
+
+/// The farm's shared queue set.
+pub(crate) struct QueueSet {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    policy: Policy,
+    classes: Vec<ArrayClass>,
+    coalesce_limit: usize,
+    started: Instant,
+}
+
+/// What `QueueSet::drain_telemetry` hands to the farm at shutdown.
+pub(crate) struct QueueTelemetry {
+    pub steals: u64,
+    pub submitted: u64,
+    pub depth_log: Vec<DepthSample>,
+}
+
+impl QueueSet {
+    pub fn new(
+        policy: Policy,
+        classes: Vec<ArrayClass>,
+        coalesce_limit: usize,
+        started: Instant,
+    ) -> Self {
+        let n = classes.len();
+        QueueSet {
+            state: Mutex::new(QueueState {
+                queues: (0..n).map(|_| VecDeque::new()).collect(),
+                backlog: vec![0; n],
+                depth: 0,
+                shutdown: false,
+                steals: 0,
+                submitted: 0,
+                depth_log: Vec::new(),
+            }),
+            ready: Condvar::new(),
+            policy,
+            classes,
+            coalesce_limit: coalesce_limit.max(1),
+            started,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().expect("farm queue lock poisoned")
+    }
+
+    /// Routes a job to the least-backlogged worker of its class and wakes
+    /// the workers.  Panics if no worker of the class exists (the farm
+    /// checks eligibility at submission).
+    pub fn submit(&self, job: QueuedJob, class: ArrayClass) {
+        let mut st = self.lock();
+        let target = self
+            .classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == class)
+            .min_by_key(|(i, _)| st.backlog[*i])
+            .map(|(i, _)| i)
+            .expect("submit checked that an eligible worker exists");
+        st.backlog[target] += job.predicted.cycles;
+        st.queues[target].push_back(job);
+        st.depth += 1;
+        st.submitted += 1;
+        st.log_depth(self.started);
+        drop(st);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until a batch of work is available for `worker`, or returns
+    /// `None` when the farm is shut down and every queue of the worker's
+    /// class has drained.
+    pub fn next_batch(&self, worker: usize) -> Option<Vec<QueuedJob>> {
+        let mut st = self.lock();
+        loop {
+            if let Some(batch) = self.try_take(&mut st, worker) {
+                return Some(batch);
+            }
+            if st.shutdown {
+                return None;
+            }
+            st = self.ready.wait(st).expect("farm queue lock poisoned");
+        }
+    }
+
+    /// One dispatch attempt: own queue first (with coalescing), then a
+    /// steal from the most-backlogged same-class peer.
+    fn try_take(&self, st: &mut QueueState, worker: usize) -> Option<Vec<QueuedJob>> {
+        if let Some(idx) = select_next(self.policy, &st.queues[worker]) {
+            let primary = st.queues[worker]
+                .remove(idx)
+                .expect("selected index is in range");
+            let mut batch = vec![primary];
+            if self.coalesce_limit > 1 {
+                if let Some(key) = batch[0].job.coalesce_key() {
+                    // Coalesce only jobs the policy would have served
+                    // consecutively anyway: keep re-selecting in policy
+                    // order and stop at the first non-matching pick.  A
+                    // batch therefore never lets a later job (e.g. a
+                    // later-deadline mate under EDF) jump ahead of the
+                    // queue's rightful next job.
+                    let priority = batch[0].priority;
+                    while batch.len() < self.coalesce_limit {
+                        let Some(next) = select_next(self.policy, &st.queues[worker]) else {
+                            break;
+                        };
+                        let mate = &st.queues[worker][next];
+                        if mate.priority != priority || mate.job.coalesce_key() != Some(key) {
+                            break;
+                        }
+                        batch.push(
+                            st.queues[worker]
+                                .remove(next)
+                                .expect("selected index is in range"),
+                        );
+                    }
+                }
+            }
+            let taken: usize = batch.iter().map(|j| j.predicted.cycles).sum();
+            st.backlog[worker] = st.backlog[worker].saturating_sub(taken);
+            st.depth -= batch.len();
+            st.log_depth(self.started);
+            return Some(batch);
+        }
+        // Own queue is empty: steal one job from the heaviest same-class
+        // peer (policy order within the victim's queue).
+        let class = self.classes[worker];
+        let victim = self
+            .classes
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| *i != worker && **c == class && !st.queues[*i].is_empty())
+            .max_by_key(|(i, _)| st.backlog[*i])
+            .map(|(i, _)| i)?;
+        let idx = select_next(self.policy, &st.queues[victim])?;
+        let job = st.queues[victim]
+            .remove(idx)
+            .expect("selected index is in range");
+        st.backlog[victim] = st.backlog[victim].saturating_sub(job.predicted.cycles);
+        st.depth -= 1;
+        st.steals += 1;
+        st.log_depth(self.started);
+        Some(vec![job])
+    }
+
+    /// Flags shutdown and wakes every worker so they can drain and exit.
+    pub fn finish(&self) {
+        self.lock().shutdown = true;
+        self.ready.notify_all();
+    }
+
+    /// Collects the queue-side telemetry (called after the workers joined).
+    pub fn drain_telemetry(&self) -> QueueTelemetry {
+        let mut st = self.lock();
+        QueueTelemetry {
+            steals: st.steals,
+            submitted: st.submitted,
+            depth_log: std::mem::take(&mut st.depth_log),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_matrix::gen;
+    use std::sync::mpsc;
+
+    fn queued(id: u64, cycles: usize) -> (QueuedJob, mpsc::Receiver<Result<JobReceipt, DbtError>>) {
+        let (reply, rx) = mpsc::channel();
+        let now = Instant::now();
+        let job = Job::dense_mv(gen::random_dense_f64(2, 2, id), vec![1.0, 2.0]);
+        (
+            QueuedJob {
+                id,
+                kind: job.kind(),
+                predicted: CostEstimate {
+                    cycles,
+                    exact: true,
+                },
+                priority: 0,
+                deadline: None,
+                submitted: now,
+                reply,
+                job,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn submission_routes_to_the_least_backlogged_eligible_worker() {
+        let set = QueueSet::new(
+            Policy::Fifo,
+            vec![ArrayClass::Hex, ArrayClass::Linear, ArrayClass::Linear],
+            1,
+            Instant::now(),
+        );
+        let mut rxs = Vec::new();
+        for (id, cycles) in [(1u64, 100usize), (2, 10), (3, 10)] {
+            let (job, rx) = queued(id, cycles);
+            set.submit(job, ArrayClass::Linear);
+            rxs.push(rx);
+        }
+        let st = set.lock();
+        // Worker 0 is hex: never receives linear jobs.
+        assert!(st.queues[0].is_empty());
+        // First job lands on worker 1, second on the now-lighter worker 2,
+        // third on worker 2 again (backlog 10 < 100).
+        assert_eq!(st.queues[1].len(), 1);
+        assert_eq!(st.queues[2].len(), 2);
+        assert_eq!(st.depth, 3);
+    }
+
+    #[test]
+    fn idle_workers_steal_from_loaded_peers() {
+        let set = QueueSet::new(
+            Policy::Fifo,
+            vec![ArrayClass::Linear, ArrayClass::Linear],
+            1,
+            Instant::now(),
+        );
+        // Both jobs land on worker 0 (submitted before worker 1 exists in
+        // backlog terms they tie; min_by_key picks the lowest index first,
+        // then the other).
+        let (job, _rx1) = queued(1, 50);
+        set.submit(job, ArrayClass::Linear);
+        let (job, _rx2) = queued(2, 50);
+        set.submit(job, ArrayClass::Linear);
+        // Worker 1 got the second job by balance; drain it, then steal.
+        let own = set.next_batch(1).unwrap();
+        assert_eq!(own.len(), 1);
+        let stolen = set.next_batch(1).unwrap();
+        assert_eq!(stolen.len(), 1);
+        let st = set.lock();
+        assert_eq!(st.steals, 1);
+        assert_eq!(st.depth, 0);
+    }
+
+    #[test]
+    fn same_shape_jobs_coalesce_up_to_the_limit() {
+        let set = QueueSet::new(Policy::Fifo, vec![ArrayClass::Linear], 3, Instant::now());
+        let mut rxs = Vec::new();
+        for id in 1..=4u64 {
+            // Same 2x2 shape and schedule for every job.
+            let (job, rx) = queued(id, 10);
+            set.submit(job, ArrayClass::Linear);
+            rxs.push(rx);
+        }
+        let batch = set.next_batch(0).unwrap();
+        assert_eq!(batch.len(), 3, "limit caps the batch");
+        assert_eq!(
+            batch.iter().map(|j| j.id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        let rest = set.next_batch(0).unwrap();
+        assert_eq!(rest.len(), 1);
+    }
+
+    #[test]
+    fn coalescing_never_reorders_against_the_policy() {
+        use std::time::Duration;
+        let set = QueueSet::new(
+            Policy::DeadlineAware,
+            vec![ArrayClass::Linear],
+            4,
+            Instant::now(),
+        );
+        let now = Instant::now();
+        let mut rxs = Vec::new();
+        // Arrival order: P (2x2, tight deadline), B (2x2, loose), A (3x3,
+        // medium), C (2x2, loose).  EDF order is P, A, B, C — so P must NOT
+        // drag its loose-deadline shape-mates B and C past A.
+        for (id, n, deadline_ms) in [(1u64, 2usize, 1u64), (2, 2, 500), (3, 3, 5), (4, 2, 500)] {
+            let (reply, rx) = mpsc::channel();
+            let job = Job::dense_mv(gen::random_dense_f64(n, n, id), vec![1.0; n]);
+            set.submit(
+                QueuedJob {
+                    id,
+                    kind: job.kind(),
+                    predicted: CostEstimate {
+                        cycles: 10,
+                        exact: true,
+                    },
+                    priority: 0,
+                    deadline: Some(now + Duration::from_millis(deadline_ms)),
+                    submitted: now,
+                    reply,
+                    job,
+                },
+                ArrayClass::Linear,
+            );
+            rxs.push(rx);
+        }
+        let first = set.next_batch(0).unwrap();
+        assert_eq!(
+            first.iter().map(|j| j.id).collect::<Vec<_>>(),
+            vec![1],
+            "the tight-deadline job must not coalesce past the medium one"
+        );
+        let second = set.next_batch(0).unwrap();
+        assert_eq!(second.iter().map(|j| j.id).collect::<Vec<_>>(), vec![3]);
+        let third = set.next_batch(0).unwrap();
+        assert_eq!(
+            third.iter().map(|j| j.id).collect::<Vec<_>>(),
+            vec![2, 4],
+            "the loose-deadline shape-mates coalesce with each other"
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_before_workers_exit() {
+        let set = QueueSet::new(Policy::Fifo, vec![ArrayClass::Linear], 1, Instant::now());
+        let (job, _rx) = queued(1, 10);
+        set.submit(job, ArrayClass::Linear);
+        set.finish();
+        assert!(set.next_batch(0).is_some(), "queued job survives shutdown");
+        assert!(set.next_batch(0).is_none(), "then the worker exits");
+        let telemetry = set.drain_telemetry();
+        assert_eq!(telemetry.submitted, 1);
+        assert!(!telemetry.depth_log.is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Farm-level telemetry: per-worker utilization, queue depth over time and
+//! predicted-cycle accounting.
+//!
+//! Everything here is collected for free as jobs flow through the farm —
+//! the cost model's predictions, the simulators' measured step counts and
+//! the queue's depth trace — and is returned by
+//! [`crate::ArrayFarm::shutdown`] once the workers have drained and joined.
+
+use crate::job::ArrayClass;
+use std::time::Duration;
+
+/// One sample of the total queued-job count, taken at every submission and
+/// dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepthSample {
+    /// Offset from farm start-up.
+    pub at: Duration,
+    /// Jobs queued across all workers at that instant.
+    pub depth: usize,
+}
+
+/// What one worker did over the farm's lifetime.
+#[derive(Debug, Clone)]
+pub struct WorkerTelemetry {
+    /// Worker index.
+    pub worker: usize,
+    /// Which array type the worker owns.
+    pub class: ArrayClass,
+    /// Jobs served (including failed ones).
+    pub jobs: usize,
+    /// Jobs that were served as part of a coalesced same-shape batch.
+    pub coalesced_jobs: usize,
+    /// Dispatches (a coalesced batch counts once).
+    pub batches: usize,
+    /// Jobs that finished with an execution error.
+    pub failures: usize,
+    /// Wall time spent serving jobs.
+    pub busy: Duration,
+    /// Array steps executed on the worker's own station arrays.
+    pub station_cycles: usize,
+    /// Predicted array steps over all *successfully* served jobs.  Failed
+    /// jobs count toward neither cycle tally — any array work an iterative
+    /// job did before failing is not observable from its error, so counting
+    /// only its prediction would skew the predicted-vs-measured accounting.
+    pub predicted_cycles: usize,
+    /// Measured array steps over all *successfully* served jobs.
+    pub measured_cycles: usize,
+    /// Served jobs whose exact prediction matched the measurement.
+    pub exact_predictions: usize,
+}
+
+impl WorkerTelemetry {
+    /// Fraction of the farm's wall time this worker spent serving.
+    pub fn utilization(&self, wall: Duration) -> f64 {
+        if wall.is_zero() {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / wall.as_secs_f64()
+    }
+}
+
+/// The farm's lifetime statistics, returned by
+/// [`crate::ArrayFarm::shutdown`].
+#[derive(Debug, Clone)]
+pub struct FarmTelemetry {
+    /// Farm lifetime (creation to shutdown).
+    pub wall: Duration,
+    /// Per-worker accounting.
+    pub workers: Vec<WorkerTelemetry>,
+    /// Queue-depth trace (one sample per submission/dispatch).
+    pub depth: Vec<DepthSample>,
+    /// Jobs taken by an idle worker from a peer's queue.
+    pub steals: u64,
+    /// Jobs accepted by admission.
+    pub submitted: u64,
+}
+
+impl FarmTelemetry {
+    /// Jobs served to completion — failed jobs are excluded (see
+    /// [`FarmTelemetry::failures`]).
+    pub fn completed(&self) -> usize {
+        self.workers.iter().map(|w| w.jobs - w.failures).sum()
+    }
+
+    /// Jobs that ran and finished with an execution error.
+    pub fn failures(&self) -> usize {
+        self.workers.iter().map(|w| w.failures).sum()
+    }
+
+    /// Largest queued-job count ever observed.
+    pub fn max_queue_depth(&self) -> usize {
+        self.depth.iter().map(|s| s.depth).max().unwrap_or(0)
+    }
+
+    /// Total predicted array steps across all served jobs.
+    pub fn predicted_cycles(&self) -> usize {
+        self.workers.iter().map(|w| w.predicted_cycles).sum()
+    }
+
+    /// Total measured array steps across all served jobs.
+    pub fn measured_cycles(&self) -> usize {
+        self.workers.iter().map(|w| w.measured_cycles).sum()
+    }
+
+    /// Fraction of *completed* jobs whose exact closed-form prediction
+    /// matched the measured step count (1.0 when only dense/sparse jobs
+    /// ran; failed jobs are excluded so they cannot dilute the ratio).
+    pub fn exact_prediction_fraction(&self) -> f64 {
+        let served = self.completed();
+        if served == 0 {
+            return 0.0;
+        }
+        let exact: usize = self.workers.iter().map(|w| w.exact_predictions).sum();
+        exact as f64 / served as f64
+    }
+
+    /// Mean per-worker busy fraction over the farm's lifetime.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
+        self.workers
+            .iter()
+            .map(|w| w.utilization(self.wall))
+            .sum::<f64>()
+            / self.workers.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn worker(jobs: usize, exact: usize, busy_ms: u64) -> WorkerTelemetry {
+        WorkerTelemetry {
+            worker: 0,
+            class: ArrayClass::Linear,
+            jobs,
+            coalesced_jobs: 0,
+            batches: jobs,
+            failures: 0,
+            busy: Duration::from_millis(busy_ms),
+            station_cycles: 10 * jobs,
+            predicted_cycles: 10 * jobs,
+            measured_cycles: 10 * jobs,
+            exact_predictions: exact,
+        }
+    }
+
+    #[test]
+    fn aggregates_sum_over_workers() {
+        // Second worker served 2 jobs of which 1 failed: the failure counts
+        // toward `failures` but neither toward `completed` nor the exact
+        // fraction's denominator.
+        let mut failing = worker(2, 1, 100);
+        failing.failures = 1;
+        let telemetry = FarmTelemetry {
+            wall: Duration::from_millis(100),
+            workers: vec![worker(4, 4, 50), failing],
+            depth: vec![
+                DepthSample {
+                    at: Duration::ZERO,
+                    depth: 1,
+                },
+                DepthSample {
+                    at: Duration::from_millis(1),
+                    depth: 5,
+                },
+            ],
+            steals: 1,
+            submitted: 6,
+        };
+        assert_eq!(telemetry.completed(), 5);
+        assert_eq!(telemetry.failures(), 1);
+        assert_eq!(telemetry.max_queue_depth(), 5);
+        assert_eq!(telemetry.predicted_cycles(), 60);
+        assert_eq!(telemetry.measured_cycles(), 60);
+        assert!((telemetry.exact_prediction_fraction() - 5.0 / 5.0).abs() < 1e-12);
+        assert!((telemetry.mean_utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_farm_degenerates_to_zero() {
+        let telemetry = FarmTelemetry {
+            wall: Duration::ZERO,
+            workers: Vec::new(),
+            depth: Vec::new(),
+            steals: 0,
+            submitted: 0,
+        };
+        assert_eq!(telemetry.completed(), 0);
+        assert_eq!(telemetry.max_queue_depth(), 0);
+        assert_eq!(telemetry.exact_prediction_fraction(), 0.0);
+        assert_eq!(telemetry.mean_utilization(), 0.0);
+        assert_eq!(worker(0, 0, 10).utilization(Duration::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,703 @@
+//! The farm itself: a pool of persistent worker threads, each owning a
+//! reusable [`ArrayStation`], fed by the routed/stolen/coalesced queues of
+//! [`crate::queue`].
+//!
+//! [`ArrayFarm::submit`] is the whole client API: validate (admission),
+//! predict (closed forms), enqueue, and hand back a [`JobTicket`] whose
+//! [`JobTicket::wait`] blocks for the [`JobReceipt`].  Singly-served dense
+//! jobs run through the `_on` solver entry points on the worker's own
+//! persistent arrays; coalesced batches go through
+//! `multiply_mm_batch` / `multiply_mv_batch` and extension jobs
+//! (triangular solve, Gauss–Seidel) through their blocked drivers — both
+//! of which construct transient arrays internally, so their steps are
+//! *back-attributed* to the worker's station rather than executed on it
+//! (see the ROADMAP item on `_on` variants for the batch/extension paths).
+
+use crate::cost::CostModel;
+use crate::job::{ArrayClass, Job, JobOutput, JobReceipt, JobSpec};
+use crate::policy::Policy;
+use crate::queue::{QueueSet, QueuedJob};
+use crate::telemetry::{FarmTelemetry, WorkerTelemetry};
+use sia_dbt::ext::{gauss_seidel, solve_lower, solve_upper};
+use sia_dbt::sparse::multiply_mv_block_sparse_on;
+use sia_dbt::{
+    multiply_mm_batch, multiply_mm_on, multiply_mv_batch, multiply_mv_on, DbtError, MmProblem,
+    MvProblem,
+};
+use sia_sim::ArrayStation;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Errors of the farm API (admission, execution, lifecycle).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FarmError {
+    /// The job failed admission: its shapes violate the solver contract.
+    Rejected(DbtError),
+    /// The farm has no worker owning the array type the job needs.
+    NoWorkerForClass(ArrayClass),
+    /// The job ran and the solver returned an error (singular pivot,
+    /// non-convergence, ...).
+    Execution(DbtError),
+    /// The farm was torn down before the job's receipt was delivered.
+    Disconnected,
+}
+
+impl fmt::Display for FarmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FarmError::Rejected(e) => write!(f, "job rejected at admission: {e}"),
+            FarmError::NoWorkerForClass(class) => {
+                write!(f, "farm has no {} worker", class.label())
+            }
+            FarmError::Execution(e) => write!(f, "job failed while running: {e}"),
+            FarmError::Disconnected => write!(f, "farm shut down before the job completed"),
+        }
+    }
+}
+
+impl std::error::Error for FarmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FarmError::Rejected(e) | FarmError::Execution(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Farm sizing and scheduling configuration.
+#[derive(Debug, Clone)]
+pub struct FarmConfig {
+    /// Array size `w` shared by every array in the farm.
+    pub w: usize,
+    /// Number of workers owning a `w × w` hexagonal array.
+    pub hex_workers: usize,
+    /// Number of workers owning a `w`-cell linear array.
+    pub linear_workers: usize,
+    /// Queue-drain policy.
+    pub policy: Policy,
+    /// Maximum same-shape jobs served as one batch (1 disables coalescing).
+    pub coalesce_limit: usize,
+}
+
+impl FarmConfig {
+    /// A one-hex, one-linear farm with FIFO scheduling and a coalescing
+    /// window of 4.
+    pub fn new(w: usize) -> Self {
+        FarmConfig {
+            w,
+            hex_workers: 1,
+            linear_workers: 1,
+            policy: Policy::Fifo,
+            coalesce_limit: 4,
+        }
+    }
+
+    /// Sets the hexagonal worker count.
+    #[must_use]
+    pub fn hex_workers(mut self, n: usize) -> Self {
+        self.hex_workers = n;
+        self
+    }
+
+    /// Sets the linear worker count.
+    #[must_use]
+    pub fn linear_workers(mut self, n: usize) -> Self {
+        self.linear_workers = n;
+        self
+    }
+
+    /// Sets the scheduling policy.
+    #[must_use]
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the coalescing window (1 disables coalescing).
+    #[must_use]
+    pub fn coalesce_limit(mut self, limit: usize) -> Self {
+        self.coalesce_limit = limit;
+        self
+    }
+}
+
+/// Handle to one submitted job; redeem it with [`JobTicket::wait`].
+#[derive(Debug)]
+pub struct JobTicket {
+    id: u64,
+    rx: mpsc::Receiver<Result<JobReceipt, DbtError>>,
+}
+
+impl JobTicket {
+    /// The farm-assigned job id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the job is served and returns its receipt.
+    ///
+    /// # Errors
+    ///
+    /// [`FarmError::Execution`] when the solver failed on the job;
+    /// [`FarmError::Disconnected`] when the farm was torn down first.
+    pub fn wait(self) -> Result<JobReceipt, FarmError> {
+        match self.rx.recv() {
+            Ok(Ok(receipt)) => Ok(receipt),
+            Ok(Err(e)) => Err(FarmError::Execution(e)),
+            Err(_) => Err(FarmError::Disconnected),
+        }
+    }
+}
+
+/// A farm of persistent array workers serving heterogeneous matrix jobs.
+///
+/// ```
+/// use sia_runtime::{ArrayFarm, FarmConfig, Job, Policy};
+/// use sia_matrix::gen;
+///
+/// # fn main() -> Result<(), sia_runtime::FarmError> {
+/// let farm = ArrayFarm::new(
+///     FarmConfig::new(3).policy(Policy::ShortestPredictedFirst),
+/// )?;
+/// let a = gen::random_dense_f64(6, 9, 1);
+/// let x = gen::random_vector_f64(9, 2);
+/// let ticket = farm.submit(Job::dense_mv(a.clone(), x.clone()))?;
+/// let receipt = ticket.wait()?;
+/// // Bit-identical to the direct solver call.
+/// let direct = sia_dbt::multiply_mv(&a, &x, None, 3, sia_dbt::MvSchedule::Simple).unwrap();
+/// assert_eq!(receipt.output.as_vector().unwrap(), direct.y);
+/// assert!(receipt.prediction_exact()); // 2w·n̄m̄ + 2w − 3, met exactly
+/// let telemetry = farm.shutdown();
+/// assert_eq!(telemetry.completed(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ArrayFarm {
+    queues: Arc<QueueSet>,
+    handles: Vec<JoinHandle<WorkerTelemetry>>,
+    cost: CostModel,
+    config: FarmConfig,
+    next_id: AtomicU64,
+    started: Instant,
+}
+
+impl ArrayFarm {
+    /// Spins up the farm: one thread per worker, each owning its station.
+    ///
+    /// # Errors
+    ///
+    /// [`FarmError::Rejected`] with [`DbtError::ZeroArraySize`] when
+    /// `config.w == 0`, and [`DbtError::EmptyDimension`] when the farm has
+    /// zero workers.
+    pub fn new(config: FarmConfig) -> Result<Self, FarmError> {
+        let cost = CostModel::new(config.w).map_err(FarmError::Rejected)?;
+        if config.hex_workers + config.linear_workers == 0 {
+            return Err(FarmError::Rejected(DbtError::EmptyDimension {
+                what: "workers",
+            }));
+        }
+        let classes: Vec<ArrayClass> = std::iter::repeat_n(ArrayClass::Hex, config.hex_workers)
+            .chain(std::iter::repeat_n(
+                ArrayClass::Linear,
+                config.linear_workers,
+            ))
+            .collect();
+        let started = Instant::now();
+        let queues = Arc::new(QueueSet::new(
+            config.policy,
+            classes.clone(),
+            config.coalesce_limit,
+            started,
+        ));
+        let mut handles = Vec::with_capacity(classes.len());
+        for (index, class) in classes.into_iter().enumerate() {
+            let queues = Arc::clone(&queues);
+            let w = config.w;
+            let handle = std::thread::Builder::new()
+                .name(format!("sia-worker-{index}-{}", class.label()))
+                .spawn(move || worker_loop(index, class, w, &queues))
+                .expect("spawning a farm worker thread");
+            handles.push(handle);
+        }
+        Ok(ArrayFarm {
+            queues,
+            handles,
+            cost,
+            config,
+            next_id: AtomicU64::new(0),
+            started,
+        })
+    }
+
+    /// The farm's array size `w`.
+    pub fn w(&self) -> usize {
+        self.config.w
+    }
+
+    /// The farm's scheduling policy.
+    pub fn policy(&self) -> Policy {
+        self.config.policy
+    }
+
+    /// Total worker count.
+    pub fn workers(&self) -> usize {
+        self.config.hex_workers + self.config.linear_workers
+    }
+
+    /// The farm's cost model (useful for client-side what-if queries).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Admits, prices and enqueues a job (or a [`JobSpec`] carrying
+    /// priority/deadline), returning a ticket for the receipt.
+    ///
+    /// Admission runs the full shape validation and the closed-form cost
+    /// prediction **before** the job can occupy an array, so malformed work
+    /// is rejected here and never queues.
+    ///
+    /// # Errors
+    ///
+    /// [`FarmError::Rejected`] for contract violations,
+    /// [`FarmError::NoWorkerForClass`] when the farm has no worker of the
+    /// needed array type.
+    pub fn submit(&self, spec: impl Into<JobSpec>) -> Result<JobTicket, FarmError> {
+        let spec = spec.into();
+        spec.job
+            .validate(self.config.w)
+            .map_err(FarmError::Rejected)?;
+        let class = spec.job.class();
+        let eligible = match class {
+            ArrayClass::Hex => self.config.hex_workers,
+            ArrayClass::Linear => self.config.linear_workers,
+        };
+        if eligible == 0 {
+            return Err(FarmError::NoWorkerForClass(class));
+        }
+        let predicted = self.cost.predict(&spec.job).map_err(FarmError::Rejected)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply, rx) = mpsc::channel();
+        let now = Instant::now();
+        self.queues.submit(
+            QueuedJob {
+                id,
+                kind: spec.job.kind(),
+                job: spec.job,
+                predicted,
+                priority: spec.priority,
+                deadline: spec.deadline.map(|d| now + d),
+                submitted: now,
+                reply,
+            },
+            class,
+        );
+        Ok(JobTicket { id, rx })
+    }
+
+    /// Drains every queue, joins the workers and returns the farm's
+    /// lifetime telemetry.
+    pub fn shutdown(mut self) -> FarmTelemetry {
+        let workers = self.join_workers();
+        let wall = self.started.elapsed();
+        let queue_telemetry = self.queues.drain_telemetry();
+        FarmTelemetry {
+            wall,
+            workers,
+            depth: queue_telemetry.depth_log,
+            steals: queue_telemetry.steals,
+            submitted: queue_telemetry.submitted,
+        }
+    }
+
+    fn join_workers(&mut self) -> Vec<WorkerTelemetry> {
+        self.queues.finish();
+        let mut logs = Vec::with_capacity(self.handles.len());
+        for handle in self.handles.drain(..) {
+            match handle.join() {
+                Ok(log) => logs.push(log),
+                // Re-raise a worker panic on the caller — unless we are
+                // already unwinding (Drop during a client panic), where a
+                // second panic would abort the process and eat the
+                // original payload.
+                Err(payload) if !std::thread::panicking() => std::panic::resume_unwind(payload),
+                Err(_) => {}
+            }
+        }
+        logs
+    }
+}
+
+impl Drop for ArrayFarm {
+    fn drop(&mut self) {
+        if !self.handles.is_empty() {
+            self.join_workers();
+        }
+    }
+}
+
+/// One worker: owns its station, drains its queue until shutdown.
+fn worker_loop(index: usize, class: ArrayClass, w: usize, queues: &QueueSet) -> WorkerTelemetry {
+    let mut station = ArrayStation::new(w).expect("farm validated w > 0");
+    let mut log = WorkerTelemetry {
+        worker: index,
+        class,
+        jobs: 0,
+        coalesced_jobs: 0,
+        batches: 0,
+        failures: 0,
+        busy: Duration::ZERO,
+        station_cycles: 0,
+        predicted_cycles: 0,
+        measured_cycles: 0,
+        exact_predictions: 0,
+    };
+    while let Some(batch) = queues.next_batch(index) {
+        let picked_up = Instant::now();
+        log.batches += 1;
+        if batch.len() > 1 {
+            serve_coalesced(index, &mut station, batch, picked_up, &mut log);
+        } else {
+            serve_single(index, &mut station, batch, picked_up, &mut log);
+        }
+        log.busy += picked_up.elapsed();
+    }
+    log.station_cycles = station.stats().total_cycles();
+    log
+}
+
+/// Builds and sends one receipt, updating the worker log.
+#[allow(clippy::too_many_arguments)]
+fn deliver(
+    worker: usize,
+    job: QueuedJob,
+    picked_up: Instant,
+    service: Duration,
+    coalesced: bool,
+    measured_cycles: usize,
+    output: JobOutput,
+    log: &mut WorkerTelemetry,
+) {
+    log.jobs += 1;
+    log.predicted_cycles += job.predicted.cycles;
+    log.measured_cycles += measured_cycles;
+    let receipt = JobReceipt {
+        id: job.id,
+        kind: job.kind,
+        worker,
+        priority: job.priority,
+        predicted: job.predicted,
+        measured_cycles,
+        queue: picked_up.duration_since(job.submitted),
+        service,
+        coalesced,
+        output,
+    };
+    if receipt.prediction_exact() {
+        log.exact_predictions += 1;
+    }
+    // A dropped ticket just means nobody wants the receipt.
+    let _ = job.reply.send(Ok(receipt));
+}
+
+/// Sends an execution failure for one job.  Failed jobs count toward `jobs`
+/// and `failures` but toward neither cycle tally: the array work a job did
+/// before failing (e.g. the sweeps of a non-converging Gauss–Seidel run) is
+/// not observable from its error, so the tallies cover exactly the
+/// successfully served jobs and stay symmetric with each other.
+fn deliver_error(job: QueuedJob, error: DbtError, log: &mut WorkerTelemetry) {
+    log.jobs += 1;
+    log.failures += 1;
+    let _ = job.reply.send(Err(error));
+}
+
+/// Serves a coalesced batch of same-shape dense jobs through the batch
+/// solvers.  Outcomes are bit-identical to per-job runs; each member's
+/// receipt carries the whole batch's service span.
+fn serve_coalesced(
+    worker: usize,
+    station: &mut ArrayStation,
+    batch: Vec<QueuedJob>,
+    picked_up: Instant,
+    log: &mut WorkerTelemetry,
+) {
+    let w = station.size();
+    enum BatchResult {
+        Mm(Result<Vec<(usize, JobOutput)>, DbtError>),
+        Mv(Result<Vec<(usize, JobOutput)>, DbtError>),
+    }
+    let result = match &batch[0].job {
+        Job::DenseMm { .. } => {
+            let problems: Vec<MmProblem<'_, f64>> = batch
+                .iter()
+                .map(|qj| match &qj.job {
+                    Job::DenseMm { a, b, e } => MmProblem {
+                        a,
+                        b,
+                        e: e.as_ref(),
+                    },
+                    _ => unreachable!("coalesce keys only group same-kind jobs"),
+                })
+                .collect();
+            BatchResult::Mm(multiply_mm_batch(&problems, w).map(|outcomes| {
+                outcomes
+                    .into_iter()
+                    .map(|o| (o.cycles, JobOutput::Matrix(o.c)))
+                    .collect()
+            }))
+        }
+        Job::DenseMv { schedule, .. } => {
+            let schedule = *schedule;
+            let problems: Vec<MvProblem<'_, f64>> = batch
+                .iter()
+                .map(|qj| match &qj.job {
+                    Job::DenseMv { a, x, b, .. } => MvProblem {
+                        a,
+                        x,
+                        b: b.as_deref(),
+                    },
+                    _ => unreachable!("coalesce keys only group same-kind jobs"),
+                })
+                .collect();
+            BatchResult::Mv(multiply_mv_batch(&problems, w, schedule).map(|outcomes| {
+                outcomes
+                    .into_iter()
+                    .map(|o| (o.cycles, JobOutput::Vector(o.y)))
+                    .collect()
+            }))
+        }
+        _ => unreachable!("only dense MM/MV jobs carry a coalesce key"),
+    };
+    let service = picked_up.elapsed();
+    let (is_mm, outcome) = match result {
+        BatchResult::Mm(r) => (true, r),
+        BatchResult::Mv(r) => (false, r),
+    };
+    match outcome {
+        Ok(outputs) => {
+            for (qj, (cycles, output)) in batch.into_iter().zip(outputs) {
+                if is_mm {
+                    station.record_hex(cycles);
+                } else {
+                    station.record_linear(cycles);
+                }
+                log.coalesced_jobs += 1;
+                deliver(worker, qj, picked_up, service, true, cycles, output, log);
+            }
+        }
+        Err(e) => {
+            for qj in batch {
+                deliver_error(qj, e.clone(), log);
+            }
+        }
+    }
+}
+
+/// Serves one job on the worker's own station arrays.
+fn serve_single(
+    worker: usize,
+    station: &mut ArrayStation,
+    mut batch: Vec<QueuedJob>,
+    picked_up: Instant,
+    log: &mut WorkerTelemetry,
+) {
+    let qj = batch.pop().expect("single-job batch");
+    let w = station.size();
+    let outcome: Result<(usize, JobOutput), DbtError> = match &qj.job {
+        Job::DenseMm { a, b, e } => multiply_mm_on(station.hex(), a, b, e.as_ref()).map(|o| {
+            station.record_hex(o.cycles);
+            (o.cycles, JobOutput::Matrix(o.c))
+        }),
+        Job::DenseMv { a, x, b, schedule } => {
+            multiply_mv_on(station.linear(), a, x, b.as_deref(), *schedule).map(|o| {
+                station.record_linear(o.cycles);
+                (o.cycles, JobOutput::Vector(o.y))
+            })
+        }
+        Job::BlockSparseMv { a, x, b } => {
+            multiply_mv_block_sparse_on(station.linear(), a, x, b.as_deref()).map(|o| {
+                station.record_linear(o.outcome.cycles);
+                (o.outcome.cycles, JobOutput::Vector(o.outcome.y))
+            })
+        }
+        Job::TriangularSolve { a, c, lower } => {
+            let solved = if *lower {
+                solve_lower(a, c, w)
+            } else {
+                solve_upper(a, c, w)
+            };
+            // The blocked driver runs its strip products on transient
+            // arrays; attribute their steps to this worker's station.
+            solved.map(|o| {
+                station.record_linear(o.work.array_cycles);
+                (o.work.array_cycles, JobOutput::Vector(o.x))
+            })
+        }
+        Job::GaussSeidel {
+            a,
+            b,
+            tol,
+            max_sweeps,
+        } => gauss_seidel(a, b, w, *tol, *max_sweeps).map(|o| {
+            station.record_linear(o.work.array_cycles);
+            (o.work.array_cycles, JobOutput::Vector(o.x))
+        }),
+    };
+    let service = picked_up.elapsed();
+    match outcome {
+        Ok((cycles, output)) => {
+            deliver(worker, qj, picked_up, service, false, cycles, output, log);
+        }
+        Err(e) => deliver_error(qj, e, log),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_matrix::gen;
+
+    #[test]
+    fn farm_construction_is_validated() {
+        assert!(matches!(
+            ArrayFarm::new(FarmConfig::new(0)),
+            Err(FarmError::Rejected(DbtError::ZeroArraySize))
+        ));
+        assert!(matches!(
+            ArrayFarm::new(FarmConfig::new(2).hex_workers(0).linear_workers(0)),
+            Err(FarmError::Rejected(DbtError::EmptyDimension { .. }))
+        ));
+    }
+
+    #[test]
+    fn jobs_are_rejected_at_admission_not_at_run_time() {
+        let farm = ArrayFarm::new(FarmConfig::new(2)).unwrap();
+        let a = gen::random_dense_f64(4, 4, 1);
+        let wrong = gen::random_dense_f64(3, 3, 2);
+        assert!(matches!(
+            farm.submit(Job::dense_mm(a.clone(), wrong)),
+            Err(FarmError::Rejected(DbtError::ShapeMismatch { .. }))
+        ));
+        let telemetry = farm.shutdown();
+        assert_eq!(telemetry.submitted, 0, "rejected jobs never queue");
+    }
+
+    #[test]
+    fn class_without_workers_is_refused() {
+        let farm = ArrayFarm::new(FarmConfig::new(2).hex_workers(0)).unwrap();
+        let a = gen::random_dense_f64(4, 4, 1);
+        assert!(matches!(
+            farm.submit(Job::dense_mm(a.clone(), a.clone())),
+            Err(FarmError::NoWorkerForClass(ArrayClass::Hex))
+        ));
+        // Linear jobs still flow.
+        let ticket = farm
+            .submit(Job::dense_mv(a.clone(), gen::random_vector_f64(4, 2)))
+            .unwrap();
+        assert!(ticket.wait().is_ok());
+        drop(farm);
+    }
+
+    #[test]
+    fn execution_errors_reach_the_ticket() {
+        let farm = ArrayFarm::new(FarmConfig::new(2)).unwrap();
+        // A singular pivot is only discovered while the solve runs.
+        let mut l = gen::lower_triangular_f64(4, 5);
+        l.set(2, 2, 0.0).unwrap();
+        let ticket = farm
+            .submit(Job::TriangularSolve {
+                a: l,
+                c: vec![1.0; 4],
+                lower: true,
+            })
+            .unwrap();
+        assert!(matches!(
+            ticket.wait(),
+            Err(FarmError::Execution(DbtError::SingularPivot { .. }))
+        ));
+        let telemetry = farm.shutdown();
+        assert_eq!(
+            telemetry.workers.iter().map(|w| w.failures).sum::<usize>(),
+            1
+        );
+    }
+
+    #[test]
+    fn receipts_carry_exact_predictions_for_dense_jobs() {
+        let farm =
+            ArrayFarm::new(FarmConfig::new(3).policy(Policy::ShortestPredictedFirst)).unwrap();
+        let a = gen::random_dense_f64(6, 6, 3);
+        let b = gen::random_dense_f64(6, 9, 4);
+        let x = gen::random_vector_f64(6, 5);
+        let t_mm = farm.submit(Job::dense_mm(a.clone(), b.clone())).unwrap();
+        let t_mv = farm.submit(Job::dense_mv(a.clone(), x.clone())).unwrap();
+        let mm = t_mm.wait().unwrap();
+        let mv = t_mv.wait().unwrap();
+        assert!(mm.prediction_exact());
+        assert!(mv.prediction_exact());
+        assert_eq!(
+            mm.output.as_matrix().unwrap(),
+            &sia_dbt::multiply_mm(&a, &b, None, 3).unwrap().c
+        );
+        assert_eq!(
+            mv.output.as_vector().unwrap(),
+            sia_dbt::multiply_mv(&a, &x, None, 3, sia_dbt::MvSchedule::Simple)
+                .unwrap()
+                .y
+        );
+        let telemetry = farm.shutdown();
+        assert_eq!(telemetry.completed(), 2);
+        assert!((telemetry.exact_prediction_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(telemetry.predicted_cycles(), telemetry.measured_cycles());
+    }
+
+    #[test]
+    fn coalesced_batches_are_bit_identical_to_solo_runs() {
+        let farm = ArrayFarm::new(FarmConfig::new(2).coalesce_limit(8)).unwrap();
+        let mats: Vec<_> = (0..6u64)
+            .map(|s| {
+                (
+                    gen::random_dense_f64(4, 5, 100 + s),
+                    gen::random_dense_f64(5, 3, 200 + s),
+                )
+            })
+            .collect();
+        let tickets: Vec<_> = mats
+            .iter()
+            .map(|(a, b)| farm.submit(Job::dense_mm(a.clone(), b.clone())).unwrap())
+            .collect();
+        for (ticket, (a, b)) in tickets.into_iter().zip(&mats) {
+            let receipt = ticket.wait().unwrap();
+            let solo = sia_dbt::multiply_mm(a, b, None, 2).unwrap();
+            assert_eq!(receipt.output.as_matrix().unwrap(), &solo.c);
+            assert_eq!(receipt.measured_cycles, solo.cycles);
+            assert!(receipt.prediction_exact());
+        }
+        let telemetry = farm.shutdown();
+        assert_eq!(telemetry.completed(), 6);
+        // At least some of the burst coalesced (the first job may have been
+        // picked up alone before the rest arrived).
+        let coalesced: usize = telemetry.workers.iter().map(|w| w.coalesced_jobs).sum();
+        let batches: usize = telemetry.workers.iter().map(|w| w.batches).sum();
+        assert!(batches <= 6);
+        assert!(coalesced == 0 || coalesced >= 2);
+    }
+
+    #[test]
+    fn dropping_the_farm_without_shutdown_still_serves_queued_jobs() {
+        let a = gen::random_dense_f64(4, 4, 7);
+        let x = gen::random_vector_f64(4, 8);
+        let ticket;
+        {
+            let farm = ArrayFarm::new(FarmConfig::new(2)).unwrap();
+            ticket = farm.submit(Job::dense_mv(a.clone(), x.clone())).unwrap();
+            // farm dropped here: Drop drains and joins.
+        }
+        let receipt = ticket.wait().unwrap();
+        let direct = sia_dbt::multiply_mv(&a, &x, None, 2, sia_dbt::MvSchedule::Simple).unwrap();
+        assert_eq!(receipt.output.as_vector().unwrap(), direct.y);
+    }
+}

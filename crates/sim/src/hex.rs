@@ -285,9 +285,8 @@ impl HexArray {
                 right: (job.b.rows(), job.b.cols()),
             });
         }
-        let in_band = |i: usize, j: usize| {
-            i < job.a.rows() && j < job.b.cols() && i.abs_diff(j) < w
-        };
+        let in_band =
+            |i: usize, j: usize| i < job.a.rows() && j < job.b.cols() && i.abs_diff(j) < w;
         for (&(i, j), injection) in &job.c_injections {
             if !in_band(i, j) {
                 return Err(SimError::InjectionOutsideBand { position: (i, j) });
@@ -421,11 +420,12 @@ impl HexArray {
                 let value = match entry.pending {
                     PendingC::Value(v) => v,
                     PendingC::Feedback(producer) => {
-                        let (value, produced_at) = fb_store[fb_idx(producer.0, producer.1)]
-                            .ok_or(SimError::FeedbackNotReady {
+                        let (value, produced_at) = fb_store[fb_idx(producer.0, producer.1)].ok_or(
+                            SimError::FeedbackNotReady {
                                 producer,
                                 needed_at: t,
-                            })?;
+                            },
+                        )?;
                         if produced_at >= t {
                             return Err(SimError::FeedbackNotReady {
                                 producer,

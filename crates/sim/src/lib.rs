@@ -58,6 +58,7 @@ pub mod hex;
 pub mod linear;
 pub mod report;
 pub mod spiral;
+pub mod station;
 mod tape;
 
 pub use error::SimError;
@@ -65,3 +66,4 @@ pub use hex::{CInjection, HexArray, HexJob, HexReport};
 pub use linear::{LinearArray, LinearReport, MvStream, YInjection};
 pub use report::{FeedbackEvent, FeedbackSummary, Utilization};
 pub use spiral::SpiralTopology;
+pub use station::{ArrayStation, StationStats};

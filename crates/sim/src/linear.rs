@@ -265,10 +265,8 @@ impl LinearArray {
         let total_rows: usize = streams.iter().map(|s| s.band.rows()).sum();
         // Flat feedback stores, one slot per band row of each stream:
         // (value, production cycle).
-        let mut fb_store: Vec<Vec<Option<(T, usize)>>> = streams
-            .iter()
-            .map(|s| vec![None; s.band.rows()])
-            .collect();
+        let mut fb_store: Vec<Vec<Option<(T, usize)>>> =
+            streams.iter().map(|s| vec![None; s.band.rows()]).collect();
         let mut fb_events: Vec<Vec<FeedbackEvent>> = vec![Vec::new(); streams.len()];
 
         let mut fired = 0usize;
@@ -296,11 +294,12 @@ impl LinearArray {
                         let value = match s.y_injections[i] {
                             YInjection::Value(v) => v,
                             YInjection::Feedback { producer_row } => {
-                                let (value, produced_at) = fb_store[phase][producer_row]
-                                    .ok_or(SimError::FeedbackNotReady {
+                                let (value, produced_at) = fb_store[phase][producer_row].ok_or(
+                                    SimError::FeedbackNotReady {
                                         producer: (producer_row, 0),
                                         needed_at: t,
-                                    })?;
+                                    },
+                                )?;
                                 if produced_at >= t {
                                     return Err(SimError::FeedbackNotReady {
                                         producer: (producer_row, 0),
@@ -334,10 +333,7 @@ impl LinearArray {
                     let s = &streams[y.stream];
                     if y.index + k < s.band.cols() {
                         let a = s.band.row_slice(y.index)[k];
-                        debug_assert_eq!(
-                            x.stream, y.stream,
-                            "streams must not mix inside a cell"
-                        );
+                        debug_assert_eq!(x.stream, y.stream, "streams must not mix inside a cell");
                         debug_assert_eq!(
                             x.index,
                             y.index + k,
@@ -386,7 +382,10 @@ impl LinearArray {
                 cycles,
                 fired,
             },
-            feedback: fb_events.into_iter().map(FeedbackSummary::from_events).collect(),
+            feedback: fb_events
+                .into_iter()
+                .map(FeedbackSummary::from_events)
+                .collect(),
         })
     }
 
@@ -470,13 +469,8 @@ mod tests {
         // exactly 2R + 2w - 3 steps.
         for (rows, w) in [(6usize, 3usize), (8, 2), (12, 4), (3, 3), (10, 1)] {
             let cols = rows + w - 1;
-            let dense = DenseMatrix::from_fn(rows, cols, |i, j| {
-                if j >= i && j < i + w {
-                    1
-                } else {
-                    0
-                }
-            });
+            let dense =
+                DenseMatrix::from_fn(rows, cols, |i, j| if j >= i && j < i + w { 1 } else { 0 });
             let x = vec![1i64; cols];
             let report = run_plain(&dense, w, &x);
             assert_eq!(report.cycles, 2 * rows + 2 * w - 3, "rows={rows} w={w}");
@@ -626,9 +620,7 @@ mod tests {
         ));
 
         // Too many streams.
-        let err = array
-            .run(&[good.clone(), good.clone(), good])
-            .unwrap_err();
+        let err = array.run(&[good.clone(), good.clone(), good]).unwrap_err();
         assert!(matches!(err, SimError::TooManyStreams { .. }));
     }
 
@@ -673,13 +665,8 @@ mod tests {
         let w = 4;
         let rows = 64;
         let cols = rows + w - 1;
-        let dense = DenseMatrix::from_fn(rows, cols, |i, j| {
-            if j >= i && j < i + w {
-                1
-            } else {
-                0
-            }
-        });
+        let dense =
+            DenseMatrix::from_fn(rows, cols, |i, j| if j >= i && j < i + w { 1 } else { 0 });
         let report = run_plain(&dense, w, &vec![1i64; cols]);
         let activity = report.utilization.activity();
         assert!(activity > 0.45 && activity <= 0.5, "activity = {activity}");

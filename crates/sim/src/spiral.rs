@@ -53,7 +53,10 @@ impl SpiralTopology {
     /// Panics if `|d| >= w`.
     pub fn pe_count(&self, d: isize) -> usize {
         let w = self.w as isize;
-        assert!(d.abs() < w, "diagonal {d} does not exist in a {w}x{w} array");
+        assert!(
+            d.abs() < w,
+            "diagonal {d} does not exist in a {w}x{w} array"
+        );
         (w - d.abs()) as usize
     }
 
@@ -68,7 +71,10 @@ impl SpiralTopology {
     /// Panics if `|d| >= w`.
     pub fn partner(&self, d: isize) -> isize {
         let w = self.w as isize;
-        assert!(d.abs() < w, "diagonal {d} does not exist in a {w}x{w} array");
+        assert!(
+            d.abs() < w,
+            "diagonal {d} does not exist in a {w}x{w} array"
+        );
         if d == 0 {
             0
         } else if d > 0 {

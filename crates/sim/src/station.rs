@@ -1,0 +1,128 @@
+//! A reusable per-worker array station.
+//!
+//! The serving runtime (`sia-runtime`) keeps a pool of persistent worker
+//! threads, each owning the array hardware it simulates for its whole
+//! lifetime.  [`ArrayStation`] is that owned state: one hexagonal and one
+//! linear array of the same size `w`, plus cumulative usage counters that
+//! survive across jobs — the per-worker utilization numbers the farm's
+//! telemetry reports come straight from here.
+//!
+//! The arrays themselves are stateless between runs (every run starts from
+//! empty register planes), so what the station adds is *identity* and
+//! *accounting*: a worker never re-creates its arrays per job, and every
+//! array step it ever executed is attributed to it.
+
+use crate::{HexArray, LinearArray, SimError};
+
+/// Cumulative usage counters of one station, suitable for utilization
+/// reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StationStats {
+    /// Completed runs on the hexagonal array.
+    pub hex_runs: usize,
+    /// Total array steps executed by the hexagonal array.
+    pub hex_cycles: usize,
+    /// Completed runs on the linear array.
+    pub linear_runs: usize,
+    /// Total array steps executed by the linear array.
+    pub linear_cycles: usize,
+}
+
+impl StationStats {
+    /// Total array steps across both arrays.
+    pub fn total_cycles(&self) -> usize {
+        self.hex_cycles + self.linear_cycles
+    }
+
+    /// Total completed runs across both arrays.
+    pub fn total_runs(&self) -> usize {
+        self.hex_runs + self.linear_runs
+    }
+}
+
+/// One worker's persistent array state: a `w × w` hexagonal array and a
+/// `w`-cell linear array, created once and reused for every job the worker
+/// serves, with cumulative step accounting.
+#[derive(Debug, Clone)]
+pub struct ArrayStation {
+    w: usize,
+    hex: HexArray,
+    linear: LinearArray,
+    stats: StationStats,
+}
+
+impl ArrayStation {
+    /// Creates a station whose arrays have size `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ZeroArraySize`] if `w == 0`.
+    pub fn new(w: usize) -> Result<Self, SimError> {
+        Ok(ArrayStation {
+            w,
+            hex: HexArray::new(w)?,
+            linear: LinearArray::new(w)?,
+            stats: StationStats::default(),
+        })
+    }
+
+    /// Array size `w` shared by both arrays.
+    pub fn size(&self) -> usize {
+        self.w
+    }
+
+    /// The station's hexagonal array (matrix–matrix jobs).
+    pub fn hex(&self) -> &HexArray {
+        &self.hex
+    }
+
+    /// The station's linear array (matrix–vector jobs).
+    pub fn linear(&self) -> &LinearArray {
+        &self.linear
+    }
+
+    /// Records a completed hexagonal-array run of the given step count.
+    pub fn record_hex(&mut self, cycles: usize) {
+        self.stats.hex_runs += 1;
+        self.stats.hex_cycles += cycles;
+    }
+
+    /// Records a completed linear-array run of the given step count.
+    pub fn record_linear(&mut self, cycles: usize) {
+        self.stats.linear_runs += 1;
+        self.stats.linear_cycles += cycles;
+    }
+
+    /// Cumulative usage counters since the station was created.
+    pub fn stats(&self) -> StationStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn station_accumulates_run_statistics() {
+        let mut station = ArrayStation::new(3).unwrap();
+        assert_eq!(station.size(), 3);
+        assert_eq!(station.hex().size(), 3);
+        assert_eq!(station.linear().size(), 3);
+        station.record_hex(100);
+        station.record_hex(50);
+        station.record_linear(25);
+        let stats = station.stats();
+        assert_eq!(stats.hex_runs, 2);
+        assert_eq!(stats.hex_cycles, 150);
+        assert_eq!(stats.linear_runs, 1);
+        assert_eq!(stats.linear_cycles, 25);
+        assert_eq!(stats.total_cycles(), 175);
+        assert_eq!(stats.total_runs(), 3);
+    }
+
+    #[test]
+    fn zero_array_size_is_rejected() {
+        assert_eq!(ArrayStation::new(0).unwrap_err(), SimError::ZeroArraySize);
+    }
+}

@@ -28,7 +28,10 @@ impl<E> Tape<E> {
         events.sort_by_key(|&(cycle, _)| cycle);
         let mut offsets = vec![0u32; n_cycles + 1];
         for &(cycle, _) in &events {
-            assert!(cycle < n_cycles, "event at cycle {cycle} beyond horizon {n_cycles}");
+            assert!(
+                cycle < n_cycles,
+                "event at cycle {cycle} beyond horizon {n_cycles}"
+            );
             offsets[cycle + 1] += 1;
         }
         for t in 1..offsets.len() {

@@ -19,13 +19,23 @@ fn main() -> Result<(), DbtError> {
     let b = gen::random_dense_f64(p, m, 8);
     let reference = a.matmul(&b)?;
 
-    println!("problem          : C({n}x{m}) = A({n}x{p}) * B({p}x{m}) on a {w}x{w} hexagonal array\n");
+    println!(
+        "problem          : C({n}x{m}) = A({n}x{p}) * B({p}x{m}) on a {w}x{w} hexagonal array\n"
+    );
 
     let dbt = multiply_mm(&a, &b, None, w)?;
     let dbt_err = dbt.c.max_abs_diff(&reference).unwrap_or(f64::INFINITY);
     println!("DBT (paper)");
-    println!("  array steps    : {} (formula {})", dbt.cycles, dbt.predicted_cycles());
-    println!("  utilization    : {:.3} (formula {:.3})", dbt.efficiency, dbt.predicted_utilization());
+    println!(
+        "  array steps    : {} (formula {})",
+        dbt.cycles,
+        dbt.predicted_cycles()
+    );
+    println!(
+        "  utilization    : {:.3} (formula {:.3})",
+        dbt.efficiency,
+        dbt.predicted_utilization()
+    );
     println!("  host additions : 0 (all accumulation through the spiral feedback)");
     println!("  max |error|    : {dbt_err:.2e}\n");
 
@@ -35,7 +45,10 @@ fn main() -> Result<(), DbtError> {
         .max_abs_diff(&reference)
         .unwrap_or(f64::INFINITY);
     println!("host-blocked baseline");
-    println!("  array steps    : {} over {} array invocations", blocked.array_cycles, blocked.array_runs);
+    println!(
+        "  array steps    : {} over {} array invocations",
+        blocked.array_cycles, blocked.array_runs
+    );
     println!("  utilization    : {:.3}", blocked.efficiency);
     println!("  host additions : {}", blocked.host_additions);
     println!("  max |error|    : {blocked_err:.2e}\n");

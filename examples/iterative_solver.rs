@@ -43,12 +43,11 @@ fn main() -> Result<(), DbtError> {
 
     // Iterative solve with block Gauss-Seidel.
     let gs = ext::gauss_seidel(&a, &b, w, 1e-10, 100)?;
-    let gs_err = gs
-        .x
-        .iter()
-        .zip(&x_true)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let gs_err =
+        gs.x.iter()
+            .zip(&x_true)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
     println!("block Gauss-Seidel");
     println!("  sweeps         : {}", gs.sweeps);
     println!("  residual       : {:.2e}", gs.residual);

@@ -32,13 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for k in 0..dbt.block_row_count() {
         let (ur, uc) = dbt.source_of(k * w, k * w).unwrap();
         let (lr, lc) = dbt.source_of(k * w + 1, (k + 1) * w).unwrap();
-        println!(
-            "  k = {k}: U_{}{}   L_{}{}",
-            ur / w,
-            uc / w,
-            lr / w,
-            lc / w
-        );
+        println!("  k = {k}: U_{}{}   L_{}{}", ur / w, uc / w, lr / w, lc / w);
     }
 
     // Run the transformed problem on the simulator and print the boundary
@@ -52,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = array.run(std::slice::from_ref(&stream))?;
 
     println!("\ncycle-by-cycle boundary traffic (x̂ enters right, ŷ leaves right):");
-    println!("{:>6} {:>12} {:>14} {:>14}", "cycle", "x̂ in", "ŷ injected", "ŷ out");
+    println!(
+        "{:>6} {:>12} {:>14} {:>14}",
+        "cycle", "x̂ in", "ŷ injected", "ŷ out"
+    );
     for t in 0..report.cycles {
         let x_in = if t % 2 == 0 && t / 2 < stream.x.len() {
             format!("x̂[{}]", t / 2)

@@ -20,19 +20,22 @@ fn main() -> Result<(), DbtError> {
     println!("matrix-vector  ({n} x {m}) on a {w}-cell linear array");
     println!("  steps measured  : {}", mv.cycles);
     println!("  steps predicted : {}", mv.predicted_cycles());
-    println!("  utilization     : {:.3} (formula {:.3})", mv.efficiency, mv.predicted_utilization());
+    println!(
+        "  utilization     : {:.3} (formula {:.3})",
+        mv.efficiency,
+        mv.predicted_utilization()
+    );
 
     // The result is exactly what a host would compute.
     let mut reference = a.matvec(&x)?;
     for (slot, v) in reference.iter_mut().zip(&b) {
         *slot += v;
     }
-    let max_err = mv
-        .y
-        .iter()
-        .zip(&reference)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let max_err =
+        mv.y.iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
     println!("  max |error|     : {max_err:.2e}");
 
     // The overlapped schedule fills the idle cycles with the second half of
@@ -51,8 +54,14 @@ fn main() -> Result<(), DbtError> {
     println!("\nmatrix-matrix  (6x6 · 6x9) on a {w}x{w} hexagonal array");
     println!("  steps measured  : {}", mm.cycles);
     println!("  steps predicted : {}", mm.predicted_cycles());
-    println!("  utilization     : {:.3} (formula {:.3})", mm.efficiency, mm.predicted_utilization());
-    let err = mm.c.max_abs_diff(&a.matmul(&bmat)?).unwrap_or(f64::INFINITY);
+    println!(
+        "  utilization     : {:.3} (formula {:.3})",
+        mm.efficiency,
+        mm.predicted_utilization()
+    );
+    let err =
+        mm.c.max_abs_diff(&a.matmul(&bmat)?)
+            .unwrap_or(f64::INFINITY);
     println!("  max |error|     : {err:.2e}");
     println!(
         "  feedback delays : {:?} cycles in the spiral registers",

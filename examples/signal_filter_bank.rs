@@ -27,13 +27,7 @@ fn main() -> Result<(), DbtError> {
     let mut max_error = 0.0f64;
     for frame in 0..frames {
         let signal = gen::random_vector_f64(samples, 1000 + frame as u64);
-        let outcome = multiply_mv(
-            &coefficients,
-            &signal,
-            None,
-            w,
-            MvSchedule::Overlapped,
-        )?;
+        let outcome = multiply_mv(&coefficients, &signal, None, w, MvSchedule::Overlapped)?;
         total_cycles += outcome.cycles;
         let reference = coefficients.matvec(&signal)?;
         let err = outcome
@@ -52,9 +46,16 @@ fn main() -> Result<(), DbtError> {
     };
     println!("filter bank      : {channels} channels x {samples} samples, {frames} frames");
     println!("array            : {w}-cell linear contraflow array");
-    println!("steps per frame  : {} (formula {})", total_cycles / frames, shape.cycles_overlapped());
+    println!(
+        "steps per frame  : {} (formula {})",
+        total_cycles / frames,
+        shape.cycles_overlapped()
+    );
     println!("total steps      : {total_cycles}");
-    println!("utilization      : {:.3} (asymptote 1.0)", shape.utilization_overlapped());
+    println!(
+        "utilization      : {:.3} (asymptote 1.0)",
+        shape.utilization_overlapped()
+    );
     println!("max |error|      : {max_error:.2e}");
     println!(
         "throughput       : {:.2} multiply-accumulates per array step",

@@ -1,19 +1,22 @@
 #!/usr/bin/env bash
-# CI entry point: build, test, lint.  Mirrors .github/workflows/ci.yml so
-# the same gate can be run locally before pushing.
+# CI entry point: format, build, test, lint.  Mirrors .github/workflows/ci.yml
+# so the same gate can be run locally before pushing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
 
 echo "== cargo build --release"
 cargo build --release
 
-echo "== cargo test -q"
+echo "== cargo test -q  (workspace, incl. sia-runtime scheduler suite)"
 cargo test -q
 
 echo "== cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "== paper_experiments (measured-vs-paper agreement)"
+echo "== paper_experiments (measured-vs-paper agreement, incl. E10 throughput)"
 cargo run -p sia-bench --release --bin paper_experiments > /dev/null
 
 echo "CI gate passed."

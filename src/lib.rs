@@ -11,7 +11,10 @@
 //! * [`dbt`] — the paper's DBT transformations and size-independent solvers
 //!   (`sia-dbt`);
 //! * [`baselines`] — the prior-art schemes the paper compares against
-//!   (`sia-baselines`).
+//!   (`sia-baselines`);
+//! * [`runtime`] — the multi-tenant array-farm scheduler that serves mixed
+//!   job streams using the paper's closed forms as its cost model
+//!   (`sia-runtime`).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the paper-versus-measured record.
@@ -34,6 +37,7 @@
 pub use sia_baselines as baselines;
 pub use sia_dbt as dbt;
 pub use sia_matrix as matrix;
+pub use sia_runtime as runtime;
 pub use sia_sim as sim;
 
 /// Convenient re-exports of the most commonly used items.
@@ -44,5 +48,6 @@ pub mod prelude {
         MvShape,
     };
     pub use sia_matrix::{gen, BandMatrix, BlockGrid, DenseMatrix, MatrixError, Scalar};
-    pub use sia_sim::{HexArray, LinearArray, SpiralTopology};
+    pub use sia_runtime::{ArrayFarm, FarmConfig, FarmError, Job, JobReceipt, JobSpec, Policy};
+    pub use sia_sim::{ArrayStation, HexArray, LinearArray, SpiralTopology};
 }

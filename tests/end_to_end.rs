@@ -26,7 +26,11 @@ fn mv_pipeline_is_exact_and_matches_the_cycle_formula() {
             let x = gen::random_vector_i64(m, 6, seed + 1);
             let b = gen::random_vector_i64(n, 6, seed + 2);
             let outcome = multiply_mv(&a, &x, Some(&b), w, MvSchedule::Simple).unwrap();
-            assert_eq!(outcome.y, reference_mv(&a, &x, Some(&b)), "n={n} m={m} w={w}");
+            assert_eq!(
+                outcome.y,
+                reference_mv(&a, &x, Some(&b)),
+                "n={n} m={m} w={w}"
+            );
             let shape = MvShape { w, n, m };
             assert_eq!(outcome.cycles, shape.cycles(), "n={n} m={m} w={w}");
         }

@@ -1,0 +1,104 @@
+//! Serving-layer integration tests: block-sparse edge cases routed through
+//! the `sparse` → runtime path, and farm behaviour on degenerate shapes.
+
+use size_independent_systolic::dbt::sparse;
+use size_independent_systolic::prelude::*;
+use size_independent_systolic::runtime::JobOutput;
+
+fn serve_sparse(a: &DenseMatrix<f64>, x: &[f64], b: Option<&[f64]>, w: usize) -> JobReceipt {
+    let farm = ArrayFarm::new(FarmConfig::new(w).policy(Policy::ShortestPredictedFirst)).unwrap();
+    let ticket = farm
+        .submit(Job::BlockSparseMv {
+            a: a.clone(),
+            x: x.to_vec(),
+            b: b.map(<[f64]>::to_vec),
+        })
+        .unwrap();
+    let receipt = ticket.wait().unwrap();
+    let telemetry = farm.shutdown();
+    assert_eq!(telemetry.completed(), 1);
+    receipt
+}
+
+#[test]
+fn all_zero_matrix_through_the_farm_returns_b() {
+    let w = 2;
+    let a = DenseMatrix::<f64>::zeros(6, 6);
+    let x = vec![1.0; 6];
+    let b: Vec<f64> = (0..6).map(f64::from).collect();
+    let receipt = serve_sparse(&a, &x, Some(&b), w);
+    assert_eq!(receipt.output, JobOutput::Vector(b));
+    // Even the degenerate all-zero run meets its closed-form prediction:
+    // one anchor block per block row survives.
+    assert!(receipt.prediction_exact());
+    let plan = sparse::plan_block_sparse(&a, w).unwrap();
+    assert_eq!(plan.nonzero_blocks, 0);
+    assert_eq!(receipt.measured_cycles, plan.predicted_cycles());
+}
+
+#[test]
+fn single_nonzero_block_through_the_farm() {
+    let w = 3;
+    // Only the (1, 1) block carries values.
+    let a = DenseMatrix::from_fn(9, 9, |i, j| {
+        if (3..6).contains(&i) && (3..6).contains(&j) {
+            (i * 9 + j) as f64 / 7.0
+        } else {
+            0.0
+        }
+    });
+    let x = gen::random_vector_f64(9, 5);
+    let b = gen::random_vector_f64(9, 6);
+    let receipt = serve_sparse(&a, &x, Some(&b), w);
+    let direct = sparse::multiply_mv_block_sparse(&a, &x, Some(&b), w).unwrap();
+    assert_eq!(receipt.output, JobOutput::Vector(direct.outcome.y));
+    assert!(receipt.prediction_exact());
+    assert_eq!(direct.nonzero_blocks, 1);
+    // 3 anchor blocks + 1 extra for the non-zero off-anchor block.
+    assert_eq!(direct.appended_blocks, 4);
+    assert_eq!(receipt.measured_cycles, direct.outcome.cycles);
+}
+
+#[test]
+fn matrices_narrower_than_the_array_flow_through_the_sparse_path() {
+    // m < w and n < w: a single partially-filled block.
+    for (n, m, w) in [(2usize, 2usize, 4usize), (5, 2, 4), (1, 3, 5), (3, 1, 2)] {
+        let a = gen::random_dense_f64(n, m, (n * 10 + m) as u64);
+        let x = gen::random_vector_f64(m, (n + m) as u64);
+        let receipt = serve_sparse(&a, &x, None, w);
+        let direct = sparse::multiply_mv_block_sparse(&a, &x, None, w).unwrap();
+        assert_eq!(
+            receipt.output,
+            JobOutput::Vector(direct.outcome.y),
+            "n={n} m={m} w={w}"
+        );
+        assert!(receipt.prediction_exact(), "n={n} m={m} w={w}");
+        assert_eq!(receipt.measured_cycles, direct.outcome.cycles);
+    }
+}
+
+#[test]
+fn sparse_and_dense_jobs_agree_through_the_farm() {
+    let w = 3;
+    let pattern = gen::block_sparse_f64(12, 12, w, 0.4, 21);
+    let x = gen::random_vector_f64(12, 22);
+    let farm = ArrayFarm::new(FarmConfig::new(w)).unwrap();
+    let t_sparse = farm
+        .submit(Job::block_sparse_mv(pattern.clone(), x.clone()))
+        .unwrap();
+    let t_dense = farm
+        .submit(Job::dense_mv(pattern.clone(), x.clone()))
+        .unwrap();
+    let sparse_receipt = t_sparse.wait().unwrap();
+    let dense_receipt = t_dense.wait().unwrap();
+    drop(farm);
+    // Same numerical answer, fewer array steps for the sparse path.
+    let sparse_y = sparse_receipt.output.as_vector().unwrap();
+    let dense_y = dense_receipt.output.as_vector().unwrap();
+    assert!(size_independent_systolic::matrix::vector::approx_eq(
+        sparse_y, dense_y, 1e-9
+    ));
+    assert!(sparse_receipt.measured_cycles <= dense_receipt.measured_cycles);
+    assert!(sparse_receipt.prediction_exact());
+    assert!(dense_receipt.prediction_exact());
+}

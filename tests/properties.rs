@@ -16,10 +16,12 @@
 //! ([`sia_matrix::rng::SplitMix64`]): every test sweeps a fixed number of
 //! seeded random shapes, so failures reproduce exactly.
 
+use sia_matrix::rng::SplitMix64;
+use size_independent_systolic::dbt::{ext, sparse};
 use size_independent_systolic::dbt::{multiply_mm_batch, multiply_mv_batch, MmProblem, MvProblem};
 use size_independent_systolic::prelude::*;
+use size_independent_systolic::runtime::{JobOutput, JobTicket};
 use size_independent_systolic::sim::{HexJob, LinearArray, MvStream, YInjection};
-use sia_matrix::rng::SplitMix64;
 use std::collections::HashSet;
 
 const CASES: usize = 48;
@@ -42,7 +44,9 @@ fn dbt_band_holds_every_element_exactly_once() {
         let nbar = n.div_ceil(w);
         let mbar = m.div_ceil(w);
         for (i, j, v) in dbt.band().iter() {
-            let (oi, oj) = dbt.source_of(i, j).expect("stored positions have provenance");
+            let (oi, oj) = dbt
+                .source_of(i, j)
+                .expect("stored positions have provenance");
             assert_eq!(v, a.at_padded(oi, oj), "n={n} m={m} w={w}");
             assert!(
                 seen.insert((oi, oj)),
@@ -189,7 +193,10 @@ fn mm_engine_agrees_with_analytic_predictions_including_feedback() {
         let delays = outcome.feedback.distinct_storage_cycles();
         assert!(delays.iter().all(|&d| d >= w), "delays {delays:?} w={w}");
         if shape.pbar() > 1 && w > 1 {
-            assert!(delays.contains(&w), "delays {delays:?} should contain w={w}");
+            assert!(
+                delays.contains(&w),
+                "delays {delays:?} should contain w={w}"
+            );
         }
     }
 }
@@ -251,6 +258,160 @@ fn mv_batch_is_outcome_identical_to_sequential_runs() {
             assert_eq!(batched.efficiency, solo.efficiency);
             assert_eq!(batched.activity, solo.activity);
             assert_eq!(batched.feedback, solo.feedback);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler properties: under every policy and worker count, every submitted
+// job completes exactly once with results identical to the direct solver
+// call.
+// ---------------------------------------------------------------------------
+
+/// Draws a random mixed job and computes its reference result through the
+/// direct (non-farm) solver call.
+fn random_job_with_reference(
+    rng: &mut SplitMix64,
+    w: usize,
+) -> (size_independent_systolic::runtime::Job, JobOutput) {
+    use size_independent_systolic::runtime::Job;
+    let n = rng.range_usize(1, 9);
+    let m = rng.range_usize(1, 9);
+    match rng.range_usize(0, 5) {
+        0 => {
+            let p = rng.range_usize(1, 9);
+            let a = gen::random_dense_f64(n, p, rng.next_u64());
+            let b = gen::random_dense_f64(p, m, rng.next_u64());
+            let reference = multiply_mm(&a, &b, None, w).unwrap().c;
+            (Job::dense_mm(a, b), JobOutput::Matrix(reference))
+        }
+        1 => {
+            let a = gen::random_dense_f64(n, m, rng.next_u64());
+            let x = gen::random_vector_f64(m, rng.next_u64());
+            let schedule = if rng.next_bool(0.5) {
+                MvSchedule::Overlapped
+            } else {
+                MvSchedule::Simple
+            };
+            let reference = multiply_mv(&a, &x, None, w, schedule).unwrap().y;
+            (
+                Job::DenseMv {
+                    a,
+                    x,
+                    b: None,
+                    schedule,
+                },
+                JobOutput::Vector(reference),
+            )
+        }
+        2 => {
+            let a = gen::block_sparse_f64(n, m, w, rng.range_f64(0.0, 1.0), rng.next_u64());
+            let x = gen::random_vector_f64(m, rng.next_u64());
+            let reference = sparse::multiply_mv_block_sparse(&a, &x, None, w)
+                .unwrap()
+                .outcome
+                .y;
+            (Job::block_sparse_mv(a, x), JobOutput::Vector(reference))
+        }
+        3 => {
+            let lower = rng.next_bool(0.5);
+            let a = if lower {
+                gen::lower_triangular_f64(n, rng.next_u64())
+            } else {
+                gen::lower_triangular_f64(n, rng.next_u64()).transpose()
+            };
+            let c = gen::random_vector_f64(n, rng.next_u64());
+            let reference = if lower {
+                ext::solve_lower(&a, &c, w).unwrap().x
+            } else {
+                ext::solve_upper(&a, &c, w).unwrap().x
+            };
+            (
+                Job::TriangularSolve { a, c, lower },
+                JobOutput::Vector(reference),
+            )
+        }
+        _ => {
+            let a = gen::diagonally_dominant_f64(n, rng.next_u64());
+            let b = gen::random_vector_f64(n, rng.next_u64());
+            let reference = ext::gauss_seidel(&a, &b, w, 1e-9, 200).unwrap().x;
+            (
+                Job::GaussSeidel {
+                    a,
+                    b,
+                    tol: 1e-9,
+                    max_sweeps: 200,
+                },
+                JobOutput::Vector(reference),
+            )
+        }
+    }
+}
+
+#[test]
+fn farm_serves_every_job_exactly_once_with_direct_call_results() {
+    let w = 3;
+    let mut rng = SplitMix64::new(0xFA23);
+    for policy in Policy::ALL {
+        for workers in 1..=8usize {
+            // `workers` of each class, so every job kind is servable at
+            // every count.
+            let farm = ArrayFarm::new(
+                FarmConfig::new(w)
+                    .hex_workers(workers)
+                    .linear_workers(workers)
+                    .policy(policy),
+            )
+            .unwrap();
+            let jobs: Vec<_> = (0..10)
+                .map(|_| random_job_with_reference(&mut rng, w))
+                .collect();
+            let tickets: Vec<(JobTicket, &JobOutput)> = jobs
+                .iter()
+                .map(|(job, reference)| {
+                    let spec = JobSpec::new(job.clone())
+                        .priority((rng.range_usize(0, 3)) as u8)
+                        .deadline(std::time::Duration::from_millis(
+                            rng.range_usize(1, 100) as u64
+                        ));
+                    (farm.submit(spec).unwrap(), reference)
+                })
+                .collect();
+            let mut seen_ids = HashSet::new();
+            for (ticket, reference) in tickets {
+                let id = ticket.id();
+                let receipt = ticket
+                    .wait()
+                    .unwrap_or_else(|e| panic!("policy {} workers {workers}: {e}", policy.label()));
+                assert_eq!(receipt.id, id);
+                assert!(
+                    seen_ids.insert(receipt.id),
+                    "job {id} delivered twice (policy {}, workers {workers})",
+                    policy.label()
+                );
+                // Bit-identical to the direct solver call.
+                assert_eq!(
+                    &receipt.output,
+                    reference,
+                    "policy {} workers {workers} job {id} ({:?})",
+                    policy.label(),
+                    receipt.kind
+                );
+                // Exact closed-form predictions are always met exactly.
+                if receipt.predicted.exact {
+                    assert_eq!(
+                        receipt.predicted.cycles,
+                        receipt.measured_cycles,
+                        "policy {} workers {workers} job {id} ({:?})",
+                        policy.label(),
+                        receipt.kind
+                    );
+                }
+            }
+            let telemetry = farm.shutdown();
+            assert_eq!(telemetry.submitted, 10);
+            assert_eq!(telemetry.completed(), 10, "every job served exactly once");
+            assert_eq!(telemetry.workers.len(), 2 * workers);
         }
     }
 }
