@@ -1,0 +1,65 @@
+//! A counting wrapper around the system allocator.
+//!
+//! The zero-allocation steady-state claim of the simulation engines
+//! (`sia-sim`'s `run_with` workspaces) is *proved*, not just asserted: the
+//! allocation test installs [`CountingAllocator`] as the global allocator,
+//! warms a workspace, and checks that the counter does not move across
+//! repeated runs.  The perf harness (`paper_experiments --json`) installs
+//! it too and reports allocations-per-job for the serving runtime.
+//!
+//! This is the only crate in the workspace that contains `unsafe` code —
+//! the single `GlobalAlloc` impl below, which forwards verbatim to
+//! [`System`] and only adds relaxed atomic counting.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A `#[global_allocator]`-installable allocator that counts every
+/// allocation (including reallocations) and forwards to the system
+/// allocator.  When it is *not* installed, [`allocation_count`] simply
+/// stays at zero.
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Total heap allocations since process start, **process-wide** (all
+/// threads).  Zero when [`CountingAllocator`] is not the global allocator.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The test binary does not install the allocator, so the counter is
+    // inert — which is itself the documented behaviour.
+    #[test]
+    fn counter_is_zero_when_not_installed() {
+        let before = allocation_count();
+        let v: Vec<u64> = (0..1024).collect();
+        assert_eq!(v.len(), 1024);
+        assert_eq!(allocation_count(), before);
+    }
+}

@@ -7,9 +7,18 @@
 //! ```
 
 use sia_bench::harness::BenchGroup;
-use sia_dbt::{accumulation_plan, build_a_hat, multiply_mm, multiply_mm_batch, MmProblem, MmShape};
+use sia_dbt::{
+    accumulation_plan, build_a_hat, multiply_mm, multiply_mm_batch, multiply_mm_on, MmProblem,
+    MmShape,
+};
 use sia_matrix::gen;
+use sia_sim::ArrayStation;
 
+/// The main sweep measures the **steady-state serving path** — the solver
+/// on a persistent, warmed [`ArrayStation`], exactly how a `sia-runtime`
+/// worker serves every job since the zero-allocation rework.  The
+/// `mm_reuse_vs_fresh` group below isolates what the reuse buys over a
+/// from-scratch call.
 fn bench_mm() {
     let mut group = BenchGroup::new("mm_hexagonal_array").sample_size(10);
     for (w, n, p, m) in [
@@ -23,10 +32,30 @@ fn bench_mm() {
     ] {
         let a = gen::random_dense_f64(n, p, 11);
         let b = gen::random_dense_f64(p, m, 12);
+        let mut station = ArrayStation::new(w).unwrap();
+        multiply_mm_on(&mut station, &a, &b, None).unwrap(); // warm-up
         group.bench(&format!("w{w}_{n}x{p}x{m}"), || {
-            multiply_mm(&a, &b, None, w).unwrap()
+            multiply_mm_on(&mut station, &a, &b, None).unwrap()
         });
     }
+}
+
+/// One shape, two serving disciplines: a fresh station (workspace built
+/// and dropped) per call — the only path before the workspace rework —
+/// versus the warm steady state.
+fn bench_reuse_vs_fresh() {
+    let mut group = BenchGroup::new("mm_reuse_vs_fresh").sample_size(10);
+    let (w, n, p, m) = (4usize, 16usize, 16usize, 16usize);
+    let a = gen::random_dense_f64(n, p, 11);
+    let b = gen::random_dense_f64(p, m, 12);
+    group.bench("fresh_w4_16x16x16", || {
+        multiply_mm(&a, &b, None, w).unwrap()
+    });
+    let mut station = ArrayStation::new(w).unwrap();
+    multiply_mm_on(&mut station, &a, &b, None).unwrap(); // warm-up
+    group.bench("steady_w4_16x16x16", || {
+        multiply_mm_on(&mut station, &a, &b, None).unwrap()
+    });
 }
 
 fn bench_operand_construction() {
@@ -81,6 +110,7 @@ fn bench_batch() {
 
 fn main() {
     bench_mm();
+    bench_reuse_vs_fresh();
     bench_operand_construction();
     bench_batch();
 }

@@ -8,8 +8,9 @@
 //! ```
 
 use sia_bench::harness::BenchGroup;
-use sia_dbt::{multiply_mv, multiply_mv_batch, DbtByRows, MvProblem, MvSchedule};
+use sia_dbt::{multiply_mv, multiply_mv_batch, multiply_mv_on, DbtByRows, MvProblem, MvSchedule};
 use sia_matrix::gen;
+use sia_sim::ArrayStation;
 
 fn bench_transformation() {
     let mut group = BenchGroup::new("dbt_by_rows_transform");
@@ -24,6 +25,11 @@ fn bench_transformation() {
     }
 }
 
+/// The main sweeps measure the **steady-state serving path** — the solver
+/// on a persistent, warmed [`ArrayStation`], exactly how a `sia-runtime`
+/// worker serves every job since the zero-allocation rework.  The
+/// `mv_reuse_vs_fresh` group below isolates what the reuse buys over a
+/// from-scratch call.
 fn bench_mv_simple() {
     let mut group = BenchGroup::new("mv_simple_schedule").sample_size(10);
     for (w, n, m) in [
@@ -35,8 +41,10 @@ fn bench_mv_simple() {
     ] {
         let a = gen::random_dense_f64(n, m, 2);
         let x = gen::random_vector_f64(m, 3);
+        let mut station = ArrayStation::new(w).unwrap();
+        multiply_mv_on(&mut station, &a, &x, None, MvSchedule::Simple).unwrap(); // warm-up
         group.bench(&format!("w{w}_{n}x{m}"), || {
-            multiply_mv(&a, &x, None, w, MvSchedule::Simple).unwrap()
+            multiply_mv_on(&mut station, &a, &x, None, MvSchedule::Simple).unwrap()
         });
     }
 }
@@ -51,10 +59,28 @@ fn bench_mv_overlapped() {
     ] {
         let a = gen::random_dense_f64(n, m, 4);
         let x = gen::random_vector_f64(m, 5);
+        let mut station = ArrayStation::new(w).unwrap();
+        multiply_mv_on(&mut station, &a, &x, None, MvSchedule::Overlapped).unwrap(); // warm-up
         group.bench(&format!("w{w}_{n}x{m}"), || {
-            multiply_mv(&a, &x, None, w, MvSchedule::Overlapped).unwrap()
+            multiply_mv_on(&mut station, &a, &x, None, MvSchedule::Overlapped).unwrap()
         });
     }
+}
+
+/// One shape, fresh-per-call versus warm steady state (see `mm_bench`).
+fn bench_reuse_vs_fresh() {
+    let mut group = BenchGroup::new("mv_reuse_vs_fresh").sample_size(10);
+    let (w, n, m) = (8usize, 128usize, 128usize);
+    let a = gen::random_dense_f64(n, m, 2);
+    let x = gen::random_vector_f64(m, 3);
+    group.bench("fresh_w8_128x128", || {
+        multiply_mv(&a, &x, None, w, MvSchedule::Simple).unwrap()
+    });
+    let mut station = ArrayStation::new(w).unwrap();
+    multiply_mv_on(&mut station, &a, &x, None, MvSchedule::Simple).unwrap(); // warm-up
+    group.bench("steady_w8_128x128", || {
+        multiply_mv_on(&mut station, &a, &x, None, MvSchedule::Simple).unwrap()
+    });
 }
 
 fn bench_batch() {
@@ -89,5 +115,6 @@ fn main() {
     bench_transformation();
     bench_mv_simple();
     bench_mv_overlapped();
+    bench_reuse_vs_fresh();
     bench_batch();
 }

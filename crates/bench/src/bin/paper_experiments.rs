@@ -5,20 +5,29 @@
 //! cargo run -p sia-bench --release --bin paper_experiments
 //! ```
 //!
-//! With `--json [DIR]` the binary instead benchmarks the mm/mv sweeps and
-//! the array farm, writing `BENCH_mm.json` / `BENCH_mv.json` (shape,
-//! measured and predicted cycles, wall-time, throughput) and
-//! `BENCH_throughput.json` (farm jobs/sec and latency percentiles per
-//! scheduling policy) into `DIR` (default: the current directory), so the
-//! perf trajectory can be tracked across PRs:
+//! With `--json [DIR]` the binary instead benchmarks the mm/mv sweeps
+//! (steady state, on warm stations) and the array farm, writing
+//! `BENCH_mm.json` / `BENCH_mv.json` (shape, measured and predicted
+//! cycles, wall-time, allocations per solve, throughput) and
+//! `BENCH_throughput.json` (farm jobs/sec — cold and steady —
+//! allocations per job and latency percentiles per scheduling policy)
+//! into `DIR` (default: the current directory), so the perf trajectory can
+//! be tracked across PRs:
 //!
 //! ```text
 //! cargo run -p sia-bench --release --bin paper_experiments -- --json
 //! ```
 
+use sia_alloc::CountingAllocator;
 use sia_bench::{experiments, perf};
 use std::path::Path;
 use std::process::ExitCode;
+
+/// Counting allocator so `--json` can report allocations-per-job for the
+/// serving runtime (and per-solve for the sweeps); outside this binary the
+/// counter simply stays at zero.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

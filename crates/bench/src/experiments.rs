@@ -367,11 +367,11 @@ const THROUGHPUT_JOBS: usize = 46;
 pub struct ThroughputStats {
     /// Policy under test.
     pub policy: Policy,
-    /// Jobs served.
+    /// Jobs served in the first (cold) burst.
     pub jobs: usize,
-    /// Wall time from first submission to last receipt.
+    /// Wall time from first submission to last receipt (cold burst).
     pub wall: Duration,
-    /// Sustained completion rate.
+    /// Sustained completion rate of the cold burst.
     pub jobs_per_sec: f64,
     /// Median end-to-end latency (queue + service).
     pub p50: Duration,
@@ -386,6 +386,14 @@ pub struct ThroughputStats {
     pub max_queue_depth: usize,
     /// Jobs stolen by idle workers.
     pub steals: u64,
+    /// Completion rate of a second, identical burst on the same farm — the
+    /// **steady state**, with every worker's station workspaces warm.
+    pub steady_jobs_per_sec: f64,
+    /// Process-wide heap allocations per job during the steady burst
+    /// (submission payloads, receipts and channels included; the engines
+    /// themselves allocate nothing).  Zero when the counting allocator of
+    /// `sia-alloc` is not installed — `paper_experiments` installs it.
+    pub allocs_per_job: f64,
 }
 
 /// The deterministic skewed job mix: many small matrix–vector jobs, a few
@@ -431,7 +439,10 @@ fn percentile(sorted: &[Duration], q: f64) -> Duration {
 }
 
 /// Drives the mixed-job burst through a one-hex/one-linear farm under the
-/// given policy and measures sustained throughput and latency percentiles.
+/// given policy and measures sustained throughput and latency percentiles;
+/// then drives a second, identical burst through the **same** farm — every
+/// worker's station workspaces now warm — to measure steady-state
+/// throughput and allocations per job.
 ///
 /// Coalescing is disabled so the rows isolate the *ordering* effect of the
 /// policy; single workers per class make the service order fully
@@ -443,23 +454,34 @@ pub fn measure_throughput(policy: Policy) -> ThroughputStats {
             .coalesce_limit(1),
     )
     .expect("farm construction");
-    let jobs = throughput_job_mix();
-    debug_assert_eq!(jobs.len(), THROUGHPUT_JOBS);
-    let n = jobs.len();
-    let start = Instant::now();
-    let tickets: Vec<_> = jobs
-        .into_iter()
-        .map(|spec| farm.submit(spec).expect("admission"))
-        .collect();
-    let receipts: Vec<_> = tickets
-        .into_iter()
-        .map(|t| t.wait().expect("job served"))
-        .collect();
-    let wall = start.elapsed();
-    let telemetry = farm.shutdown();
+    let run_burst = |jobs: Vec<JobSpec>| {
+        let start = Instant::now();
+        let tickets: Vec<_> = jobs
+            .into_iter()
+            .map(|spec| farm.submit(spec).expect("admission"))
+            .collect();
+        let receipts: Vec<_> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("job served"))
+            .collect();
+        (start.elapsed(), receipts)
+    };
+
+    // Cold burst: the numbers every previous PR reported.
+    let (wall, receipts) = run_burst(throughput_job_mix());
+    let n = receipts.len();
+    debug_assert_eq!(n, THROUGHPUT_JOBS);
     let mut latencies: Vec<Duration> = receipts.iter().map(|r| r.latency()).collect();
     latencies.sort();
     let exact = receipts.iter().filter(|r| r.prediction_exact()).count();
+
+    // Steady burst: same jobs, warm stations, counted allocations.
+    let allocs_before = sia_alloc::allocation_count();
+    let (steady_wall, steady_receipts) = run_burst(throughput_job_mix());
+    let allocs_after = sia_alloc::allocation_count();
+    debug_assert_eq!(steady_receipts.len(), n);
+
+    let telemetry = farm.shutdown();
     ThroughputStats {
         policy,
         jobs: n,
@@ -471,6 +493,8 @@ pub fn measure_throughput(policy: Policy) -> ThroughputStats {
         exact_fraction: exact as f64 / n as f64,
         max_queue_depth: telemetry.max_queue_depth(),
         steals: telemetry.steals,
+        steady_jobs_per_sec: n as f64 / steady_wall.as_secs_f64(),
+        allocs_per_job: (allocs_after - allocs_before) as f64 / n as f64,
     }
 }
 
@@ -506,6 +530,8 @@ fn throughput_attempt() -> (bool, Table) {
         "policy",
         "jobs",
         "jobs/s",
+        "steady j/s",
+        "allocs/job",
         "p50 ms",
         "p95 ms",
         "p99 ms",
@@ -528,6 +554,8 @@ fn throughput_attempt() -> (bool, Table) {
             policy.label().to_string(),
             stats.jobs.to_string(),
             format!("{:.0}", stats.jobs_per_sec),
+            format!("{:.0}", stats.steady_jobs_per_sec),
+            format!("{:.1}", stats.allocs_per_job),
             format!("{:.3}", stats.p50.as_secs_f64() * 1e3),
             format!("{:.3}", stats.p95.as_secs_f64() * 1e3),
             format!("{:.3}", stats.p99.as_secs_f64() * 1e3),

@@ -2,17 +2,21 @@
 //!
 //! `paper_experiments --json` emits `BENCH_mm.json` / `BENCH_mv.json`, one
 //! record per swept shape (the shape itself, measured and predicted cycle
-//! counts, simulator wall-time and throughput), plus `BENCH_throughput.json`
-//! with the array farm's serving metrics per policy.  Future PRs diff these
-//! files to track the engine's speed over time.  The JSON is written by
-//! hand — the build environment has no crates.io access, and the schema is
-//! flat enough that serde would be overkill anyway.
+//! counts, **steady-state** wall-time on a warm station, per-solve
+//! allocations, and throughput), plus `BENCH_throughput.json` with the
+//! array farm's serving metrics per policy — including steady-state
+//! jobs/sec and allocations per job measured under the counting allocator
+//! the `paper_experiments` binary installs.  Future PRs diff these files
+//! to track the engine's speed over time.  The JSON is written by hand —
+//! the build environment has no crates.io access, and the schema is flat
+//! enough that serde would be overkill anyway.
 
 use crate::experiments::{measure_throughput, ThroughputStats};
 use crate::harness::BenchGroup;
-use sia_dbt::{multiply_mm, multiply_mv, MmShape, MvSchedule, MvShape};
+use sia_dbt::{multiply_mm_on, multiply_mv_on, MmShape, MvSchedule, MvShape};
 use sia_matrix::gen;
 use sia_runtime::Policy;
+use sia_sim::ArrayStation;
 
 /// One benchmarked shape: cycle counts plus wall-clock cost.
 #[derive(Debug, Clone)]
@@ -31,10 +35,17 @@ pub struct PerfRecord {
     pub cycles_measured: usize,
     /// The paper's closed-form step count.
     pub cycles_predicted: usize,
-    /// Median wall-time of one full solve (transform + simulate + extract).
+    /// Median wall-time of one full solve (transform + simulate + extract)
+    /// in the steady state: the solver runs on a persistent warm
+    /// [`ArrayStation`], the way the serving runtime executes it.
     pub wall_ns: f64,
     /// Simulated array steps per second of wall time.
     pub steps_per_second: f64,
+    /// Mean heap allocations per solve during the timed samples
+    /// (transform + extraction payloads; the engine itself allocates
+    /// nothing once warm).  Zero when the counting allocator is not
+    /// installed.
+    pub allocs_per_solve: f64,
 }
 
 impl PerfRecord {
@@ -48,7 +59,8 @@ impl PerfRecord {
     }
 }
 
-/// Benchmarks the matrix–matrix sweep and returns one record per shape.
+/// Benchmarks the matrix–matrix sweep (steady state: one warm station per
+/// shape) and returns one record per shape.
 pub fn mm_perf_records() -> Vec<PerfRecord> {
     let mut group = BenchGroup::new("json_mm").sample_size(5);
     let mut records = Vec::new();
@@ -61,10 +73,15 @@ pub fn mm_perf_records() -> Vec<PerfRecord> {
     ] {
         let a = gen::random_dense_f64(n, p, 11);
         let b = gen::random_dense_f64(p, m, 12);
-        let outcome = multiply_mm(&a, &b, None, w).expect("mm run");
+        let mut station = ArrayStation::new(w).expect("station");
+        let outcome = multiply_mm_on(&mut station, &a, &b, None).expect("mm run");
+        let mut solves = 0u64;
+        let allocs_before = sia_alloc::allocation_count();
         let stats = group.bench(&format!("w{w}_{n}x{p}x{m}"), || {
-            multiply_mm(&a, &b, None, w).unwrap()
+            solves += 1;
+            multiply_mm_on(&mut station, &a, &b, None).unwrap()
         });
+        let allocs = sia_alloc::allocation_count() - allocs_before;
         records.push(PerfRecord {
             kind: "mm",
             w,
@@ -75,12 +92,14 @@ pub fn mm_perf_records() -> Vec<PerfRecord> {
             cycles_predicted: MmShape { w, n, p, m }.cycles(),
             wall_ns: stats.median_ns,
             steps_per_second: outcome.cycles as f64 / (stats.median_ns / 1e9),
+            allocs_per_solve: allocs as f64 / solves.max(1) as f64,
         });
     }
     records
 }
 
-/// Benchmarks the matrix–vector sweep and returns one record per shape.
+/// Benchmarks the matrix–vector sweep (steady state: one warm station per
+/// shape) and returns one record per shape.
 pub fn mv_perf_records() -> Vec<PerfRecord> {
     let mut group = BenchGroup::new("json_mv").sample_size(5);
     let mut records = Vec::new();
@@ -93,10 +112,16 @@ pub fn mv_perf_records() -> Vec<PerfRecord> {
     ] {
         let a = gen::random_dense_f64(n, m, 2);
         let x = gen::random_vector_f64(m, 3);
-        let outcome = multiply_mv(&a, &x, None, w, MvSchedule::Simple).expect("mv run");
+        let mut station = ArrayStation::new(w).expect("station");
+        let outcome =
+            multiply_mv_on(&mut station, &a, &x, None, MvSchedule::Simple).expect("mv run");
+        let mut solves = 0u64;
+        let allocs_before = sia_alloc::allocation_count();
         let stats = group.bench(&format!("w{w}_{n}x{m}"), || {
-            multiply_mv(&a, &x, None, w, MvSchedule::Simple).unwrap()
+            solves += 1;
+            multiply_mv_on(&mut station, &a, &x, None, MvSchedule::Simple).unwrap()
         });
+        let allocs = sia_alloc::allocation_count() - allocs_before;
         records.push(PerfRecord {
             kind: "mv",
             w,
@@ -107,6 +132,7 @@ pub fn mv_perf_records() -> Vec<PerfRecord> {
             cycles_predicted: MvShape { w, n, m }.cycles(),
             wall_ns: stats.median_ns,
             steps_per_second: outcome.cycles as f64 / (stats.median_ns / 1e9),
+            allocs_per_solve: allocs as f64 / solves.max(1) as f64,
         });
     }
     records
@@ -121,7 +147,7 @@ pub fn to_json(records: &[PerfRecord]) -> String {
                 "  {{\"kind\": \"{}\", \"w\": {}, \"n\": {}, \"p\": {}, \"m\": {}, ",
                 "\"cycles_measured\": {}, \"cycles_predicted\": {}, ",
                 "\"cycle_ratio\": {:.6}, \"wall_ns\": {:.1}, ",
-                "\"steps_per_second\": {:.1}}}"
+                "\"steps_per_second\": {:.1}, \"allocs_per_solve\": {:.1}}}"
             ),
             r.kind,
             r.w,
@@ -133,6 +159,7 @@ pub fn to_json(records: &[PerfRecord]) -> String {
             r.cycle_ratio(),
             r.wall_ns,
             r.steps_per_second,
+            r.allocs_per_solve,
         ));
         out.push_str(if idx + 1 < records.len() { ",\n" } else { "\n" });
     }
@@ -153,7 +180,9 @@ pub fn throughput_to_json(records: &[ThroughputStats]) -> String {
         out.push_str(&format!(
             concat!(
                 "  {{\"policy\": \"{}\", \"jobs\": {}, \"wall_ms\": {:.3}, ",
-                "\"jobs_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, ",
+                "\"jobs_per_sec\": {:.1}, \"steady_jobs_per_sec\": {:.1}, ",
+                "\"allocs_per_job\": {:.1}, ",
+                "\"p50_ms\": {:.3}, \"p95_ms\": {:.3}, ",
                 "\"p99_ms\": {:.3}, \"exact_prediction_fraction\": {:.6}, ",
                 "\"max_queue_depth\": {}, \"steals\": {}}}"
             ),
@@ -161,6 +190,8 @@ pub fn throughput_to_json(records: &[ThroughputStats]) -> String {
             r.jobs,
             r.wall.as_secs_f64() * 1e3,
             r.jobs_per_sec,
+            r.steady_jobs_per_sec,
+            r.allocs_per_job,
             r.p50.as_secs_f64() * 1e3,
             r.p95.as_secs_f64() * 1e3,
             r.p99.as_secs_f64() * 1e3,
@@ -191,12 +222,14 @@ mod tests {
             cycles_predicted: 51,
             wall_ns: 1234.5,
             steps_per_second: 4.1e7,
+            allocs_per_solve: 12.5,
         }];
         let json = to_json(&records);
         assert!(json.starts_with("[\n"));
         assert!(json.ends_with("]\n"));
         assert!(json.contains("\"cycles_measured\": 51"));
         assert!(json.contains("\"cycle_ratio\": 1.000000"));
+        assert!(json.contains("\"allocs_per_solve\": 12.5"));
         // Exactly one record: no trailing comma.
         assert!(!json.contains("},\n]"));
     }
@@ -214,12 +247,16 @@ mod tests {
             exact_fraction: 1.0,
             max_queue_depth: 46,
             steals: 0,
+            steady_jobs_per_sec: 8123.0,
+            allocs_per_job: 97.5,
         }];
         let json = throughput_to_json(&records);
         assert!(json.starts_with("[\n"));
         assert!(json.ends_with("]\n"));
         assert!(json.contains("\"policy\": \"fifo\""));
         assert!(json.contains("\"exact_prediction_fraction\": 1.000000"));
+        assert!(json.contains("\"steady_jobs_per_sec\": 8123.0"));
+        assert!(json.contains("\"allocs_per_job\": 97.5"));
         assert!(!json.contains("},\n]"));
     }
 
@@ -235,6 +272,7 @@ mod tests {
             cycles_predicted: 0,
             wall_ns: 1.0,
             steps_per_second: 1.0,
+            allocs_per_solve: 0.0,
         };
         assert_eq!(r.cycle_ratio(), 0.0);
     }

@@ -23,7 +23,7 @@
 //! `ŷ_{r·m̄+m̄−1}`.
 
 use crate::DbtError;
-use sia_matrix::{triangular, vector, BandMatrix, BlockGrid, DenseMatrix, Scalar};
+use sia_matrix::{vector, BandMatrix, BlockGrid, DenseMatrix, Scalar};
 use sia_sim::YInjection;
 use std::sync::Arc;
 
@@ -84,24 +84,34 @@ impl<T: Scalar> DbtByRows<T> {
         let cols = rows + w - 1;
         let mut band = BandMatrix::new(rows, cols, 0, w - 1)?;
 
+        // Each band row is two contiguous runs of one original row: the
+        // upper-with-diagonal part of block (r, s) in slots 0..w-x and the
+        // strictly-lower part of block (r, (s+1) mod m̄) in slots w-x..w.
+        // Both are slice copies straight out of the dense row storage —
+        // no per-block extraction, no per-element band checks; positions
+        // beyond the (zero-padded) matrix simply stay at the band's zero
+        // initialisation.
+        let (n, m) = (a.rows(), a.cols());
         for k in 0..block_rows {
             let r = k / mbar;
             let s = k % mbar;
-            let block = grid.block(a, r, s)?;
-            let (u, _) = triangular::split(&block);
-            let next = grid.block(a, r, (s + 1) % mbar)?;
-            let (_, l) = triangular::split(&next);
+            let u_col0 = s * w;
+            let l_col0 = ((s + 1) % mbar) * w;
             for x in 0..w {
-                for y in 0..w {
-                    if y >= x {
-                        band.set(k * w + x, k * w + y, u.at(x, y))?;
-                    }
-                    if y < x {
-                        let col = (k + 1) * w + y;
-                        if col < cols {
-                            band.set(k * w + x, col, l.at(x, y))?;
-                        }
-                    }
+                let gi = r * w + x;
+                if gi >= n {
+                    break;
+                }
+                let src = a.row(gi);
+                let dst = band.row_slice_mut(k * w + x);
+                let ucol = u_col0 + x;
+                let u_len = (w - x).min(m.saturating_sub(ucol));
+                if u_len > 0 {
+                    dst[..u_len].copy_from_slice(&src[ucol..ucol + u_len]);
+                }
+                let l_len = x.min(m.saturating_sub(l_col0));
+                if l_len > 0 {
+                    dst[w - x..w - x + l_len].copy_from_slice(&src[l_col0..l_col0 + l_len]);
                 }
             }
         }

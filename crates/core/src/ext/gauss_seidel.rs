@@ -11,8 +11,9 @@ use super::{strip_has_nonzero, triangular::solve_lower, WorkSplit};
 use crate::analytic::MvShape;
 use crate::ext::lu::lu_decompose;
 use crate::ext::triangular::solve_upper;
-use crate::{multiply_mv, DbtError, MvSchedule};
+use crate::{multiply_mv_on, DbtError, MvSchedule};
 use sia_matrix::{vector, DenseMatrix};
+use sia_sim::ArrayStation;
 
 /// Result of a block Gauss–Seidel run.
 #[derive(Debug, Clone)]
@@ -44,6 +45,31 @@ pub fn gauss_seidel(
     tol: f64,
     max_sweeps: usize,
 ) -> Result<GaussSeidelOutcome, DbtError> {
+    if w == 0 {
+        return Err(DbtError::ZeroArraySize);
+    }
+    // Shape validation happens once, inside `gauss_seidel_on`.
+    gauss_seidel_on(&mut ArrayStation::new(w)?, a, b, tol, max_sweeps)
+}
+
+/// [`gauss_seidel`] on a **caller-owned** array station: the two
+/// off-diagonal strip products of every block row and the per-sweep
+/// residual check all run through the station's linear array and its warm
+/// workspace, so the array steps of the iteration — including those of a
+/// run that ultimately fails to converge — are attributed to the station
+/// structurally.
+///
+/// # Errors
+///
+/// Same as [`gauss_seidel`], with the block size taken from `station`.
+pub fn gauss_seidel_on(
+    station: &mut ArrayStation<f64>,
+    a: &DenseMatrix<f64>,
+    b: &[f64],
+    tol: f64,
+    max_sweeps: usize,
+) -> Result<GaussSeidelOutcome, DbtError> {
+    let w = station.size();
     super::validate_square_system(a, b, "b", "gauss-seidel", w)?;
     let n = a.rows();
     let nbar = n.div_ceil(w);
@@ -73,8 +99,13 @@ pub fn gauss_seidel(
             for (col_lo, col_hi) in [(0usize, lo), (hi, n)] {
                 if col_hi > col_lo && strip_has_nonzero(a, lo, hi, col_lo, col_hi) {
                     let strip = a.submatrix(lo, col_lo, hi - lo, col_hi - col_lo);
-                    let product =
-                        multiply_mv(&strip, &x[col_lo..col_hi], None, w, MvSchedule::Simple)?;
+                    let product = multiply_mv_on(
+                        station,
+                        &strip,
+                        &x[col_lo..col_hi],
+                        None,
+                        MvSchedule::Simple,
+                    )?;
                     work.add_run(product.cycles);
                     for (slot, v) in rhs.iter_mut().zip(product.y) {
                         *slot -= v;
@@ -88,7 +119,7 @@ pub fn gauss_seidel(
             x[lo..hi].copy_from_slice(&xb.x);
         }
         // Residual check (one more array product).
-        let ax = multiply_mv(a, &x, None, w, MvSchedule::Simple)?;
+        let ax = multiply_mv_on(station, a, &x, None, MvSchedule::Simple)?;
         work.add_run(ax.cycles);
         residual = vector::max_abs_diff(&ax.y, b).unwrap_or(f64::INFINITY);
         if residual < tol {
@@ -106,12 +137,94 @@ pub fn gauss_seidel(
     })
 }
 
+/// The row-wise **diagonal dominance ratio** of `a`:
+/// `max_i Σ_{j≠i} |a_ij| / |a_ii|`.
+///
+/// For a strictly diagonally dominant matrix this is `< 1` and bounds the
+/// per-sweep error contraction of (block) Gauss–Seidel: the iteration
+/// matrix satisfies `‖M‖∞ ≤ r`, so the error shrinks at least geometrically
+/// with ratio `r` per sweep.  Returns `f64::INFINITY` when a diagonal entry
+/// is zero, and `0.0` for empty or non-square inputs (which the iteration
+/// itself rejects).
+pub fn dominance_ratio(a: &DenseMatrix<f64>) -> f64 {
+    let n = a.rows();
+    if n == 0 || a.cols() != n {
+        return 0.0;
+    }
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        let row = a.row(i);
+        let diag = row[i].abs();
+        let off: f64 = row
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, v)| v.abs())
+            .sum();
+        let ratio = if diag == 0.0 {
+            if off == 0.0 {
+                // An all-zero row contributes nothing to the contraction
+                // model; the solve itself will fail on the singular pivot.
+                continue;
+            }
+            f64::INFINITY
+        } else {
+            off / diag
+        };
+        worst = worst.max(ratio);
+    }
+    worst
+}
+
+/// Estimated number of sweeps [`gauss_seidel`] will need to reach `tol`,
+/// from the diagonal-dominance contraction model (no sweep runs):
+/// starting from `x = 0` the initial residual is exactly `‖b‖∞`, each sweep
+/// contracts the error by at least [`dominance_ratio`] `r`, so the estimate
+/// is the smallest `k` with `r^k · ‖b‖∞ < tol`, clamped to
+/// `[1, max_sweeps]`.  Matrices that are not strictly diagonally dominant
+/// (`r ≥ 1`) carry no geometric guarantee and estimate the full
+/// `max_sweeps` budget.
+///
+/// This replaces the serving runtime's earlier guess of a single sweep:
+/// admission still flags the prediction as inexact (the true count is
+/// data-dependent), but shortest-predicted-first ordering of iterative jobs
+/// now reflects both the per-sweep cost *and* how hard the system is.
+pub fn estimated_sweeps(a: &DenseMatrix<f64>, b: &[f64], tol: f64, max_sweeps: usize) -> usize {
+    if max_sweeps == 0 {
+        return 0;
+    }
+    if tol.is_nan() || tol <= 0.0 {
+        return max_sweeps;
+    }
+    let r = dominance_ratio(a);
+    if r.is_nan() || r >= 1.0 {
+        // No contraction guarantee (or NaN): price the full budget.
+        return max_sweeps;
+    }
+    let b_norm = b.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+    if b_norm < tol {
+        // x = 0 is already within tolerance; the loop still runs one sweep
+        // before it can observe that.
+        return 1;
+    }
+    if r == 0.0 {
+        // Block-diagonal system: one sweep solves it exactly.
+        return 1;
+    }
+    let k = ((tol / b_norm).ln() / r.ln()).ceil();
+    if !k.is_finite() {
+        return max_sweeps;
+    }
+    (k.max(1.0) as usize).min(max_sweeps)
+}
+
 /// Array steps of **one** [`gauss_seidel`] sweep plus its residual check,
-/// without running anything — the per-sweep lower bound the serving
-/// runtime's admission control prices iterative jobs with (the sweep count
-/// itself is data-dependent).  It shares the strip predicate with the sweep
-/// loop, so `work.array_cycles == sweeps * predicted_sweep_cycles(..)`
-/// holds exactly for every converging run.
+/// without running anything — the per-sweep cost the serving runtime's
+/// admission control prices iterative jobs with (scaled by
+/// [`estimated_sweeps`], since the true sweep count is data-dependent).  It
+/// shares the strip predicate with the sweep loop, so
+/// `work.array_cycles == sweeps * predicted_sweep_cycles(..)` holds exactly
+/// for every converging run.
 ///
 /// Degenerate inputs (`w == 0`, empty or non-square `a`) predict 0 — the
 /// iteration itself rejects them.
@@ -181,6 +294,70 @@ mod tests {
             predicted_sweep_cycles(&gen::diagonally_dominant_f64(4, 1), 0),
             0
         );
+    }
+
+    #[test]
+    fn station_variant_attributes_cycles_structurally() {
+        let a = gen::diagonally_dominant_f64(8, 41);
+        let x_true = gen::random_vector_f64(8, 42);
+        let b = a.matvec(&x_true).unwrap();
+        let mut station = ArrayStation::new(3).unwrap();
+        let run = gauss_seidel_on(&mut station, &a, &b, 1e-9, 200).unwrap();
+        let direct = gauss_seidel(&a, &b, 3, 1e-9, 200).unwrap();
+        assert_eq!(run.x, direct.x);
+        assert_eq!(run.work, direct.work);
+        // Every array step of the iteration landed on the station.
+        let stats = station.stats();
+        assert_eq!(stats.linear_cycles, run.work.array_cycles);
+        assert_eq!(stats.linear_runs, run.work.array_runs);
+    }
+
+    #[test]
+    fn dominance_ratio_matches_hand_computed_values() {
+        // Row 0: 1/4, row 1: 3/5 -> worst 0.6.
+        let a = DenseMatrix::from_rows(vec![vec![4.0, 1.0], vec![3.0, 5.0]]).unwrap();
+        assert!((dominance_ratio(&a) - 0.6).abs() < 1e-12);
+        // A zero diagonal entry with off-diagonal mass has no guarantee.
+        let z = DenseMatrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        assert_eq!(dominance_ratio(&z), f64::INFINITY);
+        // Degenerate shapes report 0 (the solvers reject them anyway).
+        assert_eq!(dominance_ratio(&DenseMatrix::zeros(3, 4)), 0.0);
+    }
+
+    #[test]
+    fn estimated_sweeps_upper_bounds_measured_sweeps_on_dominant_systems() {
+        for (n, w, seed) in [(6usize, 2usize, 51u64), (9, 3, 52), (8, 3, 53)] {
+            let a = gen::diagonally_dominant_f64(n, seed);
+            let x_true = gen::random_vector_f64(n, seed + 10);
+            let b = a.matvec(&x_true).unwrap();
+            let run = gauss_seidel(&a, &b, w, 1e-9, 200).unwrap();
+            let est = estimated_sweeps(&a, &b, 1e-9, 200);
+            assert!(
+                est >= run.sweeps,
+                "n={n} w={w}: estimate {est} under-shoots measured {}",
+                run.sweeps
+            );
+            assert!(est <= 200);
+            // Tighter tolerance never estimates fewer sweeps.
+            assert!(estimated_sweeps(&a, &b, 1e-12, 200) >= est);
+        }
+    }
+
+    #[test]
+    fn estimated_sweeps_edge_cases() {
+        let a = gen::diagonally_dominant_f64(4, 61);
+        let b = gen::random_vector_f64(4, 62);
+        // No contraction guarantee: full budget.
+        let hard = DenseMatrix::from_rows(vec![vec![0.1, 1.0], vec![-1.0, 0.1]]).unwrap();
+        assert_eq!(estimated_sweeps(&hard, &[1.0, 1.0], 1e-9, 37), 37);
+        // Zero right-hand side: one sweep confirms convergence.
+        assert_eq!(estimated_sweeps(&a, &[0.0; 4], 1e-9, 100), 1);
+        // Diagonal system: one sweep solves it.
+        let diag = DenseMatrix::from_fn(3, 3, |i, j| if i == j { 2.0 } else { 0.0 });
+        assert_eq!(estimated_sweeps(&diag, &[1.0; 3], 1e-9, 100), 1);
+        // Non-positive tolerance: full budget; zero budget stays zero.
+        assert_eq!(estimated_sweeps(&a, &b, 0.0, 50), 50);
+        assert_eq!(estimated_sweeps(&a, &b, 1e-9, 0), 0);
     }
 
     #[test]

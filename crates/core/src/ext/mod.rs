@@ -20,10 +20,16 @@ mod inverse;
 mod lu;
 mod triangular;
 
-pub use gauss_seidel::{gauss_seidel, predicted_sweep_cycles, GaussSeidelOutcome};
+pub use gauss_seidel::{
+    dominance_ratio, estimated_sweeps, gauss_seidel, gauss_seidel_on, predicted_sweep_cycles,
+    GaussSeidelOutcome,
+};
 pub use inverse::{invert, InverseOutcome};
 pub use lu::{lu_decompose, LuOutcome};
-pub use triangular::{predicted_triangular_cycles, solve_lower, solve_upper, TriangularOutcome};
+pub use triangular::{
+    predicted_triangular_cycles, solve_lower, solve_lower_on, solve_upper, solve_upper_on,
+    TriangularOutcome,
+};
 
 use crate::DbtError;
 use sia_matrix::{DenseMatrix, Scalar};

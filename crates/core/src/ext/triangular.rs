@@ -9,8 +9,9 @@
 
 use super::{strip_has_nonzero, WorkSplit};
 use crate::analytic::MvShape;
-use crate::{multiply_mv, DbtError, MvSchedule};
+use crate::{multiply_mv_on, DbtError, MvSchedule};
 use sia_matrix::{DenseMatrix, Scalar};
+use sia_sim::ArrayStation;
 
 /// Result of a blocked triangular solve.
 #[derive(Debug, Clone)]
@@ -34,7 +35,8 @@ pub fn solve_lower<T: Scalar>(
     c: &[T],
     w: usize,
 ) -> Result<TriangularOutcome<T>, DbtError> {
-    solve(l, c, w, true)
+    super::validate_square_system(l, c, "c", "triangular solve", w)?;
+    solve(&mut ArrayStation::new(w)?, l, c, true)
 }
 
 /// Solves `U·x = c` for an upper-triangular `U` using blocked backward
@@ -48,7 +50,41 @@ pub fn solve_upper<T: Scalar>(
     c: &[T],
     w: usize,
 ) -> Result<TriangularOutcome<T>, DbtError> {
-    solve(u, c, w, false)
+    super::validate_square_system(u, c, "c", "triangular solve", w)?;
+    solve(&mut ArrayStation::new(w)?, u, c, false)
+}
+
+/// [`solve_lower`] on a **caller-owned** array station: every off-diagonal
+/// strip product runs through the station's linear array and its warm
+/// workspace, so the array steps of the solve are attributed to the
+/// station structurally (previously the blocked driver ran them on
+/// transient arrays and the serving runtime back-attributed the total).
+///
+/// # Errors
+///
+/// Same as [`solve_lower`], with the block size taken from `station`.
+pub fn solve_lower_on<T: Scalar>(
+    station: &mut ArrayStation<T>,
+    l: &DenseMatrix<T>,
+    c: &[T],
+) -> Result<TriangularOutcome<T>, DbtError> {
+    super::validate_square_system(l, c, "c", "triangular solve", station.size())?;
+    solve(station, l, c, true)
+}
+
+/// [`solve_upper`] on a **caller-owned** array station; see
+/// [`solve_lower_on`].
+///
+/// # Errors
+///
+/// Same as [`solve_upper`], with the block size taken from `station`.
+pub fn solve_upper_on<T: Scalar>(
+    station: &mut ArrayStation<T>,
+    u: &DenseMatrix<T>,
+    c: &[T],
+) -> Result<TriangularOutcome<T>, DbtError> {
+    super::validate_square_system(u, c, "c", "triangular solve", station.size())?;
+    solve(station, u, c, false)
 }
 
 /// Exact array steps [`solve_lower`] / [`solve_upper`] will spend on the
@@ -84,12 +120,12 @@ pub fn predicted_triangular_cycles<T: Scalar>(a: &DenseMatrix<T>, w: usize, lowe
 }
 
 fn solve<T: Scalar>(
+    station: &mut ArrayStation<T>,
     a: &DenseMatrix<T>,
     c: &[T],
-    w: usize,
     lower: bool,
 ) -> Result<TriangularOutcome<T>, DbtError> {
-    super::validate_square_system(a, c, "c", "triangular solve", w)?;
+    let w = station.size();
     let n = a.rows();
     let nbar = n.div_ceil(w);
     let mut x = vec![T::zero(); n];
@@ -109,7 +145,13 @@ fn solve<T: Scalar>(
         let (known_lo, known_hi) = if lower { (0, lo) } else { (hi, n) };
         if known_hi > known_lo && strip_has_nonzero(a, lo, hi, known_lo, known_hi) {
             let strip = a.submatrix(lo, known_lo, hi - lo, known_hi - known_lo);
-            let outcome = multiply_mv(&strip, &x[known_lo..known_hi], None, w, MvSchedule::Simple)?;
+            let outcome = multiply_mv_on(
+                station,
+                &strip,
+                &x[known_lo..known_hi],
+                None,
+                MvSchedule::Simple,
+            )?;
             work.add_run(outcome.cycles);
             for (slot, v) in rhs.iter_mut().zip(outcome.y) {
                 *slot = *slot - v;
@@ -224,6 +266,29 @@ mod tests {
         assert_eq!(
             predicted_triangular_cycles(&gen::lower_triangular_f64(4, 1), 0, true),
             0
+        );
+    }
+
+    #[test]
+    fn station_variants_attribute_cycles_structurally() {
+        let n = 9;
+        let w = 3;
+        let l = gen::lower_triangular_f64(n, 31);
+        let c = gen::random_vector_f64(n, 32);
+        let mut station = ArrayStation::new(w).unwrap();
+        let run = solve_lower_on(&mut station, &l, &c).unwrap();
+        let direct = solve_lower(&l, &c, w).unwrap();
+        assert_eq!(run.x, direct.x);
+        assert_eq!(run.work, direct.work);
+        assert_eq!(station.stats().linear_cycles, run.work.array_cycles);
+        assert_eq!(station.stats().linear_runs, run.work.array_runs);
+
+        let u = l.transpose();
+        let upper = solve_upper_on(&mut station, &u, &c).unwrap();
+        assert_eq!(upper.x, solve_upper(&u, &c, w).unwrap().x);
+        assert_eq!(
+            station.stats().linear_cycles,
+            run.work.array_cycles + upper.work.array_cycles
         );
     }
 

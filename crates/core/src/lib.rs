@@ -68,10 +68,10 @@ pub use dbt_rows::DbtByRows;
 pub use dbt_transposed::DbtTransposedByRows;
 pub use error::DbtError;
 pub use mm::{
-    accumulation_plan, build_a_hat, build_b_hat, multiply_mm, multiply_mm_batch, multiply_mm_on,
-    validate_mm_args, AccumulationPlan, MmOutcome, MmProblem,
+    accumulation_plan, build_a_hat, build_b_hat, multiply_mm, multiply_mm_batch,
+    multiply_mm_batch_on, multiply_mm_on, validate_mm_args, AccumulationPlan, MmOutcome, MmProblem,
 };
 pub use mv::{
-    multiply_mv, multiply_mv_batch, multiply_mv_on, predicted_mv_cycles, validate_mv_args,
-    MvOutcome, MvProblem, MvSchedule,
+    multiply_mv, multiply_mv_batch, multiply_mv_batch_on, multiply_mv_on, predicted_mv_cycles,
+    validate_mv_args, MvOutcome, MvProblem, MvSchedule,
 };

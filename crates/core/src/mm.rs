@@ -26,8 +26,7 @@
 use crate::analytic::MmShape;
 use crate::DbtError;
 use sia_matrix::{BandMatrix, BlockGrid, DenseMatrix, Scalar};
-use sia_sim::{CInjection, FeedbackSummary, HexArray, HexJob, HexReport};
-use std::collections::HashMap;
+use sia_sim::{ArrayStation, CInjection, FeedbackSummary, HexJob, HexScratch};
 use std::sync::Arc;
 
 /// Result of one size-independent matrix–matrix multiplication.
@@ -313,28 +312,32 @@ pub fn multiply_mm<T: Scalar>(
     if w == 0 {
         return Err(DbtError::ZeroArraySize);
     }
-    multiply_mm_on(&HexArray::new(w)?, a, b, e)
+    multiply_mm_on(&mut ArrayStation::new(w)?, a, b, e)
 }
 
-/// Computes `C = A·B + E` on a **caller-owned** hexagonal array.
+/// Computes `C = A·B + E` on a **caller-owned** array station.
 ///
-/// Identical to [`multiply_mm`] except that the array is provided by the
-/// caller instead of being constructed per call, so long-lived owners (the
-/// `sia-runtime` worker pool keeps one array per worker for its whole
-/// lifetime) route every job through their own persistent array state.
+/// Identical to [`multiply_mm`] except that the array (and its persistent
+/// run workspace) is provided by the caller instead of being constructed
+/// per call: long-lived owners — the `sia-runtime` worker pool keeps one
+/// station per worker for its whole lifetime — route every job through the
+/// same warm [`sia_sim::HexScratch`], so the simulation itself performs no
+/// heap allocation in steady state, and the executed array steps are
+/// recorded in the station's cumulative counters *structurally* (by the run
+/// itself, not by caller-side back-attribution).
 ///
 /// # Errors
 ///
-/// Same as [`multiply_mm`], with the array size taken from `array`.
+/// Same as [`multiply_mm`], with the array size taken from `station`.
 pub fn multiply_mm_on<T: Scalar>(
-    array: &HexArray,
+    station: &mut ArrayStation<T>,
     a: &DenseMatrix<T>,
     b: &DenseMatrix<T>,
     e: Option<&DenseMatrix<T>>,
 ) -> Result<MmOutcome<T>, DbtError> {
-    let (job, finish) = prepare_mm(a, b, e, array.size())?;
-    let report = array.run(&job)?;
-    Ok(finish.complete(report))
+    let (job, finish) = prepare_mm(a, b, e, station.size())?;
+    let scratch = station.run_hex(&job)?;
+    Ok(finish.complete(scratch))
 }
 
 /// One matrix–matrix problem of a batch, by reference.
@@ -351,9 +354,10 @@ pub struct MmProblem<'a, T> {
 /// Computes many independent `C = A·B + E` products on the same `w × w`
 /// array, fanning the **whole pipeline** — operand construction, simulation
 /// and result extraction — out across OS threads per problem
-/// ([`sia_sim::batch::par_map`]), so no serial prepare phase bounds the
-/// speedup.  Outcomes are returned in problem order and are bit-identical
-/// to what [`multiply_mm`] produces for each problem.
+/// ([`sia_sim::batch::par_map_with`], one warm station per thread), so no
+/// serial prepare phase bounds the speedup.  Outcomes are returned in
+/// problem order and are bit-identical to what [`multiply_mm`] produces for
+/// each problem.
 ///
 /// # Errors
 ///
@@ -365,14 +369,34 @@ pub fn multiply_mm_batch<T: Scalar>(
     if w == 0 {
         return Err(DbtError::ZeroArraySize);
     }
-    let array = HexArray::new(w)?;
-    sia_sim::batch::par_map(problems, |p| {
-        let (job, finish) = prepare_mm(p.a, p.b, p.e, w)?;
-        let report = array.run(&job)?;
-        Ok(finish.complete(report))
-    })
+    sia_sim::batch::par_map_with(
+        problems,
+        || ArrayStation::new(w).expect("w validated above"),
+        |station, p| multiply_mm_on(station, p.a, p.b, p.e),
+    )
     .into_iter()
     .collect()
+}
+
+/// Computes a batch of `C = A·B + E` products **serially** on a
+/// caller-owned station — the single-array counterpart of
+/// [`multiply_mm_batch`], used by the serving runtime to run a coalesced
+/// batch through the worker's own warm workspace (every member's steps are
+/// recorded in the station's counters structurally, and the whole batch
+/// performs no engine allocation in steady state).  Outcomes are
+/// bit-identical to per-problem [`multiply_mm`] calls.
+///
+/// # Errors
+///
+/// Stops at and returns the error of the first failing problem, if any.
+pub fn multiply_mm_batch_on<T: Scalar>(
+    station: &mut ArrayStation<T>,
+    problems: &[MmProblem<'_, T>],
+) -> Result<Vec<MmOutcome<T>>, DbtError> {
+    problems
+        .iter()
+        .map(|p| multiply_mm_on(station, p.a, p.b, p.e))
+        .collect()
 }
 
 /// Everything needed to turn a [`HexReport`] back into an [`MmOutcome`]:
@@ -446,8 +470,10 @@ fn prepare_mm<T: Scalar>(
 
     let plan = accumulation_plan(shape)?;
     let chain_members: usize = plan.chains.iter().map(|(_, m)| m.len()).sum();
-    let mut injections: HashMap<(usize, usize), CInjection<T>> =
-        HashMap::with_capacity(chain_members);
+    // Chain members are disjoint across targets, so the flat injection list
+    // never carries duplicates — and costs no hashing to build, which
+    // matters: large problems stage thousands of injections per job.
+    let mut injections: Vec<((usize, usize), CInjection<T>)> = Vec::with_capacity(chain_members);
     let mut final_position: Vec<Option<(usize, usize)>> = vec![None; shape.n * shape.m];
     for (target, members) in &plan.chains {
         let first_value = match e {
@@ -460,7 +486,7 @@ fn prepare_mm<T: Scalar>(
                 None => CInjection::Value(first_value),
                 Some(prev) => CInjection::Feedback { producer: prev },
             };
-            injections.insert(pos, injection);
+            injections.push((pos, injection));
             previous = Some(pos);
         }
         if let (Some(last), true) = (previous, target.0 < shape.n && target.1 < shape.m) {
@@ -483,18 +509,18 @@ fn prepare_mm<T: Scalar>(
 }
 
 impl MmFinish {
-    /// Extracts the dense result from the raw report.
+    /// Extracts the dense result from the engine workspace of the run.
     ///
-    /// The report's output stream is first indexed into a flat
-    /// band-offset-addressed vector, so each of the `n·m` final-chain reads
-    /// is O(1) instead of a linear scan over all outputs.
-    fn complete<T: Scalar>(self, report: HexReport<T>) -> MmOutcome<T> {
+    /// The output stream is first indexed into a flat band-offset-addressed
+    /// vector, so each of the `n·m` final-chain reads is O(1) instead of a
+    /// linear scan over all outputs.
+    fn complete<T: Scalar>(self, scratch: &HexScratch<T>) -> MmOutcome<T> {
         let shape = self.shape;
         let w = shape.w;
         let dim = shape.transformed_dim();
         let band_width = 2 * w - 1;
         let mut value_at: Vec<Option<T>> = vec![None; dim * band_width];
-        for o in &report.outputs {
+        for o in scratch.outputs() {
             value_at[o.row * band_width + (o.col + w - 1 - o.row)] = Some(o.value);
         }
         let mut c = DenseMatrix::zeros(shape.n, shape.m);
@@ -507,13 +533,14 @@ impl MmFinish {
                 c[(gi, gj)] = value;
             }
         }
+        let utilization = scratch.utilization();
         MmOutcome {
             c,
             shape,
-            cycles: report.cycles,
-            efficiency: report.utilization.efficiency(shape.n * shape.m * shape.p),
-            activity: report.utilization.activity(),
-            feedback: report.feedback,
+            cycles: scratch.cycles(),
+            efficiency: utilization.efficiency(shape.n * shape.m * shape.p),
+            activity: utilization.activity(),
+            feedback: scratch.feedback_summary(),
         }
     }
 }

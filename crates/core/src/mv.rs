@@ -21,7 +21,7 @@
 use crate::analytic::MvShape;
 use crate::{DbtByRows, DbtError};
 use sia_matrix::{DenseMatrix, Scalar};
-use sia_sim::{FeedbackSummary, LinearArray, MvStream};
+use sia_sim::{ArrayStation, FeedbackSummary, LinearScratch, MvStream};
 
 /// Which of the paper's two linear-array schedules to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -108,31 +108,34 @@ pub fn multiply_mv<T: Scalar>(
     if w == 0 {
         return Err(DbtError::ZeroArraySize);
     }
-    multiply_mv_on(&LinearArray::new(w)?, a, x, b, schedule)
+    multiply_mv_on(&mut ArrayStation::new(w)?, a, x, b, schedule)
 }
 
-/// Computes `y = A·x + b` on a **caller-owned** linear array.
+/// Computes `y = A·x + b` on a **caller-owned** array station.
 ///
-/// Identical to [`multiply_mv`] except that the array is provided by the
-/// caller instead of being constructed per call, so long-lived owners (the
-/// `sia-runtime` worker pool keeps one array per worker for its whole
-/// lifetime) route every job through their own persistent array state.
+/// Identical to [`multiply_mv`] except that the array (and its persistent
+/// run workspace) is provided by the caller instead of being constructed
+/// per call: long-lived owners — the `sia-runtime` worker pool keeps one
+/// station per worker for its whole lifetime — route every job through the
+/// same warm [`sia_sim::LinearScratch`], so the simulation itself performs
+/// no heap allocation in steady state, and the executed array steps are
+/// recorded in the station's cumulative counters *structurally*.
 ///
 /// # Errors
 ///
-/// Same as [`multiply_mv`], with the array size taken from `array`.
+/// Same as [`multiply_mv`], with the array size taken from `station`.
 pub fn multiply_mv_on<T: Scalar>(
-    array: &LinearArray,
+    station: &mut ArrayStation<T>,
     a: &DenseMatrix<T>,
     x: &[T],
     b: Option<&[T]>,
     schedule: MvSchedule,
 ) -> Result<MvOutcome<T>, DbtError> {
-    let w = array.size();
+    let w = station.size();
     let shape = validate_mv_args(a, x, b, w)?;
     let prepared = prepare_mv(a, x, b, w, shape, schedule)?;
-    let report = array.run(&prepared.streams)?;
-    prepared.finish.complete(report)
+    let scratch = station.run_mv(&prepared.streams)?;
+    prepared.finish.complete(scratch)
 }
 
 /// One matrix–vector problem of a batch, by reference.
@@ -149,9 +152,10 @@ pub struct MvProblem<'a, T> {
 /// Computes many independent `y = A·x + b` products on the same `w`-cell
 /// array with the given schedule, fanning the **whole pipeline** — DBT
 /// transformation, simulation and result extraction — out across OS
-/// threads per problem ([`sia_sim::batch::par_map`]), so no serial prepare
-/// phase bounds the speedup.  Outcomes are returned in problem order and
-/// are bit-identical to what [`multiply_mv`] produces for each problem.
+/// threads per problem ([`sia_sim::batch::par_map_with`], one warm station
+/// per thread), so no serial prepare phase bounds the speedup.  Outcomes
+/// are returned in problem order and are bit-identical to what
+/// [`multiply_mv`] produces for each problem.
 ///
 /// # Errors
 ///
@@ -164,15 +168,33 @@ pub fn multiply_mv_batch<T: Scalar>(
     if w == 0 {
         return Err(DbtError::ZeroArraySize);
     }
-    let array = LinearArray::new(w)?;
-    sia_sim::batch::par_map(problems, |p| {
-        let shape = validate_mv_args(p.a, p.x, p.b, w)?;
-        let prepared = prepare_mv(p.a, p.x, p.b, w, shape, schedule)?;
-        let report = array.run(&prepared.streams)?;
-        prepared.finish.complete(report)
-    })
+    sia_sim::batch::par_map_with(
+        problems,
+        || ArrayStation::new(w).expect("w validated above"),
+        |station, p| multiply_mv_on(station, p.a, p.x, p.b, schedule),
+    )
     .into_iter()
     .collect()
+}
+
+/// Computes a batch of `y = A·x + b` products **serially** on a
+/// caller-owned station — the single-array counterpart of
+/// [`multiply_mv_batch`], used by the serving runtime to run a coalesced
+/// batch through the worker's own warm workspace.  Outcomes are
+/// bit-identical to per-problem [`multiply_mv`] calls.
+///
+/// # Errors
+///
+/// Stops at and returns the error of the first failing problem, if any.
+pub fn multiply_mv_batch_on<T: Scalar>(
+    station: &mut ArrayStation<T>,
+    problems: &[MvProblem<'_, T>],
+    schedule: MvSchedule,
+) -> Result<Vec<MvOutcome<T>>, DbtError> {
+    problems
+        .iter()
+        .map(|p| multiply_mv_on(station, p.a, p.x, p.b, schedule))
+        .collect()
 }
 
 /// Checks the `A`/`x`/`b` dimension contract shared by [`multiply_mv`],
@@ -236,19 +258,37 @@ struct MvFinish<T> {
 }
 
 impl<T: Scalar> MvFinish<T> {
-    fn complete(self, report: sia_sim::LinearReport<T>) -> Result<MvOutcome<T>, DbtError> {
+    fn complete(self, scratch: &LinearScratch<T>) -> Result<MvOutcome<T>, DbtError> {
         let mut y = Vec::with_capacity(self.shape.n);
+        // One pass over the output stream per stream, indexed by band row —
+        // no sort (band rows exit in increasing order, but the fill is
+        // order-independent anyway).
+        let mut y_hat: Vec<T> = Vec::new();
         for (stream, dbt) in self.dbts.iter().enumerate() {
-            y.extend(dbt.extract_y(&report.y(stream))?);
+            y_hat.clear();
+            y_hat.resize(dbt.band().rows(), T::zero());
+            let produced = scratch.collect_y_into(stream, &mut y_hat);
+            // A complete run produces every band row exactly once; anything
+            // else (a safety-net break on a malformed schedule) must stay a
+            // loud error, not silent zeros in the result.
+            if produced != dbt.band().rows() {
+                return Err(DbtError::VectorLength {
+                    what: "y_hat",
+                    expected: dbt.band().rows(),
+                    found: produced,
+                });
+            }
+            y.extend(dbt.extract_y(&y_hat)?);
         }
+        let utilization = scratch.utilization();
         Ok(MvOutcome {
             y,
             shape: self.shape,
             schedule: self.schedule,
-            cycles: report.cycles,
-            efficiency: report.utilization.efficiency(self.shape.n * self.shape.m),
-            activity: report.utilization.activity(),
-            feedback: report.feedback,
+            cycles: scratch.cycles(),
+            efficiency: utilization.efficiency(self.shape.n * self.shape.m),
+            activity: utilization.activity(),
+            feedback: scratch.feedback_summaries(),
         })
     }
 }

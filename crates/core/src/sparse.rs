@@ -13,7 +13,7 @@
 
 use crate::{DbtError, MvOutcome, MvSchedule};
 use sia_matrix::{triangular, vector, BandMatrix, BlockGrid, DenseMatrix, Scalar};
-use sia_sim::{LinearArray, MvStream, YInjection};
+use sia_sim::{ArrayStation, MvStream, YInjection};
 
 /// Result of a block-sparse matrix–vector multiplication, with the block
 /// statistics needed by the sparsity experiment.
@@ -156,23 +156,24 @@ pub fn multiply_mv_block_sparse<T: Scalar>(
     if w == 0 {
         return Err(DbtError::ZeroArraySize);
     }
-    multiply_mv_block_sparse_on(&LinearArray::new(w)?, a, x, b)
+    multiply_mv_block_sparse_on(&mut ArrayStation::new(w)?, a, x, b)
 }
 
 /// Computes `y = A·x + b` skipping all-zero blocks, on a **caller-owned**
-/// linear array (the serving runtime keeps one array per worker).
+/// array station (the serving runtime keeps one station per worker; the
+/// run reuses its warm workspace and records its steps structurally).
 ///
 /// # Errors
 ///
 /// Same as [`multiply_mv_block_sparse`], with the array size taken from
-/// `array`.
+/// `station`.
 pub fn multiply_mv_block_sparse_on<T: Scalar>(
-    array: &LinearArray,
+    station: &mut ArrayStation<T>,
     a: &DenseMatrix<T>,
     x: &[T],
     b: Option<&[T]>,
 ) -> Result<SparseMvOutcome<T>, DbtError> {
-    let w = array.size();
+    let w = station.size();
     let shape = crate::validate_mv_args(a, x, b, w)?;
     let grid = BlockGrid::new(a.rows(), a.cols(), w)?;
     let (nbar, mbar) = (grid.block_rows(), grid.block_cols());
@@ -250,19 +251,30 @@ pub fn multiply_mv_block_sparse_on<T: Scalar>(
         x: x_hat,
         y_injections: injections,
     };
-    let report = array.run(&[stream])?;
-    let y_hat = report.y(0);
+    let scratch = station.run_mv(&[stream])?;
+    let mut y_hat = vec![T::zero(); rows];
+    let produced = scratch.collect_y_into(0, &mut y_hat);
+    // Same guard as the dense path: an incomplete run must error loudly,
+    // never read as zeros.
+    if produced != rows {
+        return Err(DbtError::VectorLength {
+            what: "y_hat",
+            expected: rows,
+            found: produced,
+        });
+    }
     let y: Vec<T> = result_rows.iter().map(|&row| y_hat[row]).collect();
+    let utilization = scratch.utilization();
 
     Ok(SparseMvOutcome {
         outcome: MvOutcome {
             y,
             shape,
             schedule: MvSchedule::Simple,
-            cycles: report.cycles,
-            efficiency: report.utilization.efficiency(shape.n * shape.m),
-            activity: report.utilization.activity(),
-            feedback: report.feedback,
+            cycles: scratch.cycles(),
+            efficiency: utilization.efficiency(shape.n * shape.m),
+            activity: utilization.activity(),
+            feedback: scratch.feedback_summaries(),
         },
         nonzero_blocks: plan.nonzero_blocks,
         appended_blocks: total_kept,

@@ -293,6 +293,25 @@ impl<T: Scalar> BandMatrix<T> {
         &self.data[i * width..(i + 1) * width]
     }
 
+    /// Mutable borrow of the stored slots of row `i` (see
+    /// [`BandMatrix::row_slice`] for the slot layout).
+    ///
+    /// Like [`BandMatrix::copy_row_block`], this bypasses the per-element
+    /// band check of [`BandMatrix::set`]: the caller must only write slots
+    /// whose column is inside the matrix (true for every slot of the full
+    /// DBT bands the transformation builders fill through this).  It is the
+    /// zero-copy *construction* path matching the simulators' zero-copy
+    /// read path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the matrix.
+    #[inline]
+    pub fn row_slice_mut(&mut self, i: usize) -> &mut [T] {
+        let width = self.shape.bandwidth();
+        &mut self.data[i * width..(i + 1) * width]
+    }
+
     /// Copies the stored slots of `count` rows starting at `src_row` over the
     /// rows starting at `dst_row` (one `memmove`, no per-element branching).
     ///

@@ -12,7 +12,7 @@
 //! so the equality is checked on every served job.
 
 use crate::job::Job;
-use sia_dbt::ext::{predicted_sweep_cycles, predicted_triangular_cycles};
+use sia_dbt::ext::{estimated_sweeps, predicted_sweep_cycles, predicted_triangular_cycles};
 use sia_dbt::sparse::plan_block_sparse;
 use sia_dbt::{predicted_mv_cycles, DbtError, MmShape, MvShape};
 
@@ -56,8 +56,12 @@ impl CostModel {
     /// Dense MM, dense MV and block-sparse MV predictions are **exact**; the
     /// triangular solve's array portion is exact as well (the host-side
     /// substitutions consume no array steps).  The Gauss–Seidel prediction
-    /// is the cost of *one* sweep plus its residual check — a lower bound,
-    /// since the sweep count is data-dependent — and is flagged inexact.
+    /// multiplies the exact per-sweep cost by a sweep-count estimate from
+    /// the diagonal-dominance contraction model
+    /// ([`sia_dbt::ext::estimated_sweeps`]); it is flagged inexact because
+    /// the true sweep count is data-dependent, but it upper-bounds the
+    /// measured count on strictly diagonally dominant systems, which is
+    /// what shortest-predicted-first ordering needs.
     ///
     /// # Errors
     ///
@@ -106,8 +110,18 @@ impl CostModel {
                 cycles: predicted_triangular_cycles(a, w, *lower),
                 exact: true,
             }),
-            Job::GaussSeidel { a, .. } => Ok(CostEstimate {
-                cycles: predicted_sweep_cycles(a, w),
+            Job::GaussSeidel {
+                a,
+                b,
+                tol,
+                max_sweeps,
+            } => Ok(CostEstimate {
+                // Saturating: a client may pass max_sweeps = usize::MAX as
+                // an "unbounded" budget, and a non-dominant system estimates
+                // the full budget — the product must stay a sane ordering
+                // key, not wrap.
+                cycles: predicted_sweep_cycles(a, w)
+                    .saturating_mul(estimated_sweeps(a, b, *tol, *max_sweeps).max(1)),
                 exact: false,
             }),
         }
@@ -222,7 +236,7 @@ mod tests {
     }
 
     #[test]
-    fn gauss_seidel_prediction_is_a_per_sweep_lower_bound() {
+    fn gauss_seidel_prediction_scales_the_sweep_cost_by_the_dominance_estimate() {
         let model = CostModel::new(3).unwrap();
         let a = gen::diagonally_dominant_f64(9, 15);
         let b = gen::random_vector_f64(9, 16);
@@ -235,8 +249,14 @@ mod tests {
         let est = model.predict(&job).unwrap();
         assert!(!est.exact);
         let run = gauss_seidel(&a, &b, 3, 1e-9, 100).unwrap();
-        // One sweep costs `est.cycles`; the run needed `sweeps` of them.
-        assert!(est.cycles <= run.work.array_cycles);
-        assert_eq!(est.cycles * run.sweeps, run.work.array_cycles);
+        // The estimate is per-sweep cost x dominance-ratio sweep estimate:
+        // an exact multiple of the per-sweep cost that upper-bounds the
+        // measured work on this strictly diagonally dominant system,
+        // without the old one-sweep guess's systematic under-pricing.
+        let per_sweep = sia_dbt::ext::predicted_sweep_cycles(&a, 3);
+        assert_eq!(est.cycles % per_sweep, 0);
+        assert!(est.cycles >= run.work.array_cycles);
+        assert!(est.cycles <= per_sweep * 100);
+        assert_eq!(run.work.array_cycles, per_sweep * run.sweeps);
     }
 }

@@ -36,12 +36,15 @@ pub struct WorkerTelemetry {
     pub failures: usize,
     /// Wall time spent serving jobs.
     pub busy: Duration,
-    /// Array steps executed on the worker's own station arrays.
+    /// Array steps executed on the worker's own station arrays.  Recorded
+    /// structurally by the station as the runs execute, so — unlike the
+    /// receipt-based tallies below — this includes the partial array work
+    /// of jobs that failed mid-run (e.g. the sweeps of a non-converging
+    /// Gauss–Seidel job).
     pub station_cycles: usize,
     /// Predicted array steps over all *successfully* served jobs.  Failed
-    /// jobs count toward neither cycle tally — any array work an iterative
-    /// job did before failing is not observable from its error, so counting
-    /// only its prediction would skew the predicted-vs-measured accounting.
+    /// jobs count toward neither receipt tally, so predicted and measured
+    /// stay symmetric with each other.
     pub predicted_cycles: usize,
     /// Measured array steps over all *successfully* served jobs.
     pub measured_cycles: usize,

@@ -4,25 +4,26 @@
 //!
 //! [`ArrayFarm::submit`] is the whole client API: validate (admission),
 //! predict (closed forms), enqueue, and hand back a [`JobTicket`] whose
-//! [`JobTicket::wait`] blocks for the [`JobReceipt`].  Singly-served dense
-//! jobs run through the `_on` solver entry points on the worker's own
-//! persistent arrays; coalesced batches go through
-//! `multiply_mm_batch` / `multiply_mv_batch` and extension jobs
-//! (triangular solve, Gauss–Seidel) through their blocked drivers — both
-//! of which construct transient arrays internally, so their steps are
-//! *back-attributed* to the worker's station rather than executed on it
-//! (see the ROADMAP item on `_on` variants for the batch/extension paths).
+//! [`JobTicket::wait`] blocks for the [`JobReceipt`].  **Every** job —
+//! singly-served dense jobs, coalesced batches
+//! (`multiply_*_batch_on`) and extension jobs (`solve_*_on`,
+//! `gauss_seidel_on`) — runs through the `_on` solver entry points on the
+//! worker's own persistent [`ArrayStation`], which owns the arrays *and*
+//! their run workspaces: steady-state serving performs no engine
+//! allocation (the scratches are cleared, not freed, between jobs), and
+//! every array step is attributed to the station structurally, by the run
+//! itself.
 
 use crate::cost::CostModel;
 use crate::job::{ArrayClass, Job, JobOutput, JobReceipt, JobSpec};
 use crate::policy::Policy;
 use crate::queue::{QueueSet, QueuedJob};
 use crate::telemetry::{FarmTelemetry, WorkerTelemetry};
-use sia_dbt::ext::{gauss_seidel, solve_lower, solve_upper};
+use sia_dbt::ext::{gauss_seidel_on, solve_lower_on, solve_upper_on};
 use sia_dbt::sparse::multiply_mv_block_sparse_on;
 use sia_dbt::{
-    multiply_mm_batch, multiply_mm_on, multiply_mv_batch, multiply_mv_on, DbtError, MmProblem,
-    MvProblem,
+    multiply_mm_batch_on, multiply_mm_on, multiply_mv_batch_on, multiply_mv_on, DbtError,
+    MmProblem, MvProblem,
 };
 use sia_sim::ArrayStation;
 use std::fmt;
@@ -404,18 +405,22 @@ fn deliver(
 }
 
 /// Sends an execution failure for one job.  Failed jobs count toward `jobs`
-/// and `failures` but toward neither cycle tally: the array work a job did
-/// before failing (e.g. the sweeps of a non-converging Gauss–Seidel run) is
-/// not observable from its error, so the tallies cover exactly the
-/// successfully served jobs and stay symmetric with each other.
+/// and `failures` but toward neither receipt-based cycle tally, so
+/// predicted and measured stay symmetric over exactly the successfully
+/// served jobs.  The array work a job did before failing (e.g. the sweeps
+/// of a non-converging Gauss–Seidel run) is still visible in telemetry:
+/// the `_on` solvers record it on the station as it executes, so it lands
+/// in `station_cycles`.
 fn deliver_error(job: QueuedJob, error: DbtError, log: &mut WorkerTelemetry) {
     log.jobs += 1;
     log.failures += 1;
     let _ = job.reply.send(Err(error));
 }
 
-/// Serves a coalesced batch of same-shape dense jobs through the batch
-/// solvers.  Outcomes are bit-identical to per-job runs; each member's
+/// Serves a coalesced batch of same-shape dense jobs through the
+/// station-owned batch solvers (`multiply_*_batch_on`): the whole batch
+/// reuses the worker's warm workspace and its steps land on the station
+/// structurally.  Outcomes are bit-identical to per-job runs; each member's
 /// receipt carries the whole batch's service span.
 fn serve_coalesced(
     worker: usize,
@@ -424,12 +429,7 @@ fn serve_coalesced(
     picked_up: Instant,
     log: &mut WorkerTelemetry,
 ) {
-    let w = station.size();
-    enum BatchResult {
-        Mm(Result<Vec<(usize, JobOutput)>, DbtError>),
-        Mv(Result<Vec<(usize, JobOutput)>, DbtError>),
-    }
-    let result = match &batch[0].job {
+    let outcome: Result<Vec<(usize, JobOutput)>, DbtError> = match &batch[0].job {
         Job::DenseMm { .. } => {
             let problems: Vec<MmProblem<'_, f64>> = batch
                 .iter()
@@ -442,12 +442,12 @@ fn serve_coalesced(
                     _ => unreachable!("coalesce keys only group same-kind jobs"),
                 })
                 .collect();
-            BatchResult::Mm(multiply_mm_batch(&problems, w).map(|outcomes| {
+            multiply_mm_batch_on(station, &problems).map(|outcomes| {
                 outcomes
                     .into_iter()
                     .map(|o| (o.cycles, JobOutput::Matrix(o.c)))
                     .collect()
-            }))
+            })
         }
         Job::DenseMv { schedule, .. } => {
             let schedule = *schedule;
@@ -462,28 +462,19 @@ fn serve_coalesced(
                     _ => unreachable!("coalesce keys only group same-kind jobs"),
                 })
                 .collect();
-            BatchResult::Mv(multiply_mv_batch(&problems, w, schedule).map(|outcomes| {
+            multiply_mv_batch_on(station, &problems, schedule).map(|outcomes| {
                 outcomes
                     .into_iter()
                     .map(|o| (o.cycles, JobOutput::Vector(o.y)))
                     .collect()
-            }))
+            })
         }
         _ => unreachable!("only dense MM/MV jobs carry a coalesce key"),
     };
     let service = picked_up.elapsed();
-    let (is_mm, outcome) = match result {
-        BatchResult::Mm(r) => (true, r),
-        BatchResult::Mv(r) => (false, r),
-    };
     match outcome {
         Ok(outputs) => {
             for (qj, (cycles, output)) in batch.into_iter().zip(outputs) {
-                if is_mm {
-                    station.record_hex(cycles);
-                } else {
-                    station.record_linear(cycles);
-                }
                 log.coalesced_jobs += 1;
                 deliver(worker, qj, picked_up, service, true, cycles, output, log);
             }
@@ -496,7 +487,11 @@ fn serve_coalesced(
     }
 }
 
-/// Serves one job on the worker's own station arrays.
+/// Serves one job on the worker's own station: every solver below is an
+/// `_on` entry point that runs through the station's warm workspaces and
+/// records its array steps there structurally — including the partial work
+/// of a job that fails mid-run (e.g. the sweeps of a non-converging
+/// Gauss–Seidel run), which the old back-attribution scheme lost.
 fn serve_single(
     worker: usize,
     station: &mut ArrayStation,
@@ -505,46 +500,31 @@ fn serve_single(
     log: &mut WorkerTelemetry,
 ) {
     let qj = batch.pop().expect("single-job batch");
-    let w = station.size();
     let outcome: Result<(usize, JobOutput), DbtError> = match &qj.job {
-        Job::DenseMm { a, b, e } => multiply_mm_on(station.hex(), a, b, e.as_ref()).map(|o| {
-            station.record_hex(o.cycles);
-            (o.cycles, JobOutput::Matrix(o.c))
-        }),
+        Job::DenseMm { a, b, e } => {
+            multiply_mm_on(station, a, b, e.as_ref()).map(|o| (o.cycles, JobOutput::Matrix(o.c)))
+        }
         Job::DenseMv { a, x, b, schedule } => {
-            multiply_mv_on(station.linear(), a, x, b.as_deref(), *schedule).map(|o| {
-                station.record_linear(o.cycles);
-                (o.cycles, JobOutput::Vector(o.y))
-            })
+            multiply_mv_on(station, a, x, b.as_deref(), *schedule)
+                .map(|o| (o.cycles, JobOutput::Vector(o.y)))
         }
-        Job::BlockSparseMv { a, x, b } => {
-            multiply_mv_block_sparse_on(station.linear(), a, x, b.as_deref()).map(|o| {
-                station.record_linear(o.outcome.cycles);
-                (o.outcome.cycles, JobOutput::Vector(o.outcome.y))
-            })
-        }
+        Job::BlockSparseMv { a, x, b } => multiply_mv_block_sparse_on(station, a, x, b.as_deref())
+            .map(|o| (o.outcome.cycles, JobOutput::Vector(o.outcome.y))),
         Job::TriangularSolve { a, c, lower } => {
             let solved = if *lower {
-                solve_lower(a, c, w)
+                solve_lower_on(station, a, c)
             } else {
-                solve_upper(a, c, w)
+                solve_upper_on(station, a, c)
             };
-            // The blocked driver runs its strip products on transient
-            // arrays; attribute their steps to this worker's station.
-            solved.map(|o| {
-                station.record_linear(o.work.array_cycles);
-                (o.work.array_cycles, JobOutput::Vector(o.x))
-            })
+            solved.map(|o| (o.work.array_cycles, JobOutput::Vector(o.x)))
         }
         Job::GaussSeidel {
             a,
             b,
             tol,
             max_sweeps,
-        } => gauss_seidel(a, b, w, *tol, *max_sweeps).map(|o| {
-            station.record_linear(o.work.array_cycles);
-            (o.work.array_cycles, JobOutput::Vector(o.x))
-        }),
+        } => gauss_seidel_on(station, a, b, *tol, *max_sweeps)
+            .map(|o| (o.work.array_cycles, JobOutput::Vector(o.x))),
     };
     let service = picked_up.elapsed();
     match outcome {

@@ -25,20 +25,48 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
+    par_map_with(items, || (), |(), item| f(item))
+}
+
+/// [`par_map`] with **per-thread reusable state**: `init` builds one `S`
+/// per worker thread (or one for the whole map when it runs inline), and
+/// `f` receives it mutably for every item of that thread's chunk.
+///
+/// This is how the batch APIs thread their run workspaces
+/// ([`crate::HexScratch`] / [`crate::LinearScratch`]) through a fan-out:
+/// each thread warms one scratch on its first job and reuses it for the
+/// rest of its chunk, so a batch allocates per *thread*, not per *job*.
+pub fn par_map_with<I, O, S, G, F>(items: &[I], init: G, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, &I) -> O + Sync,
+{
     let n = items.len();
     let threads = thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
         .min(n);
     if threads <= 1 {
-        return items.iter().map(&f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
     let chunk = n.div_ceil(threads);
     let f = &f;
+    let init = &init;
     thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<O>>()))
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    chunk
+                        .iter()
+                        .map(|item| f(&mut state, item))
+                        .collect::<Vec<O>>()
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -67,5 +95,26 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(&empty, |&x| x).is_empty());
         assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn per_thread_state_is_reused_within_a_chunk() {
+        // Each state counts how many items its thread served; the counts
+        // must sum to the item count regardless of how chunks were split.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let served = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..37).collect();
+        let out = par_map_with(
+            &items,
+            || 0usize,
+            |state, &x| {
+                *state += 1;
+                served.fetch_add(1, Ordering::Relaxed);
+                x + *state // deterministic only inline, but always > x
+            },
+        );
+        assert_eq!(out.len(), items.len());
+        assert_eq!(served.load(Ordering::Relaxed), items.len());
+        assert!(out.iter().zip(&items).all(|(o, i)| o > i));
     }
 }

@@ -36,17 +36,27 @@
 //! occupied **anti-diagonal wavefront**: cell `(α, β)` can fire at cycle `t`
 //! only when `3 | (t − w + 1 + α + β)`, so two thirds of the cells are
 //! skipped without being touched.  Feedback values live in a flat vector
-//! indexed by result-band offset.  The observable behaviour — outputs,
-//! ordering, cycle counts, utilization and feedback statistics — is
-//! bit-identical to the original shift-everything engine; the equivalence
-//! suite in `tests/properties.rs` holds it to the paper's closed forms.
+//! indexed by result-band offset.
+//!
+//! Since the zero-allocation rework, every per-run buffer lives in a
+//! reusable [`HexScratch`] workspace that is **cleared, not freed**, between
+//! runs: [`HexArray::run_with`] performs no heap allocation once the scratch
+//! is warm.  The register planes are **struct-of-arrays** (value planes,
+//! occupancy bitmask planes and index planes, see [`crate::plane`]) so the
+//! wavefront scan tests one occupancy bit per cell instead of matching
+//! `Option` discriminants, and the cycle loop **fast-forwards** over idle
+//! stretches: whenever all three planes are empty, `t` jumps straight to the
+//! next tape event.  The observable behaviour — outputs, ordering, cycle
+//! counts, utilization and feedback statistics — is bit-identical to the
+//! original shift-everything engine; the equivalence suite in
+//! `tests/properties.rs` holds it to the paper's closed forms.
 
-use crate::batch::par_map;
+use crate::batch::par_map_with;
+use crate::plane::{reset_vec, BitPlane};
 use crate::report::{FeedbackEvent, FeedbackSummary, Utilization};
 use crate::tape::Tape;
 use crate::SimError;
 use sia_matrix::{BandMatrix, DenseMatrix, Scalar};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// How one result element is initialised when it enters the array.
@@ -75,10 +85,14 @@ pub struct HexJob<T> {
     pub a: Arc<BandMatrix<T>>,
     /// Right operand: a lower band matrix (`upper == 0`, bandwidth ≤ `w`).
     pub b: Arc<BandMatrix<T>>,
-    /// Initial values for result positions.  Positions not mentioned start
-    /// from zero.  (A map is fine here: it is walked once at construction
-    /// time to build the injection tape, never inside the cycle loop.)
-    pub c_injections: HashMap<(usize, usize), CInjection<T>>,
+    /// Initial values for result positions, as a flat `(position, injection)`
+    /// list.  Positions not mentioned start from zero; when a position
+    /// appears more than once the **last** entry wins (the list replaces the
+    /// `HashMap` of earlier versions, whose insert had the same semantics —
+    /// a flat list costs no hashing when the solvers build thousands of
+    /// injections per job).  It is walked once at construction time to build
+    /// the injection tape, never inside the cycle loop.
+    pub c_injections: Vec<((usize, usize), CInjection<T>)>,
 }
 
 impl<T: Scalar> std::fmt::Debug for HexJob<T> {
@@ -98,7 +112,7 @@ impl<T: Scalar> HexJob<T> {
         HexJob {
             a: a.into(),
             b: b.into(),
-            c_injections: HashMap::new(),
+            c_injections: Vec::new(),
         }
     }
 }
@@ -163,6 +177,181 @@ impl<T: Scalar> HexReport<T> {
     }
 }
 
+/// A pending `c` injection on the tape: resolved to a concrete value (either
+/// the literal or the fed-back output of `producer`) at its entry cycle.
+#[derive(Debug, Clone, Copy)]
+enum PendingC<T> {
+    Value(T),
+    Feedback((usize, usize)),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CEntry<T> {
+    i: u32,
+    j: u32,
+    pending: PendingC<T>,
+}
+
+/// A staged `a`-plane injection: `a_{ik}` with its value.
+#[derive(Debug, Clone, Copy)]
+struct ATag<T> {
+    i: u32,
+    k: u32,
+    value: T,
+}
+
+/// A staged `b`-plane injection: `b_{kj}` with its value.
+#[derive(Debug, Clone, Copy)]
+struct BTag<T> {
+    k: u32,
+    j: u32,
+    value: T,
+}
+
+/// The reusable per-run workspace of one [`HexArray`]: injection tapes,
+/// struct-of-arrays register planes (value + occupancy bitmask + index
+/// planes), the flat feedback store, and the event/output vectors of the
+/// most recent run.
+///
+/// Buffers are **cleared, not freed**, between runs: after a warm-up run of
+/// a given shape, [`HexArray::run_with`] on the same scratch performs zero
+/// heap allocations (asserted by the counting-allocator test in
+/// `tests/allocations.rs`).  One scratch lives inside every
+/// [`crate::ArrayStation`], which is how the serving runtime reaches the
+/// allocation-free steady state.
+///
+/// The results of the last successful run stay readable on the scratch
+/// ([`HexScratch::outputs`], [`HexScratch::cycles`], …) until the next run
+/// overwrites them.
+#[derive(Debug, Clone)]
+pub struct HexScratch<T> {
+    a_tape: Tape<ATag<T>>,
+    b_tape: Tape<BTag<T>>,
+    c_tape: Tape<CEntry<T>>,
+    /// Flattened injection lookup, one slot per result-band position.
+    injection_at: Vec<Option<CInjection<T>>>,
+    // a plane, SoA: value / occupancy / (i, k) index planes.
+    a_val: Vec<T>,
+    a_i: Vec<u32>,
+    a_k: Vec<u32>,
+    a_occ: BitPlane,
+    // b plane, SoA.
+    b_val: Vec<T>,
+    b_k: Vec<u32>,
+    b_j: Vec<u32>,
+    b_occ: BitPlane,
+    // c plane, SoA: one ring per result diagonal, rings packed by `c_off`.
+    c_val: Vec<T>,
+    c_row: Vec<u32>,
+    c_col: Vec<u32>,
+    c_occ: BitPlane,
+    c_off: Vec<usize>,
+    /// Per-diagonal ring cursor: the exit slot of diagonal `di` at the
+    /// current cycle, maintained incrementally so the hot loop never
+    /// divides (every other ring slot is an offset from it).
+    c_exit: Vec<u32>,
+    // Flat feedback store, SoA: one slot per result-band position.
+    fb_val: Vec<T>,
+    fb_cycle: Vec<usize>,
+    fb_occ: BitPlane,
+    fb_events: Vec<FeedbackEvent>,
+    outputs: Vec<CellOutput<T>>,
+    // Results of the last run.
+    w: usize,
+    fired: usize,
+    last_fire_cycle: usize,
+}
+
+impl<T: Scalar> Default for HexScratch<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Scalar> HexScratch<T> {
+    /// An empty workspace; buffers are sized lazily by the first run.
+    pub fn new() -> Self {
+        HexScratch {
+            a_tape: Tape::new(),
+            b_tape: Tape::new(),
+            c_tape: Tape::new(),
+            injection_at: Vec::new(),
+            a_val: Vec::new(),
+            a_i: Vec::new(),
+            a_k: Vec::new(),
+            a_occ: BitPlane::new(),
+            b_val: Vec::new(),
+            b_k: Vec::new(),
+            b_j: Vec::new(),
+            b_occ: BitPlane::new(),
+            c_val: Vec::new(),
+            c_row: Vec::new(),
+            c_col: Vec::new(),
+            c_occ: BitPlane::new(),
+            c_off: Vec::new(),
+            c_exit: Vec::new(),
+            fb_val: Vec::new(),
+            fb_cycle: Vec::new(),
+            fb_occ: BitPlane::new(),
+            fb_events: Vec::new(),
+            outputs: Vec::new(),
+            w: 0,
+            fired: 0,
+            last_fire_cycle: 0,
+        }
+    }
+
+    /// All outputs of the last run, in the order they left the array.
+    pub fn outputs(&self) -> &[CellOutput<T>] {
+        &self.outputs
+    }
+
+    /// Cycle in which the last multiply–accumulate of the last run fired.
+    pub fn last_fire_cycle(&self) -> usize {
+        self.last_fire_cycle
+    }
+
+    /// Total array steps of the last run, `last_fire_cycle + 2`.
+    pub fn cycles(&self) -> usize {
+        self.last_fire_cycle + 2
+    }
+
+    /// Number of multiply–accumulates the last run fired.
+    pub fn fired(&self) -> usize {
+        self.fired
+    }
+
+    /// Activity accounting of the last run.
+    pub fn utilization(&self) -> Utilization {
+        Utilization {
+            pe_count: self.w * self.w,
+            cycles: self.cycles(),
+            fired: self.fired,
+        }
+    }
+
+    /// The feedback events of the last run, in consumption order.
+    pub fn feedback_events(&self) -> &[FeedbackEvent] {
+        &self.fb_events
+    }
+
+    /// Builds the feedback summary of the last run (clones the events).
+    pub fn feedback_summary(&self) -> FeedbackSummary {
+        FeedbackSummary::from_events(self.fb_events.clone())
+    }
+
+    /// Copies the last run's results out into an owned [`HexReport`].
+    pub fn report(&self) -> HexReport<T> {
+        HexReport {
+            outputs: self.outputs.clone(),
+            last_fire_cycle: self.last_fire_cycle,
+            cycles: self.cycles(),
+            utilization: self.utilization(),
+            feedback: self.feedback_summary(),
+        }
+    }
+}
+
 /// The hexagonal array itself: a `w × w` rhombus of multiply–accumulate
 /// cells with the three-plane dataflow described in the module docs.
 ///
@@ -192,42 +381,6 @@ impl<T: Scalar> HexReport<T> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HexArray {
     w: usize,
-}
-
-#[derive(Clone, Copy)]
-struct ATag<T> {
-    i: usize,
-    k: usize,
-    value: T,
-}
-
-#[derive(Clone, Copy)]
-struct BTag<T> {
-    k: usize,
-    j: usize,
-    value: T,
-}
-
-#[derive(Clone, Copy)]
-struct CTag<T> {
-    i: usize,
-    j: usize,
-    value: T,
-}
-
-/// A pending `c` injection on the tape: resolved to a concrete value (either
-/// the literal or the fed-back output of `producer`) at its entry cycle.
-#[derive(Clone, Copy)]
-enum PendingC<T> {
-    Value(T),
-    Feedback((usize, usize)),
-}
-
-#[derive(Clone, Copy)]
-struct CEntry<T> {
-    i: usize,
-    j: usize,
-    pending: PendingC<T>,
 }
 
 impl HexArray {
@@ -287,22 +440,25 @@ impl HexArray {
         }
         let in_band =
             |i: usize, j: usize| i < job.a.rows() && j < job.b.cols() && i.abs_diff(j) < w;
-        for (&(i, j), injection) in &job.c_injections {
+        for &((i, j), injection) in &job.c_injections {
             if !in_band(i, j) {
                 return Err(SimError::InjectionOutsideBand { position: (i, j) });
             }
             if let CInjection::Feedback { producer } = injection {
                 if !in_band(producer.0, producer.1) {
-                    return Err(SimError::UnknownProducer {
-                        producer: *producer,
-                    });
+                    return Err(SimError::UnknownProducer { producer });
                 }
             }
         }
         Ok(())
     }
 
-    /// Runs one job through the array.
+    /// Runs one job through the array with a freshly allocated workspace.
+    ///
+    /// This is [`HexArray::run_with`] plus the cost of building (and
+    /// copying out of) a [`HexScratch`]; steady-state callers — the serving
+    /// runtime's [`crate::ArrayStation`] workers, the batch APIs — reuse a
+    /// persistent scratch instead.
     ///
     /// # Errors
     ///
@@ -310,6 +466,29 @@ impl HexArray {
     /// dimensions, injections outside the result band) or when a feedback
     /// injection needs a value that has not been produced yet.
     pub fn run<T: Scalar>(&self, job: &HexJob<T>) -> Result<HexReport<T>, SimError> {
+        let mut scratch = HexScratch::new();
+        self.run_with(job, &mut scratch)?;
+        Ok(scratch.report())
+    }
+
+    /// Runs one job through the array, reusing the caller's workspace.
+    ///
+    /// All per-run buffers (tapes, register planes, feedback store, event
+    /// and output vectors) live in `scratch` and are cleared-not-freed, so
+    /// repeated runs of same-shaped jobs perform **no heap allocation**
+    /// after the first.  The results stay readable on the scratch
+    /// ([`HexScratch::outputs`] and friends) until the next run; they are
+    /// bit-identical to what [`HexArray::run`] reports for the same job.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HexArray::run`].  After an error the scratch holds no
+    /// meaningful results but stays valid for the next run.
+    pub fn run_with<T: Scalar>(
+        &self,
+        job: &HexJob<T>,
+        scratch: &mut HexScratch<T>,
+    ) -> Result<(), SimError> {
         self.validate(job)?;
         let w = self.w;
         let n_rows = job.a.rows();
@@ -321,48 +500,69 @@ impl HexArray {
         // Entry cycles are closed-form per diagonal, so each boundary
         // schedule is a dense per-cycle tape; no hashing is ever needed.
         // a_{ik} enters cell (k-i, w-1) at cycle i + 2k.
-        let mut a_events: Vec<(usize, ATag<T>)> = Vec::with_capacity(job.a.capacity());
+        scratch.a_tape.begin(job.a.capacity());
         for d in job.a.diagonal_offsets() {
             for (i, k, value) in job.a.diagonal_entries(d) {
-                a_events.push((i + 2 * k, ATag { i, k, value }));
+                scratch.a_tape.push(
+                    i + 2 * k,
+                    ATag {
+                        i: i as u32,
+                        k: k as u32,
+                        value,
+                    },
+                );
             }
         }
-        let a_tape = Tape::from_events(horizon + 1, a_events);
+        scratch.a_tape.seal(horizon + 1);
         // b_{kj} enters cell (w-1, k-j) at cycle j + 2k.
-        let mut b_events: Vec<(usize, BTag<T>)> = Vec::with_capacity(job.b.capacity());
+        scratch.b_tape.begin(job.b.capacity());
         for d in job.b.diagonal_offsets() {
             for (k, j, value) in job.b.diagonal_entries(d) {
-                b_events.push((j + 2 * k, BTag { k, j, value }));
+                scratch.b_tape.push(
+                    j + 2 * k,
+                    BTag {
+                        k: k as u32,
+                        j: j as u32,
+                        value,
+                    },
+                );
             }
         }
-        let b_tape = Tape::from_events(horizon + 1, b_events);
+        scratch.b_tape.seal(horizon + 1);
         // c_{ij} enters the boundary cell of its diagonal at cycle
-        // i + j + max(i, j) + w - 1.  The injection map is flattened into a
-        // band-offset-indexed vector in one pass (map iteration, no per-
-        // position hashing) before the tape is laid out.
+        // i + j + max(i, j) + w - 1.  The injection list is flattened into a
+        // band-offset-indexed vector in one pass (no hashing) before the
+        // tape is laid out; later duplicates overwrite earlier ones.
         let band_width = 2 * w - 1;
         let fb_idx = |i: usize, j: usize| i * band_width + (j + w - 1 - i);
-        let mut injection_at: Vec<Option<CInjection<T>>> = vec![None; n_rows * band_width];
-        for (&(i, j), injection) in &job.c_injections {
-            injection_at[fb_idx(i, j)] = Some(*injection);
+        reset_vec(&mut scratch.injection_at, n_rows * band_width, None);
+        for &((i, j), injection) in &job.c_injections {
+            scratch.injection_at[fb_idx(i, j)] = Some(injection);
         }
         let mut expected_outputs = 0usize;
-        let mut c_events: Vec<(usize, CEntry<T>)> = Vec::new();
+        scratch.c_tape.begin(n_rows * band_width);
         for i in 0..n_rows {
             let j_lo = i.saturating_sub(w - 1);
             let j_hi = (i + w).min(n_cols);
             for j in j_lo..j_hi {
                 let t0 = i + j + i.max(j) + w - 1;
-                let pending = match injection_at[fb_idx(i, j)] {
+                let pending = match scratch.injection_at[fb_idx(i, j)] {
                     Some(CInjection::Value(v)) => PendingC::Value(v),
                     Some(CInjection::Feedback { producer }) => PendingC::Feedback(producer),
                     None => PendingC::Value(T::zero()),
                 };
-                c_events.push((t0, CEntry { i, j, pending }));
+                scratch.c_tape.push(
+                    t0,
+                    CEntry {
+                        i: i as u32,
+                        j: j as u32,
+                        pending,
+                    },
+                );
                 expected_outputs += 1;
             }
         }
-        let c_tape = Tape::from_events(horizon + 1, c_events);
+        scratch.c_tape.seal(horizon + 1);
 
         // ---- register planes as ring buffers --------------------------------
         // A value keeps one slot for its whole life, so no plane ever shifts:
@@ -371,61 +571,173 @@ impl HexArray {
         //   c: one ring per result diagonal d = j - i of length w - |d|,
         //      slot (pos - t) mod len with pos = alpha - max(d, 0)
         //      (pos increases with t).
-        let mut a_regs: Vec<Option<ATag<T>>> = vec![None; w * w];
-        let mut b_regs: Vec<Option<BTag<T>>> = vec![None; w * w];
+        // The planes are SoA: values, occupancy bits and indices live in
+        // separate arrays (see the module docs).
+        reset_vec(&mut scratch.a_val, w * w, T::zero());
+        reset_vec(&mut scratch.a_i, w * w, 0);
+        reset_vec(&mut scratch.a_k, w * w, 0);
+        scratch.a_occ.reset(w * w);
+        reset_vec(&mut scratch.b_val, w * w, T::zero());
+        reset_vec(&mut scratch.b_k, w * w, 0);
+        reset_vec(&mut scratch.b_j, w * w, 0);
+        scratch.b_occ.reset(w * w);
         let n_diags = 2 * w - 1;
         let diag_len = |di: usize| (di + 1).min(n_diags - di);
-        let mut c_off = vec![0usize; n_diags + 1];
+        scratch.c_off.clear();
+        scratch.c_off.push(0);
         for di in 0..n_diags {
-            c_off[di + 1] = c_off[di] + diag_len(di);
+            let prev = scratch.c_off[di];
+            scratch.c_off.push(prev + diag_len(di));
         }
-        let mut c_regs: Vec<Option<CTag<T>>> = vec![None; c_off[n_diags]];
-        // Ring slot of cell (alpha, ·) on diagonal index di at cycle t.
-        let c_slot = |di: usize, alpha: usize, t: usize| -> usize {
-            let len = diag_len(di);
-            let pos = alpha - di.saturating_sub(w - 1); // alpha - max(d, 0)
-            (pos as i64 - t as i64).rem_euclid(len as i64) as usize
-        };
+        let c_cells = scratch.c_off[n_diags];
+        reset_vec(&mut scratch.c_val, c_cells, T::zero());
+        reset_vec(&mut scratch.c_row, c_cells, 0);
+        reset_vec(&mut scratch.c_col, c_cells, 0);
+        scratch.c_occ.reset(c_cells);
+        reset_vec(&mut scratch.c_exit, n_diags, 0);
 
         // ---- flat feedback store --------------------------------------------
         // One slot per result-band position (i, j), |i - j| < w.
-        let mut fb_store: Vec<Option<(T, usize)>> = vec![None; n_rows * band_width];
-        let mut fb_events: Vec<FeedbackEvent> = Vec::new();
+        reset_vec(&mut scratch.fb_val, n_rows * band_width, T::zero());
+        reset_vec(&mut scratch.fb_cycle, n_rows * band_width, 0);
+        scratch.fb_occ.reset(n_rows * band_width);
+        scratch.fb_events.clear();
+        scratch.outputs.clear();
+        scratch.outputs.reserve(expected_outputs);
+        scratch.w = w;
 
-        let mut outputs: Vec<CellOutput<T>> = Vec::with_capacity(expected_outputs);
+        let mut a_count = 0usize;
+        let mut b_count = 0usize;
+        let mut c_count = 0usize;
         let mut fired = 0usize;
         let mut last_fire_cycle = 0usize;
         let mut t = 0usize;
 
+        let HexScratch {
+            a_tape,
+            b_tape,
+            c_tape,
+            a_val,
+            a_i,
+            a_k,
+            a_occ,
+            b_val,
+            b_k,
+            b_j,
+            b_occ,
+            c_val,
+            c_row,
+            c_col,
+            c_occ,
+            c_off,
+            c_exit,
+            fb_val,
+            fb_cycle,
+            fb_occ,
+            fb_events,
+            outputs,
+            ..
+        } = scratch;
+
+        // Ring cursors, maintained incrementally so the hot loop never
+        // divides (divisions only happen here and after a skip jump):
+        //   tm       = t mod w            (a/b slot base),
+        //   in_slot  = (w - 1 + t) mod w  (a/b entry/recycle slot),
+        //   wave     = (w - 1 - t) mod 3  (anti-diagonal parity),
+        //   c_exit[di] = (len - 1 - t) mod len  (exit slot of diagonal di);
+        // every other c-ring slot is an offset from c_exit: the slot of
+        // relative position `pos` is (pos + c_exit + 1) wrapped, because
+        // c_exit + 1 ≡ -t (mod len).
+        let recompute_cursors = |t: usize, c_exit: &mut [u32]| -> (usize, usize, usize) {
+            for (di, e) in c_exit.iter_mut().enumerate() {
+                let len = diag_len(di);
+                *e = (len as i64 - 1 - t as i64).rem_euclid(len as i64) as u32;
+            }
+            (
+                t % w,
+                (w - 1 + t) % w,
+                (w as i64 - 1 - t as i64).rem_euclid(3) as usize,
+            )
+        };
+        let (mut tm, mut in_slot, mut wave) = recompute_cursors(t, c_exit);
+        let wrap_w = |x: usize| if x >= w { x - w } else { x };
+
         while outputs.len() < expected_outputs && t <= horizon {
+            // 0. Event-driven cycle skipping: when every plane is empty,
+            //    nothing can fire, exit or fall off, so fast-forward `t`
+            //    straight to the next tape event (idle prologue / epilogue /
+            //    gap cycles cost nothing).  Step accounting is unaffected:
+            //    cycle counts derive from the last firing cycle, which idle
+            //    cycles by definition do not move.
+            if a_count == 0 && b_count == 0 && c_count == 0 {
+                let next = [
+                    a_tape.next_event_at_or_after(t),
+                    b_tape.next_event_at_or_after(t),
+                    c_tape.next_event_at_or_after(t),
+                ]
+                .into_iter()
+                .flatten()
+                .min();
+                match next {
+                    Some(next_t) => {
+                        if next_t != t {
+                            t = next_t;
+                            (tm, in_slot, wave) = recompute_cursors(t, c_exit);
+                        }
+                    }
+                    // Tapes exhausted with nothing in flight: no further
+                    // output can ever appear.
+                    None => break,
+                }
+            }
+
             // 1. Injections at the three boundaries.  The ring slot that the
             //    a/b entry edges map to this cycle is exactly the slot whose
             //    previous occupant fell off the opposite edge — recycle it,
             //    then latch this cycle's tape entries.
-            let in_slot = (w - 1 + t) % w;
             for lane in 0..w {
-                a_regs[lane * w + in_slot] = None;
-                b_regs[lane * w + in_slot] = None;
+                let idx = lane * w + in_slot;
+                if a_occ.take(idx) {
+                    a_count -= 1;
+                }
+                if b_occ.take(idx) {
+                    b_count -= 1;
+                }
             }
             for tag in a_tape.at(t) {
-                a_regs[(tag.k - tag.i) * w + in_slot] = Some(*tag);
+                let idx = (tag.k - tag.i) as usize * w + in_slot;
+                a_val[idx] = tag.value;
+                a_i[idx] = tag.i;
+                a_k[idx] = tag.k;
+                if !a_occ.set(idx) {
+                    a_count += 1;
+                }
             }
             for tag in b_tape.at(t) {
-                b_regs[(tag.k - tag.j) * w + in_slot] = Some(*tag);
+                let idx = (tag.k - tag.j) as usize * w + in_slot;
+                b_val[idx] = tag.value;
+                b_k[idx] = tag.k;
+                b_j[idx] = tag.j;
+                if !b_occ.set(idx) {
+                    b_count += 1;
+                }
             }
-            // c enters on the alpha = 0 and beta = 0 edges; feedback
-            // injections resolve against the flat store.
+            // c enters on the alpha = 0 and beta = 0 edges (relative ring
+            // position 0, i.e. slot c_exit + 1); feedback injections resolve
+            // against the flat store.
             for entry in c_tape.at(t) {
-                let (i, j) = (entry.i, entry.j);
+                let (i, j) = (entry.i as usize, entry.j as usize);
                 let value = match entry.pending {
                     PendingC::Value(v) => v,
                     PendingC::Feedback(producer) => {
-                        let (value, produced_at) = fb_store[fb_idx(producer.0, producer.1)].ok_or(
-                            SimError::FeedbackNotReady {
+                        let pidx = fb_idx(producer.0, producer.1);
+                        if !fb_occ.get(pidx) {
+                            return Err(SimError::FeedbackNotReady {
                                 producer,
                                 needed_at: t,
-                            },
-                        )?;
+                            });
+                        }
+                        let produced_at = fb_cycle[pidx];
                         if produced_at >= t {
                             return Err(SimError::FeedbackNotReady {
                                 producer,
@@ -438,32 +750,54 @@ impl HexArray {
                             produced_at,
                             consumed_at: t,
                         });
-                        value
+                        fb_val[pidx]
                     }
                 };
                 let di = j + w - 1 - i;
-                let alpha0 = j.saturating_sub(i);
-                c_regs[c_off[di] + c_slot(di, alpha0, t)] = Some(CTag { i, j, value });
+                let len = diag_len(di);
+                let e = c_exit[di] as usize;
+                let slot = if e + 1 >= len { e + 1 - len } else { e + 1 };
+                let cell = c_off[di] + slot;
+                c_val[cell] = value;
+                c_row[cell] = entry.i;
+                c_col[cell] = entry.j;
+                if !c_occ.set(cell) {
+                    c_count += 1;
+                }
             }
 
             // 2. Compute: only the occupied anti-diagonal wavefront can fire.
             //    Cell (alpha, beta) fires for (i, j, k) at cycle
             //    i + j + k + w - 1 with 3k = t - w + 1 + alpha + beta, so
             //    only cells with (alpha + beta) == (w - 1 - t) mod 3 need to
-            //    be visited — two thirds of the grid is skipped outright.
-            let wave = (w as i64 - 1 - t as i64).rem_euclid(3) as usize;
+            //    be visited — two thirds of the grid is skipped outright, and
+            //    each visited cell costs three occupancy-bit tests before any
+            //    payload is touched.
+            let mut beta0 = wave;
             for alpha in 0..w {
-                let mut beta = (wave as i64 - alpha as i64).rem_euclid(3) as usize;
+                let mut beta = beta0;
                 while beta < w {
-                    if let Some(a) = a_regs[alpha * w + (beta + t) % w] {
-                        if let Some(b) = b_regs[beta * w + (alpha + t) % w] {
+                    let a_idx = alpha * w + wrap_w(beta + tm);
+                    if a_occ.get(a_idx) {
+                        let b_idx = beta * w + wrap_w(alpha + tm);
+                        if b_occ.get(b_idx) {
                             let di = alpha + w - 1 - beta;
-                            let cell = c_off[di] + c_slot(di, alpha, t);
-                            if let Some(c) = c_regs[cell].as_mut() {
-                                debug_assert_eq!(a.k, b.k, "a and b must share the inner index");
-                                debug_assert_eq!(a.i, c.i, "a row must match c row");
-                                debug_assert_eq!(b.j, c.j, "b column must match c column");
-                                c.value += a.value * b.value;
+                            let len = diag_len(di);
+                            let pos = alpha.min(beta);
+                            let s = pos + c_exit[di] as usize + 1;
+                            let slot = if s >= len { s - len } else { s };
+                            let cell = c_off[di] + slot;
+                            if c_occ.get(cell) {
+                                debug_assert_eq!(
+                                    a_k[a_idx], b_k[b_idx],
+                                    "a and b must share the inner index"
+                                );
+                                debug_assert_eq!(a_i[a_idx], c_row[cell], "a row must match c row");
+                                debug_assert_eq!(
+                                    b_j[b_idx], c_col[cell],
+                                    "b column must match c column"
+                                );
+                                c_val[cell] += a_val[a_idx] * b_val[b_idx];
                                 fired += 1;
                                 last_fire_cycle = t;
                             }
@@ -471,54 +805,93 @@ impl HexArray {
                     }
                     beta += 3;
                 }
+                beta0 = if beta0 == 0 { 2 } else { beta0 - 1 };
             }
 
             // 3. Shift.  The rings absorb the movement; only the c exits need
             //    work: one exit cell per diagonal, visited in the same
             //    (alpha, beta)-lexicographic order as a full-grid scan.
             for di in (0..w - 1).chain((w - 1..n_diags).rev()) {
-                let len = diag_len(di);
-                let slot = c_off[di] + (len as i64 - 1 - t as i64).rem_euclid(len as i64) as usize;
-                if let Some(tag) = c_regs[slot].take() {
+                let cell = c_off[di] + c_exit[di] as usize;
+                if c_occ.take(cell) {
+                    c_count -= 1;
+                    let (row, col) = (c_row[cell] as usize, c_col[cell] as usize);
+                    let value = c_val[cell];
                     outputs.push(CellOutput {
-                        row: tag.i,
-                        col: tag.j,
-                        value: tag.value,
+                        row,
+                        col,
+                        value,
                         cycle: t,
                     });
-                    fb_store[fb_idx(tag.i, tag.j)] = Some((tag.value, t));
+                    let fidx = fb_idx(row, col);
+                    fb_val[fidx] = value;
+                    fb_cycle[fidx] = t;
+                    fb_occ.set(fidx);
                 }
             }
 
+            // Advance every cursor one cycle (wrapping decrements /
+            // increments, no division).
             t += 1;
+            tm = wrap_w(tm + 1);
+            in_slot = wrap_w(in_slot + 1);
+            wave = if wave == 0 { 2 } else { wave - 1 };
+            for (di, e) in c_exit.iter_mut().enumerate() {
+                *e = if *e == 0 {
+                    diag_len(di) as u32 - 1
+                } else {
+                    *e - 1
+                };
+            }
         }
 
-        let cycles = last_fire_cycle + 2;
-        Ok(HexReport {
-            outputs,
-            last_fire_cycle,
-            cycles,
-            utilization: Utilization {
-                pe_count: w * w,
-                cycles,
-                fired,
-            },
-            feedback: FeedbackSummary::from_events(fb_events),
-        })
+        scratch.fired = fired;
+        scratch.last_fire_cycle = last_fire_cycle;
+        Ok(())
     }
 
     /// Runs independent jobs in parallel (scoped OS threads, one chunk per
-    /// core), returning the reports in job order.
+    /// core, one reused [`HexScratch`] per thread), returning the reports in
+    /// job order.
     ///
     /// Jobs share nothing at run time — operands are behind [`Arc`], every
-    /// engine buffer is per-run — so this is a pure fan-out; the result of
-    /// each job is bit-identical to what [`HexArray::run`] returns for it.
+    /// engine buffer is per-thread — so this is a pure fan-out; the result
+    /// of each job is bit-identical to what [`HexArray::run`] returns for
+    /// it.
     ///
     /// # Errors
     ///
     /// Returns the error of the first (lowest-index) failing job, if any.
     pub fn run_batch<T: Scalar>(&self, jobs: &[HexJob<T>]) -> Result<Vec<HexReport<T>>, SimError> {
-        par_map(jobs, |job| self.run(job)).into_iter().collect()
+        par_map_with(jobs, HexScratch::new, |scratch, job| {
+            self.run_with(job, scratch)?;
+            Ok(scratch.report())
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Runs a batch of jobs **serially** through one caller-owned scratch,
+    /// returning the reports in job order.  This is the entry point for
+    /// owners of a single physical array (a [`crate::ArrayStation`] worker
+    /// serving a coalesced batch): every job reuses the same warm buffers,
+    /// so the whole batch performs no heap allocation beyond the reports it
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the error of the first failing job, if any.
+    pub fn run_batch_with<T: Scalar>(
+        &self,
+        jobs: &[HexJob<T>],
+        scratch: &mut HexScratch<T>,
+    ) -> Result<Vec<HexReport<T>>, SimError> {
+        let mut reports = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            self.run_with(job, scratch)?;
+            reports.push(scratch.report());
+        }
+        Ok(reports)
     }
 }
 
@@ -604,17 +977,41 @@ mod tests {
     }
 
     #[test]
+    fn reused_scratch_is_bit_identical_to_fresh_runs() {
+        let w = 3;
+        let hex = HexArray::new(w).unwrap();
+        let mut scratch = HexScratch::new();
+        for seed in 0..6u64 {
+            let n = 4 + (seed as usize % 3) * 2;
+            let (_, ba) = upper_band(n, w, 300 + seed);
+            let (_, bb) = lower_band(n, w, 400 + seed);
+            let mut job = HexJob::product(ba, bb);
+            if seed % 2 == 0 {
+                job.c_injections
+                    .push(((3, 3), CInjection::Feedback { producer: (0, 0) }));
+            }
+            let fresh = hex.run(&job).unwrap();
+            hex.run_with(&job, &mut scratch).unwrap();
+            assert_eq!(scratch.outputs(), &fresh.outputs[..], "seed {seed}");
+            assert_eq!(scratch.cycles(), fresh.cycles);
+            assert_eq!(scratch.utilization(), fresh.utilization);
+            assert_eq!(scratch.feedback_summary(), fresh.feedback);
+            assert_eq!(scratch.report().outputs, fresh.outputs);
+        }
+    }
+
+    #[test]
     fn e_matrix_injections_are_added() {
         let n = 5;
         let w = 3;
         let (da, ba) = upper_band(n, w, 21);
         let (db, bb) = lower_band(n, w, 22);
         let e = gen::random_dense_i64(n, n, 3, 23);
-        let mut injections = HashMap::new();
+        let mut injections = Vec::new();
         for i in 0..n {
             for j in 0..n {
                 if i.abs_diff(j) < w {
-                    injections.insert((i, j), CInjection::Value(e.at(i, j)));
+                    injections.push(((i, j), CInjection::Value(e.at(i, j))));
                 }
             }
         }
@@ -637,18 +1034,35 @@ mod tests {
     }
 
     #[test]
+    fn later_duplicate_injections_win() {
+        let w = 2;
+        let (_, ba) = upper_band(4, w, 24);
+        let (db, bb) = lower_band(4, w, 25);
+        let da = ba.to_dense();
+        let job = HexJob {
+            a: ba.into(),
+            b: bb.into(),
+            c_injections: vec![
+                ((0, 0), CInjection::Value(100)),
+                ((0, 0), CInjection::Value(7)),
+            ],
+        };
+        let report = HexArray::new(w).unwrap().run(&job).unwrap();
+        let reference = da.matmul(&db).unwrap();
+        assert_eq!(report.value(0, 0).unwrap(), reference.at(0, 0) + 7);
+    }
+
+    #[test]
     fn feedback_accumulates_partial_results() {
         // Position (3, 3) continues the accumulation of position (0, 0).
         let n = 6;
         let w = 3;
         let (da, ba) = upper_band(n, w, 31);
         let (db, bb) = lower_band(n, w, 32);
-        let mut injections = HashMap::new();
-        injections.insert((3, 3), CInjection::Feedback { producer: (0, 0) });
         let job = HexJob {
             a: ba.into(),
             b: bb.into(),
-            c_injections: injections,
+            c_injections: vec![((3, 3), CInjection::Feedback { producer: (0, 0) })],
         };
         let report = HexArray::new(w).unwrap().run(&job).unwrap();
         let reference = da.matmul(&db).unwrap();
@@ -667,13 +1081,11 @@ mod tests {
         let w = 3;
         let (_, ba) = upper_band(n, w, 41);
         let (_, bb) = lower_band(n, w, 42);
-        let mut injections = HashMap::new();
         // (0, 0) is injected at cycle w-1, long before (5, 5) is produced.
-        injections.insert((0, 0), CInjection::Feedback { producer: (5, 5) });
         let job = HexJob {
             a: ba.into(),
             b: bb.into(),
-            c_injections: injections,
+            c_injections: vec![((0, 0), CInjection::Feedback { producer: (5, 5) })],
         };
         let err = HexArray::new(w).unwrap().run(&job).unwrap_err();
         assert!(matches!(err, SimError::FeedbackNotReady { .. }));
@@ -709,25 +1121,21 @@ mod tests {
         assert!(matches!(err, SimError::DimensionMismatch { .. }));
 
         // injection outside the band.
-        let mut injections = HashMap::new();
-        injections.insert((0, 4), CInjection::Value(1));
         let err = hex
             .run(&HexJob {
                 a: ba.clone(),
                 b: bb.clone(),
-                c_injections: injections,
+                c_injections: vec![((0, 4), CInjection::Value(1))],
             })
             .unwrap_err();
         assert!(matches!(err, SimError::InjectionOutsideBand { .. }));
 
         // feedback producer outside the band.
-        let mut injections = HashMap::new();
-        injections.insert((2, 2), CInjection::Feedback { producer: (0, 4) });
         let err = hex
             .run(&HexJob {
                 a: ba,
                 b: bb,
-                c_injections: injections,
+                c_injections: vec![((2, 2), CInjection::Feedback { producer: (0, 4) })],
             })
             .unwrap_err();
         assert!(matches!(err, SimError::UnknownProducer { .. }));
@@ -818,12 +1226,16 @@ mod tests {
             .collect();
         let batch = hex.run_batch(&jobs).unwrap();
         assert_eq!(batch.len(), jobs.len());
-        for (job, batched) in jobs.iter().zip(&batch) {
+        let mut scratch = HexScratch::new();
+        let serial = hex.run_batch_with(&jobs, &mut scratch).unwrap();
+        for ((job, batched), serial) in jobs.iter().zip(&batch).zip(&serial) {
             let solo = hex.run(job).unwrap();
             assert_eq!(batched.outputs, solo.outputs);
             assert_eq!(batched.cycles, solo.cycles);
             assert_eq!(batched.utilization, solo.utilization);
             assert_eq!(batched.feedback, solo.feedback);
+            assert_eq!(serial.outputs, solo.outputs);
+            assert_eq!(serial.cycles, solo.cycles);
         }
     }
 

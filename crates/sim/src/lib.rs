@@ -24,11 +24,23 @@
 //! entry cycles, so they are precomputed into dense per-cycle tapes and the
 //! hot loop is pure array indexing — no hashing, no allocation.  Register
 //! planes are ring buffers (values keep their slot for their whole life, so
-//! nothing is ever physically shifted), the hexagonal compute scan visits
-//! only the anti-diagonal wavefront that can fire (⅓ of the cells per
-//! cycle), and feedback values live in flat vectors indexed by band offset.
-//! Independent jobs fan out across OS threads through
-//! [`HexArray::run_batch`] / [`LinearArray::run_batch`].
+//! nothing is ever physically shifted) stored as **struct-of-arrays**
+//! (value planes + occupancy bitmask planes + index planes), the hexagonal
+//! compute scan visits only the anti-diagonal wavefront that can fire (⅓ of
+//! the cells per cycle), feedback values live in flat vectors indexed by
+//! band offset, and the cycle loops **fast-forward** over idle stretches to
+//! the next tape event.
+//!
+//! Every per-run buffer lives in a reusable workspace ([`HexScratch`] /
+//! [`LinearScratch`]) that is cleared-not-freed between runs, so the
+//! steady-state entry points [`HexArray::run_with`] /
+//! [`LinearArray::run_with`] perform **zero heap allocations** once warm —
+//! [`ArrayStation`] owns one workspace per array, which is how the serving
+//! runtime reaches allocation-free steady-state serving.  Independent jobs
+//! fan out across OS threads through [`HexArray::run_batch`] /
+//! [`LinearArray::run_batch`] (one warm workspace per thread); single-array
+//! owners batch serially through [`HexArray::run_batch_with`] /
+//! [`LinearArray::run_batch_with`].
 //!
 //! The simulators know nothing about the paper's DBT transformation; they
 //! execute whatever band problem and injection schedule they are given.  The
@@ -56,14 +68,15 @@ pub mod batch;
 mod error;
 pub mod hex;
 pub mod linear;
+mod plane;
 pub mod report;
 pub mod spiral;
 pub mod station;
 mod tape;
 
 pub use error::SimError;
-pub use hex::{CInjection, HexArray, HexJob, HexReport};
-pub use linear::{LinearArray, LinearReport, MvStream, YInjection};
+pub use hex::{CInjection, CellOutput, HexArray, HexJob, HexReport, HexScratch};
+pub use linear::{LinearArray, LinearReport, LinearScratch, MvOutput, MvStream, YInjection};
 pub use report::{FeedbackEvent, FeedbackSummary, Utilization};
 pub use spiral::SpiralTopology;
 pub use station::{ArrayStation, StationStats};

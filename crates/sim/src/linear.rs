@@ -19,10 +19,23 @@
 //! `x`/`y` pair meets in a cell the coefficient is read straight out of the
 //! band row storage (`BandMatrix::row_slice`) — zero-copy, no per-cycle
 //! hashing, no allocation.  Fed-back partial results live in a flat vector
-//! indexed by band row.  The observable behaviour is bit-identical to the
-//! original `HashMap`-tape engine.
+//! indexed by band row.
+//!
+//! Since the zero-allocation rework the register files are **ring
+//! buffers**: an `x` value entering the right end at cycle `τ` keeps slot
+//! `τ mod w` for its whole life (it is in cell `w−1−(t−τ)` at cycle `t`),
+//! and a `y` value entering the left end at cycle `τ` keeps slot `τ mod w`
+//! of the `y` plane (cell `t−τ`), so the per-cycle shift of both streams
+//! disappears.  The planes are **struct-of-arrays** (value, occupancy
+//! bitmask and index planes); all per-run buffers live in a reusable
+//! [`LinearScratch`] that is cleared-not-freed, making
+//! [`LinearArray::run_with`] allocation-free once warm; and the cycle loop
+//! **fast-forwards** over stretches where both planes are empty straight to
+//! the next scheduled injection.  The observable behaviour is bit-identical
+//! to the original shift-everything engine.
 
-use crate::batch::par_map;
+use crate::batch::par_map_with;
+use crate::plane::{reset_vec, BitPlane};
 use crate::report::{FeedbackEvent, FeedbackSummary, Utilization};
 use crate::SimError;
 use sia_matrix::{BandMatrix, Scalar};
@@ -153,11 +166,149 @@ pub struct LinearArray {
 /// the idle phase.
 pub const MAX_STREAMS: usize = 2;
 
-#[derive(Clone, Copy)]
-struct Tagged<T> {
-    stream: usize,
-    index: usize,
-    value: T,
+/// The reusable per-run workspace of one [`LinearArray`]: the two
+/// struct-of-arrays register files (value + occupancy bitmask + index +
+/// stream planes), the flat per-stream feedback store and the event/output
+/// vectors of the most recent run.
+///
+/// Buffers are **cleared, not freed**, between runs: after a warm-up run of
+/// a given shape, [`LinearArray::run_with`] on the same scratch performs
+/// zero heap allocations (asserted by the counting-allocator test in
+/// `tests/allocations.rs`).  One scratch lives inside every
+/// [`crate::ArrayStation`].
+#[derive(Debug, Clone)]
+pub struct LinearScratch<T> {
+    // x plane, SoA (ring-addressed, see module docs).
+    x_val: Vec<T>,
+    x_idx: Vec<u32>,
+    x_stream: Vec<u8>,
+    x_occ: BitPlane,
+    // y plane, SoA.
+    y_val: Vec<T>,
+    y_idx: Vec<u32>,
+    y_stream: Vec<u8>,
+    y_occ: BitPlane,
+    // Flat feedback store, one slot per band row per stream, SoA.
+    fb_val: Vec<T>,
+    fb_cycle: Vec<usize>,
+    fb_occ: BitPlane,
+    fb_base: Vec<usize>,
+    fb_events: [Vec<FeedbackEvent>; MAX_STREAMS],
+    outputs: Vec<MvOutput<T>>,
+    // Results of the last run.
+    w: usize,
+    n_streams: usize,
+    fired: usize,
+    last_fire_cycle: usize,
+}
+
+impl<T: Scalar> Default for LinearScratch<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Scalar> LinearScratch<T> {
+    /// An empty workspace; buffers are sized lazily by the first run.
+    pub fn new() -> Self {
+        LinearScratch {
+            x_val: Vec::new(),
+            x_idx: Vec::new(),
+            x_stream: Vec::new(),
+            x_occ: BitPlane::new(),
+            y_val: Vec::new(),
+            y_idx: Vec::new(),
+            y_stream: Vec::new(),
+            y_occ: BitPlane::new(),
+            fb_val: Vec::new(),
+            fb_cycle: Vec::new(),
+            fb_occ: BitPlane::new(),
+            fb_base: Vec::new(),
+            fb_events: [Vec::new(), Vec::new()],
+            outputs: Vec::new(),
+            w: 0,
+            n_streams: 0,
+            fired: 0,
+            last_fire_cycle: 0,
+        }
+    }
+
+    /// All outputs of the last run, in the order they left the array.
+    pub fn outputs(&self) -> &[MvOutput<T>] {
+        &self.outputs
+    }
+
+    /// Cycle in which the last multiply–accumulate of the last run fired.
+    pub fn last_fire_cycle(&self) -> usize {
+        self.last_fire_cycle
+    }
+
+    /// Total array steps of the last run, `last_fire_cycle + 1`.
+    pub fn cycles(&self) -> usize {
+        self.last_fire_cycle + 1
+    }
+
+    /// Number of multiply–accumulates the last run fired.
+    pub fn fired(&self) -> usize {
+        self.fired
+    }
+
+    /// Number of interleaved streams of the last run.
+    pub fn streams(&self) -> usize {
+        self.n_streams
+    }
+
+    /// Activity accounting of the last run.
+    pub fn utilization(&self) -> Utilization {
+        Utilization {
+            pe_count: self.w,
+            cycles: self.cycles(),
+            fired: self.fired,
+        }
+    }
+
+    /// The feedback events of stream `stream`, in consumption order.
+    pub fn feedback_events(&self, stream: usize) -> &[FeedbackEvent] {
+        &self.fb_events[stream]
+    }
+
+    /// Builds the per-stream feedback summaries of the last run (clones the
+    /// events).
+    pub fn feedback_summaries(&self) -> Vec<FeedbackSummary> {
+        self.fb_events[..self.n_streams]
+            .iter()
+            .map(|events| FeedbackSummary::from_events(events.clone()))
+            .collect()
+    }
+
+    /// Writes the `ŷ` values of `stream` into `out`, indexed by band row,
+    /// and returns how many outputs were written.  Rows the run never
+    /// produced are left untouched — callers that pre-fill `out` must
+    /// check the returned count against the expected row count, or an
+    /// incomplete run would read as silent zeros.  This is the
+    /// allocation-free counterpart of [`LinearReport::y`] — a single pass
+    /// over the output stream, no sort.
+    pub fn collect_y_into(&self, stream: usize, out: &mut [T]) -> usize {
+        let mut written = 0usize;
+        for o in &self.outputs {
+            if o.stream == stream && o.row < out.len() {
+                out[o.row] = o.value;
+                written += 1;
+            }
+        }
+        written
+    }
+
+    /// Copies the last run's results out into an owned [`LinearReport`].
+    pub fn report(&self) -> LinearReport<T> {
+        LinearReport {
+            outputs: self.outputs.clone(),
+            last_fire_cycle: self.last_fire_cycle,
+            cycles: self.cycles(),
+            utilization: self.utilization(),
+            feedback: self.feedback_summaries(),
+        }
+    }
 }
 
 impl LinearArray {
@@ -225,11 +376,13 @@ impl LinearArray {
         Ok(())
     }
 
-    /// Runs one or two interleaved streams through the array.
+    /// Runs one or two interleaved streams through the array with a freshly
+    /// allocated workspace.
     ///
     /// With two streams, the second is phase-shifted by one cycle and uses
     /// the cell-cycles the first leaves idle — the paper's *overlapping*
-    /// schedule.
+    /// schedule.  Steady-state callers reuse a persistent workspace through
+    /// [`LinearArray::run_with`] instead.
     ///
     /// # Errors
     ///
@@ -237,6 +390,29 @@ impl LinearArray {
     /// wrong vector lengths, more than [`MAX_STREAMS`] streams) or if a
     /// feedback injection needs a value the array has not produced yet.
     pub fn run<T: Scalar>(&self, streams: &[MvStream<T>]) -> Result<LinearReport<T>, SimError> {
+        let mut scratch = LinearScratch::new();
+        self.run_with(streams, &mut scratch)?;
+        Ok(scratch.report())
+    }
+
+    /// Runs one or two interleaved streams, reusing the caller's workspace.
+    ///
+    /// All per-run buffers live in `scratch` and are cleared-not-freed, so
+    /// repeated runs of same-shaped jobs perform **no heap allocation**
+    /// after the first.  The results stay readable on the scratch
+    /// ([`LinearScratch::outputs`] and friends) until the next run; they are
+    /// bit-identical to what [`LinearArray::run`] reports for the same
+    /// streams.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LinearArray::run`].  After an error the scratch holds no
+    /// meaningful results but stays valid for the next run.
+    pub fn run_with<T: Scalar>(
+        &self,
+        streams: &[MvStream<T>],
+        scratch: &mut LinearScratch<T>,
+    ) -> Result<(), SimError> {
         self.validate(streams)?;
         let w = self.w;
 
@@ -258,33 +434,125 @@ impl LinearArray {
             }
         }
 
-        let mut x_regs: Vec<Option<Tagged<T>>> = vec![None; w];
-        let mut y_regs: Vec<Option<Tagged<T>>> = vec![None; w];
+        // ---- SoA register files (ring-addressed, cleared not freed) ---------
+        reset_vec(&mut scratch.x_val, w, T::zero());
+        reset_vec(&mut scratch.x_idx, w, 0);
+        reset_vec(&mut scratch.x_stream, w, 0);
+        scratch.x_occ.reset(w);
+        reset_vec(&mut scratch.y_val, w, T::zero());
+        reset_vec(&mut scratch.y_idx, w, 0);
+        reset_vec(&mut scratch.y_stream, w, 0);
+        scratch.y_occ.reset(w);
 
-        let mut outputs: Vec<MvOutput<T>> = Vec::new();
-        let total_rows: usize = streams.iter().map(|s| s.band.rows()).sum();
-        // Flat feedback stores, one slot per band row of each stream:
-        // (value, production cycle).
-        let mut fb_store: Vec<Vec<Option<(T, usize)>>> =
-            streams.iter().map(|s| vec![None; s.band.rows()]).collect();
-        let mut fb_events: Vec<Vec<FeedbackEvent>> = vec![Vec::new(); streams.len()];
+        // ---- flat feedback store: one slot per band row per stream ----------
+        scratch.fb_base.clear();
+        let mut total_rows = 0usize;
+        for s in streams {
+            scratch.fb_base.push(total_rows);
+            total_rows += s.band.rows();
+        }
+        reset_vec(&mut scratch.fb_val, total_rows, T::zero());
+        reset_vec(&mut scratch.fb_cycle, total_rows, 0);
+        scratch.fb_occ.reset(total_rows);
+        for events in &mut scratch.fb_events {
+            events.clear();
+        }
+        scratch.outputs.clear();
+        scratch.outputs.reserve(total_rows);
+        scratch.w = w;
+        scratch.n_streams = streams.len();
 
+        let mut x_count = 0usize;
+        let mut y_count = 0usize;
         let mut fired = 0usize;
         let mut last_fire_cycle = 0usize;
         let mut t = 0usize;
 
+        // The earliest cycle >= t of the arithmetic schedule base + 2i,
+        // i < count (the x and y boundary schedules are both of this form).
+        let next_in_schedule = |base: usize, count: usize, t: usize| -> Option<usize> {
+            if count == 0 {
+                return None;
+            }
+            if t <= base {
+                return Some(base);
+            }
+            let i = (t - base).div_ceil(2);
+            (i < count).then_some(base + 2 * i)
+        };
+
+        let LinearScratch {
+            x_val,
+            x_idx,
+            x_stream,
+            x_occ,
+            y_val,
+            y_idx,
+            y_stream,
+            y_occ,
+            fb_val,
+            fb_cycle,
+            fb_occ,
+            fb_base,
+            fb_events,
+            outputs,
+            ..
+        } = scratch;
+
+        // Ring cursor: tm = t mod w, maintained incrementally so the hot
+        // loop never divides (a division only happens after a skip jump).
+        let mut tm = 0usize;
+        let wrap_w = |x: usize| if x >= w { x - w } else { x };
+
         while outputs.len() < total_rows {
-            // 1. Injections at the array boundaries.
+            // 0. Event-driven cycle skipping: with both register files empty
+            //    nothing can fire or exit, so fast-forward to the next
+            //    scheduled boundary injection (idle prologue/epilogue/gap
+            //    cycles cost nothing; step accounting derives from the last
+            //    firing cycle, which idle cycles do not move).
+            if x_count == 0 && y_count == 0 {
+                let next = streams
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(phase, s)| {
+                        [
+                            next_in_schedule(phase, s.x.len(), t),
+                            next_in_schedule(phase + w - 1, s.band.rows(), t),
+                        ]
+                    })
+                    .flatten()
+                    .min();
+                match next {
+                    Some(next_t) => {
+                        if next_t != t {
+                            t = next_t;
+                            tm = t % w;
+                        }
+                    }
+                    // No further injection is scheduled and nothing is in
+                    // flight: no output can ever appear.
+                    None => break,
+                }
+            }
+
+            // 1. Injections at the array boundaries.  Ring addressing puts
+            //    both entry cells on slot t mod w; the x slot being recycled
+            //    is exactly the slot whose occupant fell off the left end.
+            let slot = tm;
+            if x_occ.take(slot) {
+                x_count -= 1;
+            }
             for (phase, s) in streams.iter().enumerate() {
                 // x_j enters the rightmost cell at cycle  phase + 2 j.
                 if t >= phase && (t - phase).is_multiple_of(2) {
                     let j = (t - phase) / 2;
                     if j < s.x.len() {
-                        x_regs[w - 1] = Some(Tagged {
-                            stream: phase,
-                            index: j,
-                            value: s.x[j],
-                        });
+                        x_val[slot] = s.x[j];
+                        x_idx[slot] = j as u32;
+                        x_stream[slot] = phase as u8;
+                        if !x_occ.set(slot) {
+                            x_count += 1;
+                        }
                     }
                 }
                 // ŷ_i enters the leftmost cell at cycle  phase + (w-1) + 2 i.
@@ -294,12 +562,14 @@ impl LinearArray {
                         let value = match s.y_injections[i] {
                             YInjection::Value(v) => v,
                             YInjection::Feedback { producer_row } => {
-                                let (value, produced_at) = fb_store[phase][producer_row].ok_or(
-                                    SimError::FeedbackNotReady {
+                                let pidx = fb_base[phase] + producer_row;
+                                if !fb_occ.get(pidx) {
+                                    return Err(SimError::FeedbackNotReady {
                                         producer: (producer_row, 0),
                                         needed_at: t,
-                                    },
-                                )?;
+                                    });
+                                }
+                                let produced_at = fb_cycle[pidx];
                                 if produced_at >= t {
                                     return Err(SimError::FeedbackNotReady {
                                         producer: (producer_row, 0),
@@ -312,85 +582,90 @@ impl LinearArray {
                                     produced_at,
                                     consumed_at: t,
                                 });
-                                value
+                                fb_val[pidx]
                             }
                         };
-                        y_regs[0] = Some(Tagged {
-                            stream: phase,
-                            index: i,
-                            value,
-                        });
+                        y_val[slot] = value;
+                        y_idx[slot] = i as u32;
+                        y_stream[slot] = phase as u8;
+                        if !y_occ.set(slot) {
+                            y_count += 1;
+                        }
                     }
                 }
             }
 
-            // 2. Compute: each cell with x, y and a coefficient fires.  A y
-            //    value in cell k at cycle t is there exactly at its firing
-            //    cycle, so the coefficient exists iff column i + k is inside
-            //    the band row — read zero-copy from the row slice.
+            // 2. Compute: each cell with x, y and a coefficient fires.  The
+            //    x value of cell k lives in ring slot (t+k+1) mod w, the y
+            //    value in slot (t-k) mod w — both walked incrementally from
+            //    the cycle cursor; a y value in cell k at cycle t is there
+            //    exactly at its firing cycle, so the coefficient exists iff
+            //    column i + k is inside the band row — read zero-copy from
+            //    the row slice.
+            let mut xs = wrap_w(tm + 1);
+            let mut ys = tm;
             for k in 0..w {
-                if let (Some(x), Some(y)) = (x_regs[k], y_regs[k].as_mut()) {
-                    let s = &streams[y.stream];
-                    if y.index + k < s.band.cols() {
-                        let a = s.band.row_slice(y.index)[k];
-                        debug_assert_eq!(x.stream, y.stream, "streams must not mix inside a cell");
+                if x_occ.get(xs) && y_occ.get(ys) {
+                    let s = &streams[y_stream[ys] as usize];
+                    let i = y_idx[ys] as usize;
+                    if i + k < s.band.cols() {
+                        let a = s.band.row_slice(i)[k];
                         debug_assert_eq!(
-                            x.index,
-                            y.index + k,
+                            x_stream[xs], y_stream[ys],
+                            "streams must not mix inside a cell"
+                        );
+                        debug_assert_eq!(
+                            x_idx[xs] as usize,
+                            i + k,
                             "contraflow schedule must pair x_(i+k) with y_i in cell k"
                         );
-                        y.value += a * x.value;
+                        y_val[ys] += a * x_val[xs];
                         fired += 1;
                         last_fire_cycle = t;
                     }
                 }
+                xs = wrap_w(xs + 1);
+                ys = if ys == 0 { w - 1 } else { ys - 1 };
             }
 
-            // 3. Shift: y moves right (and leaves at the right end),
-            //    x moves left (and is discarded at the left end).
-            if let Some(done) = y_regs[w - 1].take() {
+            // 3. Shift: the rings absorb the movement; only the y exit at
+            //    the right end needs work (x values are recycled by the
+            //    injection step when their slot comes round again).
+            //    (t - (w - 1)) mod w == (tm + 1) mod w.
+            let exit = wrap_w(tm + 1);
+            if y_occ.take(exit) {
+                y_count -= 1;
+                let stream = y_stream[exit] as usize;
+                let row = y_idx[exit] as usize;
+                let value = y_val[exit];
                 outputs.push(MvOutput {
-                    stream: done.stream,
-                    row: done.index,
-                    value: done.value,
+                    stream,
+                    row,
+                    value,
                     cycle: t,
                 });
-                fb_store[done.stream][done.index] = Some((done.value, t));
+                let fidx = fb_base[stream] + row;
+                fb_val[fidx] = value;
+                fb_cycle[fidx] = t;
+                fb_occ.set(fidx);
             }
-            for k in (1..w).rev() {
-                y_regs[k] = y_regs[k - 1].take();
-            }
-            for k in 0..w - 1 {
-                x_regs[k] = x_regs[k + 1].take();
-            }
-            x_regs[w - 1] = None;
 
             t += 1;
+            tm = wrap_w(tm + 1);
             // Safety net: a malformed schedule must not loop forever.
             if t > 4 * (last_fire_possible + 2 * w + 4) {
                 break;
             }
         }
 
-        let cycles = last_fire_cycle + 1;
-        Ok(LinearReport {
-            outputs,
-            last_fire_cycle,
-            cycles,
-            utilization: Utilization {
-                pe_count: w,
-                cycles,
-                fired,
-            },
-            feedback: fb_events
-                .into_iter()
-                .map(FeedbackSummary::from_events)
-                .collect(),
-        })
+        scratch.fired = fired;
+        scratch.last_fire_cycle = last_fire_cycle;
+        Ok(())
     }
 
     /// Runs independent jobs (each a set of one or two interleaved streams)
-    /// in parallel on scoped OS threads, returning the reports in job order.
+    /// in parallel on scoped OS threads (one reused [`LinearScratch`] per
+    /// thread), returning the reports in job order.
     ///
     /// Each job's report is bit-identical to what [`LinearArray::run`]
     /// returns for it; the bands behind the streams are shared via [`Arc`],
@@ -403,9 +678,32 @@ impl LinearArray {
         &self,
         jobs: &[Vec<MvStream<T>>],
     ) -> Result<Vec<LinearReport<T>>, SimError> {
-        par_map(jobs, |streams| self.run(streams))
-            .into_iter()
-            .collect()
+        par_map_with(jobs, LinearScratch::new, |scratch, streams| {
+            self.run_with(streams, scratch)?;
+            Ok(scratch.report())
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Runs a batch of jobs **serially** through one caller-owned scratch,
+    /// returning the reports in job order; the single-array counterpart of
+    /// [`LinearArray::run_batch`] (see [`crate::HexArray::run_batch_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the error of the first failing job, if any.
+    pub fn run_batch_with<T: Scalar>(
+        &self,
+        jobs: &[Vec<MvStream<T>>],
+        scratch: &mut LinearScratch<T>,
+    ) -> Result<Vec<LinearReport<T>>, SimError> {
+        let mut reports = Vec::with_capacity(jobs.len());
+        for streams in jobs {
+            self.run_with(streams, scratch)?;
+            reports.push(scratch.report());
+        }
+        Ok(reports)
     }
 }
 
@@ -475,6 +773,38 @@ mod tests {
             let report = run_plain(&dense, w, &x);
             assert_eq!(report.cycles, 2 * rows + 2 * w - 3, "rows={rows} w={w}");
             assert_eq!(report.utilization.fired, rows * w);
+        }
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_identical_to_fresh_runs() {
+        let w = 3;
+        let array = LinearArray::new(w).unwrap();
+        let mut scratch = LinearScratch::new();
+        for seed in 0..6u64 {
+            let rows = 3 + seed as usize % 4;
+            let cols = rows + w - 1;
+            let dense = upper_band_dense(rows, cols, w, 500 + seed);
+            let x = gen::random_vector_i64(cols, 4, 600 + seed);
+            let mut injections = vec![YInjection::Value(seed as i64); rows];
+            if rows > 3 {
+                injections[3] = YInjection::Feedback { producer_row: 0 };
+            }
+            let stream = MvStream {
+                band: BandMatrix::try_from_dense(&dense, 0, w - 1).unwrap().into(),
+                x,
+                y_injections: injections,
+            };
+            let streams = vec![stream];
+            let fresh = array.run(&streams).unwrap();
+            array.run_with(&streams, &mut scratch).unwrap();
+            assert_eq!(scratch.outputs(), &fresh.outputs[..], "seed {seed}");
+            assert_eq!(scratch.cycles(), fresh.cycles);
+            assert_eq!(scratch.utilization(), fresh.utilization);
+            assert_eq!(scratch.feedback_summaries(), fresh.feedback);
+            let mut y = vec![0i64; rows];
+            scratch.collect_y_into(0, &mut y);
+            assert_eq!(y, fresh.y(0));
         }
     }
 
@@ -691,12 +1021,16 @@ mod tests {
             .collect();
         let batch = array.run_batch(&jobs).unwrap();
         assert_eq!(batch.len(), jobs.len());
-        for (job, batched) in jobs.iter().zip(&batch) {
+        let mut scratch = LinearScratch::new();
+        let serial = array.run_batch_with(&jobs, &mut scratch).unwrap();
+        for ((job, batched), serial) in jobs.iter().zip(&batch).zip(&serial) {
             let solo = array.run(job).unwrap();
             assert_eq!(batched.outputs, solo.outputs);
             assert_eq!(batched.cycles, solo.cycles);
             assert_eq!(batched.utilization, solo.utilization);
             assert_eq!(batched.feedback, solo.feedback);
+            assert_eq!(serial.outputs, solo.outputs);
+            assert_eq!(serial.cycles, solo.cycles);
         }
     }
 }

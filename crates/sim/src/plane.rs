@@ -1,0 +1,98 @@
+//! Occupancy bitmask planes for the struct-of-arrays register files.
+//!
+//! The tape-driven engines store each register plane as separate value /
+//! index / occupancy arrays (SoA) instead of `Vec<Option<Tag>>` (AoS): the
+//! compute scan then tests one bit per cell instead of matching an `Option`
+//! discriminant interleaved with the payload, and the value arrays stay
+//! densely packed for the multiply–accumulate inner loop.  [`BitPlane`] is
+//! the occupancy half: a plain `u64` bitset that is cleared-not-freed
+//! between runs.
+
+/// Clears `v` and refills it to `len` copies of `fill`, reusing the
+/// allocation — the clear-not-free idiom every scratch buffer follows.
+/// Always going through this (instead of hand-written `clear` + `resize`
+/// pairs) guarantees no run can see a previous, larger run's stale values
+/// past the new logical size.
+#[inline]
+pub(crate) fn reset_vec<T: Copy>(v: &mut Vec<T>, len: usize, fill: T) {
+    v.clear();
+    v.resize(len, fill);
+}
+
+/// A reusable occupancy bitset, one bit per register slot.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BitPlane {
+    words: Vec<u64>,
+}
+
+impl BitPlane {
+    /// An empty plane with no storage allocated yet.
+    pub(crate) fn new() -> Self {
+        BitPlane { words: Vec::new() }
+    }
+
+    /// Resizes the plane to cover `bits` slots, all vacant.  Reuses the
+    /// previous allocation whenever it is large enough.
+    pub(crate) fn reset(&mut self, bits: usize) {
+        let words = bits.div_ceil(64);
+        self.words.clear();
+        self.words.resize(words, 0);
+    }
+
+    /// Whether slot `i` is occupied.
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 != 0
+    }
+
+    /// Marks slot `i` occupied; returns whether it already was.
+    #[inline]
+    pub(crate) fn set(&mut self, i: usize) -> bool {
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let was = *word & mask != 0;
+        *word |= mask;
+        was
+    }
+
+    /// Vacates slot `i`; returns whether it was occupied.
+    #[inline]
+    pub(crate) fn take(&mut self, i: usize) -> bool {
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let was = *word & mask != 0;
+        *word &= !mask;
+        was
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_take_round_trip() {
+        let mut plane = BitPlane::new();
+        plane.reset(130);
+        assert!(!plane.get(0));
+        assert!(!plane.set(129));
+        assert!(plane.get(129));
+        assert!(plane.set(129));
+        assert!(plane.take(129));
+        assert!(!plane.get(129));
+        assert!(!plane.take(129));
+    }
+
+    #[test]
+    fn reset_vacates_everything_and_resizes() {
+        let mut plane = BitPlane::new();
+        plane.reset(64);
+        plane.set(63);
+        plane.reset(200);
+        assert!(!plane.get(63));
+        assert!(!plane.get(199));
+        plane.set(199);
+        plane.reset(10);
+        assert!(!plane.get(9));
+    }
+}

@@ -77,6 +77,10 @@ impl FeedbackSummary {
     /// Builds the summary from a list of events (computes occupancy).
     pub fn from_events(events: Vec<FeedbackEvent>) -> Self {
         // A value occupies storage during cycles [produced_at+1, consumed_at-1].
+        // Occupancy is computed with a difference array — +1 at entry, -1 at
+        // exit, prefix-max — so the cost is O(events + horizon) instead of
+        // O(events × storage window), which matters for the hexagonal
+        // array's long irregular delays.
         let mut max_in_flight = 0usize;
         if !events.is_empty() {
             let horizon = events
@@ -84,16 +88,23 @@ impl FeedbackSummary {
                 .map(|e| e.consumed_at)
                 .max()
                 .unwrap_or(0)
-                .saturating_add(1);
-            let mut occupancy = vec![0usize; horizon];
+                .saturating_add(2);
+            let mut delta = vec![0isize; horizon];
             for e in &events {
                 let start = e.produced_at + 1;
                 let end = e.consumed_at; // exclusive
-                for slot in occupancy.iter_mut().take(end).skip(start) {
-                    *slot += 1;
+                if start < end {
+                    delta[start] += 1;
+                    delta[end] -= 1;
                 }
             }
-            max_in_flight = occupancy.into_iter().max().unwrap_or(0);
+            let mut occupancy = 0isize;
+            let mut peak = 0isize;
+            for d in delta {
+                occupancy += d;
+                peak = peak.max(occupancy);
+            }
+            max_in_flight = peak as usize;
         }
         FeedbackSummary {
             events,

@@ -19,4 +19,7 @@ cargo clippy --all-targets -- -D warnings
 echo "== paper_experiments (measured-vs-paper agreement, incl. E10 throughput)"
 cargo run -p sia-bench --release --bin paper_experiments > /dev/null
 
+echo "== paper_experiments --json (perf trajectory: BENCH_mm/mv/throughput.json)"
+cargo run -p sia-bench --release --bin paper_experiments -- --json .
+
 echo "CI gate passed."

@@ -1,0 +1,104 @@
+//! The zero-allocation steady-state proof.
+//!
+//! This integration test binary installs the counting global allocator
+//! from `sia-alloc` and drives the serving hot path — raw band jobs
+//! through a persistent [`ArrayStation`]'s warm workspaces, exactly what a
+//! `sia-runtime` worker executes per job inside the solver `_on` entry
+//! points — asserting that **zero heap allocations** happen per job once
+//! the workspaces are warm.
+//!
+//! The binary contains exactly one `#[test]` so no concurrently running
+//! test can pollute the process-wide counter.  (Solver-level `_on` calls
+//! still allocate their per-job operands and results — those are owned
+//! payloads handed to the client — but the engine underneath them, which
+//! executes every simulated cycle, allocates nothing.)
+
+use sia_alloc::{allocation_count, CountingAllocator};
+use size_independent_systolic::prelude::*;
+use size_independent_systolic::sim::{HexJob, MvStream, YInjection};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn band_pair(n: usize, w: usize, seed: u64) -> (BandMatrix<f64>, BandMatrix<f64>) {
+    let full = gen::random_dense_f64(n, n, seed);
+    let da = DenseMatrix::from_fn(n, n, |i, j| {
+        if j >= i && j < i + w {
+            full.at(i, j)
+        } else {
+            0.0
+        }
+    });
+    let db = DenseMatrix::from_fn(n, n, |i, j| {
+        if i >= j && i < j + w {
+            full.at(i, j)
+        } else {
+            0.0
+        }
+    });
+    (
+        BandMatrix::try_from_dense(&da, 0, w - 1).unwrap(),
+        BandMatrix::try_from_dense(&db, w - 1, 0).unwrap(),
+    )
+}
+
+#[test]
+fn steady_state_station_serving_allocates_nothing() {
+    let w = 4;
+    let n = 32;
+
+    // A hex job with a feedback injection (exercising the feedback store
+    // and event paths) and a linear stream with a feedback chain.
+    let (ba, bb) = band_pair(n, w, 11);
+    let mut hex_job = HexJob::product(ba, bb);
+    hex_job.c_injections.push((
+        (6, 6),
+        size_independent_systolic::sim::CInjection::Feedback { producer: (0, 0) },
+    ));
+
+    let rows = 24;
+    let cols = rows + w - 1;
+    let full = gen::random_dense_f64(rows, cols, 12);
+    let dense = DenseMatrix::from_fn(rows, cols, |i, j| {
+        if j >= i && j < i + w {
+            full.at(i, j)
+        } else {
+            0.0
+        }
+    });
+    let mut y_injections = vec![YInjection::Value(0.5); rows];
+    y_injections[5] = YInjection::Feedback { producer_row: 1 };
+    let streams = vec![MvStream {
+        band: BandMatrix::try_from_dense(&dense, 0, w - 1).unwrap().into(),
+        x: gen::random_vector_f64(cols, 13),
+        y_injections,
+    }];
+
+    let mut station = ArrayStation::<f64>::new(w).unwrap();
+
+    // Warm-up: the first run of each shape sizes every buffer.
+    let hex_outputs = station.run_hex(&hex_job).unwrap().outputs().len();
+    let mv_outputs = station.run_mv(&streams).unwrap().outputs().len();
+    assert!(hex_outputs > 0 && mv_outputs > 0);
+
+    // Steady state: many jobs, zero allocations.
+    let jobs = 64;
+    let before = allocation_count();
+    for _ in 0..jobs {
+        let hex_scratch = station.run_hex(&hex_job).unwrap();
+        assert_eq!(hex_scratch.outputs().len(), hex_outputs);
+        let mv_scratch = station.run_mv(&streams).unwrap();
+        assert_eq!(mv_scratch.outputs().len(), mv_outputs);
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "farm steady state must be allocation-free: {} allocations over {jobs} hex+mv jobs",
+        after - before
+    );
+
+    // Sanity: the counter is actually live (building a vector allocates).
+    let probe: Vec<u64> = (0..1024).collect();
+    assert!(allocation_count() > after, "counter must observe {probe:?}");
+}

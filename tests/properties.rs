@@ -18,10 +18,15 @@
 
 use sia_matrix::rng::SplitMix64;
 use size_independent_systolic::dbt::{ext, sparse};
-use size_independent_systolic::dbt::{multiply_mm_batch, multiply_mv_batch, MmProblem, MvProblem};
+use size_independent_systolic::dbt::{
+    multiply_mm_batch, multiply_mm_batch_on, multiply_mm_on, multiply_mv_batch,
+    multiply_mv_batch_on, multiply_mv_on, MmProblem, MvProblem,
+};
 use size_independent_systolic::prelude::*;
 use size_independent_systolic::runtime::{JobOutput, JobTicket};
-use size_independent_systolic::sim::{HexJob, LinearArray, MvStream, YInjection};
+use size_independent_systolic::sim::{
+    CInjection, HexJob, HexScratch, LinearArray, LinearScratch, MvStream, YInjection,
+};
 use std::collections::HashSet;
 
 const CASES: usize = 48;
@@ -259,6 +264,202 @@ fn mv_batch_is_outcome_identical_to_sequential_runs() {
             assert_eq!(batched.activity, solo.activity);
             assert_eq!(batched.feedback, solo.feedback);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace-reuse properties: a reused scratch (and a reused station) is
+// bit-identical to fresh runs across randomized shapes — the correctness
+// contract of the zero-allocation steady state.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reused_hex_scratch_is_bit_identical_to_fresh_runs_across_random_shapes() {
+    let mut rng = SplitMix64::new(0x5C4A);
+    let w = 3;
+    let hex = HexArray::new(w).unwrap();
+    // ONE scratch across all cases: sizes shrink and grow between runs.
+    let mut scratch = HexScratch::new();
+    for _ in 0..CASES {
+        let n = rng.range_usize(2, 12);
+        let full = random_matrix(&mut rng, n, n);
+        let da = DenseMatrix::from_fn(n, n, |i, j| {
+            if j >= i && j < i + w {
+                full.at(i, j)
+            } else {
+                0
+            }
+        });
+        let full_b = random_matrix(&mut rng, n, n);
+        let db = DenseMatrix::from_fn(n, n, |i, j| {
+            if i >= j && i < j + w {
+                full_b.at(i, j)
+            } else {
+                0
+            }
+        });
+        let mut job = HexJob::product(
+            BandMatrix::try_from_dense(&da, 0, w - 1).unwrap(),
+            BandMatrix::try_from_dense(&db, w - 1, 0).unwrap(),
+        );
+        if n > 4 && rng.next_bool(0.5) {
+            // Random feedback chain within the band.
+            job.c_injections
+                .push(((4, 4), CInjection::Feedback { producer: (1, 1) }));
+        }
+        let fresh = hex.run(&job).unwrap();
+        hex.run_with(&job, &mut scratch).unwrap();
+        assert_eq!(scratch.outputs(), &fresh.outputs[..], "n={n}");
+        assert_eq!(scratch.cycles(), fresh.cycles, "n={n}");
+        assert_eq!(scratch.last_fire_cycle(), fresh.last_fire_cycle);
+        assert_eq!(scratch.utilization(), fresh.utilization, "n={n}");
+        assert_eq!(scratch.feedback_summary(), fresh.feedback, "n={n}");
+    }
+}
+
+#[test]
+fn reused_linear_scratch_is_bit_identical_to_fresh_runs_across_random_shapes() {
+    let mut rng = SplitMix64::new(0x5C4B);
+    let w = 3;
+    let array = LinearArray::new(w).unwrap();
+    let mut scratch = LinearScratch::new();
+    for _ in 0..CASES {
+        let n_streams = rng.range_usize(1, 3);
+        let streams: Vec<MvStream<i64>> = (0..n_streams)
+            .map(|_| {
+                let rows = rng.range_usize(1, 12);
+                let cols = rows + w - 1;
+                let full = random_matrix(&mut rng, rows, cols);
+                let dense = DenseMatrix::from_fn(rows, cols, |i, j| {
+                    if j >= i && j < i + w {
+                        full.at(i, j)
+                    } else {
+                        0
+                    }
+                });
+                let mut y_injections = vec![YInjection::Value(1); rows];
+                if rows > 4 {
+                    y_injections[4] = YInjection::Feedback { producer_row: 0 };
+                }
+                MvStream {
+                    band: BandMatrix::try_from_dense(&dense, 0, w - 1).unwrap().into(),
+                    x: gen::random_vector_i64(cols, 5, rng.next_u64()),
+                    y_injections,
+                }
+            })
+            .collect();
+        let fresh = array.run(&streams).unwrap();
+        array.run_with(&streams, &mut scratch).unwrap();
+        assert_eq!(scratch.outputs(), &fresh.outputs[..]);
+        assert_eq!(scratch.cycles(), fresh.cycles);
+        assert_eq!(scratch.utilization(), fresh.utilization);
+        assert_eq!(scratch.feedback_summaries(), fresh.feedback);
+    }
+}
+
+#[test]
+fn shared_station_solver_runs_match_fresh_solver_runs() {
+    // One station serves a random mixed sequence of mm/mv/sparse jobs; every
+    // outcome must be bit-identical to the per-call transient path, and the
+    // station must account exactly the cycles the outcomes report.
+    let mut rng = SplitMix64::new(0x57A7);
+    let w = 3;
+    let mut station = ArrayStation::<f64>::new(w).unwrap();
+    let mut expected_cycles = 0usize;
+    for _ in 0..CASES / 2 {
+        let n = rng.range_usize(1, 8);
+        let m = rng.range_usize(1, 8);
+        match rng.range_usize(0, 3) {
+            0 => {
+                let p = rng.range_usize(1, 8);
+                let a = gen::random_dense_f64(n, p, rng.next_u64());
+                let b = gen::random_dense_f64(p, m, rng.next_u64());
+                let shared = multiply_mm_on(&mut station, &a, &b, None).unwrap();
+                let fresh = multiply_mm(&a, &b, None, w).unwrap();
+                assert_eq!(shared.c, fresh.c);
+                assert_eq!(shared.cycles, fresh.cycles);
+                assert_eq!(shared.feedback, fresh.feedback);
+                expected_cycles += shared.cycles;
+            }
+            1 => {
+                let a = gen::random_dense_f64(n, m, rng.next_u64());
+                let x = gen::random_vector_f64(m, rng.next_u64());
+                let schedule = if rng.next_bool(0.5) {
+                    MvSchedule::Overlapped
+                } else {
+                    MvSchedule::Simple
+                };
+                let shared = multiply_mv_on(&mut station, &a, &x, None, schedule).unwrap();
+                let fresh = multiply_mv(&a, &x, None, w, schedule).unwrap();
+                assert_eq!(shared.y, fresh.y);
+                assert_eq!(shared.cycles, fresh.cycles);
+                assert_eq!(shared.feedback, fresh.feedback);
+                expected_cycles += shared.cycles;
+            }
+            _ => {
+                let a = gen::block_sparse_f64(n, m, w, rng.range_f64(0.0, 1.0), rng.next_u64());
+                let x = gen::random_vector_f64(m, rng.next_u64());
+                let shared =
+                    sparse::multiply_mv_block_sparse_on(&mut station, &a, &x, None).unwrap();
+                let fresh = sparse::multiply_mv_block_sparse(&a, &x, None, w).unwrap();
+                assert_eq!(shared.outcome.y, fresh.outcome.y);
+                assert_eq!(shared.outcome.cycles, fresh.outcome.cycles);
+                expected_cycles += shared.outcome.cycles;
+            }
+        }
+    }
+    assert_eq!(
+        station.stats().total_cycles(),
+        expected_cycles,
+        "structural attribution must account exactly the served cycles"
+    );
+}
+
+#[test]
+fn station_batches_match_parallel_batches_and_fresh_runs() {
+    let mut rng = SplitMix64::new(0xBA7E);
+    let w = 3;
+    let mut station = ArrayStation::<i64>::new(w).unwrap();
+    let mats: Vec<(DenseMatrix<i64>, DenseMatrix<i64>)> = (0..6)
+        .map(|_| {
+            let n = rng.range_usize(1, 7);
+            let p = rng.range_usize(1, 7);
+            let m = rng.range_usize(1, 7);
+            (random_matrix(&mut rng, n, p), random_matrix(&mut rng, p, m))
+        })
+        .collect();
+    let problems: Vec<MmProblem<'_, i64>> = mats
+        .iter()
+        .map(|(a, b)| MmProblem { a, b, e: None })
+        .collect();
+    let on_station = multiply_mm_batch_on(&mut station, &problems).unwrap();
+    let parallel = multiply_mm_batch(&problems, w).unwrap();
+    for ((p, serial), par) in problems.iter().zip(&on_station).zip(&parallel) {
+        let fresh = multiply_mm(p.a, p.b, None, w).unwrap();
+        assert_eq!(serial.c, fresh.c);
+        assert_eq!(serial.cycles, fresh.cycles);
+        assert_eq!(par.c, fresh.c);
+        assert_eq!(par.cycles, fresh.cycles);
+    }
+
+    let data: Vec<(DenseMatrix<i64>, Vec<i64>)> = (0..6)
+        .map(|_| {
+            let n = rng.range_usize(1, 9);
+            let m = rng.range_usize(1, 9);
+            let a = random_matrix(&mut rng, n, m);
+            let x = gen::random_vector_i64(m, 6, rng.next_u64());
+            (a, x)
+        })
+        .collect();
+    let problems: Vec<MvProblem<'_, i64>> = data
+        .iter()
+        .map(|(a, x)| MvProblem { a, x, b: None })
+        .collect();
+    let on_station = multiply_mv_batch_on(&mut station, &problems, MvSchedule::Simple).unwrap();
+    for (p, serial) in problems.iter().zip(&on_station) {
+        let fresh = multiply_mv(p.a, p.x, None, w, MvSchedule::Simple).unwrap();
+        assert_eq!(serial.y, fresh.y);
+        assert_eq!(serial.cycles, fresh.cycles);
     }
 }
 
