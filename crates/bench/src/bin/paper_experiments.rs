@@ -9,10 +9,12 @@
 //! (steady state, on warm stations) and the array farm, writing
 //! `BENCH_mm.json` / `BENCH_mv.json` (shape, measured and predicted
 //! cycles, wall-time, allocations per solve, throughput) and
-//! `BENCH_throughput.json` (farm jobs/sec — cold and steady —
-//! allocations per job and latency percentiles per scheduling policy)
-//! into `DIR` (default: the current directory), so the perf trajectory can
-//! be tracked across PRs:
+//! `BENCH_throughput.json` (the E10 farm serving records — jobs/sec cold
+//! and steady, allocations per job, latency percentiles per scheduling
+//! policy — plus the E11 weighted-fair tenancy records: per-tenant served
+//! shares and shed/cancel counts under FIFO vs WFQ) into `DIR` (default:
+//! the current directory), so the perf trajectory can be tracked across
+//! PRs:
 //!
 //! ```text
 //! cargo run -p sia-bench --release --bin paper_experiments -- --json
@@ -52,9 +54,10 @@ fn run_json(dir: &Path) -> ExitCode {
         ("BENCH_mv.json", perf::to_json(&perf::mv_perf_records())),
     ];
     let throughput = perf::throughput_records();
+    let fairness = perf::fairness_records();
     outputs.push((
         "BENCH_throughput.json",
-        perf::throughput_to_json(&throughput),
+        perf::bench_throughput_json(&throughput, &fairness),
     ));
     for (file, json) in outputs {
         let path = dir.join(file);
@@ -78,6 +81,7 @@ fn run_tables() -> ExitCode {
         experiments::run_baseline_comparison(),
         experiments::run_sparse_experiment(),
         experiments::run_throughput(),
+        experiments::run_fairness(),
     ];
     let mut all_ok = true;
     for report in &reports {

@@ -11,7 +11,7 @@
 //! the build environment has no crates.io access, and the schema is flat
 //! enough that serde would be overkill anyway.
 
-use crate::experiments::{measure_throughput, ThroughputStats};
+use crate::experiments::{measure_fairness, measure_throughput, FairnessStats, ThroughputStats};
 use crate::harness::BenchGroup;
 use sia_dbt::{multiply_mm_on, multiply_mv_on, MmShape, MvSchedule, MvShape};
 use sia_matrix::gen;
@@ -173,6 +173,53 @@ pub fn throughput_records() -> Vec<ThroughputStats> {
     Policy::ALL.into_iter().map(measure_throughput).collect()
 }
 
+/// Measures the E11 two-tenant 10:1 fairness mix under FIFO and WFQ.
+pub fn fairness_records() -> Vec<FairnessStats> {
+    [Policy::Fifo, Policy::WeightedFair]
+        .into_iter()
+        .map(measure_fairness)
+        .collect()
+}
+
+/// Renders fairness records as a JSON array (stable key order).
+pub fn fairness_to_json(records: &[FairnessStats]) -> String {
+    let mut out = String::from("[\n");
+    for (idx, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "  {{\"policy\": \"{}\", \"wall_ms\": {:.3}, ",
+                "\"heavy_served\": {}, \"heavy_cycles\": {}, ",
+                "\"light_served\": {}, \"light_cycles\": {}, ",
+                "\"heavy_share\": {:.6}, \"cancelled\": {}, \"shed\": {}}}"
+            ),
+            r.policy.label(),
+            r.wall.as_secs_f64() * 1e3,
+            r.heavy_served,
+            r.heavy_cycles,
+            r.light_served,
+            r.light_cycles,
+            r.heavy_share,
+            r.cancelled,
+            r.shed,
+        ));
+        out.push_str(if idx + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Composes the full `BENCH_throughput.json` payload: the E10 per-policy
+/// serving records plus the E11 fairness records, as one object.
+pub fn bench_throughput_json(e10: &[ThroughputStats], e11: &[FairnessStats]) -> String {
+    let policies = throughput_to_json(e10);
+    let fairness = fairness_to_json(e11);
+    format!(
+        "{{\n\"e10_policies\": {},\n\"e11_fairness\": {}}}\n",
+        policies.trim_end(),
+        fairness.trim_end()
+    )
+}
+
 /// Renders throughput records as a JSON array (stable key order).
 pub fn throughput_to_json(records: &[ThroughputStats]) -> String {
     let mut out = String::from("[\n");
@@ -232,6 +279,38 @@ mod tests {
         assert!(json.contains("\"allocs_per_solve\": 12.5"));
         // Exactly one record: no trailing comma.
         assert!(!json.contains("},\n]"));
+    }
+
+    #[test]
+    fn fairness_json_rendering_is_well_formed() {
+        let records = vec![FairnessStats {
+            policy: Policy::WeightedFair,
+            wall: Duration::from_millis(9),
+            heavy_served: 120,
+            heavy_cycles: 246_360,
+            light_served: 13,
+            light_cycles: 26_689,
+            heavy_share: 0.9022,
+            cancelled: 107,
+            shed: 10,
+        }];
+        let json = fairness_to_json(&records);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"policy\": \"wfq\""));
+        assert!(json.contains("\"heavy_share\": 0.902200"));
+        assert!(json.contains("\"cancelled\": 107"));
+        assert!(json.contains("\"shed\": 10"));
+        assert!(!json.contains("},\n]"));
+    }
+
+    #[test]
+    fn combined_throughput_payload_nests_both_experiments() {
+        let json = bench_throughput_json(&[], &[]);
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"e10_policies\": ["));
+        assert!(json.contains("\"e11_fairness\": ["));
     }
 
     #[test]

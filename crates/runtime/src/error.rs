@@ -1,0 +1,91 @@
+//! The farm's error vocabulary, shared by admission, the queues and the
+//! workers.
+//!
+//! Lifecycle outcomes (cancellation, deadline shedding) are errors *of the
+//! ticket*, not of the solver: a cancelled or shed job never touches an
+//! array, so its ticket resolves to [`FarmError::Cancelled`] /
+//! [`FarmError::DeadlineExceeded`] instead of a receipt.
+
+use crate::job::ArrayClass;
+use sia_dbt::DbtError;
+use std::fmt;
+use std::time::Duration;
+
+/// Errors of the farm API (admission, scheduling lifecycle, execution).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FarmError {
+    /// The job failed admission: its shapes violate the solver contract.
+    Rejected(DbtError),
+    /// The farm has no worker owning the array type the job needs.
+    NoWorkerForClass(ArrayClass),
+    /// The job ran and the solver returned an error (singular pivot,
+    /// non-convergence, ...).
+    Execution(DbtError),
+    /// The job was cancelled through its [`crate::JobTicket`] while still
+    /// queued; it never occupied an array.
+    Cancelled,
+    /// The job's absolute deadline had already passed when the farm would
+    /// have started it (or, with [`crate::FarmConfig::shed_at_admission`],
+    /// when the closed-form predicted service alone could not meet it), so
+    /// it was shed instead of run.
+    DeadlineExceeded {
+        /// How far past the deadline the job was at the shedding decision.
+        late_by: Duration,
+    },
+    /// The farm was torn down before the job's receipt was delivered.
+    Disconnected,
+}
+
+impl fmt::Display for FarmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FarmError::Rejected(e) => write!(f, "job rejected at admission: {e}"),
+            FarmError::NoWorkerForClass(class) => {
+                write!(f, "farm has no {} worker", class.label())
+            }
+            FarmError::Execution(e) => write!(f, "job failed while running: {e}"),
+            FarmError::Cancelled => write!(f, "job cancelled while queued"),
+            FarmError::DeadlineExceeded { late_by } => {
+                write!(f, "job shed: deadline exceeded by {late_by:?}")
+            }
+            FarmError::Disconnected => write!(f, "farm shut down before the job completed"),
+        }
+    }
+}
+
+impl std::error::Error for FarmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FarmError::Rejected(e) | FarmError::Execution(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source_cover_every_variant() {
+        let errors = [
+            FarmError::Rejected(DbtError::ZeroArraySize),
+            FarmError::NoWorkerForClass(ArrayClass::Hex),
+            FarmError::Execution(DbtError::ZeroArraySize),
+            FarmError::Cancelled,
+            FarmError::DeadlineExceeded {
+                late_by: Duration::from_millis(3),
+            },
+            FarmError::Disconnected,
+        ];
+        for e in &errors {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(errors[0].source().is_some());
+        assert!(errors[2].source().is_some());
+        assert!(errors[3].source().is_none());
+        assert!(errors[4].source().is_none());
+    }
+}

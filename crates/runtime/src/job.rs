@@ -227,7 +227,11 @@ impl Job {
 ///
 /// Higher `priority` is served first under every policy; `deadline` (relative
 /// to submission time) additionally orders jobs under
-/// [`crate::Policy::DeadlineAware`].
+/// [`crate::Policy::DeadlineAware`] and is *enforced* at dispatch: a job
+/// whose deadline has already passed when a worker would start it is shed
+/// with [`crate::FarmError::DeadlineExceeded`] instead of run.  `tenant`
+/// attributes the job to a client for per-tenant telemetry and for the
+/// weighted-fair shares of [`crate::Policy::WeightedFair`].
 #[derive(Debug, Clone)]
 pub struct JobSpec {
     /// The work itself.
@@ -237,15 +241,20 @@ pub struct JobSpec {
     pub priority: u8,
     /// Optional deadline, relative to the submission instant.
     pub deadline: Option<Duration>,
+    /// Tenant the job is accounted to (default 0).  Weights are configured
+    /// per farm with [`crate::FarmConfig::tenant_weight`]; unknown tenants
+    /// weigh 1.
+    pub tenant: u32,
 }
 
 impl JobSpec {
-    /// Wraps a job with default priority (0) and no deadline.
+    /// Wraps a job with default priority (0), no deadline and tenant 0.
     pub fn new(job: Job) -> Self {
         JobSpec {
             job,
             priority: 0,
             deadline: None,
+            tenant: 0,
         }
     }
 
@@ -260,6 +269,13 @@ impl JobSpec {
     #[must_use]
     pub fn deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the tenant the job is accounted to.
+    #[must_use]
+    pub fn tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
         self
     }
 }
@@ -308,25 +324,40 @@ pub struct JobReceipt {
     pub worker: usize,
     /// Priority class it was queued with.
     pub priority: u8,
+    /// Tenant the job was accounted to.
+    pub tenant: u32,
     /// The admission-time cost prediction (the paper's closed forms).
     pub predicted: CostEstimate,
     /// Array steps the job actually consumed.
     pub measured_cycles: usize,
     /// Time spent queued before a worker picked the job up.
     pub queue: Duration,
-    /// Time spent being served (for a coalesced job: the whole batch's
-    /// service span).
+    /// Time spent being served.  For a coalesced job this is the member's
+    /// *attributed* share of the batch span, split by measured cycles, so
+    /// per-job service aggregates stay truthful; the whole batch's span is
+    /// in [`JobReceipt::batch_service`].
     pub service: Duration,
-    /// Whether the job was served as part of a coalesced same-shape batch.
-    pub coalesced: bool,
+    /// The full service span of the coalesced batch this job was part of
+    /// (`None` for singly-served jobs).
+    pub batch_service: Option<Duration>,
     /// The computed result.
     pub output: JobOutput,
 }
 
 impl JobReceipt {
-    /// End-to-end latency: queueing plus service.
+    /// Whether the job was served as part of a coalesced same-shape batch
+    /// (derived from [`JobReceipt::batch_service`], so the two can never
+    /// disagree).
+    pub fn coalesced(&self) -> bool {
+        self.batch_service.is_some()
+    }
+
+    /// End-to-end latency: queueing plus time to completion.  A coalesced
+    /// member's receipt is only delivered once its whole batch finishes,
+    /// so its latency uses the full batch span ([`JobReceipt::batch_service`]),
+    /// not the member's attributed share.
     pub fn latency(&self) -> Duration {
-        self.queue + self.service
+        self.queue + self.batch_service.unwrap_or(self.service)
     }
 
     /// `true` when the admission-time prediction was declared exact **and**
@@ -445,12 +476,45 @@ mod tests {
     }
 
     #[test]
+    fn latency_uses_the_batch_span_for_coalesced_members() {
+        // A coalesced member's receipt only lands once the whole batch is
+        // done: latency is queue + batch span, while `service` carries the
+        // member's attributed share.
+        let coalesced = JobReceipt {
+            id: 1,
+            kind: JobKind::DenseMv,
+            worker: 0,
+            priority: 0,
+            tenant: 0,
+            predicted: CostEstimate {
+                cycles: 10,
+                exact: true,
+            },
+            measured_cycles: 10,
+            queue: Duration::from_millis(2),
+            service: Duration::from_millis(2),
+            batch_service: Some(Duration::from_millis(8)),
+            output: JobOutput::Vector(vec![1.0]),
+        };
+        assert!(coalesced.coalesced());
+        assert_eq!(coalesced.latency(), Duration::from_millis(10));
+        let solo = JobReceipt {
+            batch_service: None,
+            ..coalesced
+        };
+        assert!(!solo.coalesced());
+        assert_eq!(solo.latency(), Duration::from_millis(4));
+    }
+
+    #[test]
     fn spec_builder_sets_priority_and_deadline() {
         let a = gen::random_dense_f64(2, 2, 1);
         let spec = JobSpec::new(Job::dense_mv(a, vec![1.0, 2.0]))
             .priority(3)
-            .deadline(Duration::from_millis(5));
+            .deadline(Duration::from_millis(5))
+            .tenant(42);
         assert_eq!(spec.priority, 3);
         assert_eq!(spec.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(spec.tenant, 42);
     }
 }

@@ -13,14 +13,23 @@
 //! turns that asset into a serving system:
 //!
 //! * **[`Job`]** — heterogeneous work (dense MM, dense MV, block-sparse MV,
-//!   triangular solve, Gauss–Seidel) with optional priority and deadline
-//!   ([`JobSpec`]);
+//!   triangular solve, Gauss–Seidel) with optional priority, deadline and
+//!   tenant ([`JobSpec`]);
 //! * **admission** — every job is shape-validated and priced by the
-//!   closed forms ([`CostModel`]) *before* anything runs;
+//!   closed forms ([`CostModel`]) *before* anything runs; optionally, a
+//!   deadline the predicted service alone cannot meet is refused right
+//!   here ([`FarmConfig::shed_at_admission`]);
 //! * **scheduling** — per-worker queues drained under a pluggable
-//!   [`Policy`] (FIFO, shortest-predicted-job-first, deadline-aware), with
-//!   least-backlog routing, work stealing between idle workers, and
-//!   coalescing of same-shape dense jobs into the batch solvers;
+//!   [`Policy`] (FIFO, shortest-predicted-job-first, deadline-aware,
+//!   weighted-fair over exact predicted-cycle shares), with least-backlog
+//!   routing, work stealing between idle workers, and coalescing of
+//!   same-shape dense jobs into the batch solvers;
+//! * **lifecycle** — a [`JobTicket`] can [`JobTicket::cancel`] its queued
+//!   job (the job then never occupies an array), poll with
+//!   [`JobTicket::try_wait`] or bound the wait with
+//!   [`JobTicket::wait_timeout`]; workers **shed** jobs whose deadline
+//!   already passed at dispatch instead of running them
+//!   ([`FarmError::DeadlineExceeded`]);
 //! * **workers** — persistent threads, each owning a reusable
 //!   [`sia_sim::ArrayStation`] (a hexagonal and a linear array plus
 //!   cumulative step accounting);
@@ -28,7 +37,7 @@
 //!   (result, predicted vs. measured cycles, queue/service latency), and
 //!   [`ArrayFarm::shutdown`] returns farm-level [`FarmTelemetry`]
 //!   (per-worker utilization, queue depth over time, predicted-cycle
-//!   accounting, steal counts).
+//!   accounting, steal/shed/cancel counts, per-tenant shares).
 //!
 //! For every dense and block-sparse job the receipt's predicted and
 //! measured step counts agree **exactly** — the paper's reproduction
@@ -65,6 +74,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+mod error;
 pub mod job;
 pub mod policy;
 mod queue;
@@ -72,7 +82,8 @@ pub mod telemetry;
 mod worker;
 
 pub use cost::{CostEstimate, CostModel};
+pub use error::FarmError;
 pub use job::{ArrayClass, Job, JobKind, JobOutput, JobReceipt, JobSpec};
 pub use policy::Policy;
-pub use telemetry::{DepthSample, FarmTelemetry, WorkerTelemetry};
-pub use worker::{ArrayFarm, FarmConfig, FarmError, JobTicket};
+pub use telemetry::{DepthSample, FarmTelemetry, TenantServed, TenantTelemetry, WorkerTelemetry};
+pub use worker::{ArrayFarm, FarmConfig, JobTicket};

@@ -9,7 +9,13 @@
 //!   which the paper's closed forms make a *perfectly accurate* service-time
 //!   key for dense jobs (no profiling, no estimation error);
 //! * [`Policy::DeadlineAware`] — earliest absolute deadline first; jobs
-//!   without a deadline sort after every job that has one.
+//!   without a deadline sort after every job that has one;
+//! * [`Policy::WeightedFair`] — ascending per-tenant **virtual finish time**,
+//!   accumulated in *predicted cycles* divided by the tenant's weight
+//!   ([`crate::FarmConfig::tenant_weight`]).  Because the closed forms price
+//!   every job exactly at admission, the fair shares are computed from
+//!   ground-truth service demands, not profiled estimates — weighted fair
+//!   queueing without the usual estimation error.
 //!
 //! Ties always fall back to submission order, so every policy is
 //! deterministic for a fixed submission sequence.
@@ -28,14 +34,18 @@ pub enum Policy {
     ShortestPredictedFirst,
     /// Earliest deadline first; deadline-less jobs run last.
     DeadlineAware,
+    /// Weighted fair queueing over per-tenant virtual finish times measured
+    /// in predicted cycles (exact shares, thanks to the closed forms).
+    WeightedFair,
 }
 
 impl Policy {
     /// All policies, for sweeps in tests and experiments.
-    pub const ALL: [Policy; 3] = [
+    pub const ALL: [Policy; 4] = [
         Policy::Fifo,
         Policy::ShortestPredictedFirst,
         Policy::DeadlineAware,
+        Policy::WeightedFair,
     ];
 
     /// Short human-readable label for tables.
@@ -44,29 +54,49 @@ impl Policy {
             Policy::Fifo => "fifo",
             Policy::ShortestPredictedFirst => "sjf",
             Policy::DeadlineAware => "edf",
+            Policy::WeightedFair => "wfq",
         }
+    }
+}
+
+/// The total drain order of a policy as one comparable key: priority class
+/// first (higher wins), then the policy's own criterion, then the arrival
+/// stamp as the deterministic tie-break.  Exposing the key (rather than only
+/// an argmin) is what lets the queue collect a whole policy-consecutive run
+/// of coalescible jobs in a single pass.
+pub(crate) type SelectKey = (Reverse<u8>, bool, Option<Instant>, u64, u64);
+
+/// The drain-order key of one queued job under `policy`.
+pub(crate) fn select_key(policy: Policy, j: &QueuedJob) -> SelectKey {
+    let tie = j.id;
+    match policy {
+        Policy::Fifo => (Reverse(j.priority), false, None, 0, tie),
+        Policy::ShortestPredictedFirst => (
+            Reverse(j.priority),
+            false,
+            None,
+            j.predicted.cycles as u64,
+            tie,
+        ),
+        // Deadline-less jobs sort after every dated one via the `is_none`
+        // flag.
+        Policy::DeadlineAware => (
+            Reverse(j.priority),
+            j.deadline.is_none(),
+            j.deadline,
+            0,
+            tie,
+        ),
+        Policy::WeightedFair => (Reverse(j.priority), false, None, j.vft, tie),
     }
 }
 
 /// Index of the job `policy` would serve next from `queue`, if any.
 pub(crate) fn select_next(policy: Policy, queue: &VecDeque<QueuedJob>) -> Option<usize> {
-    // Deadline-less jobs sort after every dated one via the `is_none` flag.
-    let deadline_key = |d: Option<Instant>| (d.is_none(), d);
     queue
         .iter()
         .enumerate()
-        .min_by_key(|(_, j)| {
-            let tie = j.id;
-            let secondary = match policy {
-                Policy::Fifo => (false, None, 0usize, tie),
-                Policy::ShortestPredictedFirst => (false, None, j.predicted.cycles, tie),
-                Policy::DeadlineAware => {
-                    let (none, at) = deadline_key(j.deadline);
-                    (none, at, 0usize, tie)
-                }
-            };
-            (Reverse(j.priority), secondary)
-        })
+        .min_by_key(|(_, j)| select_key(policy, j))
         .map(|(idx, _)| idx)
 }
 
@@ -75,11 +105,12 @@ mod tests {
     use super::*;
     use crate::cost::CostEstimate;
     use crate::job::{Job, JobKind};
+    use crate::FarmError;
     use sia_matrix::gen;
     use std::sync::mpsc;
     use std::time::Duration;
 
-    type Reply = mpsc::Receiver<Result<crate::JobReceipt, sia_dbt::DbtError>>;
+    type Reply = mpsc::Receiver<Result<crate::JobReceipt, FarmError>>;
 
     /// Builds a queued job plus its reply receiver (returned so it stays
     /// alive and deliveries remain assertable, mirroring the queue tests).
@@ -101,6 +132,8 @@ mod tests {
                     exact: true,
                 },
                 priority,
+                tenant: 0,
+                vft: 0,
                 deadline: deadline.map(|d| now + d),
                 submitted: now,
                 reply,
@@ -141,12 +174,27 @@ mod tests {
     }
 
     #[test]
+    fn wfq_takes_the_smallest_virtual_finish_time() {
+        let (mut queue, _rxs) = queue_of(vec![
+            queued(1, 0, 10, None),
+            queued(2, 0, 10, None),
+            queued(3, 0, 10, None), // tie with job 2 broken by id
+        ]);
+        queue[0].vft = 900;
+        queue[1].vft = 300;
+        queue[2].vft = 300;
+        assert_eq!(select_next(Policy::WeightedFair, &queue), Some(1));
+    }
+
+    #[test]
     fn priority_dominates_every_policy() {
         for policy in Policy::ALL {
-            let (queue, _rxs) = queue_of(vec![
+            let (mut queue, _rxs) = queue_of(vec![
                 queued(1, 0, 1, Some(Duration::from_millis(1))),
                 queued(2, 7, 1_000_000, None),
             ]);
+            queue[0].vft = 1;
+            queue[1].vft = 1_000_000;
             assert_eq!(select_next(policy, &queue), Some(1), "{}", policy.label());
         }
     }
@@ -155,6 +203,6 @@ mod tests {
     fn empty_queue_selects_nothing() {
         let queue: VecDeque<QueuedJob> = VecDeque::new();
         assert_eq!(select_next(Policy::Fifo, &queue), None);
-        assert!(!Policy::Fifo.label().is_empty());
+        assert!(!Policy::WeightedFair.label().is_empty());
     }
 }

@@ -1,35 +1,58 @@
-//! Per-worker job queues with routing, coalescing and work stealing.
+//! Per-worker job queues with routing, coalescing, cancellation, weighted
+//! fair queueing and work stealing.
 //!
 //! Every worker owns one deque.  Submission routes a job to the
 //! least-loaded *eligible* worker (matching [`ArrayClass`], smallest
-//! predicted-cycle backlog — the closed-form cost model again).  A worker
-//! drains its own queue in policy order; when it runs dry it **steals** one
-//! job from the most-backlogged peer of its class, so a skewed arrival
-//! pattern cannot idle half the farm.  When the popped job is a dense MM/MV,
-//! up to `coalesce_limit − 1` queued jobs of the *same shape, schedule and
-//! priority* that the policy would have served **consecutively anyway** are
-//! taken along and served through the batch solvers (`multiply_mm_batch` /
-//! `multiply_mv_batch`), whose outcomes are bit-identical to per-job runs —
-//! coalescing never reorders jobs against the policy.
+//! predicted-cycle backlog — the closed-form cost model again) and stamps
+//! the job's weighted-fair **virtual finish time** (predicted cycles over
+//! tenant weight, accumulated per tenant — exact, because the closed forms
+//! price every job at admission).  A worker drains its own queue in policy
+//! order; when it runs dry it **steals** one job from the most-backlogged
+//! peer of its class, so a skewed arrival pattern cannot idle half the
+//! farm.  When the popped job is a dense MM/MV, up to `coalesce_limit − 1`
+//! queued jobs of the *same shape, schedule and priority* that the policy
+//! would have served **consecutively anyway** are taken along — collected
+//! in a single pass over the queue — and served through the batch solvers
+//! (`multiply_mm_batch` / `multiply_mv_batch`), whose outcomes are
+//! bit-identical to per-job runs; coalescing never reorders jobs against
+//! the policy.
 //!
-//! All queues share one mutex (submission and dispatch are tiny compared to
-//! array simulation); the condvar wakes idle workers on every submit and at
-//! shutdown.  Shutdown is *draining*: workers exit only when every queue of
-//! their class is empty.
+//! **Cancellation** happens here too: [`QueueSet::cancel`] removes a still
+//! queued job under the same mutex dispatch runs under, so a cancel racing
+//! a dispatch resolves deterministically — the job is either still in a
+//! queue (cancel wins, the ticket resolves to
+//! [`FarmError::Cancelled`](crate::FarmError::Cancelled) and no array ever
+//! sees the job) or already taken (dispatch wins, the job runs to a normal
+//! receipt).  Exactly one of the two happens, never both, never neither.
+//!
+//! All queues share one mutex (submission and dispatch are tiny compared
+//! to array simulation).  Wakeups are **per class**: each submission
+//! notifies one waiting worker of the job's class instead of waking the
+//! whole farm — hex workers no longer stampede on linear-job arrivals.
+//! Shutdown notifies everyone and is *draining*: workers exit only when
+//! every queue of their class is empty.
 
 use crate::cost::CostEstimate;
+use crate::error::FarmError;
 use crate::job::{ArrayClass, Job, JobKind, JobReceipt};
-use crate::policy::{select_next, Policy};
-use crate::telemetry::DepthSample;
-use sia_dbt::DbtError;
-use std::collections::VecDeque;
+use crate::policy::{select_key, select_next, Policy, SelectKey};
+use crate::telemetry::{DepthSample, TenantTelemetry};
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::Sender;
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
-/// Cap on the number of recorded queue-depth samples (~1 MB at most); beyond
-/// it the depth trace stops growing but scheduling is unaffected.
+/// Cap on the number of retained queue-depth samples (~1 MB at most).  The
+/// trace is never cut off: reaching the cap *decimates* it — every other
+/// retained sample is dropped and the sampling stride doubles — so the
+/// trace always spans the farm's whole lifetime at half resolution per
+/// doubling, and the exact maximum depth is tracked separately.
 const MAX_DEPTH_SAMPLES: usize = 65_536;
+
+/// Fixed-point scale for virtual finish times (predicted cycles ×
+/// `VFT_ONE` / weight), so integer division by the weight keeps ~16 bits
+/// of fraction and the select key stays a plain `u64`.
+const VFT_ONE: u64 = 1 << 16;
 
 /// One job as it sits in a queue.
 pub(crate) struct QueuedJob {
@@ -43,12 +66,26 @@ pub(crate) struct QueuedJob {
     pub predicted: CostEstimate,
     /// Priority class.
     pub priority: u8,
+    /// Tenant the job is accounted to.
+    pub tenant: u32,
+    /// Weighted-fair virtual finish time in fixed-point weighted predicted
+    /// cycles; stamped by [`QueueSet::submit`] (callers pass 0).
+    pub vft: u64,
     /// Absolute deadline, if any.
     pub deadline: Option<Instant>,
     /// When the job entered the farm.
     pub submitted: Instant,
-    /// Where the receipt (or the execution error) goes.
-    pub reply: Sender<Result<JobReceipt, DbtError>>,
+    /// Where the receipt (or the lifecycle/execution error) goes.
+    pub reply: Sender<Result<JobReceipt, FarmError>>,
+}
+
+/// Per-tenant admission-side accounting and WFQ state.
+struct TenantAccount {
+    weight: u32,
+    /// Virtual finish time of the tenant's last admitted job (fixed point).
+    vfinish: u64,
+    submitted: u64,
+    cancelled: u64,
 }
 
 struct QueueState {
@@ -61,35 +98,76 @@ struct QueueState {
     shutdown: bool,
     steals: u64,
     submitted: u64,
+    cancelled: u64,
+    /// Global WFQ virtual time: the largest virtual finish time ever
+    /// dispatched.  A tenant going idle re-enters at the current virtual
+    /// time instead of banking credit for the idle span.
+    vtime: u64,
+    tenants: HashMap<u32, TenantAccount>,
     depth_log: Vec<DepthSample>,
+    /// Exact maximum of `depth` over the whole run (decimation-proof).
+    max_depth: usize,
+    /// Depth events observed so far (sampling clock).
+    depth_events: u64,
+    /// Record every `depth_stride`-th event; doubles on each decimation.
+    depth_stride: u64,
 }
 
 impl QueueState {
     fn log_depth(&mut self, started: Instant) {
-        if self.depth_log.len() < MAX_DEPTH_SAMPLES {
-            self.depth_log.push(DepthSample {
-                at: started.elapsed(),
-                depth: self.depth,
-            });
+        self.max_depth = self.max_depth.max(self.depth);
+        self.depth_events += 1;
+        if !self.depth_events.is_multiple_of(self.depth_stride) {
+            return;
         }
+        if self.depth_log.len() == MAX_DEPTH_SAMPLES {
+            // Decimate: keep every other sample, halve the resolution.
+            let mut keep = false;
+            self.depth_log.retain(|_| {
+                keep = !keep;
+                keep
+            });
+            self.depth_stride *= 2;
+        }
+        self.depth_log.push(DepthSample {
+            at: started.elapsed(),
+            depth: self.depth,
+        });
     }
 }
 
 /// The farm's shared queue set.
 pub(crate) struct QueueSet {
     state: Mutex<QueueState>,
-    ready: Condvar,
+    /// One condvar per [`ArrayClass`] (index = `class_slot`), so a submit
+    /// wakes one worker that can actually serve the job.
+    ready: [Condvar; 2],
     policy: Policy,
     classes: Vec<ArrayClass>,
     coalesce_limit: usize,
+    /// Configured tenant weights (≥ 1); unknown tenants weigh 1.
+    weights: HashMap<u32, u32>,
     started: Instant,
+}
+
+/// Condvar slot of an array class.
+fn class_slot(class: ArrayClass) -> usize {
+    match class {
+        ArrayClass::Hex => 0,
+        ArrayClass::Linear => 1,
+    }
 }
 
 /// What `QueueSet::drain_telemetry` hands to the farm at shutdown.
 pub(crate) struct QueueTelemetry {
     pub steals: u64,
     pub submitted: u64,
+    pub cancelled: u64,
+    pub max_depth: usize,
     pub depth_log: Vec<DepthSample>,
+    /// Admission-side tenant rows (served/shed still zero — the farm merges
+    /// the workers' slices in), sorted by tenant id.
+    pub tenants: Vec<TenantTelemetry>,
 }
 
 impl QueueSet {
@@ -97,6 +175,7 @@ impl QueueSet {
         policy: Policy,
         classes: Vec<ArrayClass>,
         coalesce_limit: usize,
+        weights: HashMap<u32, u32>,
         started: Instant,
     ) -> Self {
         let n = classes.len();
@@ -108,12 +187,19 @@ impl QueueSet {
                 shutdown: false,
                 steals: 0,
                 submitted: 0,
+                cancelled: 0,
+                vtime: 0,
+                tenants: HashMap::new(),
                 depth_log: Vec::new(),
+                max_depth: 0,
+                depth_events: 0,
+                depth_stride: 1,
             }),
-            ready: Condvar::new(),
+            ready: [Condvar::new(), Condvar::new()],
             policy,
             classes,
             coalesce_limit: coalesce_limit.max(1),
+            weights: weights.into_iter().map(|(t, w)| (t, w.max(1))).collect(),
             started,
         }
     }
@@ -122,11 +208,29 @@ impl QueueSet {
         self.state.lock().expect("farm queue lock poisoned")
     }
 
-    /// Routes a job to the least-backlogged worker of its class and wakes
-    /// the workers.  Panics if no worker of the class exists (the farm
-    /// checks eligibility at submission).
-    pub fn submit(&self, job: QueuedJob, class: ArrayClass) {
+    /// Routes a job to the least-backlogged worker of its class, stamps its
+    /// weighted-fair virtual finish time and wakes one worker of the class.
+    /// Panics if no worker of the class exists (the farm checks eligibility
+    /// at submission).
+    pub fn submit(&self, mut job: QueuedJob, class: ArrayClass) {
         let mut st = self.lock();
+        // WFQ bookkeeping (cheap, kept for every policy so tenant telemetry
+        // is policy-independent): the job finishes, in virtual time, one
+        // weighted service quantum after max(tenant's last finish, now).
+        let vtime = st.vtime;
+        let weight = self.weights.get(&job.tenant).copied().unwrap_or(1);
+        let tenant = st.tenants.entry(job.tenant).or_insert(TenantAccount {
+            weight,
+            vfinish: 0,
+            submitted: 0,
+            cancelled: 0,
+        });
+        tenant.submitted += 1;
+        tenant.vfinish = tenant.vfinish.max(vtime).saturating_add(
+            (job.predicted.cycles as u64).saturating_mul(VFT_ONE) / u64::from(tenant.weight),
+        );
+        job.vft = tenant.vfinish;
+
         let target = self
             .classes
             .iter()
@@ -141,13 +245,50 @@ impl QueueSet {
         st.submitted += 1;
         st.log_depth(self.started);
         drop(st);
-        self.ready.notify_all();
+        // One job, one waker — and only of the class that can serve it.
+        self.ready[class_slot(class)].notify_one();
+    }
+
+    /// Removes the queued job `id` before any worker can dispatch it and
+    /// resolves its ticket to [`FarmError::Cancelled`].  Returns `false`
+    /// when the job is not queued (already dispatched, completed, shed or
+    /// cancelled) — the race against dispatch is decided under the queue
+    /// mutex, so exactly one of "cancelled, never ran" and "runs to a
+    /// receipt" happens.
+    ///
+    /// The tenant's virtual finish time keeps the cancelled job's charge:
+    /// a tenant cannot cancel-and-resubmit to jump its own WFQ queue.
+    pub fn cancel(&self, id: u64) -> bool {
+        let mut st = self.lock();
+        let Some((worker, pos)) = st
+            .queues
+            .iter()
+            .enumerate()
+            .find_map(|(w, q)| q.iter().position(|j| j.id == id).map(|p| (w, p)))
+        else {
+            return false;
+        };
+        let job = st.queues[worker]
+            .remove(pos)
+            .expect("cancelled position is in range");
+        st.backlog[worker] = st.backlog[worker].saturating_sub(job.predicted.cycles);
+        st.depth -= 1;
+        st.cancelled += 1;
+        if let Some(tenant) = st.tenants.get_mut(&job.tenant) {
+            tenant.cancelled += 1;
+        }
+        st.log_depth(self.started);
+        drop(st);
+        // A dropped ticket just means nobody wants the resolution.
+        let _ = job.reply.send(Err(FarmError::Cancelled));
+        true
     }
 
     /// Blocks until a batch of work is available for `worker`, or returns
     /// `None` when the farm is shut down and every queue of the worker's
     /// class has drained.
     pub fn next_batch(&self, worker: usize) -> Option<Vec<QueuedJob>> {
+        let ready = &self.ready[class_slot(self.classes[worker])];
         let mut st = self.lock();
         loop {
             if let Some(batch) = self.try_take(&mut st, worker) {
@@ -156,47 +297,14 @@ impl QueueSet {
             if st.shutdown {
                 return None;
             }
-            st = self.ready.wait(st).expect("farm queue lock poisoned");
+            st = ready.wait(st).expect("farm queue lock poisoned");
         }
     }
 
     /// One dispatch attempt: own queue first (with coalescing), then a
     /// steal from the most-backlogged same-class peer.
     fn try_take(&self, st: &mut QueueState, worker: usize) -> Option<Vec<QueuedJob>> {
-        if let Some(idx) = select_next(self.policy, &st.queues[worker]) {
-            let primary = st.queues[worker]
-                .remove(idx)
-                .expect("selected index is in range");
-            let mut batch = vec![primary];
-            if self.coalesce_limit > 1 {
-                if let Some(key) = batch[0].job.coalesce_key() {
-                    // Coalesce only jobs the policy would have served
-                    // consecutively anyway: keep re-selecting in policy
-                    // order and stop at the first non-matching pick.  A
-                    // batch therefore never lets a later job (e.g. a
-                    // later-deadline mate under EDF) jump ahead of the
-                    // queue's rightful next job.
-                    let priority = batch[0].priority;
-                    while batch.len() < self.coalesce_limit {
-                        let Some(next) = select_next(self.policy, &st.queues[worker]) else {
-                            break;
-                        };
-                        let mate = &st.queues[worker][next];
-                        if mate.priority != priority || mate.job.coalesce_key() != Some(key) {
-                            break;
-                        }
-                        batch.push(
-                            st.queues[worker]
-                                .remove(next)
-                                .expect("selected index is in range"),
-                        );
-                    }
-                }
-            }
-            let taken: usize = batch.iter().map(|j| j.predicted.cycles).sum();
-            st.backlog[worker] = st.backlog[worker].saturating_sub(taken);
-            st.depth -= batch.len();
-            st.log_depth(self.started);
+        if let Some(batch) = self.take_own(st, worker) {
             return Some(batch);
         }
         // Own queue is empty: steal one job from the heaviest same-class
@@ -216,23 +324,124 @@ impl QueueSet {
         st.backlog[victim] = st.backlog[victim].saturating_sub(job.predicted.cycles);
         st.depth -= 1;
         st.steals += 1;
+        st.vtime = st.vtime.max(job.vft);
         st.log_depth(self.started);
         Some(vec![job])
+    }
+
+    /// Takes the policy's next job from the worker's own queue, plus the
+    /// whole policy-consecutive run of its coalescible shape-mates: a mate
+    /// joins the batch exactly when its select key precedes every
+    /// non-mate's key, which is precisely the set of jobs the policy would
+    /// have served consecutively anyway.  Two O(n) scans — one to find the
+    /// primary, one to collect the mates and the best non-mate — replace
+    /// the old path's O(n) re-selection plus O(n) removal *per mate*; the
+    /// batch is returned in policy order.
+    fn take_own(&self, st: &mut QueueState, worker: usize) -> Option<Vec<QueuedJob>> {
+        let picks: Vec<(SelectKey, usize)> = {
+            let queue = &st.queues[worker];
+            let (primary_idx, primary_key) = queue
+                .iter()
+                .enumerate()
+                .map(|(i, j)| (i, select_key(self.policy, j)))
+                .min_by(|a, b| a.1.cmp(&b.1))?;
+            let mut picks = vec![(primary_key, primary_idx)];
+            if self.coalesce_limit > 1 {
+                if let Some(key) = queue[primary_idx].job.coalesce_key() {
+                    let priority = queue[primary_idx].priority;
+                    let mut mates: Vec<(SelectKey, usize)> = Vec::new();
+                    let mut best_other: Option<SelectKey> = None;
+                    for (i, j) in queue.iter().enumerate() {
+                        if i == primary_idx {
+                            continue;
+                        }
+                        let k = select_key(self.policy, j);
+                        if j.priority == priority && j.job.coalesce_key() == Some(key) {
+                            mates.push((k, i));
+                        } else if best_other.as_ref().is_none_or(|b| k < *b) {
+                            best_other = Some(k);
+                        }
+                    }
+                    // A batch never lets a later job (e.g. a later-deadline
+                    // mate under EDF) jump ahead of the queue's rightful
+                    // next job: mates past the best non-mate stay queued.
+                    mates.sort_unstable();
+                    for (k, i) in mates {
+                        if picks.len() >= self.coalesce_limit
+                            || best_other.as_ref().is_some_and(|b| *b < k)
+                        {
+                            break;
+                        }
+                        picks.push((k, i));
+                    }
+                }
+            }
+            picks
+        };
+        // Remove picked indices from high to low (so indices stay valid),
+        // then restore policy order by each pick's slot.
+        let mut by_index: Vec<(usize, usize)> = picks
+            .iter()
+            .enumerate()
+            .map(|(slot, &(_, index))| (index, slot))
+            .collect();
+        by_index.sort_unstable_by_key(|&(index, _)| std::cmp::Reverse(index));
+        let mut removed: Vec<(usize, QueuedJob)> = by_index
+            .into_iter()
+            .map(|(index, slot)| {
+                (
+                    slot,
+                    st.queues[worker]
+                        .remove(index)
+                        .expect("picked index is in range"),
+                )
+            })
+            .collect();
+        removed.sort_unstable_by_key(|&(slot, _)| slot);
+        let batch: Vec<QueuedJob> = removed.into_iter().map(|(_, j)| j).collect();
+
+        let taken: usize = batch.iter().map(|j| j.predicted.cycles).sum();
+        st.backlog[worker] = st.backlog[worker].saturating_sub(taken);
+        st.depth -= batch.len();
+        for job in &batch {
+            st.vtime = st.vtime.max(job.vft);
+        }
+        st.log_depth(self.started);
+        Some(batch)
     }
 
     /// Flags shutdown and wakes every worker so they can drain and exit.
     pub fn finish(&self) {
         self.lock().shutdown = true;
-        self.ready.notify_all();
+        for ready in &self.ready {
+            ready.notify_all();
+        }
     }
 
     /// Collects the queue-side telemetry (called after the workers joined).
     pub fn drain_telemetry(&self) -> QueueTelemetry {
         let mut st = self.lock();
+        let mut tenants: Vec<TenantTelemetry> = st
+            .tenants
+            .iter()
+            .map(|(&tenant, account)| TenantTelemetry {
+                tenant,
+                weight: account.weight,
+                submitted: account.submitted,
+                cancelled: account.cancelled,
+                served: 0,
+                shed: 0,
+                served_predicted_cycles: 0,
+            })
+            .collect();
+        tenants.sort_unstable_by_key(|t| t.tenant);
         QueueTelemetry {
             steals: st.steals,
             submitted: st.submitted,
+            cancelled: st.cancelled,
+            max_depth: st.max_depth,
             depth_log: std::mem::take(&mut st.depth_log),
+            tenants,
         }
     }
 }
@@ -243,7 +452,33 @@ mod tests {
     use sia_matrix::gen;
     use std::sync::mpsc;
 
-    fn queued(id: u64, cycles: usize) -> (QueuedJob, mpsc::Receiver<Result<JobReceipt, DbtError>>) {
+    fn set_with(
+        policy: Policy,
+        classes: Vec<ArrayClass>,
+        coalesce_limit: usize,
+        weights: &[(u32, u32)],
+    ) -> QueueSet {
+        QueueSet::new(
+            policy,
+            classes,
+            coalesce_limit,
+            weights.iter().copied().collect(),
+            Instant::now(),
+        )
+    }
+
+    fn queued(
+        id: u64,
+        cycles: usize,
+    ) -> (QueuedJob, mpsc::Receiver<Result<JobReceipt, FarmError>>) {
+        queued_tenant(id, cycles, 0)
+    }
+
+    fn queued_tenant(
+        id: u64,
+        cycles: usize,
+        tenant: u32,
+    ) -> (QueuedJob, mpsc::Receiver<Result<JobReceipt, FarmError>>) {
         let (reply, rx) = mpsc::channel();
         let now = Instant::now();
         let job = Job::dense_mv(gen::random_dense_f64(2, 2, id), vec![1.0, 2.0]);
@@ -256,6 +491,8 @@ mod tests {
                     exact: true,
                 },
                 priority: 0,
+                tenant,
+                vft: 0,
                 deadline: None,
                 submitted: now,
                 reply,
@@ -267,11 +504,11 @@ mod tests {
 
     #[test]
     fn submission_routes_to_the_least_backlogged_eligible_worker() {
-        let set = QueueSet::new(
+        let set = set_with(
             Policy::Fifo,
             vec![ArrayClass::Hex, ArrayClass::Linear, ArrayClass::Linear],
             1,
-            Instant::now(),
+            &[],
         );
         let mut rxs = Vec::new();
         for (id, cycles) in [(1u64, 100usize), (2, 10), (3, 10)] {
@@ -291,11 +528,11 @@ mod tests {
 
     #[test]
     fn idle_workers_steal_from_loaded_peers() {
-        let set = QueueSet::new(
+        let set = set_with(
             Policy::Fifo,
             vec![ArrayClass::Linear, ArrayClass::Linear],
             1,
-            Instant::now(),
+            &[],
         );
         // Both jobs land on worker 0 (submitted before worker 1 exists in
         // backlog terms they tie; min_by_key picks the lowest index first,
@@ -316,7 +553,7 @@ mod tests {
 
     #[test]
     fn same_shape_jobs_coalesce_up_to_the_limit() {
-        let set = QueueSet::new(Policy::Fifo, vec![ArrayClass::Linear], 3, Instant::now());
+        let set = set_with(Policy::Fifo, vec![ArrayClass::Linear], 3, &[]);
         let mut rxs = Vec::new();
         for id in 1..=4u64 {
             // Same 2x2 shape and schedule for every job.
@@ -337,12 +574,7 @@ mod tests {
     #[test]
     fn coalescing_never_reorders_against_the_policy() {
         use std::time::Duration;
-        let set = QueueSet::new(
-            Policy::DeadlineAware,
-            vec![ArrayClass::Linear],
-            4,
-            Instant::now(),
-        );
+        let set = set_with(Policy::DeadlineAware, vec![ArrayClass::Linear], 4, &[]);
         let now = Instant::now();
         let mut rxs = Vec::new();
         // Arrival order: P (2x2, tight deadline), B (2x2, loose), A (3x3,
@@ -360,6 +592,8 @@ mod tests {
                         exact: true,
                     },
                     priority: 0,
+                    tenant: 0,
+                    vft: 0,
                     deadline: Some(now + Duration::from_millis(deadline_ms)),
                     submitted: now,
                     reply,
@@ -386,8 +620,112 @@ mod tests {
     }
 
     #[test]
+    fn sjf_coalescing_stops_at_a_cheaper_foreign_job() {
+        // Queue: two 2x2 mates at 10 cycles, a 3x3 job at 5 cycles, another
+        // mate at 10.  SJF order is the 3x3 first; once it is gone, the
+        // mates form one batch.  Verifies the single-pass run collection
+        // agrees with "repeatedly take the policy's next pick".
+        let set = set_with(
+            Policy::ShortestPredictedFirst,
+            vec![ArrayClass::Linear],
+            4,
+            &[],
+        );
+        let mut rxs = Vec::new();
+        for (id, n, cycles) in [(1u64, 2usize, 10usize), (2, 2, 10), (3, 3, 5), (4, 2, 10)] {
+            let (reply, rx) = mpsc::channel();
+            let job = Job::dense_mv(gen::random_dense_f64(n, n, id), vec![1.0; n]);
+            set.submit(
+                QueuedJob {
+                    id,
+                    kind: job.kind(),
+                    predicted: CostEstimate {
+                        cycles,
+                        exact: true,
+                    },
+                    priority: 0,
+                    tenant: 0,
+                    vft: 0,
+                    deadline: None,
+                    submitted: Instant::now(),
+                    reply,
+                    job,
+                },
+                ArrayClass::Linear,
+            );
+            rxs.push(rx);
+        }
+        let first = set.next_batch(0).unwrap();
+        assert_eq!(first.iter().map(|j| j.id).collect::<Vec<_>>(), vec![3]);
+        let second = set.next_batch(0).unwrap();
+        assert_eq!(
+            second.iter().map(|j| j.id).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+    }
+
+    #[test]
+    fn wfq_interleaves_tenants_by_weight() {
+        // Tenants 1 (weight 3) and 2 (weight 1) submit four equal jobs
+        // each, interleaved.  Virtual finish times interleave tenant 1's
+        // jobs three-for-one against tenant 2's; the 3rd heavy job ties
+        // tenant 2's first (3·c/3 = c) and the earlier id (the light job)
+        // wins the tie.
+        let set = set_with(
+            Policy::WeightedFair,
+            vec![ArrayClass::Linear],
+            1,
+            &[(1, 3), (2, 1)],
+        );
+        let mut rxs = Vec::new();
+        for pair in 0..4u64 {
+            for (tenant, id) in [(1u32, 2 * pair + 1), (2u32, 2 * pair + 2)] {
+                let (job, rx) = queued_tenant(id, 300, tenant);
+                set.submit(job, ArrayClass::Linear);
+                rxs.push(rx);
+            }
+        }
+        let mut order = Vec::new();
+        for _ in 0..8 {
+            let batch = set.next_batch(0).unwrap();
+            assert_eq!(batch.len(), 1);
+            order.push(batch[0].tenant);
+        }
+        assert_eq!(order, vec![1, 1, 2, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn cancel_removes_a_queued_job_and_resolves_its_ticket() {
+        let set = set_with(Policy::Fifo, vec![ArrayClass::Linear], 1, &[]);
+        let (job, rx1) = queued_tenant(1, 10, 9);
+        set.submit(job, ArrayClass::Linear);
+        let (job, rx2) = queued_tenant(2, 10, 9);
+        set.submit(job, ArrayClass::Linear);
+        assert!(set.cancel(1), "queued job cancels");
+        assert!(matches!(rx1.try_recv(), Ok(Err(FarmError::Cancelled))));
+        assert!(!set.cancel(1), "second cancel finds nothing");
+        {
+            let st = set.lock();
+            assert_eq!(st.depth, 1);
+            assert_eq!(st.cancelled, 1);
+            assert_eq!(st.backlog[0], 10);
+        }
+        // The survivor dispatches normally.
+        let batch = set.next_batch(0).unwrap();
+        assert_eq!(batch[0].id, 2);
+        assert!(!set.cancel(2), "dispatched job is past cancellation");
+        assert!(rx2.try_recv().is_err(), "no resolution for the running job");
+        let telemetry = set.drain_telemetry();
+        assert_eq!(telemetry.cancelled, 1);
+        assert_eq!(telemetry.tenants.len(), 1);
+        assert_eq!(telemetry.tenants[0].tenant, 9);
+        assert_eq!(telemetry.tenants[0].submitted, 2);
+        assert_eq!(telemetry.tenants[0].cancelled, 1);
+    }
+
+    #[test]
     fn shutdown_drains_before_workers_exit() {
-        let set = QueueSet::new(Policy::Fifo, vec![ArrayClass::Linear], 1, Instant::now());
+        let set = set_with(Policy::Fifo, vec![ArrayClass::Linear], 1, &[]);
         let (job, _rx) = queued(1, 10);
         set.submit(job, ArrayClass::Linear);
         set.finish();
@@ -396,5 +734,117 @@ mod tests {
         let telemetry = set.drain_telemetry();
         assert_eq!(telemetry.submitted, 1);
         assert!(!telemetry.depth_log.is_empty());
+        assert_eq!(telemetry.max_depth, 1);
+    }
+
+    #[test]
+    fn per_class_wakeups_lose_no_jobs_across_a_concurrent_shutdown() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        // 2 hex + 2 linear workers drain concurrently while the main thread
+        // submits a mixed burst and then immediately shuts down.  Every job
+        // must be dispatched exactly once and every worker must observe the
+        // shutdown (no lost wakeups on either class condvar).
+        let set = Arc::new(set_with(
+            Policy::Fifo,
+            vec![
+                ArrayClass::Hex,
+                ArrayClass::Hex,
+                ArrayClass::Linear,
+                ArrayClass::Linear,
+            ],
+            2,
+            &[],
+        ));
+        let dispatched = AtomicUsize::new(0);
+        let total = 200u64;
+        let mut rxs = Vec::new();
+        std::thread::scope(|scope| {
+            for worker in 0..4usize {
+                let set = Arc::clone(&set);
+                let dispatched = &dispatched;
+                scope.spawn(move || {
+                    while let Some(batch) = set.next_batch(worker) {
+                        dispatched.fetch_add(batch.len(), Ordering::Relaxed);
+                    }
+                });
+            }
+            for id in 0..total {
+                if id % 3 == 0 {
+                    let (reply, rx) = mpsc::channel();
+                    let a = gen::random_dense_f64(2, 2, id);
+                    let job = Job::dense_mm(a.clone(), a);
+                    set.submit(
+                        QueuedJob {
+                            id,
+                            kind: job.kind(),
+                            predicted: CostEstimate {
+                                cycles: 10,
+                                exact: true,
+                            },
+                            priority: 0,
+                            tenant: 0,
+                            vft: 0,
+                            deadline: None,
+                            submitted: Instant::now(),
+                            reply,
+                            job,
+                        },
+                        ArrayClass::Hex,
+                    );
+                    rxs.push(rx);
+                } else {
+                    let (job, rx) = queued(id, 10);
+                    set.submit(job, ArrayClass::Linear);
+                    rxs.push(rx);
+                }
+            }
+            set.finish();
+        });
+        assert_eq!(dispatched.load(Ordering::Relaxed), total as usize);
+        assert_eq!(set.lock().depth, 0);
+    }
+
+    #[test]
+    fn depth_trace_decimates_instead_of_truncating_and_max_stays_exact() {
+        let started = Instant::now();
+        let mut st = QueueState {
+            queues: Vec::new(),
+            backlog: Vec::new(),
+            depth: 0,
+            shutdown: false,
+            steals: 0,
+            submitted: 0,
+            cancelled: 0,
+            vtime: 0,
+            tenants: HashMap::new(),
+            depth_log: Vec::new(),
+            max_depth: 0,
+            depth_events: 0,
+            depth_stride: 1,
+        };
+        // 5x the cap in events: the cap is hit after MAX events (stride
+        // 1 -> 2), again after 2·MAX more (stride 2 -> 4) and after 4·MAX
+        // more at cumulative 4·MAX (stride 4 -> 8).  The spike to `peak`
+        // happens late, where a truncating trace would have long since
+        // gone blind.
+        let events = 5 * MAX_DEPTH_SAMPLES;
+        let peak = 123_456;
+        for event in 0..events {
+            st.depth = if event == events - 10 {
+                peak
+            } else {
+                event % 37
+            };
+            st.log_depth(started);
+        }
+        assert!(st.depth_log.len() <= MAX_DEPTH_SAMPLES);
+        assert!(
+            st.depth_log.len() > MAX_DEPTH_SAMPLES / 4,
+            "decimation keeps the trace dense, not empty"
+        );
+        assert_eq!(st.depth_stride, 8, "three decimations double thrice");
+        assert_eq!(st.max_depth, peak, "max depth is exact despite decimation");
+        assert_eq!(st.depth_events, events as u64);
     }
 }

@@ -1,5 +1,5 @@
-//! Farm-level telemetry: per-worker utilization, queue depth over time and
-//! predicted-cycle accounting.
+//! Farm-level telemetry: per-worker utilization, queue depth over time,
+//! predicted-cycle accounting, and the lifecycle/tenant counters.
 //!
 //! Everything here is collected for free as jobs flow through the farm —
 //! the cost model's predictions, the simulators' measured step counts and
@@ -9,14 +9,57 @@
 use crate::job::ArrayClass;
 use std::time::Duration;
 
-/// One sample of the total queued-job count, taken at every submission and
-/// dispatch.
+/// One sample of the total queued-job count, taken at submissions,
+/// dispatches and cancellations.
+///
+/// On long runs the trace is **decimated**, not truncated: once it reaches
+/// its size cap, every other retained sample is dropped and the sampling
+/// stride doubles, so the trace always spans the farm's whole lifetime at
+/// bounded memory.  The exact maximum depth is tracked separately
+/// ([`FarmTelemetry::max_queue_depth`] stays exact regardless of
+/// decimation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DepthSample {
     /// Offset from farm start-up.
     pub at: Duration,
     /// Jobs queued across all workers at that instant.
     pub depth: usize,
+}
+
+/// Per-tenant slice of one worker's served work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantServed {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Jobs of this tenant the worker served to completion.
+    pub served: usize,
+    /// Jobs of this tenant the worker shed at dispatch (expired deadline).
+    pub shed: usize,
+    /// Predicted array steps over the tenant's completed jobs — the
+    /// weighted-fair share currency (the closed forms make it exact for
+    /// dense and block-sparse jobs).
+    pub predicted_cycles: usize,
+}
+
+/// Farm-wide accounting for one tenant, merged from the queue's admission
+/// state and every worker's served slice at shutdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantTelemetry {
+    /// Tenant id.
+    pub tenant: u32,
+    /// The tenant's weighted-fair weight
+    /// ([`crate::FarmConfig::tenant_weight`]; 1 when unconfigured).
+    pub weight: u32,
+    /// Jobs the tenant got past admission.
+    pub submitted: u64,
+    /// Queued jobs removed by [`crate::JobTicket::cancel`] before dispatch.
+    pub cancelled: u64,
+    /// Jobs served to completion.
+    pub served: usize,
+    /// Jobs shed at dispatch because their deadline had already passed.
+    pub shed: usize,
+    /// Predicted array steps over the tenant's completed jobs.
+    pub served_predicted_cycles: usize,
 }
 
 /// What one worker did over the farm's lifetime.
@@ -26,14 +69,19 @@ pub struct WorkerTelemetry {
     pub worker: usize,
     /// Which array type the worker owns.
     pub class: ArrayClass,
-    /// Jobs served (including failed ones).
+    /// Jobs served (including failed ones; shed jobs are counted in
+    /// [`WorkerTelemetry::shed`] instead — they never ran).
     pub jobs: usize,
     /// Jobs that were served as part of a coalesced same-shape batch.
     pub coalesced_jobs: usize,
-    /// Dispatches (a coalesced batch counts once).
+    /// Dispatches that served at least one job (a coalesced batch counts
+    /// once; a dispatch whose every job was shed counts zero).
     pub batches: usize,
     /// Jobs that finished with an execution error.
     pub failures: usize,
+    /// Jobs this worker shed at dispatch because their absolute deadline
+    /// had already passed; shed jobs consume no array steps.
+    pub shed: usize,
     /// Wall time spent serving jobs.
     pub busy: Duration,
     /// Array steps executed on the worker's own station arrays.  Recorded
@@ -50,6 +98,8 @@ pub struct WorkerTelemetry {
     pub measured_cycles: usize,
     /// Served jobs whose exact prediction matched the measurement.
     pub exact_predictions: usize,
+    /// Per-tenant slice of the worker's completed/shed work.
+    pub tenants: Vec<TenantServed>,
 }
 
 impl WorkerTelemetry {
@@ -70,12 +120,26 @@ pub struct FarmTelemetry {
     pub wall: Duration,
     /// Per-worker accounting.
     pub workers: Vec<WorkerTelemetry>,
-    /// Queue-depth trace (one sample per submission/dispatch).
+    /// Queue-depth trace (decimated on long runs, never truncated — see
+    /// [`DepthSample`]).
     pub depth: Vec<DepthSample>,
     /// Jobs taken by an idle worker from a peer's queue.
     pub steals: u64,
     /// Jobs accepted by admission.
     pub submitted: u64,
+    /// Queued jobs removed by [`crate::JobTicket::cancel`] before dispatch
+    /// (they never occupied an array).
+    pub cancelled: u64,
+    /// Jobs refused synchronously at submission because the closed-form
+    /// predicted service alone could not meet their deadline
+    /// ([`crate::FarmConfig::shed_at_admission`]); they never queued and do
+    /// not count toward [`FarmTelemetry::submitted`].
+    pub shed_at_admission: u64,
+    /// Exact largest queued-job count ever observed (independent of the
+    /// depth trace's decimation).
+    pub max_depth: usize,
+    /// Per-tenant accounting, sorted by tenant id.
+    pub tenants: Vec<TenantTelemetry>,
 }
 
 impl FarmTelemetry {
@@ -90,9 +154,16 @@ impl FarmTelemetry {
         self.workers.iter().map(|w| w.failures).sum()
     }
 
-    /// Largest queued-job count ever observed.
+    /// Jobs shed at dispatch because their deadline had already passed.
+    pub fn shed(&self) -> usize {
+        self.workers.iter().map(|w| w.shed).sum()
+    }
+
+    /// Largest queued-job count ever observed.  Exact even on runs long
+    /// enough for the depth trace to be decimated.
     pub fn max_queue_depth(&self) -> usize {
-        self.depth.iter().map(|s| s.depth).max().unwrap_or(0)
+        self.max_depth
+            .max(self.depth.iter().map(|s| s.depth).max().unwrap_or(0))
     }
 
     /// Total predicted array steps across all served jobs.
@@ -103,6 +174,23 @@ impl FarmTelemetry {
     /// Total measured array steps across all served jobs.
     pub fn measured_cycles(&self) -> usize {
         self.workers.iter().map(|w| w.measured_cycles).sum()
+    }
+
+    /// The tenant's accounting row, if the tenant submitted anything.
+    pub fn tenant(&self, tenant: u32) -> Option<&TenantTelemetry> {
+        self.tenants.iter().find(|t| t.tenant == tenant)
+    }
+
+    /// The tenant's share of all served predicted cycles — the quantity
+    /// [`crate::Policy::WeightedFair`] drives toward the tenant's weight
+    /// share under saturating load (0.0 when nothing was served).
+    pub fn served_cycle_share(&self, tenant: u32) -> f64 {
+        let total: usize = self.tenants.iter().map(|t| t.served_predicted_cycles).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.tenant(tenant)
+            .map_or(0.0, |t| t.served_predicted_cycles as f64 / total as f64)
     }
 
     /// Fraction of *completed* jobs whose exact closed-form prediction
@@ -142,24 +230,34 @@ mod tests {
             coalesced_jobs: 0,
             batches: jobs,
             failures: 0,
+            shed: 0,
             busy: Duration::from_millis(busy_ms),
             station_cycles: 10 * jobs,
             predicted_cycles: 10 * jobs,
             measured_cycles: 10 * jobs,
             exact_predictions: exact,
+            tenants: vec![TenantServed {
+                tenant: 7,
+                served: jobs,
+                shed: 0,
+                predicted_cycles: 10 * jobs,
+            }],
         }
     }
 
-    #[test]
-    fn aggregates_sum_over_workers() {
-        // Second worker served 2 jobs of which 1 failed: the failure counts
-        // toward `failures` but neither toward `completed` nor the exact
-        // fraction's denominator.
-        let mut failing = worker(2, 1, 100);
-        failing.failures = 1;
-        let telemetry = FarmTelemetry {
+    fn farm(workers: Vec<WorkerTelemetry>) -> FarmTelemetry {
+        let tenants = vec![TenantTelemetry {
+            tenant: 7,
+            weight: 2,
+            submitted: workers.iter().map(|w| w.jobs as u64).sum(),
+            cancelled: 0,
+            served: workers.iter().map(|w| w.jobs).sum(),
+            shed: workers.iter().map(|w| w.shed).sum(),
+            served_predicted_cycles: workers.iter().map(|w| w.predicted_cycles).sum(),
+        }];
+        FarmTelemetry {
             wall: Duration::from_millis(100),
-            workers: vec![worker(4, 4, 50), failing],
+            workers,
             depth: vec![
                 DepthSample {
                     at: Duration::ZERO,
@@ -172,14 +270,43 @@ mod tests {
             ],
             steals: 1,
             submitted: 6,
-        };
+            cancelled: 0,
+            shed_at_admission: 0,
+            max_depth: 9,
+            tenants,
+        }
+    }
+
+    #[test]
+    fn aggregates_sum_over_workers() {
+        // Second worker served 2 jobs of which 1 failed: the failure counts
+        // toward `failures` but neither toward `completed` nor the exact
+        // fraction's denominator.  It also shed one job at dispatch.
+        let mut failing = worker(2, 1, 100);
+        failing.failures = 1;
+        failing.shed = 1;
+        let telemetry = farm(vec![worker(4, 4, 50), failing]);
         assert_eq!(telemetry.completed(), 5);
         assert_eq!(telemetry.failures(), 1);
-        assert_eq!(telemetry.max_queue_depth(), 5);
+        assert_eq!(telemetry.shed(), 1);
+        // The exact max dominates the (possibly decimated) trace max.
+        assert_eq!(telemetry.max_queue_depth(), 9);
         assert_eq!(telemetry.predicted_cycles(), 60);
         assert_eq!(telemetry.measured_cycles(), 60);
         assert!((telemetry.exact_prediction_fraction() - 5.0 / 5.0).abs() < 1e-12);
         assert!((telemetry.mean_utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tenant_rows_and_shares_are_queryable() {
+        let telemetry = farm(vec![worker(4, 4, 50)]);
+        let row = telemetry.tenant(7).expect("tenant 7 exists");
+        assert_eq!(row.weight, 2);
+        assert_eq!(row.served, 4);
+        assert_eq!(row.served_predicted_cycles, 40);
+        assert!(telemetry.tenant(8).is_none());
+        assert!((telemetry.served_cycle_share(7) - 1.0).abs() < 1e-12);
+        assert_eq!(telemetry.served_cycle_share(8), 0.0);
     }
 
     #[test]
@@ -190,11 +317,17 @@ mod tests {
             depth: Vec::new(),
             steals: 0,
             submitted: 0,
+            cancelled: 0,
+            shed_at_admission: 0,
+            max_depth: 0,
+            tenants: Vec::new(),
         };
         assert_eq!(telemetry.completed(), 0);
+        assert_eq!(telemetry.shed(), 0);
         assert_eq!(telemetry.max_queue_depth(), 0);
         assert_eq!(telemetry.exact_prediction_fraction(), 0.0);
         assert_eq!(telemetry.mean_utilization(), 0.0);
+        assert_eq!(telemetry.served_cycle_share(0), 0.0);
         assert_eq!(worker(0, 0, 10).utilization(Duration::ZERO), 0.0);
     }
 }

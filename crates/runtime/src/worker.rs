@@ -4,21 +4,27 @@
 //!
 //! [`ArrayFarm::submit`] is the whole client API: validate (admission),
 //! predict (closed forms), enqueue, and hand back a [`JobTicket`] whose
-//! [`JobTicket::wait`] blocks for the [`JobReceipt`].  **Every** job —
-//! singly-served dense jobs, coalesced batches
-//! (`multiply_*_batch_on`) and extension jobs (`solve_*_on`,
-//! `gauss_seidel_on`) — runs through the `_on` solver entry points on the
-//! worker's own persistent [`ArrayStation`], which owns the arrays *and*
-//! their run workspaces: steady-state serving performs no engine
-//! allocation (the scratches are cleared, not freed, between jobs), and
-//! every array step is attributed to the station structurally, by the run
-//! itself.
+//! [`JobTicket::wait`] blocks for the [`JobReceipt`] — or which can
+//! [`JobTicket::cancel`] the job while it still queues, poll with
+//! [`JobTicket::try_wait`], or bound the wait with
+//! [`JobTicket::wait_timeout`].  Workers enforce deadlines at dispatch: a
+//! job whose absolute deadline has already passed when a worker picks it
+//! up is **shed** (resolved to [`FarmError::DeadlineExceeded`]) without
+//! consuming a single array step.  **Every** job that does run —
+//! singly-served dense jobs, coalesced batches (`multiply_*_batch_on`) and
+//! extension jobs (`solve_*_on`, `gauss_seidel_on`) — runs through the
+//! `_on` solver entry points on the worker's own persistent
+//! [`ArrayStation`], which owns the arrays *and* their run workspaces:
+//! steady-state serving performs no engine allocation (the scratches are
+//! cleared, not freed, between jobs), and every array step is attributed
+//! to the station structurally, by the run itself.
 
 use crate::cost::CostModel;
+use crate::error::FarmError;
 use crate::job::{ArrayClass, Job, JobOutput, JobReceipt, JobSpec};
 use crate::policy::Policy;
 use crate::queue::{QueueSet, QueuedJob};
-use crate::telemetry::{FarmTelemetry, WorkerTelemetry};
+use crate::telemetry::{FarmTelemetry, TenantServed, TenantTelemetry, WorkerTelemetry};
 use sia_dbt::ext::{gauss_seidel_on, solve_lower_on, solve_upper_on};
 use sia_dbt::sparse::multiply_mv_block_sparse_on;
 use sia_dbt::{
@@ -31,43 +37,6 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-/// Errors of the farm API (admission, execution, lifecycle).
-#[derive(Debug, Clone, PartialEq)]
-#[non_exhaustive]
-pub enum FarmError {
-    /// The job failed admission: its shapes violate the solver contract.
-    Rejected(DbtError),
-    /// The farm has no worker owning the array type the job needs.
-    NoWorkerForClass(ArrayClass),
-    /// The job ran and the solver returned an error (singular pivot,
-    /// non-convergence, ...).
-    Execution(DbtError),
-    /// The farm was torn down before the job's receipt was delivered.
-    Disconnected,
-}
-
-impl fmt::Display for FarmError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FarmError::Rejected(e) => write!(f, "job rejected at admission: {e}"),
-            FarmError::NoWorkerForClass(class) => {
-                write!(f, "farm has no {} worker", class.label())
-            }
-            FarmError::Execution(e) => write!(f, "job failed while running: {e}"),
-            FarmError::Disconnected => write!(f, "farm shut down before the job completed"),
-        }
-    }
-}
-
-impl std::error::Error for FarmError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            FarmError::Rejected(e) | FarmError::Execution(e) => Some(e),
-            _ => None,
-        }
-    }
-}
 
 /// Farm sizing and scheduling configuration.
 #[derive(Debug, Clone)]
@@ -82,6 +51,19 @@ pub struct FarmConfig {
     pub policy: Policy,
     /// Maximum same-shape jobs served as one batch (1 disables coalescing).
     pub coalesce_limit: usize,
+    /// Weighted-fair weights per tenant (unlisted tenants weigh 1; zero
+    /// weights are clamped to 1).
+    pub tenant_weights: Vec<(u32, u32)>,
+    /// When set to the farm's estimated wall time per array step, a job
+    /// whose closed-form predicted service alone cannot meet its relative
+    /// deadline is shed **synchronously at submission** instead of queued
+    /// ([`FarmError::DeadlineExceeded`] from [`ArrayFarm::submit`]).
+    /// Applies only to jobs priced by an *exact* closed form (dense,
+    /// block-sparse, triangular) — for those the closed forms make this a
+    /// ground-truth test, not a profiled guess; inexact estimates
+    /// (Gauss–Seidel sweep counts) are never admission-shed, since the
+    /// estimate may overshoot a run that would in fact meet its deadline.
+    pub shed_at_admission: Option<Duration>,
 }
 
 impl FarmConfig {
@@ -94,6 +76,8 @@ impl FarmConfig {
             linear_workers: 1,
             policy: Policy::Fifo,
             coalesce_limit: 4,
+            tenant_weights: Vec::new(),
+            shed_at_admission: None,
         }
     }
 
@@ -124,13 +108,44 @@ impl FarmConfig {
         self.coalesce_limit = limit;
         self
     }
+
+    /// Sets one tenant's weighted-fair weight (replacing any earlier value
+    /// for the same tenant; zero is clamped to 1).
+    #[must_use]
+    pub fn tenant_weight(mut self, tenant: u32, weight: u32) -> Self {
+        self.tenant_weights.retain(|(t, _)| *t != tenant);
+        self.tenant_weights.push((tenant, weight.max(1)));
+        self
+    }
+
+    /// Enables admission-time deadline shedding, using `step_time` as the
+    /// estimated wall time per array step to convert the closed-form
+    /// predicted cycle count into a service-time lower bound (exactly
+    /// priced jobs only — see [`FarmConfig::shed_at_admission`]).
+    #[must_use]
+    pub fn shed_at_admission(mut self, step_time: Duration) -> Self {
+        self.shed_at_admission = Some(step_time);
+        self
+    }
 }
 
-/// Handle to one submitted job; redeem it with [`JobTicket::wait`].
-#[derive(Debug)]
+/// Handle to one submitted job.
+///
+/// A ticket resolves **exactly once**: to a [`JobReceipt`] when the job is
+/// served, or to a [`FarmError`] when it fails, is cancelled, or is shed.
+/// Redeem it with [`JobTicket::wait`] (blocking), [`JobTicket::try_wait`]
+/// (polling) or [`JobTicket::wait_timeout`]; [`JobTicket::cancel`] removes
+/// the job from its queue while it has not been dispatched yet.
 pub struct JobTicket {
     id: u64,
-    rx: mpsc::Receiver<Result<JobReceipt, DbtError>>,
+    rx: mpsc::Receiver<Result<JobReceipt, FarmError>>,
+    queues: Arc<QueueSet>,
+}
+
+impl fmt::Debug for JobTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobTicket").field("id", &self.id).finish()
+    }
 }
 
 impl JobTicket {
@@ -139,17 +154,53 @@ impl JobTicket {
         self.id
     }
 
-    /// Blocks until the job is served and returns its receipt.
+    /// Cancels the job if it is still queued.  Returns `true` when the job
+    /// was removed before dispatch — it will never occupy an array, and the
+    /// ticket resolves to [`FarmError::Cancelled`].  Returns `false` when
+    /// the job was already dispatched (it runs to a normal receipt),
+    /// completed, shed, or previously cancelled.  The race against dispatch
+    /// is decided under the queue mutex, so exactly one of
+    /// receipt/`Cancelled` is ever delivered.
+    pub fn cancel(&self) -> bool {
+        self.queues.cancel(self.id)
+    }
+
+    /// Blocks until the job resolves and returns its receipt.
     ///
     /// # Errors
     ///
     /// [`FarmError::Execution`] when the solver failed on the job;
+    /// [`FarmError::Cancelled`] when [`JobTicket::cancel`] removed it from
+    /// the queue first; [`FarmError::DeadlineExceeded`] when its deadline
+    /// passed before a worker could start it;
     /// [`FarmError::Disconnected`] when the farm was torn down first.
     pub fn wait(self) -> Result<JobReceipt, FarmError> {
         match self.rx.recv() {
-            Ok(Ok(receipt)) => Ok(receipt),
-            Ok(Err(e)) => Err(FarmError::Execution(e)),
+            Ok(resolution) => resolution,
             Err(_) => Err(FarmError::Disconnected),
+        }
+    }
+
+    /// Non-blocking poll: `None` while the job is still queued or running,
+    /// `Some(resolution)` once it resolved (the same value
+    /// [`JobTicket::wait`] would return).  A resolution is consumed by the
+    /// poll that observes it; later polls report
+    /// [`FarmError::Disconnected`].
+    pub fn try_wait(&self) -> Option<Result<JobReceipt, FarmError>> {
+        match self.rx.try_recv() {
+            Ok(resolution) => Some(resolution),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(FarmError::Disconnected)),
+        }
+    }
+
+    /// Bounded wait: blocks up to `timeout` for the resolution, returning
+    /// `None` on timeout (the ticket stays redeemable).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<JobReceipt, FarmError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(resolution) => Some(resolution),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(FarmError::Disconnected)),
         }
     }
 }
@@ -183,6 +234,7 @@ pub struct ArrayFarm {
     cost: CostModel,
     config: FarmConfig,
     next_id: AtomicU64,
+    admission_shed: AtomicU64,
     started: Instant,
 }
 
@@ -212,6 +264,7 @@ impl ArrayFarm {
             config.policy,
             classes.clone(),
             config.coalesce_limit,
+            config.tenant_weights.iter().copied().collect(),
             started,
         ));
         let mut handles = Vec::with_capacity(classes.len());
@@ -230,6 +283,7 @@ impl ArrayFarm {
             cost,
             config,
             next_id: AtomicU64::new(0),
+            admission_shed: AtomicU64::new(0),
             started,
         })
     }
@@ -255,17 +309,20 @@ impl ArrayFarm {
     }
 
     /// Admits, prices and enqueues a job (or a [`JobSpec`] carrying
-    /// priority/deadline), returning a ticket for the receipt.
+    /// priority/deadline/tenant), returning a ticket for the receipt.
     ///
     /// Admission runs the full shape validation and the closed-form cost
     /// prediction **before** the job can occupy an array, so malformed work
-    /// is rejected here and never queues.
+    /// is rejected here and never queues.  With
+    /// [`FarmConfig::shed_at_admission`], a deadline the predicted service
+    /// alone cannot meet is likewise refused here.
     ///
     /// # Errors
     ///
     /// [`FarmError::Rejected`] for contract violations,
     /// [`FarmError::NoWorkerForClass`] when the farm has no worker of the
-    /// needed array type.
+    /// needed array type, [`FarmError::DeadlineExceeded`] for
+    /// admission-shed deadlines.
     pub fn submit(&self, spec: impl Into<JobSpec>) -> Result<JobTicket, FarmError> {
         let spec = spec.into();
         spec.job
@@ -280,6 +337,25 @@ impl ArrayFarm {
             return Err(FarmError::NoWorkerForClass(class));
         }
         let predicted = self.cost.predict(&spec.job).map_err(FarmError::Rejected)?;
+        // Admission shedding refuses only jobs whose prediction is a
+        // *ground-truth* closed form: an inexact estimate (a Gauss–Seidel
+        // sweep count) may overshoot the real run and must not refuse a
+        // feasible job — those fall through to dispatch-time shedding.
+        // The product saturates to `Duration::MAX` (an unbounded sweep
+        // budget prices at ~usize::MAX cycles) instead of panicking.
+        if let (Some(step_time), Some(deadline)) = (self.config.shed_at_admission, spec.deadline) {
+            if predicted.exact {
+                let service =
+                    Duration::try_from_secs_f64(step_time.as_secs_f64() * predicted.cycles as f64)
+                        .unwrap_or(Duration::MAX);
+                if service > deadline {
+                    self.admission_shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(FarmError::DeadlineExceeded {
+                        late_by: service.saturating_sub(deadline),
+                    });
+                }
+            }
+        }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (reply, rx) = mpsc::channel();
         let now = Instant::now();
@@ -290,13 +366,19 @@ impl ArrayFarm {
                 job: spec.job,
                 predicted,
                 priority: spec.priority,
+                tenant: spec.tenant,
+                vft: 0,
                 deadline: spec.deadline.map(|d| now + d),
                 submitted: now,
                 reply,
             },
             class,
         );
-        Ok(JobTicket { id, rx })
+        Ok(JobTicket {
+            id,
+            rx,
+            queues: Arc::clone(&self.queues),
+        })
     }
 
     /// Drains every queue, joins the workers and returns the farm's
@@ -305,12 +387,42 @@ impl ArrayFarm {
         let workers = self.join_workers();
         let wall = self.started.elapsed();
         let queue_telemetry = self.queues.drain_telemetry();
+        let mut tenants = queue_telemetry.tenants;
+        for worker in &workers {
+            for slice in &worker.tenants {
+                let row = match tenants.binary_search_by_key(&slice.tenant, |t| t.tenant) {
+                    Ok(found) => &mut tenants[found],
+                    Err(insert_at) => {
+                        tenants.insert(
+                            insert_at,
+                            TenantTelemetry {
+                                tenant: slice.tenant,
+                                weight: 1,
+                                submitted: 0,
+                                cancelled: 0,
+                                served: 0,
+                                shed: 0,
+                                served_predicted_cycles: 0,
+                            },
+                        );
+                        &mut tenants[insert_at]
+                    }
+                };
+                row.served += slice.served;
+                row.shed += slice.shed;
+                row.served_predicted_cycles += slice.predicted_cycles;
+            }
+        }
         FarmTelemetry {
             wall,
             workers,
             depth: queue_telemetry.depth_log,
             steals: queue_telemetry.steals,
             submitted: queue_telemetry.submitted,
+            cancelled: queue_telemetry.cancelled,
+            shed_at_admission: self.admission_shed.load(Ordering::Relaxed),
+            max_depth: queue_telemetry.max_depth,
+            tenants,
         }
     }
 
@@ -340,7 +452,8 @@ impl Drop for ArrayFarm {
     }
 }
 
-/// One worker: owns its station, drains its queue until shutdown.
+/// One worker: owns its station, sheds expired work, drains its queue
+/// until shutdown.
 fn worker_loop(index: usize, class: ArrayClass, w: usize, queues: &QueueSet) -> WorkerTelemetry {
     let mut station = ArrayStation::new(w).expect("farm validated w > 0");
     let mut log = WorkerTelemetry {
@@ -350,19 +463,34 @@ fn worker_loop(index: usize, class: ArrayClass, w: usize, queues: &QueueSet) -> 
         coalesced_jobs: 0,
         batches: 0,
         failures: 0,
+        shed: 0,
         busy: Duration::ZERO,
         station_cycles: 0,
         predicted_cycles: 0,
         measured_cycles: 0,
         exact_predictions: 0,
+        tenants: Vec::new(),
     };
     while let Some(batch) = queues.next_batch(index) {
         let picked_up = Instant::now();
+        // Deadline shedding at dispatch: a job whose absolute deadline has
+        // already passed is resolved to `DeadlineExceeded` without touching
+        // an array — running it could only waste steps the live jobs need.
+        let mut live = Vec::with_capacity(batch.len());
+        for qj in batch {
+            match qj.deadline {
+                Some(deadline) if deadline < picked_up => shed(qj, picked_up, &mut log),
+                _ => live.push(qj),
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
         log.batches += 1;
-        if batch.len() > 1 {
-            serve_coalesced(index, &mut station, batch, picked_up, &mut log);
+        if live.len() > 1 {
+            serve_coalesced(index, &mut station, live, picked_up, &mut log);
         } else {
-            serve_single(index, &mut station, batch, picked_up, &mut log);
+            serve_single(index, &mut station, live, picked_up, &mut log);
         }
         log.busy += picked_up.elapsed();
     }
@@ -370,14 +498,40 @@ fn worker_loop(index: usize, class: ArrayClass, w: usize, queues: &QueueSet) -> 
     log
 }
 
-/// Builds and sends one receipt, updating the worker log.
+/// The worker's per-tenant slice for `tenant`, created on first use.
+fn tenant_entry(tenants: &mut Vec<TenantServed>, tenant: u32) -> &mut TenantServed {
+    if let Some(found) = tenants.iter().position(|t| t.tenant == tenant) {
+        return &mut tenants[found];
+    }
+    tenants.push(TenantServed {
+        tenant,
+        served: 0,
+        shed: 0,
+        predicted_cycles: 0,
+    });
+    tenants.last_mut().expect("just pushed")
+}
+
+/// Sheds one expired-deadline job at dispatch time.
+fn shed(job: QueuedJob, picked_up: Instant, log: &mut WorkerTelemetry) {
+    log.shed += 1;
+    tenant_entry(&mut log.tenants, job.tenant).shed += 1;
+    let late_by = job
+        .deadline
+        .map_or(Duration::ZERO, |d| picked_up.duration_since(d));
+    let _ = job.reply.send(Err(FarmError::DeadlineExceeded { late_by }));
+}
+
+/// Builds and sends one receipt, updating the worker log.  For a coalesced
+/// member, `service` is the member's measured-cycle share of the batch span
+/// and `batch_service` carries the span itself.
 #[allow(clippy::too_many_arguments)]
 fn deliver(
     worker: usize,
     job: QueuedJob,
     picked_up: Instant,
     service: Duration,
-    coalesced: bool,
+    batch_service: Option<Duration>,
     measured_cycles: usize,
     output: JobOutput,
     log: &mut WorkerTelemetry,
@@ -385,16 +539,20 @@ fn deliver(
     log.jobs += 1;
     log.predicted_cycles += job.predicted.cycles;
     log.measured_cycles += measured_cycles;
+    let slice = tenant_entry(&mut log.tenants, job.tenant);
+    slice.served += 1;
+    slice.predicted_cycles += job.predicted.cycles;
     let receipt = JobReceipt {
         id: job.id,
         kind: job.kind,
         worker,
         priority: job.priority,
+        tenant: job.tenant,
         predicted: job.predicted,
         measured_cycles,
         queue: picked_up.duration_since(job.submitted),
         service,
-        coalesced,
+        batch_service,
         output,
     };
     if receipt.prediction_exact() {
@@ -414,14 +572,16 @@ fn deliver(
 fn deliver_error(job: QueuedJob, error: DbtError, log: &mut WorkerTelemetry) {
     log.jobs += 1;
     log.failures += 1;
-    let _ = job.reply.send(Err(error));
+    let _ = job.reply.send(Err(FarmError::Execution(error)));
 }
 
 /// Serves a coalesced batch of same-shape dense jobs through the
 /// station-owned batch solvers (`multiply_*_batch_on`): the whole batch
 /// reuses the worker's warm workspace and its steps land on the station
-/// structurally.  Outcomes are bit-identical to per-job runs; each member's
-/// receipt carries the whole batch's service span.
+/// structurally.  Outcomes are bit-identical to per-job runs.  Each
+/// member's receipt gets the batch span *attributed* by its measured-cycle
+/// share (so per-job service aggregates sum to the real span instead of
+/// multiply-counting it) and carries the raw span in `batch_service`.
 fn serve_coalesced(
     worker: usize,
     station: &mut ArrayStation,
@@ -471,12 +631,31 @@ fn serve_coalesced(
         }
         _ => unreachable!("only dense MM/MV jobs carry a coalesce key"),
     };
-    let service = picked_up.elapsed();
+    let span = picked_up.elapsed();
     match outcome {
         Ok(outputs) => {
+            let members = batch.len() as u32;
+            let total_cycles: usize = outputs.iter().map(|(cycles, _)| *cycles).sum();
             for (qj, (cycles, output)) in batch.into_iter().zip(outputs) {
                 log.coalesced_jobs += 1;
-                deliver(worker, qj, picked_up, service, true, cycles, output, log);
+                // Attribute the span by measured-cycle share; an all-zero
+                // batch (impossible for dense jobs, but cheap to guard)
+                // splits evenly.
+                let service = if total_cycles == 0 {
+                    span / members
+                } else {
+                    span.mul_f64(cycles as f64 / total_cycles as f64)
+                };
+                deliver(
+                    worker,
+                    qj,
+                    picked_up,
+                    service,
+                    Some(span),
+                    cycles,
+                    output,
+                    log,
+                );
             }
         }
         Err(e) => {
@@ -529,7 +708,7 @@ fn serve_single(
     let service = picked_up.elapsed();
     match outcome {
         Ok((cycles, output)) => {
-            deliver(worker, qj, picked_up, service, false, cycles, output, log);
+            deliver(worker, qj, picked_up, service, None, cycles, output, log);
         }
         Err(e) => deliver_error(qj, e, log),
     }
@@ -606,6 +785,68 @@ mod tests {
     }
 
     #[test]
+    fn admission_shedding_refuses_unattainable_deadlines_synchronously() {
+        // One second per array step: no real deadline survives admission.
+        let farm =
+            ArrayFarm::new(FarmConfig::new(2).shed_at_admission(Duration::from_secs(1))).unwrap();
+        let a = gen::random_dense_f64(4, 4, 1);
+        let x = gen::random_vector_f64(4, 2);
+        let spec =
+            JobSpec::new(Job::dense_mv(a.clone(), x.clone())).deadline(Duration::from_millis(10));
+        match farm.submit(spec) {
+            Err(FarmError::DeadlineExceeded { late_by }) => assert!(late_by > Duration::ZERO),
+            other => panic!("expected admission shed, got {other:?}"),
+        }
+        // Without a deadline the same job is admitted and served.
+        let ticket = farm.submit(Job::dense_mv(a.clone(), x)).unwrap();
+        assert!(ticket.wait().is_ok());
+        // An *inexact* prediction (Gauss–Seidel sweep estimate) is never
+        // admission-shed, even though its estimate times step_time dwarfs
+        // the deadline: the estimate may overshoot a feasible run.
+        let gs = farm
+            .submit(
+                JobSpec::new(Job::GaussSeidel {
+                    a: gen::diagonally_dominant_f64(4, 9),
+                    b: vec![1.0; 4],
+                    tol: 1e-9,
+                    max_sweeps: 100,
+                })
+                .deadline(Duration::from_secs(60)),
+            )
+            .expect("inexact estimates pass admission");
+        assert!(gs.wait().is_ok());
+        let telemetry = farm.shutdown();
+        assert_eq!(telemetry.shed_at_admission, 1);
+        assert_eq!(telemetry.submitted, 2, "shed jobs never queue");
+        assert_eq!(telemetry.shed(), 0, "no dispatch-time shed");
+    }
+
+    #[test]
+    fn try_wait_and_wait_timeout_poll_the_same_resolution() {
+        let farm = ArrayFarm::new(FarmConfig::new(2)).unwrap();
+        let a = gen::random_dense_f64(4, 4, 3);
+        let x = gen::random_vector_f64(4, 4);
+        let ticket = farm.submit(Job::dense_mv(a, x)).unwrap();
+        // Poll until the resolution lands (the job is tiny).
+        let receipt = loop {
+            if let Some(resolution) = ticket.try_wait() {
+                break resolution.expect("job served");
+            }
+            std::thread::yield_now();
+        };
+        assert!(receipt.prediction_exact());
+        // The resolution is consumed: later polls see the hung-up channel
+        // (looping over the bounded wait until the worker drops its sender).
+        let afterwards = loop {
+            if let Some(resolution) = ticket.wait_timeout(Duration::from_millis(1)) {
+                break resolution;
+            }
+        };
+        assert!(matches!(afterwards, Err(FarmError::Disconnected)));
+        drop(farm);
+    }
+
+    #[test]
     fn receipts_carry_exact_predictions_for_dense_jobs() {
         let farm =
             ArrayFarm::new(FarmConfig::new(3).policy(Policy::ShortestPredictedFirst)).unwrap();
@@ -632,6 +873,10 @@ mod tests {
         assert_eq!(telemetry.completed(), 2);
         assert!((telemetry.exact_prediction_fraction() - 1.0).abs() < 1e-12);
         assert_eq!(telemetry.predicted_cycles(), telemetry.measured_cycles());
+        // Default-tenant accounting covers both jobs.
+        let tenant = telemetry.tenant(0).expect("default tenant row");
+        assert_eq!(tenant.served, 2);
+        assert_eq!(tenant.served_predicted_cycles, telemetry.predicted_cycles());
     }
 
     #[test]
@@ -655,6 +900,13 @@ mod tests {
             assert_eq!(receipt.output.as_matrix().unwrap(), &solo.c);
             assert_eq!(receipt.measured_cycles, solo.cycles);
             assert!(receipt.prediction_exact());
+            // Attributed service never exceeds the batch span it came from.
+            if let Some(span) = receipt.batch_service {
+                assert!(receipt.coalesced());
+                assert!(receipt.service <= span);
+            } else {
+                assert!(!receipt.coalesced());
+            }
         }
         let telemetry = farm.shutdown();
         assert_eq!(telemetry.completed(), 6);

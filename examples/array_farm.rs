@@ -1,8 +1,10 @@
 //! Array farm: spin up the serving layer, submit a mixed stream of jobs
-//! (dense MM/MV, block-sparse MV, triangular solve, Gauss–Seidel) and print
-//! the receipt table — for every dense and block-sparse job the cycle count
-//! predicted at admission by the paper's closed forms matches the measured
-//! count **exactly**.
+//! (dense MM/MV, block-sparse MV, triangular solve, Gauss–Seidel) from two
+//! tenants, cancel one queued job mid-flight, and print the receipt table —
+//! for every dense and block-sparse job the cycle count predicted at
+//! admission by the paper's closed forms matches the measured count
+//! **exactly**, and the lifecycle counters (cancelled/shed) land in the
+//! farm telemetry.
 //!
 //! ```text
 //! cargo run --release --example array_farm
@@ -18,7 +20,10 @@ fn main() -> Result<(), FarmError> {
         FarmConfig::new(w)
             .hex_workers(1)
             .linear_workers(2)
-            .policy(Policy::ShortestPredictedFirst),
+            .policy(Policy::ShortestPredictedFirst)
+            // Tenant 1 (matrix products) carries twice tenant 2's weight.
+            .tenant_weight(1, 2)
+            .tenant_weight(2, 1),
     )?;
     println!(
         "array farm: w = {w}, {} workers, policy = {}",
@@ -31,15 +36,17 @@ fn main() -> Result<(), FarmError> {
     for i in 0..3u64 {
         let a = gen::random_dense_f64(12, 12, 10 + i);
         let b = gen::random_dense_f64(12, 12, 20 + i);
-        tickets.push(farm.submit(Job::dense_mm(a, b))?);
+        tickets.push(farm.submit(JobSpec::new(Job::dense_mm(a, b)).tenant(1))?);
     }
     for i in 0..4u64 {
         let a = gen::random_dense_f64(24, 24, 30 + i);
         let x = gen::random_vector_f64(24, 40 + i);
-        tickets.push(farm.submit(Job::dense_mv(a, x))?);
+        tickets.push(farm.submit(JobSpec::new(Job::dense_mv(a, x)).tenant(2))?);
     }
     let sparse = gen::block_sparse_f64(24, 24, w, 0.3, 50);
-    tickets.push(farm.submit(Job::block_sparse_mv(sparse, gen::random_vector_f64(24, 51)))?);
+    tickets.push(farm.submit(
+        JobSpec::new(Job::block_sparse_mv(sparse, gen::random_vector_f64(24, 51))).tenant(2),
+    )?);
     let l = gen::lower_triangular_f64(12, 60);
     let c = gen::random_vector_f64(12, 61);
     tickets.push(farm.submit(Job::TriangularSolve {
@@ -58,13 +65,39 @@ fn main() -> Result<(), FarmError> {
                 max_sweeps: 100,
             })
             .priority(1)
-            .deadline(Duration::from_millis(50)),
+            // Deadlines are enforced at dispatch now — give the queue
+            // comfortable slack so the job is ordered, not shed.
+            .deadline(Duration::from_secs(5)),
         )?,
     );
 
+    // Lifecycle: submit one more job and cancel it while it queues.  If the
+    // cancel wins the race against dispatch, the job never touches an
+    // array and its ticket resolves to `FarmError::Cancelled`.
+    let doomed = farm.submit(
+        JobSpec::new(Job::dense_mv(
+            gen::random_dense_f64(24, 24, 80),
+            gen::random_vector_f64(24, 81),
+        ))
+        .tenant(2),
+    )?;
+    let doomed_id = doomed.id();
+    let cancel_won = doomed.cancel();
+    match doomed.wait() {
+        Err(FarmError::Cancelled) => {
+            assert!(cancel_won);
+            println!("job {doomed_id} cancelled while queued — it never ran");
+        }
+        Ok(receipt) => {
+            assert!(!cancel_won);
+            println!("job {} was dispatched before the cancel landed", receipt.id);
+        }
+        Err(e) => return Err(e),
+    }
+
     println!(
-        "\n{:>4}  {:<12} {:>6} {:>11} {:>10} {:>9} {:>9}  exact?",
-        "id", "kind", "worker", "T predicted", "T measured", "queue us", "serve us"
+        "\n{:>4}  {:<12} {:>6} {:>6} {:>11} {:>10} {:>9} {:>9}  exact?",
+        "id", "kind", "tenant", "worker", "T predicted", "T measured", "queue us", "serve us"
     );
     let mut receipts: Vec<JobReceipt> = tickets
         .into_iter()
@@ -73,9 +106,10 @@ fn main() -> Result<(), FarmError> {
     receipts.sort_by_key(|r| r.id);
     for r in &receipts {
         println!(
-            "{:>4}  {:<12} {:>6} {:>11} {:>10} {:>9.1} {:>9.1}  {}",
+            "{:>4}  {:<12} {:>6} {:>6} {:>11} {:>10} {:>9.1} {:>9.1}  {}",
             r.id,
             r.kind.label(),
+            r.tenant,
             r.worker,
             r.predicted.cycles,
             r.measured_cycles,
@@ -93,10 +127,12 @@ fn main() -> Result<(), FarmError> {
 
     let telemetry = farm.shutdown();
     println!(
-        "\nfarm: {} jobs in {:.2} ms, {} steals, max queue depth {}",
+        "\nfarm: {} jobs in {:.2} ms, {} steals, {} cancelled, {} shed, max queue depth {}",
         telemetry.completed(),
         telemetry.wall.as_secs_f64() * 1e3,
         telemetry.steals,
+        telemetry.cancelled,
+        telemetry.shed(),
         telemetry.max_queue_depth()
     );
     println!(
@@ -113,6 +149,17 @@ fn main() -> Result<(), FarmError> {
             worker.jobs,
             worker.station_cycles,
             worker.utilization(telemetry.wall) * 100.0
+        );
+    }
+    for tenant in &telemetry.tenants {
+        println!(
+            "  tenant {} (weight {}): {} submitted, {} served, {} cancelled, {:.0}% of served cycles",
+            tenant.tenant,
+            tenant.weight,
+            tenant.submitted,
+            tenant.served,
+            tenant.cancelled,
+            telemetry.served_cycle_share(tenant.tenant) * 100.0
         );
     }
 

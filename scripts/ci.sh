@@ -16,10 +16,10 @@ cargo test -q
 echo "== cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "== paper_experiments (measured-vs-paper agreement, incl. E10 throughput)"
+echo "== paper_experiments (measured-vs-paper agreement, incl. E10 throughput + E11 fairness)"
 cargo run -p sia-bench --release --bin paper_experiments > /dev/null
 
-echo "== paper_experiments --json (perf trajectory: BENCH_mm/mv/throughput.json)"
+echo "== paper_experiments --json (perf trajectory: BENCH_mm/mv/throughput.json, incl. E11 fairness records)"
 cargo run -p sia-bench --release --bin paper_experiments -- --json .
 
 echo "CI gate passed."

@@ -1,9 +1,21 @@
 //! Serving-layer integration tests: block-sparse edge cases routed through
-//! the `sparse` → runtime path, and farm behaviour on degenerate shapes.
+//! the `sparse` → runtime path, farm behaviour on degenerate shapes, and
+//! the job lifecycle paths (cancellation, deadline shedding, weighted-fair
+//! tenancy, coalesced service attribution).
 
 use size_independent_systolic::dbt::sparse;
 use size_independent_systolic::prelude::*;
 use size_independent_systolic::runtime::JobOutput;
+use std::time::Duration;
+
+/// A large dense MV job that pins the (single) linear worker for a while,
+/// so everything submitted after it verifiably queues.
+fn blocker_job(seed: u64) -> Job {
+    Job::dense_mv(
+        gen::random_dense_f64(512, 512, seed),
+        gen::random_vector_f64(512, seed + 1),
+    )
+}
 
 fn serve_sparse(a: &DenseMatrix<f64>, x: &[f64], b: Option<&[f64]>, w: usize) -> JobReceipt {
     let farm = ArrayFarm::new(FarmConfig::new(w).policy(Policy::ShortestPredictedFirst)).unwrap();
@@ -74,6 +86,171 @@ fn matrices_narrower_than_the_array_flow_through_the_sparse_path() {
         );
         assert!(receipt.prediction_exact(), "n={n} m={m} w={w}");
         assert_eq!(receipt.measured_cycles, direct.outcome.cycles);
+    }
+}
+
+#[test]
+fn cancelled_queued_job_never_runs() {
+    let farm = ArrayFarm::new(FarmConfig::new(4)).unwrap();
+    let blocker = farm.submit(blocker_job(1)).unwrap();
+    // The victim queues behind the blocker on the only linear worker.
+    let victim = farm
+        .submit(Job::dense_mv(
+            gen::random_dense_f64(64, 64, 3),
+            gen::random_vector_f64(64, 4),
+        ))
+        .unwrap();
+    assert!(victim.cancel(), "victim is still queued behind the blocker");
+    assert!(matches!(victim.wait(), Err(FarmError::Cancelled)));
+    let blocker_receipt = blocker.wait().unwrap();
+    let telemetry = farm.shutdown();
+    assert_eq!(telemetry.cancelled, 1);
+    assert_eq!(telemetry.completed(), 1);
+    // The cancelled job never touched an array: the farm's station cycles
+    // account for the blocker alone.
+    let station_cycles: usize = telemetry.workers.iter().map(|w| w.station_cycles).sum();
+    assert_eq!(station_cycles, blocker_receipt.measured_cycles);
+}
+
+#[test]
+fn expired_deadline_jobs_are_shed_under_every_policy() {
+    for policy in Policy::ALL {
+        let farm = ArrayFarm::new(FarmConfig::new(2).policy(policy)).unwrap();
+        let blocker = farm.submit(blocker_job(11)).unwrap();
+        // A 1 ns relative deadline has always passed by dispatch time.
+        let doomed = farm
+            .submit(
+                JobSpec::new(Job::dense_mv(
+                    gen::random_dense_f64(8, 8, 13),
+                    gen::random_vector_f64(8, 14),
+                ))
+                .deadline(Duration::from_nanos(1)),
+            )
+            .unwrap();
+        match doomed.wait() {
+            Err(FarmError::DeadlineExceeded { late_by }) => {
+                assert!(late_by > Duration::ZERO, "{}", policy.label());
+            }
+            other => panic!("{}: expected a shed, got {other:?}", policy.label()),
+        }
+        assert!(blocker.wait().is_ok());
+        let telemetry = farm.shutdown();
+        assert_eq!(telemetry.shed(), 1, "{}", policy.label());
+        assert_eq!(telemetry.completed(), 1, "{}", policy.label());
+        let tenant = telemetry.tenant(0).expect("default tenant row");
+        assert_eq!(tenant.shed, 1, "{}", policy.label());
+    }
+}
+
+#[test]
+fn wfq_gives_the_heavy_tenant_its_weighted_share() {
+    const JOBS: usize = 60;
+    let farm = ArrayFarm::new(
+        FarmConfig::new(4)
+            .hex_workers(0)
+            .linear_workers(1)
+            .policy(Policy::WeightedFair)
+            .coalesce_limit(1)
+            .tenant_weight(1, 10)
+            .tenant_weight(2, 1),
+    )
+    .unwrap();
+    // Pre-built payloads keep the submission burst much faster than
+    // service, so both tenants stay backlogged while shares accumulate.
+    let job = |seed: u64| {
+        Job::dense_mv(
+            gen::random_dense_f64(64, 64, seed),
+            gen::random_vector_f64(64, seed + 500),
+        )
+    };
+    let heavy_jobs: Vec<Job> = (0..JOBS as u64).map(|i| job(1_000 + i)).collect();
+    let light_jobs: Vec<Job> = (0..JOBS as u64).map(|i| job(3_000 + i)).collect();
+    let blocker = farm.submit(blocker_job(5_000)).unwrap();
+    let mut heavy = Vec::new();
+    let mut light = Vec::new();
+    for (heavy_job, light_job) in heavy_jobs.into_iter().zip(light_jobs) {
+        heavy.push(farm.submit(JobSpec::new(heavy_job).tenant(1)).unwrap());
+        light.push(farm.submit(JobSpec::new(light_job).tenant(2)).unwrap());
+    }
+    for ticket in heavy {
+        ticket.wait().unwrap();
+    }
+    // Freeze the light tenant's share the moment the heavy tenant drains.
+    let cancelled = light.iter().filter(|t| t.cancel()).count();
+    assert!(blocker.wait().is_ok());
+    let telemetry = farm.shutdown();
+    let heavy_row = telemetry.tenant(1).expect("heavy tenant row");
+    let light_row = telemetry.tenant(2).expect("light tenant row");
+    assert_eq!(heavy_row.served, JOBS, "heavy tenant fully served");
+    assert_eq!(telemetry.cancelled, cancelled as u64);
+    assert_eq!(
+        light_row.served + light_row.cancelled as usize,
+        JOBS,
+        "every light job was served or cancelled, never lost"
+    );
+    let heavy_cycles = heavy_row.served_predicted_cycles as f64;
+    let light_cycles = light_row.served_predicted_cycles as f64;
+    // Exact 10:1 shares put the heavy tenant at 10/11 ≈ 0.909 of the live
+    // cycles; the deterministic part of the test only needs a bound loose
+    // enough to survive scheduling jitter around the cancel sweep.
+    let share = heavy_cycles / (heavy_cycles + light_cycles);
+    assert!(
+        share > 0.70,
+        "WFQ share {share:.3} is far from the 10:1 weights \
+         (heavy {heavy_cycles} vs light {light_cycles} predicted cycles)"
+    );
+    assert!(light_cycles < heavy_cycles);
+}
+
+#[test]
+fn coalesced_receipts_attribute_the_batch_span_by_cycle_share() {
+    let farm = ArrayFarm::new(FarmConfig::new(2).coalesce_limit(8)).unwrap();
+    let blocker = farm.submit(blocker_job(21)).unwrap();
+    // Same-shape mates queue behind the blocker and coalesce.
+    let mates: Vec<_> = (0..6u64)
+        .map(|i| {
+            farm.submit(Job::dense_mv(
+                gen::random_dense_f64(16, 16, 100 + i),
+                gen::random_vector_f64(16, 200 + i),
+            ))
+            .unwrap()
+        })
+        .collect();
+    let receipts: Vec<JobReceipt> = mates.into_iter().map(|t| t.wait().unwrap()).collect();
+    assert!(blocker.wait().is_ok());
+    drop(farm);
+    let coalesced: Vec<&JobReceipt> = receipts.iter().filter(|r| r.coalesced()).collect();
+    assert!(
+        coalesced.len() >= 2,
+        "the queued same-shape mates must coalesce"
+    );
+    for receipt in &receipts {
+        match receipt.batch_service {
+            Some(span) => {
+                assert!(receipt.coalesced());
+                assert!(
+                    receipt.service <= span,
+                    "attributed service cannot exceed the batch span"
+                );
+            }
+            None => assert!(!receipt.coalesced()),
+        }
+    }
+    // The mates all share one shape, hence equal measured cycles, so the
+    // attribution must hand every member an exact 1/k share of its batch
+    // span for some batch size k within the coalescing window — the
+    // batch's wall time is split, not multiply-counted.  (Checked
+    // per-receipt: two distinct batches can report identical spans, so
+    // grouping receipts by span would be ambiguous.)
+    for receipt in &coalesced {
+        let span = receipt.batch_service.unwrap();
+        let share_of_some_batch_size =
+            (2..=8u32).any(|k| (span / k).abs_diff(receipt.service) <= Duration::from_micros(2));
+        assert!(
+            share_of_some_batch_size,
+            "service {:?} is not an equal share of batch span {:?}",
+            receipt.service, receipt.batch_service
+        );
     }
 }
 

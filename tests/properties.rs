@@ -9,7 +9,10 @@
 //! * the measured utilization never exceeds the paper's bound;
 //! * the tape-driven engines' outcomes (values, cycle counts, feedback
 //!   summaries) agree with the analytic predictions, and the batch APIs are
-//!   outcome-identical to sequential runs.
+//!   outcome-identical to sequential runs;
+//! * the farm's lifecycle: under every policy, cancellation racing dispatch
+//!   resolves to exactly one of receipt/`Cancelled`, and the telemetry
+//!   books balance (completed + cancelled == submitted).
 //!
 //! The build environment has no crates.io access, so instead of proptest
 //! the cases are drawn from the workspace's own deterministic generator
@@ -570,10 +573,15 @@ fn farm_serves_every_job_exactly_once_with_direct_call_results() {
             let tickets: Vec<(JobTicket, &JobOutput)> = jobs
                 .iter()
                 .map(|(job, reference)| {
+                    // Deadlines are enforced since the lifecycle work (an
+                    // expired job is shed, not served), so the random
+                    // deadlines are in whole seconds — ordering keys under
+                    // EDF that can never expire mid-test on a loaded
+                    // machine.
                     let spec = JobSpec::new(job.clone())
                         .priority((rng.range_usize(0, 3)) as u8)
-                        .deadline(std::time::Duration::from_millis(
-                            rng.range_usize(1, 100) as u64
+                        .deadline(std::time::Duration::from_secs(
+                            rng.range_usize(30, 300) as u64
                         ));
                     (farm.submit(spec).unwrap(), reference)
                 })
@@ -614,6 +622,65 @@ fn farm_serves_every_job_exactly_once_with_direct_call_results() {
             assert_eq!(telemetry.completed(), 10, "every job served exactly once");
             assert_eq!(telemetry.workers.len(), 2 * workers);
         }
+    }
+}
+
+#[test]
+fn cancellation_races_resolve_to_exactly_one_outcome() {
+    // Under every policy, cancelling random tickets while the farm races to
+    // dispatch them yields exactly one resolution per job: a successful
+    // `cancel()` is always followed by `FarmError::Cancelled` (the job
+    // never ran), a failed one by a normal bit-identical receipt, and the
+    // telemetry books balance: completed + cancelled == submitted.
+    let w = 3;
+    let jobs_per_policy = 24u64;
+    let mut rng = SplitMix64::new(0xCA9C);
+    for policy in Policy::ALL {
+        let farm = ArrayFarm::new(FarmConfig::new(w).policy(policy)).unwrap();
+        let jobs: Vec<_> = (0..jobs_per_policy)
+            .map(|_| random_job_with_reference(&mut rng, w))
+            .collect();
+        let tickets: Vec<(JobTicket, &JobOutput)> = jobs
+            .iter()
+            .map(|(job, reference)| (farm.submit(JobSpec::new(job.clone())).unwrap(), reference))
+            .collect();
+        let mut cancelled = 0u64;
+        let mut served = 0u64;
+        for (ticket, reference) in tickets {
+            let cancel_won = rng.next_bool(0.5) && ticket.cancel();
+            cancelled += u64::from(cancel_won);
+            match ticket.wait() {
+                Ok(receipt) => {
+                    assert!(
+                        !cancel_won,
+                        "policy {}: cancelled job {} still delivered a receipt",
+                        policy.label(),
+                        receipt.id
+                    );
+                    // Dispatch won the race: the job ran normally, to the
+                    // direct solver call's exact result.
+                    assert_eq!(&receipt.output, reference, "policy {}", policy.label());
+                    served += 1;
+                }
+                Err(FarmError::Cancelled) => {
+                    assert!(
+                        cancel_won,
+                        "policy {}: uncancelled job resolved as cancelled",
+                        policy.label()
+                    );
+                }
+                Err(e) => panic!("policy {}: unexpected resolution {e}", policy.label()),
+            }
+        }
+        let telemetry = farm.shutdown();
+        assert_eq!(telemetry.cancelled, cancelled);
+        assert_eq!(served + cancelled, jobs_per_policy);
+        assert_eq!(
+            telemetry.completed() as u64 + telemetry.cancelled,
+            telemetry.submitted,
+            "policy {}: lifecycle books must balance",
+            policy.label()
+        );
     }
 }
 
