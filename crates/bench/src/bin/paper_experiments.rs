@@ -1,4 +1,4 @@
-//! Prints every experiment of the reproduction (DESIGN.md, E1–E11 subset
+//! Prints every experiment of the reproduction (DESIGN.md, E1–E12 subset
 //! that produces tables) — the output recorded in `EXPERIMENTS.md`.
 //!
 //! ```text
@@ -12,7 +12,9 @@
 //! `BENCH_throughput.json` (the E10 farm serving records — jobs/sec cold
 //! and steady, allocations per job, latency percentiles per scheduling
 //! policy — plus the E11 weighted-fair tenancy records: per-tenant served
-//! shares and shed/cancel counts under FIFO vs WFQ) into `DIR` (default:
+//! shares and shed/cancel counts under FIFO vs WFQ, plus the E12
+//! lane-scaling records: steady jobs/sec and speedup per lane width on the
+//! coalesced same-shape burst) into `DIR` (default:
 //! the current directory), so the perf trajectory can be tracked across
 //! PRs:
 //!
@@ -55,9 +57,10 @@ fn run_json(dir: &Path) -> ExitCode {
     ];
     let throughput = perf::throughput_records();
     let fairness = perf::fairness_records();
+    let lanes = perf::lane_scaling_records();
     outputs.push((
         "BENCH_throughput.json",
-        perf::bench_throughput_json(&throughput, &fairness),
+        perf::bench_throughput_json(&throughput, &fairness, &lanes),
     ));
     for (file, json) in outputs {
         let path = dir.join(file);
@@ -82,6 +85,7 @@ fn run_tables() -> ExitCode {
         experiments::run_sparse_experiment(),
         experiments::run_throughput(),
         experiments::run_fairness(),
+        experiments::run_lane_scaling(),
     ];
     let mut all_ok = true;
     for report in &reports {

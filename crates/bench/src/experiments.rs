@@ -1,5 +1,5 @@
 //! The experiment implementations, one per entry of the experiment index in
-//! `DESIGN.md` (E1–E11).  Each returns an [`ExperimentReport`] holding the
+//! `DESIGN.md` (E1–E12).  Each returns an [`ExperimentReport`] holding the
 //! rendered table plus any headline checks, so the binary can print them and
 //! the tests can assert on them.
 
@@ -398,7 +398,15 @@ pub struct ThroughputStats {
 
 /// The deterministic skewed job mix: many small matrix–vector jobs, a few
 /// large ones (the p95 hazard FIFO exposes), and a handful of matrix–matrix
-/// jobs for the hexagonal worker — shuffled into a fixed arrival order.
+/// jobs for the hexagonal worker — shuffled into a fixed arrival order,
+/// with one large job pinned to the front as the **blocker**.
+///
+/// The blocker is what makes work stealing observable: it is submitted
+/// first and dequeued by an idle linear worker before the burst proper
+/// lands, so that worker's predicted-cycle backlog is already spent when
+/// routing spreads the rest of the burst evenly over both linear queues.
+/// The blocked worker's queued half then sits still while its peer drains —
+/// and the peer steals it.
 fn throughput_job_mix() -> Vec<JobSpec> {
     // Deadlines are *enforced* since the lifecycle work (a job whose
     // deadline passed before dispatch is shed, not served), so the mix's
@@ -413,11 +421,11 @@ fn throughput_job_mix() -> Vec<JobSpec> {
         let x = gen::random_vector_f64(32, 2_000 + i);
         jobs.push(JobSpec::new(Job::dense_mv(a, x)).deadline(Duration::from_secs(2)));
     }
-    // 2 large MV jobs (~60x the small jobs' predicted cycles): loosest
-    // deadlines.
-    for i in 0..2u64 {
-        let a = gen::random_dense_f64(256, 256, 3_000 + i);
-        let x = gen::random_vector_f64(256, 4_000 + i);
+    // 1 large MV job (~60x the small jobs' predicted cycles, loosest
+    // deadline) shuffled mid-stream: the p95 hazard FIFO exposes.
+    {
+        let a = gen::random_dense_f64(256, 256, 3_001);
+        let x = gen::random_vector_f64(256, 4_001);
         jobs.push(JobSpec::new(Job::dense_mv(a, x)).deadline(Duration::from_secs(200)));
     }
     // 4 MM jobs for the hexagonal worker.
@@ -426,13 +434,20 @@ fn throughput_job_mix() -> Vec<JobSpec> {
         let b = gen::random_dense_f64(16, 16, 6_000 + i);
         jobs.push(JobSpec::new(Job::dense_mm(a, b)).deadline(Duration::from_secs(40)));
     }
-    // Deterministic Fisher–Yates shuffle so the large jobs land mid-stream
+    // Deterministic Fisher–Yates shuffle so the large job lands mid-stream
     // and every policy sees the same arrival order.
     let mut rng = SplitMix64::new(0x7457_0B57);
     for i in (1..jobs.len()).rev() {
         let j = rng.range_usize(0, i + 1);
         jobs.swap(i, j);
     }
+    // The second large MV is the blocker, pinned to the front.
+    let a = gen::random_dense_f64(256, 256, 3_000);
+    let x = gen::random_vector_f64(256, 4_000);
+    jobs.insert(
+        0,
+        JobSpec::new(Job::dense_mv(a, x)).deadline(Duration::from_secs(200)),
+    );
     jobs
 }
 
@@ -444,30 +459,40 @@ fn percentile(sorted: &[Duration], q: f64) -> Duration {
     sorted[rank - 1]
 }
 
-/// Drives the mixed-job burst through a one-hex/one-linear farm under the
+/// Drives the mixed-job burst through a one-hex/two-linear farm under the
 /// given policy and measures sustained throughput and latency percentiles;
 /// then drives a second, identical burst through the **same** farm — every
 /// worker's station workspaces now warm — to measure steady-state
 /// throughput and allocations per job.
 ///
 /// Coalescing is disabled so the rows isolate the *ordering* effect of the
-/// policy; single workers per class make the service order fully
-/// policy-determined.
+/// policy.  Two linear workers make stealing possible: the burst's blocker
+/// job is submitted first with a short pause so one worker picks it up
+/// (draining its backlog to zero) before routing spreads the rest evenly —
+/// the blocked worker's queued half is then stolen by its drained peer, in
+/// policy order.
 pub fn measure_throughput(policy: Policy) -> ThroughputStats {
     let farm = ArrayFarm::new(
         FarmConfig::new(THROUGHPUT_W)
             .policy(policy)
+            .linear_workers(2)
             .coalesce_limit(1),
     )
     .expect("farm construction");
     let run_burst = |jobs: Vec<JobSpec>| {
         let start = Instant::now();
+        let mut jobs = jobs.into_iter();
+        // The blocker goes in alone; the pause lets a worker dequeue it so
+        // the burst proper is routed against a zero backlog on that worker.
+        let blocker = farm
+            .submit(jobs.next().expect("mix is non-empty"))
+            .expect("admission");
+        std::thread::sleep(Duration::from_millis(1));
         let tickets: Vec<_> = jobs
-            .into_iter()
             .map(|spec| farm.submit(spec).expect("admission"))
             .collect();
-        let receipts: Vec<_> = tickets
-            .into_iter()
+        let receipts: Vec<_> = std::iter::once(blocker)
+            .chain(tickets)
             .map(|t| t.wait().expect("job served"))
             .collect();
         (start.elapsed(), receipts)
@@ -543,6 +568,7 @@ fn throughput_attempt() -> (bool, Table) {
         "p99 ms",
         "pred exact",
         "max depth",
+        "steals",
     ]);
     let mut fifo = None;
     let mut sjf = None;
@@ -551,6 +577,9 @@ fn throughput_attempt() -> (bool, Table) {
         let stats = measure_throughput(policy);
         // Every dense job must meet its closed-form cycle count exactly.
         agrees &= stats.exact_fraction == 1.0;
+        // The blocker leaves one linear worker's queued half stranded while
+        // its peer drains — stealing must actually fire under every policy.
+        agrees &= stats.steals > 0;
         match policy {
             Policy::Fifo => fifo = Some((stats.p95, stats.max_queue_depth)),
             Policy::ShortestPredictedFirst => sjf = Some((stats.p95, stats.max_queue_depth)),
@@ -567,6 +596,7 @@ fn throughput_attempt() -> (bool, Table) {
             format!("{:.3}", stats.p99.as_secs_f64() * 1e3),
             format!("{:.2}", stats.exact_fraction),
             stats.max_queue_depth.to_string(),
+            stats.steals.to_string(),
         ]);
     }
     // The headline claim: exact predictions let SJF beat FIFO on p95.  The
@@ -577,6 +607,178 @@ fn throughput_attempt() -> (bool, Table) {
     if let (Some((fifo_p95, fifo_depth)), Some((sjf_p95, sjf_depth))) = (fifo, sjf) {
         let queue_built = fifo_depth >= THROUGHPUT_JOBS / 2 && sjf_depth >= THROUGHPUT_JOBS / 2;
         agrees &= !queue_built || sjf_p95 <= fifo_p95;
+    }
+    (agrees, table)
+}
+
+/// The lane-scaling experiment's array size.
+const LANES_W: usize = 4;
+
+/// Same-shape matrix–matrix jobs in the lane-scaling burst (a multiple of
+/// [`sia_dbt::MAX_LANES`], so every lane-parallel pass is full).
+const LANES_JOBS: usize = 48;
+
+/// Matrix size of the lane-scaling jobs.  Large enough that the array pass
+/// (which lanes parallelize) dominates the per-job transform and result
+/// extraction (which stay sequential), so Amdahl does not cap the speedup
+/// below the headline.
+const LANES_N: usize = 64;
+
+/// One lane width's measured serving behaviour on the same-shape burst.
+#[derive(Debug, Clone)]
+pub struct LaneScalingStats {
+    /// Lane width the farm was configured with (1 = sequential batch).
+    pub lanes: usize,
+    /// Jobs served per burst.
+    pub jobs: usize,
+    /// Completion rate of the first (cold) burst.
+    pub jobs_per_sec: f64,
+    /// Completion rate of the second burst on the same farm, with every
+    /// worker's lane-strided workspaces warm.
+    pub steady_jobs_per_sec: f64,
+    /// Fraction of jobs whose exact closed-form prediction matched the
+    /// measured step count (lane-parallel passes bill every lane the solo
+    /// cycle count, so this must stay 1.0 at every lane width).
+    pub exact_fraction: f64,
+    /// Process-wide heap allocations per job during the steady burst.
+    pub allocs_per_job: f64,
+}
+
+/// The lane-scaling mix: one off-shape blocker followed by [`LANES_JOBS`]
+/// same-shape matrix–matrix jobs.  The blocker occupies the hex worker while
+/// the burst proper queues behind it, so the coalescer picks the same-shape
+/// jobs up [`sia_dbt::MAX_LANES`] at a time and the farm's lane width alone
+/// decides whether each batch is served as one lane-parallel pass or as
+/// sequential per-job passes.
+fn lane_job_mix() -> Vec<JobSpec> {
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    let a = gen::random_dense_f64(16, 16, 9_000);
+    let b = gen::random_dense_f64(16, 16, 9_001);
+    jobs.push(JobSpec::new(Job::dense_mm(a, b)).deadline(Duration::from_secs(200)));
+    for i in 0..LANES_JOBS as u64 {
+        let a = gen::random_dense_f64(LANES_N, LANES_N, 7_000 + i);
+        let b = gen::random_dense_f64(LANES_N, LANES_N, 8_000 + i);
+        jobs.push(JobSpec::new(Job::dense_mm(a, b)).deadline(Duration::from_secs(200)));
+    }
+    jobs
+}
+
+/// Drives the same-shape burst through a one-hex farm at the given lane
+/// width (cold + steady burst, as in [`measure_throughput`]).  Coalescing is
+/// wide open ([`sia_dbt::MAX_LANES`]) in both arms, so sequential (`lanes ==
+/// 1`) and lane-parallel rows serve identical batches — the rows differ only
+/// in how a batch crosses the array.
+pub fn measure_lane_scaling(lanes: usize) -> LaneScalingStats {
+    let farm = ArrayFarm::new(
+        FarmConfig::new(LANES_W)
+            .coalesce_limit(sia_dbt::MAX_LANES)
+            .lanes(lanes),
+    )
+    .expect("farm construction");
+    let run_burst = |jobs: Vec<JobSpec>| {
+        let start = Instant::now();
+        let mut jobs = jobs.into_iter();
+        // The blocker goes in alone; the pause lets the hex worker dequeue
+        // it so the same-shape burst queues up behind it and coalesces.
+        let blocker = farm
+            .submit(jobs.next().expect("mix is non-empty"))
+            .expect("admission");
+        std::thread::sleep(Duration::from_millis(1));
+        let tickets: Vec<_> = jobs
+            .map(|spec| farm.submit(spec).expect("admission"))
+            .collect();
+        let receipts: Vec<_> = std::iter::once(blocker)
+            .chain(tickets)
+            .map(|t| t.wait().expect("job served"))
+            .collect();
+        (start.elapsed(), receipts)
+    };
+
+    let (wall, receipts) = run_burst(lane_job_mix());
+    let n = receipts.len();
+    let exact = receipts.iter().filter(|r| r.prediction_exact()).count();
+
+    let allocs_before = sia_alloc::allocation_count();
+    let (steady_wall, steady_receipts) = run_burst(lane_job_mix());
+    let allocs_after = sia_alloc::allocation_count();
+    debug_assert_eq!(steady_receipts.len(), n);
+
+    farm.shutdown();
+    LaneScalingStats {
+        lanes,
+        jobs: n,
+        jobs_per_sec: n as f64 / wall.as_secs_f64(),
+        steady_jobs_per_sec: n as f64 / steady_wall.as_secs_f64(),
+        exact_fraction: exact as f64 / n as f64,
+        allocs_per_job: (allocs_after - allocs_before) as f64 / n as f64,
+    }
+}
+
+/// Lane widths the E12 table sweeps (1 is the sequential-batch baseline;
+/// the last entry is the full [`sia_dbt::MAX_LANES`] pass).
+pub const LANE_WIDTHS: [usize; 5] = [1, 2, 4, 8, sia_dbt::MAX_LANES];
+
+/// E12: lane-parallel SIMD execution — the same coalesced same-shape burst
+/// served at increasing lane widths.  One array pass carries one value lane
+/// per job, so a width-`L` farm retires `L` jobs per pass; the headline is
+/// the steady-state speedup of the full-width row over the sequential row,
+/// with every lane still billed its exact closed-form cycle count.
+pub fn run_lane_scaling() -> ExperimentReport {
+    // Wall-clock ratios across independent bursts wobble on a loaded
+    // runner; one retry absorbs a descheduled worker, as in E10.
+    let (agrees, table) = lane_scaling_attempt();
+    let (agrees, table) = if agrees {
+        (agrees, table)
+    } else {
+        lane_scaling_attempt()
+    };
+    ExperimentReport::new(
+        "E12",
+        "lane-parallel execution: L same-shape jobs per array pass vs sequential batches",
+        &table,
+        agrees,
+    )
+}
+
+/// One full sweep over [`LANE_WIDTHS`]: returns the rendered rows and
+/// whether the headline checks (exact predictions everywhere, ≥ 5x steady
+/// speedup at full width) held in this pass.
+fn lane_scaling_attempt() -> (bool, Table) {
+    let mut table = Table::new(vec![
+        "lanes",
+        "jobs",
+        "jobs/s",
+        "steady j/s",
+        "speedup",
+        "allocs/job",
+        "pred exact",
+    ]);
+    let mut agrees = true;
+    let mut baseline = None;
+    for lanes in LANE_WIDTHS {
+        let stats = measure_lane_scaling(lanes);
+        // Lane-parallel passes must not disturb the cost model: every job
+        // still meets its closed-form cycle count exactly.
+        agrees &= stats.exact_fraction == 1.0;
+        let speedup = match baseline {
+            None => {
+                baseline = Some(stats.steady_jobs_per_sec);
+                1.0
+            }
+            Some(base) => stats.steady_jobs_per_sec / base,
+        };
+        if lanes == sia_dbt::MAX_LANES {
+            agrees &= speedup >= 5.0;
+        }
+        table.push(vec![
+            stats.lanes.to_string(),
+            stats.jobs.to_string(),
+            format!("{:.0}", stats.jobs_per_sec),
+            format!("{:.0}", stats.steady_jobs_per_sec),
+            format!("{speedup:.2}x"),
+            format!("{:.1}", stats.allocs_per_job),
+            format!("{:.2}", stats.exact_fraction),
+        ]);
     }
     (agrees, table)
 }
@@ -847,6 +1049,7 @@ mod tests {
             run_sparse_experiment(),
             run_throughput(),
             run_fairness(),
+            run_lane_scaling(),
         ] {
             assert!(
                 report.agrees_with_paper,

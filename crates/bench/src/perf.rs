@@ -11,7 +11,10 @@
 //! the build environment has no crates.io access, and the schema is flat
 //! enough that serde would be overkill anyway.
 
-use crate::experiments::{measure_fairness, measure_throughput, FairnessStats, ThroughputStats};
+use crate::experiments::{
+    measure_fairness, measure_lane_scaling, measure_throughput, FairnessStats, LaneScalingStats,
+    ThroughputStats, LANE_WIDTHS,
+};
 use crate::harness::BenchGroup;
 use sia_dbt::{multiply_mm_on, multiply_mv_on, MmShape, MvSchedule, MvShape};
 use sia_matrix::gen;
@@ -181,6 +184,46 @@ pub fn fairness_records() -> Vec<FairnessStats> {
         .collect()
 }
 
+/// Measures the E12 lane-scaling sweep (one record per lane width in
+/// [`LANE_WIDTHS`]; same coalesced same-shape burst at every width).
+pub fn lane_scaling_records() -> Vec<LaneScalingStats> {
+    LANE_WIDTHS.into_iter().map(measure_lane_scaling).collect()
+}
+
+/// Renders lane-scaling records as a JSON array (stable key order).  The
+/// sequential row (`lanes == 1`) is every other row's speedup baseline.
+pub fn lane_scaling_to_json(records: &[LaneScalingStats]) -> String {
+    let baseline = records
+        .iter()
+        .find(|r| r.lanes == 1)
+        .map(|r| r.steady_jobs_per_sec);
+    let mut out = String::from("[\n");
+    for (idx, r) in records.iter().enumerate() {
+        let speedup = match baseline {
+            Some(base) if base > 0.0 => r.steady_jobs_per_sec / base,
+            _ => 0.0,
+        };
+        out.push_str(&format!(
+            concat!(
+                "  {{\"lanes\": {}, \"jobs\": {}, \"jobs_per_sec\": {:.1}, ",
+                "\"steady_jobs_per_sec\": {:.1}, \"steady_speedup\": {:.3}, ",
+                "\"allocs_per_job\": {:.1}, ",
+                "\"exact_prediction_fraction\": {:.6}}}"
+            ),
+            r.lanes,
+            r.jobs,
+            r.jobs_per_sec,
+            r.steady_jobs_per_sec,
+            speedup,
+            r.allocs_per_job,
+            r.exact_fraction,
+        ));
+        out.push_str(if idx + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
 /// Renders fairness records as a JSON array (stable key order).
 pub fn fairness_to_json(records: &[FairnessStats]) -> String {
     let mut out = String::from("[\n");
@@ -209,14 +252,21 @@ pub fn fairness_to_json(records: &[FairnessStats]) -> String {
 }
 
 /// Composes the full `BENCH_throughput.json` payload: the E10 per-policy
-/// serving records plus the E11 fairness records, as one object.
-pub fn bench_throughput_json(e10: &[ThroughputStats], e11: &[FairnessStats]) -> String {
+/// serving records, the E11 fairness records and the E12 lane-scaling
+/// records, as one object.
+pub fn bench_throughput_json(
+    e10: &[ThroughputStats],
+    e11: &[FairnessStats],
+    e12: &[LaneScalingStats],
+) -> String {
     let policies = throughput_to_json(e10);
     let fairness = fairness_to_json(e11);
+    let lanes = lane_scaling_to_json(e12);
     format!(
-        "{{\n\"e10_policies\": {},\n\"e11_fairness\": {}}}\n",
+        "{{\n\"e10_policies\": {},\n\"e11_fairness\": {},\n\"e12_lanes\": {}}}\n",
         policies.trim_end(),
-        fairness.trim_end()
+        fairness.trim_end(),
+        lanes.trim_end()
     )
 }
 
@@ -305,12 +355,33 @@ mod tests {
     }
 
     #[test]
-    fn combined_throughput_payload_nests_both_experiments() {
-        let json = bench_throughput_json(&[], &[]);
+    fn combined_throughput_payload_nests_all_three_experiments() {
+        let json = bench_throughput_json(&[], &[], &[]);
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("}\n"));
         assert!(json.contains("\"e10_policies\": ["));
         assert!(json.contains("\"e11_fairness\": ["));
+        assert!(json.contains("\"e12_lanes\": ["));
+    }
+
+    #[test]
+    fn lane_scaling_json_computes_speedups_against_the_sequential_row() {
+        let row = |lanes: usize, steady: f64| LaneScalingStats {
+            lanes,
+            jobs: 33,
+            jobs_per_sec: steady * 0.9,
+            steady_jobs_per_sec: steady,
+            exact_fraction: 1.0,
+            allocs_per_job: 400.0,
+        };
+        let json = lane_scaling_to_json(&[row(1, 100.0), row(16, 700.0)]);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"lanes\": 1"));
+        assert!(json.contains("\"steady_speedup\": 1.000"));
+        assert!(json.contains("\"steady_speedup\": 7.000"));
+        assert!(json.contains("\"exact_prediction_fraction\": 1.000000"));
+        assert!(!json.contains("},\n]"));
     }
 
     #[test]

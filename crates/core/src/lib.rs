@@ -69,9 +69,18 @@ pub use dbt_transposed::DbtTransposedByRows;
 pub use error::DbtError;
 pub use mm::{
     accumulation_plan, build_a_hat, build_b_hat, multiply_mm, multiply_mm_batch,
-    multiply_mm_batch_on, multiply_mm_on, validate_mm_args, AccumulationPlan, MmOutcome, MmProblem,
+    multiply_mm_batch_on, multiply_mm_lanes_on, multiply_mm_on, validate_mm_args, AccumulationPlan,
+    MmOutcome, MmProblem,
 };
 pub use mv::{
-    multiply_mv, multiply_mv_batch, multiply_mv_batch_on, multiply_mv_on, predicted_mv_cycles,
-    validate_mv_args, MvOutcome, MvProblem, MvSchedule,
+    multiply_mv, multiply_mv_batch, multiply_mv_batch_on, multiply_mv_lanes_on, multiply_mv_on,
+    predicted_mv_cycles, validate_mv_args, MvOutcome, MvProblem, MvSchedule,
 };
+
+/// Maximum number of value lanes one lane-parallel array pass carries
+/// ([`multiply_mm_lanes_on`] / [`multiply_mv_lanes_on`] split larger batches
+/// into passes of at most this many jobs).  Sixteen `f64` lanes keep a
+/// cell's lane block within four AVX2 (two AVX-512) registers while the
+/// whole value plane still fits comfortably in cache for serving-sized
+/// shapes.
+pub const MAX_LANES: usize = 16;

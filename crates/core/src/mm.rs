@@ -26,7 +26,9 @@
 use crate::analytic::MmShape;
 use crate::DbtError;
 use sia_matrix::{BandMatrix, BlockGrid, DenseMatrix, Scalar};
-use sia_sim::{ArrayStation, CInjection, FeedbackSummary, HexJob, HexScratch};
+use sia_sim::{
+    ArrayStation, CInjection, CInjectionSchedule, FeedbackSummary, HexJob, HexScratch, SimError,
+};
 use std::sync::Arc;
 
 /// Result of one size-independent matrix–matrix multiplication.
@@ -335,9 +337,10 @@ pub fn multiply_mm_on<T: Scalar>(
     b: &DenseMatrix<T>,
     e: Option<&DenseMatrix<T>>,
 ) -> Result<MmOutcome<T>, DbtError> {
-    let (job, finish) = prepare_mm(a, b, e, station.size())?;
+    let (job, schedule) = prepare_mm(a, b, e, station.size())?;
     let scratch = station.run_hex(&job)?;
-    Ok(finish.complete(scratch))
+    let feedback = scratch.feedback_summary();
+    Ok(schedule.complete(scratch, 0, feedback))
 }
 
 /// One matrix–matrix problem of a batch, by reference.
@@ -399,11 +402,87 @@ pub fn multiply_mm_batch_on<T: Scalar>(
         .collect()
 }
 
-/// Everything needed to turn a [`HexReport`] back into an [`MmOutcome`]:
-/// the problem shape and, per result element, the band position of the last
-/// member of its accumulation chain.
-struct MmFinish {
+/// Computes a batch of **same-shape** `C = A·B + E` products on a
+/// caller-owned station in lane-parallel array passes: up to
+/// [`crate::MAX_LANES`] problems share each pass, one value lane per
+/// problem, so the pass costs one tape replay instead of `L`.  The serving
+/// runtime routes coalesced batches (which are same-shape by construction)
+/// through here when lanes are enabled.
+///
+/// Outcomes are bit-identical to per-problem [`multiply_mm`] calls, in
+/// problem order, and each problem is billed the pass's full modeled cycle
+/// count — identical to its solo cost, so closed-form predictions are
+/// unchanged.
+///
+/// # Errors
+///
+/// The errors of [`multiply_mm`] per problem, plus
+/// [`sia_sim::SimError::LaneMismatch`] (via [`DbtError::Sim`]) if the
+/// problems do not all share one shape.
+pub fn multiply_mm_lanes_on<T: Scalar>(
+    station: &mut ArrayStation<T>,
+    problems: &[MmProblem<'_, T>],
+) -> Result<Vec<MmOutcome<T>>, DbtError> {
+    let w = station.size();
+    let mut outcomes = Vec::with_capacity(problems.len());
+    for chunk in problems.chunks(crate::MAX_LANES) {
+        if chunk.len() == 1 {
+            outcomes.push(multiply_mm_on(station, chunk[0].a, chunk[0].b, chunk[0].e)?);
+            continue;
+        }
+        // Lane mates share one problem shape, so the shape-only work — the
+        // accumulation plan, the flattened injection schedule and the
+        // extraction map — is computed once per chunk, not once per lane;
+        // only the operand bands (and, with an additive term, the literal
+        // injection values) are per-problem.
+        let shape = validate_mm_args(chunk[0].a, chunk[0].b, chunk[0].e, w)?;
+        for (lane, p) in chunk.iter().enumerate().skip(1) {
+            if validate_mm_args(p.a, p.b, p.e, w)? != shape {
+                return Err(DbtError::Sim(SimError::LaneMismatch {
+                    lane,
+                    what: "problem shape",
+                }));
+            }
+        }
+        let schedule = MmSchedule::new(shape)?;
+        let mut jobs = Vec::with_capacity(chunk.len());
+        for p in chunk {
+            jobs.push(HexJob {
+                a: Arc::new(build_a_hat(p.a, shape.mbar(), w)?),
+                b: Arc::new(build_b_hat(p.b, shape.nbar(), w)?),
+                c_injections: schedule.injections_for(p.e),
+            });
+        }
+        let scratch = station.run_hex_lanes(&jobs)?;
+        // One summary per pass: lanes share the feedback schedule, and the
+        // summary's event list is behind an `Arc`, so each outcome's copy
+        // is O(1).
+        let feedback = scratch.feedback_summary();
+        for lane in 0..chunk.len() {
+            outcomes.push(schedule.complete(scratch, lane, feedback.clone()));
+        }
+    }
+    Ok(outcomes)
+}
+
+/// The **shape-only** half of a matrix–matrix job: the flattened injection
+/// schedule (chain-opening literals zeroed), the slots an additive term
+/// patches, and the extraction map.  None of it depends on operand values,
+/// so one schedule serves every lane of a lane-parallel chunk — which is
+/// what makes lane batching pay: the accumulation plan and injection list
+/// used to be rebuilt per problem and dominated the per-lane cost.
+struct MmSchedule<T> {
     shape: MmShape,
+    /// Injection schedule with every chain-opening literal set to zero
+    /// (the `E = None` case verbatim), behind an [`Arc`]: problems without
+    /// an additive term share it with the engine at O(1) cost, which also
+    /// lets the lane runner skip per-lane schedule re-validation
+    /// (`Arc::ptr_eq`).
+    injections: CInjectionSchedule<T>,
+    /// `(index into injections, global target)` of each chain-opening
+    /// literal: a problem with an additive term `E` overwrites exactly
+    /// these slots with `E`'s entries.
+    value_slots: Vec<(usize, (usize, usize))>,
     /// `final_position[gi * m + gj]` = band position carrying `c_{gi,gj}`
     /// (`None` would mean the plan failed to cover that element, which the
     /// extraction treats as a bug, not a zero).
@@ -461,74 +540,97 @@ fn prepare_mm<T: Scalar>(
     b: &DenseMatrix<T>,
     e: Option<&DenseMatrix<T>>,
     w: usize,
-) -> Result<(HexJob<T>, MmFinish), DbtError> {
+) -> Result<(HexJob<T>, MmSchedule<T>), DbtError> {
     let shape = validate_mm_args(a, b, e, w)?;
     let a_hat = build_a_hat(a, shape.mbar(), w)?;
     let b_hat = build_b_hat(b, shape.nbar(), w)?;
     debug_assert_eq!(a_hat.rows(), shape.transformed_dim());
     debug_assert_eq!(b_hat.rows(), shape.transformed_dim());
-
-    let plan = accumulation_plan(shape)?;
-    let chain_members: usize = plan.chains.iter().map(|(_, m)| m.len()).sum();
-    // Chain members are disjoint across targets, so the flat injection list
-    // never carries duplicates — and costs no hashing to build, which
-    // matters: large problems stage thousands of injections per job.
-    let mut injections: Vec<((usize, usize), CInjection<T>)> = Vec::with_capacity(chain_members);
-    let mut final_position: Vec<Option<(usize, usize)>> = vec![None; shape.n * shape.m];
-    for (target, members) in &plan.chains {
-        let first_value = match e {
-            Some(e) => e.at_padded(target.0, target.1),
-            None => T::zero(),
-        };
-        let mut previous: Option<(usize, usize)> = None;
-        for &pos in members {
-            let injection = match previous {
-                None => CInjection::Value(first_value),
-                Some(prev) => CInjection::Feedback { producer: prev },
-            };
-            injections.push((pos, injection));
-            previous = Some(pos);
-        }
-        if let (Some(last), true) = (previous, target.0 < shape.n && target.1 < shape.m) {
-            final_position[target.0 * shape.m + target.1] = Some(last);
-        }
-    }
-
+    let schedule = MmSchedule::new(shape)?;
     let job = HexJob {
         a: Arc::new(a_hat),
         b: Arc::new(b_hat),
-        c_injections: injections,
+        c_injections: schedule.injections_for(e),
     };
-    Ok((
-        job,
-        MmFinish {
-            shape,
-            final_position,
-        },
-    ))
+    Ok((job, schedule))
 }
 
-impl MmFinish {
-    /// Extracts the dense result from the engine workspace of the run.
-    ///
-    /// The output stream is first indexed into a flat band-offset-addressed
-    /// vector, so each of the `n·m` final-chain reads is O(1) instead of a
-    /// linear scan over all outputs.
-    fn complete<T: Scalar>(self, scratch: &HexScratch<T>) -> MmOutcome<T> {
-        let shape = self.shape;
-        let w = shape.w;
-        let dim = shape.transformed_dim();
-        let band_width = 2 * w - 1;
-        let mut value_at: Vec<Option<T>> = vec![None; dim * band_width];
-        for o in scratch.outputs() {
-            value_at[o.row * band_width + (o.col + w - 1 - o.row)] = Some(o.value);
+impl<T: Scalar> MmSchedule<T> {
+    /// Builds the schedule of a shape from its accumulation plan.
+    fn new(shape: MmShape) -> Result<Self, DbtError> {
+        let plan = accumulation_plan(shape)?;
+        let chain_members: usize = plan.chains.iter().map(|(_, m)| m.len()).sum();
+        // Chain members are disjoint across targets, so the flat injection
+        // list never carries duplicates — and costs no hashing to build,
+        // which matters: large problems stage thousands of injections per
+        // job.
+        let mut injections: Vec<((usize, usize), CInjection<T>)> =
+            Vec::with_capacity(chain_members);
+        let mut value_slots: Vec<(usize, (usize, usize))> = Vec::with_capacity(plan.chains.len());
+        let mut final_position: Vec<Option<(usize, usize)>> = vec![None; shape.n * shape.m];
+        for (target, members) in &plan.chains {
+            let mut previous: Option<(usize, usize)> = None;
+            for &pos in members {
+                let injection = match previous {
+                    None => {
+                        value_slots.push((injections.len(), *target));
+                        CInjection::Value(T::zero())
+                    }
+                    Some(prev) => CInjection::Feedback { producer: prev },
+                };
+                injections.push((pos, injection));
+                previous = Some(pos);
+            }
+            if let (Some(last), true) = (previous, target.0 < shape.n && target.1 < shape.m) {
+                final_position[target.0 * shape.m + target.1] = Some(last);
+            }
         }
+        Ok(MmSchedule {
+            shape,
+            injections: Arc::new(injections),
+            value_slots,
+            final_position,
+        })
+    }
+
+    /// The injection list of one problem: the shared schedule itself when
+    /// there is no additive term (an `Arc` clone — free, and it marks the
+    /// job a schedule-mate of its lane siblings), or a copy with the
+    /// chain-opening literals patched to `E`'s entries otherwise.
+    fn injections_for(&self, e: Option<&DenseMatrix<T>>) -> CInjectionSchedule<T> {
+        match e {
+            None => Arc::clone(&self.injections),
+            Some(e) => {
+                let mut injections = (*self.injections).clone();
+                for &(idx, (gi, gj)) in &self.value_slots {
+                    injections[idx].1 = CInjection::Value(e.at_padded(gi, gj));
+                }
+                Arc::new(injections)
+            }
+        }
+    }
+
+    /// Extracts the dense result of one lane from the engine workspace of
+    /// the run (`lane` is `0` for a solo run); `feedback` is the pass's
+    /// summary, computed once by the caller and shared by every lane.
+    ///
+    /// Each of the `n·m` final-chain reads is one O(1)
+    /// [`HexScratch::lane_value`] lookup in the engine's flat feedback
+    /// store — no intermediate output index is materialized.
+    fn complete(
+        &self,
+        scratch: &HexScratch<T>,
+        lane: usize,
+        feedback: FeedbackSummary,
+    ) -> MmOutcome<T> {
+        let shape = self.shape;
         let mut c = DenseMatrix::zeros(shape.n, shape.m);
         for gi in 0..shape.n {
             for gj in 0..shape.m {
                 let (bi, bj) = self.final_position[gi * shape.m + gj]
                     .expect("every result element has an accumulation chain");
-                let value = value_at[bi * band_width + (bj + w - 1 - bi)]
+                let value = scratch
+                    .lane_value(lane, bi, bj)
                     .expect("the final chain member is produced by the array");
                 c[(gi, gj)] = value;
             }
@@ -540,7 +642,7 @@ impl MmFinish {
             cycles: scratch.cycles(),
             efficiency: utilization.efficiency(shape.n * shape.m * shape.p),
             activity: utilization.activity(),
-            feedback: scratch.feedback_summary(),
+            feedback,
         }
     }
 }

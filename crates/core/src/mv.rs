@@ -135,7 +135,7 @@ pub fn multiply_mv_on<T: Scalar>(
     let shape = validate_mv_args(a, x, b, w)?;
     let prepared = prepare_mv(a, x, b, w, shape, schedule)?;
     let scratch = station.run_mv(&prepared.streams)?;
-    prepared.finish.complete(scratch)
+    prepared.finish.complete(scratch, 0)
 }
 
 /// One matrix–vector problem of a batch, by reference.
@@ -195,6 +195,48 @@ pub fn multiply_mv_batch_on<T: Scalar>(
         .iter()
         .map(|p| multiply_mv_on(station, p.a, p.x, p.b, schedule))
         .collect()
+}
+
+/// Computes a batch of **same-shape** `y = A·x + b` products on a
+/// caller-owned station in lane-parallel array passes: up to
+/// [`crate::MAX_LANES`] problems share each pass, one value lane per
+/// problem — the matrix–vector counterpart of
+/// [`crate::multiply_mm_lanes_on`].
+///
+/// Outcomes are bit-identical to per-problem [`multiply_mv`] calls, in
+/// problem order, with each problem billed the pass's full modeled cycle
+/// count (identical to its solo cost).
+///
+/// # Errors
+///
+/// The errors of [`multiply_mv`] per problem, plus
+/// [`sia_sim::SimError::LaneMismatch`] (via [`DbtError::Sim`]) if the
+/// problems do not all share one shape.
+pub fn multiply_mv_lanes_on<T: Scalar>(
+    station: &mut ArrayStation<T>,
+    problems: &[MvProblem<'_, T>],
+    schedule: MvSchedule,
+) -> Result<Vec<MvOutcome<T>>, DbtError> {
+    let w = station.size();
+    let mut outcomes = Vec::with_capacity(problems.len());
+    for chunk in problems.chunks(crate::MAX_LANES) {
+        if chunk.len() == 1 {
+            let p = chunk[0];
+            outcomes.push(multiply_mv_on(station, p.a, p.x, p.b, schedule)?);
+            continue;
+        }
+        let mut prepared = Vec::with_capacity(chunk.len());
+        for p in chunk {
+            let shape = validate_mv_args(p.a, p.x, p.b, w)?;
+            prepared.push(prepare_mv(p.a, p.x, p.b, w, shape, schedule)?);
+        }
+        let jobs: Vec<&[MvStream<T>]> = prepared.iter().map(|p| p.streams.as_slice()).collect();
+        let scratch = station.run_mv_lanes(&jobs)?;
+        for (lane, p) in prepared.into_iter().enumerate() {
+            outcomes.push(p.finish.complete(scratch, lane)?);
+        }
+    }
+    Ok(outcomes)
 }
 
 /// Checks the `A`/`x`/`b` dimension contract shared by [`multiply_mv`],
@@ -258,7 +300,9 @@ struct MvFinish<T> {
 }
 
 impl<T: Scalar> MvFinish<T> {
-    fn complete(self, scratch: &LinearScratch<T>) -> Result<MvOutcome<T>, DbtError> {
+    /// Extracts the result vector of one lane from the engine workspace of
+    /// the run (`lane` is `0` for a solo run).
+    fn complete(self, scratch: &LinearScratch<T>, lane: usize) -> Result<MvOutcome<T>, DbtError> {
         let mut y = Vec::with_capacity(self.shape.n);
         // One pass over the output stream per stream, indexed by band row —
         // no sort (band rows exit in increasing order, but the fill is
@@ -267,7 +311,7 @@ impl<T: Scalar> MvFinish<T> {
         for (stream, dbt) in self.dbts.iter().enumerate() {
             y_hat.clear();
             y_hat.resize(dbt.band().rows(), T::zero());
-            let produced = scratch.collect_y_into(stream, &mut y_hat);
+            let produced = scratch.collect_y_lane_into(stream, lane, &mut y_hat);
             // A complete run produces every band row exactly once; anything
             // else (a safety-net break on a malformed schedule) must stay a
             // loud error, not silent zeros in the result.

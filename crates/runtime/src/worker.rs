@@ -28,8 +28,8 @@ use crate::telemetry::{FarmTelemetry, TenantServed, TenantTelemetry, WorkerTelem
 use sia_dbt::ext::{gauss_seidel_on, solve_lower_on, solve_upper_on};
 use sia_dbt::sparse::multiply_mv_block_sparse_on;
 use sia_dbt::{
-    multiply_mm_batch_on, multiply_mm_on, multiply_mv_batch_on, multiply_mv_on, DbtError,
-    MmProblem, MvProblem,
+    multiply_mm_batch_on, multiply_mm_lanes_on, multiply_mm_on, multiply_mv_batch_on,
+    multiply_mv_lanes_on, multiply_mv_on, DbtError, MmProblem, MvOutcome, MvProblem, MvSchedule,
 };
 use sia_sim::ArrayStation;
 use std::fmt;
@@ -51,6 +51,16 @@ pub struct FarmConfig {
     pub policy: Policy,
     /// Maximum same-shape jobs served as one batch (1 disables coalescing).
     pub coalesce_limit: usize,
+    /// Value lanes per array pass for coalesced dense batches: `1` (the
+    /// default) serves a coalesced batch as sequential per-job runs, while
+    /// `L > 1` executes up to `L` shape-mates in **one** lane-parallel pass
+    /// (one injection-tape replay, one value lane per job — see
+    /// [`sia_dbt::multiply_mm_lanes_on`]).  Lane results are bit-identical
+    /// to sequential serving and every member is billed its solo modeled
+    /// cycle count, so predictions stay exact; only wall time changes.
+    /// Values above [`sia_dbt::MAX_LANES`] are served in passes of
+    /// [`sia_dbt::MAX_LANES`].
+    pub lanes: usize,
     /// Weighted-fair weights per tenant (unlisted tenants weigh 1; zero
     /// weights are clamped to 1).
     pub tenant_weights: Vec<(u32, u32)>,
@@ -76,6 +86,7 @@ impl FarmConfig {
             linear_workers: 1,
             policy: Policy::Fifo,
             coalesce_limit: 4,
+            lanes: 1,
             tenant_weights: Vec::new(),
             shed_at_admission: None,
         }
@@ -106,6 +117,14 @@ impl FarmConfig {
     #[must_use]
     pub fn coalesce_limit(mut self, limit: usize) -> Self {
         self.coalesce_limit = limit;
+        self
+    }
+
+    /// Sets the value-lane count for coalesced dense batches (zero is
+    /// clamped to 1; 1 keeps sequential batch serving).
+    #[must_use]
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes.max(1);
         self
     }
 
@@ -271,9 +290,10 @@ impl ArrayFarm {
         for (index, class) in classes.into_iter().enumerate() {
             let queues = Arc::clone(&queues);
             let w = config.w;
+            let lanes = config.lanes.max(1);
             let handle = std::thread::Builder::new()
                 .name(format!("sia-worker-{index}-{}", class.label()))
-                .spawn(move || worker_loop(index, class, w, &queues))
+                .spawn(move || worker_loop(index, class, w, lanes, &queues))
                 .expect("spawning a farm worker thread");
             handles.push(handle);
         }
@@ -454,7 +474,13 @@ impl Drop for ArrayFarm {
 
 /// One worker: owns its station, sheds expired work, drains its queue
 /// until shutdown.
-fn worker_loop(index: usize, class: ArrayClass, w: usize, queues: &QueueSet) -> WorkerTelemetry {
+fn worker_loop(
+    index: usize,
+    class: ArrayClass,
+    w: usize,
+    lanes: usize,
+    queues: &QueueSet,
+) -> WorkerTelemetry {
     let mut station = ArrayStation::new(w).expect("farm validated w > 0");
     let mut log = WorkerTelemetry {
         worker: index,
@@ -488,7 +514,7 @@ fn worker_loop(index: usize, class: ArrayClass, w: usize, queues: &QueueSet) -> 
         }
         log.batches += 1;
         if live.len() > 1 {
-            serve_coalesced(index, &mut station, live, picked_up, &mut log);
+            serve_coalesced(index, &mut station, live, lanes, picked_up, &mut log);
         } else {
             serve_single(index, &mut station, live, picked_up, &mut log);
         }
@@ -575,17 +601,50 @@ fn deliver_error(job: QueuedJob, error: DbtError, log: &mut WorkerTelemetry) {
     let _ = job.reply.send(Err(FarmError::Execution(error)));
 }
 
+/// Runs a coalesced matrix–matrix batch in lane-parallel passes of at most
+/// `lanes` jobs each (coalesced members are same-shape by construction, so
+/// every pass is a valid lane batch).
+fn serve_mm_lanes(
+    station: &mut ArrayStation,
+    problems: &[MmProblem<'_, f64>],
+    lanes: usize,
+) -> Result<Vec<sia_dbt::MmOutcome<f64>>, DbtError> {
+    let mut outcomes = Vec::with_capacity(problems.len());
+    for chunk in problems.chunks(lanes) {
+        outcomes.extend(multiply_mm_lanes_on(station, chunk)?);
+    }
+    Ok(outcomes)
+}
+
+/// The matrix–vector counterpart of [`serve_mm_lanes`].
+fn serve_mv_lanes(
+    station: &mut ArrayStation,
+    problems: &[MvProblem<'_, f64>],
+    schedule: MvSchedule,
+    lanes: usize,
+) -> Result<Vec<MvOutcome<f64>>, DbtError> {
+    let mut outcomes = Vec::with_capacity(problems.len());
+    for chunk in problems.chunks(lanes) {
+        outcomes.extend(multiply_mv_lanes_on(station, chunk, schedule)?);
+    }
+    Ok(outcomes)
+}
+
 /// Serves a coalesced batch of same-shape dense jobs through the
-/// station-owned batch solvers (`multiply_*_batch_on`): the whole batch
-/// reuses the worker's warm workspace and its steps land on the station
-/// structurally.  Outcomes are bit-identical to per-job runs.  Each
-/// member's receipt gets the batch span *attributed* by its measured-cycle
-/// share (so per-job service aggregates sum to the real span instead of
-/// multiply-counting it) and carries the raw span in `batch_service`.
+/// station-owned batch solvers: sequential per-job runs
+/// (`multiply_*_batch_on`) when `lanes == 1`, lane-parallel passes
+/// (`multiply_*_lanes_on`, up to `lanes` jobs per array pass) otherwise.
+/// Either way the whole batch reuses the worker's warm workspace, its steps
+/// land on the station structurally, and outcomes are bit-identical to
+/// per-job runs.  Each member's receipt gets the batch span *attributed* by
+/// its measured-cycle share (so per-job service aggregates sum to the real
+/// span instead of multiply-counting it) and carries the raw span in
+/// `batch_service`.
 fn serve_coalesced(
     worker: usize,
     station: &mut ArrayStation,
     batch: Vec<QueuedJob>,
+    lanes: usize,
     picked_up: Instant,
     log: &mut WorkerTelemetry,
 ) {
@@ -602,7 +661,12 @@ fn serve_coalesced(
                     _ => unreachable!("coalesce keys only group same-kind jobs"),
                 })
                 .collect();
-            multiply_mm_batch_on(station, &problems).map(|outcomes| {
+            let outcomes = if lanes > 1 {
+                serve_mm_lanes(station, &problems, lanes)
+            } else {
+                multiply_mm_batch_on(station, &problems)
+            };
+            outcomes.map(|outcomes| {
                 outcomes
                     .into_iter()
                     .map(|o| (o.cycles, JobOutput::Matrix(o.c)))
@@ -622,7 +686,12 @@ fn serve_coalesced(
                     _ => unreachable!("coalesce keys only group same-kind jobs"),
                 })
                 .collect();
-            multiply_mv_batch_on(station, &problems, schedule).map(|outcomes| {
+            let outcomes = if lanes > 1 {
+                serve_mv_lanes(station, &problems, schedule, lanes)
+            } else {
+                multiply_mv_batch_on(station, &problems, schedule)
+            };
+            outcomes.map(|outcomes| {
                 outcomes
                     .into_iter()
                     .map(|o| (o.cycles, JobOutput::Vector(o.y)))

@@ -66,6 +66,16 @@ pub enum SimError {
         /// Number of streams supplied.
         found: usize,
     },
+    /// A lane-parallel batch is malformed: the jobs sharing one array pass
+    /// must all have the same shape (identical band profiles and injection
+    /// schedules), because the pass replays a single tape with one value
+    /// lane per job.
+    LaneMismatch {
+        /// Index of the offending lane within the batch.
+        lane: usize,
+        /// What differed from lane 0 (or `"empty lane batch"`).
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -116,6 +126,9 @@ impl fmt::Display for SimError {
                 f,
                 "at most {max} interleaved streams are supported, got {found}"
             ),
+            SimError::LaneMismatch { lane, what } => {
+                write!(f, "lane {lane} does not match lane 0: {what}")
+            }
         }
     }
 }
@@ -154,6 +167,10 @@ mod tests {
             SimError::UnknownProducer { producer: (0, 0) },
             SimError::InjectionOutsideBand { position: (9, 0) },
             SimError::TooManyStreams { max: 2, found: 3 },
+            SimError::LaneMismatch {
+                lane: 1,
+                what: "a operand shape",
+            },
         ];
         for e in errors {
             let msg = e.to_string();

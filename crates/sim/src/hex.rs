@@ -52,7 +52,7 @@
 //! `tests/properties.rs` holds it to the paper's closed forms.
 
 use crate::batch::par_map_with;
-use crate::plane::{reset_vec, BitPlane};
+use crate::plane::{mac_lanes, reset_vec, BitPlane};
 use crate::report::{FeedbackEvent, FeedbackSummary, Utilization};
 use crate::tape::Tape;
 use crate::SimError;
@@ -73,6 +73,12 @@ pub enum CInjection<T> {
     },
 }
 
+/// A shared `(position, injection)` schedule: how each result position is
+/// initialised.  Behind an [`Arc`] so lane-parallel schedule mates can
+/// share one list — the engine and the validators shortcut on pointer
+/// equality.
+pub type CInjectionSchedule<T> = Arc<Vec<((usize, usize), CInjection<T>)>>;
+
 /// One band matrix–matrix multiplication job.
 ///
 /// The operands are shared ([`Arc`]) so that jobs can be constructed without
@@ -92,7 +98,7 @@ pub struct HexJob<T> {
     /// a flat list costs no hashing when the solvers build thousands of
     /// injections per job).  It is walked once at construction time to build
     /// the injection tape, never inside the cycle loop.
-    pub c_injections: Vec<((usize, usize), CInjection<T>)>,
+    pub c_injections: CInjectionSchedule<T>,
 }
 
 impl<T: Scalar> std::fmt::Debug for HexJob<T> {
@@ -112,7 +118,7 @@ impl<T: Scalar> HexJob<T> {
         HexJob {
             a: a.into(),
             b: b.into(),
-            c_injections: Vec::new(),
+            c_injections: Arc::new(Vec::new()),
         }
     }
 }
@@ -177,34 +183,42 @@ impl<T: Scalar> HexReport<T> {
     }
 }
 
-/// A pending `c` injection on the tape: resolved to a concrete value (either
-/// the literal or the fed-back output of `producer`) at its entry cycle.
+/// A pending `c` injection on the tape: resolved to concrete per-lane values
+/// (either the staged literals in the lane-strided `inj_val` table or the
+/// fed-back outputs of `producer`) at its entry cycle.  The tape itself
+/// carries no values — it is a pure function of the job *shape*, which is
+/// what lets one tape drive a lane-parallel batch of shape-mates.
 #[derive(Debug, Clone, Copy)]
-enum PendingC<T> {
-    Value(T),
+enum PendingC {
+    Value,
     Feedback((usize, usize)),
 }
 
 #[derive(Debug, Clone, Copy)]
-struct CEntry<T> {
+struct CEntry {
     i: u32,
     j: u32,
-    pending: PendingC<T>,
+    pending: PendingC,
 }
 
-/// A staged `a`-plane injection: `a_{ik}` with its value.
+/// A staged `a`-plane injection: `a_{ik}` with its value and its position
+/// in tape-push order (`seq` indexes the lane-strided staging plane of a
+/// lane-parallel run; a solo run never reads it).
 #[derive(Debug, Clone, Copy)]
 struct ATag<T> {
     i: u32,
     k: u32,
+    seq: u32,
     value: T,
 }
 
-/// A staged `b`-plane injection: `b_{kj}` with its value.
+/// A staged `b`-plane injection: `b_{kj}` with its value and tape-order
+/// `seq` (see [`ATag`]).
 #[derive(Debug, Clone, Copy)]
 struct BTag<T> {
     k: u32,
     j: u32,
+    seq: u32,
     value: T,
 }
 
@@ -220,17 +234,29 @@ struct BTag<T> {
 /// [`crate::ArrayStation`], which is how the serving runtime reaches the
 /// allocation-free steady state.
 ///
+/// The **value** planes carry a lane dimension (slot `idx` of lane `l`
+/// lives at `idx * lanes + l`): a lane-parallel run
+/// ([`HexArray::run_lanes_with`]) executes L same-shape jobs in one array
+/// pass, sharing every structural plane (tapes, occupancy, indices,
+/// cursors) across the lanes.  A plain [`HexArray::run_with`] is the
+/// `lanes == 1` special case of the same engine, so its layout and cost
+/// are unchanged.
+///
 /// The results of the last successful run stay readable on the scratch
-/// ([`HexScratch::outputs`], [`HexScratch::cycles`], …) until the next run
-/// overwrites them.
+/// ([`HexScratch::outputs`], [`HexScratch::outputs_of`],
+/// [`HexScratch::cycles`], …) until the next run overwrites them.
 #[derive(Debug, Clone)]
 pub struct HexScratch<T> {
     a_tape: Tape<ATag<T>>,
     b_tape: Tape<BTag<T>>,
-    c_tape: Tape<CEntry<T>>,
+    c_tape: Tape<CEntry>,
     /// Flattened injection lookup, one slot per result-band position.
     injection_at: Vec<Option<CInjection<T>>>,
-    // a plane, SoA: value / occupancy / (i, k) index planes.
+    /// Staged injection values, lane-strided: one slot per result-band
+    /// position and lane (zero where no literal injection applies).
+    inj_val: Vec<T>,
+    // a plane, SoA: value / occupancy / (i, k) index planes.  Value planes
+    // are lane-strided; occupancy and index planes are shared across lanes.
     a_val: Vec<T>,
     a_i: Vec<u32>,
     a_k: Vec<u32>,
@@ -250,14 +276,23 @@ pub struct HexScratch<T> {
     /// current cycle, maintained incrementally so the hot loop never
     /// divides (every other ring slot is an offset from it).
     c_exit: Vec<u32>,
-    // Flat feedback store, SoA: one slot per result-band position.
+    // Flat feedback store, SoA: one slot per result-band position, value
+    // plane lane-strided.
     fb_val: Vec<T>,
     fb_cycle: Vec<usize>,
     fb_occ: BitPlane,
     fb_events: Vec<FeedbackEvent>,
     outputs: Vec<CellOutput<T>>,
+    /// Lane-strided operand staging planes of a lane-parallel run: the
+    /// value of tape entry `seq` for lane `l` lives at `seq * lanes + l`,
+    /// filled by one sequential band walk per lane before the pass so the
+    /// hot loop injects a lane block with a single contiguous copy instead
+    /// of `L` random band lookups.  Solo runs leave them empty.
+    a_stage: Vec<T>,
+    b_stage: Vec<T>,
     // Results of the last run.
     w: usize,
+    lanes: usize,
     fired: usize,
     last_fire_cycle: usize,
 }
@@ -276,6 +311,7 @@ impl<T: Scalar> HexScratch<T> {
             b_tape: Tape::new(),
             c_tape: Tape::new(),
             injection_at: Vec::new(),
+            inj_val: Vec::new(),
             a_val: Vec::new(),
             a_i: Vec::new(),
             a_k: Vec::new(),
@@ -295,15 +331,71 @@ impl<T: Scalar> HexScratch<T> {
             fb_occ: BitPlane::new(),
             fb_events: Vec::new(),
             outputs: Vec::new(),
+            a_stage: Vec::new(),
+            b_stage: Vec::new(),
             w: 0,
+            lanes: 1,
             fired: 0,
             last_fire_cycle: 0,
         }
     }
 
-    /// All outputs of the last run, in the order they left the array.
+    /// All outputs of the last run's lane 0, in the order they left the
+    /// array.
     pub fn outputs(&self) -> &[CellOutput<T>] {
         &self.outputs
+    }
+
+    /// The outputs of lane `lane` of the last run, in the order they left
+    /// the array.  `outputs_of(0)` yields [`HexScratch::outputs`]; every
+    /// lane exits in lockstep, so all lanes share output ordering and
+    /// cycles, and lanes `1..` differ only in the value — which is read
+    /// back from the lane-strided flat feedback store (every exit parks its
+    /// whole lane block there), so no per-lane output stream is ever
+    /// materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= self.lanes()`.
+    pub fn outputs_of(&self, lane: usize) -> impl Iterator<Item = CellOutput<T>> + '_ {
+        assert!(lane < self.lanes, "lane {lane} out of {} lanes", self.lanes);
+        let (w, lanes) = (self.w, self.lanes);
+        let band_width = 2 * w - 1;
+        self.outputs.iter().map(move |o| {
+            if lane == 0 {
+                *o
+            } else {
+                let fidx = o.row * band_width + (o.col + w - 1 - o.row);
+                CellOutput {
+                    value: self.fb_val[fidx * lanes + lane],
+                    ..*o
+                }
+            }
+        })
+    }
+
+    /// The value lane `lane` produced at result-band position `(row, col)`
+    /// in the last run, read straight from the lane-strided flat feedback
+    /// store (every exit parks its whole lane block there); `None` when the
+    /// array never emitted that position.  This is the O(1) extraction path
+    /// result assembly uses — no per-lane output stream is materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= self.lanes()` or `(row, col)` lies outside the
+    /// result band of the last run.
+    pub fn lane_value(&self, lane: usize, row: usize, col: usize) -> Option<T> {
+        assert!(lane < self.lanes, "lane {lane} out of {} lanes", self.lanes);
+        let band_width = 2 * self.w - 1;
+        let fidx = row * band_width + (col + self.w - 1 - row);
+        self.fb_occ
+            .get(fidx)
+            .then(|| self.fb_val[fidx * self.lanes + lane])
+    }
+
+    /// Number of value lanes of the last run (1 for a plain run).
+    pub fn lanes(&self) -> usize {
+        self.lanes
     }
 
     /// Cycle in which the last multiply–accumulate of the last run fired.
@@ -407,6 +499,13 @@ impl HexArray {
     }
 
     fn validate<T: Scalar>(&self, job: &HexJob<T>) -> Result<(), SimError> {
+        self.validate_operands(job)?;
+        self.validate_injections(job)
+    }
+
+    /// The operand half of [`HexArray::validate`]: band profiles, bandwidth
+    /// against the array, and the shared inner dimension.
+    fn validate_operands<T: Scalar>(&self, job: &HexJob<T>) -> Result<(), SimError> {
         let w = self.w;
         if job.a.lower() != 0 {
             return Err(SimError::BandProfile {
@@ -438,9 +537,17 @@ impl HexArray {
                 right: (job.b.rows(), job.b.cols()),
             });
         }
+        Ok(())
+    }
+
+    /// The injection-schedule half of [`HexArray::validate`], split out so a
+    /// lane batch whose mates literally share lane 0's schedule (one `Arc`)
+    /// can check it once instead of once per lane.
+    fn validate_injections<T: Scalar>(&self, job: &HexJob<T>) -> Result<(), SimError> {
+        let w = self.w;
         let in_band =
             |i: usize, j: usize| i < job.a.rows() && j < job.b.cols() && i.abs_diff(j) < w;
-        for &((i, j), injection) in &job.c_injections {
+        for &((i, j), injection) in job.c_injections.iter() {
             if !in_band(i, j) {
                 return Err(SimError::InjectionOutsideBand { position: (i, j) });
             }
@@ -489,7 +596,104 @@ impl HexArray {
         job: &HexJob<T>,
         scratch: &mut HexScratch<T>,
     ) -> Result<(), SimError> {
-        self.validate(job)?;
+        self.run_lanes_with(std::slice::from_ref(job), scratch)
+    }
+
+    /// Checks that a lane batch is well-formed: every job valid on its own,
+    /// and every job a *shape-mate* of lane 0 (identical operand band
+    /// shapes and an identical injection schedule up to the literal values,
+    /// which are the one thing allowed to differ between lanes).
+    fn validate_lanes<T: Scalar>(&self, jobs: &[HexJob<T>]) -> Result<(), SimError> {
+        let first = jobs.first().ok_or(SimError::LaneMismatch {
+            lane: 0,
+            what: "empty lane batch",
+        })?;
+        for (lane, job) in jobs.iter().enumerate() {
+            if lane == 0 {
+                self.validate(job)?;
+                continue;
+            }
+            if Arc::ptr_eq(&job.c_injections, &first.c_injections) {
+                // Operand checks only: the shared schedule was validated on
+                // lane 0.
+                self.validate_operands(job)?;
+            } else {
+                self.validate(job)?;
+            }
+            if job.a.band_shape() != first.a.band_shape() {
+                return Err(SimError::LaneMismatch {
+                    lane,
+                    what: "a operand shape",
+                });
+            }
+            if job.b.band_shape() != first.b.band_shape() {
+                return Err(SimError::LaneMismatch {
+                    lane,
+                    what: "b operand shape",
+                });
+            }
+            // Mates built from one shared schedule (the common case: the
+            // solver hands every lane the same `Arc` when there is no
+            // additive term) are structurally identical by construction.
+            if Arc::ptr_eq(&job.c_injections, &first.c_injections) {
+                continue;
+            }
+            if job.c_injections.len() != first.c_injections.len() {
+                return Err(SimError::LaneMismatch {
+                    lane,
+                    what: "c injection schedule length",
+                });
+            }
+            for (mine, lane0) in job.c_injections.iter().zip(first.c_injections.iter()) {
+                let structural = mine.0 == lane0.0
+                    && match (&mine.1, &lane0.1) {
+                        (CInjection::Value(_), CInjection::Value(_)) => true,
+                        (
+                            CInjection::Feedback { producer: p },
+                            CInjection::Feedback { producer: q },
+                        ) => p == q,
+                        _ => false,
+                    };
+                if !structural {
+                    return Err(SimError::LaneMismatch {
+                        lane,
+                        what: "c injection schedule",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs L **same-shape** jobs through the array in a single
+    /// lane-parallel pass, reusing the caller's workspace.
+    ///
+    /// The injection tapes, occupancy planes, index planes and ring cursors
+    /// are functions of the job *shape* only, so L shape-mates share one
+    /// set; only the value planes carry a lane dimension.  Every cell
+    /// firing therefore updates L accumulators at once (the
+    /// autovectorizable lane block), and the per-cycle structural work —
+    /// tape walks, occupancy tests, cursor advances — is paid once instead
+    /// of L times.  Lane `l`'s outputs ([`HexScratch::outputs_of`]) are
+    /// **bit-identical** to a solo [`HexArray::run_with`] of `jobs[l]`: the
+    /// per-cell operand pairing and accumulation order are unchanged, lanes
+    /// never mix, and the modeled cycle count (shared by all lanes) is the
+    /// closed-form count of the common shape.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HexArray::run`], plus [`SimError::LaneMismatch`] when the
+    /// batch is empty or a job is not a shape-mate of lane 0 (operand band
+    /// shapes and injection schedules must be identical; injected *values*
+    /// may differ).
+    pub fn run_lanes_with<T: Scalar>(
+        &self,
+        jobs: &[HexJob<T>],
+        scratch: &mut HexScratch<T>,
+    ) -> Result<(), SimError> {
+        self.validate_lanes(jobs)?;
+        let lanes = jobs.len();
+        let job = &jobs[0];
         let w = self.w;
         let n_rows = job.a.rows();
         let inner = job.a.cols(); // == job.b.rows()
@@ -501,6 +705,7 @@ impl HexArray {
         // schedule is a dense per-cycle tape; no hashing is ever needed.
         // a_{ik} enters cell (k-i, w-1) at cycle i + 2k.
         scratch.a_tape.begin(job.a.capacity());
+        let mut a_seq = 0u32;
         for d in job.a.diagonal_offsets() {
             for (i, k, value) in job.a.diagonal_entries(d) {
                 scratch.a_tape.push(
@@ -508,14 +713,17 @@ impl HexArray {
                     ATag {
                         i: i as u32,
                         k: k as u32,
+                        seq: a_seq,
                         value,
                     },
                 );
+                a_seq += 1;
             }
         }
         scratch.a_tape.seal(horizon + 1);
         // b_{kj} enters cell (w-1, k-j) at cycle j + 2k.
         scratch.b_tape.begin(job.b.capacity());
+        let mut b_seq = 0u32;
         for d in job.b.diagonal_offsets() {
             for (k, j, value) in job.b.diagonal_entries(d) {
                 scratch.b_tape.push(
@@ -523,12 +731,50 @@ impl HexArray {
                     BTag {
                         k: k as u32,
                         j: j as u32,
+                        seq: b_seq,
                         value,
                     },
                 );
+                b_seq += 1;
             }
         }
         scratch.b_tape.seal(horizon + 1);
+        // Lane-parallel passes pre-stage every lane's operand values in
+        // tape order (one sequential band walk per lane — identical shapes
+        // guarantee identical walks), so the per-cycle injection of a lane
+        // block is one contiguous copy, not L random band lookups.
+        if lanes > 1 {
+            reset_vec(&mut scratch.a_stage, a_seq as usize * lanes, T::zero());
+            reset_vec(&mut scratch.b_stage, b_seq as usize * lanes, T::zero());
+            // Entry-outer, lane-inner: the writes land contiguously (one
+            // lane block per entry) and each mate's band is read as its own
+            // sequential stream — identical shapes guarantee every mate
+            // holds every (i, k) the shared walk visits.
+            let mut seq = 0usize;
+            for d in job.a.diagonal_offsets() {
+                for (i, k, value) in job.a.diagonal_entries(d) {
+                    let base = seq * lanes;
+                    scratch.a_stage[base] = value;
+                    for (lane, mate) in jobs.iter().enumerate().skip(1) {
+                        scratch.a_stage[base + lane] = mate.a.get(i, k);
+                    }
+                    seq += 1;
+                }
+            }
+            debug_assert_eq!(seq, a_seq as usize);
+            let mut seq = 0usize;
+            for d in job.b.diagonal_offsets() {
+                for (k, j, value) in job.b.diagonal_entries(d) {
+                    let base = seq * lanes;
+                    scratch.b_stage[base] = value;
+                    for (lane, mate) in jobs.iter().enumerate().skip(1) {
+                        scratch.b_stage[base + lane] = mate.b.get(k, j);
+                    }
+                    seq += 1;
+                }
+            }
+            debug_assert_eq!(seq, b_seq as usize);
+        }
         // c_{ij} enters the boundary cell of its diagonal at cycle
         // i + j + max(i, j) + w - 1.  The injection list is flattened into a
         // band-offset-indexed vector in one pass (no hashing) before the
@@ -536,8 +782,37 @@ impl HexArray {
         let band_width = 2 * w - 1;
         let fb_idx = |i: usize, j: usize| i * band_width + (j + w - 1 - i);
         reset_vec(&mut scratch.injection_at, n_rows * band_width, None);
-        for &((i, j), injection) in &job.c_injections {
+        for &((i, j), injection) in job.c_injections.iter() {
             scratch.injection_at[fb_idx(i, j)] = Some(injection);
+        }
+        // Stage every lane's literal injection values into the lane-strided
+        // table (positions not mentioned stay zero, later duplicates win —
+        // the same semantics the lane-0 `injection_at` pass has).  The tape
+        // then only records *that* a position starts from a staged literal,
+        // never which one, so it stays shape-only and lane-shareable.
+        reset_vec(&mut scratch.inj_val, n_rows * band_width * lanes, T::zero());
+        let shared_schedule = jobs
+            .iter()
+            .skip(1)
+            .all(|mate| Arc::ptr_eq(&mate.c_injections, &job.c_injections));
+        if shared_schedule {
+            // One shared schedule means one shared set of literals: fill
+            // each staged lane block in one pass instead of walking every
+            // lane's (identical) injection list.
+            for &((i, j), injection) in job.c_injections.iter() {
+                if let CInjection::Value(v) = injection {
+                    let base = fb_idx(i, j) * lanes;
+                    scratch.inj_val[base..base + lanes].fill(v);
+                }
+            }
+        } else {
+            for (lane, job) in jobs.iter().enumerate() {
+                for &((i, j), injection) in job.c_injections.iter() {
+                    if let CInjection::Value(v) = injection {
+                        scratch.inj_val[fb_idx(i, j) * lanes + lane] = v;
+                    }
+                }
+            }
         }
         let mut expected_outputs = 0usize;
         scratch.c_tape.begin(n_rows * band_width);
@@ -547,9 +822,8 @@ impl HexArray {
             for j in j_lo..j_hi {
                 let t0 = i + j + i.max(j) + w - 1;
                 let pending = match scratch.injection_at[fb_idx(i, j)] {
-                    Some(CInjection::Value(v)) => PendingC::Value(v),
                     Some(CInjection::Feedback { producer }) => PendingC::Feedback(producer),
-                    None => PendingC::Value(T::zero()),
+                    _ => PendingC::Value,
                 };
                 scratch.c_tape.push(
                     t0,
@@ -573,11 +847,11 @@ impl HexArray {
         //      (pos increases with t).
         // The planes are SoA: values, occupancy bits and indices live in
         // separate arrays (see the module docs).
-        reset_vec(&mut scratch.a_val, w * w, T::zero());
+        reset_vec(&mut scratch.a_val, w * w * lanes, T::zero());
         reset_vec(&mut scratch.a_i, w * w, 0);
         reset_vec(&mut scratch.a_k, w * w, 0);
         scratch.a_occ.reset(w * w);
-        reset_vec(&mut scratch.b_val, w * w, T::zero());
+        reset_vec(&mut scratch.b_val, w * w * lanes, T::zero());
         reset_vec(&mut scratch.b_k, w * w, 0);
         reset_vec(&mut scratch.b_j, w * w, 0);
         scratch.b_occ.reset(w * w);
@@ -590,7 +864,7 @@ impl HexArray {
             scratch.c_off.push(prev + diag_len(di));
         }
         let c_cells = scratch.c_off[n_diags];
-        reset_vec(&mut scratch.c_val, c_cells, T::zero());
+        reset_vec(&mut scratch.c_val, c_cells * lanes, T::zero());
         reset_vec(&mut scratch.c_row, c_cells, 0);
         reset_vec(&mut scratch.c_col, c_cells, 0);
         scratch.c_occ.reset(c_cells);
@@ -598,13 +872,14 @@ impl HexArray {
 
         // ---- flat feedback store --------------------------------------------
         // One slot per result-band position (i, j), |i - j| < w.
-        reset_vec(&mut scratch.fb_val, n_rows * band_width, T::zero());
+        reset_vec(&mut scratch.fb_val, n_rows * band_width * lanes, T::zero());
         reset_vec(&mut scratch.fb_cycle, n_rows * band_width, 0);
         scratch.fb_occ.reset(n_rows * band_width);
         scratch.fb_events.clear();
         scratch.outputs.clear();
         scratch.outputs.reserve(expected_outputs);
         scratch.w = w;
+        scratch.lanes = lanes;
 
         let mut a_count = 0usize;
         let mut b_count = 0usize;
@@ -617,6 +892,7 @@ impl HexArray {
             a_tape,
             b_tape,
             c_tape,
+            inj_val,
             a_val,
             a_i,
             a_k,
@@ -636,6 +912,8 @@ impl HexArray {
             fb_occ,
             fb_events,
             outputs,
+            a_stage,
+            b_stage,
             ..
         } = scratch;
 
@@ -706,7 +984,14 @@ impl HexArray {
             }
             for tag in a_tape.at(t) {
                 let idx = (tag.k - tag.i) as usize * w + in_slot;
-                a_val[idx] = tag.value;
+                // The tape carries lane 0's value; a lane-parallel pass
+                // copies the whole pre-staged lane block instead.
+                if lanes == 1 {
+                    a_val[idx] = tag.value;
+                } else {
+                    let (base, sb) = (idx * lanes, tag.seq as usize * lanes);
+                    a_val[base..base + lanes].copy_from_slice(&a_stage[sb..sb + lanes]);
+                }
                 a_i[idx] = tag.i;
                 a_k[idx] = tag.k;
                 if !a_occ.set(idx) {
@@ -715,7 +1000,12 @@ impl HexArray {
             }
             for tag in b_tape.at(t) {
                 let idx = (tag.k - tag.j) as usize * w + in_slot;
-                b_val[idx] = tag.value;
+                if lanes == 1 {
+                    b_val[idx] = tag.value;
+                } else {
+                    let (base, sb) = (idx * lanes, tag.seq as usize * lanes);
+                    b_val[base..base + lanes].copy_from_slice(&b_stage[sb..sb + lanes]);
+                }
                 b_k[idx] = tag.k;
                 b_j[idx] = tag.j;
                 if !b_occ.set(idx) {
@@ -723,12 +1013,22 @@ impl HexArray {
                 }
             }
             // c enters on the alpha = 0 and beta = 0 edges (relative ring
-            // position 0, i.e. slot c_exit + 1); feedback injections resolve
-            // against the flat store.
+            // position 0, i.e. slot c_exit + 1); every lane resolves from
+            // the same source kind — the staged literals or the flat
+            // feedback store — at its own lane offset.
             for entry in c_tape.at(t) {
                 let (i, j) = (entry.i as usize, entry.j as usize);
-                let value = match entry.pending {
-                    PendingC::Value(v) => v,
+                let di = j + w - 1 - i;
+                let len = diag_len(di);
+                let e = c_exit[di] as usize;
+                let slot = if e + 1 >= len { e + 1 - len } else { e + 1 };
+                let cell = c_off[di] + slot;
+                match entry.pending {
+                    PendingC::Value => {
+                        let fbp = fb_idx(i, j) * lanes;
+                        c_val[cell * lanes..(cell + 1) * lanes]
+                            .copy_from_slice(&inj_val[fbp..fbp + lanes]);
+                    }
                     PendingC::Feedback(producer) => {
                         let pidx = fb_idx(producer.0, producer.1);
                         if !fb_occ.get(pidx) {
@@ -750,15 +1050,10 @@ impl HexArray {
                             produced_at,
                             consumed_at: t,
                         });
-                        fb_val[pidx]
+                        c_val[cell * lanes..(cell + 1) * lanes]
+                            .copy_from_slice(&fb_val[pidx * lanes..(pidx + 1) * lanes]);
                     }
-                };
-                let di = j + w - 1 - i;
-                let len = diag_len(di);
-                let e = c_exit[di] as usize;
-                let slot = if e + 1 >= len { e + 1 - len } else { e + 1 };
-                let cell = c_off[di] + slot;
-                c_val[cell] = value;
+                }
                 c_row[cell] = entry.i;
                 c_col[cell] = entry.j;
                 if !c_occ.set(cell) {
@@ -769,43 +1064,57 @@ impl HexArray {
             // 2. Compute: only the occupied anti-diagonal wavefront can fire.
             //    Cell (alpha, beta) fires for (i, j, k) at cycle
             //    i + j + k + w - 1 with 3k = t - w + 1 + alpha + beta, so
-            //    only cells with (alpha + beta) == (w - 1 - t) mod 3 need to
-            //    be visited — two thirds of the grid is skipped outright, and
-            //    each visited cell costs three occupancy-bit tests before any
-            //    payload is touched.
-            let mut beta0 = wave;
+            //    only cells with (alpha + beta) == (w - 1 - t) mod 3 can
+            //    fire — two thirds of the grid is skipped outright.  The
+            //    scan walks each `a` row's occupancy a whole `u64` word at a
+            //    time (set-bit iteration instead of one probe per slot): an
+            //    occupied slot at row offset `col` holds the value of
+            //    beta = (col - tm) mod w, which fires iff it carries the
+            //    wavefront parity.  Cells are visited in slot order rather
+            //    than beta order; distinct cells own distinct accumulators,
+            //    so per-cell results are unchanged.
+            let mut need = wave;
             for alpha in 0..w {
-                let mut beta = beta0;
-                while beta < w {
-                    let a_idx = alpha * w + wrap_w(beta + tm);
-                    if a_occ.get(a_idx) {
-                        let b_idx = beta * w + wrap_w(alpha + tm);
-                        if b_occ.get(b_idx) {
-                            let di = alpha + w - 1 - beta;
-                            let len = diag_len(di);
-                            let pos = alpha.min(beta);
-                            let s = pos + c_exit[di] as usize + 1;
-                            let slot = if s >= len { s - len } else { s };
-                            let cell = c_off[di] + slot;
-                            if c_occ.get(cell) {
-                                debug_assert_eq!(
-                                    a_k[a_idx], b_k[b_idx],
-                                    "a and b must share the inner index"
-                                );
-                                debug_assert_eq!(a_i[a_idx], c_row[cell], "a row must match c row");
-                                debug_assert_eq!(
-                                    b_j[b_idx], c_col[cell],
-                                    "b column must match c column"
-                                );
+                let row = alpha * w;
+                for a_idx in a_occ.ones_in_range(row, row + w) {
+                    let col = a_idx - row;
+                    let beta = if col >= tm { col - tm } else { col + w - tm };
+                    if beta % 3 != need {
+                        continue;
+                    }
+                    let b_idx = beta * w + wrap_w(alpha + tm);
+                    if b_occ.get(b_idx) {
+                        let di = alpha + w - 1 - beta;
+                        let len = diag_len(di);
+                        let pos = alpha.min(beta);
+                        let s = pos + c_exit[di] as usize + 1;
+                        let slot = if s >= len { s - len } else { s };
+                        let cell = c_off[di] + slot;
+                        if c_occ.get(cell) {
+                            debug_assert_eq!(
+                                a_k[a_idx], b_k[b_idx],
+                                "a and b must share the inner index"
+                            );
+                            debug_assert_eq!(a_i[a_idx], c_row[cell], "a row must match c row");
+                            debug_assert_eq!(
+                                b_j[b_idx], c_col[cell],
+                                "b column must match c column"
+                            );
+                            if lanes == 1 {
                                 c_val[cell] += a_val[a_idx] * b_val[b_idx];
-                                fired += 1;
-                                last_fire_cycle = t;
+                            } else {
+                                mac_lanes(
+                                    &mut c_val[cell * lanes..(cell + 1) * lanes],
+                                    &a_val[a_idx * lanes..(a_idx + 1) * lanes],
+                                    &b_val[b_idx * lanes..(b_idx + 1) * lanes],
+                                );
                             }
+                            fired += 1;
+                            last_fire_cycle = t;
                         }
                     }
-                    beta += 3;
                 }
-                beta0 = if beta0 == 0 { 2 } else { beta0 - 1 };
+                need = if need == 0 { 2 } else { need - 1 };
             }
 
             // 3. Shift.  The rings absorb the movement; only the c exits need
@@ -816,15 +1125,20 @@ impl HexArray {
                 if c_occ.take(cell) {
                     c_count -= 1;
                     let (row, col) = (c_row[cell] as usize, c_col[cell] as usize);
-                    let value = c_val[cell];
+                    let base = cell * lanes;
                     outputs.push(CellOutput {
                         row,
                         col,
-                        value,
+                        value: c_val[base],
                         cycle: t,
                     });
+                    // The feedback store copy below parks every lane's value
+                    // (outputs are unique per band position), so lanes `1..`
+                    // need no output stream of their own —
+                    // [`HexScratch::outputs_of`] reads them back from there.
                     let fidx = fb_idx(row, col);
-                    fb_val[fidx] = value;
+                    fb_val[fidx * lanes..(fidx + 1) * lanes]
+                        .copy_from_slice(&c_val[base..base + lanes]);
                     fb_cycle[fidx] = t;
                     fb_occ.set(fidx);
                 }
@@ -987,7 +1301,7 @@ mod tests {
             let (_, bb) = lower_band(n, w, 400 + seed);
             let mut job = HexJob::product(ba, bb);
             if seed % 2 == 0 {
-                job.c_injections
+                Arc::make_mut(&mut job.c_injections)
                     .push(((3, 3), CInjection::Feedback { producer: (0, 0) }));
             }
             let fresh = hex.run(&job).unwrap();
@@ -1018,7 +1332,7 @@ mod tests {
         let job = HexJob {
             a: ba.into(),
             b: bb.into(),
-            c_injections: injections,
+            c_injections: Arc::new(injections),
         };
         let report = HexArray::new(w).unwrap().run(&job).unwrap();
         let mut expected = da.matmul(&db).unwrap();
@@ -1042,10 +1356,10 @@ mod tests {
         let job = HexJob {
             a: ba.into(),
             b: bb.into(),
-            c_injections: vec![
+            c_injections: Arc::new(vec![
                 ((0, 0), CInjection::Value(100)),
                 ((0, 0), CInjection::Value(7)),
-            ],
+            ]),
         };
         let report = HexArray::new(w).unwrap().run(&job).unwrap();
         let reference = da.matmul(&db).unwrap();
@@ -1062,7 +1376,7 @@ mod tests {
         let job = HexJob {
             a: ba.into(),
             b: bb.into(),
-            c_injections: vec![((3, 3), CInjection::Feedback { producer: (0, 0) })],
+            c_injections: Arc::new(vec![((3, 3), CInjection::Feedback { producer: (0, 0) })]),
         };
         let report = HexArray::new(w).unwrap().run(&job).unwrap();
         let reference = da.matmul(&db).unwrap();
@@ -1085,7 +1399,7 @@ mod tests {
         let job = HexJob {
             a: ba.into(),
             b: bb.into(),
-            c_injections: vec![((0, 0), CInjection::Feedback { producer: (5, 5) })],
+            c_injections: Arc::new(vec![((0, 0), CInjection::Feedback { producer: (5, 5) })]),
         };
         let err = HexArray::new(w).unwrap().run(&job).unwrap_err();
         assert!(matches!(err, SimError::FeedbackNotReady { .. }));
@@ -1125,7 +1439,7 @@ mod tests {
             .run(&HexJob {
                 a: ba.clone(),
                 b: bb.clone(),
-                c_injections: vec![((0, 4), CInjection::Value(1))],
+                c_injections: Arc::new(vec![((0, 4), CInjection::Value(1))]),
             })
             .unwrap_err();
         assert!(matches!(err, SimError::InjectionOutsideBand { .. }));
@@ -1135,7 +1449,7 @@ mod tests {
             .run(&HexJob {
                 a: ba,
                 b: bb,
-                c_injections: vec![((2, 2), CInjection::Feedback { producer: (0, 4) })],
+                c_injections: Arc::new(vec![((2, 2), CInjection::Feedback { producer: (0, 4) })]),
             })
             .unwrap_err();
         assert!(matches!(err, SimError::UnknownProducer { .. }));
@@ -1237,6 +1551,78 @@ mod tests {
             assert_eq!(serial.outputs, solo.outputs);
             assert_eq!(serial.cycles, solo.cycles);
         }
+    }
+
+    #[test]
+    fn lane_parallel_runs_are_bit_identical_to_solo_runs() {
+        let w = 3;
+        let n = 7;
+        let hex = HexArray::new(w).unwrap();
+        let mut scratch = HexScratch::new();
+        for lanes in [1usize, 2, 3, 5, 8] {
+            // Shape-mates with different values, literal injections and a
+            // feedback chain shared structurally by every lane.
+            let jobs: Vec<HexJob<i64>> = (0..lanes as u64)
+                .map(|l| {
+                    let (_, ba) = upper_band(n, w, 700 + l);
+                    let (_, bb) = lower_band(n, w, 800 + l);
+                    let mut job = HexJob::product(ba, bb);
+                    let injections = Arc::make_mut(&mut job.c_injections);
+                    injections.push(((0, 1), CInjection::Value(5 + l as i64)));
+                    injections.push(((4, 4), CInjection::Feedback { producer: (0, 0) }));
+                    job
+                })
+                .collect();
+            hex.run_lanes_with(&jobs, &mut scratch).unwrap();
+            assert_eq!(scratch.lanes(), lanes);
+            for (lane, job) in jobs.iter().enumerate() {
+                let solo = hex.run(job).unwrap();
+                assert_eq!(
+                    scratch.outputs_of(lane).collect::<Vec<_>>(),
+                    solo.outputs,
+                    "lane {lane} of {lanes}"
+                );
+                assert_eq!(scratch.cycles(), solo.cycles);
+                assert_eq!(scratch.fired(), solo.utilization.fired);
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_lane_batches_are_rejected() {
+        let w = 3;
+        let hex = HexArray::new(w).unwrap();
+        let mut scratch = HexScratch::new();
+        let empty: &[HexJob<i64>] = &[];
+        assert!(matches!(
+            hex.run_lanes_with(empty, &mut scratch).unwrap_err(),
+            SimError::LaneMismatch { lane: 0, .. }
+        ));
+        let (_, ba) = upper_band(5, w, 1);
+        let (_, bb) = lower_band(5, w, 2);
+        let (_, ba_small) = upper_band(4, w, 3);
+        let (_, bb_small) = lower_band(4, w, 4);
+        let base = HexJob::product(ba, bb);
+        let smaller = HexJob::product(ba_small, bb_small);
+        assert!(matches!(
+            hex.run_lanes_with(&[base.clone(), smaller], &mut scratch)
+                .unwrap_err(),
+            SimError::LaneMismatch { lane: 1, .. }
+        ));
+        // Same shapes but diverging injection schedules.
+        let mut injected = base.clone();
+        Arc::make_mut(&mut injected.c_injections).push(((0, 0), CInjection::Value(1)));
+        assert!(matches!(
+            hex.run_lanes_with(&[base.clone(), injected], &mut scratch)
+                .unwrap_err(),
+            SimError::LaneMismatch { lane: 1, .. }
+        ));
+        // A well-formed pair still runs afterwards: errors leave the
+        // scratch usable.
+        hex.run_lanes_with(&[base.clone(), base], &mut scratch)
+            .unwrap();
+        assert_eq!(scratch.lanes(), 2);
+        assert_eq!(scratch.outputs(), scratch.outputs_of(1).collect::<Vec<_>>());
     }
 
     #[test]

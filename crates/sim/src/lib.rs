@@ -75,7 +75,9 @@ pub mod station;
 mod tape;
 
 pub use error::SimError;
-pub use hex::{CInjection, CellOutput, HexArray, HexJob, HexReport, HexScratch};
+pub use hex::{
+    CInjection, CInjectionSchedule, CellOutput, HexArray, HexJob, HexReport, HexScratch,
+};
 pub use linear::{LinearArray, LinearReport, LinearScratch, MvOutput, MvStream, YInjection};
 pub use report::{FeedbackEvent, FeedbackSummary, Utilization};
 pub use spiral::SpiralTopology;

@@ -176,9 +176,16 @@ pub const MAX_STREAMS: usize = 2;
 /// zero heap allocations (asserted by the counting-allocator test in
 /// `tests/allocations.rs`).  One scratch lives inside every
 /// [`crate::ArrayStation`].
+///
+/// As in [`crate::HexScratch`], the **value** planes carry a lane
+/// dimension (slot `idx` of lane `l` at `idx * lanes + l`) so that
+/// [`LinearArray::run_lanes_with`] can execute L same-shape jobs in one
+/// pass; all structural planes are shared across lanes and a plain run is
+/// the `lanes == 1` case of the same engine.
 #[derive(Debug, Clone)]
 pub struct LinearScratch<T> {
-    // x plane, SoA (ring-addressed, see module docs).
+    // x plane, SoA (ring-addressed, see module docs).  Value planes are
+    // lane-strided; occupancy, index and stream planes are shared.
     x_val: Vec<T>,
     x_idx: Vec<u32>,
     x_stream: Vec<u8>,
@@ -188,16 +195,21 @@ pub struct LinearScratch<T> {
     y_idx: Vec<u32>,
     y_stream: Vec<u8>,
     y_occ: BitPlane,
-    // Flat feedback store, one slot per band row per stream, SoA.
+    // Flat feedback store, one slot per band row per stream, SoA, value
+    // plane lane-strided.
     fb_val: Vec<T>,
     fb_cycle: Vec<usize>,
     fb_occ: BitPlane,
     fb_base: Vec<usize>,
     fb_events: [Vec<FeedbackEvent>; MAX_STREAMS],
     outputs: Vec<MvOutput<T>>,
+    /// Output streams of lanes `1..` (lane 0 uses `outputs`), cleared not
+    /// freed.
+    extra_outputs: Vec<Vec<MvOutput<T>>>,
     // Results of the last run.
     w: usize,
     n_streams: usize,
+    lanes: usize,
     fired: usize,
     last_fire_cycle: usize,
 }
@@ -226,16 +238,40 @@ impl<T: Scalar> LinearScratch<T> {
             fb_base: Vec::new(),
             fb_events: [Vec::new(), Vec::new()],
             outputs: Vec::new(),
+            extra_outputs: Vec::new(),
             w: 0,
             n_streams: 0,
+            lanes: 1,
             fired: 0,
             last_fire_cycle: 0,
         }
     }
 
-    /// All outputs of the last run, in the order they left the array.
+    /// All outputs of the last run's lane 0, in the order they left the
+    /// array.
     pub fn outputs(&self) -> &[MvOutput<T>] {
         &self.outputs
+    }
+
+    /// The outputs of lane `lane` of the last run, in the order they left
+    /// the array.  `outputs_of(0)` is [`LinearScratch::outputs`]; all lanes
+    /// exit in lockstep and share output ordering and cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= self.lanes()`.
+    pub fn outputs_of(&self, lane: usize) -> &[MvOutput<T>] {
+        assert!(lane < self.lanes, "lane {lane} out of {} lanes", self.lanes);
+        if lane == 0 {
+            &self.outputs
+        } else {
+            &self.extra_outputs[lane - 1]
+        }
+    }
+
+    /// Number of value lanes of the last run (1 for a plain run).
+    pub fn lanes(&self) -> usize {
+        self.lanes
     }
 
     /// Cycle in which the last multiply–accumulate of the last run fired.
@@ -289,8 +325,18 @@ impl<T: Scalar> LinearScratch<T> {
     /// allocation-free counterpart of [`LinearReport::y`] — a single pass
     /// over the output stream, no sort.
     pub fn collect_y_into(&self, stream: usize, out: &mut [T]) -> usize {
+        self.collect_y_lane_into(stream, 0, out)
+    }
+
+    /// Lane-aware [`LinearScratch::collect_y_into`]: writes the `ŷ` values
+    /// of `stream` on lane `lane` into `out` and returns the written count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= self.lanes()`.
+    pub fn collect_y_lane_into(&self, stream: usize, lane: usize, out: &mut [T]) -> usize {
         let mut written = 0usize;
-        for o in &self.outputs {
+        for o in self.outputs_of(lane) {
             if o.stream == stream && o.row < out.len() {
                 out[o.row] = o.value;
                 written += 1;
@@ -413,7 +459,91 @@ impl LinearArray {
         streams: &[MvStream<T>],
         scratch: &mut LinearScratch<T>,
     ) -> Result<(), SimError> {
-        self.validate(streams)?;
+        self.run_lanes_with(std::slice::from_ref(&streams), scratch)
+    }
+
+    /// Checks that a lane batch is well-formed: every job (stream set)
+    /// valid on its own, and every job a *shape-mate* of lane 0 — same
+    /// stream count, identical band shapes and structurally identical
+    /// injection schedules (the injected and streamed *values* are the one
+    /// thing allowed to differ between lanes).
+    fn validate_lanes<T: Scalar, S: AsRef<[MvStream<T>]>>(
+        &self,
+        jobs: &[S],
+    ) -> Result<(), SimError> {
+        let first = jobs
+            .first()
+            .ok_or(SimError::LaneMismatch {
+                lane: 0,
+                what: "empty lane batch",
+            })?
+            .as_ref();
+        for (lane, job) in jobs.iter().enumerate() {
+            let job = job.as_ref();
+            self.validate(job)?;
+            if lane == 0 {
+                continue;
+            }
+            if job.len() != first.len() {
+                return Err(SimError::LaneMismatch {
+                    lane,
+                    what: "stream count",
+                });
+            }
+            for (mine, lane0) in job.iter().zip(first) {
+                if mine.band.band_shape() != lane0.band.band_shape() {
+                    return Err(SimError::LaneMismatch {
+                        lane,
+                        what: "band shape",
+                    });
+                }
+                let schedule_matches =
+                    mine.y_injections
+                        .iter()
+                        .zip(&lane0.y_injections)
+                        .all(|(a, b)| match (a, b) {
+                            (YInjection::Value(_), YInjection::Value(_)) => true,
+                            (
+                                YInjection::Feedback { producer_row: p },
+                                YInjection::Feedback { producer_row: q },
+                            ) => p == q,
+                            _ => false,
+                        });
+                if !schedule_matches {
+                    return Err(SimError::LaneMismatch {
+                        lane,
+                        what: "y injection schedule",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs L **same-shape** jobs (each a set of one or two interleaved
+    /// streams) through the array in a single lane-parallel pass, reusing
+    /// the caller's workspace.
+    ///
+    /// The injection schedules, occupancy planes, index planes and ring
+    /// cursors depend only on the job *shape*, so L shape-mates share one
+    /// set; only the value planes carry a lane dimension and every cell
+    /// firing updates L accumulators at once.  Lane `l`'s outputs
+    /// ([`LinearScratch::outputs_of`]) are **bit-identical** to a solo
+    /// [`LinearArray::run_with`] of `jobs[l]`, and the modeled cycle count
+    /// (shared by all lanes) is the closed-form count of the common shape.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LinearArray::run`], plus [`SimError::LaneMismatch`] when
+    /// the batch is empty or a job is not a shape-mate of lane 0.
+    pub fn run_lanes_with<T: Scalar, S: AsRef<[MvStream<T>]>>(
+        &self,
+        jobs: &[S],
+        scratch: &mut LinearScratch<T>,
+    ) -> Result<(), SimError> {
+        self.validate_lanes(jobs)?;
+        let lanes = jobs.len();
+        let streams = jobs[0].as_ref();
         let w = self.w;
 
         // Closed-form coefficient schedule: cell k fires for stream `phase`,
@@ -435,11 +565,11 @@ impl LinearArray {
         }
 
         // ---- SoA register files (ring-addressed, cleared not freed) ---------
-        reset_vec(&mut scratch.x_val, w, T::zero());
+        reset_vec(&mut scratch.x_val, w * lanes, T::zero());
         reset_vec(&mut scratch.x_idx, w, 0);
         reset_vec(&mut scratch.x_stream, w, 0);
         scratch.x_occ.reset(w);
-        reset_vec(&mut scratch.y_val, w, T::zero());
+        reset_vec(&mut scratch.y_val, w * lanes, T::zero());
         reset_vec(&mut scratch.y_idx, w, 0);
         reset_vec(&mut scratch.y_stream, w, 0);
         scratch.y_occ.reset(w);
@@ -451,7 +581,7 @@ impl LinearArray {
             scratch.fb_base.push(total_rows);
             total_rows += s.band.rows();
         }
-        reset_vec(&mut scratch.fb_val, total_rows, T::zero());
+        reset_vec(&mut scratch.fb_val, total_rows * lanes, T::zero());
         reset_vec(&mut scratch.fb_cycle, total_rows, 0);
         scratch.fb_occ.reset(total_rows);
         for events in &mut scratch.fb_events {
@@ -459,8 +589,18 @@ impl LinearArray {
         }
         scratch.outputs.clear();
         scratch.outputs.reserve(total_rows);
+        if scratch.extra_outputs.len() < lanes - 1 {
+            scratch.extra_outputs.resize_with(lanes - 1, Vec::new);
+        }
+        for extra in &mut scratch.extra_outputs {
+            extra.clear();
+        }
+        for extra in scratch.extra_outputs.iter_mut().take(lanes - 1) {
+            extra.reserve(total_rows);
+        }
         scratch.w = w;
         scratch.n_streams = streams.len();
+        scratch.lanes = lanes;
 
         let mut x_count = 0usize;
         let mut y_count = 0usize;
@@ -496,6 +636,7 @@ impl LinearArray {
             fb_base,
             fb_events,
             outputs,
+            extra_outputs,
             ..
         } = scratch;
 
@@ -547,7 +688,11 @@ impl LinearArray {
                 if t >= phase && (t - phase).is_multiple_of(2) {
                     let j = (t - phase) / 2;
                     if j < s.x.len() {
-                        x_val[slot] = s.x[j];
+                        let base = slot * lanes;
+                        x_val[base] = s.x[j];
+                        for (lane, mate) in jobs.iter().enumerate().skip(1) {
+                            x_val[base + lane] = mate.as_ref()[phase].x[j];
+                        }
                         x_idx[slot] = j as u32;
                         x_stream[slot] = phase as u8;
                         if !x_occ.set(slot) {
@@ -556,11 +701,23 @@ impl LinearArray {
                     }
                 }
                 // ŷ_i enters the leftmost cell at cycle  phase + (w-1) + 2 i.
+                // Every lane resolves from the same source kind (a literal
+                // of its own schedule, or the shared-position feedback
+                // store) at its own lane offset.
                 if t >= phase + w - 1 && (t - phase - (w - 1)).is_multiple_of(2) {
                     let i = (t - phase - (w - 1)) / 2;
                     if i < s.band.rows() {
-                        let value = match s.y_injections[i] {
-                            YInjection::Value(v) => v,
+                        let base = slot * lanes;
+                        match s.y_injections[i] {
+                            YInjection::Value(_) => {
+                                for (lane, mate) in jobs.iter().enumerate() {
+                                    if let YInjection::Value(v) =
+                                        mate.as_ref()[phase].y_injections[i]
+                                    {
+                                        y_val[base + lane] = v;
+                                    }
+                                }
+                            }
                             YInjection::Feedback { producer_row } => {
                                 let pidx = fb_base[phase] + producer_row;
                                 if !fb_occ.get(pidx) {
@@ -582,10 +739,10 @@ impl LinearArray {
                                     produced_at,
                                     consumed_at: t,
                                 });
-                                fb_val[pidx]
+                                y_val[base..base + lanes]
+                                    .copy_from_slice(&fb_val[pidx * lanes..(pidx + 1) * lanes]);
                             }
-                        };
-                        y_val[slot] = value;
+                        }
                         y_idx[slot] = i as u32;
                         y_stream[slot] = phase as u8;
                         if !y_occ.set(slot) {
@@ -597,19 +754,20 @@ impl LinearArray {
 
             // 2. Compute: each cell with x, y and a coefficient fires.  The
             //    x value of cell k lives in ring slot (t+k+1) mod w, the y
-            //    value in slot (t-k) mod w — both walked incrementally from
-            //    the cycle cursor; a y value in cell k at cycle t is there
-            //    exactly at its firing cycle, so the coefficient exists iff
-            //    column i + k is inside the band row — read zero-copy from
-            //    the row slice.
-            let mut xs = wrap_w(tm + 1);
-            let mut ys = tm;
-            for k in 0..w {
-                if x_occ.get(xs) && y_occ.get(ys) {
-                    let s = &streams[y_stream[ys] as usize];
+            //    value in slot (t-k) mod w; a y value in cell k at cycle t is
+            //    there exactly at its firing cycle, so the coefficient exists
+            //    iff column i + k is inside the band row — read zero-copy
+            //    from the row slice.  The scan walks the occupied y slots a
+            //    `u64` word at a time and recovers the cell from the slot:
+            //    ys = (t - k) mod w  ⇒  k = (tm - ys) mod w.
+            for ys in y_occ.ones_in_range(0, w) {
+                let k = if tm >= ys { tm - ys } else { tm + w - ys };
+                let xs = wrap_w(wrap_w(tm + 1) + k);
+                if x_occ.get(xs) {
+                    let phase = y_stream[ys] as usize;
+                    let s = &streams[phase];
                     let i = y_idx[ys] as usize;
                     if i + k < s.band.cols() {
-                        let a = s.band.row_slice(i)[k];
                         debug_assert_eq!(
                             x_stream[xs], y_stream[ys],
                             "streams must not mix inside a cell"
@@ -619,13 +777,22 @@ impl LinearArray {
                             i + k,
                             "contraflow schedule must pair x_(i+k) with y_i in cell k"
                         );
-                        y_val[ys] += a * x_val[xs];
+                        if lanes == 1 {
+                            y_val[ys] += s.band.row_slice(i)[k] * x_val[xs];
+                        } else {
+                            // Coefficients are gathered per lane (each job
+                            // owns its own band storage), so the multiply
+                            // stays scalar here; the accumulate below is
+                            // still one contiguous lane block per cell.
+                            for (lane, mate) in jobs.iter().enumerate() {
+                                let a = mate.as_ref()[phase].band.row_slice(i)[k];
+                                y_val[ys * lanes + lane] += a * x_val[xs * lanes + lane];
+                            }
+                        }
                         fired += 1;
                         last_fire_cycle = t;
                     }
                 }
-                xs = wrap_w(xs + 1);
-                ys = if ys == 0 { w - 1 } else { ys - 1 };
             }
 
             // 3. Shift: the rings absorb the movement; only the y exit at
@@ -637,15 +804,24 @@ impl LinearArray {
                 y_count -= 1;
                 let stream = y_stream[exit] as usize;
                 let row = y_idx[exit] as usize;
-                let value = y_val[exit];
+                let base = exit * lanes;
                 outputs.push(MvOutput {
                     stream,
                     row,
-                    value,
+                    value: y_val[base],
                     cycle: t,
                 });
+                for (lane, extra) in extra_outputs.iter_mut().take(lanes - 1).enumerate() {
+                    extra.push(MvOutput {
+                        stream,
+                        row,
+                        value: y_val[base + 1 + lane],
+                        cycle: t,
+                    });
+                }
                 let fidx = fb_base[stream] + row;
-                fb_val[fidx] = value;
+                fb_val[fidx * lanes..(fidx + 1) * lanes]
+                    .copy_from_slice(&y_val[base..base + lanes]);
                 fb_cycle[fidx] = t;
                 fb_occ.set(fidx);
             }
@@ -1032,5 +1208,114 @@ mod tests {
             assert_eq!(serial.outputs, solo.outputs);
             assert_eq!(serial.cycles, solo.cycles);
         }
+    }
+
+    #[test]
+    fn lane_parallel_runs_are_bit_identical_to_solo_runs() {
+        let w = 3;
+        let rows = 6;
+        let cols = rows + w - 1;
+        let array = LinearArray::new(w).unwrap();
+        // Two interleaved streams per job; stream 0 carries a feedback
+        // injection so lanes exercise the lane-strided feedback store too.
+        let mk_job = |seed: u64| -> Vec<MvStream<i64>> {
+            (0..2u64)
+                .map(|phase| {
+                    let dense = upper_band_dense(rows, cols, w, 300 + 10 * seed + phase);
+                    let x = gen::random_vector_i64(cols, 3, 400 + 10 * seed + phase);
+                    let mut injections: Vec<YInjection<i64>> = (0..rows)
+                        .map(|i| YInjection::Value(seed as i64 + i as i64))
+                        .collect();
+                    if phase == 0 {
+                        injections[3] = YInjection::Feedback { producer_row: 0 };
+                    }
+                    MvStream {
+                        band: BandMatrix::try_from_dense(&dense, 0, w - 1).unwrap().into(),
+                        x,
+                        y_injections: injections,
+                    }
+                })
+                .collect()
+        };
+        let mut scratch = LinearScratch::new();
+        for lanes in [1usize, 2, 3, 5, 8] {
+            let jobs: Vec<Vec<MvStream<i64>>> = (0..lanes as u64).map(mk_job).collect();
+            array.run_lanes_with(&jobs, &mut scratch).unwrap();
+            assert_eq!(scratch.lanes(), lanes);
+            for (lane, job) in jobs.iter().enumerate() {
+                let solo = array.run(job).unwrap();
+                assert_eq!(
+                    scratch.outputs_of(lane),
+                    &solo.outputs[..],
+                    "lanes={lanes} lane={lane}"
+                );
+                assert_eq!(scratch.cycles(), solo.cycles);
+                assert_eq!(scratch.utilization(), solo.utilization);
+                let mut y = vec![0i64; rows];
+                scratch.collect_y_lane_into(0, lane, &mut y);
+                assert_eq!(y, solo.y(0));
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_lane_batches_are_rejected() {
+        let w = 3;
+        let rows = 6;
+        let cols = rows + w - 1;
+        let array = LinearArray::new(w).unwrap();
+        let mut scratch = LinearScratch::new();
+        let mk = |seed: u64, rows: usize, cols: usize| -> Vec<MvStream<i64>> {
+            let dense = upper_band_dense(rows, cols, w, seed);
+            vec![MvStream {
+                band: BandMatrix::try_from_dense(&dense, 0, w - 1).unwrap().into(),
+                x: gen::random_vector_i64(cols, 3, seed + 1),
+                y_injections: vec![YInjection::Value(0); rows],
+            }]
+        };
+
+        let empty: Vec<Vec<MvStream<i64>>> = Vec::new();
+        assert_eq!(
+            array.run_lanes_with(&empty, &mut scratch).unwrap_err(),
+            SimError::LaneMismatch {
+                lane: 0,
+                what: "empty lane batch"
+            }
+        );
+
+        // Shape mismatch against lane 0.
+        let err = array
+            .run_lanes_with(
+                &[mk(80, rows, cols), mk(81, rows + 1, cols + 1)],
+                &mut scratch,
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::LaneMismatch {
+                lane: 1,
+                what: "band shape"
+            }
+        );
+
+        // Same shape but a diverging injection schedule.
+        let mut odd = mk(82, rows, cols);
+        odd[0].y_injections[2] = YInjection::Feedback { producer_row: 0 };
+        let err = array
+            .run_lanes_with(&[mk(83, rows, cols), odd], &mut scratch)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::LaneMismatch {
+                lane: 1,
+                what: "y injection schedule"
+            }
+        );
+
+        // A well-formed pair still runs, and literal payloads may differ.
+        array
+            .run_lanes_with(&[mk(84, rows, cols), mk(85, rows, cols)], &mut scratch)
+            .unwrap();
+        assert_eq!(scratch.outputs(), scratch.outputs_of(0));
     }
 }

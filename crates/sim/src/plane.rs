@@ -19,6 +19,35 @@ pub(crate) fn reset_vec<T: Copy>(v: &mut Vec<T>, len: usize, fill: T) {
     v.resize(len, fill);
 }
 
+/// Multiply–accumulates one lane block: `acc[l] += a[l] * b[l]` for every
+/// lane `l`.  The three slices are the lane-strided blocks of one register
+/// cell, so their length is the lane count of the run.  The body is written
+/// as fixed-width chunks of four with an explicit scalar remainder so the
+/// autovectorizer sees a straight-line `[T; 4]` update (`[f64; 4]` fills one
+/// AVX2 register, `[f32; 8]` after unrolling twice) instead of a
+/// variable-trip loop it has to version.
+#[inline]
+pub(crate) fn mac_lanes<T: sia_matrix::Scalar>(acc: &mut [T], a: &[T], b: &[T]) {
+    debug_assert!(acc.len() == a.len() && acc.len() == b.len());
+    let mut a4 = a.chunks_exact(4);
+    let mut b4 = b.chunks_exact(4);
+    for c in acc.chunks_exact_mut(4) {
+        let (x, y) = (a4.next().unwrap(), b4.next().unwrap());
+        c[0] += x[0] * y[0];
+        c[1] += x[1] * y[1];
+        c[2] += x[2] * y[2];
+        c[3] += x[3] * y[3];
+    }
+    let head = acc.len() - acc.len() % 4;
+    for ((c, &x), &y) in acc[head..]
+        .iter_mut()
+        .zip(a4.remainder())
+        .zip(b4.remainder())
+    {
+        *c += x * y;
+    }
+}
+
 /// A reusable occupancy bitset, one bit per register slot.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct BitPlane {
@@ -64,6 +93,70 @@ impl BitPlane {
         *word &= !mask;
         was
     }
+
+    /// The backing `u64` words, 64 slots per word with slot `i` at bit
+    /// `i % 64` of word `i / 64`.
+    #[inline]
+    pub(crate) fn occupied_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates the occupied slot indices in `start..end` in ascending
+    /// order.  Consumes whole `u64` words and peels set bits with
+    /// trailing-zero counts, so a sparse or empty range costs one word test
+    /// per 64 slots instead of one branch per slot — this is what the
+    /// wavefront compute scans use in place of per-bit [`BitPlane::get`]
+    /// probing.
+    #[inline]
+    pub(crate) fn ones_in_range(&self, start: usize, end: usize) -> OnesInRange<'_> {
+        let words = self.occupied_words();
+        let word_idx = start / 64;
+        let word = if start < end && word_idx < words.len() {
+            words[word_idx] & (!0u64 << (start % 64))
+        } else {
+            0
+        };
+        OnesInRange {
+            words,
+            word,
+            word_idx,
+            end,
+        }
+    }
+}
+
+/// Iterator over the set bits of a [`BitPlane`] range, yielded in ascending
+/// slot order; see [`BitPlane::ones_in_range`].
+#[derive(Debug)]
+pub(crate) struct OnesInRange<'a> {
+    words: &'a [u64],
+    word: u64,
+    word_idx: usize,
+    end: usize,
+}
+
+impl Iterator for OnesInRange<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.word != 0 {
+                let bit = self.word_idx * 64 + self.word.trailing_zeros() as usize;
+                if bit >= self.end {
+                    self.word = 0;
+                    return None;
+                }
+                self.word &= self.word - 1;
+                return Some(bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() || self.word_idx * 64 >= self.end {
+                return None;
+            }
+            self.word = self.words[self.word_idx];
+        }
+    }
 }
 
 #[cfg(test)]
@@ -81,6 +174,53 @@ mod tests {
         assert!(plane.take(129));
         assert!(!plane.get(129));
         assert!(!plane.take(129));
+    }
+
+    #[test]
+    fn occupied_words_expose_the_raw_bitset() {
+        let mut plane = BitPlane::new();
+        plane.reset(130);
+        assert_eq!(plane.occupied_words(), &[0, 0, 0]);
+        plane.set(0);
+        plane.set(65);
+        plane.set(129);
+        assert_eq!(plane.occupied_words(), &[1, 2, 2]);
+    }
+
+    #[test]
+    fn ones_in_range_walks_set_bits_in_ascending_order() {
+        let mut plane = BitPlane::new();
+        plane.reset(200);
+        for i in [0, 3, 63, 64, 100, 127, 128, 199] {
+            plane.set(i);
+        }
+        let all: Vec<usize> = plane.ones_in_range(0, 200).collect();
+        assert_eq!(all, vec![0, 3, 63, 64, 100, 127, 128, 199]);
+        // Both endpoints clip inside a word.
+        let mid: Vec<usize> = plane.ones_in_range(3, 128).collect();
+        assert_eq!(mid, vec![3, 63, 64, 100, 127]);
+        let tail: Vec<usize> = plane.ones_in_range(64, 199).collect();
+        assert_eq!(tail, vec![64, 100, 127, 128]);
+        // Empty and inverted ranges yield nothing.
+        assert_eq!(plane.ones_in_range(4, 4).count(), 0);
+        assert_eq!(plane.ones_in_range(100, 64).count(), 0);
+        // A range with no survivors past the mask.
+        assert_eq!(plane.ones_in_range(129, 199).count(), 0);
+    }
+
+    #[test]
+    fn mac_lanes_matches_the_scalar_loop_for_every_length() {
+        for n in 0..13usize {
+            let a: Vec<i64> = (0..n as i64).map(|i| i + 1).collect();
+            let b: Vec<i64> = (0..n as i64).map(|i| 2 * i - 3).collect();
+            let mut acc: Vec<i64> = (0..n as i64).map(|i| 10 * i).collect();
+            let mut expect = acc.clone();
+            for i in 0..n {
+                expect[i] += a[i] * b[i];
+            }
+            mac_lanes(&mut acc, &a, &b);
+            assert_eq!(acc, expect, "lane count {n}");
+        }
     }
 
     #[test]

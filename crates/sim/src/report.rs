@@ -5,6 +5,8 @@
 //! delay / storage requirements.  Every simulator run produces these numbers
 //! so the experiment harness can put them next to the closed forms.
 
+use std::sync::Arc;
+
 /// Utilization accounting for one simulator run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Utilization {
@@ -64,10 +66,15 @@ impl FeedbackEvent {
 }
 
 /// Aggregate statistics over all feedback events of a run.
+///
+/// The event list lives behind an [`Arc`] so cloning a summary is O(1):
+/// every lane of a lane-parallel pass reports the same feedback schedule,
+/// and the serving runtime hands each of the L outcomes its own summary —
+/// sharing the list makes that fan-out free instead of L deep copies.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FeedbackSummary {
     /// All individual events, in consumption order.
-    pub events: Vec<FeedbackEvent>,
+    pub events: Arc<Vec<FeedbackEvent>>,
     /// Maximum number of values simultaneously held in feedback storage —
     /// the number of registers a hardware implementation needs.
     pub max_in_flight: usize,
@@ -107,7 +114,7 @@ impl FeedbackSummary {
             max_in_flight = peak as usize;
         }
         FeedbackSummary {
-            events,
+            events: Arc::new(events),
             max_in_flight,
         }
     }

@@ -124,6 +124,43 @@ impl<T: Scalar> ArrayStation<T> {
         Ok(&self.linear_scratch)
     }
 
+    /// Runs a batch of same-shape matrix–matrix jobs in one lane-parallel
+    /// array pass (one value lane per job), reusing the station's persistent
+    /// workspace.  Each lane's results are bit-identical to a solo
+    /// [`ArrayStation::run_hex`] of that job, and every lane is billed the
+    /// pass's full cycle count — exactly what the jobs would each have cost
+    /// sequentially, so the closed-form cost model is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// The errors of [`HexArray::run_lanes_with`]; failed runs record
+    /// nothing.
+    pub fn run_hex_lanes(&mut self, jobs: &[HexJob<T>]) -> Result<&HexScratch<T>, SimError> {
+        self.hex.run_lanes_with(jobs, &mut self.hex_scratch)?;
+        self.stats.hex_runs += jobs.len();
+        self.stats.hex_cycles += jobs.len() * self.hex_scratch.cycles();
+        Ok(&self.hex_scratch)
+    }
+
+    /// Runs a batch of same-shape matrix–vector jobs (each one or two
+    /// interleaved streams) in one lane-parallel array pass, reusing the
+    /// station's persistent workspace.  The lane-billing convention matches
+    /// [`ArrayStation::run_hex_lanes`].
+    ///
+    /// # Errors
+    ///
+    /// The errors of [`LinearArray::run_lanes_with`]; failed runs record
+    /// nothing.
+    pub fn run_mv_lanes<S: AsRef<[MvStream<T>]>>(
+        &mut self,
+        jobs: &[S],
+    ) -> Result<&LinearScratch<T>, SimError> {
+        self.linear.run_lanes_with(jobs, &mut self.linear_scratch)?;
+        self.stats.linear_runs += jobs.len();
+        self.stats.linear_cycles += jobs.len() * self.linear_scratch.cycles();
+        Ok(&self.linear_scratch)
+    }
+
     /// Records a completed hexagonal-array run of the given step count
     /// (work executed outside [`ArrayStation::run_hex`] that should still be
     /// attributed to this station).

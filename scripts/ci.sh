@@ -16,10 +16,22 @@ cargo test -q
 echo "== cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "== paper_experiments (measured-vs-paper agreement, incl. E10 throughput + E11 fairness)"
+echo "== lane-equivalence property tests, default target"
+cargo test -q --release --test properties lane_parallel
+
+echo "== lane-equivalence property tests, -C target-cpu=native"
+# The lane inner loops are written to auto-vectorize; prove bit-identity
+# holds under the host's widest SIMD codegen too.  A separate target dir
+# keeps the native rebuild from thrashing the default-target cache.
+RUSTFLAGS="-C target-cpu=native" CARGO_TARGET_DIR=target/native \
+    cargo test -q --release --test properties lane_parallel
+
+echo "== paper_experiments (measured-vs-paper agreement, incl. E10 throughput + E11 fairness + E12 lanes)"
+# The E12 gate inside also asserts every lane-parallel receipt is exactly
+# predicted (exact_prediction_fraction == 1.0 at every lane width).
 cargo run -p sia-bench --release --bin paper_experiments > /dev/null
 
-echo "== paper_experiments --json (perf trajectory: BENCH_mm/mv/throughput.json, incl. E11 fairness records)"
+echo "== paper_experiments --json (perf trajectory: BENCH_mm/mv/throughput.json, incl. E11 fairness + E12 lane records)"
 cargo run -p sia-bench --release --bin paper_experiments -- --json .
 
 echo "CI gate passed."

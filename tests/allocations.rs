@@ -51,7 +51,7 @@ fn steady_state_station_serving_allocates_nothing() {
     // and event paths) and a linear stream with a feedback chain.
     let (ba, bb) = band_pair(n, w, 11);
     let mut hex_job = HexJob::product(ba, bb);
-    hex_job.c_injections.push((
+    std::sync::Arc::make_mut(&mut hex_job.c_injections).push((
         (6, 6),
         size_independent_systolic::sim::CInjection::Feedback { producer: (0, 0) },
     ));
@@ -74,14 +74,37 @@ fn steady_state_station_serving_allocates_nothing() {
         y_injections,
     }];
 
+    // Lane-parallel mates of the same shape: value lanes differ per job,
+    // and the mates share lane 0's injection schedule (one `Arc`), exactly
+    // how the solver builds a coalesced chunk.
+    let lanes = 4;
+    let hex_lane_jobs: Vec<HexJob<f64>> = (0..lanes as u64)
+        .map(|l| {
+            let (ba, bb) = band_pair(n, w, 21 + l);
+            let mut mate = HexJob::product(ba, bb);
+            mate.c_injections = hex_job.c_injections.clone();
+            mate
+        })
+        .collect();
+    let mv_lane_jobs: Vec<Vec<MvStream<f64>>> = (0..lanes as u64)
+        .map(|l| {
+            let mut mate = streams.clone();
+            mate[0].x = gen::random_vector_f64(cols, 31 + l);
+            mate
+        })
+        .collect();
+
     let mut station = ArrayStation::<f64>::new(w).unwrap();
 
-    // Warm-up: the first run of each shape sizes every buffer.
+    // Warm-up: the first run of each shape sizes every buffer, including
+    // the lane-strided value and staging planes.
     let hex_outputs = station.run_hex(&hex_job).unwrap().outputs().len();
     let mv_outputs = station.run_mv(&streams).unwrap().outputs().len();
     assert!(hex_outputs > 0 && mv_outputs > 0);
+    station.run_hex_lanes(&hex_lane_jobs).unwrap();
+    station.run_mv_lanes(&mv_lane_jobs).unwrap();
 
-    // Steady state: many jobs, zero allocations.
+    // Steady state: many jobs, zero allocations — solo and lane-parallel.
     let jobs = 64;
     let before = allocation_count();
     for _ in 0..jobs {
@@ -90,11 +113,20 @@ fn steady_state_station_serving_allocates_nothing() {
         let mv_scratch = station.run_mv(&streams).unwrap();
         assert_eq!(mv_scratch.outputs().len(), mv_outputs);
     }
+    for _ in 0..jobs {
+        let hex_scratch = station.run_hex_lanes(&hex_lane_jobs).unwrap();
+        assert_eq!(hex_scratch.lanes(), lanes);
+        assert_eq!(hex_scratch.outputs().len(), hex_outputs);
+        let mv_scratch = station.run_mv_lanes(&mv_lane_jobs).unwrap();
+        assert_eq!(mv_scratch.lanes(), lanes);
+        assert_eq!(mv_scratch.outputs().len(), mv_outputs);
+    }
     let after = allocation_count();
     assert_eq!(
         after - before,
         0,
-        "farm steady state must be allocation-free: {} allocations over {jobs} hex+mv jobs",
+        "farm steady state must be allocation-free: {} allocations over {jobs} \
+         solo and {jobs} lane-parallel hex+mv passes",
         after - before
     );
 

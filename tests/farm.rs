@@ -279,3 +279,49 @@ fn sparse_and_dense_jobs_agree_through_the_farm() {
     assert!(sparse_receipt.prediction_exact());
     assert!(dense_receipt.prediction_exact());
 }
+
+#[test]
+fn idle_workers_steal_from_a_backlogged_peer_bit_identically() {
+    // Two linear workers, no coalescing: a long blocker pins one of them,
+    // then a burst of short jobs lands behind it.  Backlog routing spreads
+    // the burst across both queues, but the blocked worker's share can only
+    // finish in time if the drained peer steals it — so steals must show up
+    // in telemetry, and every stolen job must still produce the exact
+    // solver result.
+    let w = 4;
+    let farm = ArrayFarm::new(FarmConfig::new(w).linear_workers(2).coalesce_limit(1)).unwrap();
+    let blocker = farm.submit(blocker_job(31)).unwrap();
+    // Let a worker dequeue the blocker so its queue length drops back to
+    // zero and admission keeps routing short jobs its way.
+    std::thread::sleep(Duration::from_millis(1));
+    let problems: Vec<(DenseMatrix<f64>, Vec<f64>)> = (0..12u64)
+        .map(|i| {
+            (
+                gen::random_dense_f64(32, 32, 300 + i),
+                gen::random_vector_f64(32, 400 + i),
+            )
+        })
+        .collect();
+    let tickets: Vec<_> = problems
+        .iter()
+        .map(|(a, x)| farm.submit(Job::dense_mv(a.clone(), x.clone())).unwrap())
+        .collect();
+    for (ticket, (a, x)) in tickets.into_iter().zip(&problems) {
+        let receipt = ticket.wait().unwrap();
+        assert!(receipt.prediction_exact());
+        let direct = multiply_mv(a, x, None, w, MvSchedule::Simple).unwrap();
+        assert_eq!(
+            receipt.output,
+            JobOutput::Vector(direct.y),
+            "stolen or queued, a job's result must be bit-identical to the \
+             direct solver"
+        );
+    }
+    blocker.wait().unwrap();
+    let telemetry = farm.shutdown();
+    assert!(
+        telemetry.steals > 0,
+        "the drained worker must steal from its blocked peer (got {} steals)",
+        telemetry.steals
+    );
+}

@@ -307,7 +307,7 @@ fn reused_hex_scratch_is_bit_identical_to_fresh_runs_across_random_shapes() {
         );
         if n > 4 && rng.next_bool(0.5) {
             // Random feedback chain within the band.
-            job.c_injections
+            std::sync::Arc::make_mut(&mut job.c_injections)
                 .push(((4, 4), CInjection::Feedback { producer: (1, 1) }));
         }
         let fresh = hex.run(&job).unwrap();
@@ -746,5 +746,91 @@ fn raw_simulator_batches_match_single_runs_on_random_band_jobs() {
         let solo = array.run(job).unwrap();
         assert_eq!(batched.outputs, solo.outputs);
         assert_eq!(batched.utilization, solo.utilization);
+    }
+}
+
+#[test]
+fn mm_lane_parallel_batches_are_bit_identical_to_solo_runs() {
+    use size_independent_systolic::dbt::multiply_mm_lanes_on;
+    let mut rng = SplitMix64::new(0x1A9E5);
+    // Lane counts below, at, and between the powers the serving runtime
+    // uses, plus ragged batches that do not divide the maximum pass width.
+    for &batch in &[1usize, 2, 3, 4, 8, 19] {
+        let w = rng.range_usize(1, 5);
+        let n = rng.range_usize(1, 7);
+        let p = rng.range_usize(1, 7);
+        let m = rng.range_usize(1, 7);
+        let with_e = batch % 2 == 0;
+        type MmCase = (DenseMatrix<i64>, DenseMatrix<i64>, Option<DenseMatrix<i64>>);
+        let mats: Vec<MmCase> = (0..batch)
+            .map(|_| {
+                let a = random_matrix(&mut rng, n, p);
+                let b = random_matrix(&mut rng, p, m);
+                let e = with_e.then(|| random_matrix(&mut rng, n, m));
+                (a, b, e)
+            })
+            .collect();
+        let problems: Vec<MmProblem<'_, i64>> = mats
+            .iter()
+            .map(|(a, b, e)| MmProblem {
+                a,
+                b,
+                e: e.as_ref(),
+            })
+            .collect();
+        let mut station = ArrayStation::new(w).unwrap();
+        let lanes = multiply_mm_lanes_on(&mut station, &problems).unwrap();
+        assert_eq!(lanes.len(), batch);
+        for (p, laned) in problems.iter().zip(&lanes) {
+            let solo = multiply_mm(p.a, p.b, p.e, w).unwrap();
+            assert_eq!(laned.c, solo.c, "batch of {batch} on w={w}");
+            assert_eq!(laned.cycles, solo.cycles);
+            assert_eq!(laned.efficiency, solo.efficiency);
+            assert_eq!(laned.activity, solo.activity);
+            assert_eq!(laned.feedback, solo.feedback);
+        }
+    }
+}
+
+#[test]
+fn mv_lane_parallel_batches_are_bit_identical_to_solo_runs() {
+    use size_independent_systolic::dbt::multiply_mv_lanes_on;
+    let mut rng = SplitMix64::new(0x1A9E6);
+    for &batch in &[1usize, 2, 3, 4, 8, 19] {
+        for schedule in [MvSchedule::Simple, MvSchedule::Overlapped] {
+            let w = rng.range_usize(1, 5);
+            let n = rng.range_usize(1, 8);
+            let m = rng.range_usize(1, 8);
+            let with_b = batch % 2 == 1;
+            type MvCase = (DenseMatrix<i64>, Vec<i64>, Option<Vec<i64>>);
+            let probs: Vec<MvCase> = (0..batch)
+                .map(|_| {
+                    let a = random_matrix(&mut rng, n, m);
+                    let x: Vec<i64> = (0..m).map(|_| rng.range_usize(0, 9) as i64 - 4).collect();
+                    let b =
+                        with_b.then(|| (0..n).map(|_| rng.range_usize(0, 9) as i64 - 4).collect());
+                    (a, x, b)
+                })
+                .collect();
+            let problems: Vec<MvProblem<'_, i64>> = probs
+                .iter()
+                .map(|(a, x, b)| MvProblem {
+                    a,
+                    x,
+                    b: b.as_deref(),
+                })
+                .collect();
+            let mut station = ArrayStation::new(w).unwrap();
+            let lanes = multiply_mv_lanes_on(&mut station, &problems, schedule).unwrap();
+            assert_eq!(lanes.len(), batch);
+            for (p, laned) in problems.iter().zip(&lanes) {
+                let solo = multiply_mv(p.a, p.x, p.b, w, schedule).unwrap();
+                assert_eq!(laned.y, solo.y, "batch of {batch} on w={w} {schedule:?}");
+                assert_eq!(laned.cycles, solo.cycles);
+                assert_eq!(laned.efficiency, solo.efficiency);
+                assert_eq!(laned.activity, solo.activity);
+                assert_eq!(laned.feedback, solo.feedback);
+            }
+        }
     }
 }
