@@ -1,4 +1,4 @@
-//! Prints every experiment of the reproduction (DESIGN.md, E1–E12 subset
+//! Prints every experiment of the reproduction (DESIGN.md, E1–E13 subset
 //! that produces tables) — the output recorded in `EXPERIMENTS.md`.
 //!
 //! ```text
@@ -14,9 +14,10 @@
 //! policy — plus the E11 weighted-fair tenancy records: per-tenant served
 //! shares and shed/cancel counts under FIFO vs WFQ, plus the E12
 //! lane-scaling records: steady jobs/sec and speedup per lane width on the
-//! coalesced same-shape burst) into `DIR` (default:
-//! the current directory), so the perf trajectory can be tracked across
-//! PRs:
+//! coalesced same-shape burst, plus the E13 observability-overhead pair:
+//! steady jobs/sec and trace/latency counters with instrumentation on vs
+//! off) into `DIR` (default: the current directory), so the perf
+//! trajectory can be tracked across PRs:
 //!
 //! ```text
 //! cargo run -p sia-bench --release --bin paper_experiments -- --json
@@ -58,9 +59,10 @@ fn run_json(dir: &Path) -> ExitCode {
     let throughput = perf::throughput_records();
     let fairness = perf::fairness_records();
     let lanes = perf::lane_scaling_records();
+    let observability = perf::observability_records();
     outputs.push((
         "BENCH_throughput.json",
-        perf::bench_throughput_json(&throughput, &fairness, &lanes),
+        perf::bench_throughput_json(&throughput, &fairness, &lanes, &observability),
     ));
     for (file, json) in outputs {
         let path = dir.join(file);
@@ -86,6 +88,7 @@ fn run_tables() -> ExitCode {
         experiments::run_throughput(),
         experiments::run_fairness(),
         experiments::run_lane_scaling(),
+        experiments::run_observability(),
     ];
     let mut all_ok = true;
     for report in &reports {

@@ -12,8 +12,8 @@
 //! enough that serde would be overkill anyway.
 
 use crate::experiments::{
-    measure_fairness, measure_lane_scaling, measure_throughput, FairnessStats, LaneScalingStats,
-    ThroughputStats, LANE_WIDTHS,
+    measure_fairness, measure_lane_scaling, measure_observability, measure_throughput,
+    FairnessStats, LaneScalingStats, ObservabilityStats, ThroughputStats, LANE_WIDTHS,
 };
 use crate::harness::BenchGroup;
 use sia_dbt::{multiply_mm_on, multiply_mv_on, MmShape, MvSchedule, MvShape};
@@ -190,6 +190,44 @@ pub fn lane_scaling_records() -> Vec<LaneScalingStats> {
     LANE_WIDTHS.into_iter().map(measure_lane_scaling).collect()
 }
 
+/// Measures the E13 observability-overhead pair: the fully-instrumented
+/// farm first, then the same farm served dark.
+pub fn observability_records() -> Vec<ObservabilityStats> {
+    [true, false]
+        .into_iter()
+        .map(measure_observability)
+        .collect()
+}
+
+/// Renders observability records as a JSON array (stable key order).
+pub fn observability_to_json(records: &[ObservabilityStats]) -> String {
+    let mut out = String::from("[\n");
+    for (idx, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "  {{\"observability\": \"{}\", \"jobs\": {}, ",
+                "\"steady_jobs_per_sec\": {:.1}, \"allocs_per_job\": {:.1}, ",
+                "\"trace_recorded\": {}, \"trace_dropped\": {}, ",
+                "\"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, ",
+                "\"exact_prediction_fraction\": {:.6}}}"
+            ),
+            if r.enabled { "enabled" } else { "disabled" },
+            r.jobs,
+            r.steady_jobs_per_sec,
+            r.allocs_per_job,
+            r.trace_recorded,
+            r.trace_dropped,
+            r.p50.as_secs_f64() * 1e3,
+            r.p95.as_secs_f64() * 1e3,
+            r.p99.as_secs_f64() * 1e3,
+            r.exact_fraction,
+        ));
+        out.push_str(if idx + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
 /// Renders lane-scaling records as a JSON array (stable key order).  The
 /// sequential row (`lanes == 1`) is every other row's speedup baseline.
 pub fn lane_scaling_to_json(records: &[LaneScalingStats]) -> String {
@@ -208,6 +246,7 @@ pub fn lane_scaling_to_json(records: &[LaneScalingStats]) -> String {
                 "  {{\"lanes\": {}, \"jobs\": {}, \"jobs_per_sec\": {:.1}, ",
                 "\"steady_jobs_per_sec\": {:.1}, \"steady_speedup\": {:.3}, ",
                 "\"allocs_per_job\": {:.1}, ",
+                "\"p50_ms\": {:.3}, \"p95_ms\": {:.3}, ",
                 "\"exact_prediction_fraction\": {:.6}}}"
             ),
             r.lanes,
@@ -216,6 +255,8 @@ pub fn lane_scaling_to_json(records: &[LaneScalingStats]) -> String {
             r.steady_jobs_per_sec,
             speedup,
             r.allocs_per_job,
+            r.p50.as_secs_f64() * 1e3,
+            r.p95.as_secs_f64() * 1e3,
             r.exact_fraction,
         ));
         out.push_str(if idx + 1 < records.len() { ",\n" } else { "\n" });
@@ -252,21 +293,27 @@ pub fn fairness_to_json(records: &[FairnessStats]) -> String {
 }
 
 /// Composes the full `BENCH_throughput.json` payload: the E10 per-policy
-/// serving records, the E11 fairness records and the E12 lane-scaling
-/// records, as one object.
+/// serving records, the E11 fairness records, the E12 lane-scaling
+/// records and the E13 observability-overhead pair, as one object.
 pub fn bench_throughput_json(
     e10: &[ThroughputStats],
     e11: &[FairnessStats],
     e12: &[LaneScalingStats],
+    e13: &[ObservabilityStats],
 ) -> String {
     let policies = throughput_to_json(e10);
     let fairness = fairness_to_json(e11);
     let lanes = lane_scaling_to_json(e12);
+    let observability = observability_to_json(e13);
     format!(
-        "{{\n\"e10_policies\": {},\n\"e11_fairness\": {},\n\"e12_lanes\": {}}}\n",
+        concat!(
+            "{{\n\"e10_policies\": {},\n\"e11_fairness\": {},\n",
+            "\"e12_lanes\": {},\n\"e13_observability\": {}}}\n"
+        ),
         policies.trim_end(),
         fairness.trim_end(),
-        lanes.trim_end()
+        lanes.trim_end(),
+        observability.trim_end()
     )
 }
 
@@ -355,13 +402,38 @@ mod tests {
     }
 
     #[test]
-    fn combined_throughput_payload_nests_all_three_experiments() {
-        let json = bench_throughput_json(&[], &[], &[]);
+    fn combined_throughput_payload_nests_all_four_experiments() {
+        let json = bench_throughput_json(&[], &[], &[], &[]);
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("}\n"));
         assert!(json.contains("\"e10_policies\": ["));
         assert!(json.contains("\"e11_fairness\": ["));
         assert!(json.contains("\"e12_lanes\": ["));
+        assert!(json.contains("\"e13_observability\": ["));
+    }
+
+    #[test]
+    fn observability_json_rendering_is_well_formed() {
+        let records = vec![ObservabilityStats {
+            enabled: true,
+            jobs: 46,
+            steady_jobs_per_sec: 8123.0,
+            allocs_per_job: 97.5,
+            exact_fraction: 1.0,
+            trace_recorded: 460,
+            trace_dropped: 0,
+            p50: Duration::from_micros(500),
+            p95: Duration::from_millis(5),
+            p99: Duration::from_millis(6),
+        }];
+        let json = observability_to_json(&records);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"observability\": \"enabled\""));
+        assert!(json.contains("\"trace_recorded\": 460"));
+        assert!(json.contains("\"trace_dropped\": 0"));
+        assert!(json.contains("\"exact_prediction_fraction\": 1.000000"));
+        assert!(!json.contains("},\n]"));
     }
 
     #[test]
@@ -373,6 +445,8 @@ mod tests {
             steady_jobs_per_sec: steady,
             exact_fraction: 1.0,
             allocs_per_job: 400.0,
+            p50: Duration::from_micros(800),
+            p95: Duration::from_millis(2),
         };
         let json = lane_scaling_to_json(&[row(1, 100.0), row(16, 700.0)]);
         assert!(json.starts_with("[\n"));
@@ -399,6 +473,7 @@ mod tests {
             steals: 0,
             steady_jobs_per_sec: 8123.0,
             allocs_per_job: 97.5,
+            percentiles_within_bucket: true,
         }];
         let json = throughput_to_json(&records);
         assert!(json.starts_with("[\n"));

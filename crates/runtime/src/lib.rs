@@ -37,7 +37,14 @@
 //!   (result, predicted vs. measured cycles, queue/service latency), and
 //!   [`ArrayFarm::shutdown`] returns farm-level [`FarmTelemetry`]
 //!   (per-worker utilization, queue depth over time, predicted-cycle
-//!   accounting, steal/shed/cancel counts, per-tenant shares).
+//!   accounting, steal/shed/cancel counts, per-tenant shares);
+//! * **live observability** — [`ArrayFarm::snapshot`] returns a
+//!   [`FarmSnapshot`] *while the farm serves* (monotonic counters,
+//!   log-bucketed latency histograms with p50/p95/p99 read from buckets,
+//!   engine counters, per-tenant rollups); every worker records
+//!   lifecycle [`JobEvent`]s into a lock-free bounded ring
+//!   ([`ArrayFarm::trace_events`]), and the [`export`] module renders
+//!   both as Prometheus text exposition and Chrome trace-event JSON.
 //!
 //! For every dense and block-sparse job the receipt's predicted and
 //! measured step counts agree **exactly** — the paper's reproduction
@@ -75,15 +82,24 @@
 
 pub mod cost;
 mod error;
+pub mod export;
 pub mod job;
+pub mod metrics;
 pub mod policy;
 mod queue;
+mod snapshot;
 pub mod telemetry;
+pub mod trace;
 mod worker;
 
 pub use cost::{CostEstimate, CostModel};
 pub use error::FarmError;
 pub use job::{ArrayClass, Job, JobKind, JobOutput, JobReceipt, JobSpec};
+pub use metrics::{
+    HistogramSnapshot, HistogramSummary, LogHistogram, SignedHistogram, SignedSnapshot,
+};
 pub use policy::Policy;
+pub use snapshot::{FarmSnapshot, TenantSnapshot, WorkerSnapshot};
 pub use telemetry::{DepthSample, FarmTelemetry, TenantServed, TenantTelemetry, WorkerTelemetry};
+pub use trace::{EventRing, JobEvent, JobEventKind};
 pub use worker::{ArrayFarm, FarmConfig, JobTicket};

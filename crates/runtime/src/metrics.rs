@@ -1,0 +1,514 @@
+//! Hand-rolled HDR-style log-bucketed histograms with atomic buckets.
+//!
+//! The farm records queue / service / end-to-end latency and signed
+//! predicted-vs-measured cycle error into [`LogHistogram`]s while it
+//! serves traffic.  The design constraints come from the serving hot
+//! path:
+//!
+//! * **No allocation after construction.**  All buckets are preallocated
+//!   `AtomicU64`s; [`LogHistogram::record`] is a handful of relaxed
+//!   atomic adds.  `tests/allocations.rs` proves the recording path is
+//!   allocation-free.
+//! * **No locks.**  Recording and reading race benignly: every bucket is
+//!   an independent monotonic counter, so a concurrent
+//!   [`LogHistogram::snapshot`] sees some consistent-enough prefix of
+//!   the stream — exactly the semantics live monitoring needs.
+//! * **Bounded relative error.**  Buckets are log-spaced with
+//!   [`SUB_BUCKET_BITS`] sub-bucket bits: values below
+//!   2^[`SUB_BUCKET_BITS`] get exact unit-width buckets, and above that
+//!   each octave is split into 2^[`SUB_BUCKET_BITS`] equal sub-buckets,
+//!   so a bucket's width is at most `value / 2^SUB_BUCKET_BITS` —
+//!   a relative quantization error of at most 1/16 ≈ 6.25% with the
+//!   default 4 bits.  Percentiles read from buckets (nearest rank over
+//!   the cumulative counts, reported as the bucket's inclusive upper
+//!   bound) are therefore within one bucket width of the exact
+//!   order-statistic.
+//!
+//! Signed distributions (cycle error can be negative in principle) use
+//! [`SignedHistogram`], a positive/negative pair of [`LogHistogram`]s.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of sub-bucket bits: each octave above the exact range is split
+/// into `2^SUB_BUCKET_BITS` equal sub-buckets (relative bucket width
+/// ≤ `2^-SUB_BUCKET_BITS` = 6.25%).
+pub const SUB_BUCKET_BITS: u32 = 4;
+
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+/// Exact buckets `[0, SUB_BUCKETS)` plus one group of `SUB_BUCKETS`
+/// sub-buckets per octave from `SUB_BUCKET_BITS` up to bit 63.
+const NUM_BUCKETS: usize = (65 - SUB_BUCKET_BITS as usize) * SUB_BUCKETS;
+
+/// Bucket index of a value (see module docs for the scheme).
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        value as usize
+    } else {
+        let msb = 63 - value.leading_zeros();
+        let shift = msb - SUB_BUCKET_BITS;
+        let top = (value >> shift) as usize; // in [SUB_BUCKETS, 2*SUB_BUCKETS)
+        (msb - SUB_BUCKET_BITS + 1) as usize * SUB_BUCKETS + (top - SUB_BUCKETS)
+    }
+}
+
+/// Inclusive upper bound of bucket `idx` (the value a percentile read
+/// from this bucket reports).
+fn bucket_upper(idx: usize) -> u64 {
+    let group = idx / SUB_BUCKETS;
+    let within = (idx % SUB_BUCKETS) as u64;
+    if group == 0 {
+        within
+    } else {
+        let shift = (group - 1) as u32;
+        let lower = (SUB_BUCKETS as u64 + within) << shift;
+        lower + ((1u64 << shift) - 1)
+    }
+}
+
+/// Width of bucket `idx` (number of distinct values it covers).
+fn bucket_width(idx: usize) -> u64 {
+    if idx / SUB_BUCKETS == 0 {
+        1
+    } else {
+        1u64 << (idx / SUB_BUCKETS - 1)
+    }
+}
+
+/// A lock-free log-bucketed histogram of `u64` samples.
+///
+/// All storage is preallocated at construction; recording performs no
+/// allocation and no locking, so it is safe on the serving hot path and
+/// from multiple threads at once (tenant histograms are shared across
+/// workers).  See the module docs for the bucket scheme and error bound.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// A histogram with all buckets preallocated and zero.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.  Lock-free, allocation-free; relaxed ordering
+    /// (monotonic counters, benign races with readers).
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples recorded so far.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current bucket counts into an owned, mergeable
+    /// [`HistogramSnapshot`] (allocates; not for the hot path).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned point-in-time copy of a [`LogHistogram`], used by
+/// [`crate::FarmSnapshot`]: mergeable across workers and queryable for
+/// percentiles and Prometheus-style cumulative buckets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Number of samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples in the snapshot.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample in the snapshot (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds another snapshot's buckets into this one (farm-level rollup
+    /// of per-worker histograms).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.is_empty() {
+            self.buckets = other.buckets.clone();
+        } else if !other.buckets.is_empty() {
+            for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+                *a += b;
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The nearest-rank percentile `q ∈ (0, 1]`, reported as the
+    /// inclusive upper bound of the bucket holding the ranked sample —
+    /// within one bucket width (≤ 6.25% relative) of the exact order
+    /// statistic.  Returns 0 for an empty snapshot.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Nearest rank: ⌈q·n⌉, clamped into [1, n]; the epsilon guards
+        // against q·n landing just above an integer from float error.
+        let rank = ((q * self.count as f64) - 1e-9).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report beyond the observed maximum: the top
+                // bucket's upper bound can overshoot it.
+                return bucket_upper(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Width of the bucket that holds `value` — the quantization bound
+    /// on a percentile read near that value.
+    pub fn bucket_width_at(value: u64) -> u64 {
+        bucket_width(bucket_index(value))
+    }
+
+    /// Iterates the non-empty buckets as `(inclusive upper bound,
+    /// cumulative count ≤ bound)` pairs, in increasing bound order — the
+    /// exact shape Prometheus text exposition wants for `_bucket{le=..}`
+    /// lines.
+    pub fn cumulative_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let mut seen = 0u64;
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(move |(idx, &c)| {
+                if c == 0 {
+                    None
+                } else {
+                    seen += c;
+                    Some((bucket_upper(idx), seen))
+                }
+            })
+    }
+
+    /// The p50/p95/p99 summary used in snapshot displays.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+            max: self.max,
+        }
+    }
+}
+
+/// Percentile summary of one histogram, as displayed by snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest rank, bucket upper bound).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact observed maximum.
+    pub max: u64,
+}
+
+/// A signed distribution as a positive/negative pair of
+/// [`LogHistogram`]s — used for predicted-vs-measured cycle error,
+/// which is signed by definition even though the dense closed forms
+/// keep it at exactly zero.
+#[derive(Debug, Default)]
+pub struct SignedHistogram {
+    pos: LogHistogram,
+    neg: LogHistogram,
+}
+
+impl SignedHistogram {
+    /// A signed histogram with all buckets preallocated and zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one signed sample (lock-free, allocation-free).
+    /// `i64::MIN` saturates to `i64::MAX` magnitude.
+    pub fn record(&self, value: i64) {
+        if value < 0 {
+            self.neg.record(value.unsigned_abs());
+        } else {
+            self.pos.record(value as u64);
+        }
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.pos.count() + self.neg.count()
+    }
+
+    /// Copies the current state into an owned [`SignedSnapshot`].
+    pub fn snapshot(&self) -> SignedSnapshot {
+        SignedSnapshot {
+            pos: self.pos.snapshot(),
+            neg: self.neg.snapshot(),
+        }
+    }
+}
+
+/// An owned point-in-time copy of a [`SignedHistogram`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SignedSnapshot {
+    /// Distribution of the non-negative samples.
+    pub pos: HistogramSnapshot,
+    /// Distribution of the magnitudes of the negative samples.
+    pub neg: HistogramSnapshot,
+}
+
+impl SignedSnapshot {
+    /// Number of samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.pos.count() + self.neg.count()
+    }
+
+    /// Most negative sample (0 when none were negative).
+    pub fn min(&self) -> i64 {
+        if self.neg.count() == 0 {
+            0
+        } else {
+            -(self.neg.max().min(i64::MAX as u64) as i64)
+        }
+    }
+
+    /// Largest sample (0 when empty or all negative).
+    pub fn max(&self) -> i64 {
+        self.pos.max().min(i64::MAX as u64) as i64
+    }
+
+    /// Merges another signed snapshot into this one.
+    pub fn merge(&mut self, other: &SignedSnapshot) {
+        self.pos.merge(&other.pos);
+        self.neg.merge(&other.neg);
+    }
+
+    /// The nearest-rank percentile over the full signed distribution:
+    /// negative samples in ascending order (most negative first), then
+    /// the non-negative ones.
+    pub fn percentile(&self, q: f64) -> i64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64) - 1e-9).ceil().max(1.0) as u64;
+        let rank = rank.min(total);
+        let neg_count = self.neg.count();
+        if rank <= neg_count {
+            // The ranked sample is negative: rank r from the most
+            // negative end is rank (neg_count - r + 1) by magnitude.
+            let mag = self
+                .neg
+                .percentile((neg_count - rank + 1) as f64 / neg_count as f64);
+            -(mag.min(i64::MAX as u64) as i64)
+        } else {
+            let pos_rank = rank - neg_count;
+            self.pos
+                .percentile(pos_rank as f64 / self.pos.count().max(1) as f64)
+                .min(i64::MAX as u64) as i64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        let h = LogHistogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 16);
+        assert_eq!(s.sum(), (0..16).sum::<u64>());
+        // Every value below 2^SUB_BUCKET_BITS is its own bucket: the
+        // percentile is exact.
+        assert_eq!(s.percentile(0.5), 7);
+        assert_eq!(s.percentile(1.0), 15);
+        assert_eq!(s.max(), 15);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_u64_range() {
+        // Consecutive buckets meet with no gap and no overlap.
+        for idx in 0..NUM_BUCKETS - 1 {
+            let next_lower = bucket_upper(idx + 1) - (bucket_width(idx + 1) - 1);
+            assert_eq!(
+                bucket_upper(idx) + 1,
+                next_lower,
+                "gap/overlap between buckets {idx} and {}",
+                idx + 1
+            );
+        }
+        // And indexing is consistent with the bounds.
+        for &v in &[
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            255,
+            256,
+            1000,
+            1 << 20,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            assert!(v <= bucket_upper(idx), "value {v} above bucket {idx} bound");
+            assert!(
+                bucket_upper(idx) - v < bucket_width(idx),
+                "value {v} below bucket {idx} lower bound"
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_error_is_within_one_bucket_width() {
+        let h = LogHistogram::new();
+        let samples: Vec<u64> = (0..1000).map(|i| (i * i) % 100_000 + 17).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64) - 1e-9).ceil() as usize;
+            let exact = sorted[rank.clamp(1, sorted.len()) - 1];
+            let approx = snap.percentile(q);
+            let width = HistogramSnapshot::bucket_width_at(exact);
+            assert!(
+                approx >= exact && approx - exact < width.max(1),
+                "q={q}: approx {approx} vs exact {exact} (width {width})"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let all = LogHistogram::new();
+        for i in 0..500u64 {
+            let v = i * 37 % 10_000;
+            if i % 2 == 0 { &a } else { &b }.record(v);
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_end_at_count() {
+        let h = LogHistogram::new();
+        for i in 0..300u64 {
+            h.record(i * 11);
+        }
+        let s = h.snapshot();
+        let mut prev_bound = 0u64;
+        let mut last_cum = 0u64;
+        for (bound, cum) in s.cumulative_buckets() {
+            assert!(bound >= prev_bound);
+            assert!(cum > last_cum);
+            prev_bound = bound;
+            last_cum = cum;
+        }
+        assert_eq!(last_cum, s.count());
+    }
+
+    #[test]
+    fn signed_histogram_orders_negative_before_positive() {
+        let h = SignedHistogram::new();
+        for v in [-50i64, -10, -10, 0, 3, 3, 7, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.min(), -50);
+        assert_eq!(s.max(), 1000);
+        // Rank 1 of 8 is the most negative sample.
+        assert_eq!(s.percentile(0.125), -50);
+        // Zero-error steady state reads zero everywhere.
+        let zero = SignedHistogram::new();
+        zero.record(0);
+        let zs = zero.snapshot();
+        assert_eq!(zs.percentile(0.5), 0);
+        assert_eq!(zs.min(), 0);
+        assert_eq!(zs.max(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let s = LogHistogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.percentile(0.99), 0);
+        assert_eq!(s.summary(), HistogramSummary::default());
+        assert_eq!(s.cumulative_buckets().count(), 0);
+    }
+}

@@ -36,10 +36,12 @@ use crate::cost::CostEstimate;
 use crate::error::FarmError;
 use crate::job::{ArrayClass, Job, JobKind, JobReceipt};
 use crate::policy::{select_key, select_next, Policy, SelectKey};
+use crate::snapshot::FarmLive;
 use crate::telemetry::{DepthSample, TenantTelemetry};
+use crate::trace::{JobEvent, JobEventKind};
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::Sender;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// Cap on the number of retained queue-depth samples (~1 MB at most).  The
@@ -120,6 +122,20 @@ impl QueueState {
         if !self.depth_events.is_multiple_of(self.depth_stride) {
             return;
         }
+        self.push_depth_sample(started);
+    }
+
+    /// Records a depth sample regardless of the sampling stride.  Used
+    /// for work-steal events: steals are rare but diagnostically dense
+    /// (they mark the moments load was imbalanced), so a decimated
+    /// stride must never drop them.
+    fn log_depth_forced(&mut self, started: Instant) {
+        self.max_depth = self.max_depth.max(self.depth);
+        self.depth_events += 1;
+        self.push_depth_sample(started);
+    }
+
+    fn push_depth_sample(&mut self, started: Instant) {
         if self.depth_log.len() == MAX_DEPTH_SAMPLES {
             // Decimate: keep every other sample, halve the resolution.
             let mut keep = false;
@@ -148,6 +164,10 @@ pub(crate) struct QueueSet {
     /// Configured tenant weights (≥ 1); unknown tenants weigh 1.
     weights: HashMap<u32, u32>,
     started: Instant,
+    /// Shared live observability state; admission-side lifecycle events
+    /// go into `live.admission` under the queue mutex (which already
+    /// serializes these paths — tracing adds no new lock).
+    live: Arc<FarmLive>,
 }
 
 /// Condvar slot of an array class.
@@ -177,6 +197,7 @@ impl QueueSet {
         coalesce_limit: usize,
         weights: HashMap<u32, u32>,
         started: Instant,
+        live: Arc<FarmLive>,
     ) -> Self {
         let n = classes.len();
         QueueSet {
@@ -201,6 +222,7 @@ impl QueueSet {
             coalesce_limit: coalesce_limit.max(1),
             weights: weights.into_iter().map(|(t, w)| (t, w.max(1))).collect(),
             started,
+            live,
         }
     }
 
@@ -240,6 +262,23 @@ impl QueueSet {
             .map(|(i, _)| i)
             .expect("submit checked that an eligible worker exists");
         st.backlog[target] += job.predicted.cycles;
+        if self.live.admission.capacity() > 0 {
+            let event = JobEvent {
+                at: self.started.elapsed(),
+                job: job.id,
+                kind: JobEventKind::Admitted,
+                tenant: job.tenant,
+                shape: job.kind,
+                worker: None,
+                predicted_cycles: job.predicted.cycles as u64,
+            };
+            self.live.admission.record(&event);
+            self.live.admission.record(&JobEvent {
+                kind: JobEventKind::Queued,
+                worker: Some(target as u32),
+                ..event
+            });
+        }
         st.queues[target].push_back(job);
         st.depth += 1;
         st.submitted += 1;
@@ -277,6 +316,15 @@ impl QueueSet {
         if let Some(tenant) = st.tenants.get_mut(&job.tenant) {
             tenant.cancelled += 1;
         }
+        self.live.admission.record(&JobEvent {
+            at: self.started.elapsed(),
+            job: job.id,
+            kind: JobEventKind::Cancelled,
+            tenant: job.tenant,
+            shape: job.kind,
+            worker: Some(worker as u32),
+            predicted_cycles: job.predicted.cycles as u64,
+        });
         st.log_depth(self.started);
         drop(st);
         // A dropped ticket just means nobody wants the resolution.
@@ -325,7 +373,9 @@ impl QueueSet {
         st.depth -= 1;
         st.steals += 1;
         st.vtime = st.vtime.max(job.vft);
-        st.log_depth(self.started);
+        // Steals mark the exact moments load was imbalanced: always keep
+        // their depth sample, even when the sampling stride would skip it.
+        st.log_depth_forced(self.started);
         Some(vec![job])
     }
 
@@ -410,6 +460,20 @@ impl QueueSet {
         Some(batch)
     }
 
+    /// Reads the queue-side counters a live snapshot needs, in one short
+    /// critical section: `(submitted, cancelled, steals, depth,
+    /// max_depth)`.
+    pub fn counters(&self) -> (u64, u64, u64, usize, usize) {
+        let st = self.lock();
+        (
+            st.submitted,
+            st.cancelled,
+            st.steals,
+            st.depth,
+            st.max_depth,
+        )
+    }
+
     /// Flags shutdown and wakes every worker so they can drain and exit.
     pub fn finish(&self) {
         self.lock().shutdown = true;
@@ -458,12 +522,14 @@ mod tests {
         coalesce_limit: usize,
         weights: &[(u32, u32)],
     ) -> QueueSet {
+        let live = Arc::new(FarmLive::new(&classes, 64, true, Instant::now()));
         QueueSet::new(
             policy,
             classes,
             coalesce_limit,
             weights.iter().copied().collect(),
             Instant::now(),
+            live,
         )
     }
 
@@ -846,5 +912,60 @@ mod tests {
         assert_eq!(st.depth_stride, 8, "three decimations double thrice");
         assert_eq!(st.max_depth, peak, "max depth is exact despite decimation");
         assert_eq!(st.depth_events, events as u64);
+    }
+
+    #[test]
+    fn steal_depth_samples_survive_the_sampling_stride() {
+        let started = Instant::now();
+        let mut st = QueueState {
+            queues: Vec::new(),
+            backlog: Vec::new(),
+            depth: 0,
+            shutdown: false,
+            steals: 0,
+            submitted: 0,
+            cancelled: 0,
+            vtime: 0,
+            tenants: HashMap::new(),
+            depth_log: Vec::new(),
+            max_depth: 0,
+            depth_events: 0,
+            depth_stride: 1024, // a heavily decimated trace
+        };
+        // Ordinary events at this stride are almost all skipped...
+        for event in 0..100 {
+            st.depth = event;
+            st.log_depth(started);
+        }
+        assert!(st.depth_log.is_empty());
+        // ...but a steal's sample is always recorded, at the exact depth.
+        st.depth = 77;
+        st.log_depth_forced(started);
+        assert_eq!(st.depth_log.len(), 1);
+        assert_eq!(st.depth_log[0].depth, 77);
+        // The forced sample still advances the shared sampling clock.
+        assert_eq!(st.depth_events, 101);
+    }
+
+    #[test]
+    fn submit_and_cancel_record_admission_events() {
+        let set = set_with(Policy::Fifo, vec![ArrayClass::Linear], 1, &[]);
+        let (job, _rx) = queued(9, 10);
+        set.submit(job, ArrayClass::Linear);
+        assert!(set.cancel(9));
+        let mut events = Vec::new();
+        set.live.admission.collect(&mut events);
+        let kinds: Vec<JobEventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                JobEventKind::Admitted,
+                JobEventKind::Queued,
+                JobEventKind::Cancelled
+            ]
+        );
+        assert!(events.iter().all(|e| e.job == 9));
+        assert_eq!(events[1].worker, Some(0));
+        assert_eq!(events[0].worker, None);
     }
 }

@@ -1,0 +1,526 @@
+//! Live farm state and point-in-time snapshots.
+//!
+//! While the farm serves traffic, every worker publishes its progress
+//! into a shared, lock-free live-state block ([`FarmLive`]): plain
+//! atomic counters, [`LogHistogram`]s for the three latency stages and
+//! the signed cycle error, a lane-occupancy histogram, the station's
+//! engine counters, and a bounded [`EventRing`] of lifecycle events.
+//! Per-tenant rollups live beside them, shared across workers.
+//!
+//! [`crate::ArrayFarm::snapshot`] copies all of it into a
+//! [`FarmSnapshot`] **without draining, pausing or joining anything** —
+//! the only lock it takes is the queue mutex the farm already uses for
+//! admission, and only to read the queue-side counters.  Every counter
+//! is monotonic, so consecutive snapshots are monotone too; histogram
+//! percentiles are read from buckets and carry the quantization bound
+//! documented in [`crate::metrics`].
+
+use crate::job::ArrayClass;
+use crate::metrics::{HistogramSnapshot, LogHistogram, SignedHistogram, SignedSnapshot};
+use crate::trace::{EventRing, JobEvent};
+use sia_sim::StationStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Widest lane-occupancy bucket tracked (the engine's lane limit).
+const OCCUPANCY_SLOTS: usize = sia_dbt::MAX_LANES;
+
+/// One worker's live, shared observability block.  The owning worker is
+/// the only writer of the counters and the ring; snapshots read them
+/// concurrently (relaxed — every field is monotonic).
+#[derive(Debug)]
+pub(crate) struct WorkerLive {
+    class: ArrayClass,
+    jobs: AtomicU64,
+    coalesced_jobs: AtomicU64,
+    batches: AtomicU64,
+    failures: AtomicU64,
+    shed: AtomicU64,
+    busy_ns: AtomicU64,
+    predicted_cycles: AtomicU64,
+    measured_cycles: AtomicU64,
+    exact_predictions: AtomicU64,
+    // Station engine counters, published after every batch.
+    hex_runs: AtomicU64,
+    hex_cycles: AtomicU64,
+    hex_skipped_cycles: AtomicU64,
+    linear_runs: AtomicU64,
+    linear_cycles: AtomicU64,
+    linear_skipped_cycles: AtomicU64,
+    /// `lane_occupancy[i]` counts array passes that served `i + 1`
+    /// jobs at once.
+    lane_occupancy: Box<[AtomicU64]>,
+    queue: LogHistogram,
+    service: LogHistogram,
+    e2e: LogHistogram,
+    cycle_error: SignedHistogram,
+    pub(crate) ring: EventRing,
+}
+
+impl WorkerLive {
+    fn new(class: ArrayClass, trace_capacity: usize) -> Self {
+        WorkerLive {
+            class,
+            jobs: AtomicU64::new(0),
+            coalesced_jobs: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            predicted_cycles: AtomicU64::new(0),
+            measured_cycles: AtomicU64::new(0),
+            exact_predictions: AtomicU64::new(0),
+            hex_runs: AtomicU64::new(0),
+            hex_cycles: AtomicU64::new(0),
+            hex_skipped_cycles: AtomicU64::new(0),
+            linear_runs: AtomicU64::new(0),
+            linear_cycles: AtomicU64::new(0),
+            linear_skipped_cycles: AtomicU64::new(0),
+            lane_occupancy: (0..OCCUPANCY_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+            queue: LogHistogram::new(),
+            service: LogHistogram::new(),
+            e2e: LogHistogram::new(),
+            cycle_error: SignedHistogram::new(),
+            ring: EventRing::new(trace_capacity),
+        }
+    }
+
+    /// Records one delivered job (called by the owning worker *before*
+    /// the receipt is sent, so a caller who has seen every receipt sees
+    /// settled counters).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_completion(
+        &self,
+        queue_ns: u64,
+        service_ns: u64,
+        e2e_ns: u64,
+        predicted: u64,
+        measured: u64,
+        coalesced: bool,
+    ) {
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        if coalesced {
+            self.coalesced_jobs.fetch_add(1, Ordering::Relaxed);
+        }
+        self.predicted_cycles
+            .fetch_add(predicted, Ordering::Relaxed);
+        self.measured_cycles.fetch_add(measured, Ordering::Relaxed);
+        if predicted == measured {
+            self.exact_predictions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.queue.record(queue_ns);
+        self.service.record(service_ns);
+        self.e2e.record(e2e_ns);
+        self.cycle_error.record(measured as i64 - predicted as i64);
+    }
+
+    pub(crate) fn record_failure(&self) {
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        self.failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self, busy: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.busy_ns
+            .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records one array pass that served `occupied` jobs at once.
+    pub(crate) fn record_lane_pass(&self, occupied: usize) {
+        let slot = occupied.clamp(1, OCCUPANCY_SLOTS) - 1;
+        self.lane_occupancy[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the station's cumulative engine counters (cheap atomic
+    /// stores; the worker owns the station, so these are plain copies).
+    pub(crate) fn publish_station(&self, stats: StationStats) {
+        self.hex_runs
+            .store(stats.hex_runs as u64, Ordering::Relaxed);
+        self.hex_cycles
+            .store(stats.hex_cycles as u64, Ordering::Relaxed);
+        self.hex_skipped_cycles
+            .store(stats.hex_skipped_cycles as u64, Ordering::Relaxed);
+        self.linear_runs
+            .store(stats.linear_runs as u64, Ordering::Relaxed);
+        self.linear_cycles
+            .store(stats.linear_cycles as u64, Ordering::Relaxed);
+        self.linear_skipped_cycles
+            .store(stats.linear_skipped_cycles as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, worker: usize) -> WorkerSnapshot {
+        WorkerSnapshot {
+            worker,
+            class: self.class,
+            jobs: self.jobs.load(Ordering::Relaxed),
+            coalesced_jobs: self.coalesced_jobs.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed)),
+            predicted_cycles: self.predicted_cycles.load(Ordering::Relaxed),
+            measured_cycles: self.measured_cycles.load(Ordering::Relaxed),
+            exact_predictions: self.exact_predictions.load(Ordering::Relaxed),
+            hex_runs: self.hex_runs.load(Ordering::Relaxed),
+            hex_cycles: self.hex_cycles.load(Ordering::Relaxed),
+            hex_skipped_cycles: self.hex_skipped_cycles.load(Ordering::Relaxed),
+            linear_runs: self.linear_runs.load(Ordering::Relaxed),
+            linear_cycles: self.linear_cycles.load(Ordering::Relaxed),
+            linear_skipped_cycles: self.linear_skipped_cycles.load(Ordering::Relaxed),
+            lane_occupancy: self
+                .lane_occupancy
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            queue: self.queue.snapshot(),
+            service: self.service.snapshot(),
+            e2e: self.e2e.snapshot(),
+            cycle_error: self.cycle_error.snapshot(),
+            trace_recorded: self.ring.recorded(),
+            trace_dropped: self.ring.dropped(),
+        }
+    }
+}
+
+/// One tenant's live rollup, shared across every worker that serves it.
+#[derive(Debug, Default)]
+pub(crate) struct TenantLive {
+    served: AtomicU64,
+    shed: AtomicU64,
+    predicted_cycles: AtomicU64,
+    measured_cycles: AtomicU64,
+    e2e: LogHistogram,
+    cycle_error: SignedHistogram,
+}
+
+impl TenantLive {
+    pub(crate) fn record_completion(&self, e2e_ns: u64, predicted: u64, measured: u64) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.predicted_cycles
+            .fetch_add(predicted, Ordering::Relaxed);
+        self.measured_cycles.fetch_add(measured, Ordering::Relaxed);
+        self.e2e.record(e2e_ns);
+        self.cycle_error.record(measured as i64 - predicted as i64);
+    }
+
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, tenant: u32) -> TenantSnapshot {
+        TenantSnapshot {
+            tenant,
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            predicted_cycles: self.predicted_cycles.load(Ordering::Relaxed),
+            measured_cycles: self.measured_cycles.load(Ordering::Relaxed),
+            e2e: self.e2e.snapshot(),
+            cycle_error: self.cycle_error.snapshot(),
+        }
+    }
+}
+
+/// The farm's shared live observability state: one [`WorkerLive`] per
+/// worker, the admission-side event ring, and the per-tenant rollups.
+#[derive(Debug)]
+pub(crate) struct FarmLive {
+    pub(crate) started: Instant,
+    /// Whether counter/histogram recording is enabled
+    /// ([`crate::FarmConfig::metrics`]).
+    pub(crate) metrics: bool,
+    pub(crate) workers: Vec<WorkerLive>,
+    /// Ring for events recorded before a worker owns the job; writers
+    /// hold the farm's queue mutex, which serializes them.
+    pub(crate) admission: EventRing,
+    /// Tenant rollups, sorted by tenant id.  Locked only when a worker
+    /// first meets a tenant (workers keep local caches), at admission
+    /// shed, and at snapshot time — never on the steady serve path.
+    tenants: Mutex<Vec<(u32, Arc<TenantLive>)>>,
+}
+
+impl FarmLive {
+    pub(crate) fn new(
+        classes: &[ArrayClass],
+        trace_capacity: usize,
+        metrics: bool,
+        started: Instant,
+    ) -> Self {
+        FarmLive {
+            started,
+            metrics,
+            workers: classes
+                .iter()
+                .map(|&c| WorkerLive::new(c, trace_capacity))
+                .collect(),
+            admission: EventRing::new(trace_capacity),
+            tenants: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The shared rollup for `tenant`, created on first sight.  Takes
+    /// the tenant-map lock; callers cache the returned `Arc` so steady
+    /// state never comes back here.
+    pub(crate) fn tenant(&self, tenant: u32) -> Arc<TenantLive> {
+        let mut tenants = self.tenants.lock().unwrap();
+        match tenants.binary_search_by_key(&tenant, |(id, _)| *id) {
+            Ok(i) => Arc::clone(&tenants[i].1),
+            Err(i) => {
+                let live = Arc::new(TenantLive::default());
+                tenants.insert(i, (tenant, Arc::clone(&live)));
+                live
+            }
+        }
+    }
+
+    pub(crate) fn tenant_snapshots(&self) -> Vec<TenantSnapshot> {
+        self.tenants
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(id, live)| live.snapshot(*id))
+            .collect()
+    }
+
+    pub(crate) fn worker_snapshots(&self) -> Vec<WorkerSnapshot> {
+        self.workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| w.snapshot(i))
+            .collect()
+    }
+
+    /// Collects every ring's current contents, ordered by timestamp.
+    pub(crate) fn collect_events(&self) -> Vec<JobEvent> {
+        let mut events = Vec::new();
+        self.admission.collect(&mut events);
+        for w in &self.workers {
+            w.ring.collect(&mut events);
+        }
+        events.sort_by_key(|e| (e.at, e.job));
+        events
+    }
+}
+
+/// A consistent point-in-time view of one worker, inside a
+/// [`FarmSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerSnapshot {
+    /// Worker index.
+    pub worker: usize,
+    /// Which array this worker owns.
+    pub class: ArrayClass,
+    /// Jobs delivered (including failures).
+    pub jobs: u64,
+    /// Jobs served as part of a coalesced batch.
+    pub coalesced_jobs: u64,
+    /// Dispatched batches.
+    pub batches: u64,
+    /// Jobs that failed in the engine.
+    pub failures: u64,
+    /// Jobs shed at dispatch (expired deadline).
+    pub shed: u64,
+    /// Total time spent serving batches.
+    pub busy: Duration,
+    /// Sum of closed-form predicted cycles over delivered jobs.
+    pub predicted_cycles: u64,
+    /// Sum of measured cycles over delivered jobs.
+    pub measured_cycles: u64,
+    /// Delivered jobs whose prediction was cycle-exact.
+    pub exact_predictions: u64,
+    /// Station counter: completed hexagonal-array passes.
+    pub hex_runs: u64,
+    /// Station counter: hexagonal-array steps executed (billed).
+    pub hex_cycles: u64,
+    /// Station counter: idle hexagonal cycles skipped by the
+    /// event-driven engine instead of simulated.
+    pub hex_skipped_cycles: u64,
+    /// Station counter: completed linear-array passes.
+    pub linear_runs: u64,
+    /// Station counter: linear-array steps executed (billed).
+    pub linear_cycles: u64,
+    /// Station counter: idle linear cycles skipped.
+    pub linear_skipped_cycles: u64,
+    /// `lane_occupancy[i]` = array passes that served `i + 1` jobs.
+    pub lane_occupancy: Vec<u64>,
+    /// Queue latency (submit → pickup) histogram, nanoseconds.
+    pub queue: HistogramSnapshot,
+    /// Service latency histogram, nanoseconds (attributed share for
+    /// coalesced jobs).
+    pub service: HistogramSnapshot,
+    /// End-to-end latency histogram, nanoseconds.
+    pub e2e: HistogramSnapshot,
+    /// Signed measured-minus-predicted cycle error.
+    pub cycle_error: SignedSnapshot,
+    /// Events this worker's ring ever recorded.
+    pub trace_recorded: u64,
+    /// Events that aged out of this worker's ring.
+    pub trace_dropped: u64,
+}
+
+impl WorkerSnapshot {
+    /// Fraction of wall time spent serving batches.
+    pub fn utilization(&self, wall: Duration) -> f64 {
+        if wall.is_zero() {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / wall.as_secs_f64()
+        }
+    }
+}
+
+/// A consistent point-in-time view of one tenant, inside a
+/// [`FarmSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSnapshot {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Jobs delivered successfully for this tenant.
+    pub served: u64,
+    /// Jobs shed for this tenant (dispatch or admission).
+    pub shed: u64,
+    /// Sum of predicted cycles over this tenant's served jobs.
+    pub predicted_cycles: u64,
+    /// Sum of measured cycles over this tenant's served jobs.
+    pub measured_cycles: u64,
+    /// End-to-end latency histogram, nanoseconds.
+    pub e2e: HistogramSnapshot,
+    /// Signed measured-minus-predicted cycle error.
+    pub cycle_error: SignedSnapshot,
+}
+
+/// A live, consistent view of the whole farm, returned by
+/// [`crate::ArrayFarm::snapshot`] without draining or shutting anything
+/// down.  All counters are monotonic: for two snapshots `a` then `b`,
+/// every counter of `b` is ≥ the same counter of `a`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FarmSnapshot {
+    /// When the snapshot was taken, measured from farm start.
+    pub at: Duration,
+    /// Jobs admitted and enqueued so far.
+    pub submitted: u64,
+    /// Jobs cancelled while queued.
+    pub cancelled: u64,
+    /// Jobs refused at admission because their deadline was already
+    /// unmeetable.
+    pub shed_at_admission: u64,
+    /// Jobs taken from another worker's queue.
+    pub steals: u64,
+    /// Jobs currently queued (the only non-monotonic field).
+    pub depth: usize,
+    /// High-water mark of the total queue depth.
+    pub max_depth: usize,
+    /// Process-wide heap allocation count (`sia-alloc`), if the
+    /// embedding binary installed the counting allocator; 0 otherwise.
+    pub allocations: u64,
+    /// Events recorded across every ring.
+    pub trace_recorded: u64,
+    /// Events that aged out across every ring.
+    pub trace_dropped: u64,
+    /// Per-worker views, indexed by worker.
+    pub workers: Vec<WorkerSnapshot>,
+    /// Per-tenant rollups, sorted by tenant id.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+impl FarmSnapshot {
+    /// Jobs delivered successfully across all workers.
+    pub fn completed(&self) -> u64 {
+        self.workers.iter().map(|w| w.jobs - w.failures).sum()
+    }
+
+    /// Jobs that failed in the engines.
+    pub fn failures(&self) -> u64 {
+        self.workers.iter().map(|w| w.failures).sum()
+    }
+
+    /// Jobs shed at dispatch (admission sheds are counted separately in
+    /// [`FarmSnapshot::shed_at_admission`]).
+    pub fn shed(&self) -> u64 {
+        self.workers.iter().map(|w| w.shed).sum()
+    }
+
+    /// Sum of predicted cycles over all delivered jobs.
+    pub fn predicted_cycles(&self) -> u64 {
+        self.workers.iter().map(|w| w.predicted_cycles).sum()
+    }
+
+    /// Sum of measured cycles over all delivered jobs.
+    pub fn measured_cycles(&self) -> u64 {
+        self.workers.iter().map(|w| w.measured_cycles).sum()
+    }
+
+    /// Fraction of delivered jobs whose closed-form prediction was
+    /// cycle-exact (1.0 when nothing was delivered).
+    pub fn exact_prediction_fraction(&self) -> f64 {
+        let delivered: u64 = self.completed();
+        if delivered == 0 {
+            return 1.0;
+        }
+        let exact: u64 = self.workers.iter().map(|w| w.exact_predictions).sum();
+        exact as f64 / delivered as f64
+    }
+
+    /// Idle engine cycles skipped across all stations — the work the
+    /// event-driven engines saved over naive cycle-by-cycle simulation.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.hex_skipped_cycles + w.linear_skipped_cycles)
+            .sum()
+    }
+
+    /// Farm-wide queue-latency histogram (all workers merged).
+    pub fn queue_latency(&self) -> HistogramSnapshot {
+        self.merged(|w| &w.queue)
+    }
+
+    /// Farm-wide service-latency histogram (all workers merged).
+    pub fn service_latency(&self) -> HistogramSnapshot {
+        self.merged(|w| &w.service)
+    }
+
+    /// Farm-wide end-to-end latency histogram (all workers merged).
+    pub fn e2e_latency(&self) -> HistogramSnapshot {
+        self.merged(|w| &w.e2e)
+    }
+
+    /// Farm-wide signed cycle-error distribution (all workers merged).
+    pub fn cycle_error(&self) -> SignedSnapshot {
+        let mut merged = SignedSnapshot::default();
+        for w in &self.workers {
+            merged.merge(&w.cycle_error);
+        }
+        merged
+    }
+
+    /// Farm-wide lane-occupancy histogram: entry `i` counts array
+    /// passes that served `i + 1` jobs at once.
+    pub fn lane_occupancy(&self) -> Vec<u64> {
+        let len = self
+            .workers
+            .iter()
+            .map(|w| w.lane_occupancy.len())
+            .max()
+            .unwrap_or(0);
+        let mut merged = vec![0u64; len];
+        for w in &self.workers {
+            for (slot, &c) in w.lane_occupancy.iter().enumerate() {
+                merged[slot] += c;
+            }
+        }
+        merged
+    }
+
+    fn merged(&self, pick: impl Fn(&WorkerSnapshot) -> &HistogramSnapshot) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for w in &self.workers {
+            merged.merge(pick(w));
+        }
+        merged
+    }
+}

@@ -7,6 +7,7 @@
 //! [`crate::ArrayFarm::shutdown`] once the workers have drained and joined.
 
 use crate::job::ArrayClass;
+use crate::snapshot::FarmSnapshot;
 use std::time::Duration;
 
 /// One sample of the total queued-job count, taken at submissions,
@@ -140,6 +141,10 @@ pub struct FarmTelemetry {
     pub max_depth: usize,
     /// Per-tenant accounting, sorted by tenant id.
     pub tenants: Vec<TenantTelemetry>,
+    /// One final [`FarmSnapshot`], taken after the last worker joined —
+    /// the live-observability view (latency histograms, engine counters,
+    /// lane occupancy, trace totals) of the farm's whole lifetime.
+    pub snapshot: FarmSnapshot,
 }
 
 impl FarmTelemetry {
@@ -274,6 +279,7 @@ mod tests {
             shed_at_admission: 0,
             max_depth: 9,
             tenants,
+            snapshot: FarmSnapshot::default(),
         }
     }
 
@@ -321,6 +327,7 @@ mod tests {
             shed_at_admission: 0,
             max_depth: 0,
             tenants: Vec::new(),
+            snapshot: FarmSnapshot::default(),
         };
         assert_eq!(telemetry.completed(), 0);
         assert_eq!(telemetry.shed(), 0);

@@ -1,0 +1,389 @@
+//! Lock-free job-lifecycle event tracing.
+//!
+//! Every job leaves a trail of fixed-size [`JobEvent`] records — admitted
+//! → queued → dispatched → lane-packed → completed / shed / cancelled /
+//! failed — in bounded ring buffers:
+//!
+//! * **One ring per worker**, written only by the owning worker thread:
+//!   the hot serving path records events with four plain atomic stores
+//!   and two counter bumps — no locks, no allocation (proved by
+//!   `tests/allocations.rs`).
+//! * **One admission ring** for events that happen before a worker owns
+//!   the job (admitted, queued, cancelled-in-queue).  Those paths
+//!   already hold the farm's queue mutex, which serializes the writers —
+//!   tracing adds no *new* lock anywhere.
+//!
+//! Rings overwrite oldest: a full ring keeps serving at full speed and
+//! [`EventRing::dropped`] reports how many events aged out.  Readers
+//! ([`EventRing::collect`]) run concurrently with writers and use a
+//! reserve/publish counter pair to discard the (at most one ring's
+//! worth of) slots a writer may currently be overwriting, so a
+//! collected event is never torn.
+//!
+//! Each event is packed into four `u64` words: timestamp, job id,
+//! predicted cycles, and a tag word holding kind / shape / worker /
+//! tenant.  That keeps the record fixed-size and the ring a flat
+//! `AtomicU64` slab — `sia-runtime` forbids `unsafe`, and this design
+//! needs none.
+
+use crate::job::JobKind;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of `u64` words one packed event occupies in a ring.
+const WORDS: usize = 4;
+
+/// What happened to the job at this point of its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobEventKind {
+    /// Passed admission: validated, priced, assigned an id.
+    Admitted,
+    /// Enqueued on a worker's queue (the event's `worker` is the routed
+    /// worker, which stealing may later override).
+    Queued,
+    /// Picked up by a worker (the event's `worker` is the serving
+    /// worker — for stolen jobs this differs from the `Queued` worker).
+    Dispatched,
+    /// Packed into a lane-parallel array pass with other shape-mates.
+    LanePacked,
+    /// Served successfully; a receipt was delivered.
+    Completed,
+    /// Shed because its deadline had already expired.
+    Shed,
+    /// Cancelled while still queued.
+    Cancelled,
+    /// Served but the engine returned an error.
+    Failed,
+}
+
+impl JobEventKind {
+    /// Short lowercase label (used by exporters).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobEventKind::Admitted => "admitted",
+            JobEventKind::Queued => "queued",
+            JobEventKind::Dispatched => "dispatched",
+            JobEventKind::LanePacked => "lane-packed",
+            JobEventKind::Completed => "completed",
+            JobEventKind::Shed => "shed",
+            JobEventKind::Cancelled => "cancelled",
+            JobEventKind::Failed => "failed",
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            JobEventKind::Admitted => 0,
+            JobEventKind::Queued => 1,
+            JobEventKind::Dispatched => 2,
+            JobEventKind::LanePacked => 3,
+            JobEventKind::Completed => 4,
+            JobEventKind::Shed => 5,
+            JobEventKind::Cancelled => 6,
+            JobEventKind::Failed => 7,
+        }
+    }
+
+    fn from_u8(v: u8) -> JobEventKind {
+        match v {
+            0 => JobEventKind::Admitted,
+            1 => JobEventKind::Queued,
+            2 => JobEventKind::Dispatched,
+            3 => JobEventKind::LanePacked,
+            4 => JobEventKind::Completed,
+            5 => JobEventKind::Shed,
+            6 => JobEventKind::Cancelled,
+            _ => JobEventKind::Failed,
+        }
+    }
+}
+
+fn kind_to_u8(kind: JobKind) -> u8 {
+    match kind {
+        JobKind::DenseMm => 0,
+        JobKind::DenseMv => 1,
+        JobKind::BlockSparseMv => 2,
+        JobKind::TriangularSolve => 3,
+        JobKind::GaussSeidel => 4,
+    }
+}
+
+fn kind_from_u8(v: u8) -> JobKind {
+    match v {
+        0 => JobKind::DenseMm,
+        1 => JobKind::DenseMv,
+        2 => JobKind::BlockSparseMv,
+        3 => JobKind::TriangularSolve,
+        _ => JobKind::GaussSeidel,
+    }
+}
+
+/// One fixed-size job-lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobEvent {
+    /// Monotonic timestamp, measured from the farm's start instant.
+    pub at: Duration,
+    /// The job's farm-assigned id.
+    pub job: u64,
+    /// Lifecycle stage.
+    pub kind: JobEventKind,
+    /// Submitting tenant.
+    pub tenant: u32,
+    /// The job's shape class.
+    pub shape: JobKind,
+    /// The worker involved (routed-to, serving, or stealing, depending
+    /// on `kind`); `None` for admission-side events with no worker yet.
+    pub worker: Option<u32>,
+    /// The closed-form predicted cycle count priced at admission.
+    pub predicted_cycles: u64,
+}
+
+impl JobEvent {
+    fn pack(&self) -> [u64; WORDS] {
+        let worker = match self.worker {
+            // Stored off-by-one so 0 means "no worker".
+            Some(w) => (w as u64 + 1) & 0xFFFF,
+            None => 0,
+        };
+        let tag = (self.kind.to_u8() as u64)
+            | ((kind_to_u8(self.shape) as u64) << 8)
+            | (worker << 16)
+            | ((self.tenant as u64) << 32);
+        [
+            self.at.as_nanos() as u64,
+            self.job,
+            self.predicted_cycles,
+            tag,
+        ]
+    }
+
+    fn unpack(words: [u64; WORDS]) -> JobEvent {
+        let tag = words[3];
+        let worker = (tag >> 16) & 0xFFFF;
+        JobEvent {
+            at: Duration::from_nanos(words[0]),
+            job: words[1],
+            predicted_cycles: words[2],
+            kind: JobEventKind::from_u8((tag & 0xFF) as u8),
+            shape: kind_from_u8(((tag >> 8) & 0xFF) as u8),
+            worker: if worker == 0 {
+                None
+            } else {
+                Some(worker as u32 - 1)
+            },
+            tenant: (tag >> 32) as u32,
+        }
+    }
+}
+
+/// A bounded single-writer ring buffer of packed [`JobEvent`]s.
+///
+/// The writer never blocks and never allocates: a full ring overwrites
+/// its oldest entry ([`EventRing::dropped`] counts how many aged out).
+/// Concurrent readers get untorn events via the reserve/publish
+/// protocol described in the module docs.  Capacity 0 disables the ring
+/// entirely ([`EventRing::record`] becomes a no-op).
+///
+/// Writing is safe from one thread at a time; the farm gives each
+/// worker its own ring and serializes admission-ring writers under the
+/// queue mutex it already holds.
+#[derive(Debug)]
+pub struct EventRing {
+    /// `WORDS * capacity` atomic words; empty when tracing is disabled.
+    words: Box<[AtomicU64]>,
+    capacity: u64,
+    /// Index (in events, monotonically increasing) the writer has
+    /// started writing.  Bumped *before* the slot words are stored.
+    reserved: AtomicU64,
+    /// Index the writer has finished writing.  Bumped with `Release`
+    /// *after* the slot words are stored.
+    published: AtomicU64,
+}
+
+impl EventRing {
+    /// A ring holding up to `capacity` events (0 disables recording).
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            words: (0..capacity * WORDS).map(|_| AtomicU64::new(0)).collect(),
+            capacity: capacity as u64,
+            reserved: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of events the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Records one event: two counter bumps and four word stores, no
+    /// lock, no allocation.  No-op when the ring is disabled.
+    pub fn record(&self, event: &JobEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        let idx = self.published.load(Ordering::Relaxed);
+        // Seqlock write protocol (same fence placement as crossbeam's
+        // SeqLock): mark the slot in flux, fence, then write it.  A
+        // reader that observes any of the word stores below is
+        // guaranteed — release fence paired with its acquire fence — to
+        // also observe the reserve bump, and discards the slot.
+        self.reserved.store(idx + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        let base = ((idx % self.capacity) * WORDS as u64) as usize;
+        for (offset, word) in event.pack().into_iter().enumerate() {
+            self.words[base + offset].store(word, Ordering::Relaxed);
+        }
+        self.published.store(idx + 1, Ordering::Release);
+    }
+
+    /// Total events ever recorded.
+    pub fn recorded(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Events that aged out of the ring (recorded minus retained).
+    pub fn dropped(&self) -> u64 {
+        let published = self.published.load(Ordering::Relaxed);
+        published.saturating_sub(self.capacity)
+    }
+
+    /// Appends the ring's current contents to `out`, oldest first.
+    /// Safe to call while the writer is recording: slots the writer may
+    /// be overwriting are detected via the reserve counter and skipped.
+    pub fn collect(&self, out: &mut Vec<JobEvent>) {
+        let published = self.published.load(Ordering::Acquire);
+        let start = published.saturating_sub(self.capacity);
+        for idx in start..published {
+            let base = ((idx % self.capacity) * WORDS as u64) as usize;
+            let mut words = [0u64; WORDS];
+            for (offset, word) in words.iter_mut().enumerate() {
+                *word = self.words[base + offset].load(Ordering::Relaxed);
+            }
+            // Seqlock read validation: if the writer lapped into this
+            // slot (reserved past idx + capacity), the copy may be torn
+            // — discard it.  The acquire fence pairs with the writer's
+            // release fence so a torn copy implies a visible bump.
+            fence(Ordering::Acquire);
+            let reserved = self.reserved.load(Ordering::Relaxed);
+            if idx < reserved.saturating_sub(self.capacity) {
+                continue;
+            }
+            out.push(JobEvent::unpack(words));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(job: u64, kind: JobEventKind) -> JobEvent {
+        JobEvent {
+            at: Duration::from_nanos(1234 + job),
+            job,
+            kind,
+            tenant: 7,
+            shape: JobKind::BlockSparseMv,
+            worker: Some(3),
+            predicted_cycles: 4242,
+        }
+    }
+
+    #[test]
+    fn events_round_trip_through_packing() {
+        for kind in [
+            JobEventKind::Admitted,
+            JobEventKind::Queued,
+            JobEventKind::Dispatched,
+            JobEventKind::LanePacked,
+            JobEventKind::Completed,
+            JobEventKind::Shed,
+            JobEventKind::Cancelled,
+            JobEventKind::Failed,
+        ] {
+            for shape in [
+                JobKind::DenseMm,
+                JobKind::DenseMv,
+                JobKind::BlockSparseMv,
+                JobKind::TriangularSolve,
+                JobKind::GaussSeidel,
+            ] {
+                for worker in [None, Some(0), Some(65_534)] {
+                    let ev = JobEvent {
+                        at: Duration::from_nanos(u64::MAX / 3),
+                        job: u64::MAX / 5,
+                        kind,
+                        tenant: u32::MAX,
+                        shape,
+                        worker,
+                        predicted_cycles: u64::MAX / 7,
+                    };
+                    assert_eq!(JobEvent::unpack(ev.pack()), ev);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let ring = EventRing::new(4);
+        for i in 0..10 {
+            ring.record(&event(i, JobEventKind::Completed));
+        }
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(ring.dropped(), 6);
+        let mut out = Vec::new();
+        ring.collect(&mut out);
+        assert_eq!(
+            out.iter().map(|e| e.job).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn disabled_ring_is_a_no_op() {
+        let ring = EventRing::new(0);
+        ring.record(&event(1, JobEventKind::Queued));
+        assert_eq!(ring.recorded(), 0);
+        assert_eq!(ring.dropped(), 0);
+        let mut out = Vec::new();
+        ring.collect(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn collect_under_concurrent_writes_never_tears() {
+        use std::sync::Arc;
+        let ring = Arc::new(EventRing::new(64));
+        let writer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..200_000u64 {
+                    // Fields correlated with the job id so a torn read
+                    // is detectable.
+                    ring.record(&JobEvent {
+                        at: Duration::from_nanos(i * 3),
+                        job: i,
+                        kind: JobEventKind::Completed,
+                        tenant: (i % 1000) as u32,
+                        shape: JobKind::DenseMv,
+                        worker: Some((i % 7) as u32),
+                        predicted_cycles: i * 3,
+                    });
+                }
+            })
+        };
+        let mut out = Vec::new();
+        for _ in 0..500 {
+            out.clear();
+            ring.collect(&mut out);
+            for ev in &out {
+                assert_eq!(ev.predicted_cycles, ev.job * 3, "torn event: {ev:?}");
+                assert_eq!(ev.at, Duration::from_nanos(ev.job * 3));
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(ring.recorded(), 200_000);
+    }
+}

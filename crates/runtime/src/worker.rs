@@ -24,7 +24,9 @@ use crate::error::FarmError;
 use crate::job::{ArrayClass, Job, JobOutput, JobReceipt, JobSpec};
 use crate::policy::Policy;
 use crate::queue::{QueueSet, QueuedJob};
+use crate::snapshot::{FarmLive, FarmSnapshot, TenantLive, WorkerLive};
 use crate::telemetry::{FarmTelemetry, TenantServed, TenantTelemetry, WorkerTelemetry};
+use crate::trace::{JobEvent, JobEventKind};
 use sia_dbt::ext::{gauss_seidel_on, solve_lower_on, solve_upper_on};
 use sia_dbt::sparse::multiply_mv_block_sparse_on;
 use sia_dbt::{
@@ -74,6 +76,16 @@ pub struct FarmConfig {
     /// (Gauss–Seidel sweep counts) are never admission-shed, since the
     /// estimate may overshoot a run that would in fact meet its deadline.
     pub shed_at_admission: Option<Duration>,
+    /// Capacity of each lifecycle-event trace ring (one per worker plus
+    /// one for admission-side events).  Rings are bounded and overwrite
+    /// oldest-first, counting what they dropped; `0` disables event
+    /// tracing entirely (recording becomes a no-op).
+    pub trace_capacity: usize,
+    /// Whether live metrics (counters, latency histograms, lane-occupancy
+    /// and engine counters behind [`ArrayFarm::snapshot`]) are recorded.
+    /// Disabling them strips the serve path down to event tracing alone;
+    /// [`ArrayFarm::snapshot`] then reports queue-side counters only.
+    pub metrics: bool,
 }
 
 impl FarmConfig {
@@ -89,6 +101,8 @@ impl FarmConfig {
             lanes: 1,
             tenant_weights: Vec::new(),
             shed_at_admission: None,
+            trace_capacity: 4096,
+            metrics: true,
         }
     }
 
@@ -144,6 +158,20 @@ impl FarmConfig {
     #[must_use]
     pub fn shed_at_admission(mut self, step_time: Duration) -> Self {
         self.shed_at_admission = Some(step_time);
+        self
+    }
+
+    /// Sets the per-ring event-trace capacity (0 disables tracing).
+    #[must_use]
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Enables or disables live metrics recording.
+    #[must_use]
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
         self
     }
 }
@@ -255,6 +283,7 @@ pub struct ArrayFarm {
     next_id: AtomicU64,
     admission_shed: AtomicU64,
     started: Instant,
+    live: Arc<FarmLive>,
 }
 
 impl ArrayFarm {
@@ -279,21 +308,29 @@ impl ArrayFarm {
             ))
             .collect();
         let started = Instant::now();
+        let live = Arc::new(FarmLive::new(
+            &classes,
+            config.trace_capacity,
+            config.metrics,
+            started,
+        ));
         let queues = Arc::new(QueueSet::new(
             config.policy,
             classes.clone(),
             config.coalesce_limit,
             config.tenant_weights.iter().copied().collect(),
             started,
+            Arc::clone(&live),
         ));
         let mut handles = Vec::with_capacity(classes.len());
         for (index, class) in classes.into_iter().enumerate() {
             let queues = Arc::clone(&queues);
+            let live = Arc::clone(&live);
             let w = config.w;
             let lanes = config.lanes.max(1);
             let handle = std::thread::Builder::new()
                 .name(format!("sia-worker-{index}-{}", class.label()))
-                .spawn(move || worker_loop(index, class, w, lanes, &queues))
+                .spawn(move || worker_loop(index, class, w, lanes, &queues, &live))
                 .expect("spawning a farm worker thread");
             handles.push(handle);
         }
@@ -305,6 +342,7 @@ impl ArrayFarm {
             next_id: AtomicU64::new(0),
             admission_shed: AtomicU64::new(0),
             started,
+            live,
         })
     }
 
@@ -326,6 +364,47 @@ impl ArrayFarm {
     /// The farm's cost model (useful for client-side what-if queries).
     pub fn cost_model(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// A live, consistent [`FarmSnapshot`] — taken **while the farm
+    /// serves**, without draining, pausing or joining anything.  The only
+    /// lock taken is the queue mutex the farm already uses for admission
+    /// (to read queue-side counters) plus the tenant map; workers are
+    /// never blocked.  Every counter is monotonic, so consecutive
+    /// snapshots are monotone, and a snapshot taken after every submitted
+    /// ticket has resolved agrees with the final telemetry (workers
+    /// publish a job's counters *before* sending its receipt).
+    pub fn snapshot(&self) -> FarmSnapshot {
+        let (submitted, cancelled, steals, depth, max_depth) = self.queues.counters();
+        let workers = self.live.worker_snapshots();
+        let trace_recorded =
+            self.live.admission.recorded() + workers.iter().map(|w| w.trace_recorded).sum::<u64>();
+        let trace_dropped =
+            self.live.admission.dropped() + workers.iter().map(|w| w.trace_dropped).sum::<u64>();
+        FarmSnapshot {
+            at: self.started.elapsed(),
+            submitted,
+            cancelled,
+            shed_at_admission: self.admission_shed.load(Ordering::Relaxed),
+            steals,
+            depth,
+            max_depth,
+            allocations: sia_alloc::allocation_count(),
+            trace_recorded,
+            trace_dropped,
+            workers,
+            tenants: self.live.tenant_snapshots(),
+        }
+    }
+
+    /// The current contents of every lifecycle-event trace ring
+    /// (admission plus one per worker), ordered by timestamp.  Rings are
+    /// bounded: on long runs this is the most recent window per ring, and
+    /// [`FarmSnapshot::trace_dropped`] counts what aged out.  Feed the
+    /// result to [`crate::export::chrome_trace_json`] for a per-worker
+    /// timeline view.
+    pub fn trace_events(&self) -> Vec<JobEvent> {
+        self.live.collect_events()
     }
 
     /// Admits, prices and enqueues a job (or a [`JobSpec`] carrying
@@ -370,6 +449,9 @@ impl ArrayFarm {
                         .unwrap_or(Duration::MAX);
                 if service > deadline {
                     self.admission_shed.fetch_add(1, Ordering::Relaxed);
+                    if self.config.metrics {
+                        self.live.tenant(spec.tenant).record_shed();
+                    }
                     return Err(FarmError::DeadlineExceeded {
                         late_by: service.saturating_sub(deadline),
                     });
@@ -402,9 +484,13 @@ impl ArrayFarm {
     }
 
     /// Drains every queue, joins the workers and returns the farm's
-    /// lifetime telemetry.
+    /// lifetime telemetry — including one final [`FarmSnapshot`]
+    /// ([`FarmTelemetry::snapshot`]), taken after the last worker joined,
+    /// so the live-observability view and the join-time accounting are
+    /// handed back together.
     pub fn shutdown(mut self) -> FarmTelemetry {
         let workers = self.join_workers();
+        let snapshot = self.snapshot();
         let wall = self.started.elapsed();
         let queue_telemetry = self.queues.drain_telemetry();
         let mut tenants = queue_telemetry.tenants;
@@ -443,6 +529,7 @@ impl ArrayFarm {
             shed_at_admission: self.admission_shed.load(Ordering::Relaxed),
             max_depth: queue_telemetry.max_depth,
             tenants,
+            snapshot,
         }
     }
 
@@ -472,6 +559,49 @@ impl Drop for ArrayFarm {
     }
 }
 
+/// The worker-side observability context: the worker's shared live block,
+/// the farm clock for event timestamps, and a local cache of tenant-rollup
+/// handles so steady-state recording never takes the farm's tenant lock.
+struct Obs<'a> {
+    farm: &'a FarmLive,
+    live: &'a WorkerLive,
+    worker: u32,
+    tenants: Vec<(u32, Arc<TenantLive>)>,
+}
+
+impl Obs<'_> {
+    /// The shared rollup for `tenant`: cache hit on the steady path, one
+    /// farm-level lock on first sight only.
+    fn tenant(&mut self, tenant: u32) -> &TenantLive {
+        let i = match self.tenants.binary_search_by_key(&tenant, |(id, _)| *id) {
+            Ok(i) => i,
+            Err(i) => {
+                let live = self.farm.tenant(tenant);
+                self.tenants.insert(i, (tenant, live));
+                i
+            }
+        };
+        &self.tenants[i].1
+    }
+
+    /// Records one lifecycle event into the worker's ring (no-op when
+    /// tracing is disabled).
+    fn event(&self, kind: JobEventKind, job: &QueuedJob) {
+        if self.live.ring.capacity() == 0 {
+            return;
+        }
+        self.live.ring.record(&JobEvent {
+            at: self.farm.started.elapsed(),
+            job: job.id,
+            kind,
+            tenant: job.tenant,
+            shape: job.kind,
+            worker: Some(self.worker),
+            predicted_cycles: job.predicted.cycles as u64,
+        });
+    }
+}
+
 /// One worker: owns its station, sheds expired work, drains its queue
 /// until shutdown.
 fn worker_loop(
@@ -480,8 +610,15 @@ fn worker_loop(
     w: usize,
     lanes: usize,
     queues: &QueueSet,
+    farm_live: &FarmLive,
 ) -> WorkerTelemetry {
     let mut station = ArrayStation::new(w).expect("farm validated w > 0");
+    let mut obs = Obs {
+        farm: farm_live,
+        live: &farm_live.workers[index],
+        worker: index as u32,
+        tenants: Vec::new(),
+    };
     let mut log = WorkerTelemetry {
         worker: index,
         class,
@@ -502,23 +639,39 @@ fn worker_loop(
         // Deadline shedding at dispatch: a job whose absolute deadline has
         // already passed is resolved to `DeadlineExceeded` without touching
         // an array — running it could only waste steps the live jobs need.
-        let mut live = Vec::with_capacity(batch.len());
+        let mut runnable = Vec::with_capacity(batch.len());
         for qj in batch {
             match qj.deadline {
-                Some(deadline) if deadline < picked_up => shed(qj, picked_up, &mut log),
-                _ => live.push(qj),
+                Some(deadline) if deadline < picked_up => shed(qj, picked_up, &mut log, &mut obs),
+                _ => {
+                    obs.event(JobEventKind::Dispatched, &qj);
+                    runnable.push(qj);
+                }
             }
         }
-        if live.is_empty() {
+        if runnable.is_empty() {
             continue;
         }
         log.batches += 1;
-        if live.len() > 1 {
-            serve_coalesced(index, &mut station, live, lanes, picked_up, &mut log);
+        if runnable.len() > 1 {
+            serve_coalesced(
+                index,
+                &mut station,
+                runnable,
+                lanes,
+                picked_up,
+                &mut log,
+                &mut obs,
+            );
         } else {
-            serve_single(index, &mut station, live, picked_up, &mut log);
+            serve_single(index, &mut station, runnable, picked_up, &mut log, &mut obs);
         }
-        log.busy += picked_up.elapsed();
+        let span = picked_up.elapsed();
+        log.busy += span;
+        if obs.farm.metrics {
+            obs.live.record_batch(span);
+            obs.live.publish_station(station.stats());
+        }
     }
     log.station_cycles = station.stats().total_cycles();
     log
@@ -539,9 +692,14 @@ fn tenant_entry(tenants: &mut Vec<TenantServed>, tenant: u32) -> &mut TenantServ
 }
 
 /// Sheds one expired-deadline job at dispatch time.
-fn shed(job: QueuedJob, picked_up: Instant, log: &mut WorkerTelemetry) {
+fn shed(job: QueuedJob, picked_up: Instant, log: &mut WorkerTelemetry, obs: &mut Obs<'_>) {
     log.shed += 1;
     tenant_entry(&mut log.tenants, job.tenant).shed += 1;
+    if obs.farm.metrics {
+        obs.live.record_shed();
+        obs.tenant(job.tenant).record_shed();
+    }
+    obs.event(JobEventKind::Shed, &job);
     let late_by = job
         .deadline
         .map_or(Duration::ZERO, |d| picked_up.duration_since(d));
@@ -561,6 +719,7 @@ fn deliver(
     measured_cycles: usize,
     output: JobOutput,
     log: &mut WorkerTelemetry,
+    obs: &mut Obs<'_>,
 ) {
     log.jobs += 1;
     log.predicted_cycles += job.predicted.cycles;
@@ -568,6 +727,30 @@ fn deliver(
     let slice = tenant_entry(&mut log.tenants, job.tenant);
     slice.served += 1;
     slice.predicted_cycles += job.predicted.cycles;
+    let queue = picked_up.duration_since(job.submitted);
+    // End-to-end spans submission → delivery; a coalesced member waits for
+    // its whole batch span even though only its attributed share is billed
+    // as `service`.
+    let e2e = queue + batch_service.unwrap_or(service);
+    // Live counters and histograms are settled *before* the receipt is
+    // sent, so a snapshot taken after every ticket resolved agrees with
+    // the final telemetry.
+    if obs.farm.metrics {
+        obs.live.record_completion(
+            queue.as_nanos() as u64,
+            service.as_nanos() as u64,
+            e2e.as_nanos() as u64,
+            job.predicted.cycles as u64,
+            measured_cycles as u64,
+            batch_service.is_some(),
+        );
+        obs.tenant(job.tenant).record_completion(
+            e2e.as_nanos() as u64,
+            job.predicted.cycles as u64,
+            measured_cycles as u64,
+        );
+    }
+    obs.event(JobEventKind::Completed, &job);
     let receipt = JobReceipt {
         id: job.id,
         kind: job.kind,
@@ -576,7 +759,7 @@ fn deliver(
         tenant: job.tenant,
         predicted: job.predicted,
         measured_cycles,
-        queue: picked_up.duration_since(job.submitted),
+        queue,
         service,
         batch_service,
         output,
@@ -595,9 +778,13 @@ fn deliver(
 /// of a non-converging Gauss–Seidel run) is still visible in telemetry:
 /// the `_on` solvers record it on the station as it executes, so it lands
 /// in `station_cycles`.
-fn deliver_error(job: QueuedJob, error: DbtError, log: &mut WorkerTelemetry) {
+fn deliver_error(job: QueuedJob, error: DbtError, log: &mut WorkerTelemetry, obs: &mut Obs<'_>) {
     log.jobs += 1;
     log.failures += 1;
+    if obs.farm.metrics {
+        obs.live.record_failure();
+    }
+    obs.event(JobEventKind::Failed, &job);
     let _ = job.reply.send(Err(FarmError::Execution(error)));
 }
 
@@ -647,7 +834,23 @@ fn serve_coalesced(
     lanes: usize,
     picked_up: Instant,
     log: &mut WorkerTelemetry,
+    obs: &mut Obs<'_>,
 ) {
+    // Lane-occupancy accounting mirrors the `.chunks(lanes)` split of the
+    // lane servers below: `lanes > 1` packs up to `lanes` members per
+    // array pass (each member gets a `LanePacked` event); `lanes == 1`
+    // serves the batch as sequential solo passes.
+    let per_pass = lanes.max(1);
+    for chunk in batch.chunks(per_pass) {
+        if obs.farm.metrics {
+            obs.live.record_lane_pass(chunk.len());
+        }
+        if per_pass > 1 {
+            for qj in chunk {
+                obs.event(JobEventKind::LanePacked, qj);
+            }
+        }
+    }
     let outcome: Result<Vec<(usize, JobOutput)>, DbtError> = match &batch[0].job {
         Job::DenseMm { .. } => {
             let problems: Vec<MmProblem<'_, f64>> = batch
@@ -724,12 +927,13 @@ fn serve_coalesced(
                     cycles,
                     output,
                     log,
+                    obs,
                 );
             }
         }
         Err(e) => {
             for qj in batch {
-                deliver_error(qj, e.clone(), log);
+                deliver_error(qj, e.clone(), log, obs);
             }
         }
     }
@@ -746,8 +950,12 @@ fn serve_single(
     mut batch: Vec<QueuedJob>,
     picked_up: Instant,
     log: &mut WorkerTelemetry,
+    obs: &mut Obs<'_>,
 ) {
     let qj = batch.pop().expect("single-job batch");
+    if obs.farm.metrics {
+        obs.live.record_lane_pass(1);
+    }
     let outcome: Result<(usize, JobOutput), DbtError> = match &qj.job {
         Job::DenseMm { a, b, e } => {
             multiply_mm_on(station, a, b, e.as_ref()).map(|o| (o.cycles, JobOutput::Matrix(o.c)))
@@ -777,9 +985,11 @@ fn serve_single(
     let service = picked_up.elapsed();
     match outcome {
         Ok((cycles, output)) => {
-            deliver(worker, qj, picked_up, service, None, cycles, output, log);
+            deliver(
+                worker, qj, picked_up, service, None, cycles, output, log, obs,
+            );
         }
-        Err(e) => deliver_error(qj, e, log),
+        Err(e) => deliver_error(qj, e, log, obs),
     }
 }
 

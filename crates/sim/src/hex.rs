@@ -27,7 +27,7 @@
 //! The engine is **tape-driven**: every boundary schedule has closed-form
 //! entry cycles (`a_{ik}` at `i + 2k`, `b_{kj}` at `j + 2k`, `c_{ij}` at
 //! `i + j + max(i, j) + w − 1`), so injections are precomputed into dense
-//! per-cycle tapes ([`crate::tape`]) — the per-cycle work is a slice walk,
+//! per-cycle tapes (`crate::tape`) — the per-cycle work is a slice walk,
 //! never a hash lookup.  The three register planes are stored as **ring
 //! buffers** whose addressing absorbs the dataflow: a value keeps its slot
 //! for its whole life (`a`/`b`: slot `(edge + t) mod w` per lane; `c`: one
@@ -42,7 +42,7 @@
 //! reusable [`HexScratch`] workspace that is **cleared, not freed**, between
 //! runs: [`HexArray::run_with`] performs no heap allocation once the scratch
 //! is warm.  The register planes are **struct-of-arrays** (value planes,
-//! occupancy bitmask planes and index planes, see [`crate::plane`]) so the
+//! occupancy bitmask planes and index planes, see `crate::plane`) so the
 //! wavefront scan tests one occupancy bit per cell instead of matching
 //! `Option` discriminants, and the cycle loop **fast-forwards** over idle
 //! stretches: whenever all three planes are empty, `t` jumps straight to the
@@ -295,6 +295,7 @@ pub struct HexScratch<T> {
     lanes: usize,
     fired: usize,
     last_fire_cycle: usize,
+    skipped_cycles: usize,
 }
 
 impl<T: Scalar> Default for HexScratch<T> {
@@ -337,6 +338,7 @@ impl<T: Scalar> HexScratch<T> {
             lanes: 1,
             fired: 0,
             last_fire_cycle: 0,
+            skipped_cycles: 0,
         }
     }
 
@@ -411,6 +413,14 @@ impl<T: Scalar> HexScratch<T> {
     /// Number of multiply–accumulates the last run fired.
     pub fn fired(&self) -> usize {
         self.fired
+    }
+
+    /// Idle cycles the last run fast-forwarded over instead of simulating
+    /// (event-driven cycle skipping): prologue, epilogue and gap cycles in
+    /// which every plane was empty.  A measure of how much simulation work
+    /// the tape-driven engine saved over a naive cycle-by-cycle scan.
+    pub fn skipped_cycles(&self) -> usize {
+        self.skipped_cycles
     }
 
     /// Activity accounting of the last run.
@@ -886,6 +896,7 @@ impl HexArray {
         let mut c_count = 0usize;
         let mut fired = 0usize;
         let mut last_fire_cycle = 0usize;
+        let mut skipped = 0usize;
         let mut t = 0usize;
 
         let HexScratch {
@@ -959,6 +970,7 @@ impl HexArray {
                 match next {
                     Some(next_t) => {
                         if next_t != t {
+                            skipped += next_t - t;
                             t = next_t;
                             (tm, in_slot, wave) = recompute_cursors(t, c_exit);
                         }
@@ -1161,6 +1173,7 @@ impl HexArray {
 
         scratch.fired = fired;
         scratch.last_fire_cycle = last_fire_cycle;
+        scratch.skipped_cycles = skipped;
         Ok(())
     }
 

@@ -212,6 +212,7 @@ pub struct LinearScratch<T> {
     lanes: usize,
     fired: usize,
     last_fire_cycle: usize,
+    skipped_cycles: usize,
 }
 
 impl<T: Scalar> Default for LinearScratch<T> {
@@ -244,6 +245,7 @@ impl<T: Scalar> LinearScratch<T> {
             lanes: 1,
             fired: 0,
             last_fire_cycle: 0,
+            skipped_cycles: 0,
         }
     }
 
@@ -287,6 +289,15 @@ impl<T: Scalar> LinearScratch<T> {
     /// Number of multiply–accumulates the last run fired.
     pub fn fired(&self) -> usize {
         self.fired
+    }
+
+    /// Idle cycles the last run fast-forwarded over instead of simulating
+    /// (event-driven cycle skipping): prologue, epilogue and gap cycles in
+    /// which both register files were empty.  A measure of how much
+    /// simulation work the tape-driven engine saved over a naive
+    /// cycle-by-cycle scan.
+    pub fn skipped_cycles(&self) -> usize {
+        self.skipped_cycles
     }
 
     /// Number of interleaved streams of the last run.
@@ -606,6 +617,7 @@ impl LinearArray {
         let mut y_count = 0usize;
         let mut fired = 0usize;
         let mut last_fire_cycle = 0usize;
+        let mut skipped = 0usize;
         let mut t = 0usize;
 
         // The earliest cycle >= t of the arithmetic schedule base + 2i,
@@ -666,6 +678,7 @@ impl LinearArray {
                 match next {
                     Some(next_t) => {
                         if next_t != t {
+                            skipped += next_t - t;
                             t = next_t;
                             tm = t % w;
                         }
@@ -836,6 +849,7 @@ impl LinearArray {
 
         scratch.fired = fired;
         scratch.last_fire_cycle = last_fire_cycle;
+        scratch.skipped_cycles = skipped;
         Ok(())
     }
 

@@ -31,6 +31,14 @@ pub struct StationStats {
     pub linear_runs: usize,
     /// Total array steps executed by the linear array.
     pub linear_cycles: usize,
+    /// Idle cycles the hexagonal engine fast-forwarded over instead of
+    /// simulating (event-driven cycle skipping), counted once per array
+    /// pass.  Billed cycles are unaffected; this measures simulation work
+    /// saved.
+    pub hex_skipped_cycles: usize,
+    /// Idle cycles the linear engine fast-forwarded over, counted once per
+    /// array pass.
+    pub linear_skipped_cycles: usize,
 }
 
 impl StationStats {
@@ -42,6 +50,11 @@ impl StationStats {
     /// Total completed runs across both arrays.
     pub fn total_runs(&self) -> usize {
         self.hex_runs + self.linear_runs
+    }
+
+    /// Total idle cycles both engines skipped instead of simulating.
+    pub fn total_skipped_cycles(&self) -> usize {
+        self.hex_skipped_cycles + self.linear_skipped_cycles
     }
 }
 
@@ -107,6 +120,7 @@ impl<T: Scalar> ArrayStation<T> {
         self.hex.run_with(job, &mut self.hex_scratch)?;
         self.stats.hex_runs += 1;
         self.stats.hex_cycles += self.hex_scratch.cycles();
+        self.stats.hex_skipped_cycles += self.hex_scratch.skipped_cycles();
         Ok(&self.hex_scratch)
     }
 
@@ -121,6 +135,7 @@ impl<T: Scalar> ArrayStation<T> {
         self.linear.run_with(streams, &mut self.linear_scratch)?;
         self.stats.linear_runs += 1;
         self.stats.linear_cycles += self.linear_scratch.cycles();
+        self.stats.linear_skipped_cycles += self.linear_scratch.skipped_cycles();
         Ok(&self.linear_scratch)
     }
 
@@ -139,6 +154,7 @@ impl<T: Scalar> ArrayStation<T> {
         self.hex.run_lanes_with(jobs, &mut self.hex_scratch)?;
         self.stats.hex_runs += jobs.len();
         self.stats.hex_cycles += jobs.len() * self.hex_scratch.cycles();
+        self.stats.hex_skipped_cycles += self.hex_scratch.skipped_cycles();
         Ok(&self.hex_scratch)
     }
 
@@ -158,6 +174,7 @@ impl<T: Scalar> ArrayStation<T> {
         self.linear.run_lanes_with(jobs, &mut self.linear_scratch)?;
         self.stats.linear_runs += jobs.len();
         self.stats.linear_cycles += jobs.len() * self.linear_scratch.cycles();
+        self.stats.linear_skipped_cycles += self.linear_scratch.skipped_cycles();
         Ok(&self.linear_scratch)
     }
 

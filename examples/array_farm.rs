@@ -4,7 +4,8 @@
 //! for every dense and block-sparse job the cycle count predicted at
 //! admission by the paper's closed forms matches the measured count
 //! **exactly**, and the lifecycle counters (cancelled/shed) land in the
-//! farm telemetry.
+//! farm telemetry.  Along the way it takes a live [`ArrayFarm::snapshot`]
+//! mid-run and exports the lifecycle event trace as Chrome trace JSON.
 //!
 //! ```text
 //! cargo run --release --example array_farm
@@ -95,6 +96,29 @@ fn main() -> Result<(), FarmError> {
         Err(e) => return Err(e),
     }
 
+    // Mid-run observability: snapshot the live farm without pausing it.
+    // Everything here comes from lock-free counters and preallocated
+    // histograms the workers publish as they serve.
+    let mid = farm.snapshot();
+    println!(
+        "\nlive snapshot at {:.2} ms: {} submitted, {} completed, {} queued, \
+         {} trace events ({} dropped)",
+        mid.at.as_secs_f64() * 1e3,
+        mid.submitted,
+        mid.completed(),
+        mid.depth,
+        mid.trace_recorded,
+        mid.trace_dropped
+    );
+    if mid.completed() > 0 {
+        let e2e = mid.e2e_latency();
+        println!(
+            "  e2e latency so far: p50 {:.1} us, p95 {:.1} us (log-bucketed)",
+            e2e.percentile(0.50) as f64 / 1e3,
+            e2e.percentile(0.95) as f64 / 1e3
+        );
+    }
+
     println!(
         "\n{:>4}  {:<12} {:>6} {:>6} {:>11} {:>10} {:>9} {:>9}  exact?",
         "id", "kind", "tenant", "worker", "T predicted", "T measured", "queue us", "serve us"
@@ -123,6 +147,22 @@ fn main() -> Result<(), FarmError> {
                 "estimate"
             },
         );
+    }
+
+    // Export the lifecycle trace the event rings captured — open the file
+    // in `chrome://tracing` or Perfetto to see per-worker job spans.
+    let events = farm.trace_events();
+    let trace_path = std::env::temp_dir().join("array_farm_trace.json");
+    match std::fs::write(
+        &trace_path,
+        size_independent_systolic::runtime::export::chrome_trace_json(&events),
+    ) {
+        Ok(()) => println!(
+            "\nwrote {} lifecycle events to {}",
+            events.len(),
+            trace_path.display()
+        ),
+        Err(err) => println!("\ncould not write {}: {err}", trace_path.display()),
     }
 
     let telemetry = farm.shutdown();

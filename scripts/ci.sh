@@ -16,6 +16,9 @@ cargo test -q
 echo "== cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "== cargo doc --no-deps (rustdoc warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
 echo "== lane-equivalence property tests, default target"
 cargo test -q --release --test properties lane_parallel
 
@@ -26,12 +29,20 @@ echo "== lane-equivalence property tests, -C target-cpu=native"
 RUSTFLAGS="-C target-cpu=native" CARGO_TARGET_DIR=target/native \
     cargo test -q --release --test properties lane_parallel
 
-echo "== paper_experiments (measured-vs-paper agreement, incl. E10 throughput + E11 fairness + E12 lanes)"
+echo "== paper_experiments (measured-vs-paper agreement, incl. E10 throughput + E11 fairness + E12 lanes + E13 observability)"
 # The E12 gate inside also asserts every lane-parallel receipt is exactly
-# predicted (exact_prediction_fraction == 1.0 at every lane width).
+# predicted (exact_prediction_fraction == 1.0 at every lane width); the
+# E13 gate asserts the observability layer (trace rings + live metrics)
+# costs < 2% steady jobs/s against the same farm served dark.
 cargo run -p sia-bench --release --bin paper_experiments > /dev/null
 
-echo "== paper_experiments --json (perf trajectory: BENCH_mm/mv/throughput.json, incl. E11 fairness + E12 lane records)"
+echo "== paper_experiments --json (perf trajectory: BENCH_mm/mv/throughput.json, incl. E11 fairness + E12 lane + E13 observability records)"
 cargo run -p sia-bench --release --bin paper_experiments -- --json .
+
+echo "== BENCH_throughput.json schema check (all four experiment arrays present)"
+for key in e10_policies e11_fairness e12_lanes e13_observability; do
+    grep -q "\"$key\": \[" BENCH_throughput.json \
+        || { echo "BENCH_throughput.json is missing the $key array" >&2; exit 1; }
+done
 
 echo "CI gate passed."

@@ -48,6 +48,8 @@ pub mod prelude {
         MvShape,
     };
     pub use sia_matrix::{gen, BandMatrix, BlockGrid, DenseMatrix, MatrixError, Scalar};
-    pub use sia_runtime::{ArrayFarm, FarmConfig, FarmError, Job, JobReceipt, JobSpec, Policy};
+    pub use sia_runtime::{
+        ArrayFarm, FarmConfig, FarmError, FarmSnapshot, Job, JobReceipt, JobSpec, Policy,
+    };
     pub use sia_sim::{ArrayStation, HexArray, LinearArray, SpiralTopology};
 }

@@ -15,6 +15,8 @@
 
 use sia_alloc::{allocation_count, CountingAllocator};
 use size_independent_systolic::prelude::*;
+use size_independent_systolic::runtime::job::JobKind;
+use size_independent_systolic::runtime::{EventRing, JobEvent, JobEventKind, LogHistogram};
 use size_independent_systolic::sim::{HexJob, MvStream, YInjection};
 
 #[global_allocator]
@@ -129,6 +131,47 @@ fn steady_state_station_serving_allocates_nothing() {
          solo and {jobs} lane-parallel hex+mv passes",
         after - before
     );
+
+    // The observability layer must be equally allocation-free in steady
+    // state: event rings and log-bucketed histograms preallocate
+    // everything up front, so recording — including ring wrap-around and
+    // histogram records across the full value range — touches only the
+    // fixed slots.  (Same `#[test]` on purpose: the process-wide counter
+    // must not race a concurrent test.)
+    let ring = EventRing::new(64);
+    let histogram = LogHistogram::new();
+    let event = JobEvent {
+        at: std::time::Duration::from_micros(7),
+        job: 1,
+        kind: JobEventKind::Dispatched,
+        tenant: 3,
+        shape: JobKind::DenseMv,
+        worker: Some(1),
+        predicted_cycles: 1234,
+    };
+    ring.record(&event);
+    histogram.record(1);
+    let before = allocation_count();
+    for i in 0..1_000u64 {
+        // 64-slot ring, 1000 records: the overwrite-oldest path runs hot.
+        ring.record(&JobEvent {
+            job: i,
+            at: std::time::Duration::from_micros(i),
+            ..event
+        });
+        histogram.record(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "trace ring and latency histogram recording must be allocation-free \
+         in steady state: {} allocations over 1000 records each",
+        after - before
+    );
+    assert_eq!(ring.recorded(), 1_001);
+    assert_eq!(ring.dropped(), 1_001 - 64);
+    assert_eq!(histogram.snapshot().count(), 1_001);
 
     // Sanity: the counter is actually live (building a vector allocates).
     let probe: Vec<u64> = (0..1024).collect();

@@ -1,11 +1,12 @@
 //! Serving-layer integration tests: block-sparse edge cases routed through
-//! the `sparse` → runtime path, farm behaviour on degenerate shapes, and
-//! the job lifecycle paths (cancellation, deadline shedding, weighted-fair
-//! tenancy, coalesced service attribution).
+//! the `sparse` → runtime path, farm behaviour on degenerate shapes, the
+//! job lifecycle paths (cancellation, deadline shedding, weighted-fair
+//! tenancy, coalesced service attribution), and the live observability
+//! layer (snapshots, trace rings, latency histograms).
 
 use size_independent_systolic::dbt::sparse;
 use size_independent_systolic::prelude::*;
-use size_independent_systolic::runtime::JobOutput;
+use size_independent_systolic::runtime::{HistogramSnapshot, JobOutput};
 use std::time::Duration;
 
 /// A large dense MV job that pins the (single) linear worker for a while,
@@ -324,4 +325,210 @@ fn idle_workers_steal_from_a_backlogged_peer_bit_identically() {
         "the drained worker must steal from its blocked peer (got {} steals)",
         telemetry.steals
     );
+}
+
+/// Exact nearest-rank percentile over receipt latencies, the ground truth
+/// the log-bucketed histograms are checked against.
+fn exact_percentile(sorted: &[Duration], q: f64) -> Duration {
+    let rank = ((q * sorted.len() as f64) - 1e-9).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// `histogram_ns` and `exact` may differ by at most the width of the log
+/// bucket the exact value falls in (the quantization bound `metrics`
+/// documents).
+fn within_one_bucket(histogram_ns: u64, exact: Duration) -> bool {
+    let exact_ns = exact.as_nanos() as u64;
+    let width = HistogramSnapshot::bucket_width_at(exact_ns);
+    histogram_ns.abs_diff(exact_ns) <= width
+}
+
+#[test]
+fn stolen_jobs_are_attributed_to_the_worker_that_served_them() {
+    // Same steal scenario as above: a blocker pins one of two linear
+    // workers, the drained peer steals the backlog.  The live per-worker
+    // counters must attribute every delivered job to the worker that
+    // actually served it — so the sum over workers matches the farm
+    // total and both linear workers show deliveries.
+    let w = 4;
+    let farm = ArrayFarm::new(FarmConfig::new(w).linear_workers(2).coalesce_limit(1)).unwrap();
+    let blocker = farm.submit(blocker_job(41)).unwrap();
+    std::thread::sleep(Duration::from_millis(1));
+    let tickets: Vec<_> = (0..12u64)
+        .map(|i| {
+            farm.submit(Job::dense_mv(
+                gen::random_dense_f64(32, 32, 500 + i),
+                gen::random_vector_f64(32, 600 + i),
+            ))
+            .unwrap()
+        })
+        .collect();
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+    blocker.wait().unwrap();
+    let snapshot = farm.snapshot();
+    farm.shutdown();
+    assert!(snapshot.steals > 0, "the scenario must actually steal");
+    assert_eq!(snapshot.completed(), 13);
+    let per_worker: u64 = snapshot.workers.iter().map(|w| w.jobs).sum();
+    assert_eq!(
+        per_worker,
+        snapshot.completed(),
+        "every delivered job is counted on exactly one worker"
+    );
+    let linear_servers = snapshot
+        .workers
+        .iter()
+        .filter(|w| w.class == size_independent_systolic::runtime::job::ArrayClass::Linear)
+        .filter(|w| w.jobs > 0)
+        .count();
+    assert_eq!(
+        linear_servers, 2,
+        "with steals observed, both linear workers delivered jobs"
+    );
+}
+
+#[test]
+fn tenant_snapshot_rows_sum_to_the_farm_totals() {
+    let farm = ArrayFarm::new(FarmConfig::new(4).linear_workers(2).coalesce_limit(1)).unwrap();
+    let mut tickets = Vec::new();
+    for tenant in 1..=3u32 {
+        for i in 0..6u64 {
+            let seed = u64::from(tenant) * 100 + i;
+            let job = Job::dense_mv(
+                gen::random_dense_f64(32, 32, seed),
+                gen::random_vector_f64(32, seed + 50),
+            );
+            tickets.push(farm.submit(JobSpec::new(job).tenant(tenant)).unwrap());
+        }
+    }
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+    let snapshot = farm.snapshot();
+    farm.shutdown();
+    assert_eq!(snapshot.tenants.len(), 3, "one rollup per tenant seen");
+    let served: u64 = snapshot.tenants.iter().map(|t| t.served).sum();
+    assert_eq!(served, snapshot.completed());
+    let predicted: u64 = snapshot.tenants.iter().map(|t| t.predicted_cycles).sum();
+    assert_eq!(predicted, snapshot.predicted_cycles());
+    let measured: u64 = snapshot.tenants.iter().map(|t| t.measured_cycles).sum();
+    assert_eq!(measured, snapshot.measured_cycles());
+    for t in &snapshot.tenants {
+        assert_eq!(t.served, 6, "tenant {}", t.tenant);
+        assert_eq!(t.e2e.count(), t.served, "tenant {}", t.tenant);
+        assert_eq!(t.cycle_error.count(), t.served, "tenant {}", t.tenant);
+    }
+}
+
+#[test]
+fn live_snapshot_after_all_receipts_agrees_with_final_telemetry() {
+    let farm = ArrayFarm::new(FarmConfig::new(3).linear_workers(2)).unwrap();
+    let tickets: Vec<_> = (0..10u64)
+        .map(|i| {
+            farm.submit(Job::dense_mv(
+                gen::random_dense_f64(24, 24, 700 + i),
+                gen::random_vector_f64(24, 800 + i),
+            ))
+            .unwrap()
+        })
+        .collect();
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+    // Completion counters settle before each receipt is sent, so a
+    // snapshot taken after the last receipt must already agree with the
+    // final post-join snapshot on everything job-scoped.
+    let live = farm.snapshot();
+    let telemetry = farm.shutdown();
+    let last = &telemetry.snapshot;
+    assert_eq!(live.completed(), telemetry.completed() as u64);
+    assert_eq!(live.completed(), last.completed());
+    assert_eq!(live.submitted, last.submitted);
+    assert_eq!(live.steals, last.steals);
+    assert_eq!(live.cancelled, last.cancelled);
+    assert_eq!(live.shed(), last.shed());
+    assert_eq!(live.predicted_cycles(), last.predicted_cycles());
+    assert_eq!(live.measured_cycles(), last.measured_cycles());
+    assert_eq!(live.trace_recorded, last.trace_recorded);
+    assert_eq!(live.trace_dropped, last.trace_dropped);
+    assert!((live.exact_prediction_fraction() - 1.0).abs() < f64::EPSILON);
+    assert_eq!(live.e2e_latency().count(), 10);
+}
+
+#[test]
+fn consecutive_snapshots_are_monotone() {
+    let farm = ArrayFarm::new(FarmConfig::new(3)).unwrap();
+    let first_wave: Vec<_> = (0..5u64)
+        .map(|i| {
+            farm.submit(Job::dense_mv(
+                gen::random_dense_f64(24, 24, 900 + i),
+                gen::random_vector_f64(24, 950 + i),
+            ))
+            .unwrap()
+        })
+        .collect();
+    for ticket in first_wave {
+        ticket.wait().unwrap();
+    }
+    let early = farm.snapshot();
+    let second_wave: Vec<_> = (0..5u64)
+        .map(|i| {
+            farm.submit(Job::dense_mv(
+                gen::random_dense_f64(24, 24, 960 + i),
+                gen::random_vector_f64(24, 980 + i),
+            ))
+            .unwrap()
+        })
+        .collect();
+    for ticket in second_wave {
+        ticket.wait().unwrap();
+    }
+    let late = farm.snapshot();
+    farm.shutdown();
+    assert!(late.at >= early.at);
+    assert!(late.submitted >= early.submitted);
+    assert!(late.completed() >= early.completed());
+    assert!(late.measured_cycles() >= early.measured_cycles());
+    assert!(late.trace_recorded >= early.trace_recorded);
+    assert!(late.e2e_latency().count() >= early.e2e_latency().count());
+    assert!(late.max_depth >= early.max_depth);
+    assert_eq!(early.completed(), 5);
+    assert_eq!(late.completed(), 10);
+}
+
+#[test]
+fn snapshot_histogram_percentiles_stay_within_one_bucket_of_exact() {
+    let farm = ArrayFarm::new(FarmConfig::new(4).linear_workers(2).coalesce_limit(1)).unwrap();
+    let tickets: Vec<_> = (0..30u64)
+        .map(|i| {
+            // Mixed sizes so the latency distribution spans buckets.
+            let n = if i % 3 == 0 { 96 } else { 32 };
+            farm.submit(Job::dense_mv(
+                gen::random_dense_f64(n, n, 1_100 + i),
+                gen::random_vector_f64(n, 1_200 + i),
+            ))
+            .unwrap()
+        })
+        .collect();
+    let mut exact: Vec<Duration> = tickets
+        .into_iter()
+        .map(|t| t.wait().unwrap().latency())
+        .collect();
+    exact.sort();
+    let e2e = farm.snapshot().e2e_latency();
+    farm.shutdown();
+    assert_eq!(e2e.count(), exact.len() as u64);
+    for q in [0.50, 0.95, 0.99] {
+        let approx = e2e.percentile(q);
+        let truth = exact_percentile(&exact, q);
+        assert!(
+            within_one_bucket(approx, truth),
+            "p{:.0}: histogram {}ns vs exact {:?} drifted past one bucket",
+            q * 100.0,
+            approx,
+            truth
+        );
+    }
 }
