@@ -1,4 +1,4 @@
-//! Prints every experiment of the reproduction (DESIGN.md, E1–E13 subset
+//! Prints every experiment of the reproduction (DESIGN.md, E1–E14 subset
 //! that produces tables) — the output recorded in `EXPERIMENTS.md`.
 //!
 //! ```text
@@ -16,7 +16,9 @@
 //! lane-scaling records: steady jobs/sec and speedup per lane width on the
 //! coalesced same-shape burst, plus the E13 observability-overhead pair:
 //! steady jobs/sec and trace/latency counters with instrumentation on vs
-//! off) into `DIR` (default: the current directory), so the perf
+//! off, plus the E14 residency arms: steady jobs/sec, hit ratio, staging
+//! cycles and allocations per job with the band cache warm, cold and
+//! disabled) into `DIR` (default: the current directory), so the perf
 //! trajectory can be tracked across PRs:
 //!
 //! ```text
@@ -60,9 +62,10 @@ fn run_json(dir: &Path) -> ExitCode {
     let fairness = perf::fairness_records();
     let lanes = perf::lane_scaling_records();
     let observability = perf::observability_records();
+    let residency = perf::residency_records();
     outputs.push((
         "BENCH_throughput.json",
-        perf::bench_throughput_json(&throughput, &fairness, &lanes, &observability),
+        perf::bench_throughput_json(&throughput, &fairness, &lanes, &observability, &residency),
     ));
     for (file, json) in outputs {
         let path = dir.join(file);
@@ -89,6 +92,7 @@ fn run_tables() -> ExitCode {
         experiments::run_fairness(),
         experiments::run_lane_scaling(),
         experiments::run_observability(),
+        experiments::run_residency(),
     ];
     let mut all_ok = true;
     for report in &reports {

@@ -16,9 +16,10 @@ pub mod perf;
 pub mod table;
 
 pub use experiments::{
-    measure_lane_scaling, measure_observability, measure_throughput, run_baseline_comparison,
-    run_feedback_experiment, run_lane_scaling, run_mm_sweep, run_mv_overlap_sweep, run_mv_sweep,
-    run_observability, run_sparse_experiment, run_spiral_topology, run_throughput,
-    ExperimentReport, LaneScalingStats, ObservabilityStats, ThroughputStats, LANE_WIDTHS,
+    measure_lane_scaling, measure_observability, measure_residency, measure_throughput,
+    run_baseline_comparison, run_feedback_experiment, run_lane_scaling, run_mm_sweep,
+    run_mv_overlap_sweep, run_mv_sweep, run_observability, run_residency, run_sparse_experiment,
+    run_spiral_topology, run_throughput, ExperimentReport, LaneScalingStats, ObservabilityStats,
+    ResidencyStats, ThroughputStats, LANE_WIDTHS,
 };
 pub use table::Table;

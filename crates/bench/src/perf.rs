@@ -12,8 +12,9 @@
 //! enough that serde would be overkill anyway.
 
 use crate::experiments::{
-    measure_fairness, measure_lane_scaling, measure_observability, measure_throughput,
-    FairnessStats, LaneScalingStats, ObservabilityStats, ThroughputStats, LANE_WIDTHS,
+    measure_fairness, measure_lane_scaling, measure_observability, measure_residency,
+    measure_throughput, FairnessStats, LaneScalingStats, ObservabilityStats, ResidencyStats,
+    ThroughputStats, LANE_WIDTHS,
 };
 use crate::harness::BenchGroup;
 use sia_dbt::{multiply_mm_on, multiply_mv_on, MmShape, MvSchedule, MvShape};
@@ -199,6 +200,42 @@ pub fn observability_records() -> Vec<ObservabilityStats> {
         .collect()
 }
 
+/// Measures the E14 operand-residency arms: cold and warm rows from the
+/// cache-aware farm, then the steady row from the cache-disabled farm.
+pub fn residency_records() -> Vec<ResidencyStats> {
+    let mut records = measure_residency(true);
+    records.extend(measure_residency(false));
+    records
+}
+
+/// Renders residency records as a JSON array (stable key order).  Each
+/// record is one line, so `ci.sh` can gate the warm arm's
+/// `allocs_per_job` with a line-oriented grep.
+pub fn residency_to_json(records: &[ResidencyStats]) -> String {
+    let mut out = String::from("[\n");
+    for (idx, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "  {{\"arm\": \"{}\", \"jobs\": {}, ",
+                "\"steady_jobs_per_sec\": {:.1}, \"allocs_per_job\": {:.1}, ",
+                "\"hit_ratio\": {:.6}, \"staging_cycles_per_job\": {:.1}, ",
+                "\"evictions\": {}, \"exact_prediction_fraction\": {:.6}}}"
+            ),
+            r.arm,
+            r.jobs,
+            r.steady_jobs_per_sec,
+            r.allocs_per_job,
+            r.hit_ratio,
+            r.staging_cycles_per_job,
+            r.evictions,
+            r.exact_fraction,
+        ));
+        out.push_str(if idx + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
 /// Renders observability records as a JSON array (stable key order).
 pub fn observability_to_json(records: &[ObservabilityStats]) -> String {
     let mut out = String::from("[\n");
@@ -294,26 +331,31 @@ pub fn fairness_to_json(records: &[FairnessStats]) -> String {
 
 /// Composes the full `BENCH_throughput.json` payload: the E10 per-policy
 /// serving records, the E11 fairness records, the E12 lane-scaling
-/// records and the E13 observability-overhead pair, as one object.
+/// records, the E13 observability-overhead pair and the E14 residency
+/// arms, as one object.
 pub fn bench_throughput_json(
     e10: &[ThroughputStats],
     e11: &[FairnessStats],
     e12: &[LaneScalingStats],
     e13: &[ObservabilityStats],
+    e14: &[ResidencyStats],
 ) -> String {
     let policies = throughput_to_json(e10);
     let fairness = fairness_to_json(e11);
     let lanes = lane_scaling_to_json(e12);
     let observability = observability_to_json(e13);
+    let residency = residency_to_json(e14);
     format!(
         concat!(
             "{{\n\"e10_policies\": {},\n\"e11_fairness\": {},\n",
-            "\"e12_lanes\": {},\n\"e13_observability\": {}}}\n"
+            "\"e12_lanes\": {},\n\"e13_observability\": {},\n",
+            "\"e14_residency\": {}}}\n"
         ),
         policies.trim_end(),
         fairness.trim_end(),
         lanes.trim_end(),
-        observability.trim_end()
+        observability.trim_end(),
+        residency.trim_end()
     )
 }
 
@@ -402,14 +444,45 @@ mod tests {
     }
 
     #[test]
-    fn combined_throughput_payload_nests_all_four_experiments() {
-        let json = bench_throughput_json(&[], &[], &[], &[]);
+    fn combined_throughput_payload_nests_all_five_experiments() {
+        let json = bench_throughput_json(&[], &[], &[], &[], &[]);
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("}\n"));
         assert!(json.contains("\"e10_policies\": ["));
         assert!(json.contains("\"e11_fairness\": ["));
         assert!(json.contains("\"e12_lanes\": ["));
         assert!(json.contains("\"e13_observability\": ["));
+        assert!(json.contains("\"e14_residency\": ["));
+    }
+
+    #[test]
+    fn residency_json_rendering_is_well_formed() {
+        let row = |arm: &'static str, hits: f64, allocs: f64| ResidencyStats {
+            arm,
+            jobs: 64,
+            steady_jobs_per_sec: 4211.0,
+            hit_ratio: hits,
+            staging_cycles_per_job: if hits > 0.9 { 12.0 } else { 981.0 },
+            evictions: 31,
+            allocs_per_job: allocs,
+            exact_fraction: 1.0,
+        };
+        let json = residency_to_json(&[row("warm", 0.93, 0.0), row("disabled", 0.0, 4.5)]);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"arm\": \"warm\""));
+        assert!(json.contains("\"arm\": \"disabled\""));
+        assert!(json.contains("\"hit_ratio\": 0.930000"));
+        assert!(json.contains("\"evictions\": 31"));
+        assert!(json.contains("\"exact_prediction_fraction\": 1.000000"));
+        // The warm arm's record keeps its key on one line, so `ci.sh` can
+        // regress on `allocs_per_job` with a line-oriented grep.
+        let warm_line = json
+            .lines()
+            .find(|l| l.contains("\"arm\": \"warm\""))
+            .expect("warm record");
+        assert!(warm_line.contains("\"allocs_per_job\": 0.0"));
+        assert!(!json.contains("},\n]"));
     }
 
     #[test]

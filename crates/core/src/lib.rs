@@ -26,7 +26,14 @@
 //!   (triangular systems, Gauss–Seidel, LU decomposition, matrix inverse),
 //!   built on the same machinery;
 //! * [`sparse`] — the block-sparse variant sketched in the conclusions,
-//!   which skips zero blocks to shorten the transformed band.
+//!   which skips zero blocks to shorten the transformed band;
+//! * [`resident`] — **operand identity and resident band caching**:
+//!   [`OperandRef`] gives a dense operand a stable 64-bit key (named or
+//!   content-hashed), and [`BandCache`] keeps the DBT transformation of an
+//!   operand resident next to an array station so repeat traffic pays the
+//!   transform once per `(operand, w)` instead of once per job, with the
+//!   staging cost priced apart from compute by closed forms
+//!   ([`mm_staging_cycles`] and friends).
 //!
 //! ## Quick start
 //!
@@ -61,6 +68,7 @@ mod error;
 pub mod ext;
 mod mm;
 mod mv;
+pub mod resident;
 pub mod sparse;
 
 pub use analytic::{MmShape, MvShape};
@@ -68,13 +76,19 @@ pub use dbt_rows::DbtByRows;
 pub use dbt_transposed::DbtTransposedByRows;
 pub use error::DbtError;
 pub use mm::{
-    accumulation_plan, build_a_hat, build_b_hat, multiply_mm, multiply_mm_batch,
-    multiply_mm_batch_on, multiply_mm_lanes_on, multiply_mm_on, validate_mm_args, AccumulationPlan,
-    MmOutcome, MmProblem,
+    accumulation_plan, build_a_hat, build_a_hat_with, build_b_hat, build_b_hat_with, multiply_mm,
+    multiply_mm_batch, multiply_mm_batch_on, multiply_mm_lanes_on, multiply_mm_on,
+    validate_mm_args, AccumulationPlan, MmOutcome, MmProblem,
 };
 pub use mv::{
     multiply_mv, multiply_mv_batch, multiply_mv_batch_on, multiply_mv_lanes_on, multiply_mv_on,
     predicted_mv_cycles, validate_mv_args, MvOutcome, MvProblem, MvSchedule,
+};
+pub use resident::{
+    mm_staging_cycles, multiply_mm_resident_into, multiply_mm_resident_lanes_on,
+    multiply_mm_resident_on, multiply_mv_block_sparse_resident_on, multiply_mv_resident_on,
+    mv_staging_cycles, sparse_staging_cycles, BandCache, BandKey, BandRole, MmResidentProblem,
+    OperandRef, StagingReport,
 };
 
 /// Maximum number of value lanes one lane-parallel array pass carries

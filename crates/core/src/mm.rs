@@ -79,6 +79,24 @@ pub fn build_a_hat<T: Scalar>(
     mbar: usize,
     w: usize,
 ) -> Result<BandMatrix<T>, DbtError> {
+    build_a_hat_with(a, mbar, w, Vec::new())
+}
+
+/// [`build_a_hat`] with caller-provided backing storage for the band — the
+/// slab-recycling entry point of the resident operand cache
+/// ([`crate::resident`]): same-shape bands have identical layouts, so an
+/// evicted band's storage backs its replacement without a free/alloc pair.
+/// Passing `Vec::new()` is equivalent to [`build_a_hat`].
+///
+/// # Errors
+///
+/// The errors of [`build_a_hat`].
+pub fn build_a_hat_with<T: Scalar>(
+    a: &DenseMatrix<T>,
+    mbar: usize,
+    w: usize,
+    storage: Vec<T>,
+) -> Result<BandMatrix<T>, DbtError> {
     if w == 0 {
         return Err(DbtError::ZeroArraySize);
     }
@@ -91,7 +109,7 @@ pub fn build_a_hat<T: Scalar>(
     let per_copy = nbar * pbar;
     let g = mbar * per_copy;
     let n_dim = g * w + w - 1;
-    let mut band = BandMatrix::new(n_dim, n_dim, 0, w - 1)?;
+    let mut band = BandMatrix::with_storage(n_dim, n_dim, 0, w - 1, storage)?;
     // Reference copy (block rows 0..per_copy), element by element.  The
     // off-diagonal L part of block row q lands in columns (q+1)w + y with
     // y < x <= w-1, which stays inside the matrix even for q = g - 1, so no
@@ -138,6 +156,21 @@ pub fn build_b_hat<T: Scalar>(
     nbar: usize,
     w: usize,
 ) -> Result<BandMatrix<T>, DbtError> {
+    build_b_hat_with(b, nbar, w, Vec::new())
+}
+
+/// [`build_b_hat`] with caller-provided backing storage for the band — see
+/// [`build_a_hat_with`].
+///
+/// # Errors
+///
+/// The errors of [`build_b_hat`].
+pub fn build_b_hat_with<T: Scalar>(
+    b: &DenseMatrix<T>,
+    nbar: usize,
+    w: usize,
+    storage: Vec<T>,
+) -> Result<BandMatrix<T>, DbtError> {
     if w == 0 {
         return Err(DbtError::ZeroArraySize);
     }
@@ -150,7 +183,7 @@ pub fn build_b_hat<T: Scalar>(
     let per_copy = nbar * pbar;
     let g = mbar * per_copy;
     let n_dim = g * w + w - 1;
-    let mut band = BandMatrix::new(n_dim, n_dim, w - 1, 0)?;
+    let mut band = BandMatrix::with_storage(n_dim, n_dim, w - 1, 0, storage)?;
     // Block row q needs the (D, E) triangular pair of block column i = q /
     // per_copy, block row u = q mod p̄ of B.  The pair repeats n̄ times per
     // column copy, so it is extracted once per (u, i) and reused instead of
@@ -471,8 +504,14 @@ pub fn multiply_mm_lanes_on<T: Scalar>(
 /// so one schedule serves every lane of a lane-parallel chunk — which is
 /// what makes lane batching pay: the accumulation plan and injection list
 /// used to be rebuilt per problem and dominated the per-lane cost.
-struct MmSchedule<T> {
-    shape: MmShape,
+///
+/// It is also the *injection-schedule template* half of a resident MM
+/// operand (see [`crate::resident`]): the schedule depends only on the
+/// problem shape, so the operand cache keeps one per shape and reuses it
+/// across every job that touches the shape.
+#[derive(Debug)]
+pub(crate) struct MmSchedule<T> {
+    pub(crate) shape: MmShape,
     /// Injection schedule with every chain-opening literal set to zero
     /// (the `E = None` case verbatim), behind an [`Arc`]: problems without
     /// an additive term share it with the engine at O(1) cost, which also
@@ -557,7 +596,7 @@ fn prepare_mm<T: Scalar>(
 
 impl<T: Scalar> MmSchedule<T> {
     /// Builds the schedule of a shape from its accumulation plan.
-    fn new(shape: MmShape) -> Result<Self, DbtError> {
+    pub(crate) fn new(shape: MmShape) -> Result<Self, DbtError> {
         let plan = accumulation_plan(shape)?;
         let chain_members: usize = plan.chains.iter().map(|(_, m)| m.len()).sum();
         // Chain members are disjoint across targets, so the flat injection
@@ -597,7 +636,7 @@ impl<T: Scalar> MmSchedule<T> {
     /// there is no additive term (an `Arc` clone — free, and it marks the
     /// job a schedule-mate of its lane siblings), or a copy with the
     /// chain-opening literals patched to `E`'s entries otherwise.
-    fn injections_for(&self, e: Option<&DenseMatrix<T>>) -> CInjectionSchedule<T> {
+    pub(crate) fn injections_for(&self, e: Option<&DenseMatrix<T>>) -> CInjectionSchedule<T> {
         match e {
             None => Arc::clone(&self.injections),
             Some(e) => {
@@ -617,7 +656,7 @@ impl<T: Scalar> MmSchedule<T> {
     /// Each of the `n·m` final-chain reads is one O(1)
     /// [`HexScratch::lane_value`] lookup in the engine's flat feedback
     /// store — no intermediate output index is materialized.
-    fn complete(
+    pub(crate) fn complete(
         &self,
         scratch: &HexScratch<T>,
         lane: usize,
@@ -625,6 +664,32 @@ impl<T: Scalar> MmSchedule<T> {
     ) -> MmOutcome<T> {
         let shape = self.shape;
         let mut c = DenseMatrix::zeros(shape.n, shape.m);
+        let cycles = self.complete_into(scratch, lane, &mut c);
+        let utilization = scratch.utilization();
+        MmOutcome {
+            c,
+            shape,
+            cycles,
+            efficiency: utilization.efficiency(shape.n * shape.m * shape.p),
+            activity: utilization.activity(),
+            feedback,
+        }
+    }
+
+    /// Fills a caller-provided matrix with one lane's result and returns the
+    /// measured cycle count — the allocation-free half of
+    /// [`MmSchedule::complete`].  The caller must hand in a matrix already
+    /// shaped `n × m` (e.g. via [`DenseMatrix::reset`] on a recycled one);
+    /// no feedback summary is materialized, because building one clones the
+    /// engine's event list.
+    pub(crate) fn complete_into(
+        &self,
+        scratch: &HexScratch<T>,
+        lane: usize,
+        c: &mut DenseMatrix<T>,
+    ) -> usize {
+        let shape = self.shape;
+        debug_assert_eq!(c.shape(), (shape.n, shape.m));
         for gi in 0..shape.n {
             for gj in 0..shape.m {
                 let (bi, bj) = self.final_position[gi * shape.m + gj]
@@ -635,15 +700,7 @@ impl<T: Scalar> MmSchedule<T> {
                 c[(gi, gj)] = value;
             }
         }
-        let utilization = scratch.utilization();
-        MmOutcome {
-            c,
-            shape,
-            cycles: scratch.cycles(),
-            efficiency: utilization.efficiency(shape.n * shape.m * shape.p),
-            activity: utilization.activity(),
-            feedback,
-        }
+        scratch.cycles()
     }
 }
 

@@ -303,45 +303,62 @@ impl<T: Scalar> MvFinish<T> {
     /// Extracts the result vector of one lane from the engine workspace of
     /// the run (`lane` is `0` for a solo run).
     fn complete(self, scratch: &LinearScratch<T>, lane: usize) -> Result<MvOutcome<T>, DbtError> {
-        let mut y = Vec::with_capacity(self.shape.n);
-        // One pass over the output stream per stream, indexed by band row —
-        // no sort (band rows exit in increasing order, but the fill is
-        // order-independent anyway).
-        let mut y_hat: Vec<T> = Vec::new();
-        for (stream, dbt) in self.dbts.iter().enumerate() {
-            y_hat.clear();
-            y_hat.resize(dbt.band().rows(), T::zero());
-            let produced = scratch.collect_y_lane_into(stream, lane, &mut y_hat);
-            // A complete run produces every band row exactly once; anything
-            // else (a safety-net break on a malformed schedule) must stay a
-            // loud error, not silent zeros in the result.
-            if produced != dbt.band().rows() {
-                return Err(DbtError::VectorLength {
-                    what: "y_hat",
-                    expected: dbt.band().rows(),
-                    found: produced,
-                });
-            }
-            y.extend(dbt.extract_y(&y_hat)?);
-        }
-        let utilization = scratch.utilization();
-        Ok(MvOutcome {
-            y,
-            shape: self.shape,
-            schedule: self.schedule,
-            cycles: scratch.cycles(),
-            efficiency: utilization.efficiency(self.shape.n * self.shape.m),
-            activity: utilization.activity(),
-            feedback: scratch.feedback_summaries(),
-        })
+        complete_mv_lane(&self.dbts, self.shape, self.schedule, scratch, lane)
     }
+}
+
+/// Extracts one lane's result vector from the engine workspace, given the
+/// transformation objects of the run's streams.  Shared by the owned
+/// per-run finish state above and by the resident-operand serve path
+/// ([`crate::resident`]), whose transformations live in a cache — both go
+/// through the exact same extraction, so cached serving is structurally
+/// bit-identical to fresh serving.
+pub(crate) fn complete_mv_lane<T: Scalar, D: std::borrow::Borrow<DbtByRows<T>>>(
+    dbts: &[D],
+    shape: MvShape,
+    schedule: MvSchedule,
+    scratch: &LinearScratch<T>,
+    lane: usize,
+) -> Result<MvOutcome<T>, DbtError> {
+    let mut y = Vec::with_capacity(shape.n);
+    // One pass over the output stream per stream, indexed by band row —
+    // no sort (band rows exit in increasing order, but the fill is
+    // order-independent anyway).
+    let mut y_hat: Vec<T> = Vec::new();
+    for (stream, dbt) in dbts.iter().enumerate() {
+        let dbt = dbt.borrow();
+        y_hat.clear();
+        y_hat.resize(dbt.band().rows(), T::zero());
+        let produced = scratch.collect_y_lane_into(stream, lane, &mut y_hat);
+        // A complete run produces every band row exactly once; anything
+        // else (a safety-net break on a malformed schedule) must stay a
+        // loud error, not silent zeros in the result.
+        if produced != dbt.band().rows() {
+            return Err(DbtError::VectorLength {
+                what: "y_hat",
+                expected: dbt.band().rows(),
+                found: produced,
+            });
+        }
+        y.extend(dbt.extract_y(&y_hat)?);
+    }
+    let utilization = scratch.utilization();
+    Ok(MvOutcome {
+        y,
+        shape,
+        schedule,
+        cycles: scratch.cycles(),
+        efficiency: utilization.efficiency(shape.n * shape.m),
+        activity: utilization.activity(),
+        feedback: scratch.feedback_summaries(),
+    })
 }
 
 /// Whether the overlapped schedule can actually split this problem: the
 /// solver's fallback predicate (a single block row cannot be split, so the
 /// simple schedule runs instead), shared with [`predicted_mv_cycles`] so
 /// admission pricing cannot desync from execution.
-fn overlap_splittable(shape: MvShape) -> bool {
+pub(crate) fn overlap_splittable(shape: MvShape) -> bool {
     shape.nbar() >= 2
 }
 

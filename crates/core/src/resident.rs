@@ -1,0 +1,919 @@
+//! Operand identity and **resident DBT band caching**.
+//!
+//! Production traffic against an array farm is repetitive: one model matrix
+//! is served against millions of small queries.  The DBT transformation of
+//! an operand depends only on `(operand, w)` — nothing in `Â`, `B̂`, a
+//! [`DbtByRows`] band or a block-sparse survival plan depends on the *other*
+//! operand's values — so the transform cost can be paid **once per operand**
+//! instead of once per job.  This module gives operands the identity that
+//! makes that safe:
+//!
+//! * [`OperandRef`] — a dense matrix behind an [`Arc`] plus a stable 64-bit
+//!   key (caller-supplied for named model operands, content-hashed
+//!   otherwise).  Cloning one is an `Arc` bump; submitting the same operand
+//!   twice presents the same key twice.
+//! * [`BandKey`] / [`BandRole`] — the cache identity of one transformed
+//!   artifact: operand key, role in the computation (the MM left and right
+//!   bands differ, and each also depends on the *repetition count* taken
+//!   from the other operand's shape), and the array size `w`.
+//! * [`BandCache`] — a bounded LRU of resident-band artifacts
+//!   backed by a slab pool: same-shape bands have identical storage
+//!   layouts, so an evicted band's buffer backs its replacement without a
+//!   free/alloc pair ([`build_a_hat_with`]).  MM injection-schedule
+//!   templates (shape-only) are kept in a small side table.
+//! * `multiply_*_resident_*` — serve entry points that are **bit-identical**
+//!   to their fresh-transform counterparts (they run the same simulator on
+//!   the same bands and extract through the same code paths) and report
+//!   what they staged via [`StagingReport`].
+//!
+//! Staging is priced apart from compute: a staged band costs one cycle per
+//! stored band position (`rows × bandwidth` — the bytes that move) and the
+//! closed forms [`mm_staging_cycles`] / [`mv_staging_cycles`] /
+//! [`sparse_staging_cycles`] predict that cost exactly without building
+//! anything, so an admission controller can price a cold operand placement
+//! the same way the paper prices compute.  The warm path — both bands
+//! resident, no additive term — performs **no heap allocation** from lookup
+//! through result extraction ([`multiply_mm_resident_into`]).
+//!
+//! [`build_a_hat_with`]: crate::build_a_hat_with
+
+use crate::analytic::{MmShape, MvShape};
+use crate::mm::MmSchedule;
+use crate::mv::{complete_mv_lane, overlap_splittable};
+use crate::sparse::{
+    build_sparse_resident, serve_sparse_resident, SparseMvOutcome, SparsePlan, SparseResident,
+};
+use crate::{
+    build_a_hat_with, build_b_hat_with, validate_mm_args, validate_mv_args, DbtByRows, DbtError,
+    MmOutcome, MvOutcome, MvSchedule,
+};
+use sia_matrix::{BandMatrix, DenseMatrix, Scalar};
+use sia_sim::{ArrayStation, HexJob, MvStream, ResidencyLru, ResidencyStats, SimError};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Maximum number of shape-keyed MM injection-schedule templates a
+/// [`BandCache`] keeps (serving traffic uses a handful of shapes).
+const PLAN_CAP: usize = 8;
+
+/// Maximum number of evicted band buffers the slab pool retains.
+const SLAB_CAP: usize = 8;
+
+/// A dense operand with **identity**: the matrix behind an [`Arc`] plus a
+/// stable 64-bit key.
+///
+/// Two constructors, mirroring the two ways serving traffic names data:
+///
+/// * [`OperandRef::named`] — the caller supplies the key (a model id, a
+///   tenant-scoped handle).  Cheap, and the idiom for "one model matrix,
+///   millions of queries".
+/// * [`OperandRef::content_hashed`] (also `From<DenseMatrix>`) — the key is
+///   a deterministic FNV-1a fingerprint of the dimensions and element bits,
+///   so structurally equal matrices converge on the same cache entries with
+///   no caller cooperation.
+///
+/// Cloning is an `Arc` bump; [`OperandRef`] dereferences to its matrix.
+/// Keys only establish *cache identity* — the resident serve paths never
+/// trust a key beyond co-locating artifacts, so a key collision can cost
+/// correctness only if the caller names two different matrices identically.
+#[derive(Debug, Clone)]
+pub struct OperandRef<T: Scalar = f64> {
+    key: u64,
+    data: Arc<DenseMatrix<T>>,
+}
+
+impl<T: Scalar> OperandRef<T> {
+    /// Wraps `data` under a caller-supplied key.
+    pub fn named(key: u64, data: impl Into<Arc<DenseMatrix<T>>>) -> Self {
+        OperandRef {
+            key,
+            data: data.into(),
+        }
+    }
+
+    /// Wraps `data` under a deterministic content fingerprint (FNV-1a over
+    /// the dimensions and every element's [`Scalar::key_bits`]).
+    pub fn content_hashed(data: impl Into<Arc<DenseMatrix<T>>>) -> Self {
+        let data = data.into();
+        let key = content_key(&data);
+        OperandRef { key, data }
+    }
+
+    /// The operand's cache key.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The matrix itself.
+    pub fn matrix(&self) -> &DenseMatrix<T> {
+        &self.data
+    }
+
+    /// The shared handle to the matrix.
+    pub fn shared(&self) -> &Arc<DenseMatrix<T>> {
+        &self.data
+    }
+}
+
+impl<T: Scalar> Deref for OperandRef<T> {
+    type Target = DenseMatrix<T>;
+
+    fn deref(&self) -> &DenseMatrix<T> {
+        &self.data
+    }
+}
+
+impl<T: Scalar> From<DenseMatrix<T>> for OperandRef<T> {
+    fn from(m: DenseMatrix<T>) -> Self {
+        OperandRef::content_hashed(m)
+    }
+}
+
+impl<T: Scalar> From<Arc<DenseMatrix<T>>> for OperandRef<T> {
+    fn from(m: Arc<DenseMatrix<T>>) -> Self {
+        OperandRef::content_hashed(m)
+    }
+}
+
+/// Deterministic FNV-1a fingerprint of a matrix's shape and element bits.
+fn content_key<T: Scalar>(m: &DenseMatrix<T>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    h = (h ^ m.rows() as u64).wrapping_mul(PRIME);
+    h = (h ^ m.cols() as u64).wrapping_mul(PRIME);
+    for i in 0..m.rows() {
+        for j in 0..m.cols() {
+            h = (h ^ m.at(i, j).key_bits()).wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+/// The role a transformed artifact plays — part of its cache identity,
+/// because the same operand transforms differently per role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BandRole {
+    /// MM left operand band `Â` (repetition count `m̄` comes from `B`).
+    MmLeft,
+    /// MM right operand band `B̂` (repetition count `n̄` comes from `A`).
+    MmRight,
+    /// MV band under the simple schedule (one [`DbtByRows`]).
+    MvSimple,
+    /// MV bands under the overlapped schedule (two [`DbtByRows`] halves).
+    MvOverlapped,
+    /// Block-sparse shortened band plus survival plan.
+    Sparse,
+}
+
+/// Cache identity of one resident artifact: which operand, in which role,
+/// repeated how often, for which array size.
+///
+/// `rep` carries the part of the identity that comes from the *other*
+/// operand: `Â` juxtaposes `m̄ = ⌈m/w⌉` copies (a property of `B`), `B̂`
+/// repeats `n̄` times (a property of `A`).  Two jobs pairing one operand
+/// with differently-shaped partners therefore occupy distinct entries, and
+/// a hit is guaranteed layout-exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BandKey {
+    /// The operand's [`OperandRef::key`].
+    pub operand: u64,
+    /// The artifact's role.
+    pub role: BandRole,
+    /// Role-specific repetition count (`m̄` for [`BandRole::MmLeft`], `n̄`
+    /// for [`BandRole::MmRight`], `0` for the rest).
+    pub rep: u32,
+    /// Array size the artifact was transformed for.
+    pub w: u32,
+}
+
+/// One resident artifact (crate-internal: callers go through the
+/// `multiply_*_resident_*` entry points).
+#[derive(Debug, Clone)]
+pub(crate) enum ResidentBand<T: Scalar> {
+    /// An MM operand band (`Â` or `B̂`, per the key's role).
+    Hat(Arc<BandMatrix<T>>),
+    /// The [`DbtByRows`] transformation(s) of an MV operand (one for the
+    /// simple schedule, two halves for the overlapped one).
+    Mv(Arc<Vec<DbtByRows<T>>>),
+    /// The operand-only artifacts of a block-sparse problem.
+    Sparse(Arc<SparseResident<T>>),
+}
+
+/// What one resident serve staged, hit and displaced — the receipt-level
+/// residency accounting.
+///
+/// `staging_cycles` is the *measured* staging cost of this serve (zero on a
+/// full hit); the closed forms below predict the cold cost without building
+/// anything.  The fixed-size key arrays exist so the zero-allocation warm
+/// path can report without touching the heap (a serve stages at most two
+/// bands, hence at most two evictions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StagingReport {
+    /// Operand artifacts found resident.
+    pub hits: u32,
+    /// Operand artifacts that had to be staged.
+    pub misses: u32,
+    /// Artifacts evicted to make room.
+    pub evictions: u32,
+    /// Modeled cycles spent staging (one per stored band position moved).
+    pub staging_cycles: usize,
+    /// Operand keys staged by this serve.
+    pub staged: [Option<u64>; 2],
+    /// Operand keys whose artifacts were evicted by this serve.
+    pub evicted: [Option<u64>; 2],
+}
+
+impl StagingReport {
+    /// `true` when every operand lookup of the serve hit.
+    pub fn operand_hit(&self) -> bool {
+        self.misses == 0 && self.hits > 0
+    }
+
+    fn note_staged(&mut self, key: u64) {
+        for slot in &mut self.staged {
+            if slot.is_none() {
+                *slot = Some(key);
+                return;
+            }
+        }
+    }
+
+    fn note_evicted(&mut self, key: u64) {
+        for slot in &mut self.evicted {
+            if slot.is_none() {
+                *slot = Some(key);
+                return;
+            }
+        }
+    }
+}
+
+/// A bounded per-station cache of resident DBT artifacts with slab-recycled
+/// band storage.
+///
+/// One of these lives next to each [`ArrayStation`] of a serving runtime;
+/// capacity `0` disables residency entirely (every serve stages fresh and
+/// nothing is retained), which is the control arm of the residency
+/// experiment.
+#[derive(Debug)]
+pub struct BandCache<T: Scalar = f64> {
+    w: usize,
+    lru: ResidencyLru<BandKey, ResidentBand<T>>,
+    /// Shape-keyed MM injection-schedule templates (shape-only, so they are
+    /// not operand residency — just memoized schedule construction).
+    plans: Vec<(MmShape, Arc<MmSchedule<T>>)>,
+    /// Storage buffers of evicted MM bands, recycled into replacements.
+    slabs: Vec<Vec<T>>,
+}
+
+impl<T: Scalar> BandCache<T> {
+    /// Creates a cache for stations of size `w` holding at most `capacity`
+    /// resident artifacts.
+    pub fn new(w: usize, capacity: usize) -> Self {
+        BandCache {
+            w,
+            lru: ResidencyLru::new(capacity),
+            plans: Vec::with_capacity(PLAN_CAP),
+            slabs: Vec::with_capacity(SLAB_CAP),
+        }
+    }
+
+    /// Array size the cache transforms for.
+    pub fn array_size(&self) -> usize {
+        self.w
+    }
+
+    /// Number of resident artifacts.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// `true` when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// Configured capacity (`0` = residency disabled).
+    pub fn capacity(&self) -> usize {
+        self.lru.capacity()
+    }
+
+    /// Cumulative hit/miss/eviction/staging counters.
+    pub fn stats(&self) -> ResidencyStats {
+        self.lru.stats()
+    }
+
+    /// Number of recycled storage buffers currently pooled.
+    pub fn pooled_slabs(&self) -> usize {
+        self.slabs.len()
+    }
+
+    fn insert(&mut self, key: BandKey, band: ResidentBand<T>, report: &mut StagingReport) {
+        if let Some((evicted_key, evicted)) = self.lru.insert(key, band) {
+            if evicted_key == key {
+                // Same-key replacement (or capacity 0 bounce) — not an
+                // eviction; recycle the storage silently.
+                self.reclaim(evicted);
+                return;
+            }
+            report.evictions += 1;
+            report.note_evicted(evicted_key.operand);
+            self.reclaim(evicted);
+        }
+    }
+
+    /// Recycles an evicted artifact's storage into the slab pool when this
+    /// cache held the last reference.
+    fn reclaim(&mut self, band: ResidentBand<T>) {
+        if let ResidentBand::Hat(arc) = band {
+            if self.slabs.len() < SLAB_CAP {
+                if let Ok(owned) = Arc::try_unwrap(arc) {
+                    self.slabs.push(owned.into_storage());
+                }
+            }
+        }
+    }
+
+    /// Looks up (or stages) the MM band of `operand` in `role` for `shape`.
+    fn mm_band(
+        &mut self,
+        role: BandRole,
+        operand: &OperandRef<T>,
+        shape: MmShape,
+        report: &mut StagingReport,
+    ) -> Result<Arc<BandMatrix<T>>, DbtError> {
+        let rep = match role {
+            BandRole::MmLeft => shape.mbar(),
+            BandRole::MmRight => shape.nbar(),
+            _ => unreachable!("mm_band is only called with MM roles"),
+        };
+        let key = BandKey {
+            operand: operand.key(),
+            role,
+            rep: rep as u32,
+            w: self.w as u32,
+        };
+        if let Some(ResidentBand::Hat(band)) = self.lru.get(key) {
+            report.hits += 1;
+            return Ok(Arc::clone(band));
+        }
+        report.misses += 1;
+        let storage = self.slabs.pop().unwrap_or_default();
+        let band = match role {
+            BandRole::MmLeft => build_a_hat_with(operand.matrix(), rep, self.w, storage)?,
+            BandRole::MmRight => build_b_hat_with(operand.matrix(), rep, self.w, storage)?,
+            _ => unreachable!("mm_band is only called with MM roles"),
+        };
+        let cycles = band.rows() * band.bandwidth();
+        self.lru.note_staged(cycles);
+        report.staging_cycles += cycles;
+        report.note_staged(operand.key());
+        let arc = Arc::new(band);
+        self.insert(key, ResidentBand::Hat(Arc::clone(&arc)), report);
+        Ok(arc)
+    }
+
+    /// Looks up (or stages) the [`DbtByRows`] transformation(s) of an MV
+    /// operand for the given effective schedule role.
+    fn mv_dbts(
+        &mut self,
+        role: BandRole,
+        operand: &OperandRef<T>,
+        shape: MvShape,
+        report: &mut StagingReport,
+    ) -> Result<Arc<Vec<DbtByRows<T>>>, DbtError> {
+        let key = BandKey {
+            operand: operand.key(),
+            role,
+            rep: 0,
+            w: self.w as u32,
+        };
+        if let Some(ResidentBand::Mv(dbts)) = self.lru.get(key) {
+            report.hits += 1;
+            return Ok(Arc::clone(dbts));
+        }
+        report.misses += 1;
+        let a = operand.matrix();
+        let dbts = if role == BandRole::MvOverlapped {
+            // Split at an original block-row boundary, exactly as the fresh
+            // path does — cached bands are bit-identical by construction.
+            let split_rows = (shape.nbar() / 2) * self.w;
+            let top = a.submatrix(0, 0, split_rows, a.cols());
+            let bottom = a.submatrix(split_rows, 0, a.rows() - split_rows, a.cols());
+            vec![
+                DbtByRows::new(&top, self.w)?,
+                DbtByRows::new(&bottom, self.w)?,
+            ]
+        } else {
+            vec![DbtByRows::new(a, self.w)?]
+        };
+        let cycles: usize = dbts
+            .iter()
+            .map(|d| d.band().rows() * d.band().bandwidth())
+            .sum();
+        self.lru.note_staged(cycles);
+        report.staging_cycles += cycles;
+        report.note_staged(operand.key());
+        let arc = Arc::new(dbts);
+        self.insert(key, ResidentBand::Mv(Arc::clone(&arc)), report);
+        Ok(arc)
+    }
+
+    /// Looks up (or stages) the block-sparse artifacts of an operand.
+    fn sparse(
+        &mut self,
+        operand: &OperandRef<T>,
+        report: &mut StagingReport,
+    ) -> Result<Arc<SparseResident<T>>, DbtError> {
+        let key = BandKey {
+            operand: operand.key(),
+            role: BandRole::Sparse,
+            rep: 0,
+            w: self.w as u32,
+        };
+        if let Some(ResidentBand::Sparse(resident)) = self.lru.get(key) {
+            report.hits += 1;
+            return Ok(Arc::clone(resident));
+        }
+        report.misses += 1;
+        let resident = build_sparse_resident(operand.matrix(), self.w)?;
+        let cycles = resident.band.rows() * resident.band.bandwidth();
+        self.lru.note_staged(cycles);
+        report.staging_cycles += cycles;
+        report.note_staged(operand.key());
+        let arc = Arc::new(resident);
+        self.insert(key, ResidentBand::Sparse(Arc::clone(&arc)), report);
+        Ok(arc)
+    }
+
+    /// The memoized MM injection-schedule template of a shape.
+    fn mm_schedule(&mut self, shape: MmShape) -> Result<Arc<MmSchedule<T>>, DbtError> {
+        if let Some((_, schedule)) = self.plans.iter().find(|(s, _)| *s == shape) {
+            return Ok(Arc::clone(schedule));
+        }
+        let schedule = Arc::new(MmSchedule::new(shape)?);
+        if self.plans.len() >= PLAN_CAP {
+            self.plans.remove(0);
+        }
+        self.plans.push((shape, Arc::clone(&schedule)));
+        Ok(schedule)
+    }
+}
+
+/// Cold staging cost of one MM job's operands: both transformed bands, one
+/// cycle per stored position (`2 · (w·p̄n̄m̄ + w − 1) · w`).  A serve that
+/// finds one band resident pays half of this; a full hit pays zero.
+pub fn mm_staging_cycles(shape: MmShape) -> usize {
+    2 * shape.transformed_dim() * shape.w
+}
+
+/// Cold staging cost of an MV operand's band(s): `n̄·m̄·w²` stored positions
+/// under either schedule (the overlapped halves partition the same rows).
+pub fn mv_staging_cycles(shape: MvShape) -> usize {
+    shape.nbar() * shape.mbar() * shape.w * shape.w
+}
+
+/// Cold staging cost of a block-sparse operand's shortened band:
+/// `appended_blocks · w²` stored positions.
+pub fn sparse_staging_cycles(plan: &SparsePlan) -> usize {
+    plan.appended_blocks() * plan.w * plan.w
+}
+
+fn check_cache_w<T: Scalar>(station: &ArrayStation<T>, cache: &BandCache<T>) {
+    assert_eq!(
+        station.size(),
+        cache.array_size(),
+        "BandCache was built for a different array size than this station"
+    );
+}
+
+/// One matrix–matrix problem of a resident batch, by reference.
+#[derive(Debug, Clone, Copy)]
+pub struct MmResidentProblem<'a, T: Scalar> {
+    /// Left operand.
+    pub a: &'a OperandRef<T>,
+    /// Right operand.
+    pub b: &'a OperandRef<T>,
+    /// Optional additive term `E` of `C = A·B + E`.
+    pub e: Option<&'a DenseMatrix<T>>,
+}
+
+/// Assembles the transformed job of one MM problem from the cache: three
+/// `Arc` bumps on a full hit, band builds on misses.
+fn mm_job_from_cache<T: Scalar>(
+    cache: &mut BandCache<T>,
+    a: &OperandRef<T>,
+    b: &OperandRef<T>,
+    e: Option<&DenseMatrix<T>>,
+    shape: MmShape,
+    report: &mut StagingReport,
+) -> Result<(HexJob<T>, Arc<MmSchedule<T>>), DbtError> {
+    let schedule = cache.mm_schedule(shape)?;
+    let a_band = cache.mm_band(BandRole::MmLeft, a, shape, report)?;
+    let b_band = cache.mm_band(BandRole::MmRight, b, shape, report)?;
+    let job = HexJob {
+        a: a_band,
+        b: b_band,
+        c_injections: schedule.injections_for(e),
+    };
+    Ok((job, schedule))
+}
+
+/// Computes `C = A·B + E` through the station's resident band cache,
+/// returning the full outcome plus what the serve staged.
+///
+/// Bit-identical to [`crate::multiply_mm_on`]: a staged band is built by
+/// the same constructors, a resident band *is* the band a previous serve
+/// built, and simulation/extraction are shared code.
+///
+/// # Errors
+///
+/// The errors of [`crate::multiply_mm`].
+pub fn multiply_mm_resident_on<T: Scalar>(
+    station: &mut ArrayStation<T>,
+    cache: &mut BandCache<T>,
+    a: &OperandRef<T>,
+    b: &OperandRef<T>,
+    e: Option<&DenseMatrix<T>>,
+) -> Result<(MmOutcome<T>, StagingReport), DbtError> {
+    check_cache_w(station, cache);
+    let shape = validate_mm_args(a.matrix(), b.matrix(), e, station.size())?;
+    let mut report = StagingReport::default();
+    let (job, schedule) = mm_job_from_cache(cache, a, b, e, shape, &mut report)?;
+    let scratch = station.run_hex(&job)?;
+    let feedback = scratch.feedback_summary();
+    Ok((schedule.complete(scratch, 0, feedback), report))
+}
+
+/// Computes `C = A·B + E` through the resident cache into a caller-provided
+/// result matrix, returning the measured cycle count and the staging
+/// report.
+///
+/// This is the **zero-allocation** serve path: when both bands are resident
+/// and `e` is `None`, no heap allocation happens between entry and return —
+/// the job is three `Arc` bumps, the simulator runs in the station's warm
+/// workspace, `out` is reshaped in place ([`DenseMatrix::reset`] reuses its
+/// storage), and no feedback summary is materialized.
+///
+/// # Errors
+///
+/// The errors of [`crate::multiply_mm`].
+pub fn multiply_mm_resident_into<T: Scalar>(
+    station: &mut ArrayStation<T>,
+    cache: &mut BandCache<T>,
+    a: &OperandRef<T>,
+    b: &OperandRef<T>,
+    e: Option<&DenseMatrix<T>>,
+    out: &mut DenseMatrix<T>,
+) -> Result<(usize, StagingReport), DbtError> {
+    check_cache_w(station, cache);
+    let shape = validate_mm_args(a.matrix(), b.matrix(), e, station.size())?;
+    let mut report = StagingReport::default();
+    let (job, schedule) = mm_job_from_cache(cache, a, b, e, shape, &mut report)?;
+    let scratch = station.run_hex(&job)?;
+    out.reset(shape.n, shape.m);
+    let cycles = schedule.complete_into(scratch, 0, out);
+    Ok((cycles, report))
+}
+
+/// Computes a batch of **same-shape** `C = A·B + E` products through the
+/// resident cache in lane-parallel array passes — the resident counterpart
+/// of [`crate::multiply_mm_lanes_on`], with one [`StagingReport`] per
+/// problem (lane mates sharing an operand hit what their predecessor lane
+/// staged).
+///
+/// # Errors
+///
+/// The errors of [`crate::multiply_mm_lanes_on`].
+pub fn multiply_mm_resident_lanes_on<T: Scalar>(
+    station: &mut ArrayStation<T>,
+    cache: &mut BandCache<T>,
+    problems: &[MmResidentProblem<'_, T>],
+) -> Result<(Vec<MmOutcome<T>>, Vec<StagingReport>), DbtError> {
+    check_cache_w(station, cache);
+    let w = station.size();
+    let mut outcomes = Vec::with_capacity(problems.len());
+    let mut reports = Vec::with_capacity(problems.len());
+    for chunk in problems.chunks(crate::MAX_LANES) {
+        if chunk.len() == 1 {
+            let p = chunk[0];
+            let (outcome, report) = multiply_mm_resident_on(station, cache, p.a, p.b, p.e)?;
+            outcomes.push(outcome);
+            reports.push(report);
+            continue;
+        }
+        let shape = validate_mm_args(chunk[0].a.matrix(), chunk[0].b.matrix(), chunk[0].e, w)?;
+        for (lane, p) in chunk.iter().enumerate().skip(1) {
+            if validate_mm_args(p.a.matrix(), p.b.matrix(), p.e, w)? != shape {
+                return Err(DbtError::Sim(SimError::LaneMismatch {
+                    lane,
+                    what: "problem shape",
+                }));
+            }
+        }
+        let mut jobs = Vec::with_capacity(chunk.len());
+        let mut schedule = None;
+        for p in chunk {
+            let mut report = StagingReport::default();
+            let (job, sched) = mm_job_from_cache(cache, p.a, p.b, p.e, shape, &mut report)?;
+            jobs.push(job);
+            reports.push(report);
+            schedule = Some(sched);
+        }
+        let schedule = schedule.expect("chunk is non-empty");
+        let scratch = station.run_hex_lanes(&jobs)?;
+        let feedback = scratch.feedback_summary();
+        for lane in 0..chunk.len() {
+            outcomes.push(schedule.complete(scratch, lane, feedback.clone()));
+        }
+    }
+    Ok((outcomes, reports))
+}
+
+/// Computes `y = A·x + b` through the station's resident band cache.
+///
+/// Bit-identical to [`crate::multiply_mv_on`] for both schedules, including
+/// the overlapped schedule's single-block-row fallback (the fallback rule
+/// is part of the cache role, so a fallback serve and an overlapped serve
+/// never share an artifact by accident).
+///
+/// # Errors
+///
+/// The errors of [`crate::multiply_mv`].
+pub fn multiply_mv_resident_on<T: Scalar>(
+    station: &mut ArrayStation<T>,
+    cache: &mut BandCache<T>,
+    a: &OperandRef<T>,
+    x: &[T],
+    b: Option<&[T]>,
+    schedule: MvSchedule,
+) -> Result<(MvOutcome<T>, StagingReport), DbtError> {
+    check_cache_w(station, cache);
+    let w = station.size();
+    let shape = validate_mv_args(a.matrix(), x, b, w)?;
+    let mut report = StagingReport::default();
+    let overlapped = schedule == MvSchedule::Overlapped && overlap_splittable(shape);
+    let role = if overlapped {
+        BandRole::MvOverlapped
+    } else {
+        BandRole::MvSimple
+    };
+    let dbts = cache.mv_dbts(role, a, shape, &mut report)?;
+    let streams: Vec<MvStream<T>> = if overlapped {
+        let split_rows = (shape.nbar() / 2) * w;
+        let zero = vec![T::zero(); a.matrix().rows()];
+        let b_full = b.unwrap_or(&zero);
+        let (b_top, b_bottom) = b_full.split_at(split_rows.min(b_full.len()));
+        vec![
+            MvStream {
+                band: dbts[0].band_shared(),
+                x: dbts[0].transform_x(x)?,
+                y_injections: dbts[0].y_injections(Some(b_top))?,
+            },
+            MvStream {
+                band: dbts[1].band_shared(),
+                x: dbts[1].transform_x(x)?,
+                y_injections: dbts[1].y_injections(Some(b_bottom))?,
+            },
+        ]
+    } else {
+        vec![MvStream {
+            band: dbts[0].band_shared(),
+            x: dbts[0].transform_x(x)?,
+            y_injections: dbts[0].y_injections(b)?,
+        }]
+    };
+    let scratch = station.run_mv(&streams)?;
+    let outcome = complete_mv_lane(&dbts[..], shape, schedule, scratch, 0)?;
+    Ok((outcome, report))
+}
+
+/// Computes block-sparse `y = A·x + b` through the station's resident band
+/// cache.  Bit-identical to [`crate::sparse::multiply_mv_block_sparse_on`]:
+/// the fresh path builds the same artifacts and serves through the same
+/// code.
+///
+/// # Errors
+///
+/// The errors of [`crate::sparse::multiply_mv_block_sparse`].
+pub fn multiply_mv_block_sparse_resident_on<T: Scalar>(
+    station: &mut ArrayStation<T>,
+    cache: &mut BandCache<T>,
+    a: &OperandRef<T>,
+    x: &[T],
+    b: Option<&[T]>,
+) -> Result<(SparseMvOutcome<T>, StagingReport), DbtError> {
+    check_cache_w(station, cache);
+    let shape = validate_mv_args(a.matrix(), x, b, station.size())?;
+    let mut report = StagingReport::default();
+    let resident = cache.sparse(a, &mut report)?;
+    let outcome = serve_sparse_resident(station, &resident, x, b, shape)?;
+    Ok((outcome, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::{multiply_mv_block_sparse_on, plan_block_sparse};
+    use crate::{multiply_mm_on, multiply_mv_on};
+    use sia_matrix::gen;
+
+    #[test]
+    fn named_and_content_hashed_keys_behave() {
+        let m = gen::random_dense_f64(4, 6, 1);
+        let named = OperandRef::named(42, m.clone());
+        assert_eq!(named.key(), 42);
+        assert_eq!(named.matrix(), &m);
+        let h1 = OperandRef::content_hashed(m.clone());
+        let h2: OperandRef = m.clone().into();
+        assert_eq!(h1.key(), h2.key());
+        let other = gen::random_dense_f64(4, 6, 2);
+        assert_ne!(h1.key(), OperandRef::content_hashed(other).key());
+        // Cloning shares the payload.
+        let c = named.clone();
+        assert!(Arc::ptr_eq(c.shared(), named.shared()));
+        assert_eq!(c.rows(), 4); // Deref
+    }
+
+    #[test]
+    fn resident_mm_serving_is_bit_identical_and_hits_warm() {
+        let w = 2;
+        let mut station = ArrayStation::<i64>::new(w).unwrap();
+        let mut cache = BandCache::new(w, 8);
+        let a = OperandRef::named(1, gen::random_dense_i64(4, 6, 4, 11));
+        let b = OperandRef::named(2, gen::random_dense_i64(6, 4, 4, 12));
+        let fresh = multiply_mm_on(&mut station, a.matrix(), b.matrix(), None).unwrap();
+        let (cold, cold_report) = multiply_mm_resident_on(&mut station, &mut cache, &a, &b, None)
+            .expect("cold resident serve");
+        assert_eq!(cold.c, fresh.c);
+        assert_eq!(cold.cycles, fresh.cycles);
+        assert_eq!(cold.feedback, fresh.feedback);
+        assert_eq!(cold_report.misses, 2);
+        assert_eq!(cold_report.hits, 0);
+        assert!(!cold_report.operand_hit());
+        let shape = validate_mm_args(a.matrix(), b.matrix(), None, w).unwrap();
+        assert_eq!(cold_report.staging_cycles, mm_staging_cycles(shape));
+        let (warm, warm_report) = multiply_mm_resident_on(&mut station, &mut cache, &a, &b, None)
+            .expect("warm resident serve");
+        assert_eq!(warm.c, fresh.c);
+        assert_eq!(warm.cycles, fresh.cycles);
+        assert_eq!(warm_report.hits, 2);
+        assert_eq!(warm_report.misses, 0);
+        assert_eq!(warm_report.staging_cycles, 0);
+        assert!(warm_report.operand_hit());
+    }
+
+    #[test]
+    fn resident_into_matches_and_reuses_the_output() {
+        let w = 2;
+        let mut station = ArrayStation::<i64>::new(w).unwrap();
+        let mut cache = BandCache::new(w, 8);
+        let a = OperandRef::named(1, gen::random_dense_i64(4, 4, 4, 21));
+        let b = OperandRef::named(2, gen::random_dense_i64(4, 4, 4, 22));
+        let fresh = multiply_mm_on(&mut station, a.matrix(), b.matrix(), None).unwrap();
+        let mut out = DenseMatrix::zeros(1, 1);
+        let (cycles, _) =
+            multiply_mm_resident_into(&mut station, &mut cache, &a, &b, None, &mut out).unwrap();
+        assert_eq!(out, fresh.c);
+        assert_eq!(cycles, fresh.cycles);
+        // Second serve into the same (now right-sized) output.
+        out.reset(4, 4);
+        let (cycles2, report) =
+            multiply_mm_resident_into(&mut station, &mut cache, &a, &b, None, &mut out).unwrap();
+        assert_eq!(out, fresh.c);
+        assert_eq!(cycles2, fresh.cycles);
+        assert!(report.operand_hit());
+    }
+
+    #[test]
+    fn eviction_recycles_slabs_and_refaults_identically() {
+        let w = 2;
+        let mut station = ArrayStation::<i64>::new(w).unwrap();
+        // Capacity 2: each MM pair fills the cache, so alternating pairs
+        // evict each other.
+        let mut cache = BandCache::new(w, 2);
+        let a1 = OperandRef::named(1, gen::random_dense_i64(4, 4, 4, 31));
+        let b1 = OperandRef::named(2, gen::random_dense_i64(4, 4, 4, 32));
+        let a2 = OperandRef::named(3, gen::random_dense_i64(4, 4, 4, 33));
+        let b2 = OperandRef::named(4, gen::random_dense_i64(4, 4, 4, 34));
+        let first = multiply_mm_resident_on(&mut station, &mut cache, &a1, &b1, None)
+            .unwrap()
+            .0;
+        let (_, evict_report) =
+            multiply_mm_resident_on(&mut station, &mut cache, &a2, &b2, None).unwrap();
+        assert_eq!(evict_report.evictions, 2);
+        assert!(evict_report.evicted.contains(&Some(1)));
+        assert!(evict_report.evicted.contains(&Some(2)));
+        // The evicted bands' storage is pooled and backs the refault.
+        assert!(cache.pooled_slabs() > 0);
+        let (refault, refault_report) =
+            multiply_mm_resident_on(&mut station, &mut cache, &a1, &b1, None).unwrap();
+        assert_eq!(refault_report.misses, 2);
+        assert_eq!(refault.c, first.c);
+        assert_eq!(refault.cycles, first.cycles);
+        assert_eq!(refault.feedback, first.feedback);
+    }
+
+    #[test]
+    fn resident_mv_serving_is_bit_identical_for_both_schedules() {
+        let w = 3;
+        for schedule in [MvSchedule::Simple, MvSchedule::Overlapped] {
+            let mut station = ArrayStation::<i64>::new(w).unwrap();
+            let mut cache = BandCache::new(w, 4);
+            let a = OperandRef::named(7, gen::random_dense_i64(12, 9, 5, 41));
+            let x = gen::random_vector_i64(9, 5, 42);
+            let b = gen::random_vector_i64(12, 5, 43);
+            let fresh = multiply_mv_on(&mut station, a.matrix(), &x, Some(&b), schedule).unwrap();
+            let (cold, cold_report) =
+                multiply_mv_resident_on(&mut station, &mut cache, &a, &x, Some(&b), schedule)
+                    .unwrap();
+            assert_eq!(cold.y, fresh.y, "{schedule:?}");
+            assert_eq!(cold.cycles, fresh.cycles, "{schedule:?}");
+            assert_eq!(cold.feedback, fresh.feedback, "{schedule:?}");
+            let shape = validate_mv_args(a.matrix(), &x, Some(&b), w).unwrap();
+            assert_eq!(cold_report.staging_cycles, mv_staging_cycles(shape));
+            let (warm, warm_report) =
+                multiply_mv_resident_on(&mut station, &mut cache, &a, &x, Some(&b), schedule)
+                    .unwrap();
+            assert_eq!(warm.y, fresh.y, "{schedule:?}");
+            assert_eq!(warm.cycles, fresh.cycles, "{schedule:?}");
+            assert!(warm_report.operand_hit(), "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn resident_sparse_serving_is_bit_identical() {
+        let w = 3;
+        let mut station = ArrayStation::<f64>::new(w).unwrap();
+        let mut cache = BandCache::new(w, 4);
+        let matrix = gen::block_sparse_f64(12, 12, w, 0.4, 51);
+        let a = OperandRef::named(9, matrix.clone());
+        let x = gen::random_vector_f64(12, 52);
+        let b = gen::random_vector_f64(12, 53);
+        let fresh = multiply_mv_block_sparse_on(&mut station, &matrix, &x, Some(&b)).unwrap();
+        let (cold, cold_report) =
+            multiply_mv_block_sparse_resident_on(&mut station, &mut cache, &a, &x, Some(&b))
+                .unwrap();
+        assert_eq!(cold.outcome.y, fresh.outcome.y);
+        assert_eq!(cold.outcome.cycles, fresh.outcome.cycles);
+        assert_eq!(cold.appended_blocks, fresh.appended_blocks);
+        let plan = plan_block_sparse(&matrix, w).unwrap();
+        assert_eq!(cold_report.staging_cycles, sparse_staging_cycles(&plan));
+        let (warm, warm_report) =
+            multiply_mv_block_sparse_resident_on(&mut station, &mut cache, &a, &x, Some(&b))
+                .unwrap();
+        assert_eq!(warm.outcome.y, fresh.outcome.y);
+        assert_eq!(warm.outcome.cycles, fresh.outcome.cycles);
+        assert!(warm_report.operand_hit());
+    }
+
+    #[test]
+    fn disabled_cache_serves_correctly_and_retains_nothing() {
+        let w = 2;
+        let mut station = ArrayStation::<i64>::new(w).unwrap();
+        let mut cache = BandCache::new(w, 0);
+        let a = OperandRef::named(1, gen::random_dense_i64(4, 4, 4, 61));
+        let b = OperandRef::named(2, gen::random_dense_i64(4, 4, 4, 62));
+        let fresh = multiply_mm_on(&mut station, a.matrix(), b.matrix(), None).unwrap();
+        for _ in 0..2 {
+            let (outcome, report) =
+                multiply_mm_resident_on(&mut station, &mut cache, &a, &b, None).unwrap();
+            assert_eq!(outcome.c, fresh.c);
+            assert_eq!(report.misses, 2);
+            assert_eq!(report.evictions, 0);
+            assert!(!report.operand_hit());
+        }
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lanes_resident_serving_matches_solo_and_shares_staging() {
+        let w = 2;
+        let mut station = ArrayStation::<i64>::new(w).unwrap();
+        let mut cache = BandCache::new(w, 8);
+        let a = OperandRef::named(1, gen::random_dense_i64(4, 4, 4, 71));
+        let b = OperandRef::named(2, gen::random_dense_i64(4, 4, 4, 72));
+        let solo = multiply_mm_on(&mut station, a.matrix(), b.matrix(), None).unwrap();
+        let problems = vec![
+            MmResidentProblem {
+                a: &a,
+                b: &b,
+                e: None
+            };
+            3
+        ];
+        let (outcomes, reports) =
+            multiply_mm_resident_lanes_on(&mut station, &mut cache, &problems).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(reports.len(), 3);
+        for outcome in &outcomes {
+            assert_eq!(outcome.c, solo.c);
+            assert_eq!(outcome.cycles, solo.cycles);
+        }
+        // Lane 0 stages; lanes 1-2 hit what it staged.
+        assert_eq!(reports[0].misses, 2);
+        assert!(reports[1].operand_hit());
+        assert!(reports[2].operand_hit());
+    }
+}

@@ -14,6 +14,7 @@
 use crate::{DbtError, MvOutcome, MvSchedule};
 use sia_matrix::{triangular, vector, BandMatrix, BlockGrid, DenseMatrix, Scalar};
 use sia_sim::{ArrayStation, MvStream, YInjection};
+use std::sync::Arc;
 
 /// Result of a block-sparse matrix–vector multiplication, with the block
 /// statistics needed by the sparsity experiment.
@@ -175,31 +176,59 @@ pub fn multiply_mv_block_sparse_on<T: Scalar>(
 ) -> Result<SparseMvOutcome<T>, DbtError> {
     let w = station.size();
     let shape = crate::validate_mv_args(a, x, b, w)?;
+    let resident = build_sparse_resident(a, w)?;
+    serve_sparse_resident(station, &resident, x, b, shape)
+}
+
+/// The operand-only half of a block-sparse problem: the shortened band, the
+/// survival plan and the extraction/injection recipes.  Nothing here depends
+/// on `x` or `b`, so one of these can be built once per `(A, w)` and reused
+/// — this is the artifact [`crate::resident::BandCache`] keeps resident.
+#[derive(Debug, Clone)]
+pub(crate) struct SparseResident<T> {
+    /// The shortened band, shared with the stream at O(1) cost per serve.
+    pub(crate) band: Arc<BandMatrix<T>>,
+    /// The survival plan (exposes the exact cycle prediction).
+    pub(crate) plan: SparsePlan,
+    /// For each appended band block `t`, the original column block whose
+    /// `x` chunk it consumes.
+    pub(crate) x_order: Vec<usize>,
+    /// For each appended band block `t`: `Some(r)` when it opens block row
+    /// `r` (fresh `b` injection), `None` when it chains feedback from block
+    /// `t − 1`.
+    pub(crate) b_anchor: Vec<Option<usize>>,
+    /// `result_rows[i]` = band row carrying `y[i]`.
+    pub(crate) result_rows: Vec<usize>,
+    /// Block-row count `n̄` of the original matrix.
+    pub(crate) nbar: usize,
+    /// Block-column count `m̄` of the original matrix.
+    pub(crate) mbar: usize,
+}
+
+/// Builds the operand-only artifacts of a block-sparse problem: block
+/// row `t` of the shortened band corresponds to the `t`-th surviving
+/// `(r, s)` pair in by-rows order.  Within one original block row the L
+/// part of each kept block is paired with the *next kept* block of the same
+/// row (cyclically), so the row sum is still complete.
+pub(crate) fn build_sparse_resident<T: Scalar>(
+    a: &DenseMatrix<T>,
+    w: usize,
+) -> Result<SparseResident<T>, DbtError> {
     let grid = BlockGrid::new(a.rows(), a.cols(), w)?;
     let (nbar, mbar) = (grid.block_rows(), grid.block_cols());
     let plan = plan_with_grid(a, &grid, w);
-    let kept = &plan.kept;
     let total_kept = plan.appended_blocks();
 
-    // Build the shortened band, x̂ and the injection plan directly: block
-    // row t of the band corresponds to the t-th surviving (r, s) pair in
-    // by-rows order.  Within one original block row the L part of each kept
-    // block is paired with the *next kept* block of the same row (cyclically),
-    // so the row sum is still complete.
     let rows = total_kept * w;
     let cols = rows + w - 1;
     let mut band = BandMatrix::new(rows, cols, 0, w - 1)?;
-    let x_blocks = vector::split_blocks(x, w, mbar);
-    let zero_b = vec![T::zero(); a.rows()];
-    let b_full = b.unwrap_or(&zero_b);
-    let b_blocks = vector::split_blocks(b_full, w, nbar);
-    let mut x_hat: Vec<T> = Vec::with_capacity(cols);
-    let mut injections: Vec<YInjection<T>> = Vec::with_capacity(rows);
+    let mut x_order: Vec<usize> = Vec::with_capacity(total_kept);
+    let mut b_anchor: Vec<Option<usize>> = Vec::with_capacity(total_kept);
     let mut result_rows: Vec<usize> = vec![0; a.rows()];
 
     let mut t = 0usize;
     for r in 0..nbar {
-        let cols_kept = &kept[r];
+        let cols_kept = &plan.kept[r];
         for (pos, &s) in cols_kept.iter().enumerate() {
             let next_s = cols_kept[(pos + 1) % cols_kept.len()];
             let block = grid.block(a, r, s)?;
@@ -218,18 +247,8 @@ pub fn multiply_mv_block_sparse_on<T: Scalar>(
                     }
                 }
             }
-            x_hat.extend_from_slice(&x_blocks[s]);
-            if pos == 0 {
-                for &value in b_blocks[r].iter().take(w) {
-                    injections.push(YInjection::Value(value));
-                }
-            } else {
-                for local in 0..w {
-                    injections.push(YInjection::Feedback {
-                        producer_row: (t - 1) * w + local,
-                    });
-                }
-            }
+            x_order.push(s);
+            b_anchor.push(if pos == 0 { Some(r) } else { None });
             if pos == cols_kept.len() - 1 {
                 for local in 0..w {
                     let original = r * w + local;
@@ -241,13 +260,61 @@ pub fn multiply_mv_block_sparse_on<T: Scalar>(
             t += 1;
         }
     }
+
+    Ok(SparseResident {
+        band: Arc::new(band),
+        plan,
+        x_order,
+        b_anchor,
+        result_rows,
+        nbar,
+        mbar,
+    })
+}
+
+/// Serves one `(x, b)` pair against prebuilt block-sparse artifacts.  The
+/// fresh path above routes through here too, so cached serving is
+/// structurally bit-identical to fresh serving.
+pub(crate) fn serve_sparse_resident<T: Scalar>(
+    station: &mut ArrayStation<T>,
+    resident: &SparseResident<T>,
+    x: &[T],
+    b: Option<&[T]>,
+    shape: crate::analytic::MvShape,
+) -> Result<SparseMvOutcome<T>, DbtError> {
+    let w = resident.plan.w;
+    let rows = resident.band.rows();
+    let cols = resident.band.cols();
+    let x_blocks = vector::split_blocks(x, w, resident.mbar);
+    let zero_b = vec![T::zero(); shape.n];
+    let b_full = b.unwrap_or(&zero_b);
+    let b_blocks = vector::split_blocks(b_full, w, resident.nbar);
+    let mut x_hat: Vec<T> = Vec::with_capacity(cols);
+    let mut injections: Vec<YInjection<T>> = Vec::with_capacity(rows);
+    for (t, &s) in resident.x_order.iter().enumerate() {
+        x_hat.extend_from_slice(&x_blocks[s]);
+        match resident.b_anchor[t] {
+            Some(r) => {
+                for &value in b_blocks[r].iter().take(w) {
+                    injections.push(YInjection::Value(value));
+                }
+            }
+            None => {
+                for local in 0..w {
+                    injections.push(YInjection::Feedback {
+                        producer_row: (t - 1) * w + local,
+                    });
+                }
+            }
+        }
+    }
     // Trailing w-1 elements: every row group starts at column 0, so the last
     // band block's L part wraps onto the first w-1 entries of x_0 — the same
     // rule as the dense transformation.
     x_hat.extend_from_slice(&x_blocks[0][..w - 1]);
 
     let stream = MvStream {
-        band: band.into(),
+        band: Arc::clone(&resident.band),
         x: x_hat,
         y_injections: injections,
     };
@@ -263,7 +330,7 @@ pub fn multiply_mv_block_sparse_on<T: Scalar>(
             found: produced,
         });
     }
-    let y: Vec<T> = result_rows.iter().map(|&row| y_hat[row]).collect();
+    let y: Vec<T> = resident.result_rows.iter().map(|&row| y_hat[row]).collect();
     let utilization = scratch.utilization();
 
     Ok(SparseMvOutcome {
@@ -276,9 +343,9 @@ pub fn multiply_mv_block_sparse_on<T: Scalar>(
             activity: utilization.activity(),
             feedback: scratch.feedback_summaries(),
         },
-        nonzero_blocks: plan.nonzero_blocks,
-        appended_blocks: total_kept,
-        total_blocks: nbar * mbar,
+        nonzero_blocks: resident.plan.nonzero_blocks,
+        appended_blocks: resident.plan.appended_blocks(),
+        total_blocks: resident.nbar * resident.mbar,
     })
 }
 

@@ -104,6 +104,50 @@ impl<T: Scalar> BandMatrix<T> {
         })
     }
 
+    /// Creates an all-zero band matrix reusing `storage` as its backing
+    /// buffer: the vector is cleared and zero-resized in place, so no
+    /// reallocation happens when its capacity already covers
+    /// `rows * bandwidth`.  This is the slab-recycling constructor of the
+    /// DBT operand caches — same-shape bands have identical layouts, so an
+    /// evicted band's storage can back its replacement without a free/alloc
+    /// pair on the staging path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::EmptyDimension`] if `rows` or `cols` is zero.
+    pub fn with_storage(
+        rows: usize,
+        cols: usize,
+        lower: usize,
+        upper: usize,
+        mut storage: Vec<T>,
+    ) -> Result<Self, MatrixError> {
+        if rows == 0 {
+            return Err(MatrixError::EmptyDimension { what: "rows" });
+        }
+        if cols == 0 {
+            return Err(MatrixError::EmptyDimension { what: "cols" });
+        }
+        let shape = BandShape {
+            rows,
+            cols,
+            lower,
+            upper,
+        };
+        storage.clear();
+        storage.resize(rows * shape.bandwidth(), T::zero());
+        Ok(BandMatrix {
+            shape,
+            data: storage,
+        })
+    }
+
+    /// Consumes the band matrix and returns its backing storage, for reuse
+    /// through [`BandMatrix::with_storage`].
+    pub fn into_storage(self) -> Vec<T> {
+        self.data
+    }
+
     /// Builds a band matrix from a dense one, checking that every non-zero
     /// entry of `dense` lies inside the requested band.
     ///

@@ -42,6 +42,17 @@ impl<T: Scalar> DenseMatrix<T> {
         }
     }
 
+    /// Reshapes this matrix in place to `rows × cols`, zero-filled, reusing
+    /// the existing storage.  No reallocation happens when the current
+    /// capacity covers `rows * cols`, which is what lets result matrices be
+    /// recycled through a pool on allocation-free serving paths.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, T::zero());
+    }
+
     /// Creates the `n × n` identity matrix.
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);

@@ -61,6 +61,13 @@ pub trait Scalar:
     /// tests and experiment reports.
     fn magnitude(self) -> f64;
 
+    /// A deterministic 64-bit fingerprint of the value, used by operand
+    /// content hashing (`sia-dbt`'s `OperandRef`).  Equal values must map to
+    /// equal bits; the mapping need not be injective for very wide types
+    /// (`i128` folds to its low 64 bits), since the consumers only use it as
+    /// hash input.
+    fn key_bits(self) -> u64;
+
     /// Approximate equality with an absolute tolerance.
     ///
     /// Exact types (integers) ignore the tolerance and compare with `==`.
@@ -76,6 +83,7 @@ macro_rules! impl_scalar_float {
             fn one() -> Self { 1.0 }
             fn from_i64(value: i64) -> Self { value as $t }
             fn magnitude(self) -> f64 { f64::from(self).abs() }
+            fn key_bits(self) -> u64 { f64::from(self).to_bits() }
         }
     )*};
 }
@@ -87,6 +95,7 @@ macro_rules! impl_scalar_int {
             fn one() -> Self { 1 }
             fn from_i64(value: i64) -> Self { value as $t }
             fn magnitude(self) -> f64 { (self as f64).abs() }
+            fn key_bits(self) -> u64 { self as u64 }
             fn approx_eq(self, other: Self, _tol: f64) -> bool { self == other }
         }
     )*};
@@ -124,6 +133,15 @@ mod tests {
     fn approx_eq_is_exact_for_integers() {
         assert!(5_i64.approx_eq(5, 100.0));
         assert!(!5_i64.approx_eq(6, 100.0));
+    }
+
+    #[test]
+    fn key_bits_are_deterministic_and_value_keyed() {
+        assert_eq!(1.5_f64.key_bits(), 1.5_f64.key_bits());
+        assert_ne!(1.5_f64.key_bits(), 2.5_f64.key_bits());
+        assert_eq!(7_i64.key_bits(), 7_u64);
+        assert_eq!((-1_i32).key_bits(), (-1_i64) as u64);
+        assert_eq!(2.0_f32.key_bits(), 2.0_f64.to_bits());
     }
 
     #[test]

@@ -14,7 +14,10 @@
 use crate::job::Job;
 use sia_dbt::ext::{estimated_sweeps, predicted_sweep_cycles, predicted_triangular_cycles};
 use sia_dbt::sparse::plan_block_sparse;
-use sia_dbt::{predicted_mv_cycles, DbtError, MmShape, MvShape};
+use sia_dbt::{
+    mm_staging_cycles, mv_staging_cycles, predicted_mv_cycles, sparse_staging_cycles, DbtError,
+    MmShape, MvShape,
+};
 
 /// A predicted service cost, in array steps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,7 +99,7 @@ impl CostModel {
                 Ok(CostEstimate { cycles, exact })
             }
             Job::BlockSparseMv { a, .. } => {
-                let plan = plan_block_sparse(a, w)?;
+                let plan = plan_block_sparse(a.matrix(), w)?;
                 Ok(CostEstimate {
                     cycles: plan.predicted_cycles(),
                     exact: true,
@@ -124,6 +127,40 @@ impl CostModel {
                     .saturating_mul(estimated_sweeps(a, b, *tol, *max_sweeps).max(1)),
                 exact: false,
             }),
+        }
+    }
+
+    /// Predicts the **cold** staging cost of `job` in array cycles: what a
+    /// worker whose band cache holds none of the job's operands pays to
+    /// transform them before compute starts.  Like the compute predictor,
+    /// these are closed forms of the shape alone; a warm serve pays `0`
+    /// instead (never more), and receipts carry the actually-paid
+    /// [`crate::JobReceipt::staging_cycles`].  Staging is priced apart
+    /// from compute, so it never perturbs the exactness of
+    /// [`CostModel::predict`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors from the block-sparsity scan.
+    pub fn staging(&self, job: &Job) -> Result<usize, DbtError> {
+        let w = self.w;
+        match job {
+            Job::DenseMm { a, b, .. } => Ok(mm_staging_cycles(MmShape {
+                w,
+                n: a.rows(),
+                p: a.cols(),
+                m: b.cols(),
+            })),
+            Job::DenseMv { a, .. } => Ok(mv_staging_cycles(MvShape {
+                w,
+                n: a.rows(),
+                m: a.cols(),
+            })),
+            Job::BlockSparseMv { a, .. } => {
+                Ok(sparse_staging_cycles(&plan_block_sparse(a.matrix(), w)?))
+            }
+            // Extension jobs never route through the band cache.
+            Job::TriangularSolve { .. } | Job::GaussSeidel { .. } => Ok(0),
         }
     }
 }
@@ -171,7 +208,7 @@ mod tests {
         let a = gen::random_dense_f64(12, 9, 4);
         let x = gen::random_vector_f64(9, 5);
         let job = Job::DenseMv {
-            a: a.clone(),
+            a: a.clone().into(),
             x: x.clone(),
             b: None,
             schedule: MvSchedule::Overlapped,
@@ -184,7 +221,7 @@ mod tests {
         // Single block row: falls back to the simple schedule.
         let small = gen::random_dense_f64(3, 9, 6);
         let job = Job::DenseMv {
-            a: small.clone(),
+            a: small.clone().into(),
             x: x.clone(),
             b: None,
             schedule: MvSchedule::Overlapped,
@@ -198,7 +235,7 @@ mod tests {
         // the even-split ideal.
         let odd = gen::random_dense_f64(9, 9, 7);
         let job = Job::DenseMv {
-            a: odd,
+            a: odd.into(),
             x,
             b: None,
             schedule: MvSchedule::Overlapped,

@@ -37,6 +37,8 @@ pub fn chrome_trace_json(events: &[JobEvent]) -> String {
         queued: Option<Duration>,
         dispatched: Option<(Duration, u32)>,
         lane_packed: bool,
+        operand_staged: bool,
+        operand_hit: bool,
         terminal: Option<(Duration, JobEventKind, Option<u32>)>,
         tenant: u32,
         shape: &'static str,
@@ -62,6 +64,11 @@ pub fn chrome_trace_json(events: &[JobEvent]) -> String {
                 trail.dispatched = Some((ev.at, ev.worker.unwrap_or(0)));
             }
             JobEventKind::LanePacked => trail.lane_packed = true,
+            // Residency markers are mid-serve annotations, never a span
+            // end — folding them into `terminal` would truncate the job's
+            // span at its staging step.
+            JobEventKind::OperandStaged => trail.operand_staged = true,
+            JobEventKind::OperandHit => trail.operand_hit = true,
             kind => trail.terminal = Some((ev.at, kind, ev.worker)),
         }
     }
@@ -109,13 +116,16 @@ pub fn chrome_trace_json(events: &[JobEvent]) -> String {
                      \"tid\":{tid},\"ts\":{ts:.3},\"dur\":{dur:.3},\
                      \"args\":{{\"tenant\":{tenant},\"shape\":\"{shape}\",\
                      \"predicted_cycles\":{predicted},\"queue_us\":{queue_us:.3},\
-                     \"lane_packed\":{lane},\"outcome\":\"{outcome}\"}}}}",
+                     \"lane_packed\":{lane},\"operand_staged\":{staged},\
+                     \"operand_hit\":{hit},\"outcome\":\"{outcome}\"}}}}",
                     shape = trail.shape,
                     ts = us(start),
                     dur = us(end.saturating_sub(start)).max(0.001),
                     tenant = trail.tenant,
                     predicted = trail.predicted,
                     lane = trail.lane_packed,
+                    staged = trail.operand_staged,
+                    hit = trail.operand_hit,
                     outcome = kind.label(),
                 ),
                 &mut out,
@@ -204,6 +214,10 @@ pub fn prometheus_text(s: &FarmSnapshot) -> String {
         ("sia_farm_predicted_cycles_total", s.predicted_cycles()),
         ("sia_farm_measured_cycles_total", s.measured_cycles()),
         ("sia_farm_skipped_cycles_total", s.skipped_cycles()),
+        ("sia_farm_operand_hits_total", s.operand_hits()),
+        ("sia_farm_operand_misses_total", s.operand_misses()),
+        ("sia_farm_operand_evictions_total", s.operand_evictions()),
+        ("sia_farm_staging_cycles_total", s.staging_cycles()),
         ("sia_farm_allocations_total", s.allocations),
         ("sia_farm_trace_events_total", s.trace_recorded),
         ("sia_farm_trace_dropped_total", s.trace_dropped),
@@ -221,8 +235,10 @@ pub fn prometheus_text(s: &FarmSnapshot) -> String {
         "",
         s.exact_prediction_fraction(),
     );
+    p.family("sia_farm_operand_hit_ratio", "gauge");
+    p.sample("sia_farm_operand_hit_ratio", "", s.operand_hit_ratio());
 
-    let worker_counters: [(&str, Pick); 8] = [
+    let worker_counters: [(&str, Pick); 12] = [
         ("sia_worker_jobs_total", |w| w.jobs),
         ("sia_worker_coalesced_jobs_total", |w| w.coalesced_jobs),
         ("sia_worker_batches_total", |w| w.batches),
@@ -233,6 +249,12 @@ pub fn prometheus_text(s: &FarmSnapshot) -> String {
         ("sia_worker_exact_predictions_total", |w| {
             w.exact_predictions
         }),
+        ("sia_worker_operand_hits_total", |w| w.operand_hits),
+        ("sia_worker_operand_misses_total", |w| w.operand_misses),
+        ("sia_worker_operand_evictions_total", |w| {
+            w.operand_evictions
+        }),
+        ("sia_worker_staging_cycles_total", |w| w.staging_cycles),
     ];
     for (name, pick) in worker_counters {
         p.family(name, "counter");
@@ -447,6 +469,10 @@ mod tests {
                 linear_runs: 4,
                 linear_cycles: 400,
                 linear_skipped_cycles: 37,
+                operand_hits: 3,
+                operand_misses: 1,
+                operand_evictions: 0,
+                staging_cycles: 40,
                 lane_occupancy: vec![2, 1, 0, 0],
                 queue: h.snapshot(),
                 service: h.snapshot(),
@@ -475,6 +501,10 @@ mod tests {
         assert!(text.contains("sia_station_skipped_cycles_total{worker=\"0\",array=\"linear\"} 37"));
         assert!(text.contains("sia_worker_lane_passes_total{worker=\"0\",lanes=\"2\"} 1"));
         assert!(text.contains("sia_tenant_served_total{tenant=\"7\"} 4"));
+        assert!(text.contains("sia_worker_operand_hits_total{worker=\"0\",class=\"linear\"} 3"));
+        assert!(text.contains("sia_worker_staging_cycles_total{worker=\"0\",class=\"linear\"} 40"));
+        assert!(text.contains("sia_farm_operand_hit_ratio 0.75"));
+        assert!(text.contains("sia_farm_staging_cycles_total 40"));
         // Histogram invariants: every bucket line parses as
         // name{labels} value, cumulative counts are monotone per
         // labeled family, and +Inf matches _count.

@@ -9,7 +9,7 @@
 //! results to the corresponding direct solver call.
 
 use crate::cost::CostEstimate;
-use sia_dbt::{DbtError, MvSchedule};
+use sia_dbt::{DbtError, MvSchedule, OperandRef};
 use sia_matrix::DenseMatrix;
 use std::time::Duration;
 
@@ -78,23 +78,29 @@ pub(crate) enum CoalesceKey {
 
 /// One unit of work a client submits to the farm.
 ///
-/// All payloads are owned (the job outlives the submitting call and moves to
-/// a worker thread).
+/// All payloads outlive the submitting call and move to a worker thread.
+/// Matrix *operands* are [`OperandRef`]s — a shared handle plus a stable
+/// 64-bit identity — so submitting the same model matrix many times costs an
+/// `Arc` bump per job and lets the farm route to (and serve from) workers
+/// whose stations already hold the operand's DBT transformation resident.
+/// A plain [`DenseMatrix`] still converts implicitly (it gets a
+/// content-hashed key); callers serving one named operand repeatedly should
+/// build an [`OperandRef::named`] once and clone it per job.
 #[derive(Debug, Clone)]
 pub enum Job {
     /// Dense `C = A·B + E` on the hexagonal array.
     DenseMm {
         /// Left operand (`n × p`).
-        a: DenseMatrix<f64>,
+        a: OperandRef,
         /// Right operand (`p × m`).
-        b: DenseMatrix<f64>,
+        b: OperandRef,
         /// Optional additive term (`n × m`).
         e: Option<DenseMatrix<f64>>,
     },
     /// Dense `y = A·x + b` on the linear array.
     DenseMv {
         /// The matrix (`n × m`).
-        a: DenseMatrix<f64>,
+        a: OperandRef,
         /// The vector (`m`).
         x: Vec<f64>,
         /// Optional additive vector (`n`).
@@ -106,7 +112,7 @@ pub enum Job {
     /// skipped, shortening the run.
     BlockSparseMv {
         /// The matrix (`n × m`), with block sparsity.
-        a: DenseMatrix<f64>,
+        a: OperandRef,
         /// The vector (`m`).
         x: Vec<f64>,
         /// Optional additive vector (`n`).
@@ -139,15 +145,19 @@ pub enum Job {
 
 impl Job {
     /// Convenience constructor for a plain dense product `C = A·B`.
-    pub fn dense_mm(a: DenseMatrix<f64>, b: DenseMatrix<f64>) -> Self {
-        Job::DenseMm { a, b, e: None }
+    pub fn dense_mm(a: impl Into<OperandRef>, b: impl Into<OperandRef>) -> Self {
+        Job::DenseMm {
+            a: a.into(),
+            b: b.into(),
+            e: None,
+        }
     }
 
     /// Convenience constructor for a plain dense `y = A·x` with the simple
     /// schedule.
-    pub fn dense_mv(a: DenseMatrix<f64>, x: Vec<f64>) -> Self {
+    pub fn dense_mv(a: impl Into<OperandRef>, x: Vec<f64>) -> Self {
         Job::DenseMv {
-            a,
+            a: a.into(),
             x,
             b: None,
             schedule: MvSchedule::Simple,
@@ -155,8 +165,12 @@ impl Job {
     }
 
     /// Convenience constructor for a block-sparse `y = A·x`.
-    pub fn block_sparse_mv(a: DenseMatrix<f64>, x: Vec<f64>) -> Self {
-        Job::BlockSparseMv { a, x, b: None }
+    pub fn block_sparse_mv(a: impl Into<OperandRef>, x: Vec<f64>) -> Self {
+        Job::BlockSparseMv {
+            a: a.into(),
+            x,
+            b: None,
+        }
     }
 
     /// The job's discriminant.
@@ -195,6 +209,17 @@ impl Job {
         }
     }
 
+    /// The cache keys of the job's matrix operands (at most two, fixed-size
+    /// so the zero-allocation submit path never touches the heap).  Used by
+    /// the queue's cache-aware router.
+    pub(crate) fn operand_keys(&self) -> [Option<u64>; 2] {
+        match self {
+            Job::DenseMm { a, b, .. } => [Some(a.key()), Some(b.key())],
+            Job::DenseMv { a, .. } | Job::BlockSparseMv { a, .. } => [Some(a.key()), None],
+            _ => [None; 2],
+        }
+    }
+
     /// Admission check: verifies every dimension contract the underlying
     /// solver would enforce, **without running anything**, so malformed jobs
     /// are rejected at submission time instead of occupying an array.
@@ -209,9 +234,11 @@ impl Job {
     /// The same shape/length errors the direct solver call would return.
     pub fn validate(&self, w: usize) -> Result<(), DbtError> {
         match self {
-            Job::DenseMm { a, b, e } => sia_dbt::validate_mm_args(a, b, e.as_ref(), w).map(|_| ()),
+            Job::DenseMm { a, b, e } => {
+                sia_dbt::validate_mm_args(a.matrix(), b.matrix(), e.as_ref(), w).map(|_| ())
+            }
             Job::DenseMv { a, x, b, .. } | Job::BlockSparseMv { a, x, b } => {
-                sia_dbt::validate_mv_args(a, x, b.as_deref(), w).map(|_| ())
+                sia_dbt::validate_mv_args(a.matrix(), x, b.as_deref(), w).map(|_| ())
             }
             Job::TriangularSolve { a, c, .. } => {
                 sia_dbt::ext::validate_square_system(a, c, "c", "triangular solve", w)
@@ -340,6 +367,14 @@ pub struct JobReceipt {
     /// The full service span of the coalesced batch this job was part of
     /// (`None` for singly-served jobs).
     pub batch_service: Option<Duration>,
+    /// Modeled cycles this serve spent **staging** operand bands (DBT
+    /// transformations materialized because they were not resident).  Priced
+    /// apart from [`JobReceipt::measured_cycles`], which stays pure compute —
+    /// so [`JobReceipt::prediction_exact`] keeps holding on cold serves.
+    pub staging_cycles: usize,
+    /// `true` when every matrix operand of the job was found resident on the
+    /// serving station (no band had to be staged).
+    pub operand_hit: bool,
     /// The computed result.
     pub output: JobOutput,
 }
@@ -417,8 +452,8 @@ mod tests {
         ));
         assert!(matches!(
             Job::DenseMm {
-                a: a.clone(),
-                b: a.clone(),
+                a: a.clone().into(),
+                b: a.clone().into(),
                 e: Some(wrong.clone())
             }
             .validate(2),
@@ -463,7 +498,7 @@ mod tests {
         let x = gen::random_vector_f64(6, 3);
         let simple = Job::dense_mv(a.clone(), x.clone()).coalesce_key().unwrap();
         let overlapped = Job::DenseMv {
-            a: a.clone(),
+            a: a.clone().into(),
             x: x.clone(),
             b: None,
             schedule: MvSchedule::Overlapped,
@@ -494,6 +529,8 @@ mod tests {
             queue: Duration::from_millis(2),
             service: Duration::from_millis(2),
             batch_service: Some(Duration::from_millis(8)),
+            staging_cycles: 0,
+            operand_hit: true,
             output: JobOutput::Vector(vec![1.0]),
         };
         assert!(coalesced.coalesced());

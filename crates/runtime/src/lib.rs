@@ -33,6 +33,16 @@
 //! * **workers** — persistent threads, each owning a reusable
 //!   [`sia_sim::ArrayStation`] (a hexagonal and a linear array plus
 //!   cumulative step accounting);
+//! * **operand residency** — each worker keeps a bounded
+//!   [`sia_dbt::BandCache`] of transformed DBT band artifacts keyed by
+//!   operand identity ([`OperandRef`]): a repeat operand skips its
+//!   transformation (staging) pass, the router prefers the worker already
+//!   holding an operand resident, staging is priced apart from compute
+//!   (receipts carry [`JobReceipt::staging_cycles`] and
+//!   [`JobReceipt::operand_hit`]), and a warm farm serves repeat-operand
+//!   dense-MM traffic with zero heap allocations end-to-end (pooled reply
+//!   slots and output matrices — recycle outputs via
+//!   [`ArrayFarm::recycle`]);
 //! * **receipts & telemetry** — every job returns a [`JobReceipt`]
 //!   (result, predicted vs. measured cycles, queue/service latency), and
 //!   [`ArrayFarm::shutdown`] returns farm-level [`FarmTelemetry`]
@@ -99,6 +109,7 @@ pub use metrics::{
     HistogramSnapshot, HistogramSummary, LogHistogram, SignedHistogram, SignedSnapshot,
 };
 pub use policy::Policy;
+pub use sia_dbt::OperandRef;
 pub use snapshot::{FarmSnapshot, TenantSnapshot, WorkerSnapshot};
 pub use telemetry::{DepthSample, FarmTelemetry, TenantServed, TenantTelemetry, WorkerTelemetry};
 pub use trace::{EventRing, JobEvent, JobEventKind};

@@ -105,14 +105,14 @@ mod tests {
     use super::*;
     use crate::cost::CostEstimate;
     use crate::job::{Job, JobKind};
-    use crate::FarmError;
+    use crate::queue::ReplySlot;
     use sia_matrix::gen;
-    use std::sync::mpsc;
+    use std::sync::Arc;
     use std::time::Duration;
 
-    type Reply = mpsc::Receiver<Result<crate::JobReceipt, FarmError>>;
+    type Reply = Arc<ReplySlot>;
 
-    /// Builds a queued job plus its reply receiver (returned so it stays
+    /// Builds a queued job plus its reply slot (returned so it stays
     /// alive and deliveries remain assertable, mirroring the queue tests).
     fn queued(
         id: u64,
@@ -120,12 +120,14 @@ mod tests {
         cycles: usize,
         deadline: Option<Duration>,
     ) -> (QueuedJob, Reply) {
-        let (reply, rx) = mpsc::channel();
+        let reply = Arc::new(ReplySlot::new());
         let now = Instant::now();
+        let job = Job::dense_mv(gen::random_dense_f64(2, 2, id), vec![1.0, 2.0]);
         (
             QueuedJob {
                 id,
-                job: Job::dense_mv(gen::random_dense_f64(2, 2, id), vec![1.0, 2.0]),
+                operands: job.operand_keys(),
+                job,
                 kind: JobKind::DenseMv,
                 predicted: CostEstimate {
                     cycles,
@@ -136,9 +138,9 @@ mod tests {
                 vft: 0,
                 deadline: deadline.map(|d| now + d),
                 submitted: now,
-                reply,
+                reply: Arc::clone(&reply),
             },
-            rx,
+            reply,
         )
     }
 

@@ -1,9 +1,15 @@
-//! Per-worker job queues with routing, coalescing, cancellation, weighted
-//! fair queueing and work stealing.
+//! Per-worker job queues with cache-aware routing, coalescing,
+//! cancellation, weighted fair queueing and work stealing.
 //!
-//! Every worker owns one deque.  Submission routes a job to the
-//! least-loaded *eligible* worker (matching [`ArrayClass`], smallest
-//! predicted-cycle backlog — the closed-form cost model again) and stamps
+//! Every worker owns one deque.  Submission routes a job to an *eligible*
+//! worker (matching [`ArrayClass`]) preferring the worker whose station
+//! already holds the most of the job's operands **resident** (per the
+//! registry workers maintain via [`QueueSet::note_staged`] /
+//! [`QueueSet::note_evicted`]) — a resident operand's DBT transformation
+//! is already staged there, so serving it elsewhere would pay the
+//! transform again.  Ties (including the no-residency case, which makes
+//! this exactly the old router) break by smallest predicted-cycle backlog
+//! — the closed-form cost model again.  Submission also stamps
 //! the job's weighted-fair **virtual finish time** (predicted cycles over
 //! tenant weight, accumulated per tenant — exact, because the closed forms
 //! price every job at admission).  A worker drains its own queue in policy
@@ -39,10 +45,10 @@ use crate::policy::{select_key, select_next, Policy, SelectKey};
 use crate::snapshot::FarmLive;
 use crate::telemetry::{DepthSample, TenantTelemetry};
 use crate::trace::{JobEvent, JobEventKind};
+use sia_matrix::DenseMatrix;
 use std::collections::{HashMap, VecDeque};
-use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Cap on the number of retained queue-depth samples (~1 MB at most).  The
 /// trace is never cut off: reaching the cap *decimates* it — every other
@@ -55,6 +61,120 @@ const MAX_DEPTH_SAMPLES: usize = 65_536;
 /// `VFT_ONE` / weight), so integer division by the weight keeps ~16 bits
 /// of fraction and the select key stays a plain `u64`.
 const VFT_ONE: u64 = 1 << 16;
+
+/// Bound on each free list ([`QueueSet::reply_slot`] slots and recycled
+/// result matrices) so an unusual burst cannot pin memory forever.
+const POOL_CAP: usize = 256;
+
+/// Where a ticket's resolution lands: a pooled, reusable one-shot slot.
+///
+/// The mpsc channel this replaces allocated per submission; a slot is
+/// rented from the farm's free list instead, so a warm
+/// submit → serve → wait round trip touches no allocator.  Protocol: the
+/// resolver calls [`ReplySlot::resolve`] exactly once and never touches the
+/// slot again, so a **settled** slot is safe to return to the pool; a
+/// consumed resolution leaves the slot in a `Consumed` state that reports
+/// [`FarmError::Disconnected`] to later polls (matching the hung-up-channel
+/// semantics tickets always had).
+#[derive(Debug)]
+pub(crate) struct ReplySlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+#[derive(Debug, Default)]
+#[allow(clippy::large_enum_variant)] // boxing the receipt would defeat the pool
+enum SlotState {
+    /// No resolution yet.
+    #[default]
+    Pending,
+    /// Resolution delivered, not yet claimed.
+    Resolved(Result<JobReceipt, FarmError>),
+    /// Resolution claimed; later polls read "hung up".
+    Consumed,
+}
+
+impl ReplySlot {
+    pub fn new() -> Self {
+        ReplySlot {
+            state: Mutex::new(SlotState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Re-arms a pooled slot for a new submission.
+    fn reset(&self) {
+        *self.state.lock().expect("reply slot lock poisoned") = SlotState::Pending;
+    }
+
+    /// Delivers the resolution and wakes the waiter.  Called at most once
+    /// per rental; allocation-free.
+    pub fn resolve(&self, resolution: Result<JobReceipt, FarmError>) {
+        let mut state = self.state.lock().expect("reply slot lock poisoned");
+        *state = SlotState::Resolved(resolution);
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    fn claim(state: &mut SlotState) -> Option<Result<JobReceipt, FarmError>> {
+        match std::mem::replace(state, SlotState::Consumed) {
+            SlotState::Resolved(resolution) => Some(resolution),
+            SlotState::Pending => {
+                *state = SlotState::Pending;
+                None
+            }
+            SlotState::Consumed => Some(Err(FarmError::Disconnected)),
+        }
+    }
+
+    /// Non-blocking poll; consumes the resolution it observes.
+    pub fn try_take(&self) -> Option<Result<JobReceipt, FarmError>> {
+        Self::claim(&mut self.state.lock().expect("reply slot lock poisoned"))
+    }
+
+    /// Blocks until the resolution lands.
+    pub fn wait(&self) -> Result<JobReceipt, FarmError> {
+        let mut state = self.state.lock().expect("reply slot lock poisoned");
+        loop {
+            if let Some(resolution) = Self::claim(&mut state) {
+                return resolution;
+            }
+            state = self.ready.wait(state).expect("reply slot lock poisoned");
+        }
+    }
+
+    /// Blocks up to `timeout`; `None` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<JobReceipt, FarmError>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("reply slot lock poisoned");
+        loop {
+            if let Some(resolution) = Self::claim(&mut state) {
+                return Some(resolution);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, timed_out) = self
+                .ready
+                .wait_timeout(state, deadline - now)
+                .expect("reply slot lock poisoned");
+            state = next;
+            if timed_out.timed_out() {
+                return Self::claim(&mut state);
+            }
+        }
+    }
+
+    /// `true` once a resolution landed (the resolver is done with the slot,
+    /// so a settled slot is pool-returnable).
+    pub fn is_settled(&self) -> bool {
+        !matches!(
+            *self.state.lock().expect("reply slot lock poisoned"),
+            SlotState::Pending
+        )
+    }
+}
 
 /// One job as it sits in a queue.
 pub(crate) struct QueuedJob {
@@ -77,8 +197,22 @@ pub(crate) struct QueuedJob {
     pub deadline: Option<Instant>,
     /// When the job entered the farm.
     pub submitted: Instant,
+    /// The cache keys of the job's matrix operands (drives cache-aware
+    /// routing; fixed-size so submission stays allocation-free).
+    pub operands: [Option<u64>; 2],
     /// Where the receipt (or the lifecycle/execution error) goes.
-    pub reply: Sender<Result<JobReceipt, FarmError>>,
+    pub reply: Arc<ReplySlot>,
+}
+
+/// Reusable per-worker dispatch buffers: after warm-up,
+/// [`QueueSet::next_batch_into`] runs entirely in these, so the dispatch
+/// side of a serve touches no allocator.
+#[derive(Default)]
+pub(crate) struct DispatchScratch {
+    picks: Vec<(SelectKey, usize)>,
+    mates: Vec<(SelectKey, usize)>,
+    order: Vec<(usize, usize)>,
+    removed: Vec<(usize, QueuedJob)>,
 }
 
 /// Per-tenant admission-side accounting and WFQ state.
@@ -106,6 +240,11 @@ struct QueueState {
     /// time instead of banking credit for the idle span.
     vtime: u64,
     tenants: HashMap<u32, TenantAccount>,
+    /// Residency registry: operand key → per-worker count of resident
+    /// artifacts of that operand, maintained by the workers
+    /// ([`QueueSet::note_staged`] / [`QueueSet::note_evicted`]) and read by
+    /// the cache-aware router in [`QueueSet::submit`].
+    resident: HashMap<u64, Vec<u16>>,
     depth_log: Vec<DepthSample>,
     /// Exact maximum of `depth` over the whole run (decimation-proof).
     max_depth: usize,
@@ -168,6 +307,12 @@ pub(crate) struct QueueSet {
     /// go into `live.admission` under the queue mutex (which already
     /// serializes these paths — tracing adds no new lock).
     live: Arc<FarmLive>,
+    /// Free list of settled [`ReplySlot`]s, rented per submission.
+    reply_pool: Mutex<Vec<Arc<ReplySlot>>>,
+    /// Free list of recycled result matrices ([`QueueSet::pooled_matrix`]):
+    /// workers pop one per dense-MM serve and clients return them via
+    /// `ArrayFarm::recycle`, closing the zero-allocation loop for results.
+    output_pool: Mutex<Vec<DenseMatrix<f64>>>,
 }
 
 /// Condvar slot of an array class.
@@ -211,7 +356,10 @@ impl QueueSet {
                 cancelled: 0,
                 vtime: 0,
                 tenants: HashMap::new(),
-                depth_log: Vec::new(),
+                resident: HashMap::new(),
+                // Pre-reserved to its cap so warm-path pushes never grow
+                // the log's allocation mid-serve.
+                depth_log: Vec::with_capacity(MAX_DEPTH_SAMPLES),
                 max_depth: 0,
                 depth_events: 0,
                 depth_stride: 1,
@@ -223,6 +371,8 @@ impl QueueSet {
             weights: weights.into_iter().map(|(t, w)| (t, w.max(1))).collect(),
             started,
             live,
+            reply_pool: Mutex::new(Vec::new()),
+            output_pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -230,10 +380,82 @@ impl QueueSet {
         self.state.lock().expect("farm queue lock poisoned")
     }
 
-    /// Routes a job to the least-backlogged worker of its class, stamps its
-    /// weighted-fair virtual finish time and wakes one worker of the class.
-    /// Panics if no worker of the class exists (the farm checks eligibility
-    /// at submission).
+    /// Rents a reply slot for one submission: a re-armed pooled slot when
+    /// available (no allocation), a fresh one otherwise.
+    pub fn reply_slot(&self) -> Arc<ReplySlot> {
+        let pooled = self
+            .reply_pool
+            .lock()
+            .expect("reply pool lock poisoned")
+            .pop();
+        match pooled {
+            Some(slot) => {
+                slot.reset();
+                slot
+            }
+            None => Arc::new(ReplySlot::new()),
+        }
+    }
+
+    /// Returns a settled slot to the free list (callers must only return
+    /// slots whose resolution landed — the resolver never touches a slot
+    /// after resolving, so those cannot race a reuse).
+    pub fn return_reply_slot(&self, slot: Arc<ReplySlot>) {
+        let mut pool = self.reply_pool.lock().expect("reply pool lock poisoned");
+        if pool.len() < POOL_CAP {
+            pool.push(slot);
+        }
+    }
+
+    /// Pops a recycled result matrix (or an empty, allocation-free stand-in
+    /// that the serve path reshapes in place).
+    pub fn pooled_matrix(&self) -> DenseMatrix<f64> {
+        self.output_pool
+            .lock()
+            .expect("output pool lock poisoned")
+            .pop()
+            .unwrap_or_else(|| DenseMatrix::zeros(0, 0))
+    }
+
+    /// Returns a result matrix's storage to the pool for reuse.
+    pub fn recycle_matrix(&self, matrix: DenseMatrix<f64>) {
+        let mut pool = self.output_pool.lock().expect("output pool lock poisoned");
+        if pool.len() < POOL_CAP {
+            pool.push(matrix);
+        }
+    }
+
+    /// Records that `worker`'s station staged (now holds) a resident
+    /// artifact of operand `key`.  Counted, not flagged: one operand can
+    /// have several resident artifacts (e.g. the MM left and right bands of
+    /// `A·A`), and the worker stays "resident" until all of them evict.
+    pub fn note_staged(&self, key: u64, worker: usize) {
+        let workers = self.classes.len();
+        let mut st = self.lock();
+        let counts = st
+            .resident
+            .entry(key)
+            .or_insert_with(|| vec![0u16; workers]);
+        counts[worker] = counts[worker].saturating_add(1);
+    }
+
+    /// Records that `worker`'s station evicted a resident artifact of
+    /// operand `key`.
+    pub fn note_evicted(&self, key: u64, worker: usize) {
+        let mut st = self.lock();
+        if let Some(counts) = st.resident.get_mut(&key) {
+            counts[worker] = counts[worker].saturating_sub(1);
+            if counts.iter().all(|&c| c == 0) {
+                st.resident.remove(&key);
+            }
+        }
+    }
+
+    /// Routes a job to an eligible worker — preferring the worker holding
+    /// the most of the job's operands resident, ties broken by smallest
+    /// predicted-cycle backlog — stamps its weighted-fair virtual finish
+    /// time and wakes one worker of the class.  Panics if no worker of the
+    /// class exists (the farm checks eligibility at submission).
     pub fn submit(&self, mut job: QueuedJob, class: ArrayClass) {
         let mut st = self.lock();
         // WFQ bookkeeping (cheap, kept for every policy so tenant telemetry
@@ -258,7 +480,19 @@ impl QueueSet {
             .iter()
             .enumerate()
             .filter(|(_, c)| **c == class)
-            .min_by_key(|(i, _)| st.backlog[*i])
+            .min_by_key(|(i, _)| {
+                // Workers holding more of the job's operands resident sort
+                // first (their stations skip the DBT staging pass); with no
+                // residency anywhere this reduces to the plain
+                // least-backlog router.
+                let resident = job
+                    .operands
+                    .iter()
+                    .flatten()
+                    .filter(|key| st.resident.get(key).is_some_and(|counts| counts[*i] > 0))
+                    .count();
+                (std::cmp::Reverse(resident), st.backlog[*i])
+            })
             .map(|(i, _)| i)
             .expect("submit checked that an eligible worker exists");
         st.backlog[target] += job.predicted.cycles;
@@ -327,45 +561,73 @@ impl QueueSet {
         });
         st.log_depth(self.started);
         drop(st);
-        // A dropped ticket just means nobody wants the resolution.
-        let _ = job.reply.send(Err(FarmError::Cancelled));
+        job.reply.resolve(Err(FarmError::Cancelled));
         true
     }
 
-    /// Blocks until a batch of work is available for `worker`, or returns
-    /// `None` when the farm is shut down and every queue of the worker's
-    /// class has drained.
-    pub fn next_batch(&self, worker: usize) -> Option<Vec<QueuedJob>> {
+    /// Blocks until a batch of work is available for `worker`, writing it
+    /// into `out` (cleared first) and returning `true`; returns `false`
+    /// when the farm is shut down and every queue of the worker's class has
+    /// drained.  `out` and `scratch` are caller-owned so a warm dispatch
+    /// reuses their storage instead of allocating a fresh batch per serve.
+    pub fn next_batch_into(
+        &self,
+        worker: usize,
+        out: &mut Vec<QueuedJob>,
+        scratch: &mut DispatchScratch,
+    ) -> bool {
+        out.clear();
         let ready = &self.ready[class_slot(self.classes[worker])];
         let mut st = self.lock();
         loop {
-            if let Some(batch) = self.try_take(&mut st, worker) {
-                return Some(batch);
+            if self.try_take(&mut st, worker, out, scratch) {
+                return true;
             }
             if st.shutdown {
-                return None;
+                return false;
             }
             st = ready.wait(st).expect("farm queue lock poisoned");
         }
     }
 
+    /// Test convenience over [`QueueSet::next_batch_into`] with fresh
+    /// buffers per call.
+    #[cfg(test)]
+    pub fn next_batch(&self, worker: usize) -> Option<Vec<QueuedJob>> {
+        let mut out = Vec::new();
+        let mut scratch = DispatchScratch::default();
+        self.next_batch_into(worker, &mut out, &mut scratch)
+            .then_some(out)
+    }
+
     /// One dispatch attempt: own queue first (with coalescing), then a
     /// steal from the most-backlogged same-class peer.
-    fn try_take(&self, st: &mut QueueState, worker: usize) -> Option<Vec<QueuedJob>> {
-        if let Some(batch) = self.take_own(st, worker) {
-            return Some(batch);
+    fn try_take(
+        &self,
+        st: &mut QueueState,
+        worker: usize,
+        out: &mut Vec<QueuedJob>,
+        scratch: &mut DispatchScratch,
+    ) -> bool {
+        if self.take_own(st, worker, out, scratch) {
+            return true;
         }
         // Own queue is empty: steal one job from the heaviest same-class
         // peer (policy order within the victim's queue).
         let class = self.classes[worker];
-        let victim = self
+        let Some(victim) = self
             .classes
             .iter()
             .enumerate()
             .filter(|(i, c)| *i != worker && **c == class && !st.queues[*i].is_empty())
             .max_by_key(|(i, _)| st.backlog[*i])
-            .map(|(i, _)| i)?;
-        let idx = select_next(self.policy, &st.queues[victim])?;
+            .map(|(i, _)| i)
+        else {
+            return false;
+        };
+        let Some(idx) = select_next(self.policy, &st.queues[victim]) else {
+            return false;
+        };
         let job = st.queues[victim]
             .remove(idx)
             .expect("selected index is in range");
@@ -376,7 +638,8 @@ impl QueueSet {
         // Steals mark the exact moments load was imbalanced: always keep
         // their depth sample, even when the sampling stride would skip it.
         st.log_depth_forced(self.started);
-        Some(vec![job])
+        out.push(job);
+        true
     }
 
     /// Takes the policy's next job from the worker's own queue, plus the
@@ -386,20 +649,37 @@ impl QueueSet {
     /// have served consecutively anyway.  Two O(n) scans — one to find the
     /// primary, one to collect the mates and the best non-mate — replace
     /// the old path's O(n) re-selection plus O(n) removal *per mate*; the
-    /// batch is returned in policy order.
-    fn take_own(&self, st: &mut QueueState, worker: usize) -> Option<Vec<QueuedJob>> {
-        let picks: Vec<(SelectKey, usize)> = {
+    /// batch lands in `out` in policy order.  Returns `false` when the
+    /// queue is empty.
+    fn take_own(
+        &self,
+        st: &mut QueueState,
+        worker: usize,
+        out: &mut Vec<QueuedJob>,
+        scratch: &mut DispatchScratch,
+    ) -> bool {
+        let DispatchScratch {
+            picks,
+            mates,
+            order,
+            removed,
+        } = scratch;
+        picks.clear();
+        {
             let queue = &st.queues[worker];
-            let (primary_idx, primary_key) = queue
+            let Some((primary_idx, primary_key)) = queue
                 .iter()
                 .enumerate()
                 .map(|(i, j)| (i, select_key(self.policy, j)))
-                .min_by(|a, b| a.1.cmp(&b.1))?;
-            let mut picks = vec![(primary_key, primary_idx)];
+                .min_by(|a, b| a.1.cmp(&b.1))
+            else {
+                return false;
+            };
+            picks.push((primary_key, primary_idx));
             if self.coalesce_limit > 1 {
                 if let Some(key) = queue[primary_idx].job.coalesce_key() {
                     let priority = queue[primary_idx].priority;
-                    let mut mates: Vec<(SelectKey, usize)> = Vec::new();
+                    mates.clear();
                     let mut best_other: Option<SelectKey> = None;
                     for (i, j) in queue.iter().enumerate() {
                         if i == primary_idx {
@@ -416,7 +696,7 @@ impl QueueSet {
                     // mate under EDF) jump ahead of the queue's rightful
                     // next job: mates past the best non-mate stay queued.
                     mates.sort_unstable();
-                    for (k, i) in mates {
+                    for (k, i) in mates.drain(..) {
                         if picks.len() >= self.coalesce_limit
                             || best_other.as_ref().is_some_and(|b| *b < k)
                         {
@@ -426,38 +706,37 @@ impl QueueSet {
                     }
                 }
             }
-            picks
-        };
+        }
         // Remove picked indices from high to low (so indices stay valid),
         // then restore policy order by each pick's slot.
-        let mut by_index: Vec<(usize, usize)> = picks
-            .iter()
-            .enumerate()
-            .map(|(slot, &(_, index))| (index, slot))
-            .collect();
-        by_index.sort_unstable_by_key(|&(index, _)| std::cmp::Reverse(index));
-        let mut removed: Vec<(usize, QueuedJob)> = by_index
-            .into_iter()
-            .map(|(index, slot)| {
-                (
-                    slot,
-                    st.queues[worker]
-                        .remove(index)
-                        .expect("picked index is in range"),
-                )
-            })
-            .collect();
+        order.clear();
+        order.extend(
+            picks
+                .iter()
+                .enumerate()
+                .map(|(slot, &(_, index))| (index, slot)),
+        );
+        order.sort_unstable_by_key(|&(index, _)| std::cmp::Reverse(index));
+        removed.clear();
+        removed.extend(order.iter().map(|&(index, slot)| {
+            (
+                slot,
+                st.queues[worker]
+                    .remove(index)
+                    .expect("picked index is in range"),
+            )
+        }));
         removed.sort_unstable_by_key(|&(slot, _)| slot);
-        let batch: Vec<QueuedJob> = removed.into_iter().map(|(_, j)| j).collect();
+        out.extend(removed.drain(..).map(|(_, j)| j));
 
-        let taken: usize = batch.iter().map(|j| j.predicted.cycles).sum();
+        let taken: usize = out.iter().map(|j| j.predicted.cycles).sum();
         st.backlog[worker] = st.backlog[worker].saturating_sub(taken);
-        st.depth -= batch.len();
-        for job in &batch {
+        st.depth -= out.len();
+        for job in out.iter() {
             st.vtime = st.vtime.max(job.vft);
         }
         st.log_depth(self.started);
-        Some(batch)
+        true
     }
 
     /// Reads the queue-side counters a live snapshot needs, in one short
@@ -513,8 +792,8 @@ impl QueueSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sia_dbt::OperandRef;
     use sia_matrix::gen;
-    use std::sync::mpsc;
 
     fn set_with(
         policy: Policy,
@@ -533,21 +812,25 @@ mod tests {
         )
     }
 
-    fn queued(
-        id: u64,
-        cycles: usize,
-    ) -> (QueuedJob, mpsc::Receiver<Result<JobReceipt, FarmError>>) {
+    fn queued(id: u64, cycles: usize) -> (QueuedJob, Arc<ReplySlot>) {
         queued_tenant(id, cycles, 0)
     }
 
-    fn queued_tenant(
-        id: u64,
-        cycles: usize,
-        tenant: u32,
-    ) -> (QueuedJob, mpsc::Receiver<Result<JobReceipt, FarmError>>) {
-        let (reply, rx) = mpsc::channel();
-        let now = Instant::now();
+    fn queued_tenant(id: u64, cycles: usize, tenant: u32) -> (QueuedJob, Arc<ReplySlot>) {
         let job = Job::dense_mv(gen::random_dense_f64(2, 2, id), vec![1.0, 2.0]);
+        wrap(id, cycles, tenant, job)
+    }
+
+    /// A job whose matrix operand carries the caller-supplied cache key
+    /// `key` (drives the cache-aware routing tests).
+    fn queued_named(id: u64, cycles: usize, key: u64) -> (QueuedJob, Arc<ReplySlot>) {
+        let a = OperandRef::named(key, gen::random_dense_f64(2, 2, id));
+        let job = Job::dense_mv(a, vec![1.0, 2.0]);
+        wrap(id, cycles, 0, job)
+    }
+
+    fn wrap(id: u64, cycles: usize, tenant: u32, job: Job) -> (QueuedJob, Arc<ReplySlot>) {
+        let reply = Arc::new(ReplySlot::new());
         (
             QueuedJob {
                 id,
@@ -560,11 +843,12 @@ mod tests {
                 tenant,
                 vft: 0,
                 deadline: None,
-                submitted: now,
-                reply,
+                submitted: Instant::now(),
+                operands: job.operand_keys(),
+                reply: Arc::clone(&reply),
                 job,
             },
-            rx,
+            reply,
         )
     }
 
@@ -590,6 +874,73 @@ mod tests {
         assert_eq!(st.queues[1].len(), 1);
         assert_eq!(st.queues[2].len(), 2);
         assert_eq!(st.depth, 3);
+    }
+
+    #[test]
+    fn routing_prefers_workers_holding_the_operand_resident() {
+        let set = set_with(
+            Policy::Fifo,
+            vec![ArrayClass::Linear, ArrayClass::Linear],
+            1,
+            &[],
+        );
+        // Worker 1 stages a band of operand 77, then builds a far heavier
+        // backlog than worker 0.
+        set.note_staged(77, 1);
+        let (job, _r0) = queued(1, 10);
+        set.submit(job, ArrayClass::Linear);
+        let (job, _r1) = queued_named(2, 1000, 99);
+        set.submit(job, ArrayClass::Linear);
+        // Residency trumps backlog: the operand-77 job goes to worker 1
+        // (backlog 1000) over worker 0 (backlog 10).
+        let (job, _r2) = queued_named(3, 10, 77);
+        set.submit(job, ArrayClass::Linear);
+        {
+            let st = set.lock();
+            assert_eq!(st.queues[1].len(), 2, "operand-77 job follows residency");
+            assert_eq!(st.queues[1].back().unwrap().id, 3);
+        }
+        // Once the artifact evicts, routing falls back to least backlog.
+        set.note_evicted(77, 1);
+        let (job, _r3) = queued_named(4, 10, 77);
+        set.submit(job, ArrayClass::Linear);
+        let st = set.lock();
+        assert_eq!(
+            st.queues[0].len(),
+            2,
+            "post-eviction job takes the light worker"
+        );
+        assert_eq!(st.queues[0].back().unwrap().id, 4);
+        assert!(
+            st.resident.is_empty(),
+            "fully evicted operands leave the registry"
+        );
+    }
+
+    #[test]
+    fn reply_slots_pool_and_preserve_consumed_semantics() {
+        let set = set_with(Policy::Fifo, vec![ArrayClass::Linear], 1, &[]);
+        let slot = set.reply_slot();
+        assert!(slot.try_take().is_none(), "pending slot has no resolution");
+        assert!(!slot.is_settled());
+        slot.resolve(Err(FarmError::Cancelled));
+        assert!(slot.is_settled());
+        assert!(matches!(slot.try_take(), Some(Err(FarmError::Cancelled))));
+        // A consumed slot reports "hung up" to later polls, exactly like
+        // the dropped mpsc sender it replaced.
+        assert!(matches!(
+            slot.try_take(),
+            Some(Err(FarmError::Disconnected))
+        ));
+        assert!(matches!(
+            slot.wait_timeout(Duration::from_millis(1)),
+            Some(Err(FarmError::Disconnected))
+        ));
+        // Returning it to the pool re-arms it for the next rental.
+        set.return_reply_slot(slot);
+        let again = set.reply_slot();
+        assert!(again.try_take().is_none(), "pooled slot was re-armed");
+        assert!(!again.is_settled());
     }
 
     #[test]
@@ -647,7 +998,7 @@ mod tests {
         // medium), C (2x2, loose).  EDF order is P, A, B, C — so P must NOT
         // drag its loose-deadline shape-mates B and C past A.
         for (id, n, deadline_ms) in [(1u64, 2usize, 1u64), (2, 2, 500), (3, 3, 5), (4, 2, 500)] {
-            let (reply, rx) = mpsc::channel();
+            let reply = Arc::new(ReplySlot::new());
             let job = Job::dense_mv(gen::random_dense_f64(n, n, id), vec![1.0; n]);
             set.submit(
                 QueuedJob {
@@ -662,12 +1013,13 @@ mod tests {
                     vft: 0,
                     deadline: Some(now + Duration::from_millis(deadline_ms)),
                     submitted: now,
-                    reply,
+                    operands: job.operand_keys(),
+                    reply: Arc::clone(&reply),
                     job,
                 },
                 ArrayClass::Linear,
             );
-            rxs.push(rx);
+            rxs.push(reply);
         }
         let first = set.next_batch(0).unwrap();
         assert_eq!(
@@ -699,7 +1051,7 @@ mod tests {
         );
         let mut rxs = Vec::new();
         for (id, n, cycles) in [(1u64, 2usize, 10usize), (2, 2, 10), (3, 3, 5), (4, 2, 10)] {
-            let (reply, rx) = mpsc::channel();
+            let reply = Arc::new(ReplySlot::new());
             let job = Job::dense_mv(gen::random_dense_f64(n, n, id), vec![1.0; n]);
             set.submit(
                 QueuedJob {
@@ -714,12 +1066,13 @@ mod tests {
                     vft: 0,
                     deadline: None,
                     submitted: Instant::now(),
-                    reply,
+                    operands: job.operand_keys(),
+                    reply: Arc::clone(&reply),
                     job,
                 },
                 ArrayClass::Linear,
             );
-            rxs.push(rx);
+            rxs.push(reply);
         }
         let first = set.next_batch(0).unwrap();
         assert_eq!(first.iter().map(|j| j.id).collect::<Vec<_>>(), vec![3]);
@@ -768,7 +1121,7 @@ mod tests {
         let (job, rx2) = queued_tenant(2, 10, 9);
         set.submit(job, ArrayClass::Linear);
         assert!(set.cancel(1), "queued job cancels");
-        assert!(matches!(rx1.try_recv(), Ok(Err(FarmError::Cancelled))));
+        assert!(matches!(rx1.try_take(), Some(Err(FarmError::Cancelled))));
         assert!(!set.cancel(1), "second cancel finds nothing");
         {
             let st = set.lock();
@@ -780,7 +1133,10 @@ mod tests {
         let batch = set.next_batch(0).unwrap();
         assert_eq!(batch[0].id, 2);
         assert!(!set.cancel(2), "dispatched job is past cancellation");
-        assert!(rx2.try_recv().is_err(), "no resolution for the running job");
+        assert!(
+            rx2.try_take().is_none(),
+            "no resolution for the running job"
+        );
         let telemetry = set.drain_telemetry();
         assert_eq!(telemetry.cancelled, 1);
         assert_eq!(telemetry.tenants.len(), 1);
@@ -837,7 +1193,7 @@ mod tests {
             }
             for id in 0..total {
                 if id % 3 == 0 {
-                    let (reply, rx) = mpsc::channel();
+                    let reply = Arc::new(ReplySlot::new());
                     let a = gen::random_dense_f64(2, 2, id);
                     let job = Job::dense_mm(a.clone(), a);
                     set.submit(
@@ -853,12 +1209,13 @@ mod tests {
                             vft: 0,
                             deadline: None,
                             submitted: Instant::now(),
-                            reply,
+                            operands: job.operand_keys(),
+                            reply: Arc::clone(&reply),
                             job,
                         },
                         ArrayClass::Hex,
                     );
-                    rxs.push(rx);
+                    rxs.push(reply);
                 } else {
                     let (job, rx) = queued(id, 10);
                     set.submit(job, ArrayClass::Linear);
@@ -884,6 +1241,7 @@ mod tests {
             cancelled: 0,
             vtime: 0,
             tenants: HashMap::new(),
+            resident: HashMap::new(),
             depth_log: Vec::new(),
             max_depth: 0,
             depth_events: 0,
@@ -927,6 +1285,7 @@ mod tests {
             cancelled: 0,
             vtime: 0,
             tenants: HashMap::new(),
+            resident: HashMap::new(),
             depth_log: Vec::new(),
             max_depth: 0,
             depth_events: 0,

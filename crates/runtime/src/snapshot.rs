@@ -18,7 +18,7 @@
 use crate::job::ArrayClass;
 use crate::metrics::{HistogramSnapshot, LogHistogram, SignedHistogram, SignedSnapshot};
 use crate::trace::{EventRing, JobEvent};
-use sia_sim::StationStats;
+use sia_sim::{ResidencyStats, StationStats};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -48,6 +48,11 @@ pub(crate) struct WorkerLive {
     linear_runs: AtomicU64,
     linear_cycles: AtomicU64,
     linear_skipped_cycles: AtomicU64,
+    // Resident band-cache counters, published after every batch.
+    operand_hits: AtomicU64,
+    operand_misses: AtomicU64,
+    operand_evictions: AtomicU64,
+    staging_cycles: AtomicU64,
     /// `lane_occupancy[i]` counts array passes that served `i + 1`
     /// jobs at once.
     lane_occupancy: Box<[AtomicU64]>,
@@ -77,6 +82,10 @@ impl WorkerLive {
             linear_runs: AtomicU64::new(0),
             linear_cycles: AtomicU64::new(0),
             linear_skipped_cycles: AtomicU64::new(0),
+            operand_hits: AtomicU64::new(0),
+            operand_misses: AtomicU64::new(0),
+            operand_evictions: AtomicU64::new(0),
+            staging_cycles: AtomicU64::new(0),
             lane_occupancy: (0..OCCUPANCY_SLOTS).map(|_| AtomicU64::new(0)).collect(),
             queue: LogHistogram::new(),
             service: LogHistogram::new(),
@@ -153,6 +162,19 @@ impl WorkerLive {
             .store(stats.linear_skipped_cycles as u64, Ordering::Relaxed);
     }
 
+    /// Publishes the worker's cumulative resident band-cache counters
+    /// (same ownership story as [`WorkerLive::publish_station`]).
+    pub(crate) fn publish_residency(&self, stats: ResidencyStats) {
+        self.operand_hits
+            .store(stats.hits as u64, Ordering::Relaxed);
+        self.operand_misses
+            .store(stats.misses as u64, Ordering::Relaxed);
+        self.operand_evictions
+            .store(stats.evictions as u64, Ordering::Relaxed);
+        self.staging_cycles
+            .store(stats.staged_cycles as u64, Ordering::Relaxed);
+    }
+
     fn snapshot(&self, worker: usize) -> WorkerSnapshot {
         WorkerSnapshot {
             worker,
@@ -172,6 +194,10 @@ impl WorkerLive {
             linear_runs: self.linear_runs.load(Ordering::Relaxed),
             linear_cycles: self.linear_cycles.load(Ordering::Relaxed),
             linear_skipped_cycles: self.linear_skipped_cycles.load(Ordering::Relaxed),
+            operand_hits: self.operand_hits.load(Ordering::Relaxed),
+            operand_misses: self.operand_misses.load(Ordering::Relaxed),
+            operand_evictions: self.operand_evictions.load(Ordering::Relaxed),
+            staging_cycles: self.staging_cycles.load(Ordering::Relaxed),
             lane_occupancy: self
                 .lane_occupancy
                 .iter()
@@ -345,6 +371,14 @@ pub struct WorkerSnapshot {
     pub linear_cycles: u64,
     /// Station counter: idle linear cycles skipped.
     pub linear_skipped_cycles: u64,
+    /// Band-cache lookups served from a resident DBT artifact.
+    pub operand_hits: u64,
+    /// Band-cache lookups that had to stage (transform) the operand.
+    pub operand_misses: u64,
+    /// Resident artifacts evicted to make room.
+    pub operand_evictions: u64,
+    /// Cycles spent staging operand bands (priced apart from compute).
+    pub staging_cycles: u64,
     /// `lane_occupancy[i]` = array passes that served `i + 1` jobs.
     pub lane_occupancy: Vec<u64>,
     /// Queue latency (submit → pickup) histogram, nanoseconds.
@@ -463,6 +497,40 @@ impl FarmSnapshot {
         }
         let exact: u64 = self.workers.iter().map(|w| w.exact_predictions).sum();
         exact as f64 / delivered as f64
+    }
+
+    /// Band-cache hits across all workers: serves that found every
+    /// operand band already resident.
+    pub fn operand_hits(&self) -> u64 {
+        self.workers.iter().map(|w| w.operand_hits).sum()
+    }
+
+    /// Band-cache misses across all workers (operand bands staged).
+    pub fn operand_misses(&self) -> u64 {
+        self.workers.iter().map(|w| w.operand_misses).sum()
+    }
+
+    /// Resident artifacts evicted across all workers.
+    pub fn operand_evictions(&self) -> u64 {
+        self.workers.iter().map(|w| w.operand_evictions).sum()
+    }
+
+    /// Cycles spent staging operand bands across all workers, priced
+    /// apart from compute cycles.
+    pub fn staging_cycles(&self) -> u64 {
+        self.workers.iter().map(|w| w.staging_cycles).sum()
+    }
+
+    /// Fraction of band-cache lookups served from a resident artifact
+    /// (0.0 when no lookup happened yet).
+    pub fn operand_hit_ratio(&self) -> f64 {
+        let hits = self.operand_hits();
+        let total = hits + self.operand_misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
     }
 
     /// Idle engine cycles skipped across all stations — the work the

@@ -54,6 +54,12 @@ pub enum JobEventKind {
     Cancelled,
     /// Served but the engine returned an error.
     Failed,
+    /// The serve had to stage at least one operand band (DBT transform
+    /// materialized into the station's resident cache).
+    OperandStaged,
+    /// Every matrix operand of the serve was found resident — the job paid
+    /// zero staging cycles.
+    OperandHit,
 }
 
 impl JobEventKind {
@@ -68,6 +74,8 @@ impl JobEventKind {
             JobEventKind::Shed => "shed",
             JobEventKind::Cancelled => "cancelled",
             JobEventKind::Failed => "failed",
+            JobEventKind::OperandStaged => "operand-staged",
+            JobEventKind::OperandHit => "operand-hit",
         }
     }
 
@@ -81,6 +89,8 @@ impl JobEventKind {
             JobEventKind::Shed => 5,
             JobEventKind::Cancelled => 6,
             JobEventKind::Failed => 7,
+            JobEventKind::OperandStaged => 8,
+            JobEventKind::OperandHit => 9,
         }
     }
 
@@ -93,6 +103,8 @@ impl JobEventKind {
             4 => JobEventKind::Completed,
             5 => JobEventKind::Shed,
             6 => JobEventKind::Cancelled,
+            8 => JobEventKind::OperandStaged,
+            9 => JobEventKind::OperandHit,
             _ => JobEventKind::Failed,
         }
     }
@@ -301,6 +313,8 @@ mod tests {
             JobEventKind::Shed,
             JobEventKind::Cancelled,
             JobEventKind::Failed,
+            JobEventKind::OperandStaged,
+            JobEventKind::OperandHit,
         ] {
             for shape in [
                 JobKind::DenseMm,

@@ -23,20 +23,20 @@ use crate::cost::CostModel;
 use crate::error::FarmError;
 use crate::job::{ArrayClass, Job, JobOutput, JobReceipt, JobSpec};
 use crate::policy::Policy;
-use crate::queue::{QueueSet, QueuedJob};
+use crate::queue::{DispatchScratch, QueueSet, QueuedJob, ReplySlot};
 use crate::snapshot::{FarmLive, FarmSnapshot, TenantLive, WorkerLive};
 use crate::telemetry::{FarmTelemetry, TenantServed, TenantTelemetry, WorkerTelemetry};
 use crate::trace::{JobEvent, JobEventKind};
 use sia_dbt::ext::{gauss_seidel_on, solve_lower_on, solve_upper_on};
-use sia_dbt::sparse::multiply_mv_block_sparse_on;
 use sia_dbt::{
-    multiply_mm_batch_on, multiply_mm_lanes_on, multiply_mm_on, multiply_mv_batch_on,
-    multiply_mv_lanes_on, multiply_mv_on, DbtError, MmProblem, MvOutcome, MvProblem, MvSchedule,
+    multiply_mm_resident_into, multiply_mm_resident_lanes_on, multiply_mv_batch_on,
+    multiply_mv_block_sparse_resident_on, multiply_mv_lanes_on, multiply_mv_resident_on, BandCache,
+    DbtError, MmResidentProblem, MvOutcome, MvProblem, MvSchedule, StagingReport,
 };
 use sia_sim::ArrayStation;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -86,6 +86,13 @@ pub struct FarmConfig {
     /// Disabling them strips the serve path down to event tracing alone;
     /// [`ArrayFarm::snapshot`] then reports queue-side counters only.
     pub metrics: bool,
+    /// Capacity (in DBT band artifacts) of each worker's resident
+    /// [`BandCache`]: a repeat operand served by a worker already holding
+    /// its transformed band skips the staging pass entirely, and the router
+    /// steers repeat operands toward the workers holding them.  `0`
+    /// disables residency — every serve re-stages its operands, exactly
+    /// the pre-cache farm.
+    pub band_cache: usize,
 }
 
 impl FarmConfig {
@@ -103,6 +110,7 @@ impl FarmConfig {
             shed_at_admission: None,
             trace_capacity: 4096,
             metrics: true,
+            band_cache: 32,
         }
     }
 
@@ -174,6 +182,14 @@ impl FarmConfig {
         self.metrics = enabled;
         self
     }
+
+    /// Sets each worker's resident band-cache capacity (0 disables operand
+    /// residency).
+    #[must_use]
+    pub fn band_cache(mut self, entries: usize) -> Self {
+        self.band_cache = entries;
+        self
+    }
 }
 
 /// Handle to one submitted job.
@@ -185,7 +201,9 @@ impl FarmConfig {
 /// the job from its queue while it has not been dispatched yet.
 pub struct JobTicket {
     id: u64,
-    rx: mpsc::Receiver<Result<JobReceipt, FarmError>>,
+    /// The pooled slot the resolution lands in; `Some` until redeemed by
+    /// [`JobTicket::wait`], which hands the slot back to the pool.
+    slot: Option<Arc<ReplySlot>>,
     queues: Arc<QueueSet>,
 }
 
@@ -221,11 +239,13 @@ impl JobTicket {
     /// the queue first; [`FarmError::DeadlineExceeded`] when its deadline
     /// passed before a worker could start it;
     /// [`FarmError::Disconnected`] when the farm was torn down first.
-    pub fn wait(self) -> Result<JobReceipt, FarmError> {
-        match self.rx.recv() {
-            Ok(resolution) => resolution,
-            Err(_) => Err(FarmError::Disconnected),
-        }
+    pub fn wait(mut self) -> Result<JobReceipt, FarmError> {
+        let slot = self.slot.take().expect("slot is present until redeemed");
+        let resolution = slot.wait();
+        // The resolution landed and was consumed: the slot is settled and
+        // safe to rent out again.
+        self.queues.return_reply_slot(slot);
+        resolution
     }
 
     /// Non-blocking poll: `None` while the job is still queued or running,
@@ -234,20 +254,31 @@ impl JobTicket {
     /// poll that observes it; later polls report
     /// [`FarmError::Disconnected`].
     pub fn try_wait(&self) -> Option<Result<JobReceipt, FarmError>> {
-        match self.rx.try_recv() {
-            Ok(resolution) => Some(resolution),
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => Some(Err(FarmError::Disconnected)),
-        }
+        self.slot
+            .as_ref()
+            .expect("slot is present until redeemed")
+            .try_take()
     }
 
     /// Bounded wait: blocks up to `timeout` for the resolution, returning
     /// `None` on timeout (the ticket stays redeemable).
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<JobReceipt, FarmError>> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(resolution) => Some(resolution),
-            Err(mpsc::RecvTimeoutError::Timeout) => None,
-            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(FarmError::Disconnected)),
+        self.slot
+            .as_ref()
+            .expect("slot is present until redeemed")
+            .wait_timeout(timeout)
+    }
+}
+
+impl Drop for JobTicket {
+    fn drop(&mut self) {
+        // A settled slot's resolver is done with it: pool it.  An
+        // unsettled slot may still be written by a worker, so it simply
+        // drops when that side's `Arc` goes too.
+        if let Some(slot) = self.slot.take() {
+            if slot.is_settled() {
+                self.queues.return_reply_slot(slot);
+            }
         }
     }
 }
@@ -328,9 +359,10 @@ impl ArrayFarm {
             let live = Arc::clone(&live);
             let w = config.w;
             let lanes = config.lanes.max(1);
+            let band_cache = config.band_cache;
             let handle = std::thread::Builder::new()
                 .name(format!("sia-worker-{index}-{}", class.label()))
-                .spawn(move || worker_loop(index, class, w, lanes, &queues, &live))
+                .spawn(move || worker_loop(index, class, w, lanes, band_cache, &queues, &live))
                 .expect("spawning a farm worker thread");
             handles.push(handle);
         }
@@ -459,28 +491,42 @@ impl ArrayFarm {
             }
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let (reply, rx) = mpsc::channel();
+        let reply = self.queues.reply_slot();
         let now = Instant::now();
         self.queues.submit(
             QueuedJob {
                 id,
                 kind: spec.job.kind(),
-                job: spec.job,
                 predicted,
                 priority: spec.priority,
                 tenant: spec.tenant,
                 vft: 0,
                 deadline: spec.deadline.map(|d| now + d),
                 submitted: now,
-                reply,
+                operands: spec.job.operand_keys(),
+                reply: Arc::clone(&reply),
+                job: spec.job,
             },
             class,
         );
         Ok(JobTicket {
             id,
-            rx,
+            slot: Some(reply),
             queues: Arc::clone(&self.queues),
         })
+    }
+
+    /// Returns a served job's output buffer to the farm's result pool, so
+    /// the next dense-MM serve writes into it instead of allocating.  This
+    /// closes the zero-allocation loop for steady-state traffic: clients
+    /// that recycle their matrix outputs (after copying or consuming what
+    /// they need) let a warm farm serve repeat-operand jobs without a
+    /// single heap allocation end-to-end.  Vector outputs are simply
+    /// dropped.
+    pub fn recycle(&self, output: JobOutput) {
+        if let JobOutput::Matrix(matrix) = output {
+            self.queues.recycle_matrix(matrix);
+        }
     }
 
     /// Drains every queue, joins the workers and returns the farm's
@@ -602,17 +648,19 @@ impl Obs<'_> {
     }
 }
 
-/// One worker: owns its station, sheds expired work, drains its queue
-/// until shutdown.
+/// One worker: owns its station and its resident band cache, sheds expired
+/// work, drains its queue until shutdown.
 fn worker_loop(
     index: usize,
     class: ArrayClass,
     w: usize,
     lanes: usize,
+    band_cache: usize,
     queues: &QueueSet,
     farm_live: &FarmLive,
 ) -> WorkerTelemetry {
     let mut station = ArrayStation::new(w).expect("farm validated w > 0");
+    let mut cache: BandCache = BandCache::new(w, band_cache);
     let mut obs = Obs {
         farm: farm_live,
         live: &farm_live.workers[index],
@@ -634,13 +682,18 @@ fn worker_loop(
         exact_predictions: 0,
         tenants: Vec::new(),
     };
-    while let Some(batch) = queues.next_batch(index) {
+    // Dispatch and serve buffers live for the worker's whole life, so a
+    // warm serve reuses their storage instead of allocating per batch.
+    let mut batch: Vec<QueuedJob> = Vec::new();
+    let mut runnable: Vec<QueuedJob> = Vec::new();
+    let mut scratch = DispatchScratch::default();
+    while queues.next_batch_into(index, &mut batch, &mut scratch) {
         let picked_up = Instant::now();
         // Deadline shedding at dispatch: a job whose absolute deadline has
         // already passed is resolved to `DeadlineExceeded` without touching
         // an array — running it could only waste steps the live jobs need.
-        let mut runnable = Vec::with_capacity(batch.len());
-        for qj in batch {
+        runnable.clear();
+        for qj in batch.drain(..) {
             match qj.deadline {
                 Some(deadline) if deadline < picked_up => shed(qj, picked_up, &mut log, &mut obs),
                 _ => {
@@ -657,20 +710,32 @@ fn worker_loop(
             serve_coalesced(
                 index,
                 &mut station,
-                runnable,
+                &mut cache,
+                queues,
+                &mut runnable,
                 lanes,
                 picked_up,
                 &mut log,
                 &mut obs,
             );
         } else {
-            serve_single(index, &mut station, runnable, picked_up, &mut log, &mut obs);
+            serve_single(
+                index,
+                &mut station,
+                &mut cache,
+                queues,
+                runnable.pop().expect("single-job batch"),
+                picked_up,
+                &mut log,
+                &mut obs,
+            );
         }
         let span = picked_up.elapsed();
         log.busy += span;
         if obs.farm.metrics {
             obs.live.record_batch(span);
             obs.live.publish_station(station.stats());
+            obs.live.publish_residency(cache.stats());
         }
     }
     log.station_cycles = station.stats().total_cycles();
@@ -703,7 +768,39 @@ fn shed(job: QueuedJob, picked_up: Instant, log: &mut WorkerTelemetry, obs: &mut
     let late_by = job
         .deadline
         .map_or(Duration::ZERO, |d| picked_up.duration_since(d));
-    let _ = job.reply.send(Err(FarmError::DeadlineExceeded { late_by }));
+    job.reply
+        .resolve(Err(FarmError::DeadlineExceeded { late_by }));
+}
+
+/// Settles one serve's staging report: prices the staging pass on the
+/// station (apart from compute, so closed-form predictions stay exact),
+/// traces the staged-vs-hit event, and keeps the router's residency
+/// registry in sync with what the cache now holds.  A disabled cache
+/// (capacity 0) stages every serve but must never register residency —
+/// its artifacts bounce straight out again.
+fn settle_staging(
+    station: &mut ArrayStation,
+    cache: &BandCache,
+    queues: &QueueSet,
+    worker: usize,
+    qj: &QueuedJob,
+    report: &StagingReport,
+    obs: &mut Obs<'_>,
+) {
+    if report.misses > 0 {
+        station.record_staging(report.staging_cycles);
+        obs.event(JobEventKind::OperandStaged, qj);
+        if cache.capacity() > 0 {
+            for key in report.staged.iter().flatten() {
+                queues.note_staged(*key, worker);
+            }
+            for key in report.evicted.iter().flatten() {
+                queues.note_evicted(*key, worker);
+            }
+        }
+    } else if report.operand_hit() {
+        obs.event(JobEventKind::OperandHit, qj);
+    }
 }
 
 /// Builds and sends one receipt, updating the worker log.  For a coalesced
@@ -717,6 +814,7 @@ fn deliver(
     service: Duration,
     batch_service: Option<Duration>,
     measured_cycles: usize,
+    report: StagingReport,
     output: JobOutput,
     log: &mut WorkerTelemetry,
     obs: &mut Obs<'_>,
@@ -762,13 +860,14 @@ fn deliver(
         queue,
         service,
         batch_service,
+        staging_cycles: report.staging_cycles,
+        operand_hit: report.operand_hit(),
         output,
     };
     if receipt.prediction_exact() {
         log.exact_predictions += 1;
     }
-    // A dropped ticket just means nobody wants the receipt.
-    let _ = job.reply.send(Ok(receipt));
+    job.reply.resolve(Ok(receipt));
 }
 
 /// Sends an execution failure for one job.  Failed jobs count toward `jobs`
@@ -785,22 +884,28 @@ fn deliver_error(job: QueuedJob, error: DbtError, log: &mut WorkerTelemetry, obs
         obs.live.record_failure();
     }
     obs.event(JobEventKind::Failed, &job);
-    let _ = job.reply.send(Err(FarmError::Execution(error)));
+    job.reply.resolve(Err(FarmError::Execution(error)));
 }
 
 /// Runs a coalesced matrix–matrix batch in lane-parallel passes of at most
 /// `lanes` jobs each (coalesced members are same-shape by construction, so
-/// every pass is a valid lane batch).
+/// every pass is a valid lane batch), serving from the worker's resident
+/// band cache.  A single-lane pass degrades to the solo resident path, so
+/// `lanes == 1` keeps the old sequential batch semantics.
 fn serve_mm_lanes(
     station: &mut ArrayStation,
-    problems: &[MmProblem<'_, f64>],
+    cache: &mut BandCache,
+    problems: &[MmResidentProblem<'_, f64>],
     lanes: usize,
-) -> Result<Vec<sia_dbt::MmOutcome<f64>>, DbtError> {
+) -> Result<(Vec<sia_dbt::MmOutcome<f64>>, Vec<StagingReport>), DbtError> {
     let mut outcomes = Vec::with_capacity(problems.len());
+    let mut reports = Vec::with_capacity(problems.len());
     for chunk in problems.chunks(lanes) {
-        outcomes.extend(multiply_mm_lanes_on(station, chunk)?);
+        let (chunk_outcomes, chunk_reports) = multiply_mm_resident_lanes_on(station, cache, chunk)?;
+        outcomes.extend(chunk_outcomes);
+        reports.extend(chunk_reports);
     }
-    Ok(outcomes)
+    Ok((outcomes, reports))
 }
 
 /// The matrix–vector counterpart of [`serve_mm_lanes`].
@@ -827,10 +932,17 @@ fn serve_mv_lanes(
 /// its measured-cycle share (so per-job service aggregates sum to the real
 /// span instead of multiply-counting it) and carries the raw span in
 /// `batch_service`.
+/// What a coalesced batch's lane solvers return: per-member `(cycles,
+/// output)` pairs plus each member's staging report, or the shared error.
+type CoalescedOutcome = Result<(Vec<(usize, JobOutput)>, Vec<StagingReport>), DbtError>;
+
+#[allow(clippy::too_many_arguments)]
 fn serve_coalesced(
     worker: usize,
     station: &mut ArrayStation,
-    batch: Vec<QueuedJob>,
+    cache: &mut BandCache,
+    queues: &QueueSet,
+    batch: &mut Vec<QueuedJob>,
     lanes: usize,
     picked_up: Instant,
     log: &mut WorkerTelemetry,
@@ -851,12 +963,12 @@ fn serve_coalesced(
             }
         }
     }
-    let outcome: Result<Vec<(usize, JobOutput)>, DbtError> = match &batch[0].job {
+    let outcome: CoalescedOutcome = match &batch[0].job {
         Job::DenseMm { .. } => {
-            let problems: Vec<MmProblem<'_, f64>> = batch
+            let problems: Vec<MmResidentProblem<'_, f64>> = batch
                 .iter()
                 .map(|qj| match &qj.job {
-                    Job::DenseMm { a, b, e } => MmProblem {
+                    Job::DenseMm { a, b, e } => MmResidentProblem {
                         a,
                         b,
                         e: e.as_ref(),
@@ -864,16 +976,14 @@ fn serve_coalesced(
                     _ => unreachable!("coalesce keys only group same-kind jobs"),
                 })
                 .collect();
-            let outcomes = if lanes > 1 {
-                serve_mm_lanes(station, &problems, lanes)
-            } else {
-                multiply_mm_batch_on(station, &problems)
-            };
-            outcomes.map(|outcomes| {
-                outcomes
-                    .into_iter()
-                    .map(|o| (o.cycles, JobOutput::Matrix(o.c)))
-                    .collect()
+            serve_mm_lanes(station, cache, &problems, lanes.max(1)).map(|(outcomes, reports)| {
+                (
+                    outcomes
+                        .into_iter()
+                        .map(|o| (o.cycles, JobOutput::Matrix(o.c)))
+                        .collect(),
+                    reports,
+                )
             })
         }
         Job::DenseMv { schedule, .. } => {
@@ -882,7 +992,7 @@ fn serve_coalesced(
                 .iter()
                 .map(|qj| match &qj.job {
                     Job::DenseMv { a, x, b, .. } => MvProblem {
-                        a,
+                        a: a.matrix(),
                         x,
                         b: b.as_deref(),
                     },
@@ -895,21 +1005,26 @@ fn serve_coalesced(
                 multiply_mv_batch_on(station, &problems, schedule)
             };
             outcomes.map(|outcomes| {
-                outcomes
-                    .into_iter()
-                    .map(|o| (o.cycles, JobOutput::Vector(o.y)))
-                    .collect()
+                let reports = vec![StagingReport::default(); outcomes.len()];
+                (
+                    outcomes
+                        .into_iter()
+                        .map(|o| (o.cycles, JobOutput::Vector(o.y)))
+                        .collect(),
+                    reports,
+                )
             })
         }
         _ => unreachable!("only dense MM/MV jobs carry a coalesce key"),
     };
     let span = picked_up.elapsed();
     match outcome {
-        Ok(outputs) => {
+        Ok((outputs, reports)) => {
             let members = batch.len() as u32;
             let total_cycles: usize = outputs.iter().map(|(cycles, _)| *cycles).sum();
-            for (qj, (cycles, output)) in batch.into_iter().zip(outputs) {
+            for ((qj, (cycles, output)), report) in batch.drain(..).zip(outputs).zip(reports) {
                 log.coalesced_jobs += 1;
+                settle_staging(station, cache, queues, worker, &qj, &report, obs);
                 // Attribute the span by measured-cycle share; an all-zero
                 // batch (impossible for dense jobs, but cheap to guard)
                 // splits evenly.
@@ -925,6 +1040,7 @@ fn serve_coalesced(
                     service,
                     Some(span),
                     cycles,
+                    report,
                     output,
                     log,
                     obs,
@@ -932,7 +1048,7 @@ fn serve_coalesced(
             }
         }
         Err(e) => {
-            for qj in batch {
+            for qj in batch.drain(..) {
                 deliver_error(qj, e.clone(), log, obs);
             }
         }
@@ -943,50 +1059,77 @@ fn serve_coalesced(
 /// `_on` entry point that runs through the station's warm workspaces and
 /// records its array steps there structurally — including the partial work
 /// of a job that fails mid-run (e.g. the sweeps of a non-converging
-/// Gauss–Seidel run), which the old back-attribution scheme lost.
+/// Gauss–Seidel run), which the old back-attribution scheme lost.  Dense
+/// and block-sparse jobs serve through the worker's resident band cache
+/// (repeat operands skip their DBT staging pass); dense-MM results land in
+/// a pooled output matrix, so a warm repeat-operand serve allocates
+/// nothing.
+#[allow(clippy::too_many_arguments)]
 fn serve_single(
     worker: usize,
     station: &mut ArrayStation,
-    mut batch: Vec<QueuedJob>,
+    cache: &mut BandCache,
+    queues: &QueueSet,
+    qj: QueuedJob,
     picked_up: Instant,
     log: &mut WorkerTelemetry,
     obs: &mut Obs<'_>,
 ) {
-    let qj = batch.pop().expect("single-job batch");
     if obs.farm.metrics {
         obs.live.record_lane_pass(1);
     }
-    let outcome: Result<(usize, JobOutput), DbtError> = match &qj.job {
+    let outcome: Result<(usize, StagingReport, JobOutput), DbtError> = match &qj.job {
         Job::DenseMm { a, b, e } => {
-            multiply_mm_on(station, a, b, e.as_ref()).map(|o| (o.cycles, JobOutput::Matrix(o.c)))
+            let mut out = queues.pooled_matrix();
+            match multiply_mm_resident_into(station, cache, a, b, e.as_ref(), &mut out) {
+                Ok((cycles, report)) => Ok((cycles, report, JobOutput::Matrix(out))),
+                Err(error) => {
+                    queues.recycle_matrix(out);
+                    Err(error)
+                }
+            }
         }
         Job::DenseMv { a, x, b, schedule } => {
-            multiply_mv_on(station, a, x, b.as_deref(), *schedule)
-                .map(|o| (o.cycles, JobOutput::Vector(o.y)))
+            multiply_mv_resident_on(station, cache, a, x, b.as_deref(), *schedule)
+                .map(|(o, report)| (o.cycles, report, JobOutput::Vector(o.y)))
         }
-        Job::BlockSparseMv { a, x, b } => multiply_mv_block_sparse_on(station, a, x, b.as_deref())
-            .map(|o| (o.outcome.cycles, JobOutput::Vector(o.outcome.y))),
+        Job::BlockSparseMv { a, x, b } => {
+            multiply_mv_block_sparse_resident_on(station, cache, a, x, b.as_deref())
+                .map(|(o, report)| (o.outcome.cycles, report, JobOutput::Vector(o.outcome.y)))
+        }
         Job::TriangularSolve { a, c, lower } => {
             let solved = if *lower {
                 solve_lower_on(station, a, c)
             } else {
                 solve_upper_on(station, a, c)
             };
-            solved.map(|o| (o.work.array_cycles, JobOutput::Vector(o.x)))
+            solved.map(|o| {
+                (
+                    o.work.array_cycles,
+                    StagingReport::default(),
+                    JobOutput::Vector(o.x),
+                )
+            })
         }
         Job::GaussSeidel {
             a,
             b,
             tol,
             max_sweeps,
-        } => gauss_seidel_on(station, a, b, *tol, *max_sweeps)
-            .map(|o| (o.work.array_cycles, JobOutput::Vector(o.x))),
+        } => gauss_seidel_on(station, a, b, *tol, *max_sweeps).map(|o| {
+            (
+                o.work.array_cycles,
+                StagingReport::default(),
+                JobOutput::Vector(o.x),
+            )
+        }),
     };
     let service = picked_up.elapsed();
     match outcome {
-        Ok((cycles, output)) => {
+        Ok((cycles, report, output)) => {
+            settle_staging(station, cache, queues, worker, &qj, &report, obs);
             deliver(
-                worker, qj, picked_up, service, None, cycles, output, log, obs,
+                worker, qj, picked_up, service, None, cycles, report, output, log, obs,
             );
         }
         Err(e) => deliver_error(qj, e, log, obs),

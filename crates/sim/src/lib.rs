@@ -70,6 +70,7 @@ pub mod hex;
 pub mod linear;
 mod plane;
 pub mod report;
+pub mod residency;
 pub mod spiral;
 pub mod station;
 mod tape;
@@ -80,5 +81,6 @@ pub use hex::{
 };
 pub use linear::{LinearArray, LinearReport, LinearScratch, MvOutput, MvStream, YInjection};
 pub use report::{FeedbackEvent, FeedbackSummary, Utilization};
+pub use residency::{ResidencyLru, ResidencyStats};
 pub use spiral::SpiralTopology;
 pub use station::{ArrayStation, StationStats};

@@ -1,0 +1,221 @@
+//! Bounded LRU residency tracking for per-station artifacts.
+//!
+//! A station that serves repetitive traffic wants to keep the *transformed*
+//! form of popular operands resident next to the array instead of rebuilding
+//! it per job.  [`ResidencyLru`] is the small fixed-capacity map that backs
+//! that: entries carry a logical recency clock, lookups are linear scans
+//! (capacities are small — tens of entries — so a scan beats hashing and,
+//! more importantly, a warm lookup performs **no heap allocation**), and
+//! insertion at capacity evicts the least-recently-used entry and hands its
+//! value back to the caller so backing storage can be recycled.
+//!
+//! The structure is deliberately generic: `sia-dbt` keys it by
+//! `(operand, role, w)` band identities, but nothing here knows about
+//! matrices.
+
+/// Cumulative hit/miss/eviction counters of one residency cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResidencyStats {
+    /// Lookups that found the artifact resident.
+    pub hits: usize,
+    /// Lookups that missed (the caller then stages the artifact).
+    pub misses: usize,
+    /// Entries evicted to make room for an insertion.
+    pub evictions: usize,
+    /// Modeled staging cost (array cycles) of every miss, as reported by
+    /// the caller via [`ResidencyLru::note_staged`].
+    pub staged_cycles: usize,
+}
+
+impl ResidencyStats {
+    /// Fraction of lookups that hit, in `[0, 1]` (`0` when nothing was
+    /// looked up yet).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// One cached entry: key, value and last-touched clock tick.
+#[derive(Debug, Clone)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    touched: u64,
+}
+
+/// A bounded least-recently-used map with allocation-free warm lookups.
+///
+/// Capacity `0` disables the cache entirely: every lookup misses and
+/// nothing is ever stored, which gives callers a zero-cost "cache off"
+/// configuration arm.
+#[derive(Debug, Clone)]
+pub struct ResidencyLru<K, V> {
+    slots: Vec<Slot<K, V>>,
+    capacity: usize,
+    clock: u64,
+    stats: ResidencyStats,
+}
+
+impl<K: Copy + Eq, V> ResidencyLru<K, V> {
+    /// Creates a cache holding at most `capacity` entries, with slot
+    /// storage reserved up front so steady-state operation never grows it.
+    pub fn new(capacity: usize) -> Self {
+        ResidencyLru {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            clock: 0,
+            stats: ResidencyStats::default(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Looks `key` up, refreshing its recency and counting a hit or a miss.
+    /// Warm hits perform no heap allocation.
+    pub fn get(&mut self, key: K) -> Option<&V> {
+        self.clock += 1;
+        match self.slots.iter_mut().find(|s| s.key == key) {
+            Some(slot) => {
+                slot.touched = self.clock;
+                self.stats.hits += 1;
+                Some(&slot.value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks `key` up without touching recency or counters (used by tests
+    /// and snapshots).
+    pub fn peek(&self, key: K) -> Option<&V> {
+        self.slots.iter().find(|s| s.key == key).map(|s| &s.value)
+    }
+
+    /// Inserts `key → value`, evicting the least-recently-used entry when at
+    /// capacity.  Returns the evicted `(key, value)` pair, if any, so the
+    /// caller can recycle its backing storage.  With capacity `0` the value
+    /// itself is bounced straight back as the "evicted" pair and nothing is
+    /// stored.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        self.clock += 1;
+        if self.capacity == 0 {
+            return Some((key, value));
+        }
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.key == key) {
+            slot.touched = self.clock;
+            let old = std::mem::replace(&mut slot.value, value);
+            return Some((key, old));
+        }
+        if self.slots.len() < self.capacity {
+            self.slots.push(Slot {
+                key,
+                value,
+                touched: self.clock,
+            });
+            return None;
+        }
+        let victim = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.touched)
+            .map(|(i, _)| i)
+            .expect("capacity > 0 implies at least one slot");
+        let evicted = std::mem::replace(
+            &mut self.slots[victim],
+            Slot {
+                key,
+                value,
+                touched: self.clock,
+            },
+        );
+        self.stats.evictions += 1;
+        Some((evicted.key, evicted.value))
+    }
+
+    /// Records the modeled staging cost of a miss the caller just served.
+    pub fn note_staged(&mut self, cycles: usize) {
+        self.stats.staged_cycles += cycles;
+    }
+
+    /// Cumulative hit/miss/eviction counters.
+    pub fn stats(&self) -> ResidencyStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_refresh_recency_and_misses_count() {
+        let mut lru = ResidencyLru::new(2);
+        assert!(lru.get(1u64).is_none());
+        assert!(lru.insert(1, "a").is_none());
+        assert!(lru.insert(2, "b").is_none());
+        assert_eq!(lru.get(1), Some(&"a"));
+        // 1 was just touched, so inserting 3 evicts 2.
+        let evicted = lru.insert(3, "c").unwrap();
+        assert_eq!(evicted, (2, "b"));
+        assert!(lru.peek(1).is_some());
+        assert!(lru.peek(2).is_none());
+        assert!(lru.peek(3).is_some());
+        let stats = lru.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_returns_the_old_value() {
+        let mut lru = ResidencyLru::new(2);
+        assert!(lru.insert(5u64, 10).is_none());
+        assert_eq!(lru.insert(5, 11), Some((5, 10)));
+        assert_eq!(lru.peek(5), Some(&11));
+        assert_eq!(lru.stats().evictions, 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let mut lru = ResidencyLru::new(0);
+        assert!(lru.get(1u64).is_none());
+        assert_eq!(lru.insert(1, "a"), Some((1, "a")));
+        assert!(lru.is_empty());
+        assert_eq!(lru.stats().misses, 1);
+    }
+
+    #[test]
+    fn hit_ratio_and_staged_cycles_accumulate() {
+        let mut lru = ResidencyLru::new(1);
+        assert!(lru.get(1u64).is_none());
+        lru.note_staged(100);
+        lru.insert(1, ());
+        assert!(lru.get(1).is_some());
+        assert!(lru.get(1).is_some());
+        let stats = lru.stats();
+        assert_eq!(stats.staged_cycles, 100);
+        assert!((stats.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ResidencyStats::default().hit_ratio(), 0.0);
+    }
+}

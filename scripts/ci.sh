@@ -29,20 +29,30 @@ echo "== lane-equivalence property tests, -C target-cpu=native"
 RUSTFLAGS="-C target-cpu=native" CARGO_TARGET_DIR=target/native \
     cargo test -q --release --test properties lane_parallel
 
-echo "== paper_experiments (measured-vs-paper agreement, incl. E10 throughput + E11 fairness + E12 lanes + E13 observability)"
+echo "== paper_experiments (measured-vs-paper agreement, incl. E10 throughput + E11 fairness + E12 lanes + E13 observability + E14 residency)"
 # The E12 gate inside also asserts every lane-parallel receipt is exactly
 # predicted (exact_prediction_fraction == 1.0 at every lane width); the
 # E13 gate asserts the observability layer (trace rings + live metrics)
-# costs < 2% steady jobs/s against the same farm served dark.
+# costs < 2% steady jobs/s against the same farm served dark; the E14 gate
+# asserts the warm cache-aware farm beats cache-disabled backlog-only
+# serving by >= 1.5x steady jobs/s with predictions still cycle-exact.
 cargo run -p sia-bench --release --bin paper_experiments > /dev/null
 
-echo "== paper_experiments --json (perf trajectory: BENCH_mm/mv/throughput.json, incl. E11 fairness + E12 lane + E13 observability records)"
+echo "== paper_experiments --json (perf trajectory: BENCH_mm/mv/throughput.json, incl. E11 fairness + E12 lane + E13 observability + E14 residency records)"
 cargo run -p sia-bench --release --bin paper_experiments -- --json .
 
-echo "== BENCH_throughput.json schema check (all four experiment arrays present)"
-for key in e10_policies e11_fairness e12_lanes e13_observability; do
+echo "== BENCH_throughput.json schema check (all five experiment arrays present)"
+for key in e10_policies e11_fairness e12_lanes e13_observability e14_residency; do
     grep -q "\"$key\": \[" BENCH_throughput.json \
         || { echo "BENCH_throughput.json is missing the $key array" >&2; exit 1; }
 done
+
+echo "== allocs-per-job regression gate (warm repeat-operand serving must stay allocation-free)"
+# Each e14_residency record renders on one line; the warm arm's
+# allocs_per_job is measured over a repeat-operand dense-MM window with
+# outputs recycled, and must be exactly 0.0 — any regression on the
+# zero-allocation serve path shows up here before it shows up in perf.
+grep '"arm": "warm"' BENCH_throughput.json | grep -q '"allocs_per_job": 0.0,' \
+    || { echo "warm repeat-operand serving allocated (allocs_per_job > 0)" >&2; exit 1; }
 
 echo "CI gate passed."

@@ -173,6 +173,72 @@ fn steady_state_station_serving_allocates_nothing() {
     assert_eq!(ring.dropped(), 1_001 - 64);
     assert_eq!(histogram.snapshot().count(), 1_001);
 
+    // The whole farm, end-to-end: a warm farm serving repeat-operand
+    // dense-MM traffic allocates nothing per job.  Operand identity makes
+    // this possible — the bands are resident in the worker's `BandCache`
+    // (three `Arc` bumps per serve), reply slots and output matrices are
+    // pooled (the client returns outputs via `ArrayFarm::recycle`), and
+    // the dispatch loop runs on pre-sized scratch.  (Same `#[test]` again:
+    // the process-wide counter must not race a concurrent test.)
+    {
+        use size_independent_systolic::runtime::OperandRef;
+        let w = 4;
+        let farm = ArrayFarm::new(
+            FarmConfig::new(w)
+                .hex_workers(1)
+                .linear_workers(0)
+                .coalesce_limit(1)
+                .band_cache(8),
+        )
+        .unwrap();
+        let a = OperandRef::named(0xA, gen::random_dense_f64(24, 24, 51));
+        let b = OperandRef::named(0xB, gen::random_dense_f64(24, 24, 52));
+        // Warm-up: stages both bands into the worker's cache and sizes
+        // every pool (reply slots, output matrices, queue buffers, the
+        // station's workspaces).
+        for _ in 0..16 {
+            let receipt = farm
+                .submit(Job::dense_mm(a.clone(), b.clone()))
+                .unwrap()
+                .wait()
+                .unwrap();
+            farm.recycle(receipt.output);
+        }
+        let farm_jobs = 64;
+        let before = allocation_count();
+        for _ in 0..farm_jobs {
+            let receipt = farm
+                .submit(Job::dense_mm(a.clone(), b.clone()))
+                .unwrap()
+                .wait()
+                .unwrap();
+            farm.recycle(receipt.output);
+        }
+        let after = allocation_count();
+        assert_eq!(
+            after - before,
+            0,
+            "a warm farm serving repeat-operand MM jobs must be \
+             allocation-free end-to-end: {} allocations over {farm_jobs} jobs",
+            after - before
+        );
+        // Outside the measured window: the serves really were residency
+        // hits with staging priced at zero, and the prediction stayed
+        // exact.
+        let receipt = farm
+            .submit(Job::dense_mm(a.clone(), b.clone()))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(receipt.operand_hit, "warm serve must hit the band cache");
+        assert_eq!(receipt.staging_cycles, 0);
+        assert!(receipt.prediction_exact());
+        let snapshot = farm.snapshot();
+        assert!(snapshot.operand_hits() >= farm_jobs);
+        assert!((snapshot.exact_prediction_fraction() - 1.0).abs() < f64::EPSILON);
+        farm.shutdown();
+    }
+
     // Sanity: the counter is actually live (building a vector allocates).
     let probe: Vec<u64> = (0..1024).collect();
     assert!(allocation_count() > after, "counter must observe {probe:?}");

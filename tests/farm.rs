@@ -22,7 +22,7 @@ fn serve_sparse(a: &DenseMatrix<f64>, x: &[f64], b: Option<&[f64]>, w: usize) ->
     let farm = ArrayFarm::new(FarmConfig::new(w).policy(Policy::ShortestPredictedFirst)).unwrap();
     let ticket = farm
         .submit(Job::BlockSparseMv {
-            a: a.clone(),
+            a: a.clone().into(),
             x: x.to_vec(),
             b: b.map(<[f64]>::to_vec),
         })

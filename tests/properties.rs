@@ -500,7 +500,7 @@ fn random_job_with_reference(
             let reference = multiply_mv(&a, &x, None, w, schedule).unwrap().y;
             (
                 Job::DenseMv {
-                    a,
+                    a: a.into(),
                     x,
                     b: None,
                     schedule,
@@ -832,5 +832,132 @@ fn mv_lane_parallel_batches_are_bit_identical_to_solo_runs() {
                 assert_eq!(laned.feedback, solo.feedback);
             }
         }
+    }
+}
+
+#[test]
+fn cached_band_serving_is_bit_identical_to_fresh_transforms() {
+    // The residency layer's core contract: a band served out of the
+    // `BandCache` — cold, warm, evicted-then-refaulted, solo or packed
+    // into lanes — is the same artifact the fresh transform builds, so
+    // every outcome field must be bit-identical to the direct solver.
+    use size_independent_systolic::dbt::{
+        multiply_mm_resident_lanes_on, multiply_mm_resident_on,
+        multiply_mv_block_sparse_resident_on, multiply_mv_resident_on, BandCache,
+        MmResidentProblem, OperandRef,
+    };
+    let mut rng = SplitMix64::new(0xCAC4ED);
+    for _ in 0..CASES / 2 {
+        let w = rng.range_usize(1, 5);
+        let mut station = ArrayStation::<f64>::new(w).unwrap();
+        // Two entries: an MM serve exactly fills the cache, so the MV and
+        // sparse serves that follow evict the MM bands and the final MM
+        // serve exercises the refault path.
+        let mut cache: BandCache = BandCache::new(w, 2);
+
+        let n = rng.range_usize(1, 8);
+        let p = rng.range_usize(1, 8);
+        let m = rng.range_usize(1, 8);
+        let a = OperandRef::content_hashed(gen::random_dense_f64(n, p, rng.next_u64()));
+        let b = OperandRef::content_hashed(gen::random_dense_f64(p, m, rng.next_u64()));
+        let fresh = multiply_mm(a.matrix(), b.matrix(), None, w).unwrap();
+
+        // Cold: both bands staged.
+        let (cold, report) =
+            multiply_mm_resident_on(&mut station, &mut cache, &a, &b, None).unwrap();
+        assert_eq!(cold.c, fresh.c, "cold n={n} p={p} m={m} w={w}");
+        assert_eq!(cold.cycles, fresh.cycles);
+        assert!(report.misses >= 1 && !report.operand_hit());
+
+        // Warm: both bands resident, zero staging cycles.
+        let (warm, report) =
+            multiply_mm_resident_on(&mut station, &mut cache, &a, &b, None).unwrap();
+        assert_eq!(warm.c, fresh.c, "warm n={n} p={p} m={m} w={w}");
+        assert_eq!(warm.cycles, fresh.cycles);
+        assert!(report.operand_hit(), "warm serve must be a full hit");
+        assert_eq!(report.staging_cycles, 0);
+
+        // An MV serve through the same cache (evicting the MM bands).
+        let mv_a = OperandRef::content_hashed(gen::random_dense_f64(n, m, rng.next_u64()));
+        let x = gen::random_vector_f64(m, rng.next_u64());
+        let bias = gen::random_vector_f64(n, rng.next_u64());
+        let schedule = if rng.next_bool(0.5) {
+            MvSchedule::Overlapped
+        } else {
+            MvSchedule::Simple
+        };
+        let fresh_mv = multiply_mv(mv_a.matrix(), &x, Some(&bias), w, schedule).unwrap();
+        let (res_mv, _) =
+            multiply_mv_resident_on(&mut station, &mut cache, &mv_a, &x, Some(&bias), schedule)
+                .unwrap();
+        assert_eq!(res_mv.y, fresh_mv.y, "mv n={n} m={m} w={w} {schedule:?}");
+        assert_eq!(res_mv.cycles, fresh_mv.cycles);
+
+        // A block-sparse serve through the same cache.
+        let sp = OperandRef::content_hashed(gen::block_sparse_f64(
+            n,
+            m,
+            w,
+            rng.range_f64(0.0, 1.0),
+            rng.next_u64(),
+        ));
+        let fresh_sp = sparse::multiply_mv_block_sparse(sp.matrix(), &x, None, w).unwrap();
+        let (res_sp, _) =
+            multiply_mv_block_sparse_resident_on(&mut station, &mut cache, &sp, &x, None).unwrap();
+        assert_eq!(
+            res_sp.outcome.y, fresh_sp.outcome.y,
+            "sparse n={n} m={m} w={w}"
+        );
+        assert_eq!(res_sp.outcome.cycles, fresh_sp.outcome.cycles);
+
+        // Evict-then-refault: the MM bands were pushed out above; the
+        // refaulted serve re-stages and still matches the fresh transform.
+        let (refault, report) =
+            multiply_mm_resident_on(&mut station, &mut cache, &a, &b, None).unwrap();
+        assert_eq!(refault.c, fresh.c, "refault n={n} p={p} m={m} w={w}");
+        assert_eq!(refault.cycles, fresh.cycles);
+        assert!(report.misses >= 1, "refault must re-stage");
+    }
+
+    // Lane widths 1..=16: a shared left operand across every lane mate,
+    // compared lane-by-lane against the solo fresh solver.
+    let mut rng = SplitMix64::new(0x1A9E5D);
+    for lanes in 1..=16usize {
+        let w = rng.range_usize(1, 4);
+        let n = rng.range_usize(1, 6);
+        let p = rng.range_usize(1, 6);
+        let m = rng.range_usize(1, 6);
+        let mut station = ArrayStation::<f64>::new(w).unwrap();
+        let mut cache: BandCache = BandCache::new(w, 4);
+        let shared_a = OperandRef::content_hashed(gen::random_dense_f64(n, p, rng.next_u64()));
+        let bs: Vec<OperandRef> = (0..lanes)
+            .map(|_| OperandRef::content_hashed(gen::random_dense_f64(p, m, rng.next_u64())))
+            .collect();
+        let problems: Vec<MmResidentProblem<'_, f64>> = bs
+            .iter()
+            .map(|rb| MmResidentProblem {
+                a: &shared_a,
+                b: rb,
+                e: None,
+            })
+            .collect();
+        let (outcomes, reports) =
+            multiply_mm_resident_lanes_on(&mut station, &mut cache, &problems).unwrap();
+        assert_eq!(outcomes.len(), lanes);
+        assert_eq!(reports.len(), lanes);
+        for (i, (outcome, rb)) in outcomes.iter().zip(&bs).enumerate() {
+            let solo = multiply_mm(shared_a.matrix(), rb.matrix(), None, w).unwrap();
+            assert_eq!(outcome.c, solo.c, "lane {i} of {lanes} on w={w}");
+            assert_eq!(outcome.cycles, solo.cycles, "lane {i} of {lanes} on w={w}");
+        }
+        // The shared operand is staged by the first lane at most; later
+        // lanes hit it (4-entry cache: the left band plus up to three
+        // right bands — evictions only ever claim right-operand bands,
+        // because the shared left band is re-touched by every lane).
+        let left_misses: u32 = reports.iter().map(|r| r.misses).sum();
+        assert!(
+            left_misses >= lanes as u32,
+            "every lane stages its own right band at least"
+        );
     }
 }
